@@ -1,0 +1,43 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures: it prints
+the rows/series to the terminal (through pytest's capture, so the output
+appears in ``pytest benchmarks/`` runs) and also writes them under
+``benchmarks/results/`` for the record (EXPERIMENTS.md quotes those
+files).  The ``benchmark`` fixture times the computational kernel of the
+experiment.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a rendered experiment table and persist it.
+
+    Usage: ``report("fig09", text)`` — the text bypasses pytest capture
+    so it shows up in the benchmark run's output, and is written to
+    ``benchmarks/results/<name>.txt``.
+    """
+
+    def _report(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print()
+            print(f"===== {name} =====")
+            print(text)
+
+    return _report
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Benchmark an expensive experiment with a single timed round."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,58 @@
+"""Shared driver for the Figure 9-12 benches."""
+
+from __future__ import annotations
+
+from repro.experiments.harness import SweepResult
+from repro.experiments.quality import quality_stats
+from repro.experiments.report import (
+    render_improvement,
+    render_quality,
+    render_sweep,
+)
+
+#: Paper claim: the adaptive algorithms beat the baseline clearly; the
+#: abstract quotes up to a factor of 5, the Section 5 text 2-5x for the
+#: server scenario.  We assert the conservative end of the shape.
+MIN_SPEEDUP_AT_SCALE = {
+    "fig09-small": 1.05,
+    "fig10-large": 1.3,
+    "fig11-mixed": 1.5,
+    "fig12-servers": 1.3,
+}
+
+
+def run_figure(report, benchmark, name: str, driver) -> SweepResult:
+    """Run a figure sweep once (timed), print/persist its series."""
+
+    def sweep() -> SweepResult:
+        return driver(trials=3, seed=0)
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = "\n\n".join(
+        [
+            render_sweep(result),
+            render_improvement(result),
+            render_quality(quality_stats([result])),
+        ]
+    )
+    report(name, text)
+    return result
+
+
+def check_shape(result: SweepResult) -> None:
+    """The reproduction targets shared by all four figures."""
+    # Theorem 3 is unconditional.
+    assert result.max_ratio("openshop") <= 2.0
+    # open shop is the best of the adaptive algorithms on average.
+    assert result.mean_ratio("openshop") <= result.mean_ratio("max_matching") + 0.02
+    assert result.mean_ratio("openshop") <= result.mean_ratio("greedy") + 0.02
+    # matchings are comparable to each other (paper: "comparable").
+    assert abs(
+        result.mean_ratio("max_matching") - result.mean_ratio("min_matching")
+    ) < 0.08
+    # baseline is the worst on average.
+    for name in ("openshop", "max_matching", "min_matching", "greedy"):
+        assert result.mean_ratio(name) <= result.mean_ratio("baseline") + 1e-9
+    # speedup at the largest P matches the paper's story.
+    floor = MIN_SPEEDUP_AT_SCALE[result.workload]
+    assert result.improvement_over_baseline("openshop")[-1] >= floor

@@ -1,0 +1,99 @@
+"""A6 — adversarial robustness of the schedulers.
+
+Failure injection: instances constructed to break specific algorithms
+(the caterpillar killer, the generalised Theorem 2 chain), plus random
+worst-case search probing how tight the proven bounds are in practice.
+"""
+
+import numpy as np
+
+import repro
+from benchmarks.conftest import run_once
+from repro.core.baseline import schedule_baseline, schedule_baseline_nosync
+from repro.core.openshop import schedule_openshop
+from repro.util.tables import format_table
+from repro.workloads.adversarial import (
+    caterpillar_killer,
+    theorem2_chain,
+    worst_case_search,
+)
+
+
+def test_adversarial_instances(report, benchmark):
+    def sweep():
+        rows = []
+        for p in (5, 9, 15, 25):
+            killer = caterpillar_killer(p, long=1.0, short=1e-4)
+            lb = killer.lower_bound()
+            rows.append(
+                [
+                    f"killer P={p}",
+                    schedule_baseline(killer).completion_time / lb,
+                    schedule_baseline_nosync(killer).completion_time / lb,
+                    schedule_openshop(killer).completion_time / lb,
+                    repro.schedule_matching_max(killer).completion_time / lb,
+                ]
+            )
+        for p in (4, 8, 12):
+            chain = theorem2_chain(p, epsilon=1e-6)
+            lb = chain.lower_bound()
+            rows.append(
+                [
+                    f"thm2 chain P={p}",
+                    schedule_baseline(chain).completion_time / lb,
+                    schedule_baseline_nosync(chain).completion_time / lb,
+                    schedule_openshop(chain).completion_time / lb,
+                    repro.schedule_matching_max(chain).completion_time / lb,
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    report(
+        "ablation_adversarial",
+        format_table(
+            ["instance", "baseline (barrier)", "baseline (strict)",
+             "openshop", "max matching"],
+            rows,
+            precision=2,
+            title="A6: adversarial instances — ratio to lower bound",
+        ),
+    )
+    by_name = {row[0]: row for row in rows}
+    # the killer blows up the barrier baseline roughly linearly in P...
+    assert by_name["killer P=25"][1] > 18.0
+    # ...while the strict variant honours Theorem 2 and the adaptive
+    # algorithms barely notice
+    assert by_name["killer P=25"][2] <= 12.5
+    assert by_name["killer P=25"][3] < 1.5
+    # the generalised chain is tight at P/2 for the strict baseline
+    assert abs(by_name["thm2 chain P=12"][2] - 6.0) < 0.05
+    # open shop never leaves its 2x guarantee, even here
+    for row in rows:
+        assert row[3] <= 2.0 + 1e-9
+
+
+def test_worst_case_probe(report, benchmark):
+    def probe():
+        rows = []
+        for name in ("openshop", "greedy", "max_matching"):
+            scheduler = repro.get_scheduler(name)
+            _, ratio = worst_case_search(
+                scheduler, 6, trials=150, rng=0
+            )
+            rows.append([name, ratio])
+        return rows
+
+    rows = run_once(benchmark, probe)
+    report(
+        "ablation_worst_case_probe",
+        format_table(
+            ["scheduler", "worst ratio over 150 random P=6 instances"],
+            rows,
+            title="A6b: empirical bound probing",
+        ),
+    )
+    by_name = dict(rows)
+    assert by_name["openshop"] <= 2.0
+    # random instances do not come close to the theoretical worst cases
+    assert by_name["openshop"] < 1.4

@@ -1,0 +1,181 @@
+"""A5 — the paper's Section 3.4 design decisions, measured.
+
+The paper rejects (a) message partitioning ("would increase the start-up
+overheads") and (b) combine-and-forward relaying ("increases the volume
+of traffic").  This bench implements both rejected alternatives plus the
+preemptive optimum (Gonzalez-Sahni via Birkhoff-von Neumann) and
+measures what each decision costs or saves.
+"""
+
+import numpy as np
+
+import repro
+from benchmarks.conftest import run_once
+from repro.core.indirect import (
+    choose_relays,
+    relayed_bytes_factor,
+    relayed_volume_factor,
+    schedule_openshop_indirect,
+)
+from repro.core.partition import (
+    partitioning_overhead,
+    schedule_openshop_partitioned,
+)
+from repro.core.preemptive import (
+    preemption_counts,
+    preemption_startup_penalty,
+    schedule_preemptive,
+)
+from repro.directory.service import DirectorySnapshot
+from repro.util.tables import format_table
+
+NUM_PROCS = 10
+TRIALS = 5
+
+
+def make_setup(seed):
+    rng = np.random.default_rng(seed)
+    latency, bandwidth = repro.random_pairwise_parameters(NUM_PROCS, rng=rng)
+    snapshot = DirectorySnapshot(latency=latency, bandwidth=bandwidth)
+    sizes = repro.MixedSizes().sizes(NUM_PROCS, rng=rng)
+    return snapshot, sizes
+
+
+def test_partitioning_decision(report, benchmark):
+    def sweep():
+        rows = []
+        for chunks in (1, 2, 4, 8):
+            times, overheads = [], []
+            for seed in range(TRIALS):
+                snapshot, sizes = make_setup(seed)
+                schedule = schedule_openshop_partitioned(
+                    snapshot, sizes, chunks=chunks
+                )
+                times.append(schedule.completion_time)
+                overheads.append(
+                    partitioning_overhead(snapshot, sizes, chunks)
+                )
+            rows.append(
+                [chunks, float(np.mean(times)), float(np.mean(overheads))]
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    report(
+        "ablation_partitioning",
+        format_table(
+            ["chunks", "mean completion (s)", "extra start-up time (s)"],
+            rows,
+            title=f"A5a: message partitioning (P={NUM_PROCS}, mixed "
+                  f"workload, {TRIALS} trials) — paper forbids chunks > 1",
+        ),
+    )
+    # The paper's call: splitting adds start-up cost and does not pay
+    # for itself under its parameter ranges.
+    base = rows[0][1]
+    assert all(time >= base * 0.97 for _, time, _ in rows)
+    assert rows[-1][2] > rows[1][2] > 0  # overhead grows with chunks
+
+
+def test_indirect_routing_decision(report, benchmark):
+    def sweep():
+        rows = []
+        for advantage in (1.2, 1.5, 2.0, 4.0):
+            times, relays, volumes, bytes_factors = [], [], [], []
+            for seed in range(TRIALS):
+                snapshot, sizes = make_setup(seed)
+                plan = choose_relays(snapshot, sizes, advantage=advantage)
+                schedule = schedule_openshop_indirect(
+                    snapshot, sizes, plan=plan
+                )
+                times.append(schedule.completion_time)
+                relays.append(plan.relay_count)
+                volumes.append(
+                    relayed_volume_factor(snapshot, sizes, plan)
+                )
+                bytes_factors.append(relayed_bytes_factor(sizes, plan))
+            rows.append(
+                [
+                    advantage,
+                    float(np.mean(relays)),
+                    float(np.mean(times)),
+                    float(np.mean(bytes_factors)),
+                    float(np.mean(volumes)),
+                ]
+            )
+        # reference: no relaying at all
+        times = []
+        for seed in range(TRIALS):
+            snapshot, sizes = make_setup(seed)
+            problem = repro.TotalExchangeProblem.from_snapshot(
+                snapshot, sizes
+            )
+            times.append(repro.schedule_openshop(problem).completion_time)
+        rows.append(["direct", 0.0, float(np.mean(times)), 1.0, 1.0])
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    report(
+        "ablation_indirect_routing",
+        format_table(
+            ["min advantage", "mean relays", "mean completion (s)",
+             "bytes factor", "port-time factor"],
+            rows,
+            title=f"A5b: single-hop relaying (P={NUM_PROCS}, mixed "
+                  "workload) — paper forbids relaying",
+        ),
+    )
+    direct_time = rows[-1][2]
+    best_relayed = min(row[2] for row in rows[:-1])
+    # On log-uniform GUSTO-like networks the triangle inequality is
+    # violated often enough that relaying CAN win on port time even
+    # though it moves more bytes — a genuine nuance to the paper's
+    # blanket rejection (recorded in EXPERIMENTS.md).
+    assert best_relayed <= direct_time
+    for row in rows[:-1]:
+        assert row[3] >= 1.0  # bytes always increase
+
+
+def test_preemptive_optimum(report, benchmark):
+    def sweep():
+        rows = []
+        for seed in range(TRIALS):
+            snapshot, sizes = make_setup(seed)
+            problem = repro.TotalExchangeProblem.from_snapshot(
+                snapshot, sizes
+            )
+            preemptive = schedule_preemptive(problem)
+            openshop = repro.schedule_openshop(problem)
+            slots, pieces = preemption_counts(problem)
+            penalty = preemption_startup_penalty(problem, snapshot.latency)
+            rows.append(
+                [
+                    seed,
+                    problem.lower_bound(),
+                    preemptive.completion_time,
+                    openshop.completion_time,
+                    pieces,
+                    penalty,
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    report(
+        "ablation_preemptive_optimum",
+        format_table(
+            ["trial", "t_lb", "preemptive optimum", "openshop",
+             "pieces", "re-start-up cost (s)"],
+            rows,
+            title=f"A5c: preemptive optimum vs the paper's non-preemptive "
+                  f"heuristic (P={NUM_PROCS})",
+        ),
+    )
+    for _, lb, preemptive, openshop, pieces, penalty in rows:
+        # Gonzalez-Sahni: preemptive optimum == lower bound.
+        assert abs(preemptive - lb) < 1e-6 * max(lb, 1.0)
+        gap = openshop - lb
+        # the paper's decision holds whenever re-paying start-ups costs
+        # more than the non-preemptive gap it closes
+        if penalty > gap:
+            assert openshop <= lb + gap  # tautology guard; recorded above

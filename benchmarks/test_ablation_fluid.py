@@ -1,0 +1,72 @@
+"""A3 — analytical model vs fluid link-sharing execution.
+
+The paper's model prices messages independently and ignores bandwidth
+stolen by concurrent transfers on shared links (the directory's
+equal-division rule absorbs *average* load, not in-collective sharing).
+This bench executes the same open shop plan under (a) the analytical
+model and (b) the fluid simulator with max-min fair sharing on a real
+topology, reporting the model error for increasing cross-site traffic.
+"""
+
+import numpy as np
+
+import repro
+from repro.directory import TopologyDirectory
+from repro.network.topology import Metacomputer
+from repro.sim.fluid import fluid_execute_orders
+from repro.util.tables import format_table
+from repro.util.units import GBIT_PER_S, MBIT_PER_S, seconds_from_ms
+
+
+def build_system(nodes_per_site: int) -> Metacomputer:
+    return Metacomputer.build(
+        {"west": nodes_per_site, "east": nodes_per_site},
+        access_latency=seconds_from_ms(0.5),
+        access_bandwidth=GBIT_PER_S,
+        backbone=[("west", "east", seconds_from_ms(40), 10 * MBIT_PER_S)],
+    )
+
+
+def run_case(nodes_per_site: int):
+    system = build_system(nodes_per_site)
+    n = system.num_procs
+    sizes = np.full((n, n), 2e5)
+    np.fill_diagonal(sizes, 0.0)
+    # cross-site bulk: every west node ships 2 MB to every east node
+    for i in range(nodes_per_site):
+        for j in range(nodes_per_site, n):
+            sizes[i, j] = 2e6
+    directory = TopologyDirectory(system)
+    problem = repro.TotalExchangeProblem.from_snapshot(
+        directory.snapshot(), sizes
+    )
+    planned = repro.schedule_openshop(problem)
+    fluid = fluid_execute_orders(system, planned.send_orders(), sizes)
+    return planned.completion_time, fluid.completion_time
+
+
+def test_model_error_vs_site_size(report, benchmark):
+    rows = []
+    for nodes_per_site in (2, 3, 4):
+        analytical, fluid = run_case(nodes_per_site)
+        rows.append(
+            [2 * nodes_per_site, analytical, fluid, fluid / analytical]
+        )
+    report(
+        "ablation_fluid_model_error",
+        format_table(
+            ["P", "analytical (s)", "fluid (s)", "fluid/analytical"],
+            rows,
+            title="A3: analytical model vs fluid link sharing "
+                  "(one shared 10 Mbit/s backbone)",
+        ),
+    )
+    for _, analytical, fluid, ratio in rows:
+        # sharing can only hurt, and is bounded by the per-site
+        # concurrency (at most nodes_per_site concurrent backbone flows).
+        assert 1.0 - 1e-6 <= ratio <= 4.5
+    # error grows with concurrency on the shared backbone
+    assert rows[-1][3] >= rows[0][3] - 0.05
+
+    benchmark.group = "fluid"
+    benchmark.pedantic(run_case, args=(3,), rounds=1, iterations=1)

@@ -1,0 +1,71 @@
+"""A1 — matching objective and LAP backend ablation.
+
+The paper evaluates maximum- and minimum-weight matching variants and
+finds them comparable; the acknowledgements credit Jonker's LAP solver.
+This bench compares the two objectives (quality) and the two backends
+(identical round weights, very different runtime).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.matching import matching_rounds, schedule_matching
+from repro.util.tables import format_table
+from tests.conftest import random_problem
+
+
+def test_objective_quality_ablation(report, benchmark):
+    rows = []
+    for num_procs in (10, 20, 30):
+        ratios = {"max": [], "min": []}
+        for seed in range(10):
+            problem = random_problem(num_procs, seed=seed, low=0.1, high=30.0)
+            lb = problem.lower_bound()
+            for objective in ("max", "min"):
+                t = schedule_matching(
+                    problem, objective=objective
+                ).completion_time
+                ratios[objective].append(t / lb)
+        rows.append(
+            [
+                num_procs,
+                float(np.mean(ratios["max"])),
+                float(np.mean(ratios["min"])),
+            ]
+        )
+    report(
+        "ablation_matching_objective",
+        format_table(
+            ["P", "max matching (ratio to LB)", "min matching (ratio to LB)"],
+            rows,
+            title="A1: matching objective ablation (10 instances per P)",
+        ),
+    )
+    # "comparable completion times" (paper Section 5)
+    for _, max_ratio, min_ratio in rows:
+        assert abs(max_ratio - min_ratio) < 0.08
+
+    problem = random_problem(30, seed=0)
+    benchmark(schedule_matching, problem, objective="max")
+
+
+@pytest.mark.parametrize("backend", ["scipy", "networkx"])
+def test_backend_runtime(benchmark, backend):
+    problem = random_problem(20, seed=1)
+    rounds = benchmark(matching_rounds, problem.cost, backend=backend)
+    assert len(rounds) == 20
+
+
+def test_backends_equivalent_quality(benchmark):
+    problem = random_problem(12, seed=2)
+    benchmark(schedule_matching, problem, backend="scipy")
+    for objective in ("max", "min"):
+        t_scipy = schedule_matching(
+            problem, objective=objective, backend="scipy"
+        ).completion_time
+        t_nx = schedule_matching(
+            problem, objective=objective, backend="networkx"
+        ).completion_time
+        # same objective value per round does not force identical
+        # permutations, but quality should be near-identical.
+        assert t_scipy == pytest.approx(t_nx, rel=0.15)

@@ -1,0 +1,42 @@
+"""X1b — adaptivity gain vs drift magnitude (paper Section 6.3).
+
+Extends the X1 checkpoint experiment into a sweep: the harder the
+network moves mid-collective, the more checkpoint rescheduling buys.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.adaptive_sweep import run_adaptive_sweep
+from repro.util.tables import format_series
+
+
+def test_adaptivity_vs_drift(report, benchmark):
+    result = run_once(
+        benchmark,
+        run_adaptive_sweep,
+        sigmas=(0.0, 0.6, 1.2),
+        num_procs=12,
+        trials=4,
+    )
+    series = dict(result.completion)
+    series["post_drift_lb"] = result.post_drift_lb
+    text = format_series(
+        "sigma",
+        result.sigmas,
+        series,
+        precision=1,
+        title=f"X1b: completion (s) vs drift magnitude "
+              f"(P={result.num_procs}, {result.trials} trials)",
+    )
+    gains = result.gain("halving")
+    text += "\n\nhalving-policy gain vs stale plan per sigma: " + ", ".join(
+        f"{sigma:g}: {gain * 100:.1f}%"
+        for sigma, gain in zip(result.sigmas, gains)
+    )
+    report("ext_adaptive_drift_sweep", text)
+
+    # no drift -> nothing to gain (and rescheduling must not hurt)
+    assert abs(gains[0]) < 0.05
+    # strong drift -> clear gain
+    assert gains[-1] > 0.03
+    # adaptive completion tracks the post-drift lower bound within 2x
+    assert result.completion["halving"][-1] <= 2 * result.post_drift_lb[-1]

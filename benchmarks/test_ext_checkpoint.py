@@ -1,0 +1,77 @@
+"""X1 — checkpoint rescheduling under drift (paper Section 6.3).
+
+Plans from a stale snapshot, reshuffles pair bandwidths early in the
+run (log-normal, sigma 1.2), and compares the checkpoint policies the
+paper sketches: none, O(P) (every ~P events), and O(log P) (halving).
+"""
+
+import numpy as np
+
+import repro
+from benchmarks.conftest import run_once
+from repro.adaptive import (
+    EveryKEvents,
+    HalvingCheckpoints,
+    NoCheckpoints,
+    piecewise_cost_provider,
+    run_adaptive,
+)
+from repro.core.openshop import schedule_openshop
+from repro.directory.service import DirectorySnapshot
+from repro.util.tables import format_table
+
+NUM_PROCS = 12
+TRIALS = 8
+
+
+def one_trial(seed: int):
+    rng = np.random.default_rng(seed)
+    latency, bandwidth = repro.random_pairwise_parameters(NUM_PROCS, rng=rng)
+    snapshot = DirectorySnapshot(latency=latency, bandwidth=bandwidth)
+    sizes = repro.MixedSizes().sizes(NUM_PROCS, rng=rng)
+    estimate = repro.TotalExchangeProblem.from_snapshot(snapshot, sizes)
+    drift_at = 0.1 * schedule_openshop(estimate).completion_time
+    moved = repro.perturb_snapshot(snapshot, bandwidth_sigma=1.2, rng=rng)
+    actual = repro.TotalExchangeProblem.from_snapshot(moved, sizes)
+    provider = piecewise_cost_provider(
+        [0.0, drift_at], [estimate.cost, actual.cost]
+    )
+    out = {}
+    for label, policy in (
+        ("none", NoCheckpoints()),
+        ("O(P)", EveryKEvents(NUM_PROCS)),
+        ("O(logP)", HalvingCheckpoints()),
+    ):
+        result = run_adaptive(estimate, provider, policy=policy)
+        out[label] = (result.completion_time, result.reschedules)
+    return out
+
+
+def test_checkpoint_policies(report, benchmark):
+    def run_all():
+        return [one_trial(seed) for seed in range(TRIALS)]
+
+    trials = run_once(benchmark, run_all)
+    labels = ["none", "O(P)", "O(logP)"]
+    rows = []
+    for label in labels:
+        times = [t[label][0] for t in trials]
+        reschedules = [t[label][1] for t in trials]
+        rows.append(
+            [label, float(np.mean(times)), float(np.max(times)),
+             float(np.mean(reschedules))]
+        )
+    report(
+        "ext_checkpoint_policies",
+        format_table(
+            ["policy", "mean completion (s)", "worst (s)",
+             "mean reschedules"],
+            rows,
+            title=f"X1: checkpoint rescheduling under reshuffle "
+                  f"(P={NUM_PROCS}, {TRIALS} trials)",
+        ),
+    )
+    mean = {row[0]: row[1] for row in rows}
+    # adaptivity pays: both checkpointing policies beat the stale plan.
+    assert mean["O(P)"] <= mean["none"]
+    assert mean["O(logP)"] <= mean["none"]

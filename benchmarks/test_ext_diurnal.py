@@ -1,0 +1,91 @@
+"""X7 — scheduling through the day on a load-varying metacomputer.
+
+End-to-end exercise of the topology-backed directory with diurnal
+background load: the same 1 MB total exchange is scheduled at different
+times of day; the adaptive scheduler's completion time follows the load
+curve, and a stale overnight plan replayed at the afternoon peak loses
+to a fresh one.
+"""
+
+import math
+
+import numpy as np
+
+import repro
+from benchmarks.conftest import run_once
+from repro.directory import TopologyDirectory
+from repro.directory.dynamics import DiurnalLoad
+from repro.network.topology import Metacomputer
+from repro.sim.replay import replay_schedule
+from repro.util.tables import format_table
+from repro.util.units import GBIT_PER_S, MBIT_PER_S, seconds_from_ms
+
+DAY = 86_400.0
+
+
+def build_directory() -> TopologyDirectory:
+    system = Metacomputer.build(
+        {"west": 3, "east": 3},
+        access_latency=seconds_from_ms(0.5),
+        access_bandwidth=GBIT_PER_S,
+        backbone=[("west", "east", seconds_from_ms(40), 20 * MBIT_PER_S)],
+    )
+
+    def load_factory(edge):
+        # backbone load peaks mid-day; site access links stay calm
+        if "hub" in edge[0] and "hub" in edge[1]:
+            return DiurnalLoad(mean=2.0, amplitude=1.8, period=DAY,
+                               phase=-math.pi / 2)  # minimum at t=0
+        return DiurnalLoad(mean=0.2, amplitude=0.1, period=DAY,
+                           phase=-math.pi / 2)
+
+    return TopologyDirectory(
+        system, load_factory=load_factory,
+        software_overhead=seconds_from_ms(10),
+    )
+
+
+def test_time_of_day(report, benchmark):
+    def sweep():
+        directory = build_directory()
+        n = directory.num_procs
+        sizes = np.full((n, n), float(repro.MEGABYTE))
+        np.fill_diagonal(sizes, 0.0)
+        rows = []
+        plans = {}
+        for hour in (0, 6, 12, 18):
+            target = hour * 3600.0
+            directory.advance(target - directory.time)
+            problem = repro.TotalExchangeProblem.from_snapshot(
+                directory.snapshot(), sizes
+            )
+            schedule = repro.schedule_openshop(problem)
+            plans[hour] = (schedule, problem)
+            rows.append(
+                [hour, problem.lower_bound(), schedule.completion_time]
+            )
+        # replay the midnight plan at the noon network
+        noon_problem = plans[12][1]
+        stale = replay_schedule(plans[0][0], noon_problem).completion_time
+        fresh = plans[12][0].completion_time
+        return rows, stale, fresh
+
+    rows, stale, fresh = run_once(benchmark, sweep)
+    text = format_table(
+        ["hour", "lower bound (s)", "openshop completion (s)"],
+        rows,
+        precision=1,
+        title="X7: 1 MB total exchange across the diurnal load cycle",
+    )
+    text += (
+        f"\n\nmidnight plan replayed at noon: {stale:.1f}s vs "
+        f"fresh noon plan: {fresh:.1f}s"
+    )
+    report("ext_diurnal", text)
+
+    by_hour = {row[0]: row[2] for row in rows}
+    # noon (peak backbone load) is the slowest time to run the exchange
+    assert by_hour[12] > by_hour[0]
+    assert by_hour[12] > by_hour[18] or by_hour[12] > by_hour[6]
+    # refreshing the plan at noon never loses to the stale midnight plan
+    assert fresh <= stale + 1e-9

@@ -1,0 +1,110 @@
+"""X4 — extended receive models (paper Section 6.1).
+
+Sweeps the interleaved-receive context-switch overhead (alpha) and
+stream count, and the finite-buffer capacity, showing how each
+relaxation moves completion time relative to the base one-receive model.
+"""
+
+import numpy as np
+
+import repro
+from benchmarks.conftest import run_once
+from repro.core.openshop import schedule_openshop
+from repro.model.extended import FiniteBufferModel, InterleavedReceiveModel
+from repro.sim.engine import execute_orders
+from repro.sim.variants import (
+    execute_orders_buffered,
+    execute_orders_interleaved,
+)
+from repro.util.tables import format_table
+from tests.conftest import random_problem
+
+NUM_PROCS = 10
+
+
+def make_problem(seed=0):
+    problem = random_problem(NUM_PROCS, seed=seed, low=0.2, high=8.0)
+    # attach sizes proportional to costs (1 cost-second ~ 1 MB)
+    sizes = problem.cost * 1e6
+    return repro.TotalExchangeProblem(cost=problem.cost, sizes=sizes)
+
+
+def planned_orders(problem):
+    return schedule_openshop(problem).send_orders()
+
+
+def test_interleaved_alpha_sweep(report, benchmark):
+    problem = make_problem()
+    orders = planned_orders(problem)
+    base = execute_orders(problem, orders, validate=False).completion_time
+
+    def sweep():
+        rows = []
+        for alpha in (0.0, 0.1, 0.3, 0.6):
+            for streams in (1, 2, 4):
+                model = InterleavedReceiveModel(
+                    alpha=alpha, max_streams=streams
+                )
+                t = execute_orders_interleaved(
+                    problem, orders, model
+                ).completion_time
+                rows.append([alpha, streams, t, t / base])
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    report(
+        "ext_model_interleaved",
+        format_table(
+            ["alpha", "streams", "completion (s)", "vs base model"],
+            rows,
+            title=f"X4a: interleaved receives (P={NUM_PROCS}; base model "
+                  f"= {base:.2f}s)",
+        ),
+    )
+    by_key = {(r[0], r[1]): r[2] for r in rows}
+    # one stream reproduces the base model regardless of alpha
+    assert by_key[(0.0, 1)] == base
+    # more overhead never helps at a fixed stream count
+    assert by_key[(0.0, 2)] <= by_key[(0.3, 2)] + 1e-9
+    assert by_key[(0.3, 2)] <= by_key[(0.6, 2)] + 1e-9
+    # interleaving is processor sharing: it admits messages earlier but
+    # serves each slower, so it may help or hurt the makespan — it stays
+    # within the (1 + alpha) inflation of the base model's span.
+    for (alpha, _streams), t in by_key.items():
+        assert t <= (1.0 + alpha) * 2.0 * base
+
+
+def test_buffer_capacity_sweep(report, benchmark):
+    problem = make_problem(seed=1)
+    orders = planned_orders(problem)
+    base = execute_orders(problem, orders, validate=False).completion_time
+    max_message = float(problem.sizes.max())
+
+    def sweep():
+        rows = []
+        for capacity_factor in (1.0, 2.0, 8.0, 64.0):
+            model = FiniteBufferModel(
+                capacity_bytes=capacity_factor * max_message,
+                drain_rate=1e9,
+            )
+            t = execute_orders_buffered(
+                problem, orders, model
+            ).completion_time
+            rows.append([capacity_factor, t, t / base])
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    report(
+        "ext_model_buffered",
+        format_table(
+            ["capacity / max message", "completion (s)", "vs base model"],
+            rows,
+            title=f"X4b: finite receive buffers (P={NUM_PROCS}; base model "
+                  f"= {base:.2f}s)",
+        ),
+    )
+    times = [r[1] for r in rows]
+    # more buffer can only help (fewer blocked deposits)
+    assert all(b <= a + 1e-6 for a, b in zip(times, times[1:]))
+    # with ample buffer the send side dominates: faster than base model
+    assert times[-1] <= base + 1e-9

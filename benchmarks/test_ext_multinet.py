@@ -1,0 +1,122 @@
+"""E4 — multiple heterogeneous networks (paper Section 2, refs [14, 15]).
+
+Kim & Lilja's point-to-point techniques, reproduced: the PBPS crossover
+between an Ethernet-class and an ATM-class network, aggregation's
+speedup over the best single network, and a total exchange scheduled on
+the effective multi-network cluster.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from benchmarks.conftest import run_once
+from repro.network.multinet import (
+    Channel,
+    MultiNetwork,
+    aggregate_time,
+    pbps_crossover,
+    pbps_time,
+)
+from repro.util.tables import format_table
+
+ETHERNET = Channel("ethernet", latency=0.001, bandwidth=1.25e6)
+ATM = Channel("atm", latency=0.010, bandwidth=1.9e7)
+SIZES = (1e3, 1e4, 1e5, 1e6, 1e7)
+
+
+def test_point_to_point_techniques(report, benchmark):
+    def sweep():
+        rows = []
+        for size in SIZES:
+            eth = ETHERNET.transfer_time(size)
+            atm = ATM.transfer_time(size)
+            rows.append(
+                [
+                    f"{size:g}",
+                    eth,
+                    atm,
+                    pbps_time([ETHERNET, ATM], size),
+                    aggregate_time([ETHERNET, ATM], size),
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    crossover = pbps_crossover(ETHERNET, ATM)
+    text = format_table(
+        ["message bytes", "ethernet (s)", "ATM (s)", "PBPS (s)",
+         "aggregation (s)"],
+        rows,
+        precision=4,
+        title="E4: point-to-point over two networks "
+              f"(PBPS crossover at {crossover:,.0f} bytes)",
+    )
+    report("ext_multinet_point_to_point", text)
+
+    for _, eth, atm, pbps, agg in rows:
+        assert pbps == min(eth, atm)
+        assert agg <= pbps + 1e-12
+    # the crossover lies inside the swept range
+    assert SIZES[0] < crossover < SIZES[-1]
+
+
+def test_collective_on_multinetwork(report, benchmark):
+    def sweep():
+        n = 8
+        net = MultiNetwork(n)
+        for i in range(n):
+            for j in range(i + 1, n):
+                net.add_channel(i, j, ETHERNET)
+                net.add_channel(i, j, ATM)
+        rows = []
+        for size, label in ((1e3, "1 kB"), (1e6, "1 MB")):
+            times = {}
+            for technique in ("pbps", "aggregate"):
+                snap = net.effective_snapshot(size, technique=technique)
+                problem = repro.TotalExchangeProblem.from_snapshot(
+                    snap, repro.UniformSizes(size)
+                )
+                times[technique] = repro.schedule_openshop(
+                    problem
+                ).completion_time
+            # single-network references
+            for channel in (ETHERNET, ATM):
+                latency = np.full((n, n), channel.latency)
+                np.fill_diagonal(latency, 0.0)
+                bandwidth = np.full((n, n), channel.bandwidth)
+                np.fill_diagonal(bandwidth, np.inf)
+                from repro.directory.service import DirectorySnapshot
+
+                snap = DirectorySnapshot(latency=latency, bandwidth=bandwidth)
+                problem = repro.TotalExchangeProblem.from_snapshot(
+                    snap, repro.UniformSizes(size)
+                )
+                times[channel.name] = repro.schedule_openshop(
+                    problem
+                ).completion_time
+            rows.append(
+                [label, times["ethernet"], times["atm"], times["pbps"],
+                 times["aggregate"]]
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    report(
+        "ext_multinet_collective",
+        format_table(
+            ["message size", "ethernet only (s)", "ATM only (s)",
+             "PBPS (s)", "aggregation (s)"],
+            rows,
+            precision=3,
+            title="E4b: 8-node total exchange on a dual-network cluster "
+                  "(open shop scheduling)",
+        ),
+    )
+    for _, eth, atm, pbps, agg in rows:
+        # exploiting both networks never loses to the best single one
+        assert pbps <= min(eth, atm) + 1e-9
+        assert agg <= pbps + 1e-9
+    # small messages ride the Ethernet, large ones the ATM: PBPS tracks
+    # whichever is better at each size
+    assert rows[0][3] == pytest.approx(rows[0][1], rel=1e-6)  # 1 kB ~ ethernet

@@ -1,0 +1,52 @@
+"""E6 — does computing the schedule pay for itself? (Section 6.2 motivation).
+
+Wall-clock scheduling cost (this machine) vs simulated communication
+savings over the baseline, across system sizes and message sizes.  The
+paper's worry — repeated run-time scheduling being expensive — only
+materialises for tiny messages; everywhere else the savings dwarf the
+milliseconds of computation.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.overhead import run_overhead_analysis
+from repro.util.tables import format_table
+
+
+def test_scheduling_overhead_breakeven(report, benchmark):
+    points = run_once(
+        benchmark,
+        run_overhead_analysis,
+        proc_counts=(10, 30, 50),
+        message_sizes=(1e3, 1e5, 1e6),
+        trials=2,
+    )
+    rows = [
+        [
+            p.num_procs,
+            f"{p.message_bytes:g}",
+            p.scheduling_seconds * 1e3,
+            p.savings,
+            "yes" if p.pays_off else "no",
+        ]
+        for p in points
+    ]
+    report(
+        "ext_overhead_breakeven",
+        format_table(
+            ["P", "message bytes", "scheduling cost (ms)",
+             "comm saved vs baseline (s)", "pays off"],
+            rows,
+            precision=2,
+            title="E6: scheduling cost vs communication savings (openshop)",
+        ),
+    )
+    by_cell = {(p.num_procs, p.message_bytes): p for p in points}
+    # headline: for 1 MB messages adaptivity pays at every scale
+    for num_procs in (10, 30, 50):
+        assert by_cell[(num_procs, 1e6)].pays_off
+    # scheduling cost stays in milliseconds even at P=50
+    assert by_cell[(50, 1e6)].scheduling_seconds < 0.5
+    # savings grow with P for bandwidth-bound traffic
+    assert (
+        by_cell[(50, 1e6)].savings > by_cell[(10, 1e6)].savings
+    )

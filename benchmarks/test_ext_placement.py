@@ -1,0 +1,88 @@
+"""E5 — rank placement on a clustered metacomputer.
+
+Adapting the communication *order* (the paper) composes with adapting
+the *mapping* (MSHN's theme): on two fast sites joined by a slow
+backbone, co-locating heavily-communicating ranks dwarfs what any
+schedule reordering can recover.  Measured on a pairwise-heavy workload
+and on the FFT butterfly (the caterpillar's home application).
+"""
+
+import numpy as np
+
+import repro
+from benchmarks.conftest import run_once
+from repro.directory import TopologyDirectory
+from repro.network.topology import Metacomputer
+from repro.placement import greedy_swap_placement, random_search_placement
+from repro.util.tables import format_table
+from repro.util.units import GBIT_PER_S, MBIT_PER_S, seconds_from_ms
+from repro.workloads.fft import butterfly_sizes, butterfly_time
+
+
+def clustered_snapshot(nodes_per_site=4):
+    system = Metacomputer.build(
+        {"a": nodes_per_site, "b": nodes_per_site},
+        access_latency=seconds_from_ms(0.2),
+        access_bandwidth=GBIT_PER_S,
+        backbone=[("a", "b", seconds_from_ms(40), 5 * MBIT_PER_S)],
+    )
+    return TopologyDirectory(system).snapshot()
+
+
+def pair_heavy_sizes(n):
+    sizes = np.zeros((n, n))
+    half = n // 2
+    for i in range(half):
+        sizes[i, i + half] = 5e6
+        sizes[i + half, i] = 5e6
+    return sizes
+
+
+def test_placement_optimisation(report, benchmark):
+    def sweep():
+        snap = clustered_snapshot(4)
+        rows = []
+
+        sizes = pair_heavy_sizes(8)
+        greedy = greedy_swap_placement(snap, sizes)
+        random = random_search_placement(snap, sizes, trials=50, rng=0)
+        rows.append(
+            ["pairwise-heavy", greedy.identity_score, random.score,
+             greedy.score]
+        )
+
+        bfly = butterfly_sizes(8, 1e6)
+        greedy_b = greedy_swap_placement(snap, bfly)
+        random_b = random_search_placement(snap, bfly, trials=50, rng=0)
+        identity_time = butterfly_time(snap, 1e6, list(range(8)))
+        optimised_time = butterfly_time(
+            snap, 1e6, list(greedy_b.placement)
+        )
+        rows.append(
+            ["butterfly (LB objective)", greedy_b.identity_score,
+             random_b.score, greedy_b.score]
+        )
+        return rows, identity_time, optimised_time
+
+    rows, identity_time, optimised_time = run_once(benchmark, sweep)
+    text = format_table(
+        ["workload", "identity", "random search (50)", "greedy swap"],
+        rows,
+        precision=3,
+        title="E5: placement objective (busiest-port seconds) on a "
+              "2-site metacomputer",
+    )
+    text += (
+        f"\n\nbutterfly stage-wise time: identity {identity_time:.2f}s, "
+        f"greedy placement {optimised_time:.2f}s"
+    )
+    report("ext_placement", text)
+
+    # co-locating the heavy pairs erases the backbone from the bound
+    assert rows[0][3] < 0.05 * rows[0][1]
+    # local search at least matches 50 random draws on both workloads
+    assert rows[0][3] <= rows[0][2] + 1e-9
+    assert rows[1][3] <= rows[1][2] + 1e-9
+    # the butterfly cannot dodge the backbone entirely, but placement
+    # must never make it worse
+    assert optimised_time <= identity_time * 1.05

@@ -1,0 +1,126 @@
+"""X3 — QoS-constrained scheduling (paper Section 6.4).
+
+Deadline-tagged total exchange: the QoS-blind open shop scheduler vs the
+EDF and priority variants; plus the critical-resource scheduler's effect
+on the critical processor's finish time.
+"""
+
+import numpy as np
+
+import repro
+from benchmarks.conftest import run_once
+from repro.core.openshop import schedule_openshop
+from repro.qos import (
+    QoSMessage,
+    QoSProblem,
+    critical_finish_time,
+    evaluate_qos,
+    schedule_critical_first,
+    schedule_edf,
+    schedule_llf,
+    schedule_priority,
+)
+from repro.util.tables import format_table
+from tests.conftest import random_problem
+
+NUM_PROCS = 12
+TRIALS = 8
+
+
+def tag_messages(base, rng):
+    lb = base.lower_bound()
+    messages = []
+    for src, dst in base.positive_events():
+        if rng.random() < 1 / 3:
+            messages.append(
+                QoSMessage(src=src, dst=dst, deadline=0.5 * lb, priority=10.0)
+            )
+        else:
+            messages.append(
+                QoSMessage(src=src, dst=dst, deadline=1.4 * lb, priority=1.0)
+            )
+    return QoSProblem(base=base, messages=tuple(messages))
+
+
+def one_trial(seed: int):
+    base = random_problem(NUM_PROCS, seed=seed, low=0.2, high=10.0)
+    rng = np.random.default_rng(seed)
+    problem = tag_messages(base, rng)
+    out = {}
+    for label, schedule in (
+        ("blind", schedule_openshop(base)),
+        ("EDF", schedule_edf(problem)),
+        ("priority", schedule_priority(problem)),
+        ("LLF", schedule_llf(problem)),
+    ):
+        r = evaluate_qos(problem, schedule)
+        out[label] = (r.miss_rate, r.weighted_tardiness, r.completion_time)
+    return out
+
+
+def test_qos_deadlines(report, benchmark):
+    def run_all():
+        return [one_trial(seed) for seed in range(TRIALS)]
+
+    trials = run_once(benchmark, run_all)
+    rows = []
+    for label in ("blind", "EDF", "priority", "LLF"):
+        rows.append(
+            [
+                label,
+                float(np.mean([t[label][0] for t in trials])) * 100,
+                float(np.mean([t[label][1] for t in trials])),
+                float(np.mean([t[label][2] for t in trials])),
+            ]
+        )
+    report(
+        "ext_qos_deadlines",
+        format_table(
+            ["scheduler", "miss rate (%)", "weighted tardiness",
+             "makespan (s)"],
+            rows,
+            title=f"X3: tiered deadlines (1/3 urgent), P={NUM_PROCS}, "
+                  f"{TRIALS} trials",
+        ),
+    )
+    miss = {row[0]: row[1] for row in rows}
+    makespan = {row[0]: row[3] for row in rows}
+    assert miss["EDF"] <= miss["blind"]
+    assert miss["priority"] <= miss["blind"]
+    # QoS awareness costs little makespan (still within Theorem 3)
+    assert makespan["EDF"] <= 1.2 * makespan["blind"]
+    # the documented non-preemptive LLF caveat: EDF dominates it here
+    assert miss["EDF"] <= miss["LLF"]
+
+
+def test_critical_resource(report, benchmark):
+    rows = []
+    for seed in range(TRIALS):
+        problem = random_problem(NUM_PROCS, seed=seed, low=0.2, high=10.0)
+        critical = seed % NUM_PROCS
+        plain = schedule_openshop(problem)
+        favoured = schedule_critical_first(problem, critical)
+        rows.append(
+            [
+                seed,
+                critical_finish_time(plain, critical),
+                critical_finish_time(favoured, critical),
+                plain.completion_time,
+                favoured.completion_time,
+            ]
+        )
+    report(
+        "ext_qos_critical_resource",
+        format_table(
+            ["trial", "critical finish (openshop)",
+             "critical finish (critical-first)", "makespan (openshop)",
+             "makespan (critical-first)"],
+            rows,
+            title="X3b: critical-resource scheduling",
+        ),
+    )
+    for _, plain_cf, fav_cf, _, _ in rows:
+        assert fav_cf <= plain_cf + 1e-9
+
+    problem = random_problem(NUM_PROCS, seed=0)
+    benchmark(schedule_critical_first, problem, 0)

@@ -1,0 +1,104 @@
+"""E3 — the full scheduler zoo on the mixed workload.
+
+Places the paper's five algorithms among the extra comparators (LPT,
+random order, local search, and — at small P — the exact optimum), to
+show where the paper's heuristics sit in the wider design space.
+"""
+
+import numpy as np
+
+import repro
+from benchmarks.conftest import run_once
+from repro.core.exact import branch_and_bound
+from repro.directory.service import DirectorySnapshot
+from repro.util.tables import format_table
+
+ZOO = [
+    "baseline",
+    "baseline_nosync",
+    "greedy",
+    "min_matching",
+    "max_matching",
+    "lpt",
+    "local_search",
+    "openshop",
+    "random_order",
+]
+
+TRIALS = 5
+
+
+def make_problem(num_procs: int, seed: int):
+    rng = np.random.default_rng(seed)
+    latency, bandwidth = repro.random_pairwise_parameters(num_procs, rng=rng)
+    snapshot = DirectorySnapshot(latency=latency, bandwidth=bandwidth)
+    sizes = repro.MixedSizes().sizes(num_procs, rng=rng)
+    return repro.TotalExchangeProblem.from_snapshot(snapshot, sizes)
+
+
+def test_scheduler_zoo(report, benchmark):
+    def sweep():
+        ratios = {name: [] for name in ZOO}
+        for seed in range(TRIALS):
+            problem = make_problem(20, seed)
+            lb = problem.lower_bound()
+            for name in ZOO:
+                t = repro.get_scheduler(name)(problem).completion_time
+                ratios[name].append(t / lb)
+        return {name: float(np.mean(v)) for name, v in ratios.items()}
+
+    means = run_once(benchmark, sweep)
+    rows = sorted(
+        ([name, ratio] for name, ratio in means.items()),
+        key=lambda row: row[1],
+    )
+    report(
+        "ext_scheduler_zoo",
+        format_table(
+            ["scheduler", "mean ratio to LB"],
+            rows,
+            title=f"E3: scheduler zoo, mixed workload, P=20, "
+                  f"{TRIALS} instances",
+        ),
+    )
+    # the paper's best stays best-in-class among the cheap heuristics
+    assert means["openshop"] <= means["lpt"] + 0.03
+    assert means["openshop"] <= means["random_order"]
+    # local search only ever tightens the openshop seed
+    assert means["local_search"] <= means["openshop"] + 1e-9
+    # both baselines trail the adaptive algorithms
+    assert means["baseline"] >= means["max_matching"]
+
+
+def test_optimal_gap_small_instances(report, benchmark):
+    def sweep():
+        rows = []
+        for seed in range(4):
+            problem = make_problem(4, seed + 50)
+            optimal = branch_and_bound(problem).completion_time
+            rows.append(
+                [
+                    seed,
+                    problem.lower_bound(),
+                    optimal,
+                    repro.schedule_openshop(problem).completion_time,
+                    repro.schedule_matching_max(problem).completion_time,
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    report(
+        "ext_optimal_gap",
+        format_table(
+            ["instance", "lower bound", "optimal", "openshop",
+             "max matching"],
+            rows,
+            precision=4,
+            title="E3b: exact optimum vs heuristics (P=4, mixed workload)",
+        ),
+    )
+    for _, lb, optimal, openshop, matching in rows:
+        assert lb - 1e-9 <= optimal <= openshop + 1e-9
+        assert optimal <= matching + 1e-9
+        assert openshop <= 2 * optimal + 1e-9

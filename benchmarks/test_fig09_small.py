@@ -1,0 +1,16 @@
+"""F9 — all-to-all with small (1 kB) messages (paper Figure 9).
+
+Completion time vs processor count (P up to 50) for the five scheduling
+algorithms, on GUSTO-guided random networks with 1 kB messages.
+"""
+
+from benchmarks.figure_common import check_shape, run_figure
+from repro.experiments.figures import figure09_small_messages
+
+
+def test_figure_09(report, benchmark):
+    result = run_figure(report, benchmark, "fig09_small", figure09_small_messages)
+    check_shape(result)
+    # 1 kB messages are start-up dominated: even at P=50 the exchange
+    # completes within tens of seconds of simulated time.
+    assert result.completion["openshop"][-1] < 60.0

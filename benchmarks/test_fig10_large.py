@@ -1,0 +1,19 @@
+"""F10 — all-to-all with large (1 MB) messages (paper Figure 10)."""
+
+from benchmarks.figure_common import check_shape, run_figure
+from repro.experiments.figures import (
+    figure09_small_messages,
+    figure10_large_messages,
+)
+
+
+def test_figure_10(report, benchmark):
+    result = run_figure(report, benchmark, "fig10_large", figure10_large_messages)
+    check_shape(result)
+    # bandwidth-dominated: at least an order of magnitude slower than
+    # the small-message exchange at the same scale.
+    small = figure09_small_messages(proc_counts=(50,), trials=3, seed=0)
+    assert (
+        result.completion["openshop"][-1]
+        > 10 * small.completion["openshop"][0]
+    )

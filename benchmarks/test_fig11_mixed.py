@@ -1,0 +1,17 @@
+"""F11 — all-to-all with a random 1 kB / 1 MB mix (paper Figure 11).
+
+The workload with the strongest event-length heterogeneity — the one
+where the paper's baseline degrades the furthest ("sometimes up to 6
+times longer than the lower bound").
+"""
+
+from benchmarks.figure_common import check_shape, run_figure
+from repro.experiments.figures import figure11_mixed_messages
+
+
+def test_figure_11(report, benchmark):
+    result = run_figure(report, benchmark, "fig11_mixed", figure11_mixed_messages)
+    check_shape(result)
+    # the mixed workload is where the baseline's fixed schedule hurts
+    # most: multiple-x above the lower bound at scale.
+    assert result.max_ratio("baseline") > 2.0

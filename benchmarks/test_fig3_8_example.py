@@ -1,0 +1,62 @@
+"""F3-F8 — the running example's timing diagrams (paper Figures 3-8).
+
+Regenerates the 5-processor example schedule for every algorithm, prints
+ASCII timing diagrams in the style of the paper's figures, and times
+each scheduler on the example.
+"""
+
+import pytest
+
+import repro
+from repro.timing.diagram import render_timing_diagram
+from repro.util.tables import format_table
+
+FIGURES = {
+    "baseline": "Figure 4 (baseline schedule)",
+    "max_matching": "Figure 6 (series of maximum matchings)",
+    "greedy": "Figure 7 (greedy schedule)",
+    "openshop": "Figure 8 (open shop schedule)",
+}
+
+
+def test_example_diagrams(report, benchmark):
+    problem = repro.example_problem()
+    sections = [
+        "Unscheduled events (Figure 3): 5 processors, lower bound = "
+        f"{problem.lower_bound():g}"
+    ]
+    rows = []
+    for name in repro.scheduler_names():
+        schedule = repro.get_scheduler(name)(problem)
+        repro.check_schedule(schedule, problem.cost)
+        rows.append([name, schedule.completion_time,
+                     schedule.completion_time / problem.lower_bound()])
+        if name in FIGURES:
+            sections.append(
+                f"\n-- {FIGURES[name]}: completion "
+                f"{schedule.completion_time:g} --\n"
+                + render_timing_diagram(schedule, rows=16)
+            )
+    sections.append(
+        "\n" + format_table(["algorithm", "completion", "ratio"], rows)
+    )
+    report("fig3_8_example", "\n".join(sections))
+
+    # time the diagram renderer itself (the presentation-layer kernel)
+    schedule = repro.schedule_openshop(problem)
+    benchmark(render_timing_diagram, schedule, rows=16)
+
+    times = {r[0]: r[1] for r in rows}
+    # the paper's qualitative ordering on its running example
+    assert times["openshop"] <= times["max_matching"] <= times["baseline"]
+    assert times["openshop"] == pytest.approx(problem.lower_bound())
+
+
+@pytest.mark.parametrize("name", [
+    "baseline", "max_matching", "min_matching", "greedy", "openshop",
+])
+def test_scheduler_on_example(benchmark, name):
+    problem = repro.example_problem()
+    scheduler = repro.get_scheduler(name)
+    schedule = benchmark(scheduler, problem)
+    assert schedule.completion_time >= problem.lower_bound()

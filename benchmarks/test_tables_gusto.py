@@ -1,0 +1,54 @@
+"""T1/T2 — the GUSTO directory tables (paper Tables 1 and 2).
+
+Regenerates the latency/bandwidth tables exactly as the paper prints
+them, and times schedule construction over the real GUSTO data.
+"""
+
+import numpy as np
+
+import repro
+from repro.network.gusto import (
+    GUSTO_BANDWIDTH_KBIT_S,
+    GUSTO_LATENCY_MS,
+    GUSTO_SITES,
+)
+from repro.util.tables import format_table
+
+
+def render_tables() -> str:
+    header = ["", *GUSTO_SITES]
+    lat_rows = [
+        [site, *GUSTO_LATENCY_MS[i].tolist()]
+        for i, site in enumerate(GUSTO_SITES)
+    ]
+    bw_rows = [
+        [site, *GUSTO_BANDWIDTH_KBIT_S[i].tolist()]
+        for i, site in enumerate(GUSTO_SITES)
+    ]
+    return "\n\n".join(
+        [
+            format_table(header, lat_rows, precision=1,
+                         title="Table 1: latency (ms) between 5 GUSTO sites"),
+            format_table(header, bw_rows, precision=0,
+                         title="Table 2: bandwidth (kbit/s) between 5 GUSTO "
+                               "sites"),
+        ]
+    )
+
+
+def test_tables_1_and_2(report, benchmark):
+    report("tables_1_2_gusto", render_tables())
+
+    directory = repro.gusto_directory()
+
+    def schedule_on_gusto():
+        problem = repro.TotalExchangeProblem.from_snapshot(
+            directory.snapshot(), repro.UniformSizes(repro.MEGABYTE)
+        )
+        return repro.schedule_openshop(problem).completion_time
+
+    completion = benchmark(schedule_on_gusto)
+    problem = repro.TotalExchangeProblem.from_snapshot(
+        directory.snapshot(), repro.UniformSizes(repro.MEGABYTE)
+    )
+    assert completion <= 2 * problem.lower_bound()

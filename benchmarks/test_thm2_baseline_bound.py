@@ -1,0 +1,45 @@
+"""Thm2 — the baseline's P/2 x lower-bound ratio is tight (Theorem 2).
+
+Regenerates the theorem's adversarial instance for a range of epsilon
+values and shows the ratio converging to P/2 = 2, plus the general-bound
+check over random instances.
+"""
+
+import numpy as np
+
+import repro
+from repro.core.baseline import schedule_baseline_nosync
+from repro.core.problem import tight_baseline_instance
+from repro.util.tables import format_table
+from tests.conftest import random_problem
+
+
+def test_theorem2_tightness(report, benchmark):
+    rows = []
+    for epsilon in (0.1, 0.01, 0.001, 1e-6):
+        problem = tight_baseline_instance(epsilon)
+        t = schedule_baseline_nosync(problem).completion_time
+        ratio = t / problem.lower_bound()
+        rows.append([epsilon, t, problem.lower_bound(), ratio])
+    text = format_table(
+        ["epsilon", "baseline t_max", "t_lb", "ratio"], rows, precision=6,
+        title="Theorem 2 tight instance (P=4, bound P/2 = 2)",
+    )
+
+    # general bound over random instances: never above P/2.
+    worst = 0.0
+    for seed in range(50):
+        problem = random_problem(8, seed=seed, low=0.01, high=100.0)
+        t = schedule_baseline_nosync(problem).completion_time
+        worst = max(worst, t / problem.lower_bound())
+    text += (
+        f"\n\nworst observed random-instance ratio at P=8: {worst:.3f} "
+        f"(bound: {8 / 2:.1f})"
+    )
+    report("thm2_baseline_bound", text)
+
+    assert rows[-1][3] > 1.999  # converges to 2
+    assert worst <= 4.0
+
+    problem = tight_baseline_instance(1e-6)
+    benchmark(schedule_baseline_nosync, problem)

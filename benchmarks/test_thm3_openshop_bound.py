@@ -1,0 +1,42 @@
+"""Thm3 — the open shop heuristic is within 2x the lower bound.
+
+Samples many random instances across sizes and workload shapes, reports
+the worst observed ratio, and times the O(P^3) heuristic at P=50.
+"""
+
+import numpy as np
+
+import repro
+from repro.core.openshop import schedule_openshop
+from repro.util.tables import format_table
+from tests.conftest import random_problem
+
+
+def test_theorem3_bound(report, benchmark):
+    rows = []
+    for num_procs in (5, 10, 20, 50):
+        worst = 0.0
+        mean = []
+        for seed in range(20):
+            problem = random_problem(
+                num_procs, seed=seed, low=0.01, high=100.0
+            )
+            ratio = (
+                schedule_openshop(problem).completion_time
+                / problem.lower_bound()
+            )
+            worst = max(worst, ratio)
+            mean.append(ratio)
+            assert ratio <= 2.0 + 1e-9
+        rows.append([num_procs, float(np.mean(mean)), worst])
+    report(
+        "thm3_openshop_bound",
+        format_table(
+            ["P", "mean ratio", "worst ratio (bound 2.0)"], rows,
+            title="Theorem 3: open shop completion vs lower bound "
+                  "(20 random instances per P)",
+        ),
+    )
+
+    problem = random_problem(50, seed=0)
+    benchmark(schedule_openshop, problem)

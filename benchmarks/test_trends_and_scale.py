@@ -1,0 +1,81 @@
+"""S5b — figure-shape trends, and scale beyond the paper's range.
+
+Asserts the figures' defining *slopes* (the baseline degrades with P,
+the adaptive algorithms stay flat) and stress-runs the whole pipeline
+at P = 100 — twice the paper's largest system — to show the library's
+headroom.
+"""
+
+import numpy as np
+
+import repro
+from benchmarks.conftest import run_once
+from repro.directory.service import DirectorySnapshot
+from repro.experiments.figures import figure11_mixed_messages
+from repro.experiments.trends import ratio_trends
+from repro.util.tables import format_table
+
+
+def test_ratio_trends(report, benchmark):
+    def sweep():
+        result = figure11_mixed_messages(trials=3, seed=0)
+        return ratio_trends(result)
+
+    trends = run_once(benchmark, sweep)
+    rows = [
+        [t.algorithm, t.slope_per_processor * 1e3, t.ratio_at_min_p,
+         t.ratio_at_max_p]
+        for t in trends.values()
+    ]
+    report(
+        "trends_ratio_vs_p",
+        format_table(
+            ["algorithm", "slope (x1e-3 per processor)", "ratio @ P=5",
+             "ratio @ P=50"],
+            rows,
+            precision=3,
+            title="S5b: ratio-to-LB trend vs system size (mixed workload)",
+        ),
+    )
+    # the figures' defining shape
+    assert trends["baseline"].grows
+    assert trends["openshop"].flat
+    assert trends["max_matching"].flat
+    assert (
+        trends["baseline"].slope_per_processor
+        > 10 * abs(trends["openshop"].slope_per_processor)
+    )
+
+
+def test_scale_p100(report, benchmark):
+    """The pipeline at P=100 — beyond the paper's 50-processor range."""
+
+    def run():
+        rng = np.random.default_rng(0)
+        latency, bandwidth = repro.random_pairwise_parameters(100, rng=rng)
+        snapshot = DirectorySnapshot(latency=latency, bandwidth=bandwidth)
+        problem = repro.TotalExchangeProblem.from_snapshot(
+            snapshot, repro.MixedSizes(), rng=rng
+        )
+        lb = problem.lower_bound()
+        out = {}
+        for name in ("baseline", "max_matching", "openshop"):
+            schedule = repro.get_scheduler(name)(problem)
+            repro.check_schedule(schedule, problem.cost)
+            out[name] = schedule.completion_time / lb
+        return out
+
+    ratios = run_once(benchmark, run)
+    report(
+        "scale_p100",
+        format_table(
+            ["algorithm", "ratio to LB at P=100"],
+            [[name, ratio] for name, ratio in ratios.items()],
+            precision=3,
+            title="S5c: 100-processor mixed-workload exchange "
+                  "(9,900 messages)",
+        ),
+    )
+    assert ratios["openshop"] <= 2.0
+    assert ratios["openshop"] < ratios["baseline"]
+    assert ratios["max_matching"] < ratios["baseline"]

@@ -1,0 +1,97 @@
+"""Network-aware broadcast, scatter, and gather.
+
+The paper's framework generalises beyond total exchange ("our approach
+... can be used for different collective communication patterns").  This
+example applies the same directory + model + scheduling pipeline to the
+single-root collectives:
+
+* broadcast: the homogeneous binomial tree vs the network-aware
+  earliest-completion ("fastest node first") heuristic;
+* scatter: direct root sends vs store-and-forward tree relaying;
+* all-gather: expressed as a total exchange and handed to the paper's
+  own schedulers unchanged.
+
+Run:  python examples/collective_broadcast.py
+"""
+
+import numpy as np
+
+import repro
+from repro.collectives import (
+    allgather_problem,
+    binomial_tree,
+    broadcast_lower_bound,
+    scatter_direct,
+    scatter_via_tree,
+    schedule_broadcast_binomial,
+    schedule_broadcast_fnf,
+)
+from repro.directory.service import DirectorySnapshot
+from repro.model.cost import cost_matrix
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    num_procs = 16
+    rng = np.random.default_rng(11)
+    latency, bandwidth = repro.random_pairwise_parameters(num_procs, rng=rng)
+    snapshot = DirectorySnapshot(latency=latency, bandwidth=bandwidth)
+
+    # --- broadcast: 1 MB from node 0 to everyone ------------------------
+    sizes = np.full((num_procs, num_procs), float(repro.MEGABYTE))
+    np.fill_diagonal(sizes, 0.0)
+    cost = cost_matrix(snapshot, sizes)
+    binomial = schedule_broadcast_binomial(cost)
+    fnf = schedule_broadcast_fnf(cost)
+    lb = broadcast_lower_bound(cost)
+    print(f"broadcast of 1 MB over {num_procs} heterogeneous nodes "
+          f"(lower bound {lb:.1f}s):")
+    print(format_table(
+        ["algorithm", "completion (s)", "ratio to LB"],
+        [
+            ["binomial tree (homogeneous baseline)",
+             binomial.completion_time, binomial.completion_time / lb],
+            ["fastest-node-first (network-aware)",
+             fnf.completion_time, fnf.completion_time / lb],
+        ],
+        precision=2,
+    ))
+    print(f"network awareness buys "
+          f"{binomial.completion_time / fnf.completion_time:.1f}x here — "
+          "the binomial tree keeps routing through slow links.\n")
+
+    # --- scatter: distinct 1 MB blocks from node 0 ----------------------
+    blocks = np.full(num_procs, float(repro.MEGABYTE))
+    blocks[0] = 0.0
+    direct = scatter_direct(snapshot, blocks)
+    tree = scatter_via_tree(snapshot, blocks, binomial_tree(num_procs))
+    print("scatter of per-node 1 MB blocks from node 0:")
+    print(format_table(
+        ["strategy", "completion (s)"],
+        [
+            ["direct (root sends everything)", direct.completion_time],
+            ["binomial tree (store-and-forward bundles)",
+             tree.completion_time],
+        ],
+        precision=2,
+    ))
+    better = "tree" if tree.completion_time < direct.completion_time else "direct"
+    print(f"{better} scatter wins here: bundling parallelises the fan-out "
+          "but pushes every byte through the relay twice — which side wins "
+          "depends on whether the root's own paths are the bottleneck.\n")
+
+    # --- all-gather via the paper's own schedulers -----------------------
+    problem = allgather_problem(snapshot, 200 * repro.KILOBYTE)
+    rows = []
+    for name in ("baseline", "max_matching", "openshop"):
+        schedule = repro.get_scheduler(name)(problem)
+        rows.append([name, schedule.completion_time,
+                     schedule.completion_time / problem.lower_bound()])
+    print(f"all-gather (200 kB blocks) as a total exchange "
+          f"(lower bound {problem.lower_bound():.1f}s):")
+    print(format_table(["algorithm", "completion (s)", "ratio"], rows,
+                       precision=2))
+
+
+if __name__ == "__main__":
+    main()

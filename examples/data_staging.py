@@ -1,0 +1,95 @@
+"""BADD-style data staging with deadlines and priorities.
+
+The paper's Section 6.4 motivates communication scheduling with QoS
+constraints via DARPA's BADD program: battlefield data items must reach
+requesters over a shared heterogeneous network by real-time deadlines.
+This example builds a three-site theatre network, replicates imagery
+across two repositories, and stages a mixed request load with the
+multiple-source shortest-path heuristic (after the paper's ref. [24]).
+
+Run:  python examples/data_staging.py
+"""
+
+import numpy as np
+
+from repro.network.topology import Metacomputer
+from repro.staging import (
+    DataItem,
+    DataRequest,
+    evaluate_plan,
+    schedule_staging,
+)
+from repro.util.tables import format_table
+from repro.util.units import MBIT_PER_S, MEGABYTE, seconds_from_ms
+
+
+def build_theatre() -> Metacomputer:
+    """Rear repository, forward base, and field site (Figure 1 style)."""
+    return Metacomputer.build(
+        {"rear": 2, "base": 2, "field": 3},
+        access_latency=seconds_from_ms(1),
+        access_bandwidth=100 * MBIT_PER_S,
+        backbone=[
+            ("rear", "base", seconds_from_ms(30), 8 * MBIT_PER_S),
+            ("base", "field", seconds_of := seconds_from_ms(40), 1 * MBIT_PER_S),
+        ],
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+    system = build_theatre()
+    # nodes: 0-1 rear repositories, 2-3 forward base, 4-6 field units
+    items = [
+        DataItem("terrain-map", 4 * MEGABYTE, sources=(0, 2)),
+        DataItem("sat-image", 12 * MEGABYTE, sources=(0, 1)),
+        DataItem("intel-brief", 0.2 * MEGABYTE, sources=(1,)),
+        DataItem("weather", 0.5 * MEGABYTE, sources=(0, 1, 2)),
+    ]
+    requests = []
+    for unit in (4, 5, 6):
+        requests.append(
+            DataRequest(items[2], unit, deadline=15.0, priority=10.0)
+        )
+        requests.append(
+            DataRequest(items[0], unit, deadline=120.0, priority=3.0)
+        )
+        requests.append(
+            DataRequest(items[1], unit, deadline=400.0, priority=1.0)
+        )
+    requests.append(DataRequest(items[3], 3, deadline=30.0, priority=5.0))
+
+    plan = schedule_staging(system, requests)
+    metrics = evaluate_plan(plan)
+
+    rows = [
+        [
+            t.request.item.name,
+            f"P{t.source}",
+            f"P{t.request.destination}",
+            t.finish,
+            t.request.deadline,
+            "yes" if t.on_time else f"late {t.tardiness:.0f}s",
+        ]
+        for t in sorted(plan.transfers, key=lambda t: t.finish)
+    ]
+    print(format_table(
+        ["item", "from", "to", "arrives (s)", "deadline (s)", "on time"],
+        rows, precision=1,
+        title=f"staging plan for {len(requests)} requests",
+    ))
+    print(
+        f"\n{metrics.on_time}/{metrics.total_requests} on time "
+        f"({metrics.on_time_rate * 100:.0f}%), weighted satisfaction "
+        f"{metrics.weighted_satisfaction * 100:.0f}%, makespan "
+        f"{metrics.completion_time:.0f}s"
+    )
+    print(
+        "High-priority briefs cut ahead of bulk imagery on the shared "
+        "1 Mbit/s base-field link; replicated items are pulled from the "
+        "nearest source."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""QoS-constrained scheduling (paper Section 6.4, BADD-style staging).
+
+Battlefield-awareness data staging attaches deadlines and priorities to
+every message.  This example tags a heterogeneous total exchange with
+tiered deadlines (urgent intelligence updates vs. bulk imagery), then
+compares the plain open shop scheduler against its deadline-aware (EDF)
+and priority-aware variants.
+
+Run:  python examples/qos_deadlines.py
+"""
+
+import numpy as np
+
+import repro
+from repro.directory.service import DirectorySnapshot
+from repro.qos import (
+    QoSMessage,
+    QoSProblem,
+    evaluate_qos,
+    schedule_edf,
+    schedule_priority,
+)
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    num_procs = 12
+    rng = np.random.default_rng(42)
+    latency, bandwidth = repro.random_pairwise_parameters(num_procs, rng=rng)
+    snapshot = DirectorySnapshot(latency=latency, bandwidth=bandwidth)
+    sizes = repro.MixedSizes().sizes(num_procs, rng=rng)
+    base = repro.TotalExchangeProblem.from_snapshot(snapshot, sizes)
+    lb = base.lower_bound()
+
+    # A third of the messages are urgent (tight deadline, high priority);
+    # the rest are bulk transfers with loose deadlines.
+    messages = []
+    for src, dst in base.positive_events():
+        if rng.random() < 1 / 3:
+            messages.append(
+                QoSMessage(src=src, dst=dst, deadline=0.5 * lb, priority=10.0)
+            )
+        else:
+            messages.append(
+                QoSMessage(src=src, dst=dst, deadline=1.4 * lb, priority=1.0)
+            )
+    problem = QoSProblem(base=base, messages=tuple(messages))
+    urgent = sum(1 for m in messages if m.priority == 10.0)
+    print(f"{num_procs} processors, {len(messages)} messages "
+          f"({urgent} urgent); lower bound = {lb:.1f}s")
+    print()
+
+    schedules = {
+        "openshop (QoS-blind)": repro.schedule_openshop(base),
+        "EDF": schedule_edf(problem),
+        "priority": schedule_priority(problem),
+    }
+    rows = []
+    for label, schedule in schedules.items():
+        repro.check_schedule(schedule, base.cost)
+        report = evaluate_qos(problem, schedule)
+        rows.append(
+            [
+                label,
+                schedule.completion_time,
+                report.missed,
+                f"{report.miss_rate * 100:.0f}%",
+                report.weighted_tardiness,
+            ]
+        )
+    print(format_table(
+        ["scheduler", "makespan (s)", "missed", "miss rate",
+         "weighted tardiness"],
+        rows, precision=1,
+    ))
+    print(
+        "\nEDF and the priority scheduler trade a slightly longer makespan "
+        "for far fewer missed deadlines on the urgent tier."
+    )
+
+
+if __name__ == "__main__":
+    main()

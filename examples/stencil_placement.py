@@ -1,0 +1,77 @@
+"""Placing a PDE solver's process grid on a clustered metacomputer.
+
+A 2-D stencil solver exchanges halos with grid neighbours every step —
+sparse, local traffic whose cost depends entirely on *where* each rank
+runs.  This example scatters a 2x4 process grid across two sites joined
+by a slow backbone (the adversarial mapping a naive launcher produces),
+then lets the placement optimiser heal it, and prices the difference in
+per-step halo-exchange time with the open shop scheduler.
+
+Run:  python examples/stencil_placement.py
+"""
+
+import numpy as np
+
+import repro
+from repro.analysis import explain_schedule
+from repro.directory import TopologyDirectory
+from repro.network.topology import Metacomputer
+from repro.placement import evaluate_placement, greedy_swap_placement
+from repro.placement.optimize import apply_placement
+from repro.util.tables import format_table
+from repro.util.units import GBIT_PER_S, MBIT_PER_S, seconds_from_ms
+from repro.workloads import stencil_sizes
+
+
+def main() -> None:
+    system = Metacomputer.build(
+        {"west": 4, "east": 4},
+        access_latency=seconds_from_ms(0.2),
+        access_bandwidth=GBIT_PER_S,
+        backbone=[("west", "east", seconds_from_ms(30), 5 * MBIT_PER_S)],
+    )
+    snapshot = TopologyDirectory(system).snapshot()
+    sizes = stencil_sizes((2, 4), halo_bytes=2e6)
+    print("2x4 stencil grid, 2 MB halos, two sites over a 5 Mbit/s "
+          "backbone\n")
+
+    placements = {
+        "row-major (rows split across sites)": [0, 1, 2, 3, 4, 5, 6, 7],
+        "interleaved (worst case)": [0, 4, 1, 5, 2, 6, 3, 7],
+    }
+    healed = greedy_swap_placement(
+        snapshot, sizes, start=placements["interleaved (worst case)"]
+    )
+    placements["optimised (greedy swaps)"] = list(healed.placement)
+
+    rows = []
+    for label, placement in placements.items():
+        problem = repro.TotalExchangeProblem.from_snapshot(
+            snapshot, apply_placement(sizes, placement)
+        )
+        schedule = repro.schedule_openshop(problem)
+        rows.append(
+            [label, problem.lower_bound(), schedule.completion_time]
+        )
+    print(format_table(
+        ["placement", "busiest-port bound (s)", "halo step (s)"],
+        rows, precision=3,
+    ))
+
+    best = repro.TotalExchangeProblem.from_snapshot(
+        snapshot, apply_placement(sizes, placements["optimised (greedy swaps)"])
+    )
+    print("\ndiagnosis of the optimised placement:")
+    print(explain_schedule(best, repro.schedule_openshop(best)).summary())
+    interleaved_score = evaluate_placement(
+        snapshot, sizes, placements["interleaved (worst case)"]
+    )
+    gain = 1.0 - healed.score / interleaved_score
+    print(
+        f"\n({healed.evaluations} placement evaluations; the optimiser "
+        f"recovered {gain * 100:.0f}% of the interleaved mapping's cost)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Shim for legacy editable installs (`pip install -e . --no-use-pep517`).
+
+The execution environment has no `wheel` package and no network, so the
+PEP-517 editable path (which builds a wheel) is unavailable; this shim
+lets setuptools' classic `develop` command handle `pip install -e .`.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,134 @@
+"""repro — adaptive communication scheduling for heterogeneous systems.
+
+A from-scratch reproduction of Bhat, Prasanna & Raghavendra, *Adaptive
+Communication Algorithms for Distributed Heterogeneous Systems* (HPDC
+1998): network-aware run-time scheduling of collective communication —
+specifically total exchange (all-to-all personalized communication) —
+over heterogeneous metacomputing networks.
+
+Quickstart
+----------
+>>> import repro
+>>> directory = repro.gusto_directory()          # paper Tables 1-2
+>>> problem = repro.TotalExchangeProblem.from_snapshot(
+...     directory.snapshot(), repro.UniformSizes(repro.MEGABYTE))
+>>> schedule = repro.schedule_openshop(problem)
+>>> schedule.completion_time <= 2 * problem.lower_bound()   # Theorem 3
+True
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.core import (
+    ALL_SCHEDULERS,
+    TotalExchangeProblem,
+    baseline_orders,
+    branch_and_bound,
+    example_problem,
+    get_scheduler,
+    greedy_orders,
+    matching_orders,
+    schedule_baseline,
+    schedule_greedy,
+    schedule_matching_max,
+    schedule_matching_min,
+    schedule_openshop,
+    schedule_optimal,
+    scheduler_names,
+    tight_baseline_instance,
+)
+from repro.directory import (
+    DirectoryService,
+    DirectorySnapshot,
+    StaticDirectory,
+    TopologyDirectory,
+    gusto_directory,
+    perturb_snapshot,
+)
+from repro.model import (
+    CommunicationModel,
+    FiniteBufferModel,
+    InterleavedReceiveModel,
+    MixedSizes,
+    ServerClientSizes,
+    SizeSpec,
+    UniformSizes,
+    cost_matrix,
+)
+from repro.network import (
+    Metacomputer,
+    gusto_parameters,
+    random_metacomputer,
+    random_pairwise_parameters,
+)
+from repro.sim import (
+    execute_orders,
+    execute_orders_buffered,
+    execute_orders_interleaved,
+    fluid_execute_orders,
+    planned_vs_actual,
+    replay_schedule,
+)
+from repro.timing import (
+    CommEvent,
+    Schedule,
+    ScheduleError,
+    check_schedule,
+    is_valid_schedule,
+    render_timing_diagram,
+)
+from repro.util.units import KILOBYTE, MEGABYTE
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_SCHEDULERS",
+    "CommEvent",
+    "CommunicationModel",
+    "DirectoryService",
+    "DirectorySnapshot",
+    "FiniteBufferModel",
+    "InterleavedReceiveModel",
+    "KILOBYTE",
+    "MEGABYTE",
+    "Metacomputer",
+    "MixedSizes",
+    "Schedule",
+    "ScheduleError",
+    "ServerClientSizes",
+    "SizeSpec",
+    "StaticDirectory",
+    "TopologyDirectory",
+    "TotalExchangeProblem",
+    "UniformSizes",
+    "baseline_orders",
+    "branch_and_bound",
+    "check_schedule",
+    "cost_matrix",
+    "example_problem",
+    "execute_orders",
+    "execute_orders_buffered",
+    "execute_orders_interleaved",
+    "fluid_execute_orders",
+    "get_scheduler",
+    "greedy_orders",
+    "gusto_directory",
+    "gusto_parameters",
+    "is_valid_schedule",
+    "matching_orders",
+    "perturb_snapshot",
+    "planned_vs_actual",
+    "random_metacomputer",
+    "random_pairwise_parameters",
+    "render_timing_diagram",
+    "replay_schedule",
+    "schedule_baseline",
+    "schedule_greedy",
+    "schedule_matching_max",
+    "schedule_matching_min",
+    "schedule_openshop",
+    "schedule_optimal",
+    "scheduler_names",
+    "tight_baseline_instance",
+]

@@ -1,0 +1,37 @@
+"""Adaptivity extensions (paper Sections 6.2 and 6.3).
+
+The paper's schedules are computed once, at communication start, from a
+directory snapshot.  Two sketched extensions are implemented here:
+
+* :mod:`repro.adaptive.checkpoint` — mid-communication rescheduling: an
+  initial schedule built from estimates is revisited at checkpoints
+  (after each step's worth of events, or after half the remaining events)
+  and the unstarted remainder is rescheduled against current conditions;
+* :mod:`repro.adaptive.incremental` — refining an existing schedule after
+  a small set of bandwidth changes, cheaper than scheduling from scratch.
+"""
+
+from repro.adaptive.checkpoint import (
+    AdaptiveResult,
+    CheckpointPolicy,
+    EveryKEvents,
+    HalvingCheckpoints,
+    NoCheckpoints,
+    PiecewiseCosts,
+    piecewise_cost_provider,
+    run_adaptive,
+)
+from repro.adaptive.incremental import RefineResult, refine_orders
+
+__all__ = [
+    "AdaptiveResult",
+    "CheckpointPolicy",
+    "EveryKEvents",
+    "HalvingCheckpoints",
+    "NoCheckpoints",
+    "PiecewiseCosts",
+    "RefineResult",
+    "piecewise_cost_provider",
+    "refine_orders",
+    "run_adaptive",
+]

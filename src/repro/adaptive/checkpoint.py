@@ -1,0 +1,383 @@
+"""Checkpoint-based mid-communication rescheduling (paper Section 6.3).
+
+"An initial communication schedule can be derived using estimates of the
+communication times.  The schedule can then be modified at intermediate
+checkpoints" — after each communication event / step (O(P) checkpoints)
+or after half the remaining events complete (O(log P) checkpoints).
+
+The simulation here executes a planned schedule under *actual* (possibly
+drifting) costs supplied by a time-dependent cost provider.  At each
+checkpoint the events that have not yet started are cancelled and
+rescheduled from the provider's current matrix; in-flight events always
+complete.  Rescheduling is skipped when estimates still match reality to
+within ``reschedule_threshold`` (the paper's "large enough to require
+rescheduling" test).
+
+Truncation soundness: the executor serialises per sender and per
+receiver, so any event influenced by a cancelled event would itself start
+at or after the checkpoint and is therefore also cancelled — cutting at a
+checkpoint time never leaves dangling dependencies.
+"""
+
+from __future__ import annotations
+
+import abc
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.openshop import openshop_events
+from repro.core.problem import TotalExchangeProblem
+from repro.core.registry import Scheduler
+from repro.timing.events import CommEvent, Schedule
+
+#: Plans the remaining events from a warm state: receives the remaining
+#: instance plus current per-port availability vectors, returns the event
+#: pairs in planned start order.
+Planner = Callable[
+    [TotalExchangeProblem, List[float], List[float]], List[Tuple[int, int]]
+]
+
+
+def openshop_planner(
+    problem: TotalExchangeProblem,
+    send_free: List[float],
+    recv_free: List[float],
+) -> List[Tuple[int, int]]:
+    """Warm-start open shop planning (the default re-planner).
+
+    Rescheduling mid-collective meets skewed port availabilities (some
+    ports still busy with in-flight work); planning against them instead
+    of a cold start keeps the new plan's order consistent with reality.
+    """
+    events = openshop_events(
+        problem.cost,
+        problem.positive_events(),
+        list(send_free),
+        list(recv_free),
+    )
+    events.sort(key=lambda e: (e.start, e.src, e.dst))
+    return [(e.src, e.dst) for e in events]
+
+
+def cold_planner(scheduler: Scheduler) -> Planner:
+    """Adapt a plain scheduler (which assumes idle ports) into a Planner."""
+
+    def plan(
+        problem: TotalExchangeProblem,
+        send_free: List[float],
+        recv_free: List[float],
+    ) -> List[Tuple[int, int]]:
+        schedule = scheduler(problem)
+        return [
+            (e.src, e.dst)
+            for e in sorted(schedule, key=lambda e: (e.start, e.src, e.dst))
+            if problem.cost[e.src, e.dst] > 0
+        ]
+
+    return plan
+
+class PiecewiseCosts:
+    """Piecewise-constant network conditions over time.
+
+    ``matrices[k]`` holds the cost each message *would* take if wholly
+    transferred under segment ``k``'s conditions; segment ``k`` spans
+    ``[times[k], times[k+1])`` and the last segment extends forever.
+
+    A transfer in flight when conditions change speeds up or slows down:
+    its duration is found by integrating progress (fraction completed per
+    second is ``1 / cost_k``) across segments — so congestion arriving
+    mid-transfer genuinely hurts, and in-flight work cannot "lock in" the
+    old price.
+    """
+
+    def __init__(self, times: Sequence[float], costs: Sequence[np.ndarray]):
+        if len(times) != len(costs) or not times:
+            raise ValueError("need equally many times and costs, at least one")
+        if times[0] != 0:
+            raise ValueError("first breakpoint must be time 0")
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ValueError("breakpoints must be strictly increasing")
+        self.times = [float(t) for t in times]
+        self.matrices = [np.asarray(c, dtype=float) for c in costs]
+        shape = self.matrices[0].shape
+        if any(m.shape != shape for m in self.matrices):
+            raise ValueError("all cost matrices must share a shape")
+
+    def segment_at(self, time: float) -> int:
+        index = int(np.searchsorted(self.times, time, side="right")) - 1
+        return max(index, 0)
+
+    def cost_at(self, time: float) -> np.ndarray:
+        """The instantaneous cost matrix in force at ``time``."""
+        return self.matrices[self.segment_at(time)]
+
+    def transfer_time(self, src: int, dst: int, start: float) -> float:
+        """Duration of a transfer beginning at ``start`` (integrated)."""
+        k = self.segment_at(start)
+        t = start
+        remaining = 1.0  # fraction of the message left
+        while True:
+            cost = float(self.matrices[k][src, dst])
+            if cost <= 0:
+                return t - start  # free under current conditions: done now
+            end = self.times[k + 1] if k + 1 < len(self.times) else np.inf
+            needed = remaining * cost
+            if t + needed <= end:
+                return t + needed - start
+            remaining -= (end - t) / cost
+            t = end
+            k += 1
+
+
+#: Network conditions: a PiecewiseCosts, or a bare callable sampled at an
+#: event's start time (legacy form; no mid-transfer adjustment).
+CostProvider = Callable[[float], np.ndarray]
+
+
+def piecewise_cost_provider(
+    times: Sequence[float], costs: Sequence[np.ndarray]
+) -> PiecewiseCosts:
+    """Build :class:`PiecewiseCosts` (name kept for the provider API)."""
+    return PiecewiseCosts(times, costs)
+
+
+def _as_conditions(provider) -> PiecewiseCosts:
+    """Normalise a provider into PiecewiseCosts semantics."""
+    if isinstance(provider, PiecewiseCosts):
+        return provider
+
+    class _Sampled(PiecewiseCosts):
+        """Wraps a callable: duration sampled at start, no integration."""
+
+        def __init__(self, fn):
+            self._fn = fn
+
+        def cost_at(self, time: float) -> np.ndarray:  # type: ignore[override]
+            return np.asarray(self._fn(time), dtype=float)
+
+        def transfer_time(self, src, dst, start):  # type: ignore[override]
+            return float(self.cost_at(start)[src, dst])
+
+    return _Sampled(provider)
+
+
+class CheckpointPolicy(abc.ABC):
+    """Decides after how many completions the next checkpoint fires."""
+
+    @abc.abstractmethod
+    def next_checkpoint(self, remaining_events: int) -> Optional[int]:
+        """Completions before the next checkpoint; None disables."""
+
+
+class EveryKEvents(CheckpointPolicy):
+    """Checkpoint every ``k`` completed events.
+
+    ``k = P`` approximates the paper's O(P) per-step checkpoints (one
+    step of total exchange is ~P events).
+    """
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+
+    def next_checkpoint(self, remaining_events: int) -> Optional[int]:
+        return self.k if remaining_events > self.k else None
+
+
+class HalvingCheckpoints(CheckpointPolicy):
+    """Checkpoint after half the remaining events (O(log P) checkpoints)."""
+
+    def next_checkpoint(self, remaining_events: int) -> Optional[int]:
+        half = remaining_events // 2
+        return half if half >= 1 else None
+
+
+class NoCheckpoints(CheckpointPolicy):
+    """Never reschedule (the non-adaptive baseline)."""
+
+    def next_checkpoint(self, remaining_events: int) -> Optional[int]:
+        return None
+
+
+@dataclass(frozen=True)
+class AdaptiveResult:
+    """Outcome of an adaptive (or baseline) run."""
+
+    schedule: Schedule
+    checkpoint_times: Tuple[float, ...]
+    reschedules: int
+    #: Checkpoints where the threshold test suppressed rescheduling.
+    skipped_reschedules: int
+
+    @property
+    def completion_time(self) -> float:
+        return self.schedule.completion_time
+
+
+def _execute_dynamic(
+    plan: Sequence[Tuple[int, int]],
+    conditions: PiecewiseCosts,
+    send_free: List[float],
+    recv_free: List[float],
+) -> List[CommEvent]:
+    """Strict order-preserving execution with time-dependent costs.
+
+    ``plan`` lists the events in planned start order; both each sender's
+    dispatch order and each receiver's service order follow it, matching
+    :func:`repro.sim.engine.execute_steps_strict`.  Each event starts
+    when its two port predecessors finish; its duration is the
+    conditions' integrated transfer time from that start.  The
+    availability vectors carry over from earlier phases (in-flight work
+    at a checkpoint keeps its ports busy into the new phase).
+
+    Zero-duration events (a pair whose actual cost collapsed to 0) are
+    kept so the checkpoint logic still sees them complete.
+    """
+    events: List[CommEvent] = []
+    for src, dst in plan:
+        start = max(send_free[src], recv_free[dst])
+        duration = conditions.transfer_time(src, dst, start)
+        finish = start + duration
+        send_free[src] = finish
+        recv_free[dst] = finish
+        events.append(
+            CommEvent(start=start, src=src, dst=dst, duration=duration)
+        )
+    return events
+
+
+def run_adaptive(
+    estimate: TotalExchangeProblem,
+    cost_provider,
+    *,
+    policy: CheckpointPolicy,
+    scheduler: Optional[Scheduler] = None,
+    planner: Optional[Planner] = None,
+    reschedule_threshold: float = 0.0,
+) -> AdaptiveResult:
+    """Execute total exchange with checkpoint rescheduling.
+
+    Parameters
+    ----------
+    estimate:
+        The planning-time instance (costs from the initial directory
+        snapshot).  Defines which messages exist.
+    cost_provider:
+        A :class:`PiecewiseCosts` (preferred: in-flight transfers adapt
+        to condition changes) or a callable ``time -> cost matrix``
+        (sampled at each event's start).  Must keep zero entries zero (a
+        message cannot appear mid-run).
+    policy:
+        When to checkpoint; :class:`NoCheckpoints` gives the non-adaptive
+        baseline under the same actual conditions.
+    scheduler:
+        Plain scheduler used cold (ports assumed idle) for the initial
+        plan and every re-plan.  Mutually exclusive with ``planner``.
+    planner:
+        Warm-state planner receiving the remaining instance plus current
+        port availabilities.  Defaults to :func:`openshop_planner`.
+    reschedule_threshold:
+        Skip rescheduling at a checkpoint when the mean relative change
+        between the estimate used for the current plan and the current
+        actual matrix (over remaining events) is below this value.
+    """
+    if scheduler is not None and planner is not None:
+        raise ValueError("pass either scheduler or planner, not both")
+    if planner is None:
+        planner = cold_planner(scheduler) if scheduler else openshop_planner
+    conditions = _as_conditions(cost_provider)
+    n = estimate.num_procs
+    all_pairs = set(estimate.positive_events())
+    remaining = set(all_pairs)
+
+    send_free = [0.0] * n
+    recv_free = [0.0] * n
+    now = 0.0
+    committed: List[CommEvent] = []
+    checkpoint_times: List[float] = []
+    reschedules = 0
+    skipped = 0
+
+    # The estimate each phase was planned from (for the threshold test).
+    plan_basis = estimate.cost.copy()
+    plan: Optional[List[Tuple[int, int]]] = None
+
+    while remaining:
+        if plan is None:
+            sub = estimate.restricted_to(remaining)
+            current = np.where(sub.cost > 0, conditions.cost_at(now), 0.0)
+            plan_basis = current
+            plan = [
+                pair
+                for pair in planner(
+                    TotalExchangeProblem(cost=current), send_free, recv_free
+                )
+                if pair in remaining
+            ]
+
+        phase_events = _execute_dynamic(
+            plan,
+            conditions,
+            list(send_free),
+            list(recv_free),
+        )
+        phase_events.sort(key=lambda e: e.finish)
+
+        k = policy.next_checkpoint(len(remaining))
+        if k is None or k >= len(phase_events):
+            committed.extend(phase_events)
+            remaining.clear()
+            break
+
+        # Checkpoint at the finish of the k-th completing event; keep
+        # everything that started before it.
+        t_cp = phase_events[k - 1].finish
+        kept = [
+            e
+            for e in phase_events
+            if e.start < t_cp or (e.duration == 0 and e.finish <= t_cp)
+        ]
+        if len(kept) == len(phase_events):
+            committed.extend(phase_events)
+            remaining.clear()
+            break
+        committed.extend(kept)
+        for event in kept:
+            remaining.discard((event.src, event.dst))
+            send_free[event.src] = max(send_free[event.src], event.finish)
+            recv_free[event.dst] = max(recv_free[event.dst], event.finish)
+        now = t_cp
+        checkpoint_times.append(t_cp)
+
+        # Threshold test: is reality far enough from the plan's basis?
+        current = conditions.cost_at(now)
+        rel_changes = [
+            abs(current[p] - plan_basis[p]) / plan_basis[p]
+            for p in remaining
+            if plan_basis[p] > 0
+        ]
+        mean_change = float(np.mean(rel_changes)) if rel_changes else 0.0
+        if mean_change >= reschedule_threshold:
+            plan = None  # forces a re-plan next iteration
+            reschedules += 1
+        else:
+            skipped += 1
+            plan = [pair for pair in plan if pair in remaining]
+
+    # Free markers for coverage parity.
+    for src in range(n):
+        for dst in range(n):
+            if src != dst and estimate.cost[src, dst] == 0:
+                committed.append(
+                    CommEvent(start=0.0, src=src, dst=dst, duration=0.0)
+                )
+    return AdaptiveResult(
+        schedule=Schedule.from_events(n, committed),
+        checkpoint_times=tuple(checkpoint_times),
+        reschedules=reschedules,
+        skipped_reschedules=skipped,
+    )

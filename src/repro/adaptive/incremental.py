@@ -1,0 +1,138 @@
+"""Incremental schedule refinement (paper Section 6.2).
+
+For sensor-style applications that perform the same total exchange over
+and over, recomputing a schedule from scratch at every invocation is
+expensive (``O(P^4)`` for the matching scheduler).  The paper proposes
+refining the previous schedule against the directory's *changed*
+bandwidths instead.
+
+The refinement here is local search over the order-based schedule form:
+
+1. **Targeted pass** — only senders touching a changed pair re-sort their
+   dispatch order by the new costs (longest first, the greedy intuition);
+2. **Swap pass** — first-improvement adjacent swaps in sender orders,
+   accepted when the executed completion time drops; repeated up to
+   ``max_passes`` times.
+
+Each candidate is evaluated with one executor run (``O(P^2 log P)``), so
+a full refinement costs ``O(passes * P^3 log P)`` — asymptotically and
+practically cheaper than matching from scratch, and the evaluation count
+is reported so experiments can chart the cost/quality trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.problem import TotalExchangeProblem
+from repro.sim.engine import SendOrders, execute_orders
+from repro.timing.events import Schedule
+
+
+@dataclass(frozen=True)
+class RefineResult:
+    """Outcome of :func:`refine_orders`."""
+
+    orders: SendOrders
+    schedule: Schedule
+    initial_time: float
+    evaluations: int
+
+    @property
+    def completion_time(self) -> float:
+        return self.schedule.completion_time
+
+    @property
+    def improvement(self) -> float:
+        """Fractional completion-time reduction over the stale schedule."""
+        if self.initial_time == 0:
+            return 0.0
+        return 1.0 - self.completion_time / self.initial_time
+
+
+def changed_pairs(
+    old: TotalExchangeProblem,
+    new: TotalExchangeProblem,
+    *,
+    rtol: float = 1e-6,
+) -> Set[Tuple[int, int]]:
+    """Pairs whose cost moved by more than ``rtol`` relatively."""
+    if old.num_procs != new.num_procs:
+        raise ValueError("instances differ in processor count")
+    scale = np.maximum(old.cost, 1e-300)
+    moved = np.abs(new.cost - old.cost) / scale > rtol
+    srcs, dsts = np.nonzero(moved)
+    return set(zip(srcs.tolist(), dsts.tolist()))
+
+
+def refine_orders(
+    orders: Sequence[Sequence[int]],
+    new_problem: TotalExchangeProblem,
+    *,
+    old_problem: Optional[TotalExchangeProblem] = None,
+    max_passes: int = 2,
+) -> RefineResult:
+    """Refine ``orders`` for ``new_problem``'s costs.
+
+    ``old_problem`` (the instance the orders were built for) focuses the
+    targeted pass on senders whose costs actually changed; without it,
+    every sender is treated as changed.
+    """
+    if max_passes < 0:
+        raise ValueError(f"max_passes must be >= 0, got {max_passes}")
+    current: List[List[int]] = [list(sender) for sender in orders]
+    evaluations = 0
+
+    def evaluate(candidate: SendOrders) -> float:
+        nonlocal evaluations
+        evaluations += 1
+        return execute_orders(
+            new_problem, candidate, validate=False
+        ).completion_time
+
+    initial_time = evaluate(current)
+    best_time = initial_time
+
+    # Pass 1: re-sort affected senders longest-first under the new costs.
+    if old_problem is not None:
+        affected = {src for src, _ in changed_pairs(old_problem, new_problem)}
+    else:
+        affected = set(range(new_problem.num_procs))
+    cost = new_problem.cost
+    for src in sorted(affected):
+        candidate = [list(sender) for sender in current]
+        candidate[src] = sorted(
+            current[src], key=lambda dst: (-cost[src, dst], dst)
+        )
+        time = evaluate(candidate)
+        if time < best_time:
+            best_time = time
+            current = candidate
+
+    # Pass 2+: first-improvement adjacent swaps.
+    for _ in range(max_passes):
+        improved = False
+        for src in range(new_problem.num_procs):
+            for k in range(len(current[src]) - 1):
+                candidate = [list(sender) for sender in current]
+                candidate[src][k], candidate[src][k + 1] = (
+                    candidate[src][k + 1],
+                    candidate[src][k],
+                )
+                time = evaluate(candidate)
+                if time < best_time - 1e-12:
+                    best_time = time
+                    current = candidate
+                    improved = True
+        if not improved:
+            break
+
+    return RefineResult(
+        orders=current,
+        schedule=execute_orders(new_problem, current, validate=False),
+        initial_time=initial_time,
+        evaluations=evaluations,
+    )

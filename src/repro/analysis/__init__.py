@@ -1,0 +1,26 @@
+"""Schedule analysis: utilisation, gaps, bottlenecks, comparisons.
+
+Post-mortem tooling over :class:`~repro.timing.events.Schedule` objects:
+where did the time go, which processor bounds the makespan, how do two
+schedules of the same instance differ.  Used by examples and benches to
+explain *why* an algorithm wins, not just that it does.
+"""
+
+from repro.analysis.explain import ScheduleExplanation, explain_schedule
+from repro.analysis.stats import (
+    ProcessorStats,
+    ScheduleStats,
+    analyze_schedule,
+    bottleneck_processor,
+    compare_schedules,
+)
+
+__all__ = [
+    "ProcessorStats",
+    "ScheduleExplanation",
+    "ScheduleStats",
+    "analyze_schedule",
+    "bottleneck_processor",
+    "compare_schedules",
+    "explain_schedule",
+]

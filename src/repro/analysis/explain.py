@@ -1,0 +1,105 @@
+"""Narrative diagnosis of a schedule: where does the makespan come from?
+
+``explain_schedule`` combines the lower-bound analysis (which port is
+the intrinsic bottleneck), the realised critical path (which chain of
+events actually sets the finish time), and the gap accounting (who idles
+waiting for whom) into one report — the questions a developer asks when
+an algorithm underperforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.analysis.stats import analyze_schedule, bottleneck_processor
+from repro.core.problem import TotalExchangeProblem
+from repro.timing.depgraph import critical_path, dependence_graph
+from repro.timing.events import Schedule
+
+
+@dataclass(frozen=True)
+class ScheduleExplanation:
+    """Structured diagnosis of one schedule against its instance."""
+
+    completion_time: float
+    lower_bound: float
+    ratio: float
+    bottleneck_proc: int
+    bottleneck_port: str
+    bottleneck_busy: float
+    critical_events: Tuple[Tuple[int, int], ...]
+    critical_length: float
+    worst_idle_proc: int
+    worst_idle: float
+
+    @property
+    def is_port_bound(self) -> bool:
+        """True when the makespan equals the intrinsic port bound."""
+        return self.completion_time <= self.lower_bound * (1 + 1e-9)
+
+    def summary(self) -> str:
+        """A few sentences a human can act on."""
+        lines = [
+            f"completion {self.completion_time:.4g}s = "
+            f"{self.ratio:.3f} x the lower bound ({self.lower_bound:.4g}s).",
+            f"intrinsic bottleneck: P{self.bottleneck_proc} "
+            f"{self.bottleneck_port} port "
+            f"({self.bottleneck_busy:.4g}s of unavoidable work).",
+        ]
+        if self.is_port_bound:
+            lines.append(
+                "the schedule is port-bound: no reordering can finish "
+                "earlier on this instance."
+            )
+        else:
+            chain = " -> ".join(
+                f"P{src}->P{dst}" for src, dst in self.critical_events[:6]
+            )
+            if len(self.critical_events) > 6:
+                chain += " -> ..."
+            lines.append(
+                f"the realised critical path ({len(self.critical_events)} "
+                f"events, {self.critical_length:.4g}s) is {chain}."
+            )
+            lines.append(
+                f"worst sender idle: P{self.worst_idle_proc} waits "
+                f"{self.worst_idle:.4g}s in total — the slack a better "
+                "order could reclaim."
+            )
+        return "\n".join(lines)
+
+
+def explain_schedule(
+    problem: TotalExchangeProblem, schedule: Schedule
+) -> ScheduleExplanation:
+    """Diagnose ``schedule`` against its instance."""
+    lb = problem.lower_bound()
+    completion = schedule.completion_time
+    proc, port, busy = bottleneck_processor(problem)
+
+    graph = dependence_graph(schedule)
+    path = critical_path(graph, problem.cost)
+    path_length = float(
+        sum(problem.cost[src, dst] for src, dst in path)
+    )
+
+    stats = analyze_schedule(schedule)
+    if stats.per_processor:
+        worst = max(stats.per_processor, key=lambda p: p.send_idle)
+        worst_proc, worst_idle = worst.proc, worst.send_idle
+    else:
+        worst_proc, worst_idle = 0, 0.0
+
+    return ScheduleExplanation(
+        completion_time=completion,
+        lower_bound=lb,
+        ratio=completion / lb if lb > 0 else 1.0,
+        bottleneck_proc=proc,
+        bottleneck_port=port,
+        bottleneck_busy=busy,
+        critical_events=tuple(path),
+        critical_length=path_length,
+        worst_idle_proc=worst_proc,
+        worst_idle=worst_idle,
+    )

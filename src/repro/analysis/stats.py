@@ -1,0 +1,118 @@
+"""Schedule statistics and comparison reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.problem import TotalExchangeProblem
+from repro.timing.events import Schedule
+from repro.util.tables import format_table
+
+
+@dataclass(frozen=True)
+class ProcessorStats:
+    """One processor's view of a schedule."""
+
+    proc: int
+    send_busy: float
+    recv_busy: float
+    send_idle: float
+    first_start: float
+    last_finish: float
+
+    @property
+    def send_utilisation(self) -> float:
+        """Busy fraction of the sender port up to its last finish."""
+        span = self.last_finish
+        return self.send_busy / span if span > 0 else 1.0
+
+
+@dataclass(frozen=True)
+class ScheduleStats:
+    """Aggregate statistics of a schedule."""
+
+    completion_time: float
+    total_events: int
+    total_busy: float
+    mean_utilisation: float
+    per_processor: Tuple[ProcessorStats, ...]
+
+    def processor(self, proc: int) -> ProcessorStats:
+        return self.per_processor[proc]
+
+
+def analyze_schedule(schedule: Schedule) -> ScheduleStats:
+    """Compute per-processor and aggregate statistics."""
+    per_proc: List[ProcessorStats] = []
+    for proc in range(schedule.num_procs):
+        send_busy, recv_busy = schedule.busy_time(proc)
+        sends = schedule.sender_events(proc)
+        receives = schedule.receiver_events(proc)
+        touching = [e for e in (*sends, *receives) if e.duration > 0]
+        first = min((e.start for e in touching), default=0.0)
+        last = max((e.finish for e in touching), default=0.0)
+        per_proc.append(
+            ProcessorStats(
+                proc=proc,
+                send_busy=send_busy,
+                recv_busy=recv_busy,
+                send_idle=schedule.idle_time(proc),
+                first_start=first,
+                last_finish=last,
+            )
+        )
+    real_events = [e for e in schedule if e.duration > 0]
+    return ScheduleStats(
+        completion_time=schedule.completion_time,
+        total_events=len(real_events),
+        total_busy=sum(e.duration for e in real_events),
+        mean_utilisation=schedule.utilisation(),
+        per_processor=tuple(per_proc),
+    )
+
+
+def bottleneck_processor(
+    problem: TotalExchangeProblem,
+) -> Tuple[int, str, float]:
+    """The processor and port realising the lower bound.
+
+    Returns ``(proc, "send" | "recv", busy_seconds)`` — whichever port's
+    total work equals ``t_lb``.
+    """
+    send = problem.send_totals()
+    recv = problem.recv_totals()
+    send_proc = int(send.argmax())
+    recv_proc = int(recv.argmax())
+    if send[send_proc] >= recv[recv_proc]:
+        return send_proc, "send", float(send[send_proc])
+    return recv_proc, "recv", float(recv[recv_proc])
+
+
+def compare_schedules(
+    schedules: Mapping[str, Schedule],
+    *,
+    lower_bound: Optional[float] = None,
+    precision: int = 3,
+) -> str:
+    """Side-by-side comparison table for schedules of one instance."""
+    rows = []
+    for name, schedule in schedules.items():
+        stats = analyze_schedule(schedule)
+        row = [
+            name,
+            stats.completion_time,
+            stats.mean_utilisation,
+            max(p.send_idle for p in stats.per_processor)
+            if stats.per_processor
+            else 0.0,
+        ]
+        if lower_bound is not None:
+            row.append(
+                stats.completion_time / lower_bound if lower_bound > 0 else 1.0
+            )
+        rows.append(row)
+    headers = ["schedule", "completion", "utilisation", "max sender idle"]
+    if lower_bound is not None:
+        headers.append("ratio to LB")
+    return format_table(headers, rows, precision=precision)

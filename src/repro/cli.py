@@ -1,0 +1,389 @@
+"""Command-line interface: ``repro-hetcomm`` / ``python -m repro``.
+
+Subcommands
+-----------
+``example``
+    Run every scheduler on the 5-processor running example and print the
+    timing diagrams (paper Figures 3-8 style).
+``gusto``
+    Print the GUSTO directory tables (paper Tables 1-2) and schedule a
+    1 MB total exchange over the five sites.
+``figure {9,10,11,12}``
+    Regenerate one of the paper's evaluation figures as printed series.
+``quality``
+    Pool all four figures and print the Section 5 ratio-to-lower-bound
+    quality summary.
+``zoo``
+    Compare every registered scheduler (including the non-paper
+    comparators and the preemptive optimum) on one random instance.
+``adaptive``
+    Run the Section 6.3 drift sweep: adaptivity gain vs drift magnitude.
+``broadcast``
+    Compare binomial-tree and fastest-node-first broadcast on a random
+    heterogeneous network.
+``export``
+    Schedule the running example with a chosen algorithm and write the
+    schedule as JSON, SVG, and a Chrome trace.
+``claims``
+    Check the paper's headline claims mechanically (quick versions) and
+    print PASS/FAIL per claim.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.problem import TotalExchangeProblem, example_problem
+from repro.core.registry import ALL_SCHEDULERS
+from repro.directory.static import gusto_directory
+from repro.experiments.figures import FIGURE_DRIVERS
+from repro.experiments.quality import quality_stats
+from repro.experiments.report import (
+    render_improvement,
+    render_quality,
+    render_sweep,
+)
+from repro.model.messages import UniformSizes
+from repro.network.gusto import (
+    GUSTO_BANDWIDTH_KBIT_S,
+    GUSTO_LATENCY_MS,
+    GUSTO_SITES,
+)
+from repro.timing.diagram import describe_schedule, render_timing_diagram
+from repro.util.tables import format_table
+from repro.util.units import MEGABYTE
+
+
+def _cmd_example(args: argparse.Namespace) -> int:
+    problem = example_problem()
+    print("Running example (5 processors); lower bound =", problem.lower_bound())
+    print()
+    rows = []
+    for name, scheduler in ALL_SCHEDULERS.items():
+        schedule = scheduler(problem)
+        rows.append([name, schedule.completion_time,
+                     schedule.completion_time / problem.lower_bound()])
+        if args.diagrams:
+            print(f"--- {name} ---")
+            print(render_timing_diagram(schedule, rows=20))
+            print()
+    print(format_table(["algorithm", "completion", "ratio to LB"], rows))
+    return 0
+
+
+def _cmd_gusto(args: argparse.Namespace) -> int:
+    header = ["", *GUSTO_SITES]
+    lat_rows = [
+        [site, *GUSTO_LATENCY_MS[i].tolist()] for i, site in enumerate(GUSTO_SITES)
+    ]
+    bw_rows = [
+        [site, *GUSTO_BANDWIDTH_KBIT_S[i].tolist()]
+        for i, site in enumerate(GUSTO_SITES)
+    ]
+    print(format_table(header, lat_rows, precision=1,
+                       title="Table 1: latency (ms) between 5 GUSTO sites"))
+    print()
+    print(format_table(header, bw_rows, precision=0,
+                       title="Table 2: bandwidth (kbit/s) between 5 GUSTO sites"))
+    print()
+    directory = gusto_directory()
+    problem = TotalExchangeProblem.from_snapshot(
+        directory.snapshot(), UniformSizes(MEGABYTE)
+    )
+    print(f"1 MB total exchange over GUSTO; lower bound = "
+          f"{problem.lower_bound():.1f}s")
+    rows = [
+        [name, scheduler(problem).completion_time]
+        for name, scheduler in ALL_SCHEDULERS.items()
+    ]
+    print(format_table(["algorithm", "completion (s)"], rows, precision=1))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    driver = FIGURE_DRIVERS[args.id]
+    result = driver(trials=args.trials, seed=args.seed)
+    print(render_sweep(result))
+    print()
+    print(render_improvement(result))
+    print()
+    print(render_quality(quality_stats([result])))
+    return 0
+
+
+def _cmd_quality(args: argparse.Namespace) -> int:
+    results = [
+        driver(trials=args.trials, seed=args.seed)
+        for driver in FIGURE_DRIVERS.values()
+    ]
+    print(render_quality(quality_stats(results)))
+    return 0
+
+
+def _cmd_zoo(args: argparse.Namespace) -> int:
+    from repro.core.preemptive import schedule_preemptive
+    from repro.core.registry import EXTRA_SCHEDULERS
+    from repro.directory.service import DirectorySnapshot
+    from repro.model.messages import MixedSizes
+
+    rng = np.random.default_rng(args.seed)
+    latency, bandwidth = __import__("repro").random_pairwise_parameters(
+        args.procs, rng=rng
+    )
+    snapshot = DirectorySnapshot(latency=latency, bandwidth=bandwidth)
+    problem = TotalExchangeProblem.from_snapshot(
+        snapshot, MixedSizes(), rng=rng
+    )
+    lb = problem.lower_bound()
+    print(f"P={args.procs} mixed-workload instance; lower bound {lb:.2f}s")
+    rows = []
+    names = [*ALL_SCHEDULERS, "baseline_nosync", "lpt", "local_search"]
+    for name in names:
+        scheduler = ALL_SCHEDULERS.get(name) or EXTRA_SCHEDULERS[name]
+        t = scheduler(problem).completion_time
+        rows.append([name, t, t / lb])
+    rows.append(
+        ["preemptive optimum", schedule_preemptive(problem).completion_time,
+         1.0]
+    )
+    rows.sort(key=lambda row: row[1])
+    print(format_table(["scheduler", "completion (s)", "ratio"], rows))
+    return 0
+
+
+def _cmd_adaptive(args: argparse.Namespace) -> int:
+    from repro.experiments.adaptive_sweep import run_adaptive_sweep
+    from repro.util.tables import format_series
+
+    result = run_adaptive_sweep(
+        sigmas=(0.0, 0.6, 1.2), num_procs=args.procs, trials=args.trials,
+        seed=args.seed,
+    )
+    series = dict(result.completion)
+    series["post_drift_lb"] = result.post_drift_lb
+    print(format_series(
+        "sigma", result.sigmas, series, precision=1,
+        title="completion (s) vs drift magnitude",
+    ))
+    gains = result.gain("halving")
+    print("\nhalving-policy gain vs stale plan:",
+          ", ".join(f"sigma {s:g}: {g * 100:.1f}%"
+                    for s, g in zip(result.sigmas, gains)))
+    return 0
+
+
+def _cmd_broadcast(args: argparse.Namespace) -> int:
+    from repro.collectives import (
+        broadcast_lower_bound,
+        schedule_broadcast_binomial,
+        schedule_broadcast_fnf,
+    )
+    from repro.directory.service import DirectorySnapshot
+    from repro.model.cost import cost_matrix
+
+    rng = np.random.default_rng(args.seed)
+    latency, bandwidth = __import__("repro").random_pairwise_parameters(
+        args.procs, rng=rng
+    )
+    snapshot = DirectorySnapshot(latency=latency, bandwidth=bandwidth)
+    sizes = np.full((args.procs, args.procs), float(MEGABYTE))
+    np.fill_diagonal(sizes, 0.0)
+    cost = cost_matrix(snapshot, sizes)
+    lb = broadcast_lower_bound(cost)
+    binomial = schedule_broadcast_binomial(cost).completion_time
+    fnf = schedule_broadcast_fnf(cost).completion_time
+    print(f"1 MB broadcast over {args.procs} nodes; lower bound {lb:.2f}s")
+    print(format_table(
+        ["algorithm", "completion (s)", "ratio"],
+        [["binomial tree", binomial, binomial / lb],
+         ["fastest-node-first", fnf, fnf / lb]],
+    ))
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.core.registry import EXTRA_SCHEDULERS
+    from repro.io import save_json, save_svg, save_trace, schedule_to_dict
+
+    problem = example_problem()
+    scheduler = ALL_SCHEDULERS.get(args.algorithm) or EXTRA_SCHEDULERS[
+        args.algorithm
+    ]
+    schedule = scheduler(problem)
+    out = pathlib.Path(args.output_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    base = out / f"example_{args.algorithm}"
+    save_json(base.with_suffix(".json"), schedule_to_dict(schedule))
+    save_svg(schedule, base.with_suffix(".svg"),
+             title=f"{args.algorithm} on the running example")
+    save_trace(schedule, base.with_suffix(".trace.json"))
+    print(f"wrote {base}.json, {base}.svg, {base}.trace.json "
+          f"(completion {schedule.completion_time:g}s)")
+    return 0
+
+
+def _cmd_claims(args: argparse.Namespace) -> int:
+    from repro.core.baseline import schedule_baseline_nosync
+    from repro.core.problem import tight_baseline_instance
+    from repro.experiments.figures import FIGURE_DRIVERS
+    from repro.experiments.quality import quality_stats
+
+    results = [
+        driver(proc_counts=(10, 30, 50), trials=args.trials, seed=args.seed)
+        for driver in FIGURE_DRIVERS.values()
+    ]
+    stats = quality_stats(results)
+    tight = tight_baseline_instance(1e-6)
+    tight_ratio = (
+        schedule_baseline_nosync(tight).completion_time
+        / tight.lower_bound()
+    )
+    fig11 = next(r for r in results if r.workload == "fig11-mixed")
+    best_speedup = max(fig11.improvement_over_baseline("openshop"))
+
+    checks = [
+        (
+            "Theorem 2 tightness: nosync baseline hits P/2 on the "
+            "epsilon instance",
+            abs(tight_ratio - 2.0) < 1e-3,
+            f"ratio {tight_ratio:.6f}",
+        ),
+        (
+            "Theorem 3: open shop always within 2x the lower bound",
+            stats["openshop"].max_ratio <= 2.0,
+            f"worst {stats['openshop'].max_ratio:.3f}",
+        ),
+        (
+            "open shop close to LB on average (paper: often within 2%)",
+            stats["openshop"].mean_ratio < 1.05,
+            f"mean {stats['openshop'].mean_ratio:.3f}",
+        ),
+        (
+            "max and min matching comparable (paper Section 5)",
+            abs(
+                stats["max_matching"].mean_ratio
+                - stats["min_matching"].mean_ratio
+            )
+            < 0.08,
+            f"means {stats['max_matching'].mean_ratio:.3f} vs "
+            f"{stats['min_matching'].mean_ratio:.3f}",
+        ),
+        (
+            "algorithm ordering: openshop <= matching <= greedy <= baseline",
+            stats["openshop"].mean_ratio
+            <= stats["max_matching"].mean_ratio + 0.02
+            and stats["max_matching"].mean_ratio
+            <= stats["greedy"].mean_ratio + 0.02
+            and stats["greedy"].mean_ratio <= stats["baseline"].mean_ratio,
+            "mean ratios "
+            + ", ".join(
+                f"{name}={stats[name].mean_ratio:.2f}"
+                for name in (
+                    "openshop", "max_matching", "greedy", "baseline",
+                )
+            ),
+        ),
+        (
+            "multi-x improvement over the baseline at scale "
+            "(paper: factors of 2-5)",
+            best_speedup > 2.0,
+            f"best openshop speedup on the mixed workload: "
+            f"{best_speedup:.2f}x",
+        ),
+        (
+            "baseline degrades to multiple-x above LB (paper: up to 6x)",
+            2.0 < stats["baseline"].max_ratio < 8.0,
+            f"worst {stats['baseline'].max_ratio:.2f}",
+        ),
+    ]
+    failures = 0
+    for title, passed, detail in checks:
+        mark = "PASS" if passed else "FAIL"
+        failures += 0 if passed else 1
+        print(f"[{mark}] {title}  ({detail})")
+    print(
+        f"\n{len(checks) - failures}/{len(checks)} claims reproduced "
+        f"(trials={args.trials}, seed={args.seed})"
+    )
+    return 1 if failures else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-hetcomm",
+        description=(
+            "Adaptive communication scheduling for distributed "
+            "heterogeneous systems (HPDC'98 reproduction)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_example = sub.add_parser("example", help="run the 5-processor example")
+    p_example.add_argument(
+        "--diagrams", action="store_true", help="print ASCII timing diagrams"
+    )
+    p_example.set_defaults(func=_cmd_example)
+
+    p_gusto = sub.add_parser("gusto", help="GUSTO tables and schedules")
+    p_gusto.set_defaults(func=_cmd_gusto)
+
+    p_figure = sub.add_parser("figure", help="regenerate a paper figure")
+    p_figure.add_argument("id", choices=sorted(FIGURE_DRIVERS))
+    p_figure.add_argument("--trials", type=int, default=3)
+    p_figure.add_argument("--seed", type=int, default=0)
+    p_figure.set_defaults(func=_cmd_figure)
+
+    p_quality = sub.add_parser("quality", help="Section 5 quality summary")
+    p_quality.add_argument("--trials", type=int, default=3)
+    p_quality.add_argument("--seed", type=int, default=0)
+    p_quality.set_defaults(func=_cmd_quality)
+
+    p_zoo = sub.add_parser("zoo", help="compare every scheduler")
+    p_zoo.add_argument("--procs", type=int, default=12)
+    p_zoo.add_argument("--seed", type=int, default=0)
+    p_zoo.set_defaults(func=_cmd_zoo)
+
+    p_adaptive = sub.add_parser("adaptive", help="Section 6.3 drift sweep")
+    p_adaptive.add_argument("--procs", type=int, default=12)
+    p_adaptive.add_argument("--trials", type=int, default=3)
+    p_adaptive.add_argument("--seed", type=int, default=0)
+    p_adaptive.set_defaults(func=_cmd_adaptive)
+
+    p_broadcast = sub.add_parser(
+        "broadcast", help="heterogeneous broadcast comparison"
+    )
+    p_broadcast.add_argument("--procs", type=int, default=16)
+    p_broadcast.add_argument("--seed", type=int, default=0)
+    p_broadcast.set_defaults(func=_cmd_broadcast)
+
+    p_export = sub.add_parser(
+        "export", help="export an example schedule (JSON/SVG/trace)"
+    )
+    p_export.add_argument("--algorithm", default="openshop")
+    p_export.add_argument("--output-dir", default="exported")
+    p_export.set_defaults(func=_cmd_export)
+
+    p_claims = sub.add_parser(
+        "claims", help="check the paper's headline claims"
+    )
+    p_claims.add_argument("--trials", type=int, default=3)
+    p_claims.add_argument("--seed", type=int, default=0)
+    p_claims.set_defaults(func=_cmd_claims)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Other collective patterns under the paper's communication model.
+
+The paper's framework is explicitly general: "Our approach is a general
+one, and can be used for different collective communication patterns"
+(Section 3).  This package applies the same model — ``T_ij + m/B_ij``
+per message, one send and one receive per node at a time — to the
+single-root collectives:
+
+* :mod:`repro.collectives.broadcast` — binomial-tree baseline vs the
+  network-aware earliest-completion ("fastest node first") heuristic;
+* :mod:`repro.collectives.scatter` — direct serial scatter and
+  store-and-forward tree scatter with bundled payloads;
+* :mod:`repro.collectives.gather` — the mirror image (root's receive
+  port is the bottleneck);
+* :mod:`repro.collectives.patterns` — adapters expressing all-gather and
+  uniform all-to-all as :class:`~repro.core.problem.TotalExchangeProblem`
+  instances so the paper's schedulers apply unchanged.
+"""
+
+from repro.collectives.barrier import (
+    dissemination_barrier,
+    tournament_barrier,
+)
+from repro.collectives.broadcast import (
+    binomial_tree,
+    broadcast_lower_bound,
+    schedule_broadcast_binomial,
+    schedule_broadcast_fnf,
+    schedule_broadcast_tree,
+)
+from repro.collectives.gather import gather_direct, gather_via_tree
+from repro.collectives.patterns import allgather_problem, alltoall_problem
+from repro.collectives.reduce import (
+    allreduce_ring,
+    allreduce_tree,
+    reduce_direct,
+    reduce_via_tree,
+)
+from repro.collectives.scatter import scatter_direct, scatter_via_tree
+
+__all__ = [
+    "allgather_problem",
+    "allreduce_ring",
+    "allreduce_tree",
+    "alltoall_problem",
+    "binomial_tree",
+    "dissemination_barrier",
+    "reduce_direct",
+    "reduce_via_tree",
+    "tournament_barrier",
+    "broadcast_lower_bound",
+    "gather_direct",
+    "gather_via_tree",
+    "scatter_direct",
+    "scatter_via_tree",
+    "schedule_broadcast_binomial",
+    "schedule_broadcast_fnf",
+    "schedule_broadcast_tree",
+]

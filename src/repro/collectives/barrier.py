@@ -1,0 +1,113 @@
+"""Barrier synchronization on heterogeneous networks.
+
+Barriers move (almost) no data, so start-up costs dominate — the purest
+view of the latency half of the paper's model.  Two classical
+algorithms:
+
+* :func:`dissemination_barrier` — ``ceil(log2 P)`` rounds; in round
+  ``k`` every node signals the node ``2^k`` ranks ahead (mod P).  Every
+  node participates in every round, so each round costs its slowest
+  signal and the barrier is as fast as the network's *worst* links
+  allow.
+* :func:`tournament_barrier` — a binomial tree: leaves signal up to the
+  champion, then release flows back down.  Half the nodes drop out of
+  each round, so slow nodes can hide in early rounds — on heterogeneous
+  networks the two algorithms genuinely diverge, unlike the homogeneous
+  case where both take ``~log2 P`` latencies.
+
+Both return timed :class:`~repro.timing.events.Schedule` objects of the
+signal messages (size 0; cost = start-up latency) plus the barrier
+completion time.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.collectives.broadcast import binomial_tree, schedule_broadcast_tree
+from repro.directory.service import DirectorySnapshot
+from repro.timing.events import CommEvent, Schedule
+
+
+def _signal_cost(snapshot: DirectorySnapshot) -> np.ndarray:
+    """Pairwise cost of a zero-byte signal: the start-up latency."""
+    return snapshot.latency.copy()
+
+
+def dissemination_barrier(
+    snapshot: DirectorySnapshot,
+) -> Tuple[Schedule, float]:
+    """Dissemination barrier: log2 P rounds of shifted signals.
+
+    A node enters round ``k`` once it has sent its round ``k-1`` signal
+    and received its round ``k-1`` signal — per-node progress, no global
+    lockstep.
+    """
+    n = snapshot.num_procs
+    cost = _signal_cost(snapshot)
+    if n == 1:
+        return Schedule(num_procs=1), 0.0
+    rounds = math.ceil(math.log2(n))
+    ready = [0.0] * n
+    events: List[CommEvent] = []
+    for k in range(rounds):
+        shift = 1 << k
+        starts = list(ready)
+        finishes = [0.0] * n
+        for src in range(n):
+            dst = (src + shift) % n
+            duration = float(cost[src, dst])
+            events.append(
+                CommEvent(
+                    start=starts[src], src=src, dst=dst, duration=duration
+                )
+            )
+            finishes[dst] = max(finishes[dst], starts[src] + duration)
+        for node in range(n):
+            # next round needs own signal sent (instantaneous dispatch
+            # model: occupied only for the send's duration) and the
+            # incoming signal received
+            own_dst = (node + shift) % n
+            sent_done = starts[node] + float(cost[node, own_dst])
+            ready[node] = max(sent_done, finishes[node])
+    return Schedule.from_events(n, events), float(max(ready))
+
+
+def tournament_barrier(
+    snapshot: DirectorySnapshot, *, champion: int = 0
+) -> Tuple[Schedule, float]:
+    """Tournament barrier: gather signals up a binomial tree, release down.
+
+    The release phase reuses the broadcast-tree machinery with signal
+    costs; the gather phase mirrors it (children report in, the parent's
+    receive port serialises).
+    """
+    n = snapshot.num_procs
+    cost = _signal_cost(snapshot)
+    if n == 1:
+        return Schedule(num_procs=1), 0.0
+    tree = binomial_tree(n, champion)
+
+    events: List[CommEvent] = []
+
+    def collect(node: int) -> float:
+        recv_free = 0.0
+        for child in tree.get(node, []):
+            child_ready = collect(child)
+            duration = float(cost[child, node])
+            start = max(recv_free, child_ready)
+            events.append(
+                CommEvent(start=start, src=child, dst=node,
+                          duration=duration)
+            )
+            recv_free = start + duration
+        return recv_free
+
+    gathered_at = collect(champion)
+    release = schedule_broadcast_tree(cost, tree, champion)
+    shifted = [event.shifted(gathered_at) for event in release]
+    schedule = Schedule.from_events(n, [*events, *shifted])
+    return schedule, float(gathered_at + release.completion_time)

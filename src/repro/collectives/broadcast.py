@@ -1,0 +1,179 @@
+"""Broadcast scheduling under the one-port heterogeneous model.
+
+A broadcast plan is a spanning tree plus, per node, the order in which it
+sends to its children; under the one-port model a node's sends serialise,
+so the order matters.  Two planners:
+
+* :func:`schedule_broadcast_binomial` — the classical binomial tree, the
+  homogeneous baseline (optimal when all links are equal; oblivious to
+  heterogeneity, exactly like the caterpillar is for total exchange);
+* :func:`schedule_broadcast_fnf` — network-aware greedy: repeatedly
+  schedule the (informed sender, uninformed receiver) pair that
+  completes earliest, the "fastest node first" / earliest-completion
+  heuristic for heterogeneous broadcast.
+
+Message cost is taken from a ``[src, dst]`` cost matrix exactly as in
+the total-exchange problem (build one with
+:func:`repro.model.cost.cost_matrix` and a uniform size).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.timing.events import CommEvent, Schedule
+from repro.util.validation import check_index, check_square_matrix
+
+#: A broadcast tree: node -> ordered list of children.
+Tree = Dict[int, List[int]]
+
+
+def binomial_tree(num_procs: int, root: int = 0) -> Tree:
+    """The classical binomial broadcast tree.
+
+    In round ``k`` every informed node sends to the node ``2^k`` ranks
+    away (mod P, relative to the root), so the informed set doubles each
+    round — optimal on a homogeneous network.
+    """
+    if num_procs <= 0:
+        raise ValueError(f"num_procs must be positive, got {num_procs}")
+    check_index("root", root, num_procs)
+    children: Tree = {node: [] for node in range(num_procs)}
+    informed = [0]  # relative ranks
+    distance = 1
+    while distance < num_procs:
+        for rel in list(informed):
+            target = rel + distance
+            if target < num_procs:
+                children[(root + rel) % num_procs].append(
+                    (root + target) % num_procs
+                )
+                informed.append(target)
+        distance *= 2
+    return children
+
+
+def _check_tree(tree: Tree, num_procs: int, root: int) -> None:
+    seen = {root}
+    frontier = [root]
+    while frontier:
+        node = frontier.pop()
+        for child in tree.get(node, []):
+            if child in seen:
+                raise ValueError(f"node {child} reached twice in tree")
+            seen.add(child)
+            frontier.append(child)
+    if len(seen) != num_procs:
+        missing = sorted(set(range(num_procs)) - seen)
+        raise ValueError(f"tree does not span all nodes; missing {missing}")
+
+
+def schedule_broadcast_tree(
+    cost: np.ndarray, tree: Tree, root: int = 0
+) -> Schedule:
+    """Execute a broadcast tree under the one-port model.
+
+    A node may start forwarding once it has fully received the message;
+    its sends to its children serialise in list order.
+    """
+    cost = check_square_matrix("cost", cost, nonnegative=True)
+    n = cost.shape[0]
+    check_index("root", root, n)
+    _check_tree(tree, n, root)
+
+    ready = {root: 0.0}
+    events: List[CommEvent] = []
+    frontier = [root]
+    while frontier:
+        node = frontier.pop()
+        clock = ready[node]
+        for child in tree.get(node, []):
+            duration = float(cost[node, child])
+            events.append(
+                CommEvent(start=clock, src=node, dst=child, duration=duration)
+            )
+            clock += duration
+            ready[child] = clock
+            frontier.append(child)
+    return Schedule.from_events(n, events)
+
+
+def schedule_broadcast_binomial(cost: np.ndarray, root: int = 0) -> Schedule:
+    """Binomial-tree broadcast (the homogeneous baseline)."""
+    cost = check_square_matrix("cost", cost, nonnegative=True)
+    return schedule_broadcast_tree(
+        cost, binomial_tree(cost.shape[0], root), root
+    )
+
+
+def schedule_broadcast_fnf(cost: np.ndarray, root: int = 0) -> Schedule:
+    """Earliest-completion-first heterogeneous broadcast.
+
+    Maintains the informed set with each member's send-port availability;
+    each step commits the send that would finish earliest among all
+    (informed, uninformed) pairs.  ``O(P^3)`` — the same budget as the
+    paper's open shop heuristic.
+    """
+    cost = check_square_matrix("cost", cost, nonnegative=True)
+    n = cost.shape[0]
+    check_index("root", root, n)
+
+    avail = {root: 0.0}
+    uninformed = set(range(n)) - {root}
+    events: List[CommEvent] = []
+    while uninformed:
+        best: Tuple[float, int, int] | None = None
+        for sender, sender_avail in avail.items():
+            for receiver in uninformed:
+                finish = sender_avail + float(cost[sender, receiver])
+                key = (finish, sender, receiver)
+                if best is None or key < best:
+                    best = key
+        finish, sender, receiver = best
+        events.append(
+            CommEvent(
+                start=avail[sender],
+                src=sender,
+                dst=receiver,
+                duration=float(cost[sender, receiver]),
+            )
+        )
+        avail[sender] = finish
+        avail[receiver] = finish
+        uninformed.discard(receiver)
+    return Schedule.from_events(n, events)
+
+
+def broadcast_lower_bound(cost: np.ndarray, root: int = 0) -> float:
+    """Simple lower bounds on heterogeneous broadcast completion.
+
+    The maximum of:
+
+    * the cheapest way to reach the hardest-to-reach node
+      (``max_j min_i cost[i, j]``) — someone must send to ``j``;
+    * the root's cheapest first send (nothing happens before it);
+    * a port-capacity bound: the root must issue at least
+      ``ceil(log2 P)``-deep work if every send were its cheapest —
+      conservatively, the sum of the ``ceil(log2 P)`` smallest entries
+      of a chain of cheapest sends is replaced here by the cheapest
+      send times ``ceil(log2 P)`` (information can at most double per
+      fully-parallel round).
+    """
+    import math
+
+    cost = check_square_matrix("cost", cost, nonnegative=True)
+    n = cost.shape[0]
+    check_index("root", root, n)
+    if n == 1:
+        return 0.0
+    others = [j for j in range(n) if j != root]
+    hardest = max(
+        min(cost[i, j] for i in range(n) if i != j) for j in others
+    )
+    first_send = min(cost[root, j] for j in others)
+    off = cost[~np.eye(n, dtype=bool)]
+    cheapest = float(off.min())
+    rounds = math.ceil(math.log2(n))
+    return float(max(hardest, first_send, cheapest * rounds))

@@ -1,0 +1,105 @@
+"""Gather scheduling under the one-port heterogeneous model.
+
+The mirror image of scatter: every node holds a block bound for the
+root, whose *receive* port is the serialising resource.
+
+* :func:`gather_direct` — every node sends straight to the root; the
+  root receives one block at a time (order configurable, shortest first
+  by default).
+* :func:`gather_via_tree` — children push bundles up a spanning tree;
+  each relay concatenates its subtree before forwarding.  Parallelises
+  the leaf uploads at the price of re-sending bundled bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.collectives.broadcast import Tree, _check_tree
+from repro.collectives.scatter import _check_blocks, _subtree_bytes
+from repro.directory.service import DirectorySnapshot
+from repro.timing.events import CommEvent, Schedule
+from repro.util.validation import check_index
+
+
+def gather_direct(
+    snapshot: DirectorySnapshot,
+    blocks: Sequence[float],
+    root: int = 0,
+    *,
+    order: Optional[Sequence[int]] = None,
+) -> Schedule:
+    """All-to-root gather; the root's receive port serialises."""
+    n = snapshot.num_procs
+    check_index("root", root, n)
+    blocks = _check_blocks(blocks, n)
+    sources = [j for j in range(n) if j != root and blocks[j] > 0]
+    if order is not None:
+        order = [int(j) for j in order]
+        if sorted(order) != sorted(sources):
+            raise ValueError("order must be a permutation of the sources")
+    else:
+        order = sorted(
+            sources,
+            key=lambda j: (snapshot.transfer_time(j, root, blocks[j]), j),
+        )
+    events: List[CommEvent] = []
+    clock = 0.0
+    for src in order:
+        duration = snapshot.transfer_time(src, root, blocks[src])
+        events.append(
+            CommEvent(
+                start=clock, src=src, dst=root, duration=duration,
+                size=float(blocks[src]),
+            )
+        )
+        clock += duration
+    return Schedule.from_events(n, events)
+
+
+def gather_via_tree(
+    snapshot: DirectorySnapshot,
+    blocks: Sequence[float],
+    tree: Tree,
+    root: int = 0,
+) -> Schedule:
+    """Bundled tree gather.
+
+    Post-order: a node forwards its subtree bundle to its parent once it
+    has received every child's bundle; a parent's receive port accepts
+    one child bundle at a time, and a child's upload cannot start before
+    that child has assembled its own subtree.
+    """
+    n = snapshot.num_procs
+    check_index("root", root, n)
+    blocks = _check_blocks(blocks, n)
+    _check_tree(tree, n, root)
+
+    bundle: Dict[int, float] = {}
+    _subtree_bytes(tree, blocks, root, bundle)
+
+    events: List[CommEvent] = []
+
+    def collect(node: int) -> float:
+        """Time at which ``node`` holds its whole subtree; emits events."""
+        recv_free = 0.0
+        for child in tree.get(node, []):
+            child_ready = collect(child)
+            size = bundle[child]
+            if size == 0:
+                continue
+            start = max(recv_free, child_ready)
+            duration = snapshot.transfer_time(child, node, size)
+            events.append(
+                CommEvent(
+                    start=start, src=child, dst=node,
+                    duration=duration, size=size,
+                )
+            )
+            recv_free = start + duration
+        return recv_free
+
+    collect(root)
+    return Schedule.from_events(n, events)

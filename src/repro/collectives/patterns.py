@@ -1,0 +1,55 @@
+"""Pattern adapters: express other collectives as total exchange.
+
+All-gather and uniform all-to-all are total exchanges with structured
+size matrices, so the paper's schedulers apply unchanged; these helpers
+build the corresponding :class:`~repro.core.problem.TotalExchangeProblem`
+from a directory snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.core.problem import TotalExchangeProblem
+from repro.directory.service import DirectorySnapshot
+
+
+def allgather_problem(
+    snapshot: DirectorySnapshot,
+    block_bytes: Union[float, Sequence[float]],
+) -> TotalExchangeProblem:
+    """All-gather: every node sends its (per-node sized) block to all.
+
+    ``sizes[src, dst] = block_bytes[src]`` — the non-personalised
+    counterpart of total exchange (same block to every peer; the model
+    still prices each transfer separately because the one-port rule
+    serialises them).
+    """
+    n = snapshot.num_procs
+    if np.isscalar(block_bytes):
+        per_node = np.full(n, float(block_bytes))
+    else:
+        per_node = np.asarray(block_bytes, dtype=float)
+        if per_node.shape != (n,):
+            raise ValueError(
+                f"need one block size per node, got shape {per_node.shape}"
+            )
+    if np.any(per_node < 0):
+        raise ValueError("block sizes must be non-negative")
+    sizes = np.repeat(per_node[:, None], n, axis=1)
+    np.fill_diagonal(sizes, 0.0)
+    return TotalExchangeProblem.from_snapshot(snapshot, sizes)
+
+
+def alltoall_problem(
+    snapshot: DirectorySnapshot, message_bytes: float
+) -> TotalExchangeProblem:
+    """Uniform all-to-all personalised exchange (MPI_Alltoall)."""
+    if message_bytes < 0:
+        raise ValueError("message_bytes must be non-negative")
+    n = snapshot.num_procs
+    sizes = np.full((n, n), float(message_bytes))
+    np.fill_diagonal(sizes, 0.0)
+    return TotalExchangeProblem.from_snapshot(snapshot, sizes)

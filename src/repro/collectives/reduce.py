@@ -1,0 +1,192 @@
+"""Reduction collectives under the one-port heterogeneous model.
+
+Reduce is gather plus computation: a relay combines each arriving
+child contribution with its accumulator (at ``combine_rate`` bytes per
+second of local compute) before forwarding one combined block up the
+tree.  Unlike bundled gather, the forwarded payload stays *one block* —
+reduction shrinks data, which is why tree reduction dominates direct
+gather-then-combine on wide-area networks.
+
+* :func:`reduce_via_tree` — tree reduction with per-node combine costs;
+* :func:`reduce_direct` — everyone sends to the root, which combines
+  serially (the naive baseline);
+* :func:`allreduce_tree` — reduce to a root, then broadcast the result
+  back down (the classical composition).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.collectives.broadcast import Tree, _check_tree, schedule_broadcast_tree
+from repro.directory.service import DirectorySnapshot
+from repro.model.cost import cost_matrix
+from repro.timing.events import CommEvent, Schedule
+from repro.util.validation import check_index, check_positive
+
+
+def reduce_direct(
+    snapshot: DirectorySnapshot,
+    block_bytes: float,
+    root: int = 0,
+    *,
+    combine_rate: float = 1e9,
+) -> Tuple[Schedule, float]:
+    """Naive reduction: every node sends its block straight to the root.
+
+    The root receives one contribution at a time and combines each as it
+    lands (receive and combine overlap for successive messages only when
+    the combine is faster than the next receive; we charge combines
+    serially after each receive for a conservative model).  Returns the
+    communication schedule and the completion time including combines.
+    """
+    n = snapshot.num_procs
+    check_index("root", root, n)
+    check_positive("block_bytes", block_bytes)
+    check_positive("combine_rate", combine_rate)
+    combine_time = block_bytes / combine_rate
+    order = sorted(
+        (j for j in range(n) if j != root),
+        key=lambda j: (snapshot.transfer_time(j, root, block_bytes), j),
+    )
+    events: List[CommEvent] = []
+    clock = 0.0
+    done = 0.0
+    for src in order:
+        duration = snapshot.transfer_time(src, root, block_bytes)
+        events.append(
+            CommEvent(start=clock, src=src, dst=root, duration=duration,
+                      size=float(block_bytes))
+        )
+        clock += duration
+        done = max(done, clock) + combine_time
+    return Schedule.from_events(n, events), float(done)
+
+
+def reduce_via_tree(
+    snapshot: DirectorySnapshot,
+    block_bytes: float,
+    tree: Tree,
+    root: int = 0,
+    *,
+    combine_rate: float = 1e9,
+) -> Tuple[Schedule, float]:
+    """Tree reduction: combine on the way up, forward a single block.
+
+    A node receives its children's partial results one at a time
+    (receive port), combines each on arrival, and uploads one combined
+    block once every child is merged.  Returns the communication
+    schedule and the completion time (root's last combine).
+    """
+    n = snapshot.num_procs
+    check_index("root", root, n)
+    check_positive("block_bytes", block_bytes)
+    check_positive("combine_rate", combine_rate)
+    _check_tree(tree, n, root)
+    combine_time = block_bytes / combine_rate
+
+    events: List[CommEvent] = []
+
+    def collect(node: int) -> float:
+        """Time at which ``node``'s partial result is ready."""
+        recv_free = 0.0
+        ready = 0.0  # accumulator readiness (own block is free at t=0)
+        for child in tree.get(node, []):
+            child_ready = collect(child)
+            duration = snapshot.transfer_time(child, node, block_bytes)
+            start = max(recv_free, child_ready)
+            events.append(
+                CommEvent(start=start, src=child, dst=node,
+                          duration=duration, size=float(block_bytes))
+            )
+            recv_free = start + duration
+            ready = max(ready, recv_free) + combine_time
+        return ready
+
+    total = collect(root)
+    return Schedule.from_events(n, events), float(total)
+
+
+def allreduce_ring(
+    snapshot: DirectorySnapshot,
+    block_bytes: float,
+    *,
+    ring: Optional[List[int]] = None,
+    combine_rate: float = 1e9,
+) -> Tuple[Schedule, float]:
+    """Ring all-reduce (reduce-scatter + all-gather), lockstep steps.
+
+    The modern bandwidth-optimal algorithm on homogeneous networks:
+    ``2(P-1)`` steps, each moving a ``1/P`` chunk to the ring successor.
+    Every step is a full rotation, so it costs the *slowest ring edge* —
+    on a heterogeneous network one bad link taxes all ``2(P-1)`` steps,
+    which is exactly why the tree composition
+    (:func:`allreduce_tree`) can win there.  ``ring`` reorders the nodes
+    (default: identity order).
+    """
+    n = snapshot.num_procs
+    check_positive("block_bytes", block_bytes)
+    check_positive("combine_rate", combine_rate)
+    order = list(ring) if ring is not None else list(range(n))
+    if sorted(order) != list(range(n)):
+        raise ValueError("ring must be a permutation of the nodes")
+    if n == 1:
+        return Schedule(num_procs=1), 0.0
+    chunk = block_bytes / n
+    combine_time = chunk / combine_rate
+
+    edges = [
+        (order[k], order[(k + 1) % n]) for k in range(n)
+    ]
+    step_comm = max(
+        snapshot.transfer_time(src, dst, chunk) for src, dst in edges
+    )
+    events: List[CommEvent] = []
+    clock = 0.0
+    total_steps = 2 * (n - 1)
+    for step in range(total_steps):
+        for src, dst in edges:
+            events.append(
+                CommEvent(
+                    start=clock,
+                    src=src,
+                    dst=dst,
+                    duration=snapshot.transfer_time(src, dst, chunk),
+                    size=chunk,
+                )
+            )
+        clock += step_comm
+        if step < n - 1:  # reduce-scatter steps combine on arrival
+            clock += combine_time
+    return Schedule.from_events(n, events), float(clock)
+
+
+def allreduce_tree(
+    snapshot: DirectorySnapshot,
+    block_bytes: float,
+    tree: Tree,
+    root: int = 0,
+    *,
+    combine_rate: float = 1e9,
+) -> Tuple[Schedule, float]:
+    """All-reduce as reduce-to-root followed by broadcast of the result.
+
+    The broadcast reuses the same tree; its events are shifted to start
+    after the reduction completes.  Returns the merged schedule and the
+    overall completion time.
+    """
+    reduce_schedule, reduce_done = reduce_via_tree(
+        snapshot, block_bytes, tree, root, combine_rate=combine_rate
+    )
+    n = snapshot.num_procs
+    sizes = np.full((n, n), float(block_bytes))
+    np.fill_diagonal(sizes, 0.0)
+    cost = cost_matrix(snapshot, sizes)
+    broadcast = schedule_broadcast_tree(cost, tree, root)
+    shifted = [event.shifted(reduce_done) for event in broadcast]
+    merged = Schedule.from_events(
+        n, [*reduce_schedule.events, *shifted]
+    )
+    return merged, float(reduce_done + broadcast.completion_time)

@@ -1,0 +1,52 @@
+"""Core contribution: scheduling algorithms for total exchange.
+
+Implements the paper's Section 4: the baseline caterpillar schedule, the
+matching-based schedulers (maximum and minimum weight), the greedy
+technique, the open shop heuristic, and an exact branch-and-bound solver
+for small instances.  All schedulers share a uniform interface: they take
+a :class:`~repro.core.problem.TotalExchangeProblem` and return a timed
+:class:`~repro.timing.events.Schedule` (validated by
+:func:`repro.timing.validate.check_schedule`).
+"""
+
+from repro.core.baseline import (
+    baseline_orders,
+    baseline_steps,
+    schedule_baseline,
+    schedule_baseline_nosync,
+)
+from repro.core.exact import branch_and_bound, schedule_optimal
+from repro.core.greedy import greedy_orders, schedule_greedy
+from repro.core.matching import (
+    matching_orders,
+    schedule_matching_max,
+    schedule_matching_min,
+)
+from repro.core.openshop import schedule_openshop
+from repro.core.problem import (
+    TotalExchangeProblem,
+    example_problem,
+    tight_baseline_instance,
+)
+from repro.core.registry import ALL_SCHEDULERS, get_scheduler, scheduler_names
+
+__all__ = [
+    "ALL_SCHEDULERS",
+    "TotalExchangeProblem",
+    "baseline_orders",
+    "baseline_steps",
+    "branch_and_bound",
+    "schedule_baseline_nosync",
+    "example_problem",
+    "get_scheduler",
+    "greedy_orders",
+    "matching_orders",
+    "schedule_baseline",
+    "schedule_greedy",
+    "schedule_matching_max",
+    "schedule_matching_min",
+    "schedule_openshop",
+    "schedule_optimal",
+    "scheduler_names",
+    "tight_baseline_instance",
+]

@@ -1,0 +1,73 @@
+"""Baseline caterpillar schedule (paper Section 4.2).
+
+The classical homogeneous total-exchange algorithm: in step ``j`` (for
+``0 <= j < P``) every node ``P_i`` sends to ``P_(i+j) mod P``.  Each step
+is a permutation, so a homogeneous system with uniform message sizes sees
+no contention.  Under heterogeneity the fixed order stalls: long events
+in early steps delay every later step.
+
+Two execution semantics are provided:
+
+* :func:`schedule_baseline` — **barrier-synchronised** steps (each step
+  costs its longest event), the way the caterpillar runs in the
+  lockstep/SIMD-style systems it comes from (the paper's reference [13]
+  is a SIMD FFT library).  This is the variant whose degradation matches
+  the paper's Section 5 figures (ratios of several x the lower bound,
+  growing with heterogeneity).
+* :func:`schedule_baseline_nosync` — **order-preserving without
+  barriers**: each event starts when its sender finished its previous
+  step's send and its receiver finished its previous step's receive.
+  These are the semantics of Theorem 2's dependence-graph analysis, whose
+  ``P/2 x`` lower-bound ratio is provable and tight
+  (:func:`repro.core.problem.tight_baseline_instance`).
+
+Step 0 is the self-permutation; with the usual zero diagonal it is free,
+and it is kept so adversarial instances with self-messages execute
+faithfully.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.problem import TotalExchangeProblem
+from repro.sim.engine import (
+    SendOrders,
+    execute_steps_barrier,
+    execute_steps_strict,
+)
+from repro.timing.events import Schedule
+
+
+def baseline_steps(num_procs: int) -> List[List[Tuple[int, int]]]:
+    """Caterpillar steps: step ``j`` pairs each ``i`` with ``(i+j) mod P``."""
+    if num_procs <= 0:
+        raise ValueError(f"num_procs must be positive, got {num_procs}")
+    return [
+        [(i, (i + j) % num_procs) for i in range(num_procs)]
+        for j in range(num_procs)
+    ]
+
+
+def baseline_orders(num_procs: int) -> SendOrders:
+    """Per-sender destination lists of the caterpillar schedule."""
+    if num_procs <= 0:
+        raise ValueError(f"num_procs must be positive, got {num_procs}")
+    return [
+        [(i + j) % num_procs for j in range(num_procs)]
+        for i in range(num_procs)
+    ]
+
+
+def schedule_baseline(problem: TotalExchangeProblem) -> Schedule:
+    """Barrier-synchronised caterpillar (the paper's simulated baseline)."""
+    return execute_steps_barrier(
+        problem.cost, baseline_steps(problem.num_procs), sizes=problem.sizes
+    )
+
+
+def schedule_baseline_nosync(problem: TotalExchangeProblem) -> Schedule:
+    """Order-preserving caterpillar (Theorem 2's dependence-graph model)."""
+    return execute_steps_strict(
+        problem.cost, baseline_steps(problem.num_procs), sizes=problem.sizes
+    )

@@ -1,0 +1,217 @@
+"""Indirect-routing ablation (paper Section 3.4 design decision).
+
+The paper forbids relaying: "We do not consider 'indirect' schedules
+where messages from different sources are combined at intermediate nodes
+and then forwarded ...  such combine-and-forward schemes increase the
+volume of traffic to be communicated."  This module implements a
+restrained version of the rejected alternative so the decision can be
+measured: each message may optionally take ONE intermediate hop when the
+two-leg time for *its own payload* is substantially cheaper than the
+direct transfer.
+
+Leg costs are priced from the directory snapshot
+(``T_leg + payload / B_leg``), so relaying a message changes which links
+its bytes traverse — exactly the volume increase the paper worries
+about.  The relayed instance is scheduled with open-shop-style list
+scheduling over all legs (a relayed message's second leg becomes
+available when its first completes).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.directory.service import DirectorySnapshot
+from repro.timing.events import CommEvent, Schedule
+
+
+@dataclass(frozen=True)
+class RelayPlan:
+    """Chosen routes over one instance.
+
+    ``direct`` holds ``(src, dst)`` messages sent as the paper
+    prescribes; ``relayed`` holds ``(src, relay, dst)`` triples.
+    ``leg_cost[(a, b, payload_key)]`` is not stored — legs are re-priced
+    from the snapshot by the executor.
+    """
+
+    direct: Tuple[Tuple[int, int], ...]
+    relayed: Tuple[Tuple[int, int, int], ...]
+
+    @property
+    def relay_count(self) -> int:
+        return len(self.relayed)
+
+
+def _positive_pairs(sizes: np.ndarray) -> List[Tuple[int, int]]:
+    pairs = [
+        (int(i), int(j))
+        for i, j in zip(*np.nonzero(sizes))
+        if i != j
+    ]
+    return pairs
+
+
+def choose_relays(
+    snapshot: DirectorySnapshot,
+    sizes: np.ndarray,
+    *,
+    advantage: float = 2.0,
+) -> RelayPlan:
+    """Route each message directly or via its best single relay.
+
+    A relay ``k`` is chosen for ``(i, j)`` only when the serial two-leg
+    time of the *(i, j) payload* is at least ``advantage``-fold cheaper
+    than the direct transfer — a crude guard for the extra port pressure
+    relaying creates.
+    """
+    if advantage < 1.0:
+        raise ValueError(f"advantage must be >= 1, got {advantage}")
+    sizes = np.asarray(sizes, dtype=float)
+    n = snapshot.num_procs
+    if sizes.shape != (n, n):
+        raise ValueError(
+            f"size matrix shape {sizes.shape} does not match {n} processors"
+        )
+    direct: List[Tuple[int, int]] = []
+    relayed: List[Tuple[int, int, int]] = []
+    for src, dst in _positive_pairs(sizes):
+        payload = float(sizes[src, dst])
+        best_relay = None
+        best_time = snapshot.transfer_time(src, dst, payload) / advantage
+        for k in range(n):
+            if k in (src, dst):
+                continue
+            two_leg = snapshot.transfer_time(
+                src, k, payload
+            ) + snapshot.transfer_time(k, dst, payload)
+            if two_leg <= best_time:
+                best_relay = k
+                best_time = two_leg
+        if best_relay is None:
+            direct.append((src, dst))
+        else:
+            relayed.append((src, best_relay, dst))
+    return RelayPlan(direct=tuple(direct), relayed=tuple(relayed))
+
+
+def schedule_openshop_indirect(
+    snapshot: DirectorySnapshot,
+    sizes: np.ndarray,
+    *,
+    advantage: float = 2.0,
+    plan: Optional[RelayPlan] = None,
+) -> Schedule:
+    """Open-shop-style scheduling with optional single-hop relaying.
+
+    Event-driven list scheduling over all legs: a sender picks, among
+    its *ready* legs, the one with the earliest-available receiver; a
+    relayed message's second leg is released when its first completes.
+    Degenerates to plain open shop when the plan relays nothing.  The
+    returned schedule contains the physical legs, so a relayed message
+    appears as two events; port validity still holds.
+    """
+    sizes = np.asarray(sizes, dtype=float)
+    if plan is None:
+        plan = choose_relays(snapshot, sizes, advantage=advantage)
+    n = snapshot.num_procs
+
+    # ready[src]: legs (dst, payload_bytes, release_time, follow_up); a
+    # leg may not start before its release (a relayed second leg is
+    # released when the first leg's data has fully arrived).
+    Leg = Tuple[int, float, float, Optional[Tuple[int, int, float]]]
+    ready: List[List[Leg]] = [[] for _ in range(n)]
+    for src, dst in plan.direct:
+        ready[src].append((dst, float(sizes[src, dst]), 0.0, None))
+    for src, relay, dst in plan.relayed:
+        payload = float(sizes[src, dst])
+        ready[src].append((relay, payload, 0.0, (relay, dst, payload)))
+
+    sendavail = [0.0] * n
+    recvavail = [0.0] * n
+    events: List[CommEvent] = []
+    heap = [(0.0, src) for src in range(n) if ready[src]]
+    heapq.heapify(heap)
+
+    while heap:
+        avail, src = heapq.heappop(heap)
+        if avail < sendavail[src] or not ready[src]:
+            continue
+        # earliest-startable leg: released data + free receiver
+        index = min(
+            range(len(ready[src])),
+            key=lambda i: (
+                max(recvavail[ready[src][i][0]], ready[src][i][2]),
+                ready[src][i][0],
+            ),
+        )
+        dst, payload, release, follow_up = ready[src].pop(index)
+        start = max(sendavail[src], recvavail[dst], release)
+        duration = snapshot.transfer_time(src, dst, payload)
+        finish = start + duration
+        events.append(
+            CommEvent(
+                start=start, src=src, dst=dst, duration=duration,
+                size=payload,
+            )
+        )
+        sendavail[src] = finish
+        recvavail[dst] = finish
+        if follow_up is not None:
+            relay, final_dst, relay_payload = follow_up
+            ready[relay].append((final_dst, relay_payload, finish, None))
+            heapq.heappush(heap, (max(finish, sendavail[relay]), relay))
+        if ready[src]:
+            heapq.heappush(heap, (finish, src))
+
+    return Schedule.from_events(n, events)
+
+
+def relayed_bytes_factor(sizes: np.ndarray, plan: RelayPlan) -> float:
+    """Raw traffic-volume increase of the plan (always >= 1.0).
+
+    A relayed payload crosses the network twice; this is the byte-count
+    increase the paper's Section 3.4 objection is literally about — and
+    it can coexist with a *decrease* in port time when the relay bypasses
+    badly violated triangle inequalities.
+    """
+    sizes = np.asarray(sizes, dtype=float)
+    direct_bytes = sum(
+        float(sizes[src, dst]) for src, dst in _positive_pairs(sizes)
+    )
+    if direct_bytes == 0:
+        return 1.0
+    relayed_extra = sum(
+        float(sizes[src, dst]) for src, _relay, dst in plan.relayed
+    )
+    return (direct_bytes + relayed_extra) / direct_bytes
+
+
+def relayed_volume_factor(
+    snapshot: DirectorySnapshot, sizes: np.ndarray, plan: RelayPlan
+) -> float:
+    """Extra port time the relays inject (>= 1.0 when relaying pays off).
+
+    Total leg time of the plan divided by the all-direct total — the
+    "increase in the volume of traffic" the paper's design note cites.
+    """
+    sizes = np.asarray(sizes, dtype=float)
+    direct_total = sum(
+        snapshot.transfer_time(src, dst, float(sizes[src, dst]))
+        for src, dst in _positive_pairs(sizes)
+    )
+    if direct_total == 0:
+        return 1.0
+    plan_total = sum(
+        snapshot.transfer_time(src, dst, float(sizes[src, dst]))
+        for src, dst in plan.direct
+    ) + sum(
+        snapshot.transfer_time(src, relay, float(sizes[src, dst]))
+        + snapshot.transfer_time(relay, dst, float(sizes[src, dst]))
+        for src, relay, dst in plan.relayed
+    )
+    return plan_total / direct_total

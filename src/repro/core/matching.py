@@ -1,0 +1,158 @@
+"""Matching-based scheduling (paper Section 4.3).
+
+Build a complete bipartite graph with senders on the left, receivers on
+the right, and edge weight equal to the communication time of the
+corresponding message.  A complete matching is a permutation — a
+contention-free communication step.  The scheduler repeatedly extracts a
+maximum-weight (or minimum-weight) complete matching, removes its edges,
+and repeats until all ``P`` matchings are found; the sequence of
+matchings fixes each sender's dispatch order.  Total complexity is
+``O(P^4)`` (``P`` assignment problems at ``O(P^3)`` each).
+
+Maximum-weight matchings group long events into the same step, which
+empirically packs the timing diagram tightly; the minimum variant is also
+provided because the paper evaluates both and finds them comparable.
+
+As the paper notes, "the communication phase does not impose a
+synchronization among the processors after each step" — the matchings fix
+*order* only, and actual start times come from the event-driven executor.
+
+Backends: the default LAP solver is SciPy's Jonker-Volgenant
+``linear_sum_assignment`` (the paper's acknowledgements thank Roy Jonker
+for exactly this algorithm); a networkx
+``minimum_weight_full_matching`` backend is kept for cross-validation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Literal, Sequence
+
+import networkx as nx
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from repro.core.problem import TotalExchangeProblem
+from repro.sim.engine import SendOrders, execute_steps_strict
+from repro.timing.events import Schedule
+
+Objective = Literal["max", "min"]
+Backend = Literal["scipy", "networkx"]
+
+
+def _assignment_scipy(weights: np.ndarray, objective: Objective) -> np.ndarray:
+    rows, cols = linear_sum_assignment(weights, maximize=(objective == "max"))
+    permutation = np.empty(weights.shape[0], dtype=int)
+    permutation[rows] = cols
+    return permutation
+
+
+def _assignment_networkx(weights: np.ndarray, objective: Objective) -> np.ndarray:
+    n = weights.shape[0]
+    graph = nx.Graph()
+    left = [("s", i) for i in range(n)]
+    right = [("r", j) for j in range(n)]
+    graph.add_nodes_from(left, bipartite=0)
+    graph.add_nodes_from(right, bipartite=1)
+    sign = -1.0 if objective == "max" else 1.0
+    for i in range(n):
+        for j in range(n):
+            graph.add_edge(("s", i), ("r", j), weight=sign * weights[i, j])
+    matching = nx.bipartite.minimum_weight_full_matching(graph, top_nodes=left)
+    permutation = np.empty(n, dtype=int)
+    for i in range(n):
+        permutation[i] = matching[("s", i)][1]
+    return permutation
+
+
+def matching_rounds(
+    cost: np.ndarray,
+    *,
+    objective: Objective = "max",
+    backend: Backend = "scipy",
+) -> List[np.ndarray]:
+    """The ``P`` permutations extracted by successive matchings.
+
+    Round ``k``'s permutation maps each sender to its round-``k``
+    destination.  Used edges are masked out between rounds, so the rounds
+    partition all ``P^2`` (sender, receiver) pairs.
+    """
+    cost = np.asarray(cost, dtype=float)
+    n = cost.shape[0]
+    if cost.shape != (n, n):
+        raise ValueError(f"cost must be square, got {cost.shape}")
+    if np.any(cost < 0):
+        raise ValueError("cost entries must be non-negative")
+    solve = _assignment_scipy if backend == "scipy" else _assignment_networkx
+    if backend not in ("scipy", "networkx"):
+        raise ValueError(f"unknown backend {backend!r}")
+
+    # Work on a copy where used edges are masked with a penalty that
+    # dominates any assignment total, so the solver always prefers a fully
+    # unused permutation.  One always exists: K_{n,n} minus k perfect
+    # matchings is (n-k)-regular bipartite, which has a perfect matching
+    # by Hall's theorem — the rounds therefore partition all n^2 pairs.
+    weights = cost.copy()
+    penalty = float(cost.max()) * n + 1.0
+    if objective == "max":
+        used_value = -penalty
+    elif objective == "min":
+        used_value = penalty
+    else:
+        raise ValueError(f"objective must be 'max' or 'min', got {objective!r}")
+
+    rounds: List[np.ndarray] = []
+    for _ in range(n):
+        permutation = solve(weights, objective)
+        rounds.append(permutation)
+        weights[np.arange(n), permutation] = used_value
+    return rounds
+
+
+def matching_orders(
+    problem: TotalExchangeProblem,
+    *,
+    objective: Objective = "max",
+    backend: Backend = "scipy",
+) -> SendOrders:
+    """Per-sender dispatch orders induced by the matching rounds.
+
+    Zero-cost assignments (the diagonal and any free pairs) are kept in
+    the order; the executor skips them at zero cost.
+    """
+    rounds = matching_rounds(problem.cost, objective=objective, backend=backend)
+    orders: SendOrders = [[] for _ in range(problem.num_procs)]
+    for permutation in rounds:
+        for src, dst in enumerate(permutation):
+            orders[src].append(int(dst))
+    return orders
+
+
+def schedule_matching(
+    problem: TotalExchangeProblem,
+    *,
+    objective: Objective = "max",
+    backend: Backend = "scipy",
+) -> Schedule:
+    """Matching-based schedule, executed order-preserving without barriers.
+
+    The rounds fix both each sender's dispatch order and each receiver's
+    service order; actual start times let every event begin as soon as
+    both its ports are free (paper: "the communication phase does not
+    impose a synchronization among the processors after each step").
+    """
+    rounds = matching_rounds(problem.cost, objective=objective, backend=backend)
+    steps = [
+        [(src, int(dst)) for src, dst in enumerate(permutation)]
+        for permutation in rounds
+    ]
+    return execute_steps_strict(problem.cost, steps, sizes=problem.sizes)
+
+
+def schedule_matching_max(problem: TotalExchangeProblem) -> Schedule:
+    """Series-of-maximum-weight-matchings schedule (paper Figure 6)."""
+    return schedule_matching(problem, objective="max")
+
+
+def schedule_matching_min(problem: TotalExchangeProblem) -> Schedule:
+    """Series-of-minimum-weight-matchings schedule (paper's variant)."""
+    return schedule_matching(problem, objective="min")

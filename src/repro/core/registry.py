@@ -1,0 +1,60 @@
+"""Uniform scheduler registry.
+
+Every scheduler shares the signature
+``scheduler(problem: TotalExchangeProblem) -> Schedule``.  Experiments and
+benches look algorithms up here by the names used throughout the paper's
+figures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.core.baseline import schedule_baseline, schedule_baseline_nosync
+from repro.core.exact import schedule_optimal
+from repro.core.listsched import (
+    schedule_local_search,
+    schedule_lpt,
+    schedule_random_order,
+)
+from repro.core.greedy import schedule_greedy
+from repro.core.matching import schedule_matching_max, schedule_matching_min
+from repro.core.openshop import schedule_openshop
+from repro.core.problem import TotalExchangeProblem
+from repro.timing.events import Schedule
+
+Scheduler = Callable[[TotalExchangeProblem], Schedule]
+
+#: The algorithms evaluated in the paper's Section 5 figures, keyed by the
+#: names used in our reports.
+ALL_SCHEDULERS: Dict[str, Scheduler] = {
+    "baseline": schedule_baseline,
+    "max_matching": schedule_matching_max,
+    "min_matching": schedule_matching_min,
+    "greedy": schedule_greedy,
+    "openshop": schedule_openshop,
+}
+
+#: Extra schedulers not part of the figure sweeps.
+EXTRA_SCHEDULERS: Dict[str, Scheduler] = {
+    "optimal": schedule_optimal,
+    "baseline_nosync": schedule_baseline_nosync,
+    "lpt": schedule_lpt,
+    "random_order": schedule_random_order,
+    "local_search": schedule_local_search,
+}
+
+
+def scheduler_names() -> Tuple[str, ...]:
+    """Names of the paper's evaluated schedulers, in report order."""
+    return tuple(ALL_SCHEDULERS)
+
+
+def get_scheduler(name: str) -> Scheduler:
+    """Look up a scheduler by name (figure schedulers plus extras)."""
+    if name in ALL_SCHEDULERS:
+        return ALL_SCHEDULERS[name]
+    if name in EXTRA_SCHEDULERS:
+        return EXTRA_SCHEDULERS[name]
+    known = ", ".join([*ALL_SCHEDULERS, *EXTRA_SCHEDULERS])
+    raise KeyError(f"unknown scheduler {name!r}; known: {known}")

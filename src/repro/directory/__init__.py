@@ -1,0 +1,57 @@
+"""Directory service: run-time network performance information.
+
+Modelled on the Globus Metacomputing Directory Service (MDS) and the CMU
+ReMoS API (paper Section 3.1): applications query current end-to-end
+latency and bandwidth between any processor pair, and the answers change
+over time as background load varies.
+
+* :class:`~repro.directory.service.DirectoryService` — the query API;
+* :class:`~repro.directory.service.DirectorySnapshot` — an immutable
+  point-in-time view, the input to cost-matrix construction;
+* :class:`~repro.directory.static.StaticDirectory` — fixed matrices
+  (e.g. the GUSTO tables);
+* :class:`~repro.directory.network_directory.TopologyDirectory` — derives
+  answers from a link-level :class:`~repro.network.topology.Metacomputer`
+  with per-link background-load processes;
+* :mod:`repro.directory.dynamics` — background-load processes;
+* :mod:`repro.directory.perturb` — pairwise perturbations of snapshots
+  (for adaptivity experiments).
+"""
+
+from repro.directory.dynamics import (
+    DiurnalLoad,
+    LoadProcess,
+    RandomWalkLoad,
+    SpikeLoad,
+    StaticLoad,
+)
+from repro.directory.forecast import (
+    SnapshotHistory,
+    ewma_forecast,
+    forecast_error,
+    linear_forecast,
+)
+from repro.directory.network_directory import TopologyDirectory
+from repro.directory.noisy import NoisyDirectory
+from repro.directory.perturb import perturb_snapshot
+from repro.directory.service import DirectoryService, DirectorySnapshot
+from repro.directory.static import StaticDirectory, gusto_directory
+
+__all__ = [
+    "DirectoryService",
+    "DirectorySnapshot",
+    "DiurnalLoad",
+    "LoadProcess",
+    "NoisyDirectory",
+    "RandomWalkLoad",
+    "SnapshotHistory",
+    "SpikeLoad",
+    "StaticDirectory",
+    "StaticLoad",
+    "TopologyDirectory",
+    "ewma_forecast",
+    "forecast_error",
+    "gusto_directory",
+    "linear_forecast",
+    "perturb_snapshot",
+]

@@ -1,0 +1,163 @@
+"""Background-load processes for time-varying network performance.
+
+Shared environments see continuously changing load (paper Section 1:
+"Network conditions change continuously, and run-time loads cannot be
+determined apriori").  A :class:`LoadProcess` produces a *load factor*
+``f(t) >= 0``: the fraction of a link's capacity consumed by competing
+traffic.  A link with raw bandwidth ``B`` and load ``f`` offers
+``B / (1 + f)`` to the application — equivalent to the directory's
+equal-division rule with ``f`` "phantom" competing flows — while latency
+grows mildly with queueing as ``T * (1 + f)``.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.util.rng import RngLike, to_rng
+from repro.util.validation import check_positive
+
+
+class LoadProcess(abc.ABC):
+    """A stochastic process giving background load over time."""
+
+    @abc.abstractmethod
+    def load_at(self, time: float) -> float:
+        """Load factor at absolute time ``time`` (seconds); >= 0."""
+
+    def effective_bandwidth(self, raw: float, time: float) -> float:
+        """Capacity left for the application at ``time``."""
+        return raw / (1.0 + self.load_at(time))
+
+    def effective_latency(self, raw: float, time: float) -> float:
+        """Start-up cost inflated by queueing at ``time``."""
+        return raw * (1.0 + self.load_at(time))
+
+
+class StaticLoad(LoadProcess):
+    """Constant background load."""
+
+    def __init__(self, load: float = 0.0):
+        self._load = check_positive("load", load, allow_zero=True)
+
+    def load_at(self, time: float) -> float:
+        return self._load
+
+
+class RandomWalkLoad(LoadProcess):
+    """Mean-reverting (Ornstein-Uhlenbeck-style) load in log space.
+
+    ``log(load + eps)`` follows a discretised OU process sampled lazily on
+    a fixed grid, so queries are deterministic for a given seed regardless
+    of query order, and load stays non-negative with multiplicative
+    fluctuations — the empirically typical shape of shared-link load.
+
+    Parameters
+    ----------
+    mean:
+        Long-run mean load factor.
+    volatility:
+        Step standard deviation in log space.
+    reversion:
+        Pull toward the mean per step, in (0, 1].
+    step:
+        Grid resolution in seconds.
+    """
+
+    def __init__(
+        self,
+        *,
+        mean: float = 1.0,
+        volatility: float = 0.3,
+        reversion: float = 0.1,
+        step: float = 1.0,
+        rng: RngLike = None,
+    ):
+        self._log_mean = math.log(check_positive("mean", mean) + 1e-9)
+        self._volatility = check_positive("volatility", volatility, allow_zero=True)
+        if not (0 < reversion <= 1):
+            raise ValueError(f"reversion must be in (0, 1], got {reversion}")
+        self._reversion = reversion
+        self._step = check_positive("step", step)
+        self._rng = to_rng(rng)
+        self._samples = [self._log_mean]
+
+    def _extend_to(self, index: int) -> None:
+        while len(self._samples) <= index:
+            prev = self._samples[-1]
+            nxt = (
+                prev
+                + self._reversion * (self._log_mean - prev)
+                + self._volatility * self._rng.standard_normal()
+            )
+            self._samples.append(nxt)
+
+    def load_at(self, time: float) -> float:
+        if time < 0:
+            raise ValueError(f"time must be >= 0, got {time}")
+        index = int(time / self._step)
+        self._extend_to(index)
+        return float(math.exp(self._samples[index]))
+
+
+class SpikeLoad(LoadProcess):
+    """Poisson-arriving load spikes with exponential decay.
+
+    Models bursty competing transfers: spikes of height ``magnitude``
+    arrive at rate ``rate`` per second and decay with time constant
+    ``decay`` seconds.  Spike times are pre-sampled over ``horizon``.
+    """
+
+    def __init__(
+        self,
+        *,
+        rate: float = 0.05,
+        magnitude: float = 4.0,
+        decay: float = 10.0,
+        base: float = 0.2,
+        horizon: float = 3600.0,
+        rng: RngLike = None,
+    ):
+        check_positive("rate", rate)
+        self._magnitude = check_positive("magnitude", magnitude)
+        self._decay = check_positive("decay", decay)
+        self._base = check_positive("base", base, allow_zero=True)
+        check_positive("horizon", horizon)
+        rng = to_rng(rng)
+        count = rng.poisson(rate * horizon)
+        self._spike_times = np.sort(rng.uniform(0.0, horizon, size=count))
+
+    def load_at(self, time: float) -> float:
+        if time < 0:
+            raise ValueError(f"time must be >= 0, got {time}")
+        past = self._spike_times[self._spike_times <= time]
+        decayed = np.exp(-(time - past) / self._decay)
+        return float(self._base + self._magnitude * decayed.sum())
+
+
+class DiurnalLoad(LoadProcess):
+    """Sinusoidal load with a configurable period (daily cycle by default)."""
+
+    def __init__(
+        self,
+        *,
+        mean: float = 1.0,
+        amplitude: float = 0.8,
+        period: float = 86_400.0,
+        phase: float = 0.0,
+    ):
+        self._mean = check_positive("mean", mean, allow_zero=True)
+        self._amplitude = check_positive("amplitude", amplitude, allow_zero=True)
+        if self._amplitude > self._mean:
+            raise ValueError("amplitude must not exceed mean (load must stay >= 0)")
+        self._period = check_positive("period", period)
+        self._phase = float(phase)
+
+    def load_at(self, time: float) -> float:
+        return self._mean + self._amplitude * math.sin(
+            2 * math.pi * time / self._period + self._phase
+        )

@@ -1,0 +1,159 @@
+"""Directory forecasting: predicting network performance from history.
+
+Section 6.3's premise is that directory information goes stale within a
+collective.  The contemporaneous remedy (cf. the Network Weather
+Service) is to *predict*: keep a short history of snapshots and
+extrapolate each pair's bandwidth/latency to the moment the schedule
+will actually run.  Planning on the forecast instead of the last
+observation shrinks the estimate error the checkpointing machinery has
+to absorb.
+
+* :class:`SnapshotHistory` — a bounded deque of timestamped snapshots;
+* :func:`ewma_forecast` — exponentially weighted moving average (a
+  stable level estimator, the NWS default family);
+* :func:`linear_forecast` — per-pair linear trend extrapolation, for
+  drifting conditions;
+* :func:`forecast_error` — mean relative error of a forecast against a
+  realised snapshot, the metric the bench sweeps.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, Optional
+
+import numpy as np
+
+from repro.directory.service import DirectorySnapshot
+from repro.util.validation import check_positive, check_probability
+
+
+class SnapshotHistory:
+    """A bounded, time-ordered window of directory snapshots."""
+
+    def __init__(self, maxlen: int = 16):
+        if maxlen < 1:
+            raise ValueError(f"maxlen must be >= 1, got {maxlen}")
+        self._window: Deque[DirectorySnapshot] = deque(maxlen=maxlen)
+
+    def push(self, snapshot: DirectorySnapshot) -> None:
+        if self._window and snapshot.time < self._window[-1].time:
+            raise ValueError(
+                f"snapshot at t={snapshot.time} is older than the last "
+                f"recorded one (t={self._window[-1].time})"
+            )
+        if self._window and snapshot.num_procs != self._window[-1].num_procs:
+            raise ValueError("snapshot size changed mid-history")
+        self._window.append(snapshot)
+
+    def __len__(self) -> int:
+        return len(self._window)
+
+    @property
+    def latest(self) -> DirectorySnapshot:
+        if not self._window:
+            raise ValueError("history is empty")
+        return self._window[-1]
+
+    def snapshots(self) -> Iterable[DirectorySnapshot]:
+        return tuple(self._window)
+
+
+def ewma_forecast(
+    history: SnapshotHistory, *, alpha: float = 0.5
+) -> DirectorySnapshot:
+    """EWMA level forecast over the history window.
+
+    ``alpha`` is the weight of newer observations; ``alpha -> 1``
+    degenerates to "use the latest snapshot".  Infinite diagonal
+    bandwidths pass through untouched.
+    """
+    check_probability("alpha", alpha)
+    snapshots = list(history.snapshots())
+    if not snapshots:
+        raise ValueError("history is empty")
+    latency = snapshots[0].latency.copy()
+    bandwidth = snapshots[0].bandwidth.copy()
+    for snapshot in snapshots[1:]:
+        latency = (1 - alpha) * latency + alpha * snapshot.latency
+        finite = np.isfinite(bandwidth) & np.isfinite(snapshot.bandwidth)
+        # substitute zeros on the infinite (diagonal) entries so the
+        # blend never produces 0 * inf = NaN, then restore them.
+        blended = (1 - alpha) * np.where(finite, bandwidth, 0.0) + (
+            alpha * np.where(finite, snapshot.bandwidth, 0.0)
+        )
+        bandwidth = np.where(finite, blended, snapshot.bandwidth)
+    return DirectorySnapshot(
+        latency=latency, bandwidth=bandwidth, time=snapshots[-1].time
+    )
+
+
+def linear_forecast(
+    history: SnapshotHistory, horizon: float
+) -> DirectorySnapshot:
+    """Per-pair trend extrapolation ``horizon`` seconds ahead.
+
+    Latencies get an ordinary least-squares linear trend (floored at 0).
+    Bandwidths are fitted in **log space**: load changes multiply
+    bandwidth rather than add to it (a halving is a halving whether the
+    link is fast or slow), so geometric trends — the common case — are
+    extrapolated exactly.  Falls back to the latest snapshot when fewer
+    than two observations exist.
+    """
+    check_positive("horizon", horizon, allow_zero=True)
+    snapshots = list(history.snapshots())
+    if not snapshots:
+        raise ValueError("history is empty")
+    latest = snapshots[-1]
+    if len(snapshots) < 2:
+        return DirectorySnapshot(
+            latency=latest.latency,
+            bandwidth=latest.bandwidth,
+            time=latest.time + horizon,
+        )
+    times = np.array([s.time for s in snapshots])
+    t_pred = latest.time + horizon
+    centered = times - times.mean()
+    denom = float((centered**2).sum())
+
+    def extrapolate(stack: np.ndarray) -> np.ndarray:
+        mean = stack.mean(axis=0)
+        if denom == 0:
+            return mean
+        slope = np.tensordot(centered, stack - mean, axes=(0, 0)) / denom
+        return mean + slope * (t_pred - times.mean())
+
+    latency = np.maximum(
+        extrapolate(np.stack([s.latency for s in snapshots])), 0.0
+    )
+    bw_stack = np.stack([s.bandwidth for s in snapshots])
+    finite = np.all(np.isfinite(bw_stack), axis=0) & np.all(
+        bw_stack > 0, axis=0
+    )
+    log_pred = extrapolate(np.log(np.where(finite, bw_stack, 1.0)))
+    # floor far below any real bandwidth: a collapsing trend predicts a
+    # near-dead link, never a zero/negative one (which the snapshot type
+    # rightly rejects).
+    bandwidth = np.where(
+        finite, np.maximum(np.exp(log_pred), 1e-12), latest.bandwidth
+    )
+    return DirectorySnapshot(
+        latency=latency, bandwidth=bandwidth, time=t_pred
+    )
+
+
+def forecast_error(
+    forecast: DirectorySnapshot, realised: DirectorySnapshot
+) -> float:
+    """Mean relative bandwidth error of ``forecast`` vs ``realised``."""
+    if forecast.num_procs != realised.num_procs:
+        raise ValueError("snapshots differ in size")
+    mask = np.isfinite(realised.bandwidth) & ~np.eye(
+        realised.num_procs, dtype=bool
+    )
+    if not mask.any():
+        return 0.0
+    rel = np.abs(
+        forecast.bandwidth[mask] - realised.bandwidth[mask]
+    ) / realised.bandwidth[mask]
+    return float(rel.mean())

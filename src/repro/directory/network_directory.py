@@ -1,0 +1,111 @@
+"""Directory service derived from a link-level topology.
+
+:class:`TopologyDirectory` answers MDS-style queries by routing through a
+:class:`~repro.network.topology.Metacomputer` and applying per-link
+background-load processes: end-to-end latency is the (load-inflated) sum
+of link latencies, end-to-end bandwidth is the (load-deflated) bottleneck
+link.  This is the "directory over a real substrate" used by the
+adaptivity experiments and the fluid-simulation ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.directory.dynamics import LoadProcess, StaticLoad
+from repro.directory.service import DirectoryService, DirectorySnapshot
+from repro.network.paths import all_paths
+from repro.network.topology import Metacomputer
+
+Edge = Tuple[str, str]
+
+
+def _canonical(u: str, v: str) -> Edge:
+    return (u, v) if u <= v else (v, u)
+
+
+class TopologyDirectory(DirectoryService):
+    """A directory whose answers come from a topology plus load processes.
+
+    Parameters
+    ----------
+    system:
+        The link-level metacomputer.
+    load_factory:
+        Called once per link (with the canonical edge) to create its
+        background-load process; defaults to no load.  Pass e.g.
+        ``lambda edge: RandomWalkLoad(rng=...)`` for stochastic drift.
+    software_overhead:
+        Fixed per-message software start-up cost added to every pair's
+        latency (the 10-50 ms regime the paper quotes comes mostly from
+        software overheads, not wire latency).
+    """
+
+    def __init__(
+        self,
+        system: Metacomputer,
+        *,
+        load_factory: Optional[Callable[[Edge], LoadProcess]] = None,
+        software_overhead: float = 0.0,
+    ):
+        if system.num_procs == 0:
+            raise ValueError("system has no compute nodes")
+        if not system.is_connected():
+            raise ValueError("system topology is not connected")
+        self._system = system
+        self._software_overhead = float(software_overhead)
+        self._time = 0.0
+        self._paths = all_paths(system)
+        factory = load_factory or (lambda edge: StaticLoad(0.0))
+        self._loads: Dict[Edge, LoadProcess] = {
+            _canonical(u, v): factory(_canonical(u, v))
+            for u, v, _ in system.links()
+        }
+
+    @property
+    def system(self) -> Metacomputer:
+        return self._system
+
+    @property
+    def num_procs(self) -> int:
+        return self._system.num_procs
+
+    @property
+    def time(self) -> float:
+        return self._time
+
+    def advance(self, dt: float) -> None:
+        if dt < 0:
+            raise ValueError(f"dt must be >= 0, got {dt}")
+        self._time += dt
+
+    def link_conditions(self, edge: Edge) -> Tuple[float, float]:
+        """Current effective ``(latency, bandwidth)`` of one link."""
+        edge = _canonical(*edge)
+        link = self._system.link(*edge)
+        load = self._loads[edge]
+        return (
+            load.effective_latency(link.latency, self._time),
+            load.effective_bandwidth(link.bandwidth, self._time),
+        )
+
+    def snapshot(self) -> DirectorySnapshot:
+        n = self.num_procs
+        latency = np.zeros((n, n))
+        bandwidth = np.full((n, n), np.inf)
+        # Evaluate each link once per snapshot, then aggregate per path.
+        conditions = {
+            edge: self.link_conditions(edge) for edge in self._loads
+        }
+        for (src, dst), info in self._paths.items():
+            lat = self._software_overhead
+            bw = np.inf
+            for edge in info.edges:
+                edge_lat, edge_bw = conditions[edge]
+                lat += edge_lat
+                bw = min(bw, edge_bw)
+            latency[src, dst] = lat
+            bandwidth[src, dst] = bw
+        return DirectorySnapshot(latency=latency, bandwidth=bandwidth, time=self._time)

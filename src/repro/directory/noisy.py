@@ -1,0 +1,79 @@
+"""A directory wrapper that returns noisy measurements.
+
+MDS-style directories report *measurements*, and measurements err.
+:class:`NoisyDirectory` wraps any :class:`DirectoryService` and corrupts
+every snapshot with log-normal multiplicative error (fresh noise per
+query, matching how repeated probes of a live network disagree with each
+other).  Pairs with the underlying truth for robustness experiments:
+plan on the noisy view, execute on the wrapped directory's real one.
+"""
+
+from __future__ import annotations
+
+from repro.directory.perturb import perturb_snapshot
+from repro.directory.service import DirectoryService, DirectorySnapshot
+from repro.util.rng import RngLike, to_rng
+from repro.util.validation import check_positive
+
+
+class NoisyDirectory(DirectoryService):
+    """Wraps a directory; snapshots carry measurement error.
+
+    Parameters
+    ----------
+    inner:
+        The ground-truth directory.
+    bandwidth_sigma / latency_sigma:
+        Log-normal error magnitudes applied per pair, per snapshot.
+    symmetric:
+        Whether a pair's two directions err identically (one probe per
+        pair) or independently (one probe per direction).
+    """
+
+    def __init__(
+        self,
+        inner: DirectoryService,
+        *,
+        bandwidth_sigma: float = 0.2,
+        latency_sigma: float = 0.0,
+        symmetric: bool = True,
+        rng: RngLike = None,
+    ):
+        self._inner = inner
+        self._bandwidth_sigma = check_positive(
+            "bandwidth_sigma", bandwidth_sigma, allow_zero=True
+        )
+        self._latency_sigma = check_positive(
+            "latency_sigma", latency_sigma, allow_zero=True
+        )
+        self._symmetric = bool(symmetric)
+        self._rng = to_rng(rng)
+
+    @property
+    def inner(self) -> DirectoryService:
+        """The wrapped ground-truth directory."""
+        return self._inner
+
+    @property
+    def num_procs(self) -> int:
+        return self._inner.num_procs
+
+    @property
+    def time(self) -> float:
+        return self._inner.time
+
+    def advance(self, dt: float) -> None:
+        self._inner.advance(dt)
+
+    def true_snapshot(self) -> DirectorySnapshot:
+        """The wrapped directory's noise-free view."""
+        return self._inner.snapshot()
+
+    def snapshot(self) -> DirectorySnapshot:
+        return perturb_snapshot(
+            self._inner.snapshot(),
+            bandwidth_sigma=self._bandwidth_sigma,
+            latency_sigma=self._latency_sigma,
+            symmetric=self._symmetric,
+            rng=self._rng,
+        )

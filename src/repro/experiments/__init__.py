@@ -1,0 +1,35 @@
+"""Experiment harness reproducing the paper's Section 5 evaluation.
+
+* :mod:`repro.experiments.harness` — seeded parameter sweeps over
+  processor counts and workloads;
+* :mod:`repro.experiments.figures` — one driver per paper figure
+  (Figures 9-12);
+* :mod:`repro.experiments.quality` — the Section 5 ratio-to-lower-bound
+  quality claims;
+* :mod:`repro.experiments.report` — plain-text rendering of results.
+"""
+
+from repro.experiments.figures import (
+    FIGURE_DRIVERS,
+    figure09_small_messages,
+    figure10_large_messages,
+    figure11_mixed_messages,
+    figure12_servers,
+)
+from repro.experiments.harness import SweepResult, run_sweep
+from repro.experiments.quality import QualityStats, quality_stats
+from repro.experiments.report import render_quality, render_sweep
+
+__all__ = [
+    "FIGURE_DRIVERS",
+    "QualityStats",
+    "SweepResult",
+    "figure09_small_messages",
+    "figure10_large_messages",
+    "figure11_mixed_messages",
+    "figure12_servers",
+    "quality_stats",
+    "render_quality",
+    "render_sweep",
+    "run_sweep",
+]

@@ -1,0 +1,110 @@
+"""Sweeps for the adaptivity experiments (paper Section 6.3).
+
+How much does checkpoint rescheduling buy as a function of how hard the
+network moves?  For each drift magnitude (log-normal sigma applied to
+every pair's bandwidth shortly after the collective starts), run the
+stale plan and the checkpointing policies over several trials and report
+mean completion times and the adaptivity gain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+import repro
+from repro.adaptive.checkpoint import (
+    CheckpointPolicy,
+    EveryKEvents,
+    HalvingCheckpoints,
+    NoCheckpoints,
+    piecewise_cost_provider,
+    run_adaptive,
+)
+from repro.core.openshop import schedule_openshop
+from repro.directory.service import DirectorySnapshot
+from repro.model.messages import MixedSizes
+from repro.util.rng import stable_seed, to_rng
+
+
+@dataclass(frozen=True)
+class AdaptiveSweepResult:
+    """Mean completion times per (drift sigma, policy)."""
+
+    sigmas: Tuple[float, ...]
+    num_procs: int
+    trials: int
+    completion: Dict[str, Tuple[float, ...]]  # policy -> per-sigma means
+    post_drift_lb: Tuple[float, ...]
+
+    def gain(self, policy: str) -> Tuple[float, ...]:
+        """Completion-time reduction of ``policy`` vs no checkpoints."""
+        stale = self.completion["none"]
+        ours = self.completion[policy]
+        return tuple(
+            (s - o) / s if s > 0 else 0.0 for s, o in zip(stale, ours)
+        )
+
+
+def run_adaptive_sweep(
+    *,
+    sigmas: Sequence[float] = (0.0, 0.4, 0.8, 1.2, 1.6),
+    num_procs: int = 12,
+    trials: int = 5,
+    drift_fraction: float = 0.1,
+    seed: int = 0,
+) -> AdaptiveSweepResult:
+    """Drift-magnitude sweep of the checkpointing policies.
+
+    ``drift_fraction`` places the reshuffle at that fraction of the
+    planned completion time.  Policies compared: none, every-P events
+    (O(P) checkpoints), halving (O(log P)).
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    policies: Dict[str, CheckpointPolicy] = {
+        "none": NoCheckpoints(),
+        "every_p": EveryKEvents(num_procs),
+        "halving": HalvingCheckpoints(),
+    }
+    completion: Dict[str, list] = {name: [] for name in policies}
+    lbs = []
+    for sigma in sigmas:
+        per_policy = {name: [] for name in policies}
+        per_sigma_lb = []
+        for trial in range(trials):
+            rng = to_rng(stable_seed("adaptive-sweep", seed, sigma, trial))
+            latency, bandwidth = repro.random_pairwise_parameters(
+                num_procs, rng=rng
+            )
+            snapshot = DirectorySnapshot(latency=latency, bandwidth=bandwidth)
+            sizes = MixedSizes().sizes(num_procs, rng=rng)
+            estimate = repro.TotalExchangeProblem.from_snapshot(
+                snapshot, sizes
+            )
+            drift_at = (
+                drift_fraction * schedule_openshop(estimate).completion_time
+            )
+            moved = repro.perturb_snapshot(
+                snapshot, bandwidth_sigma=sigma, rng=rng
+            )
+            actual = repro.TotalExchangeProblem.from_snapshot(moved, sizes)
+            per_sigma_lb.append(actual.lower_bound())
+            provider = piecewise_cost_provider(
+                [0.0, drift_at], [estimate.cost, actual.cost]
+            )
+            for name, policy in policies.items():
+                result = run_adaptive(estimate, provider, policy=policy)
+                per_policy[name].append(result.completion_time)
+        lbs.append(float(np.mean(per_sigma_lb)))
+        for name in policies:
+            completion[name].append(float(np.mean(per_policy[name])))
+    return AdaptiveSweepResult(
+        sigmas=tuple(float(s) for s in sigmas),
+        num_procs=num_procs,
+        trials=trials,
+        completion={k: tuple(v) for k, v in completion.items()},
+        post_drift_lb=tuple(lbs),
+    )

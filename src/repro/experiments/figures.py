@@ -1,0 +1,94 @@
+"""Drivers for the paper's Figures 9-12.
+
+Each driver runs the corresponding Section 5 simulation: completion time
+versus processor count (up to 50) for the baseline, max/min matching,
+greedy, and open shop schedulers, on the figure's workload:
+
+* Figure 9 — uniform small messages (1 kB);
+* Figure 10 — uniform large messages (1 MB);
+* Figure 11 — random mix of 1 kB / 1 MB messages;
+* Figure 12 — 20 % of processors are servers sending 1 MB to every
+  client; all other messages are 1 kB.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+from repro.experiments.harness import DEFAULT_PROC_COUNTS, SweepResult, run_sweep
+from repro.model.messages import MixedSizes, ServerClientSizes, UniformSizes
+from repro.util.units import KILOBYTE, MEGABYTE
+
+
+def figure09_small_messages(
+    *,
+    proc_counts: Sequence[int] = DEFAULT_PROC_COUNTS,
+    trials: int = 3,
+    seed: int = 0,
+) -> SweepResult:
+    """Figure 9: all-to-all with small (1 kB) messages."""
+    return run_sweep(
+        "fig09-small",
+        UniformSizes(KILOBYTE),
+        proc_counts=proc_counts,
+        trials=trials,
+        seed=seed,
+    )
+
+
+def figure10_large_messages(
+    *,
+    proc_counts: Sequence[int] = DEFAULT_PROC_COUNTS,
+    trials: int = 3,
+    seed: int = 0,
+) -> SweepResult:
+    """Figure 10: all-to-all with large (1 MB) messages."""
+    return run_sweep(
+        "fig10-large",
+        UniformSizes(MEGABYTE),
+        proc_counts=proc_counts,
+        trials=trials,
+        seed=seed,
+    )
+
+
+def figure11_mixed_messages(
+    *,
+    proc_counts: Sequence[int] = DEFAULT_PROC_COUNTS,
+    trials: int = 3,
+    seed: int = 0,
+) -> SweepResult:
+    """Figure 11: all-to-all with a random 1 kB / 1 MB mix."""
+    return run_sweep(
+        "fig11-mixed",
+        MixedSizes(KILOBYTE, MEGABYTE, small_probability=0.5),
+        proc_counts=proc_counts,
+        trials=trials,
+        seed=seed,
+    )
+
+
+def figure12_servers(
+    *,
+    proc_counts: Sequence[int] = DEFAULT_PROC_COUNTS,
+    trials: int = 3,
+    seed: int = 0,
+) -> SweepResult:
+    """Figure 12: 20 % of the processors are multimedia servers."""
+    return run_sweep(
+        "fig12-servers",
+        ServerClientSizes(server_fraction=0.2,
+                          large_bytes=MEGABYTE, small_bytes=KILOBYTE),
+        proc_counts=proc_counts,
+        trials=trials,
+        seed=seed,
+    )
+
+
+#: Figure id -> driver, for the CLI and benches.
+FIGURE_DRIVERS: Dict[str, Callable[..., SweepResult]] = {
+    "9": figure09_small_messages,
+    "10": figure10_large_messages,
+    "11": figure11_mixed_messages,
+    "12": figure12_servers,
+}

@@ -1,0 +1,150 @@
+"""Seeded parameter sweeps over processor counts and workloads.
+
+Reproduces the paper's simulation methodology (Section 5): for each
+processor count, generate random pairwise network characteristics using
+the GUSTO directory values as a guideline, build the communication matrix
+for the workload's message sizes, run every scheduling algorithm, and
+record completion times alongside the lower bound.
+
+Every (workload, P, trial) cell gets its own deterministic RNG stream, so
+results are reproducible and independent of evaluation order, and all
+algorithms see the *same* instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.problem import TotalExchangeProblem
+from repro.core.registry import ALL_SCHEDULERS, Scheduler
+from repro.directory.service import DirectorySnapshot
+from repro.model.messages import SizeSpec
+from repro.network.generators import random_pairwise_parameters
+from repro.util.rng import stable_seed, to_rng
+
+#: The sweep defaults follow the paper: "systems with up to 50 processors".
+DEFAULT_PROC_COUNTS: Tuple[int, ...] = (5, 10, 15, 20, 25, 30, 35, 40, 45, 50)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Results of one workload sweep.
+
+    ``completion[name][k]`` is the mean completion time of algorithm
+    ``name`` at ``proc_counts[k]``; ``ratio_samples[name]`` pools the
+    per-instance completion/lower-bound ratios across the whole sweep;
+    ``raw[name][k]`` keeps the per-trial completion times behind each
+    mean so confidence intervals can be computed after the fact.
+    """
+
+    workload: str
+    proc_counts: Tuple[int, ...]
+    trials: int
+    completion: Dict[str, Tuple[float, ...]]
+    lower_bound: Tuple[float, ...]
+    ratio_samples: Dict[str, Tuple[float, ...]]
+    raw: Dict[str, Tuple[Tuple[float, ...], ...]]
+
+    def mean_ratio(self, name: str) -> float:
+        samples = self.ratio_samples[name]
+        return float(np.mean(samples))
+
+    def max_ratio(self, name: str) -> float:
+        return float(np.max(self.ratio_samples[name]))
+
+    def completion_interval(self, name: str, *, confidence: float = 0.95):
+        """Per-P :class:`~repro.util.stats.MeanCI` of the completion time."""
+        from repro.util.stats import mean_ci
+
+        return tuple(
+            mean_ci(samples, confidence=confidence)
+            for samples in self.raw[name]
+        )
+
+    def improvement_over_baseline(self, name: str) -> Tuple[float, ...]:
+        """Per-P speedup of ``name`` over the baseline algorithm."""
+        if "baseline" not in self.completion:
+            raise KeyError("sweep did not include the baseline algorithm")
+        base = self.completion["baseline"]
+        ours = self.completion[name]
+        return tuple(b / o if o > 0 else 1.0 for b, o in zip(base, ours))
+
+
+def run_sweep(
+    workload: str,
+    size_spec: SizeSpec,
+    *,
+    proc_counts: Sequence[int] = DEFAULT_PROC_COUNTS,
+    trials: int = 3,
+    algorithms: Optional[Mapping[str, Scheduler]] = None,
+    seed: int = 0,
+    latency_range: Optional[Tuple[float, float]] = None,
+    bandwidth_range: Optional[Tuple[float, float]] = None,
+) -> SweepResult:
+    """Run the Section 5 sweep for one workload.
+
+    Parameters
+    ----------
+    workload:
+        Label folded into each cell's RNG seed (and into reports).
+    size_spec:
+        Message-size generator for the workload.
+    trials:
+        Independent random networks per processor count; means are
+        reported, ratio samples are pooled.
+    algorithms:
+        Defaults to the paper's five (baseline, max/min matching, greedy,
+        open shop).
+    latency_range / bandwidth_range:
+        Forwarded to the GUSTO-guided generator when given.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    algorithms = dict(algorithms) if algorithms is not None else dict(ALL_SCHEDULERS)
+
+    gen_kwargs = {}
+    if latency_range is not None:
+        gen_kwargs["latency_range"] = latency_range
+    if bandwidth_range is not None:
+        gen_kwargs["bandwidth_range"] = bandwidth_range
+
+    completion: Dict[str, List[float]] = {name: [] for name in algorithms}
+    ratio_samples: Dict[str, List[float]] = {name: [] for name in algorithms}
+    raw: Dict[str, List[Tuple[float, ...]]] = {name: [] for name in algorithms}
+    lower_bounds: List[float] = []
+
+    for num_procs in proc_counts:
+        per_alg_times = {name: [] for name in algorithms}
+        per_p_lbs = []
+        for trial in range(trials):
+            rng = to_rng(stable_seed(workload, seed, num_procs, trial))
+            latency, bandwidth = random_pairwise_parameters(
+                num_procs, rng=rng, **gen_kwargs
+            )
+            snapshot = DirectorySnapshot(latency=latency, bandwidth=bandwidth)
+            problem = TotalExchangeProblem.from_snapshot(
+                snapshot, size_spec, rng=rng
+            )
+            lb = problem.lower_bound()
+            per_p_lbs.append(lb)
+            for name, scheduler in algorithms.items():
+                t = scheduler(problem).completion_time
+                per_alg_times[name].append(t)
+                ratio_samples[name].append(t / lb if lb > 0 else 1.0)
+        lower_bounds.append(float(np.mean(per_p_lbs)))
+        for name in algorithms:
+            completion[name].append(float(np.mean(per_alg_times[name])))
+            raw[name].append(tuple(per_alg_times[name]))
+
+    return SweepResult(
+        workload=workload,
+        proc_counts=tuple(int(p) for p in proc_counts),
+        trials=trials,
+        completion={k: tuple(v) for k, v in completion.items()},
+        lower_bound=tuple(lower_bounds),
+        ratio_samples={k: tuple(v) for k, v in ratio_samples.items()},
+        raw={k: tuple(v) for k, v in raw.items()},
+    )

@@ -1,0 +1,120 @@
+"""Scheduling-overhead break-even analysis (paper Section 6.2 motivation).
+
+"The overhead for repeatedly calculating the communication schedule at
+run-time can be expensive, especially when the number of processors is
+large."  This module quantifies the trade the paper is worried about:
+the wall-clock cost of *computing* a schedule against the simulated
+communication time it saves over the baseline.  The break-even message
+size is where savings start covering the computation; below it,
+adaptivity does not pay per invocation (and the incremental techniques
+of `repro.adaptive` become relevant).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+import repro
+from repro.core.registry import Scheduler, get_scheduler
+from repro.directory.service import DirectorySnapshot
+from repro.model.messages import UniformSizes
+from repro.util.rng import stable_seed, to_rng
+
+
+@dataclass(frozen=True)
+class OverheadPoint:
+    """One (P, message size) cell of the overhead analysis."""
+
+    num_procs: int
+    message_bytes: float
+    scheduling_seconds: float
+    baseline_comm: float
+    adaptive_comm: float
+
+    @property
+    def savings(self) -> float:
+        """Communication seconds saved over the baseline."""
+        return self.baseline_comm - self.adaptive_comm
+
+    @property
+    def net_benefit(self) -> float:
+        """Savings minus the cost of computing the schedule."""
+        return self.savings - self.scheduling_seconds
+
+    @property
+    def pays_off(self) -> bool:
+        return self.net_benefit > 0
+
+
+def measure_scheduling_seconds(
+    scheduler: Scheduler, problem: repro.TotalExchangeProblem, *, reps: int = 3
+) -> float:
+    """Best-of-``reps`` wall-clock cost of one scheduling invocation."""
+    if reps < 1:
+        raise ValueError(f"reps must be >= 1, got {reps}")
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        scheduler(problem)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_overhead_analysis(
+    *,
+    algorithm: str = "openshop",
+    proc_counts: Sequence[int] = (10, 30, 50),
+    message_sizes: Sequence[float] = (1e3, 1e5, 1e6),
+    trials: int = 3,
+    seed: int = 0,
+) -> Tuple[OverheadPoint, ...]:
+    """Sweep (P, message size) cells of the scheduling-cost trade.
+
+    Each cell averages ``trials`` GUSTO-guided random networks;
+    scheduling time is measured on this machine, communication times are
+    simulated.  A real run-time system would compare the same numbers.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    scheduler = get_scheduler(algorithm)
+    points = []
+    for num_procs in proc_counts:
+        for message_bytes in message_sizes:
+            sched_costs, base_comms, adaptive_comms = [], [], []
+            for trial in range(trials):
+                rng = to_rng(
+                    stable_seed("overhead", seed, num_procs,
+                                message_bytes, trial)
+                )
+                latency, bandwidth = repro.random_pairwise_parameters(
+                    num_procs, rng=rng
+                )
+                snapshot = DirectorySnapshot(
+                    latency=latency, bandwidth=bandwidth
+                )
+                problem = repro.TotalExchangeProblem.from_snapshot(
+                    snapshot, UniformSizes(message_bytes)
+                )
+                sched_costs.append(
+                    measure_scheduling_seconds(scheduler, problem)
+                )
+                base_comms.append(
+                    repro.schedule_baseline(problem).completion_time
+                )
+                adaptive_comms.append(
+                    scheduler(problem).completion_time
+                )
+            points.append(
+                OverheadPoint(
+                    num_procs=num_procs,
+                    message_bytes=float(message_bytes),
+                    scheduling_seconds=float(np.mean(sched_costs)),
+                    baseline_comm=float(np.mean(base_comms)),
+                    adaptive_comm=float(np.mean(adaptive_comms)),
+                )
+            )
+    return tuple(points)

@@ -1,0 +1,59 @@
+"""Section 5 quality claims: schedule quality relative to the lower bound.
+
+The paper's text summarises the figures with ratio-to-lower-bound claims:
+open shop within 10 % (often 2 %), matchings within ~15 %, greedy within
+~25 %, baseline up to 6x.  :func:`quality_stats` computes those ratios
+from sweep results so the claims can be checked mechanically (see
+``benchmarks/test_sec5_quality_claims.py`` and EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.harness import SweepResult
+from repro.util.stats import geometric_mean
+
+
+@dataclass(frozen=True)
+class QualityStats:
+    """Ratio-to-lower-bound statistics for one algorithm."""
+
+    algorithm: str
+    samples: int
+    min_ratio: float
+    mean_ratio: float
+    geo_mean_ratio: float
+    max_ratio: float
+
+    @property
+    def max_excess_percent(self) -> float:
+        """Worst-case percentage above the lower bound."""
+        return (self.max_ratio - 1.0) * 100.0
+
+
+def quality_stats(
+    results: Iterable[SweepResult],
+) -> Dict[str, QualityStats]:
+    """Pool ratio samples across sweeps, per algorithm."""
+    pooled: Dict[str, list] = {}
+    for result in results:
+        for name, samples in result.ratio_samples.items():
+            pooled.setdefault(name, []).extend(samples)
+    stats = {}
+    for name, samples in pooled.items():
+        arr = np.asarray(samples, dtype=float)
+        if arr.size == 0:
+            raise ValueError(f"no samples for algorithm {name!r}")
+        stats[name] = QualityStats(
+            algorithm=name,
+            samples=int(arr.size),
+            min_ratio=float(arr.min()),
+            mean_ratio=float(arr.mean()),
+            geo_mean_ratio=geometric_mean(arr.tolist()),
+            max_ratio=float(arr.max()),
+        )
+    return stats

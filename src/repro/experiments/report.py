@@ -1,0 +1,63 @@
+"""Plain-text rendering of experiment results."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+from repro.experiments.harness import SweepResult
+from repro.experiments.quality import QualityStats
+from repro.util.tables import format_series, format_table
+
+
+def render_sweep(result: SweepResult, *, precision: int = 3) -> str:
+    """The figure's series: completion time per algorithm vs P, plus LB."""
+    series: Dict[str, tuple] = {"lower_bound": result.lower_bound}
+    series.update(result.completion)
+    title = (
+        f"workload={result.workload}  trials={result.trials}  "
+        "(mean completion time, seconds)"
+    )
+    return format_series(
+        "P", result.proc_counts, series, precision=precision, title=title
+    )
+
+
+def render_improvement(result: SweepResult, *, precision: int = 2) -> str:
+    """Speedup of each non-baseline algorithm over the baseline, per P."""
+    series = {
+        name: result.improvement_over_baseline(name)
+        for name in result.completion
+        if name != "baseline"
+    }
+    return format_series(
+        "P",
+        result.proc_counts,
+        series,
+        precision=precision,
+        title=f"workload={result.workload}  (speedup over baseline)",
+    )
+
+
+def render_quality(
+    stats: Mapping[str, QualityStats], *, precision: int = 3
+) -> str:
+    """Ratio-to-lower-bound summary, one row per algorithm."""
+    rows = [
+        [
+            s.algorithm,
+            s.samples,
+            s.min_ratio,
+            s.mean_ratio,
+            s.geo_mean_ratio,
+            s.max_ratio,
+            s.max_excess_percent,
+        ]
+        for s in stats.values()
+    ]
+    return format_table(
+        ["algorithm", "n", "min", "mean", "geo mean", "max",
+         "worst % over LB"],
+        rows,
+        precision=precision,
+        title="schedule quality relative to the lower bound",
+    )

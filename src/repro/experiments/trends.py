@@ -1,0 +1,60 @@
+"""Trend analysis over sweep results.
+
+The figures' most important *shape* is not any single number but the
+slopes: the baseline's ratio to the lower bound grows with the system
+size while the adaptive algorithms stay flat.  This module fits those
+trends so benches can assert them mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.experiments.harness import SweepResult
+
+
+@dataclass(frozen=True)
+class RatioTrend:
+    """Least-squares fit of (ratio to LB) against processor count."""
+
+    algorithm: str
+    slope_per_processor: float
+    intercept: float
+    ratio_at_min_p: float
+    ratio_at_max_p: float
+
+    @property
+    def grows(self) -> bool:
+        """True when quality degrades noticeably with scale."""
+        return self.slope_per_processor > 1e-4
+
+    @property
+    def flat(self) -> bool:
+        """True when quality is essentially scale-independent.
+
+        Threshold 2e-3 per processor: under 10 % quality drift across
+        the paper's whole P = 5..50 range.
+        """
+        return abs(self.slope_per_processor) <= 2e-3
+
+
+def ratio_trends(result: SweepResult) -> Dict[str, RatioTrend]:
+    """Fit a per-algorithm linear trend of mean ratio vs P."""
+    procs = np.asarray(result.proc_counts, dtype=float)
+    if procs.size < 2:
+        raise ValueError("need at least two processor counts for a trend")
+    trends: Dict[str, RatioTrend] = {}
+    for name, series in result.completion.items():
+        ratios = np.asarray(series) / np.asarray(result.lower_bound)
+        slope, intercept = np.polyfit(procs, ratios, 1)
+        trends[name] = RatioTrend(
+            algorithm=name,
+            slope_per_processor=float(slope),
+            intercept=float(intercept),
+            ratio_at_min_p=float(ratios[0]),
+            ratio_at_max_p=float(ratios[-1]),
+        )
+    return trends

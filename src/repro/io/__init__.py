@@ -1,0 +1,34 @@
+"""Serialization: problems, snapshots, and schedules as JSON.
+
+Lets experiments persist instances and results (e.g. a directory
+snapshot captured on one machine, rescheduled on another), and gives the
+benches a stable on-disk format for regression comparisons.
+"""
+
+from repro.io.serialize import (
+    load_json,
+    problem_from_dict,
+    problem_to_dict,
+    save_json,
+    schedule_from_dict,
+    schedule_to_dict,
+    snapshot_from_dict,
+    snapshot_to_dict,
+)
+from repro.io.svg import render_svg, save_svg
+from repro.io.trace import save_trace, schedule_to_trace
+
+__all__ = [
+    "load_json",
+    "problem_from_dict",
+    "problem_to_dict",
+    "render_svg",
+    "save_json",
+    "save_svg",
+    "save_trace",
+    "schedule_from_dict",
+    "schedule_to_dict",
+    "schedule_to_trace",
+    "snapshot_from_dict",
+    "snapshot_to_dict",
+]

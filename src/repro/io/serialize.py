@@ -1,0 +1,134 @@
+"""JSON (de)serialization of the core value types.
+
+All formats are versioned dictionaries of plain lists/numbers; infinities
+(the bandwidth diagonal) are encoded as the string ``"inf"`` so the
+output is strict JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from repro.core.problem import TotalExchangeProblem
+from repro.directory.service import DirectorySnapshot
+from repro.timing.events import CommEvent, Schedule
+
+FORMAT_VERSION = 1
+
+
+def _matrix_to_lists(matrix: np.ndarray):
+    return [
+        ["inf" if np.isinf(x) else float(x) for x in row] for row in matrix
+    ]
+
+
+def _matrix_from_lists(rows) -> np.ndarray:
+    return np.array(
+        [[float("inf") if x == "inf" else float(x) for x in row] for row in rows]
+    )
+
+
+# -- problems ---------------------------------------------------------------
+
+def problem_to_dict(problem: TotalExchangeProblem) -> Dict[str, Any]:
+    """Encode a total-exchange instance."""
+    payload: Dict[str, Any] = {
+        "format": "repro/problem",
+        "version": FORMAT_VERSION,
+        "cost": _matrix_to_lists(problem.cost),
+    }
+    if problem.sizes is not None:
+        payload["sizes"] = _matrix_to_lists(problem.sizes)
+    return payload
+
+
+def problem_from_dict(payload: Dict[str, Any]) -> TotalExchangeProblem:
+    """Decode :func:`problem_to_dict` output."""
+    _check_format(payload, "repro/problem")
+    sizes = payload.get("sizes")
+    return TotalExchangeProblem(
+        cost=_matrix_from_lists(payload["cost"]),
+        sizes=_matrix_from_lists(sizes) if sizes is not None else None,
+    )
+
+
+# -- snapshots ----------------------------------------------------------------
+
+def snapshot_to_dict(snapshot: DirectorySnapshot) -> Dict[str, Any]:
+    """Encode a directory snapshot."""
+    return {
+        "format": "repro/snapshot",
+        "version": FORMAT_VERSION,
+        "time": snapshot.time,
+        "latency": _matrix_to_lists(snapshot.latency),
+        "bandwidth": _matrix_to_lists(snapshot.bandwidth),
+    }
+
+
+def snapshot_from_dict(payload: Dict[str, Any]) -> DirectorySnapshot:
+    """Decode :func:`snapshot_to_dict` output."""
+    _check_format(payload, "repro/snapshot")
+    return DirectorySnapshot(
+        latency=_matrix_from_lists(payload["latency"]),
+        bandwidth=_matrix_from_lists(payload["bandwidth"]),
+        time=float(payload.get("time", 0.0)),
+    )
+
+
+# -- schedules ----------------------------------------------------------------
+
+def schedule_to_dict(schedule: Schedule) -> Dict[str, Any]:
+    """Encode a schedule as an event list."""
+    return {
+        "format": "repro/schedule",
+        "version": FORMAT_VERSION,
+        "num_procs": schedule.num_procs,
+        "events": [
+            [event.start, event.src, event.dst, event.duration, event.size]
+            for event in schedule
+        ],
+    }
+
+
+def schedule_from_dict(payload: Dict[str, Any]) -> Schedule:
+    """Decode :func:`schedule_to_dict` output."""
+    _check_format(payload, "repro/schedule")
+    events = [
+        CommEvent(
+            start=float(start),
+            src=int(src),
+            dst=int(dst),
+            duration=float(duration),
+            size=float(size),
+        )
+        for start, src, dst, duration, size in payload["events"]
+    ]
+    return Schedule.from_events(int(payload["num_procs"]), events)
+
+
+# -- files ----------------------------------------------------------------
+
+def _check_format(payload: Dict[str, Any], expected: str) -> None:
+    found = payload.get("format")
+    if found != expected:
+        raise ValueError(f"expected format {expected!r}, found {found!r}")
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported {expected} version {version!r} "
+            f"(supported: {FORMAT_VERSION})"
+        )
+
+
+def save_json(path: Union[str, pathlib.Path], payload: Dict[str, Any]) -> None:
+    """Write an encoded object to ``path``."""
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_json(path: Union[str, pathlib.Path]) -> Dict[str, Any]:
+    """Read an encoded object from ``path``."""
+    return json.loads(pathlib.Path(path).read_text())

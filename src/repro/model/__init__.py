@@ -1,0 +1,33 @@
+"""Analytical communication model (paper Section 3.2).
+
+The time to send an ``m``-byte message from ``P_i`` to ``P_j`` is
+``T_ij + m / B_ij``; a node participates in at most one send and one
+receive at a time, and contending receives serialise.  This package turns
+directory snapshots plus message-size specifications into dense
+communication-cost matrices, and provides the extended receive models of
+Section 6.1 (interleaved multithreaded receive, finite receive buffers).
+"""
+
+from repro.model.cost import CommunicationModel, cost_matrix
+from repro.model.extended import FiniteBufferModel, InterleavedReceiveModel
+from repro.model.messages import (
+    MessageSizes,
+    MixedSizes,
+    ParetoSizes,
+    ServerClientSizes,
+    SizeSpec,
+    UniformSizes,
+)
+
+__all__ = [
+    "CommunicationModel",
+    "FiniteBufferModel",
+    "InterleavedReceiveModel",
+    "MessageSizes",
+    "MixedSizes",
+    "ParetoSizes",
+    "ServerClientSizes",
+    "SizeSpec",
+    "UniformSizes",
+    "cost_matrix",
+]

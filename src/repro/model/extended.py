@@ -1,0 +1,99 @@
+"""Extended communication models (paper Section 6.1).
+
+The base model allows one send and one receive per node at a time.  The
+paper sketches two relaxations, both implemented here as parameter objects
+consumed by the execution-engine variants in :mod:`repro.sim.variants`:
+
+* **Interleaved receive** — multithreading (as in Nexus) lets a node
+  receive several messages concurrently, at a context-switching overhead
+  ``alpha``: receiving ``k`` messages that individually take ``t_1..t_k``
+  simultaneously takes ``(1 + alpha) * (t_1 + ... + t_k)``.
+* **Finite receive buffers** — a sender blocks only until its message is
+  *buffered* at the receiver; the receiver drains the buffer one message
+  at a time.  With a large buffer this decouples senders from slow
+  receivers; with a zero-capacity buffer it degenerates to the base model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class InterleavedReceiveModel:
+    """Parameters for interleaved (multithreaded) receives.
+
+    Attributes
+    ----------
+    alpha:
+        Context-switch overhead; total time for a batch of simultaneous
+        receives is ``(1 + alpha) *`` the sum of individual times.
+    max_streams:
+        Maximum number of simultaneous receive threads per node.
+    """
+
+    alpha: float = 0.1
+    max_streams: int = 2
+
+    def __post_init__(self) -> None:
+        check_positive("alpha", self.alpha, allow_zero=True)
+        if self.max_streams < 1:
+            raise ValueError(f"max_streams must be >= 1, got {self.max_streams}")
+
+    def batch_time(self, durations) -> float:
+        """Time to receive ``durations`` simultaneously on one node."""
+        durations = list(durations)
+        if len(durations) > self.max_streams:
+            raise ValueError(
+                f"{len(durations)} simultaneous receives exceeds "
+                f"max_streams={self.max_streams}"
+            )
+        if len(durations) <= 1:
+            return sum(durations)
+        return (1.0 + self.alpha) * sum(durations)
+
+    def effective_rate_factor(self, concurrent: int) -> float:
+        """Per-stream progress rate with ``concurrent`` active receives.
+
+        With ``k`` interleaved receives each stream progresses at
+        ``1 / ((1 + alpha) * k)`` of its solo rate, so a batch of equal
+        messages finishes in ``(1 + alpha) * k * t`` — consistent with
+        :meth:`batch_time`.
+        """
+        if concurrent < 1:
+            raise ValueError(f"concurrent must be >= 1, got {concurrent}")
+        if concurrent == 1:
+            return 1.0
+        return 1.0 / ((1.0 + self.alpha) * concurrent)
+
+
+@dataclass(frozen=True)
+class FiniteBufferModel:
+    """Parameters for buffered receives.
+
+    Attributes
+    ----------
+    capacity_bytes:
+        Buffer space per node.  A message can be deposited when free space
+        covers its size; the sender is released at deposit time, and the
+        receive completes when the receiver later drains the message.
+    drain_rate:
+        Bytes/second at which the receiver copies buffered messages into
+        application memory (models the memcpy / protocol processing the
+        receive thread still has to do).
+    """
+
+    capacity_bytes: float = 4_000_000.0
+    drain_rate: float = 500_000_000.0
+
+    def __post_init__(self) -> None:
+        check_positive("capacity_bytes", self.capacity_bytes, allow_zero=True)
+        check_positive("drain_rate", self.drain_rate)
+
+    def drain_time(self, size_bytes: float) -> float:
+        """Time for the receiver to drain one buffered message."""
+        if size_bytes < 0:
+            raise ValueError(f"size must be >= 0, got {size_bytes}")
+        return size_bytes / self.drain_rate

@@ -1,0 +1,174 @@
+"""Message-size specifications for total exchange.
+
+A size spec produces the ``[src, dst]`` matrix of message sizes (bytes)
+that a collective pattern must move.  The paper's experiments use uniform
+1 kB, uniform 1 MB, a random mix of the two, and a client-server pattern
+(Section 5); richer application-derived patterns live in
+:mod:`repro.workloads`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.rng import RngLike, to_rng
+from repro.util.units import KILOBYTE, MEGABYTE
+from repro.util.validation import check_positive, check_probability
+
+
+class SizeSpec(abc.ABC):
+    """Produces a message-size matrix for a given processor count."""
+
+    @abc.abstractmethod
+    def sizes(self, num_procs: int, *, rng: RngLike = None) -> np.ndarray:
+        """Return a ``[src, dst]`` byte-size matrix with a zero diagonal."""
+
+    @staticmethod
+    def _blank(num_procs: int) -> np.ndarray:
+        if num_procs <= 0:
+            raise ValueError(f"num_procs must be positive, got {num_procs}")
+        return np.zeros((num_procs, num_procs))
+
+
+class UniformSizes(SizeSpec):
+    """Every off-diagonal message has the same size."""
+
+    def __init__(self, size_bytes: float = KILOBYTE):
+        self._size = check_positive("size_bytes", size_bytes)
+
+    def sizes(self, num_procs: int, *, rng: RngLike = None) -> np.ndarray:
+        matrix = self._blank(num_procs)
+        matrix[:] = self._size
+        np.fill_diagonal(matrix, 0.0)
+        return matrix
+
+
+class MixedSizes(SizeSpec):
+    """Each message is independently small or large.
+
+    The paper's "random mix" workload: every message is 1 kB with
+    probability ``small_probability`` and 1 MB otherwise.
+    """
+
+    def __init__(
+        self,
+        small_bytes: float = KILOBYTE,
+        large_bytes: float = MEGABYTE,
+        small_probability: float = 0.5,
+    ):
+        self._small = check_positive("small_bytes", small_bytes)
+        self._large = check_positive("large_bytes", large_bytes)
+        self._p_small = check_probability("small_probability", small_probability)
+
+    def sizes(self, num_procs: int, *, rng: RngLike = None) -> np.ndarray:
+        rng = to_rng(rng)
+        small = rng.random((num_procs, num_procs)) < self._p_small
+        matrix = np.where(small, self._small, self._large).astype(float)
+        np.fill_diagonal(matrix, 0.0)
+        return matrix
+
+
+class ServerClientSizes(SizeSpec):
+    """The paper's Figure 12 scenario: a server fraction sends large data.
+
+    A fraction of the processors are *servers* (20 % in the paper's
+    experiment) holding partitioned multimedia data.  Server-to-client
+    messages are large; client-to-client, client-to-server, and
+    server-to-server messages are small.  "Data is also assumed to be
+    partitioned over the servers, so that the load on the servers is
+    balanced" — with uniform per-pair sizes each server carries the same
+    outgoing volume, so the balance condition holds by construction.
+    """
+
+    def __init__(
+        self,
+        server_fraction: float = 0.2,
+        large_bytes: float = MEGABYTE,
+        small_bytes: float = KILOBYTE,
+        *,
+        first_servers: bool = True,
+    ):
+        self._fraction = check_probability("server_fraction", server_fraction)
+        if self._fraction == 0.0:
+            raise ValueError("server_fraction must be > 0")
+        self._large = check_positive("large_bytes", large_bytes)
+        self._small = check_positive("small_bytes", small_bytes)
+        self._first_servers = bool(first_servers)
+
+    def num_servers(self, num_procs: int) -> int:
+        """How many processors act as servers (at least one)."""
+        return max(1, int(round(self._fraction * num_procs)))
+
+    def server_set(self, num_procs: int, *, rng: RngLike = None) -> np.ndarray:
+        """Indices of the server processors."""
+        k = self.num_servers(num_procs)
+        if self._first_servers:
+            return np.arange(k)
+        return np.sort(to_rng(rng).choice(num_procs, size=k, replace=False))
+
+    def sizes(self, num_procs: int, *, rng: RngLike = None) -> np.ndarray:
+        servers = self.server_set(num_procs, rng=rng)
+        is_server = np.zeros(num_procs, dtype=bool)
+        is_server[servers] = True
+        matrix = np.full((num_procs, num_procs), self._small)
+        # server rows -> client columns get the large payload
+        matrix[np.ix_(is_server, ~is_server)] = self._large
+        np.fill_diagonal(matrix, 0.0)
+        return matrix
+
+
+class ParetoSizes(SizeSpec):
+    """Heavy-tailed message sizes (bounded Pareto).
+
+    Real application traffic is rarely bimodal: a few huge transfers
+    dominate the volume while most messages are small.  Sizes are drawn
+    from a Pareto distribution with shape ``alpha`` and scale
+    ``minimum_bytes``, truncated at ``cap_bytes`` so a single sample
+    cannot dwarf the rest of the experiment.
+    """
+
+    def __init__(
+        self,
+        minimum_bytes: float = KILOBYTE,
+        alpha: float = 1.3,
+        cap_bytes: float = 100 * MEGABYTE,
+    ):
+        self._minimum = check_positive("minimum_bytes", minimum_bytes)
+        self._alpha = check_positive("alpha", alpha)
+        self._cap = check_positive("cap_bytes", cap_bytes)
+        if self._cap < self._minimum:
+            raise ValueError("cap_bytes must be >= minimum_bytes")
+
+    def sizes(self, num_procs: int, *, rng: RngLike = None) -> np.ndarray:
+        rng = to_rng(rng)
+        raw = self._minimum * (
+            1.0 + rng.pareto(self._alpha, size=(num_procs, num_procs))
+        )
+        matrix = np.minimum(raw, self._cap)
+        np.fill_diagonal(matrix, 0.0)
+        return matrix
+
+
+class MessageSizes(SizeSpec):
+    """A fixed, explicit size matrix wrapped as a spec."""
+
+    def __init__(self, matrix: np.ndarray):
+        arr = np.asarray(matrix, dtype=float)
+        if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+            raise ValueError(f"size matrix must be square, got {arr.shape}")
+        if np.any(arr < 0):
+            raise ValueError("message sizes must be non-negative")
+        arr = arr.copy()
+        np.fill_diagonal(arr, 0.0)
+        self._matrix = arr
+
+    def sizes(self, num_procs: int, *, rng: RngLike = None) -> np.ndarray:
+        if num_procs != self._matrix.shape[0]:
+            raise ValueError(
+                f"fixed size matrix is {self._matrix.shape[0]}x"
+                f"{self._matrix.shape[0]}, asked for {num_procs} processors"
+            )
+        return self._matrix.copy()

@@ -1,0 +1,65 @@
+"""Network substrate: link-level metacomputer models and GUSTO data.
+
+The paper's directory service reports *end-to-end* latency/bandwidth, but
+those numbers come from paths crossing multiple physical networks (local
+networks at each site plus long-haul links, Figure 1 of the paper).  This
+package models that substrate explicitly:
+
+* :mod:`repro.network.topology` — sites, compute nodes, links;
+* :mod:`repro.network.paths` — routing and end-to-end path parameters
+  (latency = sum of link latencies, bandwidth = bottleneck link);
+* :mod:`repro.network.sharing` — dividing a shared link's bandwidth among
+  concurrent flows (equal-share and max-min fair allocations);
+* :mod:`repro.network.gusto` — the GUSTO testbed measurements from the
+  paper's Tables 1-2;
+* :mod:`repro.network.generators` — synthetic heterogeneous systems used
+  by the Section 5 experiments.
+"""
+
+from repro.network.generators import (
+    random_metacomputer,
+    random_pairwise_parameters,
+)
+from repro.network.gusto import (
+    GUSTO_BANDWIDTH_KBIT_S,
+    GUSTO_LATENCY_MS,
+    GUSTO_SITES,
+    gusto_parameters,
+)
+from repro.network.multinet import (
+    Channel,
+    MultiNetwork,
+    aggregate_split,
+    aggregate_time,
+    pbps_crossover,
+    pbps_select,
+    pbps_time,
+)
+from repro.network.paths import PathInfo, end_to_end_matrices, path_info
+from repro.network.sharing import equal_share_rates, max_min_fair_rates
+from repro.network.topology import Link, Metacomputer, Node, Site
+
+__all__ = [
+    "Channel",
+    "GUSTO_BANDWIDTH_KBIT_S",
+    "GUSTO_LATENCY_MS",
+    "GUSTO_SITES",
+    "Link",
+    "Metacomputer",
+    "MultiNetwork",
+    "Node",
+    "PathInfo",
+    "Site",
+    "aggregate_split",
+    "aggregate_time",
+    "pbps_crossover",
+    "pbps_select",
+    "pbps_time",
+    "end_to_end_matrices",
+    "equal_share_rates",
+    "gusto_parameters",
+    "max_min_fair_rates",
+    "path_info",
+    "random_metacomputer",
+    "random_pairwise_parameters",
+]

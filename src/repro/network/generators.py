@@ -1,0 +1,145 @@
+"""Synthetic heterogeneous systems for simulation experiments.
+
+Two levels of synthesis are provided:
+
+* :func:`random_pairwise_parameters` — directly sample symmetric pairwise
+  latency/bandwidth matrices in GUSTO-like ranges.  This is what the
+  paper's own simulator does ("generates random performance
+  characteristics for pairwise network performance, using information from
+  the GUSTO directory service as a guideline") and what the figure
+  benchmarks use.
+* :func:`random_metacomputer` — sample a full link-level topology (sites,
+  access links, backbone) as in Figure 1, for experiments that need a real
+  substrate underneath the directory (link sharing, background load,
+  fluid simulation).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.network.gusto import (
+    GUSTO_BANDWIDTH_RANGE_BPS,
+    GUSTO_LATENCY_RANGE_S,
+)
+from repro.network.topology import Metacomputer
+from repro.util.rng import RngLike, to_rng
+from repro.util.units import GBIT_PER_S, MBIT_PER_S, seconds_from_ms
+
+
+def random_pairwise_parameters(
+    num_procs: int,
+    *,
+    latency_range: Tuple[float, float] = GUSTO_LATENCY_RANGE_S,
+    bandwidth_range: Tuple[float, float] = GUSTO_BANDWIDTH_RANGE_BPS,
+    symmetric: bool = True,
+    log_uniform_bandwidth: bool = True,
+    rng: RngLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample GUSTO-guided pairwise ``(latency, bandwidth)`` matrices.
+
+    Latencies are uniform over ``latency_range`` (seconds); bandwidths are
+    log-uniform over ``bandwidth_range`` (bytes/s) by default, reflecting
+    the order-of-magnitude spread in the GUSTO tables (246 kbit/s to
+    ~5 Mbit/s).  ``symmetric=True`` mirrors the upper triangle, as in the
+    paper's tables.
+    """
+    if num_procs <= 0:
+        raise ValueError(f"num_procs must be positive, got {num_procs}")
+    lat_lo, lat_hi = latency_range
+    bw_lo, bw_hi = bandwidth_range
+    if lat_lo < 0 or lat_hi < lat_lo:
+        raise ValueError(f"bad latency range {latency_range}")
+    if bw_lo <= 0 or bw_hi < bw_lo:
+        raise ValueError(f"bad bandwidth range {bandwidth_range}")
+    rng = to_rng(rng)
+
+    latency = rng.uniform(lat_lo, lat_hi, size=(num_procs, num_procs))
+    if log_uniform_bandwidth:
+        bandwidth = np.exp(
+            rng.uniform(np.log(bw_lo), np.log(bw_hi), size=(num_procs, num_procs))
+        )
+    else:
+        bandwidth = rng.uniform(bw_lo, bw_hi, size=(num_procs, num_procs))
+    if symmetric:
+        upper = np.triu_indices(num_procs, k=1)
+        latency.T[upper] = latency[upper]
+        bandwidth.T[upper] = bandwidth[upper]
+    np.fill_diagonal(latency, 0.0)
+    np.fill_diagonal(bandwidth, np.inf)
+    return latency, bandwidth
+
+
+def random_metacomputer(
+    *,
+    num_sites: int = 3,
+    nodes_per_site: int = 4,
+    access_latency: float = seconds_from_ms(0.5),
+    access_bandwidth: float = GBIT_PER_S,
+    backbone_latency_range: Tuple[float, float] = GUSTO_LATENCY_RANGE_S,
+    backbone_bandwidth_range: Tuple[float, float] = (
+        2 * MBIT_PER_S,
+        45 * MBIT_PER_S,  # T3-class upper end, per the paper's Figure 1
+    ),
+    extra_edge_probability: float = 0.3,
+    rng: RngLike = None,
+) -> Metacomputer:
+    """Sample a Figure-1-style metacomputer.
+
+    Sites are joined by a random spanning tree plus extra backbone links
+    with probability ``extra_edge_probability`` per remaining site pair, so
+    the system is always connected but not fully meshed.  Backbone
+    latencies/bandwidths are sampled per link; local access links are fast
+    and uniform (the heterogeneity the paper studies is in the wide-area
+    part).
+    """
+    if num_sites <= 0 or nodes_per_site <= 0:
+        raise ValueError("num_sites and nodes_per_site must be positive")
+    rng = to_rng(rng)
+    system = Metacomputer()
+    site_names = [f"site{i}" for i in range(num_sites)]
+    for name in site_names:
+        system.add_site(name)
+        for i in range(nodes_per_site):
+            system.add_node(
+                name,
+                access_latency=access_latency,
+                access_bandwidth=access_bandwidth,
+                name=f"{name}-{i}",
+            )
+
+    def sample_backbone() -> Tuple[float, float]:
+        latency = rng.uniform(*backbone_latency_range)
+        bandwidth = np.exp(
+            rng.uniform(
+                np.log(backbone_bandwidth_range[0]),
+                np.log(backbone_bandwidth_range[1]),
+            )
+        )
+        return float(latency), float(bandwidth)
+
+    # Random spanning tree: attach each new site to a random earlier one.
+    for i in range(1, num_sites):
+        j = int(rng.integers(0, i))
+        latency, bandwidth = sample_backbone()
+        system.connect_sites(
+            site_names[i], site_names[j], latency=latency, bandwidth=bandwidth
+        )
+    # Extra shortcut links.
+    for i in range(num_sites):
+        for j in range(i + 1, num_sites):
+            if system.graph.has_edge(
+                system.sites[site_names[i]].hub, system.sites[site_names[j]].hub
+            ):
+                continue
+            if rng.random() < extra_edge_probability:
+                latency, bandwidth = sample_backbone()
+                system.connect_sites(
+                    site_names[i],
+                    site_names[j],
+                    latency=latency,
+                    bandwidth=bandwidth,
+                )
+    return system

@@ -1,0 +1,67 @@
+"""GUSTO testbed measurements (paper Tables 1 and 2).
+
+GUSTO was the Globus testbed; the paper's directory-service example shows
+current latency and bandwidth between five of its sites: NASA AMES,
+Argonne National Lab (ANL), University of Indiana (IND), USC-ISI, and
+NCSA.  These tables both serve as a ready-made 5-processor problem and as
+the *guideline* for the random network parameters used in the Section 5
+simulations (see :mod:`repro.network.generators`).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.util.units import bytes_per_s_from_kbit_per_s, seconds_from_ms
+
+#: Site order used by both tables.
+GUSTO_SITES: Tuple[str, ...] = ("AMES", "ANL", "IND", "USC-ISI", "NCSA")
+
+#: Paper Table 1 — pairwise latency in milliseconds (diagonal unused).
+GUSTO_LATENCY_MS = np.array(
+    [
+        [0.0, 34.5, 89.5, 12.0, 42.0],
+        [34.5, 0.0, 20.0, 26.5, 4.5],
+        [89.5, 20.0, 0.0, 42.5, 21.5],
+        [12.0, 26.5, 42.5, 0.0, 29.5],
+        [42.0, 4.5, 21.5, 29.5, 0.0],
+    ]
+)
+
+#: Paper Table 2 — pairwise bandwidth in kbit/s (diagonal unused).
+GUSTO_BANDWIDTH_KBIT_S = np.array(
+    [
+        [0.0, 512.0, 246.0, 2044.0, 391.0],
+        [512.0, 0.0, 491.0, 693.0, 2402.0],
+        [246.0, 491.0, 0.0, 311.0, 448.0],
+        [2044.0, 693.0, 311.0, 0.0, 4976.0],
+        [391.0, 2402.0, 448.0, 4976.0, 0.0],
+    ]
+)
+
+#: Observed GUSTO ranges, used as generator guidelines (§5: "random
+#: performance characteristics ... using information from the GUSTO
+#: directory service as a guideline").
+GUSTO_LATENCY_RANGE_S: Tuple[float, float] = (
+    seconds_from_ms(4.5),
+    seconds_from_ms(89.5),
+)
+GUSTO_BANDWIDTH_RANGE_BPS: Tuple[float, float] = (
+    bytes_per_s_from_kbit_per_s(246.0),
+    bytes_per_s_from_kbit_per_s(4976.0),
+)
+
+
+def gusto_parameters() -> Tuple[np.ndarray, np.ndarray]:
+    """The GUSTO tables in internal units.
+
+    Returns ``(latency, bandwidth)`` with latency in seconds and bandwidth
+    in bytes/second; diagonals are 0 and ``inf`` (local copies are free).
+    """
+    latency = seconds_from_ms(GUSTO_LATENCY_MS.copy())
+    bandwidth = bytes_per_s_from_kbit_per_s(GUSTO_BANDWIDTH_KBIT_S.copy())
+    np.fill_diagonal(latency, 0.0)
+    np.fill_diagonal(bandwidth, np.inf)
+    return latency, bandwidth

@@ -1,0 +1,121 @@
+"""Bandwidth sharing among concurrent flows.
+
+The paper's directory "takes into account the current network load ...  If
+the paths between two distinct node pairs share a common link, the
+bandwidth of the common link is divided among these communicating pairs."
+Two allocation policies are provided:
+
+* :func:`equal_share_rates` — each link's capacity is divided equally
+  among the flows crossing it; a flow's rate is its most restrictive
+  per-link share.  This is the paper's stated policy and is what the
+  directory uses.
+* :func:`max_min_fair_rates` — progressive-filling max-min fairness,
+  which redistributes capacity left unused by flows bottlenecked
+  elsewhere.  Used by the fluid simulator for "what actually happens"
+  ablation experiments; it never allocates less than the equal share.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Mapping, Sequence, Tuple
+
+Edge = Tuple[str, str]
+
+
+def _flow_edges(paths: Sequence[Sequence[Edge]]) -> List[List[Edge]]:
+    return [list(path) for path in paths]
+
+
+def equal_share_rates(
+    paths: Sequence[Sequence[Edge]],
+    capacities: Mapping[Edge, float],
+) -> List[float]:
+    """Equal-split allocation: rate_f = min over links of C_l / n_l.
+
+    ``paths[f]`` lists the (canonically ordered) edges used by flow ``f``;
+    ``capacities`` maps each edge to its capacity in bytes/second.
+    """
+    flows = _flow_edges(paths)
+    load: Dict[Edge, int] = {}
+    for edges in flows:
+        for edge in edges:
+            load[edge] = load.get(edge, 0) + 1
+    rates = []
+    for edges in flows:
+        if not edges:
+            rates.append(float("inf"))
+            continue
+        rates.append(min(capacities[edge] / load[edge] for edge in edges))
+    return rates
+
+
+def max_min_fair_rates(
+    paths: Sequence[Sequence[Edge]],
+    capacities: Mapping[Edge, float],
+    *,
+    tolerance: float = 1e-12,
+) -> List[float]:
+    """Max-min fair allocation by progressive filling.
+
+    Repeatedly raise all unfrozen flows' rates together until some link
+    saturates, then freeze the flows crossing that link.  The result
+    dominates :func:`equal_share_rates` pointwise.
+    """
+    flows = _flow_edges(paths)
+    n = len(flows)
+    rates = [0.0] * n
+    frozen = [not edges for edges in flows]  # edgeless flows are unconstrained
+    for i, done in enumerate(frozen):
+        if done:
+            rates[i] = float("inf")
+
+    remaining: Dict[Edge, float] = dict(capacities)
+    while not all(frozen):
+        # For each link, the head-room per unfrozen flow crossing it.
+        increments: Dict[Edge, float] = {}
+        for edge, capacity in remaining.items():
+            active = sum(
+                1
+                for i, edges in enumerate(flows)
+                if not frozen[i] and edge in edges
+            )
+            if active:
+                increments[edge] = capacity / active
+        if not increments:
+            # Unfrozen flows cross no capacitated link (shouldn't happen for
+            # well-formed inputs); treat them as unconstrained.
+            for i in range(n):
+                if not frozen[i]:
+                    rates[i] = float("inf")
+                    frozen[i] = True
+            break
+        step = min(increments.values())
+        saturated = {
+            edge for edge, inc in increments.items() if inc <= step + tolerance
+        }
+        for i, edges in enumerate(flows):
+            if frozen[i]:
+                continue
+            rates[i] += step
+            for edge in edges:
+                remaining[edge] -= step
+            if any(edge in saturated for edge in edges):
+                frozen[i] = True
+        for edge in saturated:
+            remaining[edge] = max(remaining[edge], 0.0)
+    return rates
+
+
+def shared_bandwidth_matrix(
+    num_procs: int,
+    active_pairs: Sequence[Tuple[int, int]],
+    paths: Mapping[Tuple[int, int], Sequence[Edge]],
+    capacities: Mapping[Edge, float],
+):
+    """Effective per-pair bandwidth when ``active_pairs`` transfer at once.
+
+    Returns ``{pair: bytes/s}`` under the directory's equal-share policy.
+    """
+    flow_paths = [paths[pair] for pair in active_pairs]
+    rates = equal_share_rates(flow_paths, capacities)
+    return dict(zip(active_pairs, rates))

@@ -1,0 +1,25 @@
+"""Process placement: mapping logical ranks onto heterogeneous nodes.
+
+The paper's schedulers adapt the communication *order* to the network;
+the MSHN project it belongs to also studies adapting the *mapping* of
+work to machines.  This package optimises which physical node runs each
+logical rank of a communication pattern: on a clustered metacomputer,
+placing heavily-communicating rank pairs inside the same site routinely
+beats any amount of clever ordering across a slow backbone.
+"""
+
+from repro.placement.optimize import (
+    PlacementResult,
+    apply_placement,
+    evaluate_placement,
+    greedy_swap_placement,
+    random_search_placement,
+)
+
+__all__ = [
+    "PlacementResult",
+    "apply_placement",
+    "evaluate_placement",
+    "greedy_swap_placement",
+    "random_search_placement",
+]

@@ -1,0 +1,34 @@
+"""QoS-constrained communication scheduling (paper Section 6.4).
+
+Two problem variations the paper sketches for BADD-style data staging:
+
+* :mod:`repro.qos.deadlines` — every message carries a real-time deadline
+  and a priority; deadline- and priority-aware open shop variants
+  sequence contending messages accordingly, and
+  :mod:`repro.qos.metrics` scores miss rates and weighted tardiness;
+* :mod:`repro.qos.critical` — one processor is a critical resource (an
+  expensive supercomputer) whose communication should finish as early as
+  possible, even at the expense of overall completion time.
+"""
+
+from repro.qos.critical import critical_finish_time, schedule_critical_first
+from repro.qos.deadlines import (
+    QoSMessage,
+    QoSProblem,
+    schedule_edf,
+    schedule_llf,
+    schedule_priority,
+)
+from repro.qos.metrics import QoSReport, evaluate_qos
+
+__all__ = [
+    "QoSMessage",
+    "QoSProblem",
+    "QoSReport",
+    "critical_finish_time",
+    "evaluate_qos",
+    "schedule_critical_first",
+    "schedule_edf",
+    "schedule_llf",
+    "schedule_priority",
+]

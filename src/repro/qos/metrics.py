@@ -1,0 +1,60 @@
+"""QoS outcome metrics: deadline misses and tardiness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.qos.deadlines import QoSProblem
+from repro.timing.events import Schedule
+
+
+@dataclass(frozen=True)
+class QoSReport:
+    """Deadline outcomes of a schedule against a QoS problem."""
+
+    total_messages: int
+    missed: int
+    max_tardiness: float
+    weighted_tardiness: float
+    completion_time: float
+
+    @property
+    def miss_rate(self) -> float:
+        if self.total_messages == 0:
+            return 0.0
+        return self.missed / self.total_messages
+
+
+def evaluate_qos(problem: QoSProblem, schedule: Schedule) -> QoSReport:
+    """Score ``schedule`` against ``problem``'s deadlines and priorities.
+
+    Tardiness of a message is ``max(0, finish - deadline)``; weighted
+    tardiness multiplies by the message priority.  Messages without a QoS
+    record are best-effort (infinite deadline) and never count as missed.
+    """
+    qos = problem.qos_map()
+    finish_times: Dict[Tuple[int, int], float] = {
+        (event.src, event.dst): event.finish for event in schedule
+    }
+    missed = 0
+    max_tardiness = 0.0
+    weighted = 0.0
+    for (src, dst), msg in qos.items():
+        finish = finish_times.get((src, dst))
+        if finish is None:
+            raise ValueError(
+                f"schedule has no event for QoS message {src}->{dst}"
+            )
+        tardiness = max(0.0, finish - msg.deadline)
+        if tardiness > 0:
+            missed += 1
+        max_tardiness = max(max_tardiness, tardiness)
+        weighted += msg.priority * tardiness
+    return QoSReport(
+        total_messages=len(qos),
+        missed=missed,
+        max_tardiness=max_tardiness,
+        weighted_tardiness=weighted,
+        completion_time=schedule.completion_time,
+    )

@@ -1,0 +1,207 @@
+"""Flow-level (fluid) execution over a link topology.
+
+The analytical model prices each message independently (``T + m/B``) and
+ignores the bandwidth that simultaneous transfers steal from each other on
+shared links.  This simulator executes send orders over an actual
+:class:`~repro.network.topology.Metacomputer`: concurrent flows receive
+max-min fair shares of every link they cross, recomputed whenever a flow
+starts or finishes.  Comparing its completion times against the
+analytical executor quantifies the model error the paper's directory
+sharing rule is meant to absorb (ablation experiment A3 in DESIGN.md).
+
+Port semantics match the base model: one active send per sender, one
+active receive per receiver, FIFO receiver queueing.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.network.paths import all_paths
+from repro.network.sharing import max_min_fair_rates
+from repro.network.topology import Metacomputer
+from repro.sim.engine import check_orders
+from repro.timing.events import CommEvent, Schedule
+
+_EPS = 1e-12
+
+
+class _Flow:
+    """An in-flight transfer with remaining byte work."""
+
+    __slots__ = ("src", "dst", "start", "latency_until", "remaining", "size")
+
+    def __init__(
+        self, src: int, dst: int, start: float, latency: float, size: float
+    ):
+        self.src = src
+        self.dst = dst
+        self.start = start
+        #: The start-up phase [start, latency_until) transfers no bytes.
+        self.latency_until = start + latency
+        self.remaining = size
+        self.size = size
+
+
+def fluid_execute_orders(
+    system: Metacomputer,
+    orders: Sequence[Sequence[int]],
+    sizes: np.ndarray,
+    *,
+    software_overhead: float = 0.0,
+    background_flows: Optional[Sequence[Tuple[int, int]]] = None,
+) -> Schedule:
+    """Execute ``orders`` moving ``sizes[src, dst]`` bytes over ``system``.
+
+    Each message experiences its routed path latency (plus
+    ``software_overhead``) as a start-up phase, then transfers its bytes
+    at the flow's current max-min fair rate.  Zero-byte messages are
+    emitted as free markers.
+
+    ``background_flows`` lists node pairs with *persistent* competing
+    traffic: each participates in the max-min sharing on its routed path
+    for the whole run (it never finishes and occupies no ports) —
+    cross-application load, the thing the paper's directory divides
+    bandwidth for.
+    """
+    n = system.num_procs
+    sizes = np.asarray(sizes, dtype=float)
+    if sizes.shape != (n, n):
+        raise ValueError(
+            f"size matrix shape {sizes.shape} does not match "
+            f"{n}-node system"
+        )
+    check_orders(orders, sizes, require_coverage=False)
+
+    paths = all_paths(system)
+    capacities = {}
+    for u, v, link in system.links():
+        edge = (u, v) if u <= v else (v, u)
+        capacities[edge] = link.bandwidth
+
+    background_paths = []
+    for src, dst in background_flows or ():
+        if src == dst:
+            raise ValueError("background flow endpoints must differ")
+        background_paths.append(paths[(src, dst)].edges)
+
+    next_index = [0] * n
+    recv_busy = [False] * n
+    waiting: List[List[Tuple[float, int]]] = [[] for _ in range(n)]  # per dst
+    active: List[_Flow] = []
+    events: List[CommEvent] = []
+    now = 0.0
+
+    def issue_next(src: int, at_time: float) -> None:
+        while next_index[src] < len(orders[src]):
+            dst = orders[src][next_index[src]]
+            next_index[src] += 1
+            # Self-messages are local copies: free under the fluid model too.
+            if sizes[src, dst] > 0 and src != dst:
+                heapq.heappush(waiting[dst], (at_time, src))
+                return
+            events.append(
+                CommEvent(start=at_time, src=src, dst=dst, duration=0.0)
+            )
+
+    def admit(dst: int, current: float) -> None:
+        if recv_busy[dst] or not waiting[dst]:
+            return
+        req_time, src = heapq.heappop(waiting[dst])
+        recv_busy[dst] = True
+        start = max(req_time, current)
+        latency = paths[(src, dst)].latency + software_overhead
+        active.append(_Flow(src, dst, start, latency, float(sizes[src, dst])))
+
+    for src in range(n):
+        issue_next(src, 0.0)
+    for dst in range(n):
+        admit(dst, 0.0)
+
+    while active or any(waiting[j] for j in range(n)):
+        if not active:
+            next_req = min(waiting[j][0][0] for j in range(n) if waiting[j])
+            now = max(now, next_req)
+            for j in range(n):
+                admit(j, now)
+            continue
+
+        # Flows still in their latency phase transfer nothing yet.
+        transferring = [f for f in active if f.latency_until <= now + _EPS]
+        rates: Dict[int, float] = {}
+        if transferring:
+            flow_paths = [
+                paths[(f.src, f.dst)].edges for f in transferring
+            ] + background_paths
+            fair = max_min_fair_rates(flow_paths, capacities)
+            rates = {id(f): r for f, r in zip(transferring, fair)}
+
+        # Next event: a latency phase ending or a transfer completing.
+        candidates: List[float] = [
+            f.latency_until for f in active if f.latency_until > now + _EPS
+        ]
+        for flow in transferring:
+            rate = rates[id(flow)]
+            if rate == float("inf") or flow.remaining <= _EPS:
+                candidates.append(now)
+            else:
+                candidates.append(now + flow.remaining / rate)
+        next_time = min(candidates)
+        tol = 1e-9 * max(1.0, abs(next_time))
+
+        finished: List[_Flow] = []
+        for flow in transferring:
+            rate = rates[id(flow)]
+            if rate == float("inf"):
+                flow.remaining = 0.0
+            else:
+                flow.remaining -= max(0.0, next_time - now) * rate
+            if flow.remaining <= tol * max(1.0, rate):
+                flow.remaining = 0.0
+                finished.append(flow)
+        now = next_time
+
+        for flow in finished:
+            active.remove(flow)
+            recv_busy[flow.dst] = False
+            events.append(
+                CommEvent(
+                    start=flow.start,
+                    src=flow.src,
+                    dst=flow.dst,
+                    duration=now - flow.start,
+                    size=flow.size,
+                )
+            )
+            issue_next(flow.src, now)
+        for j in range(n):
+            admit(j, now)
+
+    return Schedule.from_events(n, events)
+
+
+def analytical_equivalent_cost(
+    system: Metacomputer,
+    sizes: np.ndarray,
+    *,
+    software_overhead: float = 0.0,
+) -> np.ndarray:
+    """The cost matrix the analytical model would assign to this system.
+
+    Convenience for model-error experiments: build the no-sharing
+    ``T + m/B`` matrix from the same topology the fluid simulator runs on.
+    """
+    from repro.network.paths import end_to_end_matrices
+
+    latency, bandwidth = end_to_end_matrices(
+        system, software_overhead=software_overhead
+    )
+    sizes = np.asarray(sizes, dtype=float)
+    with np.errstate(invalid="ignore"):
+        cost = latency + sizes / bandwidth
+    cost = np.where(sizes == 0, 0.0, cost)
+    np.fill_diagonal(cost, 0.0)
+    return cost

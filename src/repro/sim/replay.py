@@ -1,0 +1,80 @@
+"""Replaying planned schedules under different network conditions.
+
+Adaptivity claims are about exactly this gap: a schedule is planned from
+one directory snapshot, but the network has moved on by the time it runs.
+These helpers re-execute a planned schedule's event order — which fixes
+both each sender's dispatch order and each receiver's service order —
+under the costs that actually materialised, using the same strict
+order-preserving semantics the schedulers plan for
+(:func:`repro.sim.engine.execute_steps_strict`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.problem import TotalExchangeProblem
+from repro.sim.engine import execute_steps_strict
+from repro.timing.events import Schedule
+
+
+def replay_schedule(
+    planned: Schedule, actual: TotalExchangeProblem
+) -> Schedule:
+    """Execute ``planned``'s event order under ``actual``'s costs.
+
+    Every event becomes its own single-event step, in planned start
+    order; strict execution then respects the planned per-port orders
+    while letting start times stretch or shrink with the new costs.
+    """
+    if planned.num_procs != actual.num_procs:
+        raise ValueError(
+            f"schedule over {planned.num_procs} processors cannot replay on "
+            f"a {actual.num_procs}-processor instance"
+        )
+    ordered = sorted(planned, key=lambda e: (e.start, e.src, e.dst))
+    steps = [[(e.src, e.dst)] for e in ordered]
+    return execute_steps_strict(actual.cost, steps, sizes=actual.sizes)
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of replaying a planned schedule under actual conditions."""
+
+    planned: Schedule
+    actual: Schedule
+
+    @property
+    def planned_time(self) -> float:
+        return self.planned.completion_time
+
+    @property
+    def actual_time(self) -> float:
+        return self.actual.completion_time
+
+    @property
+    def slowdown(self) -> float:
+        """``actual / planned`` completion-time ratio (1.0 = as planned)."""
+        if self.planned_time == 0:
+            return 1.0 if self.actual_time == 0 else float("inf")
+        return self.actual_time / self.planned_time
+
+
+def evaluate_orders_under(
+    planned: Schedule,
+    actual: TotalExchangeProblem,
+) -> Schedule:
+    """Alias of :func:`replay_schedule` (kept for API symmetry)."""
+    return replay_schedule(planned, actual)
+
+
+def planned_vs_actual(
+    planned_schedule: Schedule,
+    actual: TotalExchangeProblem,
+) -> ReplayResult:
+    """Pair a planned schedule with its replay under actual conditions."""
+    return ReplayResult(
+        planned=planned_schedule,
+        actual=replay_schedule(planned_schedule, actual),
+    )

@@ -1,0 +1,269 @@
+"""Executor variants for the extended models of paper Section 6.1.
+
+Both variants consume the same per-sender send orders as the base engine
+but relax the receive side:
+
+* :func:`execute_orders_interleaved` — a node may receive up to
+  ``max_streams`` messages concurrently; interleaving costs a context-
+  switch factor, so ``k`` concurrent receives each progress at
+  ``1 / ((1 + alpha) * k)`` of their solo rate (total batch time
+  ``(1 + alpha) * sum`` for equal overlap, as the paper specifies).
+* :func:`execute_orders_buffered` — a sender blocks only until its
+  message is stored in the receiver's finite buffer; the receiver drains
+  buffered messages one at a time.  Completion is when all messages are
+  drained.
+
+Both return ordinary :class:`~repro.timing.events.Schedule` objects whose
+events span ``[start, finish]`` of each message's *transfer* (for the
+buffered variant, deposit start to drain completion), so completion times
+are comparable with the base model.  Note these schedules intentionally
+violate the base model's receiver-serialisation rule — do not run them
+through :func:`repro.timing.validate.check_schedule`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.problem import TotalExchangeProblem
+from repro.model.extended import FiniteBufferModel, InterleavedReceiveModel
+from repro.sim.engine import check_orders
+from repro.timing.events import CommEvent, Schedule
+
+_EPS = 1e-12
+
+
+class _Transfer:
+    """An in-flight interleaved receive with remaining solo-time work."""
+
+    __slots__ = ("src", "dst", "start", "work", "size")
+
+    def __init__(self, src: int, dst: int, start: float, work: float, size: float):
+        self.src = src
+        self.dst = dst
+        self.start = start
+        self.work = work  # remaining duration at solo rate
+        self.size = size
+
+
+def execute_orders_interleaved(
+    problem: TotalExchangeProblem,
+    orders: Sequence[Sequence[int]],
+    model: InterleavedReceiveModel,
+) -> Schedule:
+    """Execute orders with interleaved (multithreaded) receives.
+
+    Senders remain serialised (one outstanding send each).  A receive may
+    begin whenever the receiver has a free stream slot; otherwise the
+    request queues FIFO.  Active receives at a node progress at the
+    model's rate factor for the node's current concurrency, re-evaluated
+    whenever the active set changes.
+    """
+    cost = problem.cost
+    check_orders(orders, cost, require_coverage=False)
+    n = problem.num_procs
+
+    next_index = [0] * n
+    waiting: List[List[Tuple[float, int, int]]] = [[] for _ in range(n)]
+    active: Dict[int, List[_Transfer]] = {j: [] for j in range(n)}
+    events: List[CommEvent] = []
+    now = 0.0
+
+    def size_of(src: int, dst: int) -> float:
+        return problem.size_of(src, dst)
+
+    def issue_next(src: int, at_time: float) -> None:
+        while next_index[src] < len(orders[src]):
+            dst = orders[src][next_index[src]]
+            next_index[src] += 1
+            duration = float(cost[src, dst])
+            if duration > 0:
+                heapq.heappush(
+                    waiting[dst], (at_time, src, duration)  # FIFO, src tie-break
+                )
+                return
+            events.append(
+                CommEvent(
+                    start=at_time, src=src, dst=dst, duration=0.0,
+                    size=size_of(src, dst),
+                )
+            )
+
+    def admit(dst: int, current: float) -> None:
+        """Move queued requests into free stream slots at ``dst``."""
+        while waiting[dst] and len(active[dst]) < model.max_streams:
+            req_time, src, duration = heapq.heappop(waiting[dst])
+            start = max(req_time, current)
+            active[dst].append(
+                _Transfer(src, dst, start, duration, size_of(src, dst))
+            )
+
+    for src in range(n):
+        issue_next(src, 0.0)
+    for dst in range(n):
+        admit(dst, 0.0)
+
+    while any(active[j] for j in range(n)) or any(waiting[j] for j in range(n)):
+        # Estimated completion (eta) of every active transfer at current rates.
+        etas: List[Tuple[float, _Transfer, float]] = []  # (eta, transfer, rate)
+        for j in range(n):
+            k = len(active[j])
+            if k == 0:
+                continue
+            rate = model.effective_rate_factor(k)
+            for tr in active[j]:
+                etas.append((max(tr.start, now) + tr.work / rate, tr, rate))
+        if not etas:
+            # Requests are waiting but nothing is active: admit at the
+            # earliest request time.
+            next_req = min(waiting[j][0][0] for j in range(n) if waiting[j])
+            now = max(now, next_req)
+            for j in range(n):
+                admit(j, now)
+            continue
+
+        next_time = min(eta for eta, _, _ in etas)
+        tol = 1e-9 * max(1.0, abs(next_time))
+        finished: List[_Transfer] = []
+        for eta, tr, rate in etas:
+            if eta <= next_time + tol:
+                tr.work = 0.0
+                finished.append(tr)
+            else:
+                begun = max(tr.start, now)
+                tr.work -= max(0.0, next_time - begun) * rate
+        now = next_time
+        for tr in finished:
+            active[tr.dst].remove(tr)
+            events.append(
+                CommEvent(
+                    start=tr.start,
+                    src=tr.src,
+                    dst=tr.dst,
+                    duration=now - tr.start,
+                    size=tr.size,
+                )
+            )
+            issue_next(tr.src, now)
+        for j in range(n):
+            admit(j, now)
+
+    return Schedule.from_events(n, events)
+
+
+def execute_orders_buffered(
+    problem: TotalExchangeProblem,
+    orders: Sequence[Sequence[int]],
+    model: FiniteBufferModel,
+    *,
+    sizes: Optional[np.ndarray] = None,
+) -> Schedule:
+    """Execute orders with finite receive buffers.
+
+    A *deposit* occupies the sender for the wire time ``cost[src, dst]``
+    and may start once the receiver's buffer has room for the message
+    (deposits at a node may overlap — the buffer absorbs them).  Deposited
+    messages are drained serially per node at ``model.drain_rate``; buffer
+    space is released when the drain finishes.  An event's recorded span
+    is deposit-start to drain-finish.
+
+    ``sizes`` overrides the problem's size matrix; sizes are required.
+    Messages larger than the buffer capacity are infeasible and raise
+    :class:`ValueError`.
+    """
+    cost = problem.cost
+    check_orders(orders, cost, require_coverage=False)
+    size_matrix = sizes if sizes is not None else problem.sizes
+    if size_matrix is None:
+        raise ValueError(
+            "buffered execution needs message sizes; provide sizes= or build "
+            "the problem with a size matrix"
+        )
+    size_matrix = np.asarray(size_matrix, dtype=float)
+    n = problem.num_procs
+    positive = cost > 0
+    if np.any(size_matrix[positive] > model.capacity_bytes):
+        raise ValueError(
+            "a message exceeds the receive buffer capacity; the finite-"
+            "buffer model cannot transfer it"
+        )
+
+    # Discrete-event state.
+    free_space = [model.capacity_bytes] * n
+    drain_free = [0.0] * n  # when each node's drain port is next idle
+    next_index = [0] * n
+    blocked: List[List[Tuple[float, int]]] = [[] for _ in range(n)]  # per dst
+    events: List[CommEvent] = []
+
+    # Heap entries: (time, seq, kind, payload)
+    #   "request":      sender ready to deposit (payload = (src, dst))
+    #   "deposit_done": wire transfer finished
+    #   "drain_done":   receiver finished draining; buffer space freed
+    heap: List[tuple] = []
+    seq = 0
+
+    def push(time: float, kind: str, payload) -> None:
+        nonlocal seq
+        heapq.heappush(heap, (time, seq, kind, payload))
+        seq += 1
+
+    def issue_next(src: int, at_time: float) -> None:
+        while next_index[src] < len(orders[src]):
+            dst = orders[src][next_index[src]]
+            next_index[src] += 1
+            if cost[src, dst] > 0:
+                push(at_time, "request", (src, dst))
+                return
+            events.append(
+                CommEvent(
+                    start=at_time, src=src, dst=dst, duration=0.0,
+                    size=float(size_matrix[src, dst]),
+                )
+            )
+
+    for src in range(n):
+        issue_next(src, 0.0)
+
+    while heap:
+        time, _, kind, payload = heapq.heappop(heap)
+        if kind == "request":
+            src, dst = payload
+            size = float(size_matrix[src, dst])
+            if size <= free_space[dst] + _EPS:
+                free_space[dst] -= size
+                finish = time + float(cost[src, dst])
+                push(finish, "deposit_done", (src, dst, time, size))
+            else:
+                blocked[dst].append((time, src))
+        elif kind == "deposit_done":
+            src, dst, deposit_start, size = payload
+            # Sender is released now; message enters the drain queue.
+            issue_next(src, time)
+            drain_start = max(time, drain_free[dst])
+            drain_finish = drain_start + model.drain_time(size)
+            drain_free[dst] = drain_finish
+            push(drain_finish, "drain_done", (src, dst, deposit_start, size))
+        else:  # drain_done — buffer space is released only now
+            src, dst, deposit_start, size = payload
+            free_space[dst] += size
+            events.append(
+                CommEvent(
+                    start=deposit_start,
+                    src=src,
+                    dst=dst,
+                    duration=time - deposit_start,
+                    size=size,
+                )
+            )
+            # Retry blocked senders in original request order; ties in the
+            # heap break on push sequence, preserving FIFO.
+            if blocked[dst]:
+                retries = sorted(blocked[dst])
+                blocked[dst] = []
+                for _req_time, blocked_src in retries:
+                    push(time, "request", (blocked_src, dst))
+
+    return Schedule.from_events(n, events)

@@ -1,0 +1,32 @@
+"""Data staging over heterogeneous networks (paper Section 2 / 6.4).
+
+The BADD (Battlefield Awareness and Data Dissemination) program posed a
+staging problem the paper cites via Tan et al. [24]: data items sit at
+source machines, each *request* names an item, a destination, a
+real-time deadline, and a priority, and items move over a shared
+heterogeneous network where link capacity serialises transfers.  The
+reference heuristic routes each request over a multiple-source
+shortest-path and reserves link time greedily in priority/deadline
+order.
+
+* :mod:`repro.staging.request` — items, requests, and the staged plan;
+* :mod:`repro.staging.scheduler` — the multiple-source shortest-path
+  heuristic with per-link time reservations, plus metrics.
+"""
+
+from repro.staging.request import DataItem, DataRequest, StagedTransfer, StagingPlan
+from repro.staging.scheduler import (
+    StagingMetrics,
+    evaluate_plan,
+    schedule_staging,
+)
+
+__all__ = [
+    "DataItem",
+    "DataRequest",
+    "StagedTransfer",
+    "StagingMetrics",
+    "StagingPlan",
+    "evaluate_plan",
+    "schedule_staging",
+]

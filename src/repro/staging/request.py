@@ -1,0 +1,92 @@
+"""Data items, requests, and staging plans."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class DataItem:
+    """A named data object replicated at one or more source nodes."""
+
+    name: str
+    size_bytes: float
+    sources: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        check_positive("size_bytes", self.size_bytes)
+        if not self.sources:
+            raise ValueError(f"item {self.name!r} has no sources")
+        object.__setattr__(self, "sources", tuple(self.sources))
+
+
+@dataclass(frozen=True)
+class DataRequest:
+    """A demand: deliver ``item`` to ``destination`` by ``deadline``.
+
+    ``priority`` is a positive weight; higher priorities are scheduled
+    first and weigh more in the satisfaction metrics.  ``arrival`` is
+    when the request becomes known (and its transfer may start) —
+    requests trickle in over a battle, they do not all exist at t=0.
+    """
+
+    item: DataItem
+    destination: int
+    deadline: float
+    priority: float = 1.0
+    arrival: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.destination < 0:
+            raise ValueError("destination must be a node index")
+        if self.deadline < 0:
+            raise ValueError("deadline must be >= 0")
+        if self.arrival < 0:
+            raise ValueError("arrival must be >= 0")
+        check_positive("priority", self.priority)
+
+
+@dataclass(frozen=True)
+class StagedTransfer:
+    """One scheduled delivery: the chosen source, route, and timing.
+
+    ``hops`` records each link traversal as
+    ``((u, v), depart, arrive)`` — the reservation windows the scheduler
+    committed, so link-serialisation can be audited after the fact.
+    """
+
+    request: DataRequest
+    source: int
+    route: Tuple[str, ...]  # graph vertices, node -> ... -> node
+    start: float
+    finish: float
+    hops: Tuple[Tuple[Tuple[str, str], float, float], ...] = ()
+
+    @property
+    def on_time(self) -> bool:
+        return self.finish <= self.request.deadline + 1e-12
+
+    @property
+    def tardiness(self) -> float:
+        return max(0.0, self.finish - self.request.deadline)
+
+
+@dataclass
+class StagingPlan:
+    """The scheduler's output: transfers plus any unroutable requests."""
+
+    transfers: List[StagedTransfer] = field(default_factory=list)
+    unroutable: List[DataRequest] = field(default_factory=list)
+
+    @property
+    def completion_time(self) -> float:
+        return max((t.finish for t in self.transfers), default=0.0)
+
+    def transfers_by_destination(self) -> Dict[int, List[StagedTransfer]]:
+        by_dst: Dict[int, List[StagedTransfer]] = {}
+        for transfer in self.transfers:
+            by_dst.setdefault(transfer.request.destination, []).append(transfer)
+        return by_dst

@@ -1,0 +1,32 @@
+"""Timing diagrams: schedule representation, validation, and analysis.
+
+A *timing diagram* (paper Section 3.3) has one column per sender; the
+rectangle labelled ``j`` in column ``i`` is the message ``P_i -> P_j`` and
+its height is the event duration.  :class:`~repro.timing.events.Schedule`
+is the executable form of such a diagram: a set of timed
+:class:`~repro.timing.events.CommEvent` records.
+
+Validity (paper Section 3.4): events sharing a sender must not overlap in
+time, and events sharing a receiver must not overlap in time.
+"""
+
+from repro.timing.depgraph import (
+    baseline_dependence_graph,
+    dependence_graph,
+    longest_path_time,
+)
+from repro.timing.diagram import render_timing_diagram
+from repro.timing.events import CommEvent, Schedule
+from repro.timing.validate import ScheduleError, check_schedule, is_valid_schedule
+
+__all__ = [
+    "CommEvent",
+    "Schedule",
+    "ScheduleError",
+    "baseline_dependence_graph",
+    "check_schedule",
+    "dependence_graph",
+    "is_valid_schedule",
+    "longest_path_time",
+    "render_timing_diagram",
+]

@@ -1,0 +1,97 @@
+"""ASCII rendering of timing diagrams.
+
+Reproduces the paper's Figures 3-8 style: one column per sender, time
+increasing downwards, each rectangle labelled with its destination
+processor.  Purely presentational — useful in examples, docs, and when
+debugging schedulers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.timing.events import Schedule
+
+#: Glyphs used inside a rendered column.
+_TOP = "+----+"
+_EMPTY = "      "
+
+
+def render_timing_diagram(
+    schedule: Schedule,
+    *,
+    rows: int = 24,
+    time_span: Optional[float] = None,
+    show_scale: bool = True,
+) -> str:
+    """Render ``schedule`` as an ASCII timing diagram.
+
+    Parameters
+    ----------
+    rows:
+        Vertical resolution (number of text rows for the full time span).
+    time_span:
+        Time covered by the diagram; defaults to the completion time.
+    show_scale:
+        Prefix each row with its time coordinate.
+
+    Each sender occupies a fixed-width column; an event from ``i`` to ``j``
+    renders as a box whose first interior row is labelled ``j``.  Events
+    shorter than one row still get one row, so very short events remain
+    visible (at the price of local scale distortion, as in the paper's own
+    schematic figures).
+    """
+    span = time_span if time_span is not None else schedule.completion_time
+    if span <= 0:
+        span = 1.0
+    if rows < 2:
+        raise ValueError(f"rows must be >= 2, got {rows}")
+    scale = rows / span
+
+    width = len(_TOP)
+    grid: List[List[str]] = [
+        [_EMPTY] * schedule.num_procs for _ in range(rows + 1)
+    ]
+
+    for event in schedule:
+        if event.duration <= 0:
+            continue
+        top = int(round(event.start * scale))
+        bottom = int(round(event.finish * scale))
+        top = min(top, rows - 1)
+        bottom = max(bottom, top + 2)
+        bottom = min(bottom, rows)
+        grid[top][event.src] = _TOP
+        label = str(event.dst).center(width - 2)
+        grid[top + 1][event.src] = f"|{label}|"
+        for row in range(top + 2, bottom):
+            grid[row][event.src] = "|" + " " * (width - 2) + "|"
+        if bottom <= rows:
+            grid[bottom][event.src] = _TOP
+
+    header_cells = [f"P{i}".center(width) for i in range(schedule.num_procs)]
+    prefix = "          " if show_scale else ""
+    lines = [prefix + " ".join(header_cells)]
+    for row_idx, row in enumerate(grid):
+        if show_scale:
+            t = row_idx / scale
+            prefix = f"{t:9.3g} "
+        else:
+            prefix = ""
+        lines.append(prefix + " ".join(row))
+    return "\n".join(line.rstrip() for line in lines)
+
+
+def describe_schedule(schedule: Schedule, *, precision: int = 4) -> str:
+    """One line per event: ``t=start..finish  Pi -> Pj  (duration)``."""
+    lines = [
+        f"t={event.start:.{precision}g}..{event.finish:.{precision}g}  "
+        f"P{event.src} -> P{event.dst}  ({event.duration:.{precision}g}s)"
+        for event in schedule
+        if event.duration > 0
+    ]
+    lines.append(
+        f"completion time: {schedule.completion_time:.{precision}g}s "
+        f"({len(lines)} events)"
+    )
+    return "\n".join(lines)

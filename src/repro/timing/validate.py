@@ -1,0 +1,130 @@
+"""Schedule validity checking.
+
+A valid communication schedule (paper Section 3.4) satisfies:
+
+* **sender serialisation** — a node sends at most one message at a time, so
+  no two events in the same timing-diagram column overlap;
+* **receiver serialisation** — a node receives at most one message at a
+  time, so no two events with the same destination overlap.
+
+Optionally, a schedule can also be checked for *coverage* against a
+problem: exactly one event per off-diagonal (src, dst) pair, with the
+duration implied by the communication matrix.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.timing.events import CommEvent, Schedule
+
+
+class ScheduleError(ValueError):
+    """Raised when a schedule violates a validity condition."""
+
+    def __init__(self, message: str, violations: Optional[List[str]] = None):
+        super().__init__(message)
+        #: Individual violation descriptions (one per conflicting pair).
+        self.violations: List[str] = violations or []
+
+
+def _overlap_violations(
+    events: Sequence[CommEvent], role: str
+) -> List[str]:
+    """Find overlapping pairs among events sharing a sender or receiver.
+
+    ``events`` must all share the same src (role='sender') or dst
+    (role='receiver').  Sweep in start order: with sorted events, each event
+    only needs comparing against the latest finish seen so far.
+    """
+    violations: List[str] = []
+    ordered = sorted(
+        (e for e in events if e.duration > 0), key=lambda e: (e.start, e.finish)
+    )
+    prev: Optional[CommEvent] = None
+    for event in ordered:
+        if prev is not None and event.start < prev.finish - 1e-12:
+            violations.append(
+                f"{role} conflict: {prev.src}->{prev.dst} "
+                f"[{prev.start:.6g}, {prev.finish:.6g}) overlaps "
+                f"{event.src}->{event.dst} [{event.start:.6g}, {event.finish:.6g})"
+            )
+        if prev is None or event.finish > prev.finish:
+            prev = event
+    return violations
+
+
+def check_schedule(
+    schedule: Schedule,
+    cost: Optional[np.ndarray] = None,
+    *,
+    require_coverage: bool = True,
+    atol: float = 1e-9,
+) -> None:
+    """Raise :class:`ScheduleError` if ``schedule`` is invalid.
+
+    Parameters
+    ----------
+    cost:
+        Optional ``[src, dst]`` duration matrix.  When given, every event's
+        duration must match ``cost[src, dst]`` within ``atol`` and (with
+        ``require_coverage``) every off-diagonal pair with positive cost
+        must appear exactly once.
+    """
+    violations: List[str] = []
+    for proc in range(schedule.num_procs):
+        violations += _overlap_violations(schedule.sender_events(proc), "sender")
+        violations += _overlap_violations(schedule.receiver_events(proc), "receiver")
+
+    if cost is not None:
+        cost = np.asarray(cost, dtype=float)
+        if cost.shape != (schedule.num_procs, schedule.num_procs):
+            raise ScheduleError(
+                f"cost matrix shape {cost.shape} does not match "
+                f"{schedule.num_procs} processors"
+            )
+        seen = set()
+        for event in schedule:
+            key = (event.src, event.dst)
+            if key in seen:
+                violations.append(f"duplicate event for pair {key}")
+            seen.add(key)
+            expected = cost[event.src, event.dst]
+            if abs(event.duration - expected) > atol:
+                violations.append(
+                    f"event {event.src}->{event.dst} has duration "
+                    f"{event.duration:.6g}, expected {expected:.6g}"
+                )
+        if require_coverage:
+            for src in range(schedule.num_procs):
+                for dst in range(schedule.num_procs):
+                    if src == dst or cost[src, dst] == 0:
+                        continue
+                    if (src, dst) not in seen:
+                        violations.append(f"missing event for pair ({src}, {dst})")
+
+    if violations:
+        preview = "; ".join(violations[:5])
+        more = f" (+{len(violations) - 5} more)" if len(violations) > 5 else ""
+        raise ScheduleError(
+            f"invalid schedule: {preview}{more}", violations=violations
+        )
+
+
+def is_valid_schedule(
+    schedule: Schedule,
+    cost: Optional[np.ndarray] = None,
+    *,
+    require_coverage: bool = True,
+    atol: float = 1e-9,
+) -> bool:
+    """Boolean form of :func:`check_schedule`."""
+    try:
+        check_schedule(
+            schedule, cost, require_coverage=require_coverage, atol=atol
+        )
+    except ScheduleError:
+        return False
+    return True

@@ -1,0 +1,44 @@
+"""Shared utilities: units, RNG plumbing, ASCII tables, argument checking.
+
+These helpers are deliberately tiny and dependency-light; every other
+subpackage builds on them.
+"""
+
+from repro.util.rng import RngLike, spawn_rngs, to_rng
+from repro.util.tables import format_series, format_table
+from repro.util.units import (
+    GBIT_PER_S,
+    KBIT_PER_S,
+    KILOBYTE,
+    MBIT_PER_S,
+    MEGABYTE,
+    MILLISECONDS,
+    bytes_per_s_from_kbit_per_s,
+    kbit_per_s_from_bytes_per_s,
+    seconds_from_ms,
+)
+from repro.util.validation import (
+    check_positive,
+    check_probability,
+    check_square_matrix,
+)
+
+__all__ = [
+    "GBIT_PER_S",
+    "KBIT_PER_S",
+    "KILOBYTE",
+    "MBIT_PER_S",
+    "MEGABYTE",
+    "MILLISECONDS",
+    "RngLike",
+    "bytes_per_s_from_kbit_per_s",
+    "check_positive",
+    "check_probability",
+    "check_square_matrix",
+    "format_series",
+    "format_table",
+    "kbit_per_s_from_bytes_per_s",
+    "seconds_from_ms",
+    "spawn_rngs",
+    "to_rng",
+]

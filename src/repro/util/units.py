@@ -1,0 +1,57 @@
+"""Unit conventions and conversions.
+
+Internal conventions used throughout :mod:`repro`:
+
+* **time** is measured in seconds (floats),
+* **message sizes** are measured in bytes,
+* **bandwidth** is measured in bytes per second.
+
+The paper quotes directory values in milliseconds and kbit/s (Tables 1-2 of
+the paper report GUSTO latencies in ms and bandwidths in kbits/s), and
+message sizes in kB / MB.  The constants and converters here are the single
+place where those external units are translated.
+
+Decimal prefixes are used for message sizes (1 kB = 1000 B), matching
+networking convention; the distinction is irrelevant to any of the paper's
+conclusions but is fixed here for reproducibility.
+"""
+
+from __future__ import annotations
+
+#: One millisecond, in seconds.
+MILLISECONDS: float = 1e-3
+
+#: One kilobyte (decimal), in bytes.
+KILOBYTE: int = 1_000
+
+#: One megabyte (decimal), in bytes.
+MEGABYTE: int = 1_000_000
+
+#: One kilobit per second, in bytes per second.
+KBIT_PER_S: float = 1_000.0 / 8.0
+
+#: One megabit per second, in bytes per second.
+MBIT_PER_S: float = 1_000_000.0 / 8.0
+
+#: One gigabit per second, in bytes per second.
+GBIT_PER_S: float = 1_000_000_000.0 / 8.0
+
+
+def seconds_from_ms(ms: float) -> float:
+    """Convert milliseconds to seconds."""
+    return ms * MILLISECONDS
+
+
+def ms_from_seconds(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds / MILLISECONDS
+
+
+def bytes_per_s_from_kbit_per_s(kbit_per_s: float) -> float:
+    """Convert a bandwidth in kbit/s (directory units) to bytes/s."""
+    return kbit_per_s * KBIT_PER_S
+
+
+def kbit_per_s_from_bytes_per_s(bytes_per_s: float) -> float:
+    """Convert a bandwidth in bytes/s to kbit/s (directory units)."""
+    return bytes_per_s / KBIT_PER_S

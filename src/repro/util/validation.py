@@ -1,0 +1,76 @@
+"""Common argument-checking helpers.
+
+These raise :class:`ValueError`/:class:`TypeError` with uniform messages so
+call sites stay one-liners and tests can assert on behaviour consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def check_positive(name: str, value: float, *, allow_zero: bool = False) -> float:
+    """Validate that ``value`` is a positive (or non-negative) finite number."""
+    value = float(value)
+    if not np.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    if allow_zero:
+        if value < 0:
+            raise ValueError(f"{name} must be >= 0, got {value!r}")
+    elif value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate that ``value`` lies in [0, 1]."""
+    value = float(value)
+    if not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_square_matrix(
+    name: str,
+    matrix,
+    *,
+    min_size: int = 1,
+    nonnegative: bool = False,
+    zero_diagonal: Optional[bool] = None,
+) -> np.ndarray:
+    """Validate and coerce ``matrix`` into a square float ndarray.
+
+    Parameters
+    ----------
+    min_size:
+        Minimum allowed dimension.
+    nonnegative:
+        Require every entry to be ``>= 0``.
+    zero_diagonal:
+        If True, require a zero diagonal; if False, skip the check; ``None``
+        also skips (kept as an explicit tri-state for call-site readability).
+    """
+    arr = np.asarray(matrix, dtype=float)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise ValueError(f"{name} must be a square matrix, got shape {arr.shape}")
+    if arr.shape[0] < min_size:
+        raise ValueError(
+            f"{name} must be at least {min_size}x{min_size}, got {arr.shape[0]}"
+        )
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} must contain only finite values")
+    if nonnegative and np.any(arr < 0):
+        raise ValueError(f"{name} must be non-negative")
+    if zero_diagonal and np.any(np.diagonal(arr) != 0):
+        raise ValueError(f"{name} must have a zero diagonal")
+    return arr
+
+
+def check_index(name: str, value: int, size: int) -> int:
+    """Validate that ``value`` is a valid index into a size-``size`` range."""
+    value = int(value)
+    if not (0 <= value < size):
+        raise ValueError(f"{name} must be in [0, {size}), got {value}")
+    return value

@@ -1,0 +1,38 @@
+"""Application workloads generating total-exchange message patterns.
+
+The paper motivates total exchange with array redistribution (a row-to-
+column matrix transpose is an all-to-all personalized communication) and
+evaluates a multimedia server scenario.  This package derives message-
+size matrices from those applications:
+
+* :mod:`repro.workloads.transpose` — 2-D matrix transpose between block
+  row and block column distributions;
+* :mod:`repro.workloads.blockcyclic` — block-cyclic array redistribution
+  (the paper's reference [19] is the authors' own block-cyclic work);
+* :mod:`repro.workloads.servers` — the Figure 12 multimedia client/server
+  pattern (re-exported from :mod:`repro.model.messages`).
+"""
+
+from repro.model.messages import ServerClientSizes
+from repro.workloads.adversarial import (
+    caterpillar_killer,
+    theorem2_chain,
+    worst_case_search,
+)
+from repro.workloads.blockcyclic import block_cyclic_sizes
+from repro.workloads.fft import butterfly_sizes, butterfly_stages, butterfly_time
+from repro.workloads.stencil import stencil_sizes
+from repro.workloads.transpose import transpose_sizes
+
+__all__ = [
+    "ServerClientSizes",
+    "block_cyclic_sizes",
+    "butterfly_sizes",
+    "butterfly_stages",
+    "butterfly_time",
+    "caterpillar_killer",
+    "stencil_sizes",
+    "theorem2_chain",
+    "transpose_sizes",
+    "worst_case_search",
+]

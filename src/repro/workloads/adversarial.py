@@ -1,0 +1,107 @@
+"""Adversarial instance generators and worst-case search.
+
+Stress instances that drive specific schedulers toward their worst
+behaviour — used in failure-injection tests and the robustness bench:
+
+* :func:`caterpillar_killer` — long events placed on a permutation whose
+  caterpillar displacements are all distinct, so *every* barrier step
+  contains exactly one long event: the barrier-synchronised baseline
+  pays ~``P`` long events while the lower bound is ~one long event plus
+  short ones — a ratio approaching ``P`` (far beyond the ``P/2`` bound,
+  which only holds for the order-preserving semantics).
+* :func:`theorem2_chain` — re-export of the paper's tight instance
+  family at arbitrary ``P`` (a chain of unit entries along one
+  dependence path).
+* :func:`worst_case_search` — random search for the instance maximising
+  a scheduler's ratio to the lower bound, for empirical bound probing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.core.problem import TotalExchangeProblem
+from repro.timing.events import Schedule
+from repro.util.rng import RngLike, to_rng
+
+
+def caterpillar_killer(
+    num_procs: int, *, long: float = 1.0, short: float = 1e-3
+) -> TotalExchangeProblem:
+    """One long event per caterpillar step (requires odd ``num_procs``).
+
+    The long entries sit on ``sigma(i) = 2i mod P``; the displacement of
+    entry ``(i, 2i)`` is ``i mod P``, so each step ``1..P-1`` holds
+    exactly one long event and the barrier baseline's completion is
+    ``~(P-1) * long`` while the lower bound stays ``O(long + P*short)``.
+    """
+    if num_procs < 3 or num_procs % 2 == 0:
+        raise ValueError("caterpillar_killer needs an odd P >= 3")
+    if long <= 0 or short <= 0 or short > long:
+        raise ValueError("need 0 < short <= long")
+    cost = np.full((num_procs, num_procs), float(short))
+    for i in range(1, num_procs):
+        cost[i, (2 * i) % num_procs] = float(long)
+    np.fill_diagonal(cost, 0.0)
+    return TotalExchangeProblem(cost=cost)
+
+
+def theorem2_chain(num_procs: int, *, epsilon: float = 1e-3) -> TotalExchangeProblem:
+    """Generalisation of the paper's Theorem 2 instance to any ``P``.
+
+    Unit entries are laid along one dependence path of the caterpillar:
+    alternately "move down a column" (same sender, next step) and "move
+    left along a row" (same receiver, next step), starting from the
+    diagonal — so the order-preserving baseline must serialise ``P``
+    unit entries while the lower bound is about two.
+    """
+    if num_procs < 2:
+        raise ValueError("need at least 2 processors")
+    if not (0 < epsilon < 1):
+        raise ValueError("epsilon must be in (0, 1)")
+    paper_c = np.full((num_procs, num_procs), float(epsilon))
+    # walk the dependence path: start on the diagonal, alternate moves.
+    row = col = num_procs // 2
+    paper_c[row, col] = 1.0
+    for step in range(num_procs - 1):
+        if step % 2 == 0:
+            row = (row + 1) % num_procs  # same column of C: same sender
+        else:
+            col = (col - 1) % num_procs  # same row of C: same receiver
+        paper_c[row, col] = 1.0
+    return TotalExchangeProblem.from_paper_matrix(paper_c)
+
+
+def worst_case_search(
+    scheduler: Callable[[TotalExchangeProblem], Schedule],
+    num_procs: int,
+    *,
+    trials: int = 200,
+    low: float = 0.01,
+    high: float = 10.0,
+    rng: RngLike = None,
+) -> Tuple[TotalExchangeProblem, float]:
+    """Random search for the scheduler's worst ratio-to-lower-bound.
+
+    Returns ``(worst instance, worst ratio)`` over ``trials`` i.i.d.
+    log-uniform instances — a cheap empirical probe of how tight an
+    approximation bound is in practice.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    rng = to_rng(rng)
+    worst_problem = None
+    worst_ratio = 0.0
+    for _ in range(trials):
+        cost = np.exp(
+            rng.uniform(np.log(low), np.log(high), (num_procs, num_procs))
+        )
+        np.fill_diagonal(cost, 0.0)
+        problem = TotalExchangeProblem(cost=cost)
+        ratio = scheduler(problem).completion_time / problem.lower_bound()
+        if ratio > worst_ratio:
+            worst_ratio = ratio
+            worst_problem = problem
+    return worst_problem, worst_ratio

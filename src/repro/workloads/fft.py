@@ -1,0 +1,89 @@
+"""FFT butterfly exchange workloads.
+
+The caterpillar baseline comes from SIMD FFT libraries (the paper's
+reference [13]); the FFT's own communication is the butterfly: in stage
+``k`` (of ``log2 P``), rank ``i`` exchanges a half-array message with
+rank ``i XOR 2^k``.  Each stage is a perfect matching, so under the
+one-port model a stage costs its slowest pair — which on a heterogeneous
+network depends entirely on *which physical node runs which rank*,
+making the butterfly the canonical client for placement optimisation
+(:mod:`repro.placement`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.directory.service import DirectorySnapshot
+
+
+def butterfly_stages(num_procs: int) -> List[List[Tuple[int, int]]]:
+    """The butterfly's stages as lists of (lower, upper) rank pairs.
+
+    ``num_procs`` must be a power of two; stage ``k`` pairs ``i`` with
+    ``i XOR 2^k`` (each unordered pair listed once).
+    """
+    if num_procs < 2 or num_procs & (num_procs - 1):
+        raise ValueError(
+            f"butterfly needs a power-of-two rank count, got {num_procs}"
+        )
+    stages: List[List[Tuple[int, int]]] = []
+    distance = 1
+    while distance < num_procs:
+        stage = [
+            (i, i ^ distance) for i in range(num_procs) if i < (i ^ distance)
+        ]
+        stages.append(stage)
+        distance *= 2
+    return stages
+
+
+def butterfly_sizes(
+    num_procs: int, message_bytes: float
+) -> np.ndarray:
+    """Aggregate per-pair traffic of a full butterfly (both directions).
+
+    Every rank exchanges ``message_bytes`` with one partner per stage,
+    so the matrix has ``log2 P`` nonzero entries per row.
+    """
+    if message_bytes < 0:
+        raise ValueError("message_bytes must be >= 0")
+    sizes = np.zeros((num_procs, num_procs))
+    for stage in butterfly_stages(num_procs):
+        for a, b in stage:
+            sizes[a, b] += message_bytes
+            sizes[b, a] += message_bytes
+    return sizes
+
+
+def butterfly_time(
+    snapshot: DirectorySnapshot,
+    message_bytes: float,
+    placement: Sequence[int],
+) -> float:
+    """Communication time of the butterfly under a rank placement.
+
+    ``placement[rank]`` is the physical node executing that rank.  Each
+    stage's exchanges run concurrently (a perfect matching, two messages
+    per pair — one each way — which the two ports carry simultaneously),
+    so a stage costs its slowest pairwise transfer and stages run back to
+    back.
+    """
+    placement = list(placement)
+    n = snapshot.num_procs
+    if sorted(placement) != list(range(n)):
+        raise ValueError("placement must be a permutation of the nodes")
+    total = 0.0
+    for stage in butterfly_stages(n):
+        worst = 0.0
+        for a, b in stage:
+            u, v = placement[a], placement[b]
+            worst = max(
+                worst,
+                snapshot.transfer_time(u, v, message_bytes),
+                snapshot.transfer_time(v, u, message_bytes),
+            )
+        total += worst
+    return total

@@ -1,0 +1,76 @@
+"""Stencil (halo-exchange) workloads.
+
+Iterative PDE solvers decompose a 2-D domain over a process grid; each
+step, neighbouring processes exchange halo strips.  The resulting
+per-pair traffic is sparse and strongly local — the polar opposite of
+total exchange — which makes it the placement-sensitive counterpart to
+the all-to-all workloads: on a clustered metacomputer the winning
+mapping keeps grid neighbours inside a site.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def grid_coords(rank: int, grid: Tuple[int, int]) -> Tuple[int, int]:
+    """Row-major (row, col) coordinates of ``rank`` in the process grid."""
+    rows, cols = grid
+    if not (0 <= rank < rows * cols):
+        raise ValueError(f"rank {rank} outside a {rows}x{cols} grid")
+    return divmod(rank, cols)
+
+
+def stencil_sizes(
+    grid: Tuple[int, int],
+    *,
+    halo_bytes: float,
+    diagonal_bytes: float = 0.0,
+    periodic: bool = False,
+) -> np.ndarray:
+    """Per-pair halo traffic of one stencil exchange step.
+
+    Parameters
+    ----------
+    grid:
+        Process grid shape ``(rows, cols)``; ranks are row-major.
+    halo_bytes:
+        Bytes exchanged with each edge neighbour (north/south/east/west)
+        — a 5-point stencil.
+    diagonal_bytes:
+        Bytes exchanged with corner neighbours (9-point stencils send
+        small corner halos; 0 disables).
+    periodic:
+        Wrap the grid edges (torus) instead of truncating.
+    """
+    rows, cols = grid
+    if rows < 1 or cols < 1:
+        raise ValueError(f"grid must be at least 1x1, got {grid}")
+    if halo_bytes < 0 or diagonal_bytes < 0:
+        raise ValueError("halo sizes must be non-negative")
+    n = rows * cols
+    sizes = np.zeros((n, n))
+
+    def rank_of(r: int, c: int):
+        if periodic:
+            return (r % rows) * cols + (c % cols)
+        if 0 <= r < rows and 0 <= c < cols:
+            return r * cols + c
+        return None
+
+    edge_offsets = [(-1, 0), (1, 0), (0, -1), (0, 1)]
+    corner_offsets = [(-1, -1), (-1, 1), (1, -1), (1, 1)]
+    for rank in range(n):
+        r, c = grid_coords(rank, grid)
+        for dr, dc in edge_offsets:
+            neighbour = rank_of(r + dr, c + dc)
+            if neighbour is not None and neighbour != rank:
+                sizes[rank, neighbour] += halo_bytes
+        if diagonal_bytes > 0:
+            for dr, dc in corner_offsets:
+                neighbour = rank_of(r + dr, c + dc)
+                if neighbour is not None and neighbour != rank:
+                    sizes[rank, neighbour] += diagonal_bytes
+    return sizes

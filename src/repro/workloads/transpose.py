@@ -1,0 +1,60 @@
+"""Matrix-transpose redistribution workload.
+
+The paper's Section 4.1 motivating example: an ``N x N`` matrix initially
+distributed by rows must be redistributed so every processor holds full
+columns.  Processor ``i`` owns a contiguous block of rows; after the
+transpose it owns a contiguous block of columns; the block of elements at
+the intersection of ``i``'s rows and ``j``'s columns must travel from
+``i`` to ``j`` — a total exchange whose message sizes follow the block
+geometry.  With ``N`` not divisible by ``P`` the blocks are uneven, which
+is exactly the message-size heterogeneity the schedulers exploit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def block_lengths(total: int, parts: int) -> np.ndarray:
+    """Contiguous block sizes distributing ``total`` items over ``parts``.
+
+    The first ``total % parts`` blocks get the extra element, matching the
+    usual HPF/ScaLAPACK block distribution.
+    """
+    if parts <= 0:
+        raise ValueError(f"parts must be positive, got {parts}")
+    if total < 0:
+        raise ValueError(f"total must be >= 0, got {total}")
+    base, extra = divmod(total, parts)
+    return np.array([base + (1 if i < extra else 0) for i in range(parts)])
+
+
+def transpose_sizes(
+    matrix_size: int,
+    num_procs: int,
+    *,
+    itemsize: int = 8,
+) -> np.ndarray:
+    """Message sizes (bytes) for a row-block to column-block transpose.
+
+    ``sizes[i, j] = rows_i * cols_j * itemsize`` for ``i != j``; the
+    diagonal block stays local and is zero.
+
+    Parameters
+    ----------
+    matrix_size:
+        ``N``, the matrix dimension.
+    num_procs:
+        ``P``, the processor count.
+    itemsize:
+        Bytes per element (8 for float64).
+    """
+    if matrix_size <= 0:
+        raise ValueError(f"matrix_size must be positive, got {matrix_size}")
+    if itemsize <= 0:
+        raise ValueError(f"itemsize must be positive, got {itemsize}")
+    rows = block_lengths(matrix_size, num_procs)
+    cols = block_lengths(matrix_size, num_procs)
+    sizes = np.outer(rows, cols).astype(float) * itemsize
+    np.fill_diagonal(sizes, 0.0)
+    return sizes

@@ -1,0 +1,38 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.problem import TotalExchangeProblem
+
+
+def random_problem(
+    num_procs: int,
+    *,
+    seed: int = 0,
+    low: float = 0.5,
+    high: float = 10.0,
+    zero_fraction: float = 0.0,
+) -> TotalExchangeProblem:
+    """A random off-diagonal-positive instance for tests."""
+    rng = np.random.default_rng(seed)
+    cost = rng.uniform(low, high, size=(num_procs, num_procs))
+    if zero_fraction > 0:
+        mask = rng.random((num_procs, num_procs)) < zero_fraction
+        cost[mask] = 0.0
+    np.fill_diagonal(cost, 0.0)
+    return TotalExchangeProblem(cost=cost)
+
+
+@pytest.fixture
+def small_problem() -> TotalExchangeProblem:
+    """A deterministic 4-processor instance."""
+    return random_problem(4, seed=42)
+
+
+@pytest.fixture
+def medium_problem() -> TotalExchangeProblem:
+    """A deterministic 10-processor instance."""
+    return random_problem(10, seed=7)

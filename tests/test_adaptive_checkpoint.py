@@ -1,0 +1,158 @@
+"""Checkpoint rescheduling tests (paper Section 6.3)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.adaptive.checkpoint import (
+    EveryKEvents,
+    HalvingCheckpoints,
+    NoCheckpoints,
+    PiecewiseCosts,
+    piecewise_cost_provider,
+    run_adaptive,
+)
+from repro.core.openshop import schedule_openshop
+from repro.directory.service import DirectorySnapshot
+from tests.conftest import random_problem
+
+
+class TestPiecewiseCosts:
+    def test_cost_at_segments(self):
+        a = np.full((2, 2), 1.0)
+        b = np.full((2, 2), 3.0)
+        pc = PiecewiseCosts([0.0, 10.0], [a, b])
+        assert pc.cost_at(5.0)[0, 1] == 1.0
+        assert pc.cost_at(10.0)[0, 1] == 3.0
+        assert pc.cost_at(1e9)[0, 1] == 3.0
+
+    def test_transfer_within_segment(self):
+        pc = PiecewiseCosts([0.0], [np.full((2, 2), 4.0)])
+        assert pc.transfer_time(0, 1, 7.0) == pytest.approx(4.0)
+
+    def test_transfer_across_boundary(self):
+        # cost 4 before t=2, cost 8 after; start at 0: half done by t=2,
+        # the other half takes 4 more seconds -> total 6.
+        a = np.full((2, 2), 4.0)
+        b = np.full((2, 2), 8.0)
+        pc = PiecewiseCosts([0.0, 2.0], [a, b])
+        assert pc.transfer_time(0, 1, 0.0) == pytest.approx(6.0)
+
+    def test_transfer_speeding_up(self):
+        # cost 8 before t=2, cost 2 after: quarter done by 2, remaining
+        # 3/4 at cost 2 takes 1.5 -> total 3.5.
+        a = np.full((2, 2), 8.0)
+        b = np.full((2, 2), 2.0)
+        pc = PiecewiseCosts([0.0, 2.0], [a, b])
+        assert pc.transfer_time(0, 1, 0.0) == pytest.approx(3.5)
+
+    def test_zero_cost_instant(self):
+        pc = PiecewiseCosts([0.0], [np.zeros((2, 2))])
+        assert pc.transfer_time(0, 1, 5.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PiecewiseCosts([], [])
+        with pytest.raises(ValueError):
+            PiecewiseCosts([1.0], [np.zeros((2, 2))])
+        with pytest.raises(ValueError):
+            PiecewiseCosts([0.0, 0.0], [np.zeros((2, 2))] * 2)
+        with pytest.raises(ValueError):
+            PiecewiseCosts([0.0, 1.0], [np.zeros((2, 2)), np.zeros((3, 3))])
+
+
+class TestPolicies:
+    def test_every_k(self):
+        policy = EveryKEvents(5)
+        assert policy.next_checkpoint(20) == 5
+        assert policy.next_checkpoint(5) is None  # would cover everything
+
+    def test_every_k_validation(self):
+        with pytest.raises(ValueError):
+            EveryKEvents(0)
+
+    def test_halving(self):
+        policy = HalvingCheckpoints()
+        assert policy.next_checkpoint(20) == 10
+        assert policy.next_checkpoint(1) is None
+
+    def test_none(self):
+        assert NoCheckpoints().next_checkpoint(100) is None
+
+
+class TestRunAdaptive:
+    def test_static_conditions_match_planned_schedule(self):
+        problem = random_problem(6, seed=0)
+        provider = piecewise_cost_provider([0.0], [problem.cost])
+        result = run_adaptive(problem, provider, policy=NoCheckpoints())
+        planned = schedule_openshop(problem)
+        assert result.completion_time == pytest.approx(
+            planned.completion_time
+        )
+        assert result.reschedules == 0
+
+    def test_all_events_executed_once(self):
+        problem = random_problem(5, seed=1)
+        provider = piecewise_cost_provider([0.0], [problem.cost])
+        result = run_adaptive(
+            problem, provider, policy=EveryKEvents(3)
+        )
+        pairs = [(e.src, e.dst) for e in result.schedule]
+        assert sorted(set(pairs)) == sorted(pairs)
+        positive = {(e.src, e.dst) for e in result.schedule if e.duration > 0}
+        assert positive == set(problem.positive_events())
+
+    def test_checkpoints_recorded(self):
+        problem = random_problem(5, seed=2)
+        provider = piecewise_cost_provider([0.0], [problem.cost])
+        result = run_adaptive(problem, provider, policy=EveryKEvents(4))
+        assert result.reschedules == len(result.checkpoint_times)
+        assert list(result.checkpoint_times) == sorted(result.checkpoint_times)
+
+    def test_threshold_suppresses_rescheduling(self):
+        problem = random_problem(5, seed=3)
+        provider = piecewise_cost_provider([0.0], [problem.cost])
+        result = run_adaptive(
+            problem,
+            provider,
+            policy=EveryKEvents(4),
+            reschedule_threshold=0.05,  # nothing changed: skip every time
+        )
+        assert result.reschedules == 0
+        assert result.skipped_reschedules > 0
+
+    def test_rescheduling_helps_under_reshuffle(self):
+        # Aggregate over seeds: adaptive should win on average when the
+        # network reshuffles early and strongly.
+        rng_master = np.random.default_rng(99)
+        wins = 0
+        trials = 6
+        for _ in range(trials):
+            seed = int(rng_master.integers(1 << 30))
+            rng = np.random.default_rng(seed)
+            latency, bandwidth = repro.random_pairwise_parameters(10, rng=rng)
+            snapshot = DirectorySnapshot(latency=latency, bandwidth=bandwidth)
+            sizes = repro.MixedSizes().sizes(10, rng=rng)
+            estimate = repro.TotalExchangeProblem.from_snapshot(snapshot, sizes)
+            drift_at = 0.1 * schedule_openshop(estimate).completion_time
+            moved = repro.perturb_snapshot(
+                snapshot, bandwidth_sigma=1.2, rng=rng
+            )
+            actual = repro.TotalExchangeProblem.from_snapshot(moved, sizes)
+            provider = piecewise_cost_provider(
+                [0.0, drift_at], [estimate.cost, actual.cost]
+            )
+            stale = run_adaptive(estimate, provider, policy=NoCheckpoints())
+            adaptive = run_adaptive(
+                estimate, provider, policy=HalvingCheckpoints()
+            )
+            if adaptive.completion_time <= stale.completion_time + 1e-9:
+                wins += 1
+        assert wins >= trials - 1
+
+    def test_callable_provider_accepted(self):
+        problem = random_problem(4, seed=4)
+        result = run_adaptive(
+            problem, lambda t: problem.cost, policy=NoCheckpoints()
+        )
+        assert result.completion_time > 0

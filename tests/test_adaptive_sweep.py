@@ -1,0 +1,47 @@
+"""Adaptive drift-sweep experiment tests."""
+
+import pytest
+
+from repro.experiments.adaptive_sweep import run_adaptive_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_adaptive_sweep(
+        sigmas=(0.0, 1.0), num_procs=8, trials=2, seed=3
+    )
+
+
+def test_shapes(sweep):
+    assert sweep.sigmas == (0.0, 1.0)
+    assert set(sweep.completion) == {"none", "every_p", "halving"}
+    for series in sweep.completion.values():
+        assert len(series) == 2
+    assert len(sweep.post_drift_lb) == 2
+
+
+def test_no_drift_policies_equal(sweep):
+    # with sigma 0 the replans see the same matrix: same outcome
+    values = [series[0] for series in sweep.completion.values()]
+    assert max(values) - min(values) < 1e-6 * max(values)
+
+
+def test_gain_zero_without_drift(sweep):
+    assert sweep.gain("halving")[0] == pytest.approx(0.0, abs=1e-9)
+
+
+def test_gain_bounded(sweep):
+    for policy in ("every_p", "halving"):
+        for gain in sweep.gain(policy):
+            assert -0.5 < gain < 1.0
+
+
+def test_deterministic():
+    a = run_adaptive_sweep(sigmas=(0.5,), num_procs=6, trials=1, seed=9)
+    b = run_adaptive_sweep(sigmas=(0.5,), num_procs=6, trials=1, seed=9)
+    assert a.completion == b.completion
+
+
+def test_invalid_trials():
+    with pytest.raises(ValueError):
+        run_adaptive_sweep(trials=0)

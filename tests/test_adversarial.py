@@ -1,0 +1,105 @@
+"""Adversarial instance tests (failure injection for the schedulers)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.baseline import schedule_baseline, schedule_baseline_nosync
+from repro.core.openshop import schedule_openshop
+from repro.workloads.adversarial import (
+    caterpillar_killer,
+    theorem2_chain,
+    worst_case_search,
+)
+
+
+class TestCaterpillarKiller:
+    def test_one_long_event_per_step(self):
+        problem = caterpillar_killer(9, long=1.0, short=1e-3)
+        cost = problem.cost
+        for step in range(1, 9):
+            count = sum(
+                1 for i in range(9) if cost[i, (i + step) % 9] >= 1.0
+            )
+            assert count == 1
+
+    def test_barrier_ratio_scales_with_p(self):
+        for p in (5, 9, 15):
+            problem = caterpillar_killer(p, long=1.0, short=1e-4)
+            ratio = (
+                schedule_baseline(problem).completion_time
+                / problem.lower_bound()
+            )
+            # each step costs ~1, lower bound ~1 + P*short
+            assert ratio > 0.8 * (p - 1)
+
+    def test_nosync_still_within_half_p(self):
+        problem = caterpillar_killer(9, long=1.0, short=1e-4)
+        ratio = (
+            schedule_baseline_nosync(problem).completion_time
+            / problem.lower_bound()
+        )
+        assert ratio <= 4.5 + 1e-9
+
+    def test_adaptive_schedulers_unaffected(self):
+        problem = caterpillar_killer(9)
+        for name in ("openshop", "max_matching"):
+            ratio = (
+                repro.get_scheduler(name)(problem).completion_time
+                / problem.lower_bound()
+            )
+            assert ratio < 1.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            caterpillar_killer(8)  # even P
+        with pytest.raises(ValueError):
+            caterpillar_killer(9, long=1.0, short=2.0)
+
+
+class TestTheorem2Chain:
+    def test_ratio_tight_at_every_p(self):
+        for p in (4, 6, 8, 10):
+            problem = theorem2_chain(p, epsilon=1e-6)
+            ratio = (
+                schedule_baseline_nosync(problem).completion_time
+                / problem.lower_bound()
+            )
+            assert ratio == pytest.approx(p / 2, rel=1e-3)
+
+    def test_never_exceeds_bound(self):
+        for p in (3, 5, 7):
+            problem = theorem2_chain(p, epsilon=0.01)
+            ratio = (
+                schedule_baseline_nosync(problem).completion_time
+                / problem.lower_bound()
+            )
+            assert ratio <= p / 2 + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            theorem2_chain(1)
+        with pytest.raises(ValueError):
+            theorem2_chain(4, epsilon=0.0)
+
+
+class TestWorstCaseSearch:
+    def test_returns_instance_and_ratio(self):
+        problem, ratio = worst_case_search(
+            schedule_openshop, 4, trials=20, rng=0
+        )
+        assert problem.num_procs == 4
+        assert ratio >= 1.0
+
+    def test_openshop_never_beyond_theorem3(self):
+        _, ratio = worst_case_search(schedule_openshop, 6, trials=50, rng=1)
+        assert ratio <= 2.0
+
+    def test_deterministic(self):
+        a = worst_case_search(schedule_openshop, 4, trials=10, rng=7)
+        b = worst_case_search(schedule_openshop, 4, trials=10, rng=7)
+        assert a[1] == b[1]
+
+    def test_invalid_trials(self):
+        with pytest.raises(ValueError):
+            worst_case_search(schedule_openshop, 4, trials=0)

@@ -1,0 +1,77 @@
+"""Schedule analysis tests."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis import (
+    analyze_schedule,
+    bottleneck_processor,
+    compare_schedules,
+)
+from repro.core.problem import example_problem
+from repro.timing.events import CommEvent, Schedule
+
+
+def test_analyze_simple_schedule():
+    schedule = Schedule.from_events(
+        3,
+        [
+            CommEvent(start=0, src=0, dst=1, duration=2),
+            CommEvent(start=5, src=0, dst=2, duration=1),
+            CommEvent(start=0, src=1, dst=2, duration=4),
+        ],
+    )
+    stats = analyze_schedule(schedule)
+    assert stats.completion_time == pytest.approx(6.0)
+    assert stats.total_events == 3
+    assert stats.total_busy == pytest.approx(7.0)
+    p0 = stats.processor(0)
+    assert p0.send_busy == pytest.approx(3.0)
+    assert p0.send_idle == pytest.approx(3.0)  # gap between the sends
+    assert p0.send_utilisation == pytest.approx(0.5)
+
+
+def test_analyze_ignores_markers():
+    schedule = Schedule.from_events(
+        2, [CommEvent(start=0, src=0, dst=1, duration=0.0)]
+    )
+    stats = analyze_schedule(schedule)
+    assert stats.total_events == 0
+    assert stats.completion_time == 0.0
+
+
+def test_openshop_utilisation_higher_than_baseline():
+    problem = example_problem()
+    open_stats = analyze_schedule(repro.schedule_openshop(problem))
+    base_stats = analyze_schedule(repro.schedule_baseline(problem))
+    assert open_stats.mean_utilisation > base_stats.mean_utilisation
+
+
+def test_bottleneck_processor():
+    problem = example_problem()
+    proc, port, busy = bottleneck_processor(problem)
+    assert (proc, port) == (0, "send")
+    assert busy == pytest.approx(16.0)
+
+
+def test_bottleneck_receive_side():
+    cost = np.array([[0.0, 1.0, 9.0], [1.0, 0.0, 9.0], [1.0, 1.0, 0.0]])
+    problem = repro.TotalExchangeProblem(cost=cost)
+    proc, port, busy = bottleneck_processor(problem)
+    assert (proc, port) == (2, "recv")
+    assert busy == pytest.approx(18.0)
+
+
+def test_compare_schedules_table():
+    problem = example_problem()
+    table = compare_schedules(
+        {
+            "openshop": repro.schedule_openshop(problem),
+            "baseline": repro.schedule_baseline(problem),
+        },
+        lower_bound=problem.lower_bound(),
+    )
+    assert "ratio to LB" in table
+    assert "openshop" in table
+    assert "1.500" in table  # baseline ratio

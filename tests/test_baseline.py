@@ -1,0 +1,109 @@
+"""Baseline caterpillar scheduler tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.baseline import (
+    baseline_orders,
+    baseline_steps,
+    schedule_baseline,
+    schedule_baseline_nosync,
+)
+from repro.core.problem import (
+    TotalExchangeProblem,
+    example_problem,
+    tight_baseline_instance,
+)
+from repro.timing.validate import check_schedule
+from tests.conftest import random_problem
+
+
+class TestBaselineStructure:
+    def test_orders_pattern(self):
+        orders = baseline_orders(4)
+        assert orders[0] == [0, 1, 2, 3]
+        assert orders[2] == [2, 3, 0, 1]
+
+    def test_steps_are_permutations(self):
+        for step in baseline_steps(6):
+            srcs = [s for s, _ in step]
+            dsts = [d for _, d in step]
+            assert sorted(srcs) == list(range(6))
+            assert sorted(dsts) == list(range(6))
+
+    def test_invalid_procs(self):
+        with pytest.raises(ValueError):
+            baseline_orders(0)
+        with pytest.raises(ValueError):
+            baseline_steps(-1)
+
+
+class TestBarrierExecution:
+    def test_completion_is_sum_of_step_maxima(self):
+        problem = random_problem(5, seed=1)
+        expected = sum(
+            max(problem.cost[i, (i + j) % 5] for i in range(5))
+            for j in range(5)
+        )
+        schedule = schedule_baseline(problem)
+        assert schedule.completion_time == pytest.approx(expected)
+
+    def test_valid_and_covering(self):
+        problem = random_problem(6, seed=2)
+        schedule = schedule_baseline(problem)
+        check_schedule(schedule, problem.cost)
+
+    def test_homogeneous_network_is_optimal(self):
+        # With uniform costs the caterpillar meets the lower bound.
+        cost = np.full((5, 5), 2.0)
+        np.fill_diagonal(cost, 0.0)
+        problem = TotalExchangeProblem(cost=cost)
+        schedule = schedule_baseline(problem)
+        assert schedule.completion_time == pytest.approx(problem.lower_bound())
+
+    def test_example_problem_value(self):
+        assert schedule_baseline(example_problem()).completion_time == 24.0
+
+
+class TestNosyncExecution:
+    def test_valid_and_covering(self):
+        problem = random_problem(6, seed=3)
+        schedule = schedule_baseline_nosync(problem)
+        check_schedule(schedule, problem.cost)
+
+    def test_never_slower_than_barrier(self):
+        for seed in range(6):
+            problem = random_problem(7, seed=seed)
+            nosync = schedule_baseline_nosync(problem).completion_time
+            barrier = schedule_baseline(problem).completion_time
+            assert nosync <= barrier + 1e-9
+
+    def test_theorem2_bound(self):
+        # Strict (dependence-graph) baseline is within P/2 of the bound.
+        for seed in range(8):
+            problem = random_problem(6, seed=seed)
+            t = schedule_baseline_nosync(problem).completion_time
+            assert t <= 3.0 * problem.lower_bound() + 1e-9
+
+    def test_theorem2_tightness(self):
+        problem = tight_baseline_instance(1e-5)
+        t = schedule_baseline_nosync(problem).completion_time
+        assert t / problem.lower_bound() == pytest.approx(2.0, rel=1e-4)
+
+    def test_tight_instance_completion_is_four(self):
+        problem = tight_baseline_instance(1e-5)
+        # The critical path chains all four unit entries (paper Eq. 5).
+        t = schedule_baseline_nosync(problem).completion_time
+        assert t == pytest.approx(4.0, rel=1e-3)
+
+    def test_self_messages_respected(self):
+        # With a self-message, node 1's ports are both busy at step 0.
+        problem = tight_baseline_instance(0.25)
+        schedule = schedule_baseline_nosync(problem)
+        self_event = [
+            e for e in schedule if e.src == 1 and e.dst == 1
+        ][0]
+        assert self_event.duration == 1.0
+        # node 1's next send starts only after the self-message.
+        step1 = [e for e in schedule if e.src == 1 and e.dst == 2][0]
+        assert step1.start >= self_event.finish - 1e-12

@@ -1,0 +1,98 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_example_command(capsys):
+    assert main(["example"]) == 0
+    out = capsys.readouterr().out
+    assert "lower bound" in out
+    assert "openshop" in out
+
+
+def test_example_with_diagrams(capsys):
+    assert main(["example", "--diagrams"]) == 0
+    out = capsys.readouterr().out
+    assert "--- baseline ---" in out
+    assert "P0" in out
+
+
+def test_gusto_command(capsys):
+    assert main(["gusto"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "NCSA" in out
+    assert "total exchange" in out
+
+
+def test_figure_command(capsys):
+    assert main(["figure", "9", "--trials", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "fig09-small" in out
+    assert "speedup over baseline" in out
+
+
+def test_quality_command(capsys):
+    assert main(["quality", "--trials", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "quality relative to the lower bound" in out
+
+
+def test_zoo_command(capsys):
+    assert main(["zoo", "--procs", "6", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "preemptive optimum" in out
+    assert "openshop" in out
+
+
+def test_adaptive_command(capsys):
+    assert main(["adaptive", "--procs", "8", "--trials", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "drift magnitude" in out
+    assert "halving" in out
+
+
+def test_broadcast_command(capsys):
+    assert main(["broadcast", "--procs", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "fastest-node-first" in out
+
+
+def test_export_command(capsys, tmp_path):
+    out_dir = tmp_path / "exported"
+    assert main(["export", "--output-dir", str(out_dir)]) == 0
+    assert (out_dir / "example_openshop.svg").exists()
+    assert (out_dir / "example_openshop.json").exists()
+    assert (out_dir / "example_openshop.trace.json").exists()
+
+
+def test_export_custom_algorithm(tmp_path):
+    out_dir = tmp_path / "exported"
+    assert main(
+        ["export", "--algorithm", "greedy", "--output-dir", str(out_dir)]
+    ) == 0
+    assert (out_dir / "example_greedy.svg").exists()
+
+
+def test_claims_command(capsys):
+    assert main(["claims", "--trials", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Theorem 2" in out
+    assert "claims reproduced" in out
+    assert "FAIL" not in out
+
+
+def test_figure_rejects_unknown_id():
+    with pytest.raises(SystemExit):
+        main(["figure", "99"])
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_parser_prog_name():
+    assert build_parser().prog == "repro-hetcomm"

@@ -1,0 +1,132 @@
+"""Broadcast collective tests."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.broadcast import (
+    binomial_tree,
+    broadcast_lower_bound,
+    schedule_broadcast_binomial,
+    schedule_broadcast_fnf,
+    schedule_broadcast_tree,
+)
+from repro.timing.validate import check_schedule
+from tests.conftest import random_problem
+
+
+def uniform_cost(n, value=1.0):
+    cost = np.full((n, n), value)
+    np.fill_diagonal(cost, 0.0)
+    return cost
+
+
+class TestBinomialTree:
+    def test_spans_all_nodes(self):
+        for n in (1, 2, 5, 8, 13):
+            tree = binomial_tree(n)
+            count = sum(len(children) for children in tree.values())
+            assert count == n - 1
+
+    def test_root_relabelling(self):
+        tree = binomial_tree(4, root=2)
+        assert len(tree[2]) == 2  # root sends log2(4) messages
+
+    def test_rounds_on_homogeneous_network(self):
+        # binomial broadcast takes ceil(log2 P) rounds of unit messages
+        for n in (2, 4, 8):
+            schedule = schedule_broadcast_binomial(uniform_cost(n))
+            assert schedule.completion_time == pytest.approx(
+                np.ceil(np.log2(n))
+            )
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            binomial_tree(0)
+        with pytest.raises(ValueError):
+            binomial_tree(4, root=7)
+
+
+class TestTreeExecution:
+    def test_each_node_receives_once(self):
+        cost = random_problem(9, seed=0).cost
+        schedule = schedule_broadcast_binomial(cost)
+        receivers = [e.dst for e in schedule]
+        assert sorted(receivers) == list(range(1, 9))
+        check_schedule(schedule)
+
+    def test_sends_serialise_in_child_order(self):
+        cost = uniform_cost(4, 2.0)
+        tree = {0: [1, 2, 3], 1: [], 2: [], 3: []}
+        schedule = schedule_broadcast_tree(cost, tree)
+        by_dst = {e.dst: e for e in schedule}
+        assert by_dst[1].start == 0.0
+        assert by_dst[2].start == pytest.approx(2.0)
+        assert by_dst[3].start == pytest.approx(4.0)
+
+    def test_rejects_non_spanning_tree(self):
+        cost = uniform_cost(3)
+        with pytest.raises(ValueError, match="missing"):
+            schedule_broadcast_tree(cost, {0: [1], 1: [], 2: []})
+
+    def test_rejects_double_reach(self):
+        cost = uniform_cost(3)
+        with pytest.raises(ValueError, match="twice"):
+            schedule_broadcast_tree(cost, {0: [1, 2], 1: [2], 2: []})
+
+
+class TestFnf:
+    def test_valid_and_complete(self):
+        cost = random_problem(10, seed=1).cost
+        schedule = schedule_broadcast_fnf(cost)
+        check_schedule(schedule)
+        assert sorted(e.dst for e in schedule) == list(range(1, 10))
+
+    def test_matches_binomial_on_homogeneous(self):
+        for n in (4, 8):
+            cost = uniform_cost(n)
+            fnf = schedule_broadcast_fnf(cost)
+            binomial = schedule_broadcast_binomial(cost)
+            assert fnf.completion_time == pytest.approx(
+                binomial.completion_time
+            )
+
+    def test_beats_binomial_on_heterogeneous(self):
+        wins = 0
+        for seed in range(8):
+            cost = random_problem(12, seed=seed, low=0.1, high=20.0).cost
+            fnf = schedule_broadcast_fnf(cost).completion_time
+            binomial = schedule_broadcast_binomial(cost).completion_time
+            if fnf <= binomial + 1e-9:
+                wins += 1
+        assert wins == 8
+
+    def test_respects_lower_bound(self):
+        for seed in range(6):
+            cost = random_problem(8, seed=seed).cost
+            t = schedule_broadcast_fnf(cost).completion_time
+            assert t >= broadcast_lower_bound(cost) - 1e-9
+
+    def test_single_node(self):
+        schedule = schedule_broadcast_fnf(np.zeros((1, 1)))
+        assert schedule.completion_time == 0.0
+
+
+class TestLowerBound:
+    def test_single_node_zero(self):
+        assert broadcast_lower_bound(np.zeros((1, 1))) == 0.0
+
+    def test_homogeneous_log_bound(self):
+        # unit costs, 8 nodes: at least 3 rounds
+        assert broadcast_lower_bound(uniform_cost(8)) == pytest.approx(3.0)
+
+    def test_hardest_node_bound(self):
+        cost = uniform_cost(4, 1.0)
+        cost[:, 3] = 50.0  # node 3 is expensive to reach from anywhere
+        np.fill_diagonal(cost, 0.0)
+        assert broadcast_lower_bound(cost) == pytest.approx(50.0)
+
+    def test_bounds_all_schedules(self):
+        for seed in range(5):
+            cost = random_problem(7, seed=seed).cost
+            lb = broadcast_lower_bound(cost)
+            assert schedule_broadcast_binomial(cost).completion_time >= lb - 1e-9

@@ -1,0 +1,59 @@
+"""Pattern adapter tests (all-gather / all-to-all as total exchange)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.collectives.patterns import allgather_problem, alltoall_problem
+from repro.directory.service import DirectorySnapshot
+
+
+def make_snapshot(n=5):
+    lat = np.full((n, n), 0.02)
+    np.fill_diagonal(lat, 0.0)
+    bw = np.full((n, n), 1e6)
+    np.fill_diagonal(bw, np.inf)
+    return DirectorySnapshot(latency=lat, bandwidth=bw)
+
+
+class TestAllgather:
+    def test_scalar_block(self):
+        problem = allgather_problem(make_snapshot(), 1e5)
+        assert problem.sizes[0, 1] == 1e5
+        assert problem.sizes[3, 2] == 1e5
+        assert np.all(np.diag(problem.sizes) == 0.0)
+
+    def test_per_node_blocks(self):
+        blocks = [1e5, 2e5, 3e5, 4e5, 5e5]
+        problem = allgather_problem(make_snapshot(), blocks)
+        # row src is constant at blocks[src]
+        for src in range(5):
+            off = [problem.sizes[src, d] for d in range(5) if d != src]
+            assert all(x == blocks[src] for x in off)
+
+    def test_schedulable_by_core_algorithms(self):
+        problem = allgather_problem(make_snapshot(), 1e5)
+        schedule = repro.schedule_openshop(problem)
+        repro.check_schedule(schedule, problem.cost)
+        assert schedule.completion_time <= 2 * problem.lower_bound()
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            allgather_problem(make_snapshot(), [1.0, 2.0])
+        with pytest.raises(ValueError):
+            allgather_problem(make_snapshot(), [-1.0] * 5)
+
+
+class TestAlltoall:
+    def test_uniform(self):
+        problem = alltoall_problem(make_snapshot(), 2e5)
+        off = problem.sizes[~np.eye(5, dtype=bool)]
+        assert np.all(off == 2e5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            alltoall_problem(make_snapshot(), -1.0)
+
+    def test_cost_formula(self):
+        problem = alltoall_problem(make_snapshot(), 1e6)
+        assert problem.cost[0, 1] == pytest.approx(0.02 + 1.0)

@@ -1,0 +1,164 @@
+"""Reduction collective tests."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.broadcast import binomial_tree
+from repro.collectives.reduce import (
+    allreduce_tree,
+    reduce_direct,
+    reduce_via_tree,
+)
+from repro.directory.service import DirectorySnapshot
+from repro.timing.validate import check_schedule
+
+
+def make_snapshot(n=8, latency=0.01, bandwidth=1e6):
+    lat = np.full((n, n), latency)
+    np.fill_diagonal(lat, 0.0)
+    bw = np.full((n, n), bandwidth)
+    np.fill_diagonal(bw, np.inf)
+    return DirectorySnapshot(latency=lat, bandwidth=bw)
+
+
+class TestReduceDirect:
+    def test_completion_includes_combines(self):
+        snap = make_snapshot(3)
+        schedule, done = reduce_direct(
+            snap, 1e6, combine_rate=1e6
+        )
+        # two serial receives of ~1.01 s each, plus one combine (1 s)
+        # after each receive, overlapping receive of the next message:
+        # r1 ends 1.01, c1 ends 2.01; r2 ends 2.02, c2 ends 3.02
+        assert done == pytest.approx(3.02, abs=0.01)
+        check_schedule(schedule)
+
+    def test_infinite_combine_rate(self):
+        snap = make_snapshot(4)
+        schedule, done = reduce_direct(snap, 1e6, combine_rate=1e18)
+        assert done == pytest.approx(schedule.completion_time, abs=1e-6)
+
+    def test_validation(self):
+        snap = make_snapshot(3)
+        with pytest.raises(ValueError):
+            reduce_direct(snap, 0.0)
+        with pytest.raises(ValueError):
+            reduce_direct(snap, 1e6, root=5)
+
+
+class TestReduceTree:
+    def test_forwarded_payload_stays_one_block(self):
+        snap = make_snapshot(8)
+        schedule, _ = reduce_via_tree(snap, 1e6, binomial_tree(8))
+        assert all(e.size == pytest.approx(1e6) for e in schedule)
+
+    def test_valid_schedule(self):
+        snap = make_snapshot(8)
+        schedule, done = reduce_via_tree(snap, 1e6, binomial_tree(8))
+        check_schedule(schedule)
+        assert done >= schedule.completion_time - 1e-9
+
+    def test_tree_beats_direct_at_scale(self):
+        # Tree reduction parallelises receive-port work: the root only
+        # receives log2(P) blocks instead of P-1.
+        snap = make_snapshot(16)
+        _, direct_done = reduce_direct(snap, 1e6, combine_rate=1e9)
+        _, tree_done = reduce_via_tree(
+            snap, 1e6, binomial_tree(16), combine_rate=1e9
+        )
+        assert tree_done < direct_done
+
+    def test_rejects_bad_tree(self):
+        snap = make_snapshot(3)
+        with pytest.raises(ValueError):
+            reduce_via_tree(snap, 1e6, {0: [1], 1: [], 2: []})
+
+
+class TestAllreduceRing:
+    def test_step_count_and_validity(self):
+        from repro.collectives.reduce import allreduce_ring
+        from repro.timing.validate import check_schedule
+
+        snap = make_snapshot(6)
+        schedule, total = allreduce_ring(snap, 6e6)
+        # 2(P-1) steps of P chunk transfers each
+        assert len(schedule) == 2 * 5 * 6
+        check_schedule(schedule)
+        assert total >= schedule.completion_time - 1e-9
+
+    def test_bandwidth_optimal_on_homogeneous(self):
+        from repro.collectives.reduce import allreduce_ring, allreduce_tree
+        from repro.collectives.broadcast import binomial_tree
+
+        # homogeneous: ring moves 2(P-1)/P blocks per node vs the
+        # tree's ~2 log2 P whole-block hops — ring wins at scale
+        snap = make_snapshot(16, latency=1e-4, bandwidth=1e6)
+        _, ring_total = allreduce_ring(snap, 8e6, combine_rate=1e12)
+        _, tree_total = allreduce_tree(
+            snap, 8e6, binomial_tree(16), combine_rate=1e12
+        )
+        assert ring_total < tree_total
+
+    def test_slow_link_taxes_every_step(self):
+        from repro.collectives.reduce import allreduce_ring
+
+        n = 8
+        lat = np.full((n, n), 1e-4)
+        np.fill_diagonal(lat, 0.0)
+        bw = np.full((n, n), 1e7)
+        bw[0, 1] = bw[1, 0] = 1e4  # one terrible ring edge
+        np.fill_diagonal(bw, np.inf)
+        snap = DirectorySnapshot(latency=lat, bandwidth=bw)
+        fast = make_snapshot(n, latency=1e-4, bandwidth=1e7)
+        _, slow_total = allreduce_ring(snap, 8e6)
+        _, fast_total = allreduce_ring(fast, 8e6)
+        # all 2(P-1) steps pay the slow edge: ~1000x bandwidth gap
+        assert slow_total > 50 * fast_total
+
+    def test_ring_order_matters(self):
+        from repro.collectives.reduce import allreduce_ring
+
+        n = 4
+        lat = np.full((n, n), 1e-4)
+        np.fill_diagonal(lat, 0.0)
+        bw = np.full((n, n), 1e7)
+        bw[0, 2] = bw[2, 0] = 1e4
+        bw[1, 3] = bw[3, 1] = 1e4
+        np.fill_diagonal(bw, np.inf)
+        snap = DirectorySnapshot(latency=lat, bandwidth=bw)
+        # identity ring 0-1-2-3 avoids both slow diagonals; the
+        # interleaved ring 0-2-1-3 (wait: 0->2 slow) hits them
+        _, good = allreduce_ring(snap, 4e6, ring=[0, 1, 2, 3])
+        _, bad = allreduce_ring(snap, 4e6, ring=[0, 2, 1, 3])
+        assert good < bad / 10
+
+    def test_single_node(self):
+        from repro.collectives.reduce import allreduce_ring
+
+        snap = make_snapshot(1)
+        schedule, total = allreduce_ring(snap, 1e6)
+        assert total == 0.0
+
+    def test_invalid_ring(self):
+        from repro.collectives.reduce import allreduce_ring
+
+        snap = make_snapshot(4)
+        with pytest.raises(ValueError):
+            allreduce_ring(snap, 1e6, ring=[0, 0, 1, 2])
+
+
+class TestAllreduce:
+    def test_composition_time(self):
+        snap = make_snapshot(8)
+        tree = binomial_tree(8)
+        _, reduce_done = reduce_via_tree(snap, 1e6, tree)
+        schedule, total = allreduce_tree(snap, 1e6, tree)
+        assert total > reduce_done
+        # every non-root node receives the result in the broadcast phase
+        down = [e for e in schedule if e.start >= reduce_done - 1e-9]
+        assert sorted({e.dst for e in down}) == list(range(1, 8))
+
+    def test_valid_schedule(self):
+        snap = make_snapshot(8)
+        schedule, _ = allreduce_tree(snap, 1e6, binomial_tree(8))
+        check_schedule(schedule)

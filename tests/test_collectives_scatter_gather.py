@@ -1,0 +1,147 @@
+"""Scatter and gather collective tests."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.broadcast import binomial_tree
+from repro.collectives.gather import gather_direct, gather_via_tree
+from repro.collectives.scatter import (
+    scatter_completion_per_destination,
+    scatter_direct,
+    scatter_via_tree,
+)
+from repro.directory.service import DirectorySnapshot
+from repro.timing.validate import check_schedule
+
+
+def make_snapshot(n=6, latency=0.01, bandwidth=1e6):
+    lat = np.full((n, n), latency)
+    np.fill_diagonal(lat, 0.0)
+    bw = np.full((n, n), bandwidth)
+    np.fill_diagonal(bw, np.inf)
+    return DirectorySnapshot(latency=lat, bandwidth=bw)
+
+
+class TestScatterDirect:
+    def test_makespan_is_total_send_time(self):
+        snap = make_snapshot(4)
+        blocks = np.array([0.0, 1e6, 2e6, 5e5])
+        schedule = scatter_direct(snap, blocks)
+        expected = sum(
+            snap.transfer_time(0, j, blocks[j]) for j in (1, 2, 3)
+        )
+        assert schedule.completion_time == pytest.approx(expected)
+        check_schedule(schedule)
+
+    def test_default_order_shortest_first(self):
+        snap = make_snapshot(4)
+        blocks = np.array([0.0, 3e6, 1e6, 2e6])
+        schedule = scatter_direct(snap, blocks)
+        order = [e.dst for e in sorted(schedule, key=lambda e: e.start)]
+        assert order == [2, 3, 1]
+
+    def test_custom_order(self):
+        snap = make_snapshot(4)
+        blocks = np.array([0.0, 1e6, 1e6, 1e6])
+        schedule = scatter_direct(snap, blocks, order=[3, 1, 2])
+        order = [e.dst for e in sorted(schedule, key=lambda e: e.start)]
+        assert order == [3, 1, 2]
+
+    def test_bad_order_rejected(self):
+        snap = make_snapshot(4)
+        blocks = np.array([0.0, 1e6, 1e6, 1e6])
+        with pytest.raises(ValueError):
+            scatter_direct(snap, blocks, order=[1, 2])
+
+    def test_zero_blocks_skipped(self):
+        snap = make_snapshot(3)
+        schedule = scatter_direct(snap, [0.0, 0.0, 1e6])
+        assert len(schedule) == 1
+
+    def test_block_shape_checked(self):
+        snap = make_snapshot(3)
+        with pytest.raises(ValueError):
+            scatter_direct(snap, [1.0, 2.0])
+
+
+class TestScatterTree:
+    def test_valid_and_complete(self):
+        snap = make_snapshot(8)
+        blocks = np.full(8, 1e6)
+        blocks[0] = 0.0
+        schedule = scatter_via_tree(snap, blocks, binomial_tree(8))
+        check_schedule(schedule)
+        arrivals = scatter_completion_per_destination(schedule)
+        assert set(arrivals) == set(range(1, 8))
+
+    def test_bundles_include_subtree_bytes(self):
+        snap = make_snapshot(4)
+        blocks = np.array([0.0, 1e6, 1e6, 1e6])
+        tree = {0: [1], 1: [2, 3], 2: [], 3: []}
+        schedule = scatter_via_tree(snap, blocks, tree)
+        first = min(schedule, key=lambda e: e.start)
+        # root ships node 1's bundle: 3 MB (its block + two children)
+        assert first.size == pytest.approx(3e6)
+
+    def test_tree_beats_direct_when_relay_has_better_paths(self):
+        # The root's only fast link goes to node 1, which has fast links
+        # to everyone; relaying the whole payload through node 1 beats
+        # pushing each block over the root's slow direct paths.
+        n = 6
+        lat = np.full((n, n), 0.001)
+        np.fill_diagonal(lat, 0.0)
+        bw = np.full((n, n), 1e8)
+        bw[0, :] = 1e5  # slow root paths ...
+        bw[0, 1] = 1e8  # ... except to the relay
+        np.fill_diagonal(bw, np.inf)
+        snap = DirectorySnapshot(latency=lat, bandwidth=bw)
+        blocks = np.full(n, 1e6)
+        blocks[0] = 0.0
+        direct = scatter_direct(snap, blocks).completion_time
+        tree = {0: [1], 1: [2, 3, 4, 5], 2: [], 3: [], 4: [], 5: []}
+        relayed = scatter_via_tree(snap, blocks, tree).completion_time
+        assert relayed < direct / 10
+
+
+class TestGather:
+    def test_direct_makespan(self):
+        snap = make_snapshot(4)
+        blocks = np.array([0.0, 1e6, 2e6, 5e5])
+        schedule = gather_direct(snap, blocks)
+        expected = sum(
+            snap.transfer_time(j, 0, blocks[j]) for j in (1, 2, 3)
+        )
+        assert schedule.completion_time == pytest.approx(expected)
+        check_schedule(schedule)
+
+    def test_direct_receives_serialise(self):
+        snap = make_snapshot(3)
+        schedule = gather_direct(snap, [0.0, 1e6, 1e6])
+        events = sorted(schedule, key=lambda e: e.start)
+        assert events[1].start == pytest.approx(events[0].finish)
+
+    def test_tree_valid(self):
+        snap = make_snapshot(8)
+        blocks = np.full(8, 1e6)
+        blocks[0] = 0.0
+        schedule = gather_via_tree(snap, blocks, binomial_tree(8))
+        check_schedule(schedule)
+        # the root ends up receiving its direct children's bundles; total
+        # bytes into the root equal all non-root blocks.
+        into_root = sum(e.size for e in schedule if e.dst == 0)
+        assert into_root == pytest.approx(7e6)
+
+    def test_tree_respects_subtree_readiness(self):
+        snap = make_snapshot(4)
+        blocks = np.array([0.0, 1e6, 1e6, 1e6])
+        tree = {0: [1], 1: [2, 3], 2: [], 3: []}
+        schedule = gather_via_tree(snap, blocks, tree)
+        upload = [e for e in schedule if e.src == 1][0]
+        child_finishes = [e.finish for e in schedule if e.dst == 1]
+        assert upload.start >= max(child_finishes) - 1e-9
+
+    def test_custom_order(self):
+        snap = make_snapshot(3)
+        schedule = gather_direct(snap, [0.0, 1e6, 1e6], order=[2, 1])
+        first = min(schedule, key=lambda e: e.start)
+        assert first.src == 2

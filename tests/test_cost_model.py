@@ -1,0 +1,68 @@
+"""Communication-cost model tests."""
+
+import numpy as np
+import pytest
+
+from repro.directory.service import DirectorySnapshot
+from repro.model.cost import CommunicationModel, cost_matrix
+from repro.model.messages import UniformSizes
+
+
+def make_snapshot():
+    latency = np.array([[0.0, 0.01], [0.02, 0.0]])
+    bandwidth = np.array([[np.inf, 1e6], [2e6, np.inf]])
+    return DirectorySnapshot(latency=latency, bandwidth=bandwidth)
+
+
+def test_cost_formula():
+    snap = make_snapshot()
+    sizes = np.array([[0.0, 5e5], [1e6, 0.0]])
+    cost = cost_matrix(snap, sizes)
+    assert cost[0, 1] == pytest.approx(0.01 + 0.5)
+    assert cost[1, 0] == pytest.approx(0.02 + 0.5)
+
+
+def test_diagonal_zero():
+    snap = make_snapshot()
+    cost = cost_matrix(snap, np.full((2, 2), 100.0))
+    assert np.all(np.diag(cost) == 0.0)
+
+
+def test_zero_size_means_no_message():
+    snap = make_snapshot()
+    sizes = np.array([[0.0, 0.0], [1e6, 0.0]])
+    cost = cost_matrix(snap, sizes)
+    # no message -> no start-up cost either
+    assert cost[0, 1] == 0.0
+    assert cost[1, 0] > 0.0
+
+
+def test_size_spec_accepted():
+    snap = make_snapshot()
+    cost = cost_matrix(snap, UniformSizes(1e6))
+    assert cost[0, 1] == pytest.approx(0.01 + 1.0)
+
+
+def test_shape_mismatch_raises():
+    snap = make_snapshot()
+    with pytest.raises(ValueError):
+        cost_matrix(snap, np.ones((3, 3)))
+
+
+def test_negative_sizes_raise():
+    snap = make_snapshot()
+    with pytest.raises(ValueError):
+        cost_matrix(snap, np.array([[0.0, -1.0], [0.0, 0.0]]))
+
+
+class TestCommunicationModel:
+    def test_transfer_time(self):
+        model = CommunicationModel(make_snapshot())
+        assert model.transfer_time(0, 1, 1e6) == pytest.approx(1.01)
+        assert model.transfer_time(0, 0, 1e6) == 0.0
+
+    def test_cost_matrix_wrapper(self):
+        model = CommunicationModel(make_snapshot())
+        cost = model.cost_matrix(UniformSizes(2e6))
+        assert cost[1, 0] == pytest.approx(0.02 + 1.0)
+        assert model.num_procs == 2

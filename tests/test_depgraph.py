@@ -1,0 +1,104 @@
+"""Dependence graph tests (paper Section 4.2 machinery)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.baseline import schedule_baseline_nosync
+from repro.core.problem import TotalExchangeProblem, tight_baseline_instance
+from repro.timing.depgraph import (
+    baseline_dependence_graph,
+    critical_path,
+    dependence_graph,
+    longest_path_time,
+)
+from repro.timing.events import CommEvent, Schedule
+from tests.conftest import random_problem
+
+
+class TestBaselineDependenceGraph:
+    def test_node_count(self):
+        # Steps 1..P-1, P events each (step 0 self-messages are skipped).
+        g = baseline_dependence_graph(5)
+        assert g.number_of_nodes() == 5 * 4
+
+    def test_structure_small(self):
+        g = baseline_dependence_graph(3)
+        # sender 0's step-2 event depends on its step-1 event...
+        assert g.has_edge((0, 1), (0, 2))
+        # ...and on the step-1 event received by its destination (node 2
+        # received from sender 1 at step 1).
+        assert g.has_edge((1, 2), (0, 2))
+
+    def test_acyclic(self):
+        assert nx.is_directed_acyclic_graph(baseline_dependence_graph(7))
+
+    def test_invalid_procs(self):
+        with pytest.raises(ValueError):
+            baseline_dependence_graph(0)
+
+    def test_longest_path_equals_nosync_execution(self):
+        # Theorem 2's model: strict execution realises exactly the
+        # longest node-weighted dependence path.
+        for seed in range(5):
+            problem = random_problem(6, seed=seed)
+            g = baseline_dependence_graph(6)
+            path_time = longest_path_time(g, problem.cost)
+            executed = schedule_baseline_nosync(problem).completion_time
+            assert executed == pytest.approx(path_time)
+
+    def test_tight_instance_reaches_p_over_2(self):
+        problem = tight_baseline_instance(1e-6)
+        g = baseline_dependence_graph(4)
+        # include the diagonal step-0 events by hand: the tight instance
+        # relies on them, and strict execution includes them.
+        executed = schedule_baseline_nosync(problem).completion_time
+        ratio = executed / problem.lower_bound()
+        assert ratio == pytest.approx(2.0, rel=1e-3)
+
+
+class TestDependenceGraphFromSchedule:
+    def test_chains(self):
+        s = Schedule.from_events(
+            3,
+            [
+                CommEvent(start=0, src=0, dst=1, duration=1),
+                CommEvent(start=1, src=0, dst=2, duration=1),
+                CommEvent(start=1, src=2, dst=1, duration=1),
+            ],
+        )
+        g = dependence_graph(s)
+        assert g.has_edge((0, 1), (0, 2))  # sender chain at P0
+        assert g.has_edge((0, 1), (2, 1))  # receiver chain at P1
+
+    def test_skips_zero_duration(self):
+        s = Schedule.from_events(
+            2, [CommEvent(start=0, src=0, dst=1, duration=0)]
+        )
+        assert dependence_graph(s).number_of_nodes() == 0
+
+
+class TestLongestPath:
+    def test_empty_graph(self):
+        assert longest_path_time(nx.DiGraph(), np.zeros((2, 2))) == 0.0
+
+    def test_rejects_cycles(self):
+        g = nx.DiGraph()
+        g.add_edge((0, 1), (1, 0))
+        g.add_edge((1, 0), (0, 1))
+        with pytest.raises(ValueError):
+            longest_path_time(g, np.ones((2, 2)))
+
+    def test_critical_path_weight_matches(self):
+        problem = random_problem(5, seed=3)
+        g = baseline_dependence_graph(5)
+        path = critical_path(g, problem.cost)
+        total = sum(problem.cost[src, dst] for src, dst in path)
+        assert total == pytest.approx(longest_path_time(g, problem.cost))
+
+    def test_critical_path_is_a_path(self):
+        g = baseline_dependence_graph(4)
+        problem = random_problem(4, seed=9)
+        path = critical_path(g, problem.cost)
+        for a, b in zip(path, path[1:]):
+            assert g.has_edge(a, b)

@@ -1,0 +1,60 @@
+"""Timing diagram rendering tests."""
+
+import pytest
+
+from repro.core.problem import example_problem
+from repro.core.openshop import schedule_openshop
+from repro.timing.diagram import describe_schedule, render_timing_diagram
+from repro.timing.events import CommEvent, Schedule
+
+
+def test_render_has_processor_headers():
+    s = Schedule.from_events(3, [CommEvent(start=0, src=0, dst=1, duration=1)])
+    out = render_timing_diagram(s)
+    assert "P0" in out and "P2" in out
+
+
+def test_render_labels_destination():
+    s = Schedule.from_events(3, [CommEvent(start=0, src=0, dst=2, duration=1)])
+    out = render_timing_diagram(s, rows=10)
+    assert "| 2  |" in out
+
+
+def test_render_skips_zero_duration():
+    s = Schedule.from_events(3, [CommEvent(start=0, src=0, dst=2, duration=0)])
+    out = render_timing_diagram(s, rows=10)
+    assert "| 2  |" not in out
+
+
+def test_render_rows_validation():
+    s = Schedule.from_events(2, [CommEvent(start=0, src=0, dst=1, duration=1)])
+    with pytest.raises(ValueError):
+        render_timing_diagram(s, rows=1)
+
+
+def test_render_empty_schedule():
+    out = render_timing_diagram(Schedule(num_procs=2))
+    assert "P0" in out
+
+
+def test_render_real_schedule():
+    schedule = schedule_openshop(example_problem())
+    out = render_timing_diagram(schedule, rows=30)
+    # every processor column appears, with time scale
+    for proc in range(5):
+        assert f"P{proc}" in out
+
+
+def test_describe_schedule():
+    s = Schedule.from_events(
+        3,
+        [
+            CommEvent(start=0, src=0, dst=1, duration=2),
+            CommEvent(start=0, src=1, dst=2, duration=0),
+        ],
+    )
+    out = describe_schedule(s)
+    assert "P0 -> P1" in out
+    assert "completion time" in out
+    # zero-duration marker is not listed
+    assert "P1 -> P2" not in out

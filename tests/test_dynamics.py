@@ -1,0 +1,94 @@
+"""Background-load process tests."""
+
+import numpy as np
+import pytest
+
+from repro.directory.dynamics import (
+    DiurnalLoad,
+    RandomWalkLoad,
+    SpikeLoad,
+    StaticLoad,
+)
+
+
+class TestStaticLoad:
+    def test_constant(self):
+        load = StaticLoad(2.0)
+        assert load.load_at(0.0) == 2.0
+        assert load.load_at(1e6) == 2.0
+
+    def test_effective_bandwidth(self):
+        load = StaticLoad(1.0)
+        # load factor 1 halves the capacity
+        assert load.effective_bandwidth(10.0, 0.0) == pytest.approx(5.0)
+
+    def test_effective_latency(self):
+        load = StaticLoad(0.5)
+        assert load.effective_latency(0.02, 0.0) == pytest.approx(0.03)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            StaticLoad(-1.0)
+
+
+class TestRandomWalkLoad:
+    def test_non_negative(self):
+        load = RandomWalkLoad(rng=0)
+        assert all(load.load_at(t) >= 0 for t in np.linspace(0, 100, 50))
+
+    def test_deterministic_given_seed(self):
+        a = RandomWalkLoad(rng=5)
+        b = RandomWalkLoad(rng=5)
+        assert a.load_at(37.0) == b.load_at(37.0)
+
+    def test_query_order_independent(self):
+        a = RandomWalkLoad(rng=5)
+        late_then_early = (a.load_at(50.0), a.load_at(10.0))
+        b = RandomWalkLoad(rng=5)
+        early_then_late = (b.load_at(10.0), b.load_at(50.0))
+        assert late_then_early[0] == early_then_late[1]
+        assert late_then_early[1] == early_then_late[0]
+
+    def test_negative_time_raises(self):
+        with pytest.raises(ValueError):
+            RandomWalkLoad(rng=0).load_at(-1.0)
+
+    def test_zero_volatility_constant(self):
+        load = RandomWalkLoad(mean=2.0, volatility=0.0, rng=0)
+        assert load.load_at(100.0) == pytest.approx(load.load_at(0.0))
+
+    def test_invalid_reversion(self):
+        with pytest.raises(ValueError):
+            RandomWalkLoad(reversion=0.0)
+
+
+class TestSpikeLoad:
+    def test_base_before_spikes(self):
+        load = SpikeLoad(rate=1e-9, base=0.3, rng=0)
+        assert load.load_at(10.0) == pytest.approx(0.3)
+
+    def test_spike_decays(self):
+        load = SpikeLoad(rate=0.5, magnitude=5.0, decay=2.0, base=0.0, rng=3,
+                         horizon=100.0)
+        times = np.linspace(0, 100, 400)
+        values = [load.load_at(t) for t in times]
+        assert max(values) > 1.0  # at least one spike seen
+        # long after the horizon the load decays back toward base
+        assert load.load_at(1e5) == pytest.approx(0.0, abs=1e-6)
+
+    def test_negative_time_raises(self):
+        with pytest.raises(ValueError):
+            SpikeLoad(rng=0).load_at(-0.5)
+
+
+class TestDiurnalLoad:
+    def test_period_and_bounds(self):
+        load = DiurnalLoad(mean=1.0, amplitude=0.8, period=100.0)
+        values = [load.load_at(t) for t in np.linspace(0, 200, 100)]
+        assert min(values) >= 0.2 - 1e-9
+        assert max(values) <= 1.8 + 1e-9
+        assert load.load_at(0.0) == pytest.approx(load.load_at(100.0))
+
+    def test_amplitude_cannot_exceed_mean(self):
+        with pytest.raises(ValueError):
+            DiurnalLoad(mean=0.5, amplitude=0.8)

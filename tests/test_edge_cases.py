@@ -1,0 +1,135 @@
+"""Edge-case tests across modules (failure injection and odd inputs)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.problem import TotalExchangeProblem
+from repro.sim.engine import execute_orders_on_cost, execute_steps_strict
+from repro.timing.diagram import describe_schedule
+from repro.timing.events import CommEvent, Schedule
+
+
+class TestDegenerateInstances:
+    def test_two_processors(self):
+        problem = TotalExchangeProblem(
+            cost=np.array([[0.0, 3.0], [5.0, 0.0]])
+        )
+        for name in repro.scheduler_names():
+            schedule = repro.get_scheduler(name)(problem)
+            repro.check_schedule(schedule, problem.cost)
+            # both directions run concurrently: optimum is max, not sum
+            assert schedule.completion_time == pytest.approx(5.0), name
+
+    def test_all_zero_costs(self):
+        problem = TotalExchangeProblem(cost=np.zeros((4, 4)))
+        for name in repro.scheduler_names():
+            schedule = repro.get_scheduler(name)(problem)
+            assert schedule.completion_time == 0.0, name
+
+    def test_single_nonzero_message(self):
+        cost = np.zeros((5, 5))
+        cost[1, 3] = 7.0
+        problem = TotalExchangeProblem(cost=cost)
+        for name in repro.scheduler_names():
+            schedule = repro.get_scheduler(name)(problem)
+            assert schedule.completion_time == pytest.approx(7.0), name
+
+    def test_extreme_cost_spread(self):
+        cost = np.full((4, 4), 1e-9)
+        cost[0, 1] = 1e6
+        np.fill_diagonal(cost, 0.0)
+        problem = TotalExchangeProblem(cost=cost)
+        t = repro.schedule_openshop(problem).completion_time
+        assert t <= 2 * problem.lower_bound()
+
+    def test_one_dominant_sender(self):
+        cost = np.zeros((5, 5))
+        cost[0, 1:] = 10.0  # only P0 sends
+        problem = TotalExchangeProblem(cost=cost)
+        for name in ("openshop", "max_matching", "greedy"):
+            t = repro.get_scheduler(name)(problem).completion_time
+            # a single sender serialises: LB achieved exactly
+            assert t == pytest.approx(40.0), name
+
+
+class TestEngineEdges:
+    def test_empty_orders(self):
+        schedule = execute_orders_on_cost(np.zeros((3, 3)), [[], [], []])
+        assert len(schedule) == 0
+
+    def test_sizes_attached(self):
+        cost = np.array([[0.0, 2.0], [0.0, 0.0]])
+        sizes = np.array([[0.0, 1e6], [0.0, 0.0]])
+        schedule = execute_orders_on_cost(cost, [[1], []], sizes=sizes)
+        event = list(schedule)[0]
+        assert event.size == 1e6
+
+    def test_strict_empty_steps(self):
+        schedule = execute_steps_strict(np.zeros((2, 2)), [])
+        assert schedule.completion_time == 0.0
+
+    def test_strict_step_with_empty_list(self):
+        schedule = execute_steps_strict(np.zeros((2, 2)), [[]])
+        assert len(schedule) == 0
+
+
+class TestDiagramEdges:
+    def test_describe_precision(self):
+        schedule = Schedule.from_events(
+            2, [CommEvent(start=0.123456, src=0, dst=1, duration=1.0)]
+        )
+        text = describe_schedule(schedule, precision=2)
+        assert "0.12" in text
+
+    def test_large_schedule_renders(self):
+        problem = repro.TotalExchangeProblem(
+            cost=np.ones((20, 20)) - np.eye(20)
+        )
+        schedule = repro.schedule_openshop(problem)
+        out = repro.render_timing_diagram(schedule, rows=40)
+        assert "P19" in out
+
+
+class TestAnalysisEdges:
+    def test_compare_without_lower_bound(self):
+        from repro.analysis import compare_schedules
+
+        problem = repro.example_problem()
+        table = compare_schedules(
+            {"openshop": repro.schedule_openshop(problem)}
+        )
+        assert "ratio to LB" not in table
+        assert "openshop" in table
+
+    def test_explain_trivial_instance(self):
+        from repro.analysis import explain_schedule
+
+        problem = TotalExchangeProblem(cost=np.zeros((2, 2)))
+        schedule = repro.schedule_openshop(problem)
+        explanation = explain_schedule(problem, schedule)
+        assert explanation.completion_time == 0.0
+        assert explanation.summary()  # doesn't crash on the empty case
+
+
+class TestAdaptiveEdges:
+    def test_run_adaptive_trivial_instance(self):
+        from repro.adaptive import NoCheckpoints, run_adaptive
+
+        problem = TotalExchangeProblem(cost=np.zeros((3, 3)))
+        result = run_adaptive(
+            problem, lambda t: problem.cost, policy=NoCheckpoints()
+        )
+        assert result.completion_time == 0.0
+
+    def test_run_adaptive_two_procs_checkpointed(self):
+        from repro.adaptive import EveryKEvents, run_adaptive
+
+        problem = TotalExchangeProblem(
+            cost=np.array([[0.0, 2.0], [3.0, 0.0]])
+        )
+        result = run_adaptive(
+            problem, lambda t: problem.cost, policy=EveryKEvents(1)
+        )
+        positive = {(e.src, e.dst) for e in result.schedule if e.duration > 0}
+        assert positive == {(0, 1), (1, 0)}

@@ -1,0 +1,170 @@
+"""Execution engine tests (FIFO, strict, and barrier semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import TotalExchangeProblem
+from repro.sim.engine import (
+    check_orders,
+    execute_orders,
+    execute_orders_on_cost,
+    execute_steps_barrier,
+    execute_steps_strict,
+)
+from repro.timing.validate import check_schedule
+from tests.conftest import random_problem
+
+
+class TestCheckOrders:
+    def test_valid(self):
+        cost = np.array([[0.0, 1.0], [1.0, 0.0]])
+        check_orders([[1], [0]], cost)
+
+    def test_invalid_destination(self):
+        cost = np.zeros((2, 2))
+        with pytest.raises(ValueError, match="invalid destination"):
+            check_orders([[5], []], cost)
+
+    def test_duplicate_destination(self):
+        cost = np.zeros((2, 2))
+        with pytest.raises(ValueError, match="twice"):
+            check_orders([[1, 1], []], cost)
+
+    def test_missing_coverage(self):
+        cost = np.array([[0.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(ValueError, match="never sends"):
+            check_orders([[], [0]], cost)
+
+    def test_wrong_sender_count(self):
+        with pytest.raises(ValueError):
+            check_orders([[]], np.zeros((2, 2)))
+
+
+class TestFifoExecution:
+    def test_receiver_contention_serialises(self):
+        # Both senders target receiver 2 immediately; FIFO by request
+        # time, tie broken by sender index: P0 goes first.
+        cost = np.array(
+            [
+                [0.0, 0.0, 2.0],
+                [0.0, 0.0, 3.0],
+                [0.0, 0.0, 0.0],
+            ]
+        )
+        schedule = execute_orders_on_cost(cost, [[2], [2], []])
+        by_pair = schedule.event_map()
+        assert by_pair[(0, 2)].start == 0.0
+        assert by_pair[(1, 2)].start == pytest.approx(2.0)
+
+    def test_sender_serialises(self):
+        cost = np.array([[0.0, 2.0, 3.0], [0.0] * 3, [0.0] * 3])
+        schedule = execute_orders_on_cost(cost, [[1, 2], [], []])
+        by_pair = schedule.event_map()
+        assert by_pair[(0, 2)].start == pytest.approx(2.0)
+
+    def test_zero_cost_skipped_free(self):
+        cost = np.array([[0.0, 0.0, 5.0], [0.0] * 3, [0.0] * 3])
+        schedule = execute_orders_on_cost(cost, [[1, 2], [], []])
+        by_pair = schedule.event_map()
+        assert by_pair[(0, 1)].duration == 0.0
+        assert by_pair[(0, 2)].start == 0.0  # not delayed by the free event
+
+    def test_waiting_sender_blocks(self):
+        # P1 waits for receiver 2 (busy with P0's long send) before it
+        # can proceed to its second message.
+        cost = np.array(
+            [
+                [0.0, 0.0, 10.0],
+                [0.0, 0.0, 1.0],
+                [0.0, 0.0, 0.0],
+            ]
+        )
+        cost[1, 0] = 1.0
+        schedule = execute_orders_on_cost(cost, [[2], [2, 0], []])
+        by_pair = schedule.event_map()
+        assert by_pair[(1, 2)].start == pytest.approx(10.0)
+        assert by_pair[(1, 0)].start == pytest.approx(11.0)
+
+    def test_valid_for_random_instances(self):
+        problem = random_problem(8, seed=0)
+        orders = [
+            [d for d in range(8) if d != s] for s in range(8)
+        ]
+        schedule = execute_orders(problem, orders)
+        check_schedule(schedule, problem.cost)
+
+    def test_deterministic(self):
+        problem = random_problem(6, seed=1)
+        orders = [[d for d in range(6) if d != s] for s in range(6)]
+        assert execute_orders(problem, orders) == execute_orders(problem, orders)
+
+
+class TestStrictExecution:
+    def test_respects_planned_receive_order(self):
+        # Receiver 2 must serve P0 (step 0) before P1 (step 1), even
+        # though P1 is ready at t=0 and P0's message is long.
+        cost = np.array(
+            [
+                [0.0, 0.0, 10.0],
+                [0.0, 0.0, 1.0],
+                [0.0, 0.0, 0.0],
+            ]
+        )
+        steps = [[(0, 2)], [(1, 2)]]
+        schedule = execute_steps_strict(cost, steps)
+        by_pair = schedule.event_map()
+        assert by_pair[(1, 2)].start == pytest.approx(10.0)
+
+    def test_port_uniqueness_enforced(self):
+        with pytest.raises(ValueError, match="repeats"):
+            execute_steps_strict(np.zeros((3, 3)), [[(0, 2), (1, 2)]])
+
+    def test_out_of_range_proc(self):
+        with pytest.raises(ValueError):
+            execute_steps_strict(np.zeros((2, 2)), [[(0, 5)]])
+
+    def test_matches_fifo_when_no_contention(self):
+        cost = np.array([[0.0, 2.0], [3.0, 0.0]])
+        strict = execute_steps_strict(cost, [[(0, 1), (1, 0)]])
+        fifo = execute_orders_on_cost(cost, [[1], [0]])
+        assert strict.completion_time == pytest.approx(fifo.completion_time)
+
+    def test_self_message(self):
+        cost = np.array([[2.0, 1.0], [1.0, 0.0]])
+        schedule = execute_steps_strict(cost, [[(0, 0)], [(0, 1)]])
+        by_pair = schedule.event_map()
+        assert by_pair[(0, 1)].start == pytest.approx(2.0)
+
+
+class TestBarrierExecution:
+    def test_each_step_costs_its_maximum(self):
+        cost = np.array(
+            [
+                [0.0, 1.0, 5.0],
+                [2.0, 0.0, 1.0],
+                [3.0, 4.0, 0.0],
+            ]
+        )
+        steps = [[(0, 1), (1, 2), (2, 0)], [(0, 2), (1, 0), (2, 1)]]
+        schedule = execute_steps_barrier(cost, steps)
+        # step 0 max = 3, step 1 max = 5
+        assert schedule.completion_time == pytest.approx(8.0)
+        by_pair = schedule.event_map()
+        assert by_pair[(0, 2)].start == pytest.approx(3.0)
+
+    def test_barrier_never_faster_than_strict(self):
+        problem = random_problem(6, seed=2)
+        steps = [
+            [(i, (i + j) % 6) for i in range(6)] for j in range(1, 6)
+        ]
+        barrier = execute_steps_barrier(problem.cost, steps)
+        strict = execute_steps_strict(problem.cost, steps)
+        assert barrier.completion_time >= strict.completion_time - 1e-9
+
+    def test_valid_schedules(self):
+        problem = random_problem(5, seed=3)
+        steps = [
+            [(i, (i + j) % 5) for i in range(5)] for j in range(1, 5)
+        ]
+        check_schedule(execute_steps_barrier(problem.cost, steps), problem.cost)
+        check_schedule(execute_steps_strict(problem.cost, steps), problem.cost)

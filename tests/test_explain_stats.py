@@ -1,0 +1,106 @@
+"""Tests for schedule explanation and statistics helpers."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis import explain_schedule
+from repro.core.problem import example_problem
+from repro.util.stats import MeanCI, geometric_mean, mean_ci
+from tests.conftest import random_problem
+
+
+class TestExplainSchedule:
+    def test_port_bound_schedule(self):
+        problem = example_problem()
+        explanation = explain_schedule(
+            problem, repro.schedule_openshop(problem)
+        )
+        assert explanation.is_port_bound
+        assert explanation.ratio == pytest.approx(1.0)
+        assert (explanation.bottleneck_proc, explanation.bottleneck_port) == (
+            0, "send",
+        )
+        assert "port-bound" in explanation.summary()
+
+    def test_stalled_schedule_names_critical_path(self):
+        problem = example_problem()
+        explanation = explain_schedule(
+            problem, repro.schedule_baseline(problem)
+        )
+        assert not explanation.is_port_bound
+        assert explanation.ratio == pytest.approx(1.5)
+        assert len(explanation.critical_events) >= 2
+        assert "critical path" in explanation.summary()
+        assert "waits" in explanation.summary()
+
+    def test_critical_path_length_consistent(self):
+        problem = random_problem(6, seed=0)
+        schedule = repro.schedule_greedy(problem)
+        explanation = explain_schedule(problem, schedule)
+        # the critical path never exceeds the completion time and is a
+        # genuine chain of this schedule's events
+        assert explanation.critical_length <= explanation.completion_time + 1e-9
+        pairs = {(e.src, e.dst) for e in schedule}
+        assert set(explanation.critical_events) <= pairs
+
+    def test_summary_mentions_ratio(self):
+        problem = random_problem(5, seed=1)
+        explanation = explain_schedule(
+            problem, repro.schedule_baseline(problem)
+        )
+        assert f"{explanation.ratio:.3f}" in explanation.summary()
+
+
+class TestMeanCI:
+    def test_basic(self):
+        ci = mean_ci([1.0, 2.0, 3.0])
+        assert ci.mean == pytest.approx(2.0)
+        assert ci.n == 3
+        assert ci.low < 2.0 < ci.high
+
+    def test_single_sample_zero_width(self):
+        ci = mean_ci([5.0])
+        assert ci.half_width == 0.0
+        assert ci.low == ci.high == 5.0
+
+    def test_wider_at_higher_confidence(self):
+        samples = [1.0, 2.0, 4.0, 3.0]
+        assert (
+            mean_ci(samples, confidence=0.99).half_width
+            > mean_ci(samples, confidence=0.9).half_width
+        )
+
+    def test_contains_truth_usually(self):
+        rng = np.random.default_rng(0)
+        hits = 0
+        for _ in range(200):
+            samples = rng.normal(10.0, 2.0, size=8)
+            ci = mean_ci(samples, confidence=0.95)
+            if ci.low <= 10.0 <= ci.high:
+                hits += 1
+        assert hits >= 180  # ~95% coverage, generous slack
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mean_ci([])
+        with pytest.raises(ValueError):
+            mean_ci([1.0], confidence=1.5)
+
+    def test_str(self):
+        assert "±" in str(mean_ci([1.0, 2.0]))
+
+
+class TestGeometricMean:
+    def test_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_ratio_friendly(self):
+        # geo-mean of x and 1/x is 1 — arithmetic mean overstates
+        assert geometric_mean([2.0, 0.5]) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])

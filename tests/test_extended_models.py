@@ -1,0 +1,56 @@
+"""Extended model parameter tests (paper Section 6.1)."""
+
+import pytest
+
+from repro.model.extended import FiniteBufferModel, InterleavedReceiveModel
+
+
+class TestInterleavedReceiveModel:
+    def test_batch_time_formula(self):
+        model = InterleavedReceiveModel(alpha=0.1, max_streams=3)
+        # (1 + alpha) * (t1 + t2)
+        assert model.batch_time([2.0, 3.0]) == pytest.approx(1.1 * 5.0)
+
+    def test_single_receive_no_overhead(self):
+        model = InterleavedReceiveModel(alpha=0.5, max_streams=2)
+        assert model.batch_time([4.0]) == pytest.approx(4.0)
+
+    def test_batch_over_streams_raises(self):
+        model = InterleavedReceiveModel(alpha=0.1, max_streams=2)
+        with pytest.raises(ValueError):
+            model.batch_time([1.0, 1.0, 1.0])
+
+    def test_rate_factor_consistent_with_batch(self):
+        # k equal messages at the batch rate finish in (1+a)*k*t.
+        model = InterleavedReceiveModel(alpha=0.2, max_streams=4)
+        k, t = 3, 2.0
+        rate = model.effective_rate_factor(k)
+        elapsed = t / rate
+        assert elapsed == pytest.approx(model.batch_time([t] * k))
+
+    def test_rate_factor_solo(self):
+        model = InterleavedReceiveModel(alpha=0.9)
+        assert model.effective_rate_factor(1) == 1.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            InterleavedReceiveModel(alpha=-0.1)
+        with pytest.raises(ValueError):
+            InterleavedReceiveModel(max_streams=0)
+        with pytest.raises(ValueError):
+            InterleavedReceiveModel().effective_rate_factor(0)
+
+
+class TestFiniteBufferModel:
+    def test_drain_time(self):
+        model = FiniteBufferModel(capacity_bytes=1e6, drain_rate=5e5)
+        assert model.drain_time(1e6) == pytest.approx(2.0)
+        assert model.drain_time(0.0) == 0.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            FiniteBufferModel(capacity_bytes=-1.0)
+        with pytest.raises(ValueError):
+            FiniteBufferModel(drain_rate=0.0)
+        with pytest.raises(ValueError):
+            FiniteBufferModel().drain_time(-5.0)

@@ -1,0 +1,66 @@
+"""Figure driver tests (small-scale versions of the paper's sweeps)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    FIGURE_DRIVERS,
+    figure09_small_messages,
+    figure10_large_messages,
+    figure11_mixed_messages,
+    figure12_servers,
+)
+
+SMALL = dict(proc_counts=(5, 10), trials=2, seed=0)
+
+
+def test_driver_registry():
+    assert set(FIGURE_DRIVERS) == {"9", "10", "11", "12"}
+
+
+@pytest.mark.parametrize("fig_id", sorted(FIGURE_DRIVERS))
+def test_driver_runs(fig_id):
+    result = FIGURE_DRIVERS[fig_id](**SMALL)
+    assert result.proc_counts == (5, 10)
+    assert "openshop" in result.completion
+
+
+def test_fig9_small_messages_latency_dominated():
+    result = figure09_small_messages(**SMALL)
+    # 1 kB at GUSTO bandwidths is startup-dominated: completion well
+    # under a second per event, so a 10-processor exchange finishes in
+    # seconds, not minutes.
+    assert result.completion["openshop"][-1] < 10.0
+
+
+def test_fig10_larger_than_fig9():
+    small = figure09_small_messages(**SMALL)
+    large = figure10_large_messages(**SMALL)
+    assert (
+        large.completion["openshop"][-1]
+        > 10 * small.completion["openshop"][-1]
+    )
+
+
+def test_fig11_between_9_and_10():
+    small = figure09_small_messages(**SMALL)
+    mixed = figure11_mixed_messages(**SMALL)
+    large = figure10_large_messages(**SMALL)
+    assert (
+        small.completion["openshop"][-1]
+        < mixed.completion["openshop"][-1]
+        < large.completion["openshop"][-1]
+    )
+
+
+def test_fig12_baseline_suffers():
+    result = figure12_servers(proc_counts=(10, 20), trials=2, seed=0)
+    # the paper's headline: adaptive schedules clearly beat the baseline
+    # in the server scenario.
+    speedup = result.improvement_over_baseline("openshop")[-1]
+    assert speedup > 1.3
+
+
+def test_completion_grows_with_procs():
+    result = figure10_large_messages(proc_counts=(5, 15), trials=2, seed=0)
+    for name, series in result.completion.items():
+        assert series[1] > series[0]

@@ -1,0 +1,170 @@
+"""Directory forecasting tests."""
+
+import numpy as np
+import pytest
+
+from repro.directory.forecast import (
+    SnapshotHistory,
+    ewma_forecast,
+    forecast_error,
+    linear_forecast,
+)
+from repro.directory.service import DirectorySnapshot
+
+
+def make_snapshot(bandwidth_value, time=0.0, n=3):
+    latency = np.full((n, n), 0.01)
+    np.fill_diagonal(latency, 0.0)
+    bandwidth = np.full((n, n), float(bandwidth_value))
+    np.fill_diagonal(bandwidth, np.inf)
+    return DirectorySnapshot(latency=latency, bandwidth=bandwidth, time=time)
+
+
+class TestSnapshotHistory:
+    def test_push_and_latest(self):
+        history = SnapshotHistory()
+        history.push(make_snapshot(1e6, time=0.0))
+        history.push(make_snapshot(2e6, time=10.0))
+        assert len(history) == 2
+        assert history.latest.bandwidth[0, 1] == 2e6
+
+    def test_bounded(self):
+        history = SnapshotHistory(maxlen=2)
+        for k in range(5):
+            history.push(make_snapshot(1e6, time=float(k)))
+        assert len(history) == 2
+
+    def test_rejects_time_regression(self):
+        history = SnapshotHistory()
+        history.push(make_snapshot(1e6, time=5.0))
+        with pytest.raises(ValueError):
+            history.push(make_snapshot(1e6, time=1.0))
+
+    def test_rejects_size_change(self):
+        history = SnapshotHistory()
+        history.push(make_snapshot(1e6, n=3))
+        with pytest.raises(ValueError):
+            history.push(make_snapshot(1e6, n=4, time=1.0))
+
+    def test_empty_latest_raises(self):
+        with pytest.raises(ValueError):
+            SnapshotHistory().latest
+
+
+class TestEwma:
+    def test_alpha_one_uses_latest(self):
+        history = SnapshotHistory()
+        history.push(make_snapshot(1e6, time=0.0))
+        history.push(make_snapshot(3e6, time=1.0))
+        forecast = ewma_forecast(history, alpha=1.0)
+        assert forecast.bandwidth[0, 1] == pytest.approx(3e6)
+
+    def test_midpoint(self):
+        history = SnapshotHistory()
+        history.push(make_snapshot(1e6, time=0.0))
+        history.push(make_snapshot(3e6, time=1.0))
+        forecast = ewma_forecast(history, alpha=0.5)
+        assert forecast.bandwidth[0, 1] == pytest.approx(2e6)
+
+    def test_diagonal_preserved(self):
+        history = SnapshotHistory()
+        history.push(make_snapshot(1e6))
+        forecast = ewma_forecast(history)
+        assert np.all(np.isinf(np.diag(forecast.bandwidth)))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ewma_forecast(SnapshotHistory())
+
+
+class TestLinear:
+    def test_extrapolates_geometric_trend_exactly(self):
+        history = SnapshotHistory()
+        for k in range(4):
+            history.push(make_snapshot(1e6 * 1.1**k, time=float(k)))
+        forecast = linear_forecast(history, horizon=2.0)
+        # multiplicative trend: x1.1 per second; 2 ahead of t=3 -> 1.1^5
+        assert forecast.bandwidth[0, 1] == pytest.approx(
+            1e6 * 1.1**5, rel=1e-9
+        )
+        assert forecast.time == pytest.approx(5.0)
+
+    def test_single_snapshot_falls_back(self):
+        history = SnapshotHistory()
+        history.push(make_snapshot(2e6, time=1.0))
+        forecast = linear_forecast(history, horizon=10.0)
+        assert forecast.bandwidth[0, 1] == pytest.approx(2e6)
+
+    def test_collapsing_trend_stays_positive(self):
+        history = SnapshotHistory()
+        history.push(make_snapshot(1e6, time=0.0))
+        history.push(make_snapshot(1e5, time=1.0))
+        forecast = linear_forecast(history, horizon=100.0)
+        # log-space extrapolation predicts a near-dead link, never a
+        # non-positive bandwidth (the snapshot type would reject it)
+        assert forecast.bandwidth[0, 1] > 0.0
+        assert forecast.bandwidth[0, 1] < 1e5
+
+    def test_latency_floor_zero(self):
+        history = SnapshotHistory()
+        a = make_snapshot(1e6, time=0.0)
+        b = make_snapshot(1e6, time=1.0)
+        # craft decreasing latency
+        lat_b = a.latency * 0.1
+        b = DirectorySnapshot(latency=lat_b, bandwidth=b.bandwidth, time=1.0)
+        history.push(a)
+        history.push(b)
+        forecast = linear_forecast(history, horizon=100.0)
+        assert np.all(forecast.latency >= 0.0)
+
+
+class TestForecastError:
+    def test_zero_for_exact(self):
+        snap = make_snapshot(1e6)
+        assert forecast_error(snap, snap) == 0.0
+
+    def test_relative(self):
+        a = make_snapshot(1e6)
+        b = make_snapshot(2e6)
+        assert forecast_error(a, b) == pytest.approx(0.5)
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValueError):
+            forecast_error(make_snapshot(1e6, n=3), make_snapshot(1e6, n=4))
+
+
+def test_forecast_improves_planning_under_trend():
+    """Planning on the linear forecast beats planning on the stale view."""
+    import repro
+    from repro.sim.replay import replay_schedule
+
+    rng = np.random.default_rng(0)
+    n = 8
+    latency, bandwidth = repro.random_pairwise_parameters(n, rng=rng)
+    # a deterministic multiplicative trend per pair
+    trend = np.exp(rng.normal(0, 0.15, (n, n)))
+    trend = (trend + trend.T) / 2
+    np.fill_diagonal(trend, 1.0)
+
+    history = SnapshotHistory()
+    bw = bandwidth.copy()
+    for k in range(4):
+        history.push(
+            DirectorySnapshot(latency=latency, bandwidth=bw, time=float(k))
+        )
+        bw = bw * trend
+    realised = DirectorySnapshot(latency=latency, bandwidth=bw, time=4.0)
+    sizes = repro.MixedSizes().sizes(n, rng=rng)
+    truth = repro.TotalExchangeProblem.from_snapshot(realised, sizes)
+
+    stale_plan = repro.schedule_openshop(
+        repro.TotalExchangeProblem.from_snapshot(history.latest, sizes)
+    )
+    forecast_plan = repro.schedule_openshop(
+        repro.TotalExchangeProblem.from_snapshot(
+            linear_forecast(history, horizon=1.0), sizes
+        )
+    )
+    stale_time = replay_schedule(stale_plan, truth).completion_time
+    forecast_time = replay_schedule(forecast_plan, truth).completion_time
+    assert forecast_time <= stale_time * 1.02

@@ -1,0 +1,98 @@
+"""Synthetic network generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.network.generators import (
+    random_metacomputer,
+    random_pairwise_parameters,
+)
+from repro.network.gusto import (
+    GUSTO_BANDWIDTH_RANGE_BPS,
+    GUSTO_LATENCY_RANGE_S,
+)
+
+
+class TestRandomPairwiseParameters:
+    def test_shapes_and_diagonals(self):
+        latency, bandwidth = random_pairwise_parameters(8, rng=0)
+        assert latency.shape == (8, 8)
+        assert np.all(np.diag(latency) == 0.0)
+        assert np.all(np.isinf(np.diag(bandwidth)))
+
+    def test_ranges(self):
+        latency, bandwidth = random_pairwise_parameters(20, rng=1)
+        off = ~np.eye(20, dtype=bool)
+        lo, hi = GUSTO_LATENCY_RANGE_S
+        assert latency[off].min() >= lo and latency[off].max() <= hi
+        blo, bhi = GUSTO_BANDWIDTH_RANGE_BPS
+        assert bandwidth[off].min() >= blo and bandwidth[off].max() <= bhi
+
+    def test_symmetric_by_default(self):
+        latency, bandwidth = random_pairwise_parameters(6, rng=2)
+        assert np.allclose(latency, latency.T)
+        assert np.allclose(bandwidth, bandwidth.T)
+
+    def test_asymmetric_option(self):
+        latency, _ = random_pairwise_parameters(6, symmetric=False, rng=3)
+        assert not np.allclose(latency, latency.T)
+
+    def test_deterministic_by_seed(self):
+        a = random_pairwise_parameters(5, rng=10)
+        b = random_pairwise_parameters(5, rng=10)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_custom_ranges(self):
+        latency, bandwidth = random_pairwise_parameters(
+            5,
+            latency_range=(0.5, 0.5),
+            bandwidth_range=(100.0, 100.0),
+            rng=4,
+        )
+        off = ~np.eye(5, dtype=bool)
+        assert np.allclose(latency[off], 0.5)
+        assert np.allclose(bandwidth[off], 100.0)
+
+    def test_linear_bandwidth_option(self):
+        _, bandwidth = random_pairwise_parameters(
+            30, log_uniform_bandwidth=False, rng=5
+        )
+        off = ~np.eye(30, dtype=bool)
+        blo, bhi = GUSTO_BANDWIDTH_RANGE_BPS
+        assert bandwidth[off].min() >= blo
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            random_pairwise_parameters(0)
+        with pytest.raises(ValueError):
+            random_pairwise_parameters(3, latency_range=(1.0, 0.5))
+        with pytest.raises(ValueError):
+            random_pairwise_parameters(3, bandwidth_range=(0.0, 1.0))
+
+
+class TestRandomMetacomputer:
+    def test_connected(self):
+        for seed in range(5):
+            system = random_metacomputer(
+                num_sites=4, nodes_per_site=3, rng=seed
+            )
+            assert system.is_connected()
+            assert system.num_procs == 12
+
+    def test_deterministic(self):
+        a = random_metacomputer(rng=9)
+        b = random_metacomputer(rng=9)
+        links_a = sorted((u, v, l.latency) for u, v, l in a.links())
+        links_b = sorted((u, v, l.latency) for u, v, l in b.links())
+        assert links_a == links_b
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            random_metacomputer(num_sites=0)
+
+    def test_backbone_in_range(self):
+        system = random_metacomputer(num_sites=5, nodes_per_site=1, rng=11)
+        for _, _, link in system.links():
+            if link.kind == "backbone":
+                lo, hi = GUSTO_LATENCY_RANGE_S
+                assert lo <= link.latency <= hi

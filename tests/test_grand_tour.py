@@ -1,0 +1,120 @@
+"""Grand-tour integration test: every subsystem in one realistic flow.
+
+A metacomputer with drifting background load is monitored through a
+noisy directory; snapshot history feeds a forecast; a schedule is
+planned, hits drifted reality, gets checkpoint-rescheduled; the outcome
+is analysed, explained, serialised, and rendered.  One scenario, every
+layer — the way a downstream user would actually wire the library.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.adaptive import (
+    HalvingCheckpoints,
+    NoCheckpoints,
+    piecewise_cost_provider,
+    run_adaptive,
+)
+from repro.analysis import analyze_schedule, explain_schedule
+from repro.directory import (
+    NoisyDirectory,
+    SnapshotHistory,
+    TopologyDirectory,
+    linear_forecast,
+)
+from repro.directory.dynamics import RandomWalkLoad
+from repro.io import (
+    problem_from_dict,
+    problem_to_dict,
+    render_svg,
+    schedule_to_trace,
+)
+from repro.network.topology import Metacomputer
+from repro.util.units import GBIT_PER_S, MBIT_PER_S, seconds_from_ms
+from repro.workloads import transpose_sizes
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    system = Metacomputer.build(
+        {"west": 4, "east": 4},
+        access_latency=seconds_from_ms(0.3),
+        access_bandwidth=GBIT_PER_S,
+        backbone=[("west", "east", seconds_from_ms(35), 20 * MBIT_PER_S)],
+    )
+    truth = TopologyDirectory(
+        system,
+        load_factory=lambda edge: RandomWalkLoad(
+            mean=1.0, volatility=0.4, step=10.0,
+            rng=abs(hash(edge)) % (2**31),
+        ),
+        software_overhead=seconds_from_ms(8),
+    )
+    directory = NoisyDirectory(truth, bandwidth_sigma=0.1, rng=7)
+    return system, truth, directory
+
+
+def test_monitor_forecast_plan_adapt_explain(scenario):
+    system, truth, directory = scenario
+    sizes = transpose_sizes(2_000, system.num_procs)
+
+    # 1. monitor: collect a history of (noisy) measurements over time
+    history = SnapshotHistory(maxlen=8)
+    for _ in range(4):
+        history.push(directory.snapshot())
+        directory.advance(60.0)
+
+    # 2. forecast and plan
+    forecast = linear_forecast(history, horizon=30.0)
+    planned_problem = repro.TotalExchangeProblem.from_snapshot(
+        forecast, sizes
+    )
+    plan = repro.schedule_openshop(planned_problem)
+    repro.check_schedule(plan, planned_problem.cost)
+
+    # 3. reality: the true network has moved on
+    directory.advance(120.0)
+    actual_problem = repro.TotalExchangeProblem.from_snapshot(
+        directory.true_snapshot(), sizes
+    )
+    drift_at = 0.2 * plan.completion_time
+    provider = piecewise_cost_provider(
+        [0.0, drift_at], [planned_problem.cost, actual_problem.cost]
+    )
+
+    # 4. adaptive execution beats (or ties) the stale plan
+    stale = run_adaptive(planned_problem, provider, policy=NoCheckpoints())
+    adaptive = run_adaptive(
+        planned_problem, provider, policy=HalvingCheckpoints()
+    )
+    assert adaptive.completion_time <= stale.completion_time * 1.05
+
+    # 5. the executed schedule is coherent and analysable
+    executed = adaptive.schedule
+    positive = {(e.src, e.dst) for e in executed if e.duration > 0}
+    assert positive == set(planned_problem.positive_events())
+    stats = analyze_schedule(executed)
+    assert stats.completion_time == pytest.approx(
+        adaptive.completion_time
+    )
+    explanation = explain_schedule(actual_problem, plan)
+    assert explanation.summary()
+
+    # 6. artefacts: serialisation round-trips and rendering works
+    restored = problem_from_dict(problem_to_dict(actual_problem))
+    assert np.array_equal(restored.cost, actual_problem.cost)
+    svg = render_svg(executed, title="grand tour")
+    assert svg.startswith("<svg")
+    trace = schedule_to_trace(executed)
+    assert any(e["ph"] == "X" for e in trace["traceEvents"])
+
+
+def test_truth_vs_noise_gap_is_bounded(scenario):
+    system, truth, directory = scenario
+    from repro.directory.forecast import forecast_error
+
+    error = forecast_error(directory.snapshot(), directory.true_snapshot())
+    # sigma 0.1 measurement noise: relative error ~ e^0.1 - 1
+    assert 0.0 < error < 0.5

@@ -1,0 +1,50 @@
+"""GUSTO dataset tests (paper Tables 1-2)."""
+
+import numpy as np
+import pytest
+
+from repro.network.gusto import (
+    GUSTO_BANDWIDTH_KBIT_S,
+    GUSTO_LATENCY_MS,
+    GUSTO_SITES,
+    gusto_parameters,
+)
+
+
+def test_five_sites():
+    assert len(GUSTO_SITES) == 5
+    assert GUSTO_SITES[0] == "AMES"
+    assert "USC-ISI" in GUSTO_SITES
+
+
+def test_tables_symmetric():
+    assert np.allclose(GUSTO_LATENCY_MS, GUSTO_LATENCY_MS.T)
+    assert np.allclose(GUSTO_BANDWIDTH_KBIT_S, GUSTO_BANDWIDTH_KBIT_S.T)
+
+
+def test_table1_spot_values():
+    # AMES <-> USC-ISI latency is 12 ms; IND <-> AMES is 89.5 ms.
+    ames, ind, usc = 0, 2, 3
+    assert GUSTO_LATENCY_MS[ames, usc] == 12.0
+    assert GUSTO_LATENCY_MS[ind, ames] == 89.5
+
+
+def test_table2_spot_values():
+    # USC-ISI <-> NCSA is the fastest pair at 4976 kbit/s.
+    usc, ncsa = 3, 4
+    assert GUSTO_BANDWIDTH_KBIT_S[usc, ncsa] == 4976.0
+    assert GUSTO_BANDWIDTH_KBIT_S.max() == 4976.0
+
+
+def test_gusto_parameters_units():
+    latency, bandwidth = gusto_parameters()
+    # 34.5 ms -> seconds
+    assert latency[0, 1] == pytest.approx(0.0345)
+    # 512 kbit/s -> bytes/s
+    assert bandwidth[0, 1] == pytest.approx(64_000.0)
+
+
+def test_gusto_parameters_diagonal():
+    latency, bandwidth = gusto_parameters()
+    assert np.all(np.diag(latency) == 0.0)
+    assert np.all(np.isinf(np.diag(bandwidth)))

@@ -1,0 +1,125 @@
+"""Experiment harness tests."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import SweepResult, run_sweep
+from repro.experiments.quality import quality_stats
+from repro.model.messages import UniformSizes
+
+PROCS = (4, 6)
+
+
+def small_sweep(seed=0, trials=2):
+    return run_sweep(
+        "test",
+        UniformSizes(1000.0),
+        proc_counts=PROCS,
+        trials=trials,
+        seed=seed,
+    )
+
+
+def test_shapes():
+    result = small_sweep()
+    assert result.proc_counts == PROCS
+    assert set(result.completion) == {
+        "baseline", "max_matching", "min_matching", "greedy", "openshop",
+    }
+    for series in result.completion.values():
+        assert len(series) == len(PROCS)
+    assert len(result.lower_bound) == len(PROCS)
+    for samples in result.ratio_samples.values():
+        assert len(samples) == len(PROCS) * result.trials
+
+
+def test_deterministic():
+    a = small_sweep(seed=5)
+    b = small_sweep(seed=5)
+    assert a.completion == b.completion
+
+
+def test_seed_changes_results():
+    a = small_sweep(seed=1)
+    b = small_sweep(seed=2)
+    assert a.completion != b.completion
+
+
+def test_ratios_at_least_one():
+    result = small_sweep()
+    for samples in result.ratio_samples.values():
+        assert all(r >= 1.0 - 1e-9 for r in samples)
+
+
+def test_openshop_within_theorem_bound():
+    result = small_sweep()
+    assert result.max_ratio("openshop") <= 2.0
+
+
+def test_improvement_over_baseline():
+    result = small_sweep()
+    speedups = result.improvement_over_baseline("openshop")
+    assert len(speedups) == len(PROCS)
+    assert all(s > 0 for s in speedups)
+
+
+def test_improvement_requires_baseline():
+    result = run_sweep(
+        "nobase",
+        UniformSizes(1000.0),
+        proc_counts=(4,),
+        trials=1,
+        algorithms={"openshop": __import__("repro").schedule_openshop},
+    )
+    with pytest.raises(KeyError):
+        result.improvement_over_baseline("openshop")
+
+
+def test_custom_algorithms():
+    import repro
+
+    result = run_sweep(
+        "custom",
+        UniformSizes(1000.0),
+        proc_counts=(4,),
+        trials=1,
+        algorithms={"openshop": repro.schedule_openshop},
+    )
+    assert set(result.completion) == {"openshop"}
+
+
+def test_invalid_trials():
+    with pytest.raises(ValueError):
+        run_sweep("x", UniformSizes(1.0), trials=0)
+
+
+def test_raw_samples_behind_means():
+    result = small_sweep(trials=3)
+    for name, per_p in result.raw.items():
+        assert len(per_p) == len(PROCS)
+        for k, samples in enumerate(per_p):
+            assert len(samples) == 3
+            assert sum(samples) / 3 == pytest.approx(
+                result.completion[name][k]
+            )
+
+
+def test_completion_interval():
+    result = small_sweep(trials=3)
+    intervals = result.completion_interval("openshop")
+    assert len(intervals) == len(PROCS)
+    for ci, mean in zip(intervals, result.completion["openshop"]):
+        assert ci.mean == pytest.approx(mean)
+        assert ci.low <= ci.mean <= ci.high
+
+
+def test_quality_stats_pooling():
+    a = small_sweep(seed=1)
+    b = small_sweep(seed=2)
+    stats = quality_stats([a, b])
+    for s in stats.values():
+        assert s.samples == 2 * len(PROCS) * 2
+        assert s.min_ratio <= s.mean_ratio <= s.max_ratio
+    assert stats["openshop"].max_excess_percent == pytest.approx(
+        (stats["openshop"].max_ratio - 1) * 100
+    )

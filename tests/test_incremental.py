@@ -1,0 +1,84 @@
+"""Incremental refinement tests (paper Section 6.2)."""
+
+import numpy as np
+import pytest
+
+from repro.adaptive.incremental import changed_pairs, refine_orders
+from repro.core.openshop import schedule_openshop
+from repro.core.problem import TotalExchangeProblem
+from repro.sim.engine import execute_orders
+from tests.conftest import random_problem
+
+
+def stale_orders(problem):
+    return schedule_openshop(problem).send_orders()
+
+
+class TestChangedPairs:
+    def test_detects_changes(self):
+        old = random_problem(4, seed=0)
+        new_cost = old.cost.copy()
+        new_cost[1, 2] *= 3.0
+        new = TotalExchangeProblem(cost=new_cost)
+        assert changed_pairs(old, new) == {(1, 2)}
+
+    def test_identical_instances_empty(self):
+        p = random_problem(4, seed=1)
+        assert changed_pairs(p, p) == set()
+
+    def test_mismatched_sizes_raise(self):
+        with pytest.raises(ValueError):
+            changed_pairs(random_problem(3), random_problem(4))
+
+
+class TestRefineOrders:
+    def test_never_worse_than_stale(self):
+        for seed in range(5):
+            old = random_problem(6, seed=seed)
+            rng = np.random.default_rng(seed + 100)
+            new_cost = old.cost * np.exp(rng.normal(0, 0.8, old.cost.shape))
+            np.fill_diagonal(new_cost, 0.0)
+            new = TotalExchangeProblem(cost=new_cost)
+            orders = stale_orders(old)
+            result = refine_orders(orders, new, old_problem=old)
+            assert result.completion_time <= result.initial_time + 1e-9
+
+    def test_reports_evaluations(self):
+        old = random_problem(5, seed=2)
+        new = TotalExchangeProblem(cost=old.cost * 2.0)
+        result = refine_orders(stale_orders(old), new, old_problem=old)
+        assert result.evaluations >= 1
+
+    def test_unchanged_problem_keeps_quality(self):
+        problem = random_problem(5, seed=3)
+        orders = stale_orders(problem)
+        baseline_time = execute_orders(
+            problem, orders, validate=False
+        ).completion_time
+        result = refine_orders(orders, problem, old_problem=problem)
+        assert result.completion_time <= baseline_time + 1e-9
+
+    def test_improvement_property(self):
+        old = random_problem(6, seed=4)
+        new = TotalExchangeProblem(cost=old.cost[::-1, ::-1].copy())
+        result = refine_orders(stale_orders(old), new)
+        assert 0.0 <= result.improvement <= 1.0
+
+    def test_refined_orders_still_cover(self):
+        old = random_problem(5, seed=5)
+        rng = np.random.default_rng(6)
+        new_cost = old.cost * np.exp(rng.normal(0, 1.0, old.cost.shape))
+        np.fill_diagonal(new_cost, 0.0)
+        new = TotalExchangeProblem(cost=new_cost)
+        result = refine_orders(stale_orders(old), new, old_problem=old)
+        for src, order in enumerate(result.orders):
+            assert set(order) >= {
+                dst for dst in range(5) if dst != src
+            }
+
+    def test_zero_passes_allowed(self):
+        old = random_problem(4, seed=7)
+        result = refine_orders(stale_orders(old), old, max_passes=0)
+        assert result.evaluations >= 1
+        with pytest.raises(ValueError):
+            refine_orders(stale_orders(old), old, max_passes=-1)

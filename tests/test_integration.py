@@ -1,0 +1,135 @@
+"""Integration tests: full pipelines across subsystems."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.adaptive import (
+    HalvingCheckpoints,
+    NoCheckpoints,
+    piecewise_cost_provider,
+    run_adaptive,
+)
+from repro.directory import TopologyDirectory
+from repro.directory.dynamics import RandomWalkLoad
+from repro.network.topology import Metacomputer
+from repro.sim.fluid import fluid_execute_orders
+from repro.util.units import GBIT_PER_S, MBIT_PER_S, seconds_from_ms
+from repro.workloads import transpose_sizes
+
+
+def build_metacomputer() -> Metacomputer:
+    return Metacomputer.build(
+        {"west": 3, "east": 3},
+        access_latency=seconds_from_ms(0.5),
+        access_bandwidth=GBIT_PER_S,
+        backbone=[("west", "east", seconds_from_ms(40), 10 * MBIT_PER_S)],
+    )
+
+
+def test_topology_to_schedule_pipeline():
+    """Topology -> directory -> problem -> all schedulers -> validation."""
+    system = build_metacomputer()
+    directory = TopologyDirectory(
+        system, software_overhead=seconds_from_ms(10)
+    )
+    sizes = transpose_sizes(600, system.num_procs)
+    problem = repro.TotalExchangeProblem.from_snapshot(
+        directory.snapshot(), sizes
+    )
+    lb = problem.lower_bound()
+    times = {}
+    for name in repro.scheduler_names():
+        schedule = repro.get_scheduler(name)(problem)
+        repro.check_schedule(schedule, problem.cost)
+        times[name] = schedule.completion_time
+        assert schedule.completion_time >= lb - 1e-9
+    # the paper's qualitative ordering
+    assert times["openshop"] <= times["baseline"]
+    assert times["max_matching"] <= times["baseline"]
+
+
+def test_gusto_quickstart_flow():
+    directory = repro.gusto_directory()
+    problem = repro.TotalExchangeProblem.from_snapshot(
+        directory.snapshot(), repro.UniformSizes(repro.MEGABYTE)
+    )
+    schedule = repro.schedule_openshop(problem)
+    assert schedule.completion_time <= 2 * problem.lower_bound()
+    # GUSTO's slowest pair (IND at 246-311 kbit/s) dominates: schedule
+    # should be tens of seconds for 1 MB messages.
+    assert 10.0 < schedule.completion_time < 1000.0
+
+
+def test_dynamic_directory_drift_and_rescheduling():
+    """Directory with random-walk load -> drifted snapshots -> adaptivity."""
+    system = build_metacomputer()
+    directory = TopologyDirectory(
+        system,
+        load_factory=lambda edge: RandomWalkLoad(
+            mean=1.0, volatility=0.6, step=5.0, rng=hash(edge) % (2**31)
+        ),
+        software_overhead=seconds_from_ms(10),
+    )
+    sizes = repro.MixedSizes().sizes(system.num_procs, rng=3)
+    estimate = repro.TotalExchangeProblem.from_snapshot(
+        directory.snapshot(), sizes
+    )
+    directory.advance(300.0)
+    actual = repro.TotalExchangeProblem.from_snapshot(
+        directory.snapshot(), sizes
+    )
+    provider = piecewise_cost_provider(
+        [0.0, 0.2 * estimate.lower_bound()], [estimate.cost, actual.cost]
+    )
+    stale = run_adaptive(estimate, provider, policy=NoCheckpoints())
+    adaptive = run_adaptive(estimate, provider, policy=HalvingCheckpoints())
+    # adaptive never loses badly; usually it wins
+    assert adaptive.completion_time <= stale.completion_time * 1.1
+
+
+def test_fluid_vs_analytical_model_error():
+    """The analytical model underestimates under heavy link sharing."""
+    system = build_metacomputer()
+    sizes = np.zeros((6, 6))
+    # all west nodes ship 2 MB to all east nodes over one backbone
+    for i in range(3):
+        for j in range(3, 6):
+            sizes[i, j] = 2e6
+    directory = TopologyDirectory(system)
+    problem = repro.TotalExchangeProblem.from_snapshot(
+        directory.snapshot(), sizes
+    )
+    planned = repro.schedule_openshop(problem)
+    orders = planned.send_orders()
+    fluid = fluid_execute_orders(system, orders, sizes)
+    # port serialisation means at most 3 concurrent backbone flows; the
+    # fluid time exceeds the analytical plan but within the sharing
+    # factor (3 concurrent flows -> at most ~3x).
+    assert fluid.completion_time >= planned.completion_time - 1e-6
+    assert fluid.completion_time <= 3.5 * planned.completion_time
+
+
+def test_replay_consistency_with_strict_semantics():
+    """Replaying the plan under its own costs reproduces it exactly."""
+    system = build_metacomputer()
+    directory = TopologyDirectory(system)
+    problem = repro.TotalExchangeProblem.from_snapshot(
+        directory.snapshot(), repro.UniformSizes(5e5)
+    )
+    for name in repro.scheduler_names():
+        planned = repro.get_scheduler(name)(problem)
+        replayed = repro.replay_schedule(planned, problem)
+        assert replayed.completion_time == pytest.approx(
+            planned.completion_time
+        ), name
+
+
+def test_end_to_end_quality_ordering_on_server_workload():
+    """Aggregate check of the paper's Figure 12 story at moderate scale."""
+    from repro.experiments.figures import figure12_servers
+
+    result = figure12_servers(proc_counts=(20,), trials=3, seed=1)
+    assert result.mean_ratio("openshop") < 1.15
+    assert result.mean_ratio("max_matching") < 1.25
+    assert result.mean_ratio("baseline") > 1.3

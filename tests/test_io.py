@@ -1,0 +1,83 @@
+"""Serialization round-trip tests."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.directory.static import gusto_directory
+from repro.io import (
+    load_json,
+    problem_from_dict,
+    problem_to_dict,
+    save_json,
+    schedule_from_dict,
+    schedule_to_dict,
+    snapshot_from_dict,
+    snapshot_to_dict,
+)
+from tests.conftest import random_problem
+
+
+def test_problem_roundtrip():
+    problem = random_problem(6, seed=0)
+    restored = problem_from_dict(problem_to_dict(problem))
+    assert np.array_equal(restored.cost, problem.cost)
+    assert restored.sizes is None
+
+
+def test_problem_with_sizes_roundtrip():
+    directory = gusto_directory()
+    problem = repro.TotalExchangeProblem.from_snapshot(
+        directory.snapshot(), repro.UniformSizes(1e6)
+    )
+    restored = problem_from_dict(problem_to_dict(problem))
+    assert np.array_equal(restored.cost, problem.cost)
+    assert np.array_equal(restored.sizes, problem.sizes)
+
+
+def test_snapshot_roundtrip_preserves_infinity():
+    snapshot = gusto_directory().snapshot()
+    restored = snapshot_from_dict(snapshot_to_dict(snapshot))
+    assert np.array_equal(restored.latency, snapshot.latency)
+    assert np.all(np.isinf(np.diag(restored.bandwidth)))
+    assert np.array_equal(restored.bandwidth, snapshot.bandwidth)
+
+
+def test_schedule_roundtrip():
+    problem = random_problem(5, seed=1)
+    schedule = repro.schedule_openshop(problem)
+    restored = schedule_from_dict(schedule_to_dict(schedule))
+    assert restored == schedule
+
+
+def test_json_is_strict(tmp_path):
+    import json
+
+    snapshot = gusto_directory().snapshot()
+    path = tmp_path / "snap.json"
+    save_json(path, snapshot_to_dict(snapshot))
+    payload = json.loads(path.read_text())  # must parse as strict JSON
+    restored = snapshot_from_dict(payload)
+    assert restored.num_procs == 5
+
+
+def test_file_roundtrip(tmp_path):
+    problem = random_problem(4, seed=2)
+    path = tmp_path / "problem.json"
+    save_json(path, problem_to_dict(problem))
+    restored = problem_from_dict(load_json(path))
+    assert np.array_equal(restored.cost, problem.cost)
+
+
+def test_wrong_format_rejected():
+    problem = random_problem(3, seed=3)
+    payload = problem_to_dict(problem)
+    with pytest.raises(ValueError, match="format"):
+        snapshot_from_dict(payload)
+
+
+def test_wrong_version_rejected():
+    payload = problem_to_dict(random_problem(3, seed=4))
+    payload["version"] = 999
+    with pytest.raises(ValueError, match="version"):
+        problem_from_dict(payload)

@@ -1,0 +1,78 @@
+"""SVG and Chrome-trace export tests."""
+
+import json
+import xml.etree.ElementTree as ET
+
+import pytest
+
+import repro
+from repro.core.problem import example_problem
+from repro.io.svg import render_svg, save_svg
+from repro.io.trace import save_trace, schedule_to_trace
+from repro.timing.events import CommEvent, Schedule
+
+
+@pytest.fixture
+def schedule():
+    return repro.schedule_openshop(example_problem())
+
+
+class TestSvg:
+    def test_valid_xml(self, schedule):
+        svg = render_svg(schedule, title="example")
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_one_rect_per_real_event(self, schedule):
+        svg = render_svg(schedule)
+        real = [e for e in schedule if e.duration > 0]
+        # background rect + one per event
+        assert svg.count("<rect") == len(real) + 1
+
+    def test_headers_present(self, schedule):
+        svg = render_svg(schedule)
+        for proc in range(5):
+            assert f">P{proc}</text>" in svg
+
+    def test_title_escaped(self, schedule):
+        svg = render_svg(schedule, title="a < b & c")
+        assert "a &lt; b &amp; c" in svg
+        ET.fromstring(svg)
+
+    def test_empty_schedule(self):
+        svg = render_svg(Schedule(num_procs=2))
+        ET.fromstring(svg)
+
+    def test_save(self, schedule, tmp_path):
+        path = tmp_path / "diagram.svg"
+        save_svg(schedule, path, title="saved")
+        assert path.read_text().startswith("<svg")
+
+
+class TestTrace:
+    def test_structure(self, schedule):
+        trace = schedule_to_trace(schedule)
+        assert "traceEvents" in trace
+        kinds = {e["ph"] for e in trace["traceEvents"]}
+        assert kinds == {"M", "X"}
+
+    def test_two_tracks_per_event(self, schedule):
+        trace = schedule_to_trace(schedule)
+        complete = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        real = [e for e in schedule if e.duration > 0]
+        assert len(complete) == 2 * len(real)
+
+    def test_microsecond_timestamps(self):
+        s = Schedule.from_events(
+            2, [CommEvent(start=1.5, src=0, dst=1, duration=0.25)]
+        )
+        trace = schedule_to_trace(s)
+        event = [e for e in trace["traceEvents"] if e["ph"] == "X"][0]
+        assert event["ts"] == pytest.approx(1.5e6)
+        assert event["dur"] == pytest.approx(0.25e6)
+
+    def test_json_serialisable(self, schedule, tmp_path):
+        path = tmp_path / "trace.json"
+        save_trace(schedule, path)
+        loaded = json.loads(path.read_text())
+        assert loaded["displayTimeUnit"] == "ms"

@@ -1,0 +1,126 @@
+"""Matching-based scheduler tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.matching import (
+    matching_orders,
+    matching_rounds,
+    schedule_matching,
+    schedule_matching_max,
+    schedule_matching_min,
+)
+from repro.core.problem import TotalExchangeProblem, example_problem
+from repro.timing.validate import check_schedule
+from tests.conftest import random_problem
+
+
+class TestMatchingRounds:
+    def test_rounds_are_permutations(self):
+        problem = random_problem(6, seed=0)
+        for perm in matching_rounds(problem.cost):
+            assert sorted(perm.tolist()) == list(range(6))
+
+    def test_rounds_partition_all_pairs(self):
+        problem = random_problem(7, seed=1)
+        seen = set()
+        for perm in matching_rounds(problem.cost):
+            for src, dst in enumerate(perm):
+                pair = (src, int(dst))
+                assert pair not in seen
+                seen.add(pair)
+        assert len(seen) == 49
+
+    def test_first_max_round_is_max_assignment(self):
+        problem = random_problem(5, seed=2)
+        rounds = matching_rounds(problem.cost, objective="max")
+        first_weight = sum(
+            problem.cost[src, dst] for src, dst in enumerate(rounds[0])
+        )
+        # no other permutation in later rounds weighs more
+        for perm in rounds[1:]:
+            weight = sum(problem.cost[src, dst] for src, dst in enumerate(perm))
+            assert weight <= first_weight + 1e-9
+
+    def test_min_rounds_increasing(self):
+        problem = random_problem(5, seed=3)
+        rounds = matching_rounds(problem.cost, objective="min")
+        weights = [
+            sum(problem.cost[src, dst] for src, dst in enumerate(perm))
+            for perm in rounds
+        ]
+        assert weights == sorted(weights)
+
+    def test_backends_agree_on_round_weights(self):
+        problem = random_problem(5, seed=4)
+        for objective in ("max", "min"):
+            w_scipy = [
+                sum(problem.cost[s, d] for s, d in enumerate(perm))
+                for perm in matching_rounds(
+                    problem.cost, objective=objective, backend="scipy"
+                )
+            ]
+            w_nx = [
+                sum(problem.cost[s, d] for s, d in enumerate(perm))
+                for perm in matching_rounds(
+                    problem.cost, objective=objective, backend="networkx"
+                )
+            ]
+            assert w_scipy == pytest.approx(w_nx)
+
+    def test_invalid_objective(self):
+        with pytest.raises(ValueError):
+            matching_rounds(np.zeros((3, 3)), objective="median")
+
+    def test_invalid_backend(self):
+        with pytest.raises(ValueError):
+            matching_rounds(np.zeros((3, 3)), backend="magic")
+
+    def test_rejects_negative_costs(self):
+        with pytest.raises(ValueError):
+            matching_rounds(np.array([[0.0, -1.0], [1.0, 0.0]]))
+
+
+class TestMatchingSchedules:
+    def test_max_valid_and_covering(self):
+        problem = random_problem(6, seed=5)
+        schedule = schedule_matching_max(problem)
+        check_schedule(schedule, problem.cost)
+
+    def test_min_valid_and_covering(self):
+        problem = random_problem(6, seed=6)
+        schedule = schedule_matching_min(problem)
+        check_schedule(schedule, problem.cost)
+
+    def test_orders_cover_everything(self):
+        problem = random_problem(5, seed=7)
+        orders = matching_orders(problem)
+        for src, order in enumerate(orders):
+            assert sorted(order) == list(range(5))
+
+    def test_example_problem_values(self):
+        problem = example_problem()
+        assert schedule_matching_max(problem).completion_time == 18.0
+        assert schedule_matching_min(problem).completion_time == 18.0
+
+    def test_beats_baseline_on_heterogeneous_instances(self):
+        from repro.core.baseline import schedule_baseline
+
+        wins = 0
+        for seed in range(10):
+            problem = random_problem(10, seed=seed, low=0.1, high=20.0)
+            match = schedule_matching_max(problem).completion_time
+            base = schedule_baseline(problem).completion_time
+            if match <= base + 1e-9:
+                wins += 1
+        assert wins >= 8  # overwhelmingly better under heterogeneity
+
+    def test_max_groups_similar_lengths(self):
+        # Bimodal instance: max matching should meet the LB, since it can
+        # pack all-long rounds together.
+        cost = np.full((4, 4), 1.0)
+        cost[0, 1] = cost[1, 2] = cost[2, 3] = cost[3, 0] = 10.0
+        np.fill_diagonal(cost, 0.0)
+        problem = TotalExchangeProblem(cost=cost)
+        schedule = schedule_matching_max(problem)
+        assert schedule.completion_time == pytest.approx(problem.lower_bound())

@@ -1,0 +1,119 @@
+"""Message-size specification tests."""
+
+import numpy as np
+import pytest
+
+from repro.model.messages import (
+    MessageSizes,
+    MixedSizes,
+    ServerClientSizes,
+    UniformSizes,
+)
+from repro.util.units import KILOBYTE, MEGABYTE
+
+
+class TestUniformSizes:
+    def test_values(self):
+        sizes = UniformSizes(KILOBYTE).sizes(4)
+        off = ~np.eye(4, dtype=bool)
+        assert np.all(sizes[off] == KILOBYTE)
+        assert np.all(np.diag(sizes) == 0.0)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            UniformSizes(0)
+
+    def test_rejects_bad_procs(self):
+        with pytest.raises(ValueError):
+            UniformSizes().sizes(0)
+
+
+class TestMixedSizes:
+    def test_only_two_values(self):
+        sizes = MixedSizes(KILOBYTE, MEGABYTE).sizes(10, rng=0)
+        off = ~np.eye(10, dtype=bool)
+        assert set(np.unique(sizes[off])) <= {float(KILOBYTE), float(MEGABYTE)}
+
+    def test_probability_extremes(self):
+        all_small = MixedSizes(small_probability=1.0).sizes(5, rng=0)
+        off = ~np.eye(5, dtype=bool)
+        assert np.all(all_small[off] == KILOBYTE)
+        all_large = MixedSizes(small_probability=0.0).sizes(5, rng=0)
+        assert np.all(all_large[off] == MEGABYTE)
+
+    def test_roughly_balanced(self):
+        sizes = MixedSizes(small_probability=0.5).sizes(40, rng=1)
+        off = ~np.eye(40, dtype=bool)
+        frac_small = np.mean(sizes[off] == KILOBYTE)
+        assert 0.4 < frac_small < 0.6
+
+    def test_deterministic_by_seed(self):
+        a = MixedSizes().sizes(8, rng=3)
+        b = MixedSizes().sizes(8, rng=3)
+        assert np.array_equal(a, b)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            MixedSizes(small_probability=1.5)
+
+
+class TestServerClientSizes:
+    def test_server_count(self):
+        spec = ServerClientSizes(server_fraction=0.2)
+        assert spec.num_servers(25) == 5
+        assert spec.num_servers(3) == 1  # at least one
+
+    def test_pattern(self):
+        spec = ServerClientSizes(server_fraction=0.25)
+        sizes = spec.sizes(8)
+        servers = spec.server_set(8)
+        assert list(servers) == [0, 1]
+        # server -> client is large
+        assert sizes[0, 5] == MEGABYTE
+        # server -> server, client -> client, client -> server are small
+        assert sizes[0, 1] == KILOBYTE
+        assert sizes[5, 6] == KILOBYTE
+        assert sizes[5, 0] == KILOBYTE
+
+    def test_server_load_balanced(self):
+        # "Data is partitioned over the servers so that the load on the
+        # servers is balanced": all server rows move equal volume.
+        spec = ServerClientSizes(server_fraction=0.2)
+        sizes = spec.sizes(20)
+        servers = spec.server_set(20)
+        volumes = sizes[servers].sum(axis=1)
+        assert np.allclose(volumes, volumes[0])
+
+    def test_random_server_placement(self):
+        spec = ServerClientSizes(server_fraction=0.3, first_servers=False)
+        servers = spec.server_set(10, rng=0)
+        assert len(servers) == 3
+        assert len(set(servers.tolist())) == 3
+
+    def test_zero_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            ServerClientSizes(server_fraction=0.0)
+
+
+class TestMessageSizes:
+    def test_fixed_matrix(self):
+        matrix = np.array([[0.0, 5.0], [7.0, 0.0]])
+        spec = MessageSizes(matrix)
+        assert np.array_equal(spec.sizes(2), matrix)
+
+    def test_diagonal_forced_zero(self):
+        spec = MessageSizes(np.ones((2, 2)))
+        assert np.all(np.diag(spec.sizes(2)) == 0.0)
+
+    def test_wrong_procs_raises(self):
+        spec = MessageSizes(np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            spec.sizes(3)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MessageSizes(np.array([[0.0, -1.0], [1.0, 0.0]]))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            MessageSizes(np.ones((2, 3)))

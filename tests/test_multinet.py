@@ -1,0 +1,171 @@
+"""Multi-network (PBPS / Aggregation) tests — paper refs [14, 15]."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.network.multinet import (
+    Channel,
+    MultiNetwork,
+    aggregate_split,
+    aggregate_time,
+    best_technique_time,
+    pbps_crossover,
+    pbps_select,
+    pbps_time,
+)
+
+#: An Ethernet-like channel: cheap start-up, modest rate.
+ETHERNET = Channel("ethernet", latency=0.001, bandwidth=1.25e6)
+#: An ATM-like channel: expensive start-up, high rate.
+ATM = Channel("atm", latency=0.010, bandwidth=1.9e7)
+
+
+class TestChannel:
+    def test_transfer_time(self):
+        assert ETHERNET.transfer_time(1.25e6) == pytest.approx(1.001)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Channel("x", latency=-1.0, bandwidth=1.0)
+        with pytest.raises(ValueError):
+            Channel("x", latency=0.0, bandwidth=0.0)
+        with pytest.raises(ValueError):
+            ETHERNET.transfer_time(-1.0)
+
+
+class TestPbps:
+    def test_small_messages_pick_low_latency(self):
+        assert pbps_select([ETHERNET, ATM], 1_000).name == "ethernet"
+
+    def test_large_messages_pick_high_bandwidth(self):
+        assert pbps_select([ETHERNET, ATM], 10_000_000).name == "atm"
+
+    def test_crossover_consistent_with_selection(self):
+        crossover = pbps_crossover(ETHERNET, ATM)
+        assert crossover is not None
+        below = pbps_select([ETHERNET, ATM], crossover * 0.9)
+        above = pbps_select([ETHERNET, ATM], crossover * 1.1)
+        assert below.name == "ethernet"
+        assert above.name == "atm"
+
+    def test_crossover_none_when_dominated(self):
+        slow = Channel("slow", latency=0.010, bandwidth=1e5)
+        assert pbps_crossover(ETHERNET, slow) is None
+
+    def test_empty_channels_raise(self):
+        with pytest.raises(ValueError):
+            pbps_time([], 1.0)
+
+
+class TestAggregation:
+    def test_split_conserves_bytes(self):
+        split = aggregate_split([ETHERNET, ATM], 5e6)
+        assert sum(split.values()) == pytest.approx(5e6)
+        assert all(share >= 0 for share in split.values())
+
+    def test_used_channels_finish_together(self):
+        split = aggregate_split([ETHERNET, ATM], 5e6)
+        times = [
+            c.transfer_time(split[c.name])
+            for c in (ETHERNET, ATM)
+            if split[c.name] > 0
+        ]
+        assert max(times) - min(times) < 1e-9
+
+    def test_small_message_uses_one_channel(self):
+        # below the point where the ATM start-up pays, everything rides
+        # the Ethernet
+        split = aggregate_split([ETHERNET, ATM], 1_000)
+        assert split["atm"] == 0.0
+        assert split["ethernet"] == pytest.approx(1_000)
+
+    def test_aggregate_never_slower_than_pbps(self):
+        for size in (1e3, 1e5, 1e6, 1e7, 1e8):
+            assert aggregate_time([ETHERNET, ATM], size) <= (
+                pbps_time([ETHERNET, ATM], size) + 1e-12
+            )
+
+    def test_large_message_speedup_approaches_bandwidth_sum(self):
+        size = 1e9
+        t = aggregate_time([ETHERNET, ATM], size)
+        ideal = size / (ETHERNET.bandwidth + ATM.bandwidth)
+        assert t == pytest.approx(ideal, rel=0.01)
+
+    def test_zero_size(self):
+        assert aggregate_time([ETHERNET, ATM], 0.0) == 0.0
+
+    def test_three_channels(self):
+        fibre = Channel("fibre", latency=0.004, bandwidth=1e7)
+        split = aggregate_split([ETHERNET, ATM, fibre], 2e7)
+        assert sum(split.values()) == pytest.approx(2e7)
+        assert all(share > 0 for share in split.values())
+
+    def test_best_technique_labels(self):
+        label_small, _ = best_technique_time([ETHERNET, ATM], 500)
+        label_large, _ = best_technique_time([ETHERNET, ATM], 1e8)
+        assert label_small == "pbps"  # one channel suffices
+        assert label_large == "aggregate"
+
+
+class TestMultiNetwork:
+    def make_cluster(self, n=4):
+        net = MultiNetwork(n)
+        for i in range(n):
+            for j in range(i + 1, n):
+                net.add_channel(i, j, ETHERNET)
+                net.add_channel(i, j, ATM)
+        return net
+
+    def test_channels_symmetric(self):
+        net = self.make_cluster()
+        assert len(net.channels(0, 1)) == 2
+        assert len(net.channels(1, 0)) == 2
+
+    def test_missing_pair_raises(self):
+        net = MultiNetwork(3)
+        with pytest.raises(KeyError):
+            net.channels(0, 1)
+
+    def test_validation(self):
+        net = MultiNetwork(3)
+        with pytest.raises(ValueError):
+            net.add_channel(0, 0, ETHERNET)
+        with pytest.raises(ValueError):
+            net.add_channel(0, 9, ETHERNET)
+        with pytest.raises(ValueError):
+            MultiNetwork(0)
+
+    def test_effective_snapshot_pbps(self):
+        net = self.make_cluster()
+        snap = net.effective_snapshot(1e7, technique="pbps")
+        # large messages: ATM parameters everywhere
+        assert snap.latency[0, 1] == pytest.approx(ATM.latency)
+        assert snap.bandwidth[0, 1] == pytest.approx(ATM.bandwidth)
+
+    def test_effective_snapshot_matches_technique_time(self):
+        net = self.make_cluster()
+        size = 5e6
+        for technique, reference in (
+            ("pbps", pbps_time([ETHERNET, ATM], size)),
+            ("aggregate", aggregate_time([ETHERNET, ATM], size)),
+        ):
+            snap = net.effective_snapshot(size, technique=technique)
+            assert snap.transfer_time(0, 1, size) == pytest.approx(
+                reference, rel=1e-6
+            )
+
+    def test_schedulers_run_on_effective_snapshot(self):
+        net = self.make_cluster(5)
+        snap = net.effective_snapshot(1e6, technique="aggregate")
+        problem = repro.TotalExchangeProblem.from_snapshot(
+            snap, repro.UniformSizes(1e6)
+        )
+        schedule = repro.schedule_openshop(problem)
+        repro.check_schedule(schedule, problem.cost)
+        assert schedule.completion_time <= 2 * problem.lower_bound()
+
+    def test_invalid_technique(self):
+        net = self.make_cluster()
+        with pytest.raises(ValueError):
+            net.effective_snapshot(1e6, technique="magic")

@@ -1,0 +1,104 @@
+"""Tests for the noisy-directory wrapper and heavy-tailed sizes."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.directory import NoisyDirectory, gusto_directory
+from repro.model.messages import ParetoSizes
+
+
+class TestNoisyDirectory:
+    def test_snapshot_differs_from_truth(self):
+        directory = NoisyDirectory(
+            gusto_directory(), bandwidth_sigma=0.3, rng=0
+        )
+        noisy = directory.snapshot()
+        truth = directory.true_snapshot()
+        off = ~np.eye(5, dtype=bool)
+        assert not np.allclose(noisy.bandwidth[off], truth.bandwidth[off])
+        # latency untouched by default
+        assert np.allclose(noisy.latency, truth.latency)
+
+    def test_fresh_noise_per_query(self):
+        directory = NoisyDirectory(
+            gusto_directory(), bandwidth_sigma=0.3, rng=1
+        )
+        a = directory.snapshot()
+        b = directory.snapshot()
+        assert not np.allclose(a.bandwidth, b.bandwidth)
+
+    def test_zero_sigma_is_transparent(self):
+        directory = NoisyDirectory(
+            gusto_directory(), bandwidth_sigma=0.0, latency_sigma=0.0
+        )
+        assert np.allclose(
+            directory.snapshot().bandwidth,
+            directory.true_snapshot().bandwidth,
+        )
+
+    def test_clock_delegates(self):
+        directory = NoisyDirectory(gusto_directory())
+        directory.advance(12.0)
+        assert directory.time == pytest.approx(12.0)
+        assert directory.num_procs == 5
+
+    def test_plan_on_noise_execute_on_truth(self):
+        directory = NoisyDirectory(
+            gusto_directory(), bandwidth_sigma=0.5, rng=2
+        )
+        sizes = repro.UniformSizes(repro.MEGABYTE)
+        measured = repro.TotalExchangeProblem.from_snapshot(
+            directory.snapshot(), sizes
+        )
+        truth = repro.TotalExchangeProblem.from_snapshot(
+            directory.true_snapshot(), sizes
+        )
+        plan = repro.schedule_openshop(measured)
+        replayed = repro.replay_schedule(plan, truth)
+        repro.check_schedule(replayed, truth.cost)
+        assert replayed.completion_time >= truth.lower_bound() - 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NoisyDirectory(gusto_directory(), bandwidth_sigma=-1.0)
+
+
+class TestParetoSizes:
+    def test_bounds(self):
+        sizes = ParetoSizes(
+            minimum_bytes=1e3, alpha=1.3, cap_bytes=1e7
+        ).sizes(20, rng=0)
+        off = sizes[~np.eye(20, dtype=bool)]
+        assert off.min() >= 1e3
+        assert off.max() <= 1e7
+        assert np.all(np.diag(sizes) == 0.0)
+
+    def test_heavy_tail(self):
+        sizes = ParetoSizes(minimum_bytes=1e3, alpha=1.1).sizes(30, rng=1)
+        off = sizes[~np.eye(30, dtype=bool)]
+        # the top percentile dwarfs the median — the defining property
+        assert np.percentile(off, 99) > 20 * np.median(off)
+
+    def test_deterministic(self):
+        a = ParetoSizes().sizes(8, rng=5)
+        b = ParetoSizes().sizes(8, rng=5)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParetoSizes(minimum_bytes=0.0)
+        with pytest.raises(ValueError):
+            ParetoSizes(minimum_bytes=10.0, cap_bytes=5.0)
+
+    def test_schedulable(self):
+        from repro.directory.service import DirectorySnapshot
+
+        rng = np.random.default_rng(3)
+        latency, bandwidth = repro.random_pairwise_parameters(8, rng=rng)
+        snapshot = DirectorySnapshot(latency=latency, bandwidth=bandwidth)
+        problem = repro.TotalExchangeProblem.from_snapshot(
+            snapshot, ParetoSizes(), rng=rng
+        )
+        t = repro.schedule_openshop(problem).completion_time
+        assert t <= 2 * problem.lower_bound()

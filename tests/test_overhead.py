@@ -1,0 +1,64 @@
+"""Scheduling-overhead analysis tests."""
+
+import pytest
+
+import repro
+from repro.experiments.overhead import (
+    OverheadPoint,
+    measure_scheduling_seconds,
+    run_overhead_analysis,
+)
+from tests.conftest import random_problem
+
+
+def test_measure_scheduling_positive():
+    problem = random_problem(8, seed=0)
+    cost = measure_scheduling_seconds(repro.schedule_openshop, problem)
+    assert 0 < cost < 5.0
+
+
+def test_measure_reps_validation():
+    problem = random_problem(4, seed=1)
+    with pytest.raises(ValueError):
+        measure_scheduling_seconds(repro.schedule_openshop, problem, reps=0)
+
+
+def test_point_properties():
+    point = OverheadPoint(
+        num_procs=10,
+        message_bytes=1e6,
+        scheduling_seconds=0.01,
+        baseline_comm=5.0,
+        adaptive_comm=3.0,
+    )
+    assert point.savings == pytest.approx(2.0)
+    assert point.net_benefit == pytest.approx(1.99)
+    assert point.pays_off
+
+
+def test_point_not_paying():
+    point = OverheadPoint(
+        num_procs=4,
+        message_bytes=10.0,
+        scheduling_seconds=1.0,
+        baseline_comm=0.5,
+        adaptive_comm=0.4,
+    )
+    assert not point.pays_off
+
+
+def test_run_analysis_shapes():
+    points = run_overhead_analysis(
+        proc_counts=(5,), message_sizes=(1e4, 1e6), trials=1
+    )
+    assert len(points) == 2
+    for point in points:
+        assert point.adaptive_comm <= point.baseline_comm + 1e-9
+        assert point.scheduling_seconds > 0
+
+
+def test_run_analysis_validation():
+    with pytest.raises(ValueError):
+        run_overhead_analysis(trials=0)
+    with pytest.raises(KeyError):
+        run_overhead_analysis(algorithm="nonexistent", trials=1)

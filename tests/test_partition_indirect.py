@@ -1,0 +1,163 @@
+"""Design-decision ablation tests: partitioning and indirect routing."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.indirect import (
+    choose_relays,
+    relayed_bytes_factor,
+    relayed_volume_factor,
+    schedule_openshop_indirect,
+)
+from repro.core.partition import (
+    partitioned_chunks,
+    partitioning_overhead,
+    schedule_openshop_partitioned,
+)
+from repro.directory.service import DirectorySnapshot
+from repro.timing.validate import check_schedule
+
+
+def make_setup(n=6, seed=0):
+    rng = np.random.default_rng(seed)
+    latency, bandwidth = repro.random_pairwise_parameters(n, rng=rng)
+    snapshot = DirectorySnapshot(latency=latency, bandwidth=bandwidth)
+    sizes = repro.MixedSizes().sizes(n, rng=rng)
+    return snapshot, sizes
+
+
+class TestPartitioning:
+    def test_chunk_cost_formula(self):
+        snapshot, sizes = make_setup()
+        chunk_cost, events = partitioned_chunks(snapshot, sizes, 4)
+        i, j = 0, 1
+        expected = snapshot.latency[i, j] + (
+            sizes[i, j] / 4
+        ) / snapshot.bandwidth[i, j]
+        assert chunk_cost[i, j] == pytest.approx(expected)
+        assert events.count((i, j)) == 4
+
+    def test_one_chunk_matches_plain_openshop(self):
+        snapshot, sizes = make_setup(seed=1)
+        problem = repro.TotalExchangeProblem.from_snapshot(snapshot, sizes)
+        plain = repro.schedule_openshop(problem).completion_time
+        chunked = schedule_openshop_partitioned(
+            snapshot, sizes, chunks=1
+        ).completion_time
+        assert chunked == pytest.approx(plain)
+
+    def test_port_validity(self):
+        snapshot, sizes = make_setup(seed=2)
+        schedule = schedule_openshop_partitioned(snapshot, sizes, chunks=3)
+        check_schedule(schedule)
+
+    def test_total_transfer_time_grows_with_chunks(self):
+        snapshot, sizes = make_setup(seed=3)
+        t1 = sum(
+            e.duration
+            for e in schedule_openshop_partitioned(snapshot, sizes, chunks=1)
+        )
+        t4 = sum(
+            e.duration
+            for e in schedule_openshop_partitioned(snapshot, sizes, chunks=4)
+        )
+        assert t4 > t1  # extra start-ups, the paper's objection
+
+    def test_overhead_formula(self):
+        snapshot, sizes = make_setup(seed=4)
+        n = snapshot.num_procs
+        positive = (sizes > 0) & ~np.eye(n, dtype=bool)
+        expected = 2 * snapshot.latency[positive].sum()
+        assert partitioning_overhead(snapshot, sizes, 3) == pytest.approx(
+            expected
+        )
+
+    def test_invalid_chunks(self):
+        snapshot, sizes = make_setup()
+        with pytest.raises(ValueError):
+            partitioned_chunks(snapshot, sizes, 0)
+
+
+class TestIndirectRouting:
+    def test_no_relays_on_metric_network(self):
+        # On a network satisfying the triangle inequality (uniform), no
+        # relay can be 2x cheaper.
+        n = 5
+        latency = np.full((n, n), 0.01)
+        np.fill_diagonal(latency, 0.0)
+        bandwidth = np.full((n, n), 1e6)
+        np.fill_diagonal(bandwidth, np.inf)
+        snapshot = DirectorySnapshot(latency=latency, bandwidth=bandwidth)
+        sizes = np.full((n, n), 1e6)
+        np.fill_diagonal(sizes, 0.0)
+        plan = choose_relays(snapshot, sizes, advantage=2.0)
+        assert plan.relay_count == 0
+
+    def test_degenerates_to_openshop_without_relays(self):
+        snapshot, sizes = make_setup(seed=5)
+        plan = choose_relays(snapshot, sizes, advantage=1e9)
+        assert plan.relay_count == 0
+        problem = repro.TotalExchangeProblem.from_snapshot(snapshot, sizes)
+        direct = repro.schedule_openshop(problem).completion_time
+        indirect = schedule_openshop_indirect(
+            snapshot, sizes, plan=plan
+        ).completion_time
+        assert indirect == pytest.approx(direct)
+
+    def test_relay_helps_on_violated_triangle(self):
+        # One pathologically slow pair with a fast relay through node 2.
+        n = 4
+        latency = np.full((n, n), 0.001)
+        np.fill_diagonal(latency, 0.0)
+        bandwidth = np.full((n, n), 1e7)
+        bandwidth[0, 1] = bandwidth[1, 0] = 1e4  # terrible direct link
+        np.fill_diagonal(bandwidth, np.inf)
+        snapshot = DirectorySnapshot(latency=latency, bandwidth=bandwidth)
+        sizes = np.zeros((n, n))
+        sizes[0, 1] = 1e6
+        plan = choose_relays(snapshot, sizes, advantage=2.0)
+        assert plan.relay_count == 1
+        direct_time = snapshot.transfer_time(0, 1, 1e6)  # 100 s
+        schedule = schedule_openshop_indirect(snapshot, sizes, plan=plan)
+        assert schedule.completion_time < direct_time / 10
+
+    def test_relayed_message_legs_sequenced(self):
+        n = 4
+        latency = np.full((n, n), 0.001)
+        np.fill_diagonal(latency, 0.0)
+        bandwidth = np.full((n, n), 1e7)
+        bandwidth[0, 1] = bandwidth[1, 0] = 1e4
+        np.fill_diagonal(bandwidth, np.inf)
+        snapshot = DirectorySnapshot(latency=latency, bandwidth=bandwidth)
+        sizes = np.zeros((n, n))
+        sizes[0, 1] = 1e6
+        schedule = schedule_openshop_indirect(snapshot, sizes, advantage=2.0)
+        events = sorted(
+            (e for e in schedule if e.duration > 0), key=lambda e: e.start
+        )
+        assert len(events) == 2
+        assert events[0].src == 0 and events[1].dst == 1
+        assert events[1].start >= events[0].finish - 1e-12
+
+    def test_port_validity_full_exchange(self):
+        snapshot, sizes = make_setup(seed=6)
+        schedule = schedule_openshop_indirect(snapshot, sizes, advantage=1.5)
+        check_schedule(schedule)
+
+    def test_bytes_factor_at_least_one(self):
+        snapshot, sizes = make_setup(seed=7)
+        plan = choose_relays(snapshot, sizes, advantage=1.5)
+        assert relayed_bytes_factor(sizes, plan) >= 1.0
+
+    def test_volume_factor_below_one_when_bypassing(self):
+        snapshot, sizes = make_setup(seed=7)
+        plan = choose_relays(snapshot, sizes, advantage=1.5)
+        if plan.relay_count > 0:
+            # relays only chosen when the port-time gets cheaper
+            assert relayed_volume_factor(snapshot, sizes, plan) < 1.0
+
+    def test_invalid_advantage(self):
+        snapshot, sizes = make_setup()
+        with pytest.raises(ValueError):
+            choose_relays(snapshot, sizes, advantage=0.5)

@@ -1,0 +1,82 @@
+"""Routing and end-to-end parameter tests."""
+
+import numpy as np
+import pytest
+
+from repro.network.paths import all_paths, end_to_end_matrices, path_info
+from repro.network.topology import Metacomputer
+
+
+def system_three_sites() -> Metacomputer:
+    # a -- b -- c plus a slow shortcut a -- c
+    return Metacomputer.build(
+        {"a": 1, "b": 1, "c": 1},
+        access_latency=0.001,
+        access_bandwidth=1e9,
+        backbone=[
+            ("a", "b", 0.010, 2e6),
+            ("b", "c", 0.010, 5e6),
+            ("a", "c", 0.100, 8e6),
+        ],
+    )
+
+
+class TestPathInfo:
+    def test_same_site_path(self):
+        system = Metacomputer.build(
+            {"a": 2},
+            access_latency=0.002,
+            access_bandwidth=1e8,
+            backbone=[],
+        )
+        info = path_info(system, 0, 1)
+        # node -> hub -> node: two access links
+        assert info.latency == pytest.approx(0.004)
+        assert info.bandwidth == pytest.approx(1e8)
+
+    def test_cross_site_latency_sums(self):
+        system = system_three_sites()
+        info = path_info(system, 0, 1)  # a to b
+        assert info.latency == pytest.approx(0.001 + 0.010 + 0.001)
+
+    def test_bottleneck_bandwidth(self):
+        system = system_three_sites()
+        info = path_info(system, 0, 1)
+        assert info.bandwidth == pytest.approx(2e6)
+
+    def test_routing_prefers_low_latency(self):
+        system = system_three_sites()
+        # a -> c via b is 22 ms; direct link is 102 ms.
+        info = path_info(system, 0, 2)
+        assert info.latency == pytest.approx(0.001 + 0.010 + 0.010 + 0.001)
+        assert info.bandwidth == pytest.approx(2e6)
+
+    def test_self_path(self):
+        system = system_three_sites()
+        info = path_info(system, 1, 1)
+        assert info.latency == 0.0
+        assert info.bandwidth == float("inf")
+
+    def test_edges_canonical(self):
+        system = system_three_sites()
+        info = path_info(system, 0, 1)
+        for u, v in info.edges:
+            assert u <= v
+
+
+def test_all_paths_covers_pairs():
+    system = system_three_sites()
+    paths = all_paths(system)
+    assert len(paths) == 3 * 2
+
+
+def test_end_to_end_matrices():
+    system = system_three_sites()
+    latency, bandwidth = end_to_end_matrices(system, software_overhead=0.010)
+    assert latency.shape == (3, 3)
+    assert np.all(np.diag(latency) == 0.0)
+    assert np.all(np.isinf(np.diag(bandwidth)))
+    # symmetric system -> symmetric matrices
+    assert np.allclose(latency, latency.T)
+    # software overhead added once per pair
+    assert latency[0, 1] == pytest.approx(0.012 + 0.010)

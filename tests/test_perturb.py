@@ -1,0 +1,91 @@
+"""Snapshot perturbation tests."""
+
+import numpy as np
+import pytest
+
+from repro.directory.perturb import perturb_snapshot
+from repro.directory.service import DirectorySnapshot
+
+
+def make_snapshot(n=4):
+    latency = np.full((n, n), 0.02)
+    np.fill_diagonal(latency, 0.0)
+    bandwidth = np.full((n, n), 1e6)
+    np.fill_diagonal(bandwidth, np.inf)
+    return DirectorySnapshot(latency=latency, bandwidth=bandwidth)
+
+
+def test_identity_without_args():
+    snap = make_snapshot()
+    out = perturb_snapshot(snap)
+    assert np.array_equal(out.latency, snap.latency)
+    assert np.array_equal(out.bandwidth, snap.bandwidth)
+
+
+def test_bandwidth_noise_changes_values():
+    snap = make_snapshot()
+    out = perturb_snapshot(snap, bandwidth_sigma=0.5, rng=0)
+    off = ~np.eye(4, dtype=bool)
+    assert not np.allclose(out.bandwidth[off], snap.bandwidth[off])
+    # latencies untouched
+    assert np.array_equal(out.latency, snap.latency)
+
+
+def test_symmetric_noise():
+    snap = make_snapshot()
+    out = perturb_snapshot(snap, bandwidth_sigma=0.5, symmetric=True, rng=1)
+    assert np.allclose(out.bandwidth, out.bandwidth.T)
+
+
+def test_asymmetric_noise():
+    snap = make_snapshot()
+    out = perturb_snapshot(snap, bandwidth_sigma=0.5, symmetric=False, rng=1)
+    off = ~np.eye(4, dtype=bool)
+    assert not np.allclose(out.bandwidth[off], out.bandwidth.T[off])
+
+
+def test_degrade_pairs():
+    snap = make_snapshot()
+    out = perturb_snapshot(snap, degrade_pairs=[(0, 1)], degrade_factor=4.0)
+    assert out.bandwidth[0, 1] == pytest.approx(2.5e5)
+    assert out.bandwidth[1, 0] == pytest.approx(2.5e5)  # symmetric
+    assert out.bandwidth[0, 2] == pytest.approx(1e6)
+
+
+def test_degrade_one_way():
+    snap = make_snapshot()
+    out = perturb_snapshot(
+        snap, degrade_pairs=[(0, 1)], degrade_factor=4.0, symmetric=False
+    )
+    assert out.bandwidth[0, 1] == pytest.approx(2.5e5)
+    assert out.bandwidth[1, 0] == pytest.approx(1e6)
+
+
+def test_degrade_diagonal_raises():
+    with pytest.raises(ValueError):
+        perturb_snapshot(make_snapshot(), degrade_pairs=[(1, 1)])
+
+
+def test_degrade_factor_below_one_raises():
+    with pytest.raises(ValueError):
+        perturb_snapshot(make_snapshot(), degrade_factor=0.5)
+
+
+def test_time_delta():
+    out = perturb_snapshot(make_snapshot(), time_delta=30.0)
+    assert out.time == pytest.approx(30.0)
+
+
+def test_diagonal_stays_clean():
+    out = perturb_snapshot(
+        make_snapshot(), bandwidth_sigma=1.0, latency_sigma=1.0, rng=2
+    )
+    assert np.all(np.diag(out.latency) == 0.0)
+    assert np.all(np.isinf(np.diag(out.bandwidth)))
+
+
+def test_deterministic_by_seed():
+    snap = make_snapshot()
+    a = perturb_snapshot(snap, bandwidth_sigma=0.3, rng=7)
+    b = perturb_snapshot(snap, bandwidth_sigma=0.3, rng=7)
+    assert np.array_equal(a.bandwidth, b.bandwidth)

@@ -1,0 +1,117 @@
+"""Preemptive optimum (Birkhoff-von Neumann) tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.preemptive import (
+    balance_matrix,
+    bvn_decomposition,
+    preemption_counts,
+    preemption_startup_penalty,
+    schedule_preemptive,
+)
+from repro.core.problem import TotalExchangeProblem, example_problem
+from repro.timing.validate import check_schedule
+from tests.conftest import random_problem
+
+
+class TestBalanceMatrix:
+    def test_line_sums_equalised(self):
+        cost = random_problem(6, seed=0).cost
+        padded, r = balance_matrix(cost)
+        assert np.allclose(padded.sum(axis=1), r)
+        assert np.allclose(padded.sum(axis=0), r)
+
+    def test_r_is_lower_bound(self):
+        problem = random_problem(5, seed=1)
+        _, r = balance_matrix(problem.cost)
+        assert r == pytest.approx(problem.lower_bound())
+
+    def test_padding_never_reduces(self):
+        cost = random_problem(4, seed=2).cost
+        padded, _ = balance_matrix(cost)
+        assert np.all(padded >= cost - 1e-12)
+
+
+class TestBvnDecomposition:
+    def test_weights_sum_to_r(self):
+        cost = random_problem(5, seed=3).cost
+        padded, r = balance_matrix(cost)
+        terms = bvn_decomposition(padded)
+        assert sum(w for w, _ in terms) == pytest.approx(r)
+
+    def test_terms_are_permutations(self):
+        padded, _ = balance_matrix(random_problem(6, seed=4).cost)
+        for _, perm in bvn_decomposition(padded):
+            assert sorted(perm.tolist()) == list(range(6))
+
+    def test_reconstructs_matrix(self):
+        padded, _ = balance_matrix(random_problem(4, seed=5).cost)
+        rebuilt = np.zeros_like(padded)
+        for weight, perm in bvn_decomposition(padded):
+            rebuilt[np.arange(4), perm] += weight
+        assert np.allclose(rebuilt, padded, atol=1e-6)
+
+    def test_rejects_unbalanced(self):
+        with pytest.raises(ValueError, match="constant"):
+            bvn_decomposition(np.array([[1.0, 0.0], [0.0, 2.0]]))
+
+
+class TestSchedulePreemptive:
+    def test_meets_lower_bound_exactly(self):
+        for seed in range(6):
+            problem = random_problem(7, seed=seed)
+            schedule = schedule_preemptive(problem)
+            assert schedule.completion_time == pytest.approx(
+                problem.lower_bound(), rel=1e-9
+            )
+
+    def test_port_validity(self):
+        problem = random_problem(6, seed=7)
+        check_schedule(schedule_preemptive(problem))
+
+    def test_pieces_cover_every_message(self):
+        problem = random_problem(5, seed=8)
+        schedule = schedule_preemptive(problem)
+        totals = np.zeros((5, 5))
+        for event in schedule:
+            totals[event.src, event.dst] += event.duration
+        assert np.allclose(totals, problem.cost, atol=1e-6)
+
+    def test_sparse_instances(self):
+        problem = random_problem(6, seed=9, zero_fraction=0.5)
+        schedule = schedule_preemptive(problem)
+        assert schedule.completion_time == pytest.approx(
+            problem.lower_bound()
+        )
+
+    def test_single_processor(self):
+        problem = TotalExchangeProblem(cost=np.zeros((1, 1)))
+        assert schedule_preemptive(problem).completion_time == 0.0
+
+    def test_beats_every_nonpreemptive_heuristic(self):
+        from repro.core.registry import ALL_SCHEDULERS
+
+        problem = example_problem()
+        optimum = schedule_preemptive(problem).completion_time
+        for scheduler in ALL_SCHEDULERS.values():
+            assert optimum <= scheduler(problem).completion_time + 1e-9
+
+
+class TestPreemptionCost:
+    def test_counts(self):
+        problem = random_problem(5, seed=10)
+        slots, pieces = preemption_counts(problem)
+        assert slots >= 1
+        assert pieces >= len(problem.positive_events())
+
+    def test_startup_penalty_positive_when_fragmented(self):
+        problem = random_problem(6, seed=11)
+        latency = np.full((6, 6), 0.02)
+        np.fill_diagonal(latency, 0.0)
+        penalty = preemption_startup_penalty(problem, latency)
+        assert penalty >= 0.0
+        # fragmentation is essentially unavoidable on dense instances
+        _, pieces = preemption_counts(problem)
+        if pieces > len(problem.positive_events()):
+            assert penalty > 0.0

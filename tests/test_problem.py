@@ -1,0 +1,116 @@
+"""TotalExchangeProblem tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import (
+    TotalExchangeProblem,
+    example_problem,
+    tight_baseline_instance,
+)
+from repro.directory.service import DirectorySnapshot
+from repro.model.messages import UniformSizes
+
+
+def test_construction_and_immutability():
+    cost = np.array([[0.0, 1.0], [2.0, 0.0]])
+    problem = TotalExchangeProblem(cost=cost)
+    with pytest.raises(ValueError):
+        problem.cost[0, 1] = 5.0
+    cost[0, 1] = 9.0  # source mutation does not leak
+    assert problem.cost[0, 1] == 1.0
+
+
+def test_rejects_negative_costs():
+    with pytest.raises(ValueError):
+        TotalExchangeProblem(cost=np.array([[0.0, -1.0], [1.0, 0.0]]))
+
+
+def test_sizes_shape_checked():
+    with pytest.raises(ValueError):
+        TotalExchangeProblem(cost=np.zeros((2, 2)), sizes=np.zeros((3, 3)))
+
+
+def test_paper_matrix_roundtrip():
+    paper_c = np.array([[0.0, 3.0], [5.0, 0.0]])
+    problem = TotalExchangeProblem.from_paper_matrix(paper_c)
+    # C[i][j] is the time from P_j to P_i, so cost[j][i] == C[i][j].
+    assert problem.cost[1, 0] == 3.0
+    assert problem.cost[0, 1] == 5.0
+    assert np.array_equal(problem.paper_matrix(), paper_c)
+
+
+def test_from_snapshot():
+    latency = np.array([[0.0, 0.5], [0.5, 0.0]])
+    bandwidth = np.array([[np.inf, 2.0], [2.0, np.inf]])
+    snap = DirectorySnapshot(latency=latency, bandwidth=bandwidth)
+    problem = TotalExchangeProblem.from_snapshot(snap, UniformSizes(4.0))
+    assert problem.cost[0, 1] == pytest.approx(0.5 + 2.0)
+    assert problem.sizes[0, 1] == 4.0
+
+
+def test_lower_bound_send_dominated():
+    cost = np.array([[0.0, 5.0, 5.0], [1.0, 0.0, 1.0], [1.0, 1.0, 0.0]])
+    problem = TotalExchangeProblem(cost=cost)
+    assert problem.lower_bound() == pytest.approx(10.0)
+
+
+def test_lower_bound_recv_dominated():
+    cost = np.array([[0.0, 1.0, 5.0], [1.0, 0.0, 5.0], [1.0, 1.0, 0.0]])
+    problem = TotalExchangeProblem(cost=cost)
+    # column 2 receives 10
+    assert problem.lower_bound() == pytest.approx(10.0)
+
+
+def test_send_recv_totals():
+    problem = example_problem()
+    assert problem.send_totals()[0] == pytest.approx(16.0)
+    assert problem.recv_totals()[2] == pytest.approx(14.0)
+
+
+def test_positive_events_count():
+    problem = example_problem()
+    assert len(problem.positive_events()) == 20  # 5*5 minus the diagonal
+
+
+def test_scaled():
+    problem = example_problem()
+    doubled = problem.scaled(2.0)
+    assert doubled.lower_bound() == pytest.approx(2 * problem.lower_bound())
+    with pytest.raises(ValueError):
+        problem.scaled(0.0)
+
+
+def test_restricted_to():
+    problem = example_problem()
+    sub = problem.restricted_to([(0, 1), (2, 3)])
+    assert sub.cost[0, 1] == problem.cost[0, 1]
+    assert sub.cost[0, 2] == 0.0
+    assert len(sub.positive_events()) == 2
+
+
+def test_size_of_default_zero():
+    assert example_problem().size_of(0, 1) == 0.0
+
+
+def test_example_problem_characteristics():
+    problem = example_problem()
+    assert problem.num_procs == 5
+    assert problem.lower_bound() == pytest.approx(16.0)
+    assert np.all(np.diag(problem.cost) == 0.0)
+
+
+class TestTightBaselineInstance:
+    def test_lower_bound(self):
+        problem = tight_baseline_instance(0.001)
+        assert problem.lower_bound() == pytest.approx(2.002)
+
+    def test_has_self_message(self):
+        problem = tight_baseline_instance(0.001)
+        assert problem.cost[1, 1] == 1.0  # paper's C[1,1]
+
+    def test_epsilon_validation(self):
+        with pytest.raises(ValueError):
+            tight_baseline_instance(0.0)
+        with pytest.raises(ValueError):
+            tight_baseline_instance(1.0)

@@ -1,0 +1,107 @@
+"""Property-based tests for the extension subsystems."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.collectives.broadcast import (
+    binomial_tree,
+    broadcast_lower_bound,
+    schedule_broadcast_binomial,
+    schedule_broadcast_fnf,
+)
+from repro.core.preemptive import balance_matrix, schedule_preemptive
+from repro.core.problem import TotalExchangeProblem
+from repro.io.serialize import (
+    problem_from_dict,
+    problem_to_dict,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.network.sharing import max_min_fair_rates
+from repro.sim.engine import execute_steps_barrier, execute_steps_strict
+from repro.timing.validate import check_schedule
+from tests.test_properties import SETTINGS, problems
+
+
+@SETTINGS
+@given(problem=problems(min_procs=2, max_procs=6))
+def test_preemptive_always_meets_lower_bound(problem):
+    schedule = schedule_preemptive(problem)
+    assert schedule.completion_time == pytest.approx(
+        problem.lower_bound(), rel=1e-6, abs=1e-9
+    )
+    check_schedule(schedule)
+
+
+@SETTINGS
+@given(problem=problems(min_procs=2, max_procs=6))
+def test_balance_matrix_properties(problem):
+    padded, r = balance_matrix(problem.cost)
+    assert np.allclose(padded.sum(axis=1), r, atol=1e-9)
+    assert np.allclose(padded.sum(axis=0), r, atol=1e-9)
+    assert np.all(padded >= problem.cost - 1e-12)
+    assert r == pytest.approx(problem.lower_bound())
+
+
+@SETTINGS
+@given(problem=problems(min_procs=2, max_procs=8, allow_zeros=False))
+def test_broadcast_invariants(problem):
+    cost = problem.cost
+    lb = broadcast_lower_bound(cost)
+    fnf = schedule_broadcast_fnf(cost)
+    binomial = schedule_broadcast_binomial(cost)
+    for schedule in (fnf, binomial):
+        check_schedule(schedule)
+        # every non-root node informed exactly once
+        assert sorted(e.dst for e in schedule) == list(
+            range(1, problem.num_procs)
+        )
+        assert schedule.completion_time >= lb - 1e-9
+    # the sender of every event was informed before it sends
+    informed_at = {0: 0.0}
+    for event in sorted(fnf, key=lambda e: e.start):
+        assert event.src in informed_at
+        assert event.start >= informed_at[event.src] - 1e-9
+        informed_at[event.dst] = event.finish
+
+
+@SETTINGS
+@given(problem=problems(min_procs=2, max_procs=6))
+def test_barrier_dominates_strict(problem):
+    n = problem.num_procs
+    steps = [
+        [(i, (i + j) % n) for i in range(n)] for j in range(n)
+    ]
+    barrier = execute_steps_barrier(problem.cost, steps)
+    strict = execute_steps_strict(problem.cost, steps)
+    assert strict.completion_time <= barrier.completion_time + 1e-9
+    check_schedule(strict, problem.cost)
+    check_schedule(barrier, problem.cost)
+
+
+@SETTINGS
+@given(problem=problems(min_procs=2, max_procs=6))
+def test_serialization_roundtrip_property(problem):
+    restored = problem_from_dict(problem_to_dict(problem))
+    assert np.array_equal(restored.cost, problem.cost)
+    from repro.core.openshop import schedule_openshop
+
+    schedule = schedule_openshop(problem)
+    assert schedule_from_dict(schedule_to_dict(schedule)) == schedule
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    sizes=st.lists(st.floats(1.0, 1e6), min_size=2, max_size=6),
+    capacity=st.floats(0.5, 100.0),
+)
+def test_max_min_single_link_is_equal_split(sizes, capacity):
+    edge = ("a", "b")
+    flows = [[edge]] * len(sizes)
+    rates = max_min_fair_rates(flows, {edge: capacity})
+    assert all(
+        r == pytest.approx(capacity / len(sizes)) for r in rates
+    )

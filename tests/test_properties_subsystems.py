@@ -1,0 +1,96 @@
+"""Property-based tests for the multinet, placement, and QoS subsystems."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.openshop import schedule_openshop
+from repro.core.problem import TotalExchangeProblem
+from repro.directory.service import DirectorySnapshot
+from repro.network.multinet import (
+    Channel,
+    aggregate_split,
+    aggregate_time,
+    pbps_time,
+)
+from repro.placement.optimize import apply_placement, evaluate_placement
+from repro.qos.deadlines import QoSMessage, QoSProblem, schedule_edf
+from repro.qos.metrics import evaluate_qos
+from tests.test_properties import SETTINGS, problems
+
+channels_strategy = st.lists(
+    st.builds(
+        Channel,
+        name=st.uuids().map(str),
+        latency=st.floats(0.0, 0.1),
+        bandwidth=st.floats(1e3, 1e9),
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+@SETTINGS
+@given(channels=channels_strategy, size=st.floats(0.0, 1e8))
+def test_aggregation_dominates_pbps(channels, size):
+    agg = aggregate_time(channels, size)
+    pbps = pbps_time(channels, size)
+    assert agg <= pbps + 1e-9 * max(1.0, pbps)
+
+
+@SETTINGS
+@given(channels=channels_strategy, size=st.floats(1.0, 1e8))
+def test_aggregation_split_is_consistent(channels, size):
+    split = aggregate_split(channels, size)
+    assert sum(split.values()) == pytest.approx(size, rel=1e-9)
+    assert all(share >= -1e-9 for share in split.values())
+    # used channels finish within the reported completion time
+    total = aggregate_time(channels, size)
+    by_name = {c.name: c for c in channels}
+    for name, share in split.items():
+        if share > 1e-9:
+            assert by_name[name].transfer_time(share) <= total + 1e-6
+
+
+@SETTINGS
+@given(problem=problems(min_procs=2, max_procs=6), data=st.data())
+def test_placement_permutes_conservatively(problem, data):
+    n = problem.num_procs
+    perm = data.draw(st.permutations(range(n)))
+    sizes = problem.cost  # any nonnegative matrix works as "sizes"
+    placed = apply_placement(sizes, perm)
+    # total traffic is conserved and the multiset of entries unchanged
+    assert placed.sum() == pytest.approx(sizes.sum())
+    assert sorted(placed.flatten()) == pytest.approx(
+        sorted(sizes.flatten())
+    )
+
+
+@SETTINGS
+@given(problem=problems(min_procs=2, max_procs=5))
+def test_identity_placement_scores_the_instance(problem):
+    latency = np.zeros((problem.num_procs,) * 2)
+    bandwidth = np.full((problem.num_procs,) * 2, 1.0)
+    np.fill_diagonal(bandwidth, np.inf)
+    snapshot = DirectorySnapshot(latency=latency, bandwidth=bandwidth)
+    # with unit bandwidth and zero latency, cost == sizes
+    score = evaluate_placement(
+        snapshot, problem.cost, list(range(problem.num_procs))
+    )
+    assert score == pytest.approx(problem.lower_bound())
+
+
+@SETTINGS
+@given(problem=problems(min_procs=2, max_procs=6), data=st.data())
+def test_edf_respects_model_invariants(problem, data):
+    slack = data.draw(st.floats(0.3, 3.0))
+    qos = QoSProblem.uniform_deadlines(problem, slack_factor=slack)
+    schedule = schedule_edf(qos)
+    report = evaluate_qos(qos, schedule)
+    assert 0 <= report.missed <= report.total_messages
+    assert report.weighted_tardiness >= 0
+    assert schedule.completion_time <= 2 * problem.lower_bound() + 1e-9
+    # generous slack means no message misses
+    if slack >= 2.0:
+        assert report.missed == 0

@@ -1,0 +1,182 @@
+"""QoS scheduling tests (paper Section 6.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.openshop import schedule_openshop
+from repro.core.problem import TotalExchangeProblem
+from repro.qos.critical import critical_finish_time, schedule_critical_first
+from repro.qos.deadlines import (
+    QoSMessage,
+    QoSProblem,
+    schedule_edf,
+    schedule_priority,
+)
+from repro.qos.metrics import evaluate_qos
+from repro.timing.validate import check_schedule
+from tests.conftest import random_problem
+
+
+class TestQoSMessage:
+    def test_defaults(self):
+        msg = QoSMessage(src=0, dst=1)
+        assert msg.deadline == float("inf")
+        assert msg.priority == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QoSMessage(src=-1, dst=0)
+        with pytest.raises(ValueError):
+            QoSMessage(src=0, dst=1, priority=-2.0)
+
+
+class TestQoSProblem:
+    def test_uniform_deadlines(self):
+        base = random_problem(4, seed=0)
+        problem = QoSProblem.uniform_deadlines(base, slack_factor=2.0)
+        assert len(problem.messages) == 12
+        assert all(
+            m.deadline == pytest.approx(2.0 * base.lower_bound())
+            for m in problem.messages
+        )
+
+    def test_duplicate_rejected(self):
+        base = random_problem(3, seed=1)
+        msgs = (QoSMessage(0, 1), QoSMessage(0, 1))
+        with pytest.raises(ValueError):
+            QoSProblem(base=base, messages=msgs)
+
+    def test_out_of_range_rejected(self):
+        base = random_problem(3, seed=2)
+        with pytest.raises(ValueError):
+            QoSProblem(base=base, messages=(QoSMessage(0, 9),))
+
+
+class TestSchedulers:
+    def test_edf_valid(self):
+        base = random_problem(6, seed=3)
+        problem = QoSProblem.uniform_deadlines(base)
+        schedule = schedule_edf(problem)
+        check_schedule(schedule, base.cost)
+
+    def test_priority_valid(self):
+        base = random_problem(6, seed=4)
+        problem = QoSProblem.uniform_deadlines(base)
+        schedule = schedule_priority(problem)
+        check_schedule(schedule, base.cost)
+
+    def test_makespan_still_within_theorem3(self):
+        base = random_problem(7, seed=5)
+        problem = QoSProblem.uniform_deadlines(base)
+        for scheduler in (schedule_edf, schedule_priority):
+            t = scheduler(problem).completion_time
+            assert t <= 2.0 * base.lower_bound() + 1e-9
+
+    def test_edf_prioritises_urgent_messages(self):
+        # Mark one pair urgent; EDF should finish it no later than the
+        # QoS-blind open shop schedule does.
+        rng = np.random.default_rng(0)
+        improvements = 0
+        for seed in range(5):
+            base = random_problem(8, seed=seed, low=1.0, high=10.0)
+            urgent = (int(rng.integers(8)), int(rng.integers(8)))
+            while urgent[0] == urgent[1]:
+                urgent = (int(rng.integers(8)), int(rng.integers(8)))
+            msgs = [
+                QoSMessage(src=s, dst=d,
+                           deadline=0.0 if (s, d) == urgent else float("inf"))
+                for s, d in base.positive_events()
+            ]
+            problem = QoSProblem(base=base, messages=tuple(msgs))
+            edf_finish = schedule_edf(problem).event_map()[urgent].finish
+            blind_finish = (
+                schedule_openshop(base).event_map()[urgent].finish
+            )
+            if edf_finish <= blind_finish + 1e-9:
+                improvements += 1
+        assert improvements >= 4
+
+    def test_edf_reduces_misses_vs_blind(self):
+        # Tiered deadlines: EDF should miss fewer than the blind schedule
+        # (aggregated over instances).
+        better_or_equal = 0
+        for seed in range(6):
+            base = random_problem(8, seed=seed, low=0.5, high=8.0)
+            lb = base.lower_bound()
+            rng = np.random.default_rng(seed)
+            msgs = tuple(
+                QoSMessage(
+                    src=s,
+                    dst=d,
+                    deadline=(0.6 if rng.random() < 0.3 else 1.5) * lb,
+                )
+                for s, d in base.positive_events()
+            )
+            problem = QoSProblem(base=base, messages=msgs)
+            edf = evaluate_qos(problem, schedule_edf(problem))
+            blind = evaluate_qos(problem, schedule_openshop(base))
+            if edf.missed <= blind.missed:
+                better_or_equal += 1
+        assert better_or_equal >= 5
+
+
+class TestMetrics:
+    def test_counts(self):
+        base = TotalExchangeProblem(
+            cost=np.array([[0.0, 2.0], [3.0, 0.0]])
+        )
+        msgs = (
+            QoSMessage(0, 1, deadline=1.0),   # will miss (finish 2)
+            QoSMessage(1, 0, deadline=10.0),  # fine
+        )
+        problem = QoSProblem(base=base, messages=msgs)
+        schedule = schedule_edf(problem)
+        report = evaluate_qos(problem, schedule)
+        assert report.total_messages == 2
+        assert report.missed == 1
+        assert report.miss_rate == pytest.approx(0.5)
+        assert report.max_tardiness == pytest.approx(1.0)
+        assert report.weighted_tardiness == pytest.approx(1.0)
+
+    def test_missing_event_raises(self):
+        from repro.timing.events import Schedule
+
+        base = random_problem(3, seed=6)
+        problem = QoSProblem.uniform_deadlines(base)
+        empty = Schedule(num_procs=3)
+        with pytest.raises(ValueError):
+            evaluate_qos(problem, empty)
+
+
+class TestCriticalResource:
+    def test_schedule_valid(self):
+        problem = random_problem(6, seed=7)
+        schedule = schedule_critical_first(problem, 2)
+        check_schedule(schedule, problem.cost)
+
+    def test_critical_finishes_no_later(self):
+        for seed in range(6):
+            problem = random_problem(7, seed=seed)
+            critical = seed % 7
+            favoured = schedule_critical_first(problem, critical)
+            plain = schedule_openshop(problem)
+            assert critical_finish_time(favoured, critical) <= (
+                critical_finish_time(plain, critical) + 1e-9
+            )
+
+    def test_critical_phase_tight(self):
+        # In phase 1 only the critical processor's events run, so its
+        # finish time is bounded by its own send+recv work (serialised at
+        # worst).
+        problem = random_problem(5, seed=8)
+        critical = 3
+        favoured = schedule_critical_first(problem, critical)
+        bound = (
+            problem.send_totals()[critical] + problem.recv_totals()[critical]
+        )
+        assert critical_finish_time(favoured, critical) <= bound + 1e-9
+
+    def test_invalid_index(self):
+        problem = random_problem(4, seed=9)
+        with pytest.raises(ValueError):
+            schedule_critical_first(problem, 9)

@@ -1,0 +1,43 @@
+"""Scheduler registry tests."""
+
+import pytest
+
+from repro.core.registry import (
+    ALL_SCHEDULERS,
+    EXTRA_SCHEDULERS,
+    get_scheduler,
+    scheduler_names,
+)
+from repro.core.problem import example_problem
+from repro.timing.events import Schedule
+
+
+def test_paper_schedulers_present():
+    assert set(scheduler_names()) == {
+        "baseline",
+        "max_matching",
+        "min_matching",
+        "greedy",
+        "openshop",
+    }
+
+
+def test_extras_present():
+    assert "optimal" in EXTRA_SCHEDULERS
+    assert "baseline_nosync" in EXTRA_SCHEDULERS
+
+
+def test_lookup_returns_working_scheduler():
+    problem = example_problem()
+    for name in scheduler_names():
+        schedule = get_scheduler(name)(problem)
+        assert isinstance(schedule, Schedule)
+
+
+def test_extra_lookup():
+    assert get_scheduler("baseline_nosync") is EXTRA_SCHEDULERS["baseline_nosync"]
+
+
+def test_unknown_name_raises_with_known_list():
+    with pytest.raises(KeyError, match="openshop"):
+        get_scheduler("quantum")

@@ -1,0 +1,58 @@
+"""Replay-under-different-conditions tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.openshop import schedule_openshop
+from repro.core.problem import TotalExchangeProblem
+from repro.sim.replay import planned_vs_actual, replay_schedule
+from repro.timing.validate import check_schedule
+from tests.conftest import random_problem
+
+
+def test_replay_under_same_costs_is_no_slower_planwise():
+    # Replaying under identical costs reproduces the planned completion
+    # time (strict semantics preserve the plan's port orders).
+    problem = random_problem(6, seed=0)
+    planned = schedule_openshop(problem)
+    replayed = replay_schedule(planned, problem)
+    assert replayed.completion_time == pytest.approx(planned.completion_time)
+
+
+def test_replay_valid_schedule():
+    problem = random_problem(6, seed=1)
+    planned = schedule_openshop(problem)
+    scaled = problem.scaled(2.0)
+    replayed = replay_schedule(planned, scaled)
+    check_schedule(replayed, scaled.cost)
+
+
+def test_uniform_scaling_scales_completion():
+    problem = random_problem(5, seed=2)
+    planned = schedule_openshop(problem)
+    result = planned_vs_actual(planned, problem.scaled(3.0))
+    assert result.actual_time == pytest.approx(3.0 * result.planned_time)
+    assert result.slowdown == pytest.approx(3.0)
+
+
+def test_mismatched_procs_raise():
+    planned = schedule_openshop(random_problem(4, seed=3))
+    with pytest.raises(ValueError):
+        replay_schedule(planned, random_problem(5, seed=3))
+
+
+def test_degraded_pair_slows_replay():
+    problem = random_problem(5, seed=4)
+    planned = schedule_openshop(problem)
+    worse_cost = problem.cost.copy()
+    worse_cost[0, 1] *= 10
+    worse = TotalExchangeProblem(cost=worse_cost)
+    result = planned_vs_actual(planned, worse)
+    assert result.actual_time >= result.planned_time - 1e-9
+
+
+def test_zero_planned_time_slowdown():
+    problem = TotalExchangeProblem(cost=np.zeros((2, 2)))
+    planned = schedule_openshop(problem)
+    result = planned_vs_actual(planned, problem)
+    assert result.slowdown == 1.0

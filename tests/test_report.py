@@ -1,0 +1,38 @@
+"""Report rendering tests."""
+
+from repro.experiments.harness import run_sweep
+from repro.experiments.quality import quality_stats
+from repro.experiments.report import (
+    render_improvement,
+    render_quality,
+    render_sweep,
+)
+from repro.model.messages import UniformSizes
+
+
+def sweep():
+    return run_sweep(
+        "report-test", UniformSizes(1000.0), proc_counts=(4, 6), trials=1
+    )
+
+
+def test_render_sweep_contains_series():
+    out = render_sweep(sweep())
+    assert "lower_bound" in out
+    assert "openshop" in out
+    assert "report-test" in out
+    lines = out.splitlines()
+    assert len(lines) == 3 + 2  # title + header + rule + two P rows
+
+
+def test_render_improvement_excludes_baseline():
+    out = render_improvement(sweep())
+    assert "baseline" not in out.splitlines()[1]
+    assert "greedy" in out
+
+
+def test_render_quality():
+    stats = quality_stats([sweep()])
+    out = render_quality(stats)
+    assert "worst % over LB" in out
+    assert "openshop" in out

@@ -1,0 +1,57 @@
+"""RNG plumbing tests."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import spawn_rngs, stable_seed, to_rng
+
+
+def test_to_rng_passthrough():
+    rng = np.random.default_rng(1)
+    assert to_rng(rng) is rng
+
+
+def test_to_rng_from_int_deterministic():
+    a = to_rng(123).random(5)
+    b = to_rng(123).random(5)
+    assert np.array_equal(a, b)
+
+
+def test_to_rng_none_gives_generator():
+    assert isinstance(to_rng(None), np.random.Generator)
+
+
+def test_spawn_rngs_count():
+    children = spawn_rngs(0, 4)
+    assert len(children) == 4
+
+
+def test_spawn_rngs_independent_streams():
+    a, b = spawn_rngs(0, 2)
+    assert not np.array_equal(a.random(10), b.random(10))
+
+
+def test_spawn_rngs_negative_raises():
+    with pytest.raises(ValueError):
+        spawn_rngs(0, -1)
+
+
+def test_stable_seed_deterministic():
+    assert stable_seed("fig09", 5, 0) == stable_seed("fig09", 5, 0)
+
+
+def test_stable_seed_distinguishes_parts():
+    seeds = {
+        stable_seed("a", 1),
+        stable_seed("a", 2),
+        stable_seed("b", 1),
+        stable_seed("ab", ""),
+        stable_seed("a", "b1"),
+    }
+    assert len(seeds) == 5
+
+
+def test_stable_seed_fits_in_63_bits():
+    for parts in [("x",), ("y", 10**9), ("z", "w", 3)]:
+        seed = stable_seed(*parts)
+        assert 0 <= seed < 2**63

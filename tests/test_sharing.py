@@ -1,0 +1,85 @@
+"""Bandwidth-sharing allocation tests."""
+
+import pytest
+
+from repro.network.sharing import (
+    equal_share_rates,
+    max_min_fair_rates,
+    shared_bandwidth_matrix,
+)
+
+E1 = ("a", "b")
+E2 = ("b", "c")
+
+
+class TestEqualShare:
+    def test_single_flow_gets_bottleneck(self):
+        rates = equal_share_rates([[E1, E2]], {E1: 10.0, E2: 4.0})
+        assert rates == [4.0]
+
+    def test_two_flows_split_shared_link(self):
+        rates = equal_share_rates([[E1], [E1]], {E1: 10.0})
+        assert rates == [5.0, 5.0]
+
+    def test_disjoint_flows_unaffected(self):
+        rates = equal_share_rates([[E1], [E2]], {E1: 10.0, E2: 4.0})
+        assert rates == [10.0, 4.0]
+
+    def test_empty_path_unconstrained(self):
+        assert equal_share_rates([[]], {}) == [float("inf")]
+
+    def test_paper_rule_division(self):
+        # Three flows crossing one 9 MB/s link each get 3 MB/s.
+        rates = equal_share_rates([[E1]] * 3, {E1: 9.0})
+        assert rates == [3.0, 3.0, 3.0]
+
+
+class TestMaxMinFair:
+    def test_matches_equal_share_symmetric(self):
+        rates = max_min_fair_rates([[E1], [E1]], {E1: 10.0})
+        assert rates == pytest.approx([5.0, 5.0])
+
+    def test_redistributes_leftover(self):
+        # Flow 0 bottlenecked elsewhere at 2; flow 1 should get 10-2=8,
+        # where equal share would only give it 5.
+        flows = [[E1, E2], [E1]]
+        caps = {E1: 10.0, E2: 2.0}
+        rates = max_min_fair_rates(flows, caps)
+        assert rates[0] == pytest.approx(2.0)
+        assert rates[1] == pytest.approx(8.0)
+
+    def test_dominates_equal_share(self):
+        flows = [[E1, E2], [E1], [E2]]
+        caps = {E1: 6.0, E2: 3.0}
+        eq = equal_share_rates(flows, caps)
+        mm = max_min_fair_rates(flows, caps)
+        for a, b in zip(mm, eq):
+            assert a >= b - 1e-9
+
+    def test_capacity_respected(self):
+        flows = [[E1, E2], [E1], [E2]]
+        caps = {E1: 6.0, E2: 3.0}
+        rates = max_min_fair_rates(flows, caps)
+        # per-link sums never exceed capacity
+        for edge, cap in caps.items():
+            used = sum(
+                r for r, path in zip(rates, flows) if edge in path
+            )
+            assert used <= cap + 1e-9
+
+    def test_empty_flow_list(self):
+        assert max_min_fair_rates([], {E1: 1.0}) == []
+
+    def test_edgeless_flow_infinite(self):
+        rates = max_min_fair_rates([[], [E1]], {E1: 4.0})
+        assert rates[0] == float("inf")
+        assert rates[1] == pytest.approx(4.0)
+
+
+def test_shared_bandwidth_matrix():
+    paths = {(0, 1): [E1], (2, 3): [E1], (4, 5): [E2]}
+    result = shared_bandwidth_matrix(
+        6, [(0, 1), (2, 3), (4, 5)], paths, {E1: 8.0, E2: 3.0}
+    )
+    assert result[(0, 1)] == pytest.approx(4.0)
+    assert result[(4, 5)] == pytest.approx(3.0)

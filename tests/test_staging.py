@@ -1,0 +1,230 @@
+"""Data staging tests (BADD-style, paper reference [24])."""
+
+import numpy as np
+import pytest
+
+from repro.network.topology import Metacomputer
+from repro.staging import (
+    DataItem,
+    DataRequest,
+    evaluate_plan,
+    schedule_staging,
+)
+from repro.util.units import MBIT_PER_S, seconds_from_ms
+
+
+def build_system() -> Metacomputer:
+    # a -- b -- c chain, 2 nodes per site
+    return Metacomputer.build(
+        {"a": 2, "b": 2, "c": 2},
+        access_latency=seconds_from_ms(1),
+        access_bandwidth=100 * MBIT_PER_S,
+        backbone=[
+            ("a", "b", seconds_from_ms(20), 10 * MBIT_PER_S),
+            ("b", "c", seconds_from_ms(20), 2 * MBIT_PER_S),
+        ],
+    )
+
+
+class TestRequestTypes:
+    def test_item_validation(self):
+        with pytest.raises(ValueError):
+            DataItem("x", 0.0, (0,))
+        with pytest.raises(ValueError):
+            DataItem("x", 1.0, ())
+
+    def test_request_validation(self):
+        item = DataItem("x", 1.0, (0,))
+        with pytest.raises(ValueError):
+            DataRequest(item, -1, deadline=1.0)
+        with pytest.raises(ValueError):
+            DataRequest(item, 0, deadline=-1.0)
+        with pytest.raises(ValueError):
+            DataRequest(item, 0, deadline=1.0, priority=0.0)
+
+
+class TestScheduleStaging:
+    def test_single_request_earliest_route(self):
+        system = build_system()
+        item = DataItem("map", 1e6, (0,))
+        plan = schedule_staging(
+            system, [DataRequest(item, 2, deadline=100.0)]
+        )
+        assert len(plan.transfers) == 1
+        transfer = plan.transfers[0]
+        # node 0 (site a) -> node 2 (site b): 2 access + 1 backbone hops
+        assert transfer.route[0] == "node:0"
+        assert transfer.route[-1] == "node:2"
+        # arrival = sum of per-hop latency + size/bw along a->b
+        expected = (
+            (0.001 + 1e6 / (100 * MBIT_PER_S)) * 2
+            + 0.020 + 1e6 / (10 * MBIT_PER_S)
+        )
+        assert transfer.finish == pytest.approx(expected, rel=1e-6)
+
+    def test_replica_choice(self):
+        system = build_system()
+        # item replicated at site a (node 0) and site c (node 4);
+        # destination at site c should pull from the local replica.
+        item = DataItem("tile", 4e6, (0, 4))
+        plan = schedule_staging(
+            system, [DataRequest(item, 5, deadline=100.0)]
+        )
+        assert plan.transfers[0].source == 4
+
+    def test_local_delivery_instant(self):
+        system = build_system()
+        item = DataItem("x", 1e6, (3,))
+        plan = schedule_staging(system, [DataRequest(item, 3, deadline=1.0)])
+        assert plan.transfers[0].finish == 0.0
+
+    def test_priority_order_wins_contention(self):
+        system = build_system()
+        # two large transfers share the slow b--c backbone; the high-
+        # priority one should go first and meet its deadline.
+        big = DataItem("video", 5e6, (0,))
+        hop = 5e6 / (2 * MBIT_PER_S)  # ~20s on the slow link
+        urgent = DataRequest(big, 4, deadline=hop * 1.5, priority=10.0)
+        casual = DataRequest(big, 5, deadline=hop * 1.5, priority=1.0)
+        plan = schedule_staging(system, [casual, urgent])
+        by_dst = {t.request.destination: t for t in plan.transfers}
+        assert by_dst[4].finish < by_dst[5].finish
+
+    def test_reservations_serialise_shared_link(self):
+        system = build_system()
+        item = DataItem("blob", 2e6, (0,))
+        requests = [
+            DataRequest(item, 4, deadline=1e6),
+            DataRequest(item, 5, deadline=1e6),
+        ]
+        plan = schedule_staging(system, requests)
+        finishes = sorted(t.finish for t in plan.transfers)
+        # the second transfer waits for the first on the shared backbone
+        assert finishes[1] > finishes[0] * 1.5
+
+    def test_request_arrival_delays_start(self):
+        system = build_system()
+        item = DataItem("x", 1e6, (0,))
+        plan = schedule_staging(
+            system,
+            [DataRequest(item, 2, deadline=100.0, arrival=50.0)],
+        )
+        transfer = plan.transfers[0]
+        assert transfer.start == pytest.approx(50.0)
+        assert transfer.finish > 50.0
+
+    def test_negative_arrival_rejected(self):
+        item = DataItem("x", 1e6, (0,))
+        with pytest.raises(ValueError):
+            DataRequest(item, 2, deadline=1.0, arrival=-1.0)
+
+    def test_staggered_arrivals_respect_reservations(self):
+        # two requests over the same slow backbone; the late arrival
+        # cannot start before it arrives, even though the link is free.
+        system = build_system()
+        item = DataItem("blob", 2e6, (0,))
+        plan = schedule_staging(
+            system,
+            [
+                DataRequest(item, 4, deadline=1e6, arrival=0.0),
+                DataRequest(item, 5, deadline=1e6, arrival=500.0),
+            ],
+        )
+        by_dst = {t.request.destination: t for t in plan.transfers}
+        assert by_dst[5].start == pytest.approx(500.0)
+        assert by_dst[5].finish > by_dst[4].finish
+
+    def test_arrival_order_is_priority_blind(self):
+        system = build_system()
+        big = DataItem("video", 5e6, (0,))
+        hop = 5e6 / (2 * MBIT_PER_S)
+        urgent = DataRequest(big, 4, deadline=hop * 1.5, priority=10.0)
+        casual = DataRequest(big, 5, deadline=hop * 1.5, priority=1.0)
+        plan = schedule_staging(
+            system, [casual, urgent], order_by="arrival"
+        )
+        by_dst = {t.request.destination: t for t in plan.transfers}
+        # arrival order serves the casual request first
+        assert by_dst[5].finish < by_dst[4].finish
+
+    def test_invalid_order_by(self):
+        system = build_system()
+        with pytest.raises(ValueError, match="order_by"):
+            schedule_staging(system, [], order_by="magic")
+
+    def test_unroutable_destination(self):
+        system = build_system()
+        item = DataItem("x", 1.0, (0,))
+        plan = schedule_staging(system, [DataRequest(item, 99, deadline=1.0)])
+        assert len(plan.unroutable) == 1
+        assert not plan.transfers
+
+    def test_bad_source_skipped(self):
+        system = build_system()
+        item = DataItem("x", 1.0, (99,))
+        plan = schedule_staging(system, [DataRequest(item, 0, deadline=1.0)])
+        assert len(plan.unroutable) == 1
+
+
+class TestHopReservations:
+    def test_hops_recorded(self):
+        system = build_system()
+        item = DataItem("map", 1e6, (0,))
+        plan = schedule_staging(system, [DataRequest(item, 4, deadline=1e6)])
+        transfer = plan.transfers[0]
+        assert len(transfer.hops) == len(transfer.route) - 1
+        # hop windows chain: each departs no earlier than the previous
+        # arrival, and the last arrival is the finish
+        prev_arrive = transfer.start
+        for _edge, depart, arrive in transfer.hops:
+            assert depart >= prev_arrive - 1e-12
+            prev_arrive = arrive
+        assert prev_arrive == pytest.approx(transfer.finish)
+
+    def test_link_reservations_never_overlap(self):
+        system = build_system()
+        item = DataItem("blob", 3e6, (0,))
+        requests = [
+            DataRequest(item, dst, deadline=1e6) for dst in (2, 3, 4, 5)
+        ]
+        plan = schedule_staging(system, requests)
+        windows = {}
+        for transfer in plan.transfers:
+            for edge, depart, arrive in transfer.hops:
+                windows.setdefault(edge, []).append((depart, arrive))
+        for edge, intervals in windows.items():
+            intervals.sort()
+            for (s1, f1), (s2, f2) in zip(intervals, intervals[1:]):
+                assert s2 >= f1 - 1e-9, f"overlap on {edge}"
+
+
+class TestMetrics:
+    def test_counts(self):
+        system = build_system()
+        fast = DataItem("small", 1e4, (0,))
+        slow = DataItem("huge", 50e6, (0,))
+        # the huge transfer goes first (priority 2) and reserves the a--b
+        # backbone for ~40s, so the small one lands around t=40 — inside
+        # its 60s deadline; the huge one misses its own 1s deadline.
+        plan = schedule_staging(
+            system,
+            [
+                DataRequest(fast, 2, deadline=60.0),
+                DataRequest(slow, 5, deadline=1.0, priority=2.0),  # misses
+            ],
+        )
+        metrics = evaluate_plan(plan)
+        assert metrics.total_requests == 2
+        assert metrics.delivered == 2
+        assert metrics.on_time == 1
+        assert metrics.on_time_rate == pytest.approx(0.5)
+        assert metrics.max_tardiness > 0
+        # 1 of 3 priority units satisfied
+        assert metrics.weighted_satisfaction == pytest.approx(1 / 3)
+
+    def test_empty_plan(self):
+        from repro.staging.request import StagingPlan
+
+        metrics = evaluate_plan(StagingPlan())
+        assert metrics.on_time_rate == 1.0
+        assert metrics.completion_time == 0.0

@@ -1,0 +1,81 @@
+"""Stencil workload tests."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.stencil import grid_coords, stencil_sizes
+
+
+class TestGridCoords:
+    def test_row_major(self):
+        assert grid_coords(0, (2, 3)) == (0, 0)
+        assert grid_coords(4, (2, 3)) == (1, 1)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            grid_coords(6, (2, 3))
+
+
+class TestStencilSizes:
+    def test_interior_rank_has_four_neighbours(self):
+        sizes = stencil_sizes((3, 3), halo_bytes=100.0)
+        centre = 4  # (1, 1)
+        assert np.count_nonzero(sizes[centre]) == 4
+        assert sizes[centre].sum() == pytest.approx(400.0)
+
+    def test_corner_rank_has_two_neighbours(self):
+        sizes = stencil_sizes((3, 3), halo_bytes=100.0)
+        assert np.count_nonzero(sizes[0]) == 2
+
+    def test_symmetric(self):
+        sizes = stencil_sizes((4, 5), halo_bytes=64.0)
+        assert np.allclose(sizes, sizes.T)
+
+    def test_periodic_torus_uniform_degree(self):
+        sizes = stencil_sizes((3, 3), halo_bytes=10.0, periodic=True)
+        for rank in range(9):
+            assert np.count_nonzero(sizes[rank]) == 4
+
+    def test_periodic_1d_row_wraps(self):
+        sizes = stencil_sizes((1, 4), halo_bytes=1.0, periodic=True)
+        assert sizes[0, 3] > 0
+
+    def test_nine_point_corners(self):
+        sizes = stencil_sizes((3, 3), halo_bytes=100.0, diagonal_bytes=5.0)
+        centre = 4
+        assert np.count_nonzero(sizes[centre]) == 8
+        assert sizes[centre, 0] == pytest.approx(5.0)
+
+    def test_single_rank_no_traffic(self):
+        assert stencil_sizes((1, 1), halo_bytes=1.0).sum() == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stencil_sizes((0, 2), halo_bytes=1.0)
+        with pytest.raises(ValueError):
+            stencil_sizes((2, 2), halo_bytes=-1.0)
+
+
+class TestStencilPlacement:
+    def test_placement_heals_scattered_grid(self):
+        """On a clustered network, mapping grid rows to sites wins."""
+        from repro.directory import TopologyDirectory
+        from repro.network.topology import Metacomputer
+        from repro.placement import greedy_swap_placement
+        from repro.util.units import GBIT_PER_S, MBIT_PER_S, seconds_from_ms
+
+        system = Metacomputer.build(
+            {"a": 4, "b": 4},
+            access_latency=seconds_from_ms(0.2),
+            access_bandwidth=GBIT_PER_S,
+            backbone=[("a", "b", seconds_from_ms(30), 5 * MBIT_PER_S)],
+        )
+        snapshot = TopologyDirectory(system).snapshot()
+        sizes = stencil_sizes((2, 4), halo_bytes=2e6)
+        # adversarial start: interleave the two sites across the grid
+        scattered = [0, 4, 1, 5, 2, 6, 3, 7]
+        from repro.placement import evaluate_placement
+
+        bad = evaluate_placement(snapshot, sizes, scattered)
+        result = greedy_swap_placement(snapshot, sizes, start=scattered)
+        assert result.score < bad * 0.75

@@ -1,0 +1,54 @@
+"""ASCII table rendering tests."""
+
+import pytest
+
+from repro.util.tables import (
+    format_ratio_summary,
+    format_series,
+    format_table,
+)
+
+
+def test_format_table_contains_cells():
+    out = format_table(["a", "bb"], [[1, 2.5], [30, 4.125]], precision=2)
+    assert "bb" in out
+    assert "2.50" in out
+    assert "30" in out
+
+
+def test_format_table_title():
+    out = format_table(["x"], [[1]], title="hello")
+    assert out.splitlines()[0] == "hello"
+
+
+def test_format_table_ragged_rows_raise():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1]])
+
+
+def test_format_table_alignment():
+    out = format_table(["col"], [[1], [100]])
+    lines = out.splitlines()
+    assert all(len(line) == len(lines[0]) for line in lines)
+
+
+def test_format_series_shapes():
+    out = format_series("P", [5, 10], {"alg": [1.0, 2.0]})
+    assert "P" in out and "alg" in out
+    assert "2.000" in out
+
+
+def test_format_series_length_mismatch_raises():
+    with pytest.raises(ValueError):
+        format_series("P", [5, 10], {"alg": [1.0]})
+
+
+def test_format_ratio_summary():
+    out = format_ratio_summary({"openshop": [1.0, 1.1, 1.05]})
+    assert "openshop" in out
+    assert "1.050" in out  # mean
+
+
+def test_format_ratio_summary_empty_raises():
+    with pytest.raises(ValueError):
+        format_ratio_summary({"x": []})

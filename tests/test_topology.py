@@ -1,0 +1,99 @@
+"""Network topology tests."""
+
+import pytest
+
+from repro.network.topology import Link, Metacomputer
+
+
+def two_site_system() -> Metacomputer:
+    return Metacomputer.build(
+        {"a": 2, "b": 2},
+        access_latency=0.001,
+        access_bandwidth=1e9,
+        backbone=[("a", "b", 0.030, 1e6)],
+    )
+
+
+class TestLink:
+    def test_valid(self):
+        link = Link(latency=0.01, bandwidth=1e6, kind="backbone")
+        assert link.kind == "backbone"
+
+    def test_zero_latency_allowed(self):
+        Link(latency=0.0, bandwidth=1.0)
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ValueError):
+            Link(latency=0.0, bandwidth=0.0)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            Link(latency=-1.0, bandwidth=1.0)
+
+
+class TestMetacomputer:
+    def test_build(self):
+        system = two_site_system()
+        assert system.num_procs == 4
+        assert set(system.sites) == {"a", "b"}
+        assert system.is_connected()
+
+    def test_node_indices_sequential(self):
+        system = two_site_system()
+        assert [n.index for n in system.nodes] == [0, 1, 2, 3]
+
+    def test_node_labels(self):
+        system = two_site_system()
+        assert system.nodes[0].label() == "a-0"
+
+    def test_duplicate_site_raises(self):
+        system = Metacomputer()
+        system.add_site("x")
+        with pytest.raises(ValueError):
+            system.add_site("x")
+
+    def test_unknown_site_raises(self):
+        system = Metacomputer()
+        with pytest.raises(ValueError):
+            system.add_node("nope", access_latency=0, access_bandwidth=1)
+
+    def test_self_connection_raises(self):
+        system = Metacomputer()
+        system.add_site("x")
+        with pytest.raises(ValueError):
+            system.connect_sites("x", "x", latency=0.1, bandwidth=1.0)
+
+    def test_connect_unknown_site_raises(self):
+        system = Metacomputer()
+        system.add_site("x")
+        with pytest.raises(ValueError):
+            system.connect_sites("x", "y", latency=0.1, bandwidth=1.0)
+
+    def test_links_listing(self):
+        system = two_site_system()
+        kinds = sorted(link.kind for _, _, link in system.links())
+        assert kinds == ["access"] * 4 + ["backbone"]
+
+    def test_node_vertex_range(self):
+        system = two_site_system()
+        with pytest.raises(ValueError):
+            system.node_vertex(99)
+
+    def test_set_link(self):
+        system = two_site_system()
+        u, v, link = [x for x in system.links() if x[2].kind == "backbone"][0]
+        system.set_link(u, v, Link(latency=1.0, bandwidth=5.0, kind="backbone"))
+        assert system.link(u, v).latency == 1.0
+
+    def test_set_link_missing_edge_raises(self):
+        system = two_site_system()
+        with pytest.raises(ValueError):
+            system.set_link("node:0", "node:1", Link(latency=1, bandwidth=1))
+
+    def test_disconnected_detection(self):
+        system = Metacomputer()
+        system.add_site("a")
+        system.add_site("b")
+        system.add_node("a", access_latency=0.001, access_bandwidth=1e6)
+        system.add_node("b", access_latency=0.001, access_bandwidth=1e6)
+        assert not system.is_connected()

@@ -1,0 +1,91 @@
+"""TopologyDirectory tests."""
+
+import numpy as np
+import pytest
+
+from repro.directory.dynamics import StaticLoad
+from repro.directory.network_directory import TopologyDirectory
+from repro.network.paths import end_to_end_matrices
+from repro.network.topology import Metacomputer
+
+
+def build_system() -> Metacomputer:
+    return Metacomputer.build(
+        {"a": 2, "b": 2},
+        access_latency=0.001,
+        access_bandwidth=1e9,
+        backbone=[("a", "b", 0.030, 1e6)],
+    )
+
+
+def test_snapshot_matches_static_paths_without_load():
+    system = build_system()
+    directory = TopologyDirectory(system)
+    snap = directory.snapshot()
+    latency, bandwidth = end_to_end_matrices(system)
+    assert np.allclose(snap.latency, latency)
+    off = ~np.eye(4, dtype=bool)
+    assert np.allclose(snap.bandwidth[off], bandwidth[off])
+
+
+def test_software_overhead_added():
+    system = build_system()
+    directory = TopologyDirectory(system, software_overhead=0.010)
+    snap = directory.snapshot()
+    base, _ = end_to_end_matrices(system)
+    assert snap.latency[0, 1] == pytest.approx(base[0, 1] + 0.010)
+    assert snap.latency[0, 0] == 0.0
+
+
+def test_constant_load_deflates_bandwidth():
+    system = build_system()
+    loaded = TopologyDirectory(system, load_factory=lambda e: StaticLoad(1.0))
+    unloaded = TopologyDirectory(system)
+    b_loaded = loaded.snapshot().bandwidth[0, 2]
+    b_unloaded = unloaded.snapshot().bandwidth[0, 2]
+    assert b_loaded == pytest.approx(b_unloaded / 2)
+
+
+def test_constant_load_inflates_latency():
+    system = build_system()
+    loaded = TopologyDirectory(system, load_factory=lambda e: StaticLoad(1.0))
+    unloaded = TopologyDirectory(system)
+    assert loaded.snapshot().latency[0, 2] == pytest.approx(
+        2 * unloaded.snapshot().latency[0, 2]
+    )
+
+
+def test_advance_moves_clock():
+    directory = TopologyDirectory(build_system())
+    directory.advance(12.5)
+    assert directory.time == pytest.approx(12.5)
+    assert directory.snapshot().time == pytest.approx(12.5)
+    with pytest.raises(ValueError):
+        directory.advance(-1.0)
+
+
+def test_rejects_disconnected_system():
+    system = Metacomputer()
+    system.add_site("a")
+    system.add_site("b")
+    system.add_node("a", access_latency=0.001, access_bandwidth=1e6)
+    system.add_node("b", access_latency=0.001, access_bandwidth=1e6)
+    with pytest.raises(ValueError):
+        TopologyDirectory(system)
+
+
+def test_rejects_empty_system():
+    system = Metacomputer()
+    with pytest.raises(ValueError):
+        TopologyDirectory(system)
+
+
+def test_link_conditions_query():
+    system = build_system()
+    directory = TopologyDirectory(system, load_factory=lambda e: StaticLoad(0.0))
+    backbone = [
+        (u, v) for u, v, link in system.links() if link.kind == "backbone"
+    ][0]
+    lat, bw = directory.link_conditions(backbone)
+    assert lat == pytest.approx(0.030)
+    assert bw == pytest.approx(1e6)

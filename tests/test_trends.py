@@ -1,0 +1,42 @@
+"""Trend-analysis tests."""
+
+import pytest
+
+from repro.experiments.harness import run_sweep
+from repro.experiments.trends import RatioTrend, ratio_trends
+from repro.model.messages import MixedSizes
+
+
+def test_trends_shapes():
+    result = run_sweep(
+        "trend-test", MixedSizes(), proc_counts=(5, 10, 20), trials=2
+    )
+    trends = ratio_trends(result)
+    assert set(trends) == set(result.completion)
+    for trend in trends.values():
+        assert trend.ratio_at_min_p >= 1.0 - 1e-9
+        assert trend.ratio_at_max_p >= 1.0 - 1e-9
+
+
+def test_baseline_grows_adaptive_flat():
+    result = run_sweep(
+        "trend-shape", MixedSizes(), proc_counts=(5, 15, 30), trials=3
+    )
+    trends = ratio_trends(result)
+    assert trends["baseline"].grows
+    assert trends["openshop"].flat
+
+
+def test_single_point_rejected():
+    result = run_sweep(
+        "trend-single", MixedSizes(), proc_counts=(5,), trials=1
+    )
+    with pytest.raises(ValueError):
+        ratio_trends(result)
+
+
+def test_trend_properties():
+    flat = RatioTrend("x", 0.00005, 1.0, 1.0, 1.02)
+    steep = RatioTrend("y", 0.05, 1.0, 1.2, 3.0)
+    assert flat.flat and not flat.grows
+    assert steep.grows and not steep.flat

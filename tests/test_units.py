@@ -1,0 +1,42 @@
+"""Unit conversion tests."""
+
+import pytest
+
+from repro.util import units
+
+
+def test_milliseconds_constant():
+    assert units.seconds_from_ms(1.0) == pytest.approx(0.001)
+
+
+def test_ms_roundtrip():
+    assert units.ms_from_seconds(units.seconds_from_ms(34.5)) == pytest.approx(34.5)
+
+
+def test_kbit_per_s_is_125_bytes():
+    assert units.KBIT_PER_S == pytest.approx(125.0)
+
+
+def test_bandwidth_roundtrip():
+    bps = units.bytes_per_s_from_kbit_per_s(4976.0)
+    assert units.kbit_per_s_from_bytes_per_s(bps) == pytest.approx(4976.0)
+
+
+def test_bandwidth_conversion_value():
+    # 512 kbit/s = 64 kB/s
+    assert units.bytes_per_s_from_kbit_per_s(512.0) == pytest.approx(64_000.0)
+
+
+def test_size_constants_decimal():
+    assert units.KILOBYTE == 1_000
+    assert units.MEGABYTE == 1_000_000
+
+
+def test_bit_rate_constants_are_consistent():
+    assert units.MBIT_PER_S == pytest.approx(1_000 * units.KBIT_PER_S)
+    assert units.GBIT_PER_S == pytest.approx(1_000 * units.MBIT_PER_S)
+
+
+def test_one_megabyte_at_one_mbit():
+    # 1 MB over 1 Mbit/s takes 8 seconds.
+    assert units.MEGABYTE / units.MBIT_PER_S == pytest.approx(8.0)

@@ -1,0 +1,92 @@
+"""Schedule validity checking tests."""
+
+import numpy as np
+import pytest
+
+from repro.timing.events import CommEvent, Schedule
+from repro.timing.validate import ScheduleError, check_schedule, is_valid_schedule
+
+
+def ev(start, src, dst, duration):
+    return CommEvent(start=start, src=src, dst=dst, duration=duration)
+
+
+def test_valid_schedule_passes():
+    s = Schedule.from_events(3, [ev(0, 0, 1, 2), ev(0, 1, 2, 2), ev(2, 0, 2, 1)])
+    check_schedule(s)
+
+
+def test_sender_overlap_detected():
+    s = Schedule.from_events(3, [ev(0, 0, 1, 2), ev(1, 0, 2, 2)])
+    with pytest.raises(ScheduleError, match="sender conflict"):
+        check_schedule(s)
+
+
+def test_receiver_overlap_detected():
+    s = Schedule.from_events(3, [ev(0, 0, 2, 2), ev(1, 1, 2, 2)])
+    with pytest.raises(ScheduleError, match="receiver conflict"):
+        check_schedule(s)
+
+
+def test_zero_duration_overlap_allowed():
+    s = Schedule.from_events(3, [ev(0, 0, 1, 2), ev(1, 0, 2, 0.0)])
+    check_schedule(s)
+
+
+def test_touching_intervals_allowed():
+    s = Schedule.from_events(3, [ev(0, 0, 1, 2), ev(2, 0, 2, 2)])
+    check_schedule(s)
+
+
+def test_violations_collected():
+    s = Schedule.from_events(
+        4, [ev(0, 0, 1, 5), ev(1, 0, 2, 5), ev(2, 0, 3, 5)]
+    )
+    try:
+        check_schedule(s)
+    except ScheduleError as exc:
+        assert len(exc.violations) >= 2
+    else:
+        pytest.fail("expected ScheduleError")
+
+
+class TestCoverage:
+    def setup_method(self):
+        self.cost = np.array([[0.0, 1.0], [2.0, 0.0]])
+
+    def test_full_coverage_passes(self):
+        s = Schedule.from_events(2, [ev(0, 0, 1, 1), ev(1, 1, 0, 2)])
+        check_schedule(s, self.cost)
+
+    def test_missing_event_detected(self):
+        s = Schedule.from_events(2, [ev(0, 0, 1, 1)])
+        with pytest.raises(ScheduleError, match="missing event"):
+            check_schedule(s, self.cost)
+
+    def test_coverage_optional(self):
+        s = Schedule.from_events(2, [ev(0, 0, 1, 1)])
+        check_schedule(s, self.cost, require_coverage=False)
+
+    def test_wrong_duration_detected(self):
+        s = Schedule.from_events(2, [ev(0, 0, 1, 9), ev(9, 1, 0, 2)])
+        with pytest.raises(ScheduleError, match="duration"):
+            check_schedule(s, self.cost)
+
+    def test_duplicate_pair_detected(self):
+        s = Schedule.from_events(
+            2, [ev(0, 0, 1, 1), ev(5, 0, 1, 1), ev(1, 1, 0, 2)]
+        )
+        with pytest.raises(ScheduleError, match="duplicate"):
+            check_schedule(s, self.cost)
+
+    def test_shape_mismatch_raises(self):
+        s = Schedule.from_events(3, [ev(0, 0, 1, 1)])
+        with pytest.raises(ScheduleError, match="shape"):
+            check_schedule(s, self.cost)
+
+
+def test_is_valid_schedule_bool():
+    good = Schedule.from_events(2, [ev(0, 0, 1, 1)])
+    bad = Schedule.from_events(2, [ev(0, 0, 1, 2), ev(1, 0, 1, 2)])
+    assert is_valid_schedule(good)
+    assert not is_valid_schedule(bad)

@@ -1,0 +1,84 @@
+"""Argument-validation helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    check_index,
+    check_positive,
+    check_probability,
+    check_square_matrix,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 2.5) == 2.5
+
+    def test_rejects_zero_by_default(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0.0)
+
+    def test_allow_zero(self):
+        assert check_positive("x", 0.0, allow_zero=True) == 0.0
+
+    def test_rejects_negative_with_allow_zero(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1.0, allow_zero=True)
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ValueError):
+            check_positive("x", float("nan"))
+        with pytest.raises(ValueError):
+            check_positive("x", float("inf"))
+
+
+class TestCheckProbability:
+    def test_bounds(self):
+        assert check_probability("p", 0.0) == 0.0
+        assert check_probability("p", 1.0) == 1.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_probability("p", 1.5)
+        with pytest.raises(ValueError):
+            check_probability("p", -0.1)
+
+
+class TestCheckSquareMatrix:
+    def test_coerces_lists(self):
+        arr = check_square_matrix("m", [[1, 2], [3, 4]])
+        assert isinstance(arr, np.ndarray)
+        assert arr.dtype == float
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            check_square_matrix("m", np.zeros((2, 3)))
+
+    def test_min_size(self):
+        with pytest.raises(ValueError):
+            check_square_matrix("m", np.zeros((1, 1)), min_size=2)
+
+    def test_nonnegative(self):
+        with pytest.raises(ValueError):
+            check_square_matrix("m", [[0, -1], [1, 0]], nonnegative=True)
+
+    def test_zero_diagonal(self):
+        with pytest.raises(ValueError):
+            check_square_matrix("m", [[1, 2], [3, 0]], zero_diagonal=True)
+        check_square_matrix("m", [[0, 2], [3, 0]], zero_diagonal=True)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_square_matrix("m", [[0, np.nan], [1, 0]])
+
+
+class TestCheckIndex:
+    def test_valid(self):
+        assert check_index("i", 3, 5) == 3
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_index("i", 5, 5)
+        with pytest.raises(ValueError):
+            check_index("i", -1, 5)

@@ -1,0 +1,85 @@
+"""Application workload tests."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.blockcyclic import block_cyclic_sizes
+from repro.workloads.transpose import block_lengths, transpose_sizes
+
+
+class TestBlockLengths:
+    def test_even_split(self):
+        assert block_lengths(12, 4).tolist() == [3, 3, 3, 3]
+
+    def test_uneven_split(self):
+        assert block_lengths(10, 4).tolist() == [3, 3, 2, 2]
+
+    def test_total_conserved(self):
+        for total in (0, 1, 7, 100):
+            assert block_lengths(total, 6).sum() == total
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            block_lengths(10, 0)
+        with pytest.raises(ValueError):
+            block_lengths(-1, 2)
+
+
+class TestTransposeSizes:
+    def test_geometry(self):
+        sizes = transpose_sizes(12, 3, itemsize=8)
+        # each off-diagonal block is 4x4 elements = 128 bytes
+        assert sizes[0, 1] == 128.0
+        assert np.all(np.diag(sizes) == 0.0)
+
+    def test_total_volume(self):
+        n, p = 10, 4
+        sizes = transpose_sizes(n, p, itemsize=8)
+        rows = block_lengths(n, p)
+        expected = 8 * (n * n - np.sum(rows * rows))
+        assert sizes.sum() == pytest.approx(expected)
+
+    def test_uneven_blocks_heterogeneous(self):
+        sizes = transpose_sizes(10, 4, itemsize=1)
+        # blocks are 3,3,2,2: messages range from 3*3=9 down to 2*2=4
+        off = sizes[~np.eye(4, dtype=bool)]
+        assert off.min() == 4.0
+        assert off.max() == 9.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            transpose_sizes(0, 4)
+        with pytest.raises(ValueError):
+            transpose_sizes(10, 4, itemsize=0)
+
+
+class TestBlockCyclicSizes:
+    def test_volume_conserved(self):
+        n, p = 100, 4
+        sizes = block_cyclic_sizes(n, p, old_block=2, new_block=5, itemsize=1)
+        # total moved = elements whose owner changes
+        old_owner = (np.arange(n) // 2) % p
+        new_owner = (np.arange(n) // 5) % p
+        moved = np.sum(old_owner != new_owner)
+        assert sizes.sum() == pytest.approx(moved)
+
+    def test_same_blocks_no_traffic(self):
+        sizes = block_cyclic_sizes(64, 4, old_block=4, new_block=4)
+        assert sizes.sum() == 0.0
+
+    def test_itemsize_scales(self):
+        a = block_cyclic_sizes(50, 3, old_block=1, new_block=7, itemsize=1)
+        b = block_cyclic_sizes(50, 3, old_block=1, new_block=7, itemsize=8)
+        assert np.array_equal(b, 8 * a)
+
+    def test_empty_array(self):
+        sizes = block_cyclic_sizes(0, 3, old_block=2, new_block=3)
+        assert sizes.sum() == 0.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            block_cyclic_sizes(10, 0, old_block=1, new_block=2)
+        with pytest.raises(ValueError):
+            block_cyclic_sizes(10, 2, old_block=0, new_block=2)
+        with pytest.raises(ValueError):
+            block_cyclic_sizes(-1, 2, old_block=1, new_block=2)
