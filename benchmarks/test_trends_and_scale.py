@@ -2,9 +2,13 @@
 
 Asserts the figures' defining *slopes* (the baseline degrades with P,
 the adaptive algorithms stay flat) and stress-runs the whole pipeline
-at P = 100 — twice the paper's largest system — to show the library's
-headroom.
+at P = 100 — twice the paper's largest system — and at P = 256 (greedy
+and open shop only: the matching scheduler's ``O(P^4)`` round
+extraction is not a P=256 kernel) to show the library's headroom.
 """
+
+import pathlib
+import time
 
 import numpy as np
 
@@ -14,6 +18,8 @@ from repro.directory.service import DirectorySnapshot
 from repro.experiments.figures import figure11_mixed_messages
 from repro.experiments.trends import ratio_trends
 from repro.util.tables import format_table
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
 def test_ratio_trends(report, benchmark):
@@ -79,3 +85,54 @@ def test_scale_p100(report, benchmark):
     assert ratios["openshop"] <= 2.0
     assert ratios["openshop"] < ratios["baseline"]
     assert ratios["max_matching"] < ratios["baseline"]
+
+
+def test_scale_p256(report, benchmark):
+    """The ISSUE's P=256 target: 65,280 messages through the fast kernels.
+
+    Matching is excluded — its ``O(P^4)`` round extraction is not a
+    P=256 kernel — so this runs the schedulers a run-time system would
+    actually use at this scale: greedy and open shop, plus the baseline
+    for the quality comparison.  Per-scheduler wall times land in the
+    repo-root ``BENCH_core.json`` next to the kernel benchmarks.
+    """
+    from repro.perf.bench import bench_instance, update_bench_json
+
+    def run():
+        problem = bench_instance(256)
+        lb = problem.lower_bound()
+        out = {}
+        for name in ("baseline", "greedy", "openshop"):
+            start = time.perf_counter()
+            schedule = repro.get_scheduler(name)(problem)
+            ratio = schedule.completion_time / lb
+            seconds = time.perf_counter() - start
+            repro.check_schedule(schedule, problem.cost)
+            out[name] = (ratio, seconds)
+        return out
+
+    results = run_once(benchmark, run)
+    report(
+        "scale_p256",
+        format_table(
+            ["algorithm", "ratio to LB at P=256", "schedule+makespan (s)"],
+            [[name, ratio, seconds]
+             for name, (ratio, seconds) in results.items()],
+            precision=3,
+            title="S5d: 256-processor mixed-workload exchange "
+                  "(65,280 messages)",
+        ),
+    )
+    update_bench_json(
+        "scale_p256",
+        {
+            name: {"ratio_to_lb": ratio, "seconds": seconds}
+            for name, (ratio, seconds) in results.items()
+        },
+        REPO_ROOT / "BENCH_core.json",
+    )
+    assert results["openshop"][0] <= 2.0
+    assert results["greedy"][0] < results["baseline"][0]
+    # The fast kernels make P=256 interactive: greedy composes and
+    # prices its schedule in single-digit seconds even on slow machines.
+    assert results["greedy"][1] < 10.0

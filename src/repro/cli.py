@@ -27,6 +27,10 @@ Subcommands
 ``claims``
     Check the paper's headline claims mechanically (quick versions) and
     print PASS/FAIL per claim.
+``bench``
+    Time the scheduling kernels against the frozen seed implementations
+    and write ``BENCH_core.json`` (``--smoke`` for a seconds-long CI
+    variant).
 """
 
 from __future__ import annotations
@@ -314,6 +318,23 @@ def _cmd_claims(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf.bench import render_bench, run_bench
+
+    result = run_bench(
+        args.sizes,
+        repeats=args.repeats,
+        smoke=args.smoke,
+        include_reference=not args.no_reference,
+        seed=args.seed,
+        output=args.output or None,
+    )
+    print(render_bench(result))
+    if args.output:
+        print(f"\nwrote {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-hetcomm",
@@ -375,6 +396,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_claims.add_argument("--trials", type=int, default=3)
     p_claims.add_argument("--seed", type=int, default=0)
     p_claims.set_defaults(func=_cmd_claims)
+
+    p_bench = sub.add_parser(
+        "bench", help="time the scheduling kernels vs the seed versions"
+    )
+    p_bench.add_argument(
+        "--sizes", type=int, nargs="+", default=None, metavar="P",
+        help="processor counts to bench (default: 50 100 256)",
+    )
+    p_bench.add_argument("--repeats", type=int, default=3)
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument(
+        "--smoke", action="store_true",
+        help="tiny sizes, one repeat — exercises the whole path in seconds",
+    )
+    p_bench.add_argument(
+        "--no-reference", action="store_true",
+        help="skip the (slow) seed reference kernels",
+    )
+    p_bench.add_argument(
+        "--output", default="BENCH_core.json",
+        help="JSON output path (default: BENCH_core.json; '' to skip)",
+    )
+    p_bench.set_defaults(func=_cmd_bench)
 
     return parser
 

@@ -54,9 +54,14 @@ def _assignment_networkx(weights: np.ndarray, objective: Objective) -> np.ndarra
     graph.add_nodes_from(left, bipartite=0)
     graph.add_nodes_from(right, bipartite=1)
     sign = -1.0 if objective == "max" else 1.0
-    for i in range(n):
-        for j in range(n):
-            graph.add_edge(("s", i), ("r", j), weight=sign * weights[i, j])
+    # Bulk edge insertion: one add_weighted_edges_from call over plain
+    # Python floats instead of P^2 scalar add_edge calls on numpy values.
+    signed = (sign * weights).tolist()
+    graph.add_weighted_edges_from(
+        (left[i], right[j], signed[i][j])
+        for i in range(n)
+        for j in range(n)
+    )
     matching = nx.bipartite.minimum_weight_full_matching(graph, top_nodes=left)
     permutation = np.empty(n, dtype=int)
     for i in range(n):
@@ -82,9 +87,11 @@ def matching_rounds(
         raise ValueError(f"cost must be square, got {cost.shape}")
     if np.any(cost < 0):
         raise ValueError("cost entries must be non-negative")
-    solve = _assignment_scipy if backend == "scipy" else _assignment_networkx
+    # Validate the backend *before* binding a solver, so an unknown
+    # backend can never silently fall through to the networkx path.
     if backend not in ("scipy", "networkx"):
         raise ValueError(f"unknown backend {backend!r}")
+    solve = _assignment_scipy if backend == "scipy" else _assignment_networkx
 
     # Work on a copy where used edges are masked with a penalty that
     # dominates any assignment total, so the solver always prefers a fully
@@ -100,11 +107,14 @@ def matching_rounds(
     else:
         raise ValueError(f"objective must be 'max' or 'min', got {objective!r}")
 
+    # The single working buffer `weights` is reused across all rounds;
+    # only the used edges are overwritten between extractions.
+    rows = np.arange(n)
     rounds: List[np.ndarray] = []
     for _ in range(n):
         permutation = solve(weights, objective)
         rounds.append(permutation)
-        weights[np.arange(n), permutation] = used_value
+        weights[rows, permutation] = used_value
     return rounds
 
 

@@ -8,10 +8,16 @@ record completion times alongside the lower bound.
 
 Every (workload, P, trial) cell gets its own deterministic RNG stream, so
 results are reproducible and independent of evaluation order, and all
-algorithms see the *same* instances.
+algorithms see the *same* instances.  That per-cell seeding is also what
+makes the sweep embarrassingly parallel: ``run_sweep(..., workers=N)``
+farms cells out to a process pool and reassembles results in the same
+nested order as the serial loop, so parallel output is bit-identical to
+serial output.
 """
 
 from __future__ import annotations
+
+import concurrent.futures
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
@@ -73,6 +79,48 @@ class SweepResult:
         return tuple(b / o if o > 0 else 1.0 for b, o in zip(base, ours))
 
 
+def _sweep_cell(
+    workload: str,
+    size_spec: SizeSpec,
+    seed: int,
+    num_procs: int,
+    trial: int,
+    algorithms: Mapping[str, Scheduler],
+    gen_kwargs: Dict[str, Tuple[float, float]],
+    memoize: bool,
+) -> Tuple[float, Dict[str, float]]:
+    """One (P, trial) cell: build the instance, run every algorithm.
+
+    Module-level (not a closure) so a process pool can pickle it; the
+    cell is fully determined by its arguments via the stable per-cell
+    seed, which is what makes parallel execution bit-identical to
+    serial.
+    """
+    rng = to_rng(stable_seed(workload, seed, num_procs, trial))
+    latency, bandwidth = random_pairwise_parameters(
+        num_procs, rng=rng, **gen_kwargs
+    )
+    snapshot = DirectorySnapshot(latency=latency, bandwidth=bandwidth)
+    problem = TotalExchangeProblem.from_snapshot(snapshot, size_spec, rng=rng)
+    if memoize:
+        from repro.perf.memo import default_schedule_cache, lower_bound_cached
+
+        cache = default_schedule_cache()
+        lb = lower_bound_cached(problem)
+        times = {
+            name: cache.get_or_compute(problem, scheduler, name=name)
+            .completion_time
+            for name, scheduler in algorithms.items()
+        }
+    else:
+        lb = problem.lower_bound()
+        times = {
+            name: scheduler(problem).completion_time
+            for name, scheduler in algorithms.items()
+        }
+    return lb, times
+
+
 def run_sweep(
     workload: str,
     size_spec: SizeSpec,
@@ -83,6 +131,8 @@ def run_sweep(
     seed: int = 0,
     latency_range: Optional[Tuple[float, float]] = None,
     bandwidth_range: Optional[Tuple[float, float]] = None,
+    workers: Optional[int] = None,
+    memoize: bool = False,
 ) -> SweepResult:
     """Run the Section 5 sweep for one workload.
 
@@ -100,6 +150,17 @@ def run_sweep(
         open shop).
     latency_range / bandwidth_range:
         Forwarded to the GUSTO-guided generator when given.
+    workers:
+        When given (> 1), run the (P, trial) cells on a process pool of
+        that size.  Cells are seeded independently and results are
+        reassembled in serial order, so the output is bit-identical to a
+        serial run; schedulers and the size spec must be picklable
+        (registry schedulers and the built-in size specs are).
+    memoize:
+        Answer repeated instances from :mod:`repro.perf.memo`'s
+        process-wide schedule/lower-bound caches.  Worth it when the
+        same sweep cells are re-run in one process (e.g. regenerating
+        figures); with ``workers`` the caches are per worker process.
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
@@ -116,22 +177,44 @@ def run_sweep(
     raw: Dict[str, List[Tuple[float, ...]]] = {name: [] for name in algorithms}
     lower_bounds: List[float] = []
 
+    cells = [
+        (int(num_procs), trial)
+        for num_procs in proc_counts
+        for trial in range(trials)
+    ]
+    if workers is not None and workers > 1 and len(cells) > 1:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers
+        ) as pool:
+            futures = [
+                pool.submit(
+                    _sweep_cell, workload, size_spec, seed, num_procs,
+                    trial, algorithms, gen_kwargs, memoize,
+                )
+                for num_procs, trial in cells
+            ]
+            cell_results = [future.result() for future in futures]
+    else:
+        cell_results = [
+            _sweep_cell(
+                workload, size_spec, seed, num_procs, trial,
+                algorithms, gen_kwargs, memoize,
+            )
+            for num_procs, trial in cells
+        ]
+
+    # Reassemble in the serial nested order (P-major, trial-minor): the
+    # cell list and pool.map both preserve order, so this aggregation is
+    # identical for serial and parallel runs.
+    results_by_cell = dict(zip(cells, cell_results))
     for num_procs in proc_counts:
         per_alg_times = {name: [] for name in algorithms}
         per_p_lbs = []
         for trial in range(trials):
-            rng = to_rng(stable_seed(workload, seed, num_procs, trial))
-            latency, bandwidth = random_pairwise_parameters(
-                num_procs, rng=rng, **gen_kwargs
-            )
-            snapshot = DirectorySnapshot(latency=latency, bandwidth=bandwidth)
-            problem = TotalExchangeProblem.from_snapshot(
-                snapshot, size_spec, rng=rng
-            )
-            lb = problem.lower_bound()
+            lb, times = results_by_cell[(int(num_procs), trial)]
             per_p_lbs.append(lb)
-            for name, scheduler in algorithms.items():
-                t = scheduler(problem).completion_time
+            for name in algorithms:
+                t = times[name]
                 per_alg_times[name].append(t)
                 ratio_samples[name].append(t / lb if lb > 0 else 1.0)
         lower_bounds.append(float(np.mean(per_p_lbs)))

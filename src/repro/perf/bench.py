@@ -1,0 +1,229 @@
+"""Micro-benchmark runner for the scheduling kernels.
+
+Times the optimized greedy/executor/matching kernels against the frozen
+seed implementations (:mod:`repro.perf.reference`) on deterministic
+mixed-workload instances, and writes the machine-readable
+``BENCH_core.json`` that records the perf trajectory across PRs.
+
+Invoke as ``python -m repro.cli bench`` (``--smoke`` for a seconds-long
+CI variant).  Matching is excluded above ``matching_max_p`` — its
+``O(P^4)`` round extraction is not a P=256 kernel, which is exactly why
+the scale study leans on greedy + open shop there.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import time
+from typing import Any, Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.greedy import greedy_orders, greedy_steps, schedule_greedy
+from repro.core.matching import matching_rounds
+from repro.core.openshop import schedule_openshop
+from repro.core.problem import TotalExchangeProblem
+from repro.directory.service import DirectorySnapshot
+from repro.model.messages import MixedSizes
+from repro.network.generators import random_pairwise_parameters
+from repro.perf import reference
+from repro.perf.timer import KernelTimer
+from repro.sim.engine import execute_orders_on_cost, execute_steps_strict
+from repro.util.rng import stable_seed, to_rng
+
+#: The ISSUE's scale ladder: the paper's P=50, the seed repo's P=100
+#: headroom point, and the new P=256 target.
+DEFAULT_PROC_COUNTS: Tuple[int, ...] = (50, 100, 256)
+
+#: Small sizes for the CI smoke run.
+SMOKE_PROC_COUNTS: Tuple[int, ...] = (16, 32)
+
+#: Kernel name -> its seed-reference counterpart in the timing tables.
+REFERENCE_OF: Dict[str, str] = {
+    "greedy_steps": "greedy_steps_reference",
+    "greedy_end_to_end": "greedy_end_to_end_reference",
+    "execute_orders": "execute_orders_reference",
+    "execute_steps_strict": "execute_steps_strict_reference",
+}
+
+PathLike = Union[str, pathlib.Path]
+
+
+def bench_instance(num_procs: int, *, seed: int = 0) -> TotalExchangeProblem:
+    """The deterministic mixed-workload instance benched at ``num_procs``."""
+    rng = to_rng(stable_seed("bench", seed, num_procs))
+    latency, bandwidth = random_pairwise_parameters(num_procs, rng=rng)
+    snapshot = DirectorySnapshot(latency=latency, bandwidth=bandwidth)
+    return TotalExchangeProblem.from_snapshot(snapshot, MixedSizes(), rng=rng)
+
+
+def _bench_one_size(
+    num_procs: int,
+    *,
+    repeats: int,
+    include_reference: bool,
+    matching_max_p: int,
+    seed: int,
+) -> KernelTimer:
+    problem = bench_instance(num_procs, seed=seed)
+    cost = problem.cost
+    timer = KernelTimer(repeats=repeats)
+
+    steps = timer.time("greedy_steps", greedy_steps, cost)
+    orders = greedy_orders(problem)
+    timer.time(
+        "execute_orders", execute_orders_on_cost, cost, orders,
+        sizes=problem.sizes,
+    )
+    timer.time(
+        "execute_steps_strict", execute_steps_strict, cost, steps,
+        sizes=problem.sizes,
+    )
+    timer.time("greedy_end_to_end", schedule_greedy, problem)
+    timer.time("openshop", schedule_openshop, problem)
+    if num_procs <= matching_max_p:
+        timer.time("matching_rounds_scipy", matching_rounds, cost)
+
+    if include_reference:
+        timer.time(
+            "greedy_steps_reference", reference.greedy_steps_reference, cost
+        )
+        timer.time(
+            "execute_orders_reference",
+            reference.execute_orders_on_cost_reference,
+            cost,
+            orders,
+            sizes=problem.sizes,
+        )
+        timer.time(
+            "execute_steps_strict_reference",
+            reference.execute_steps_strict_reference,
+            cost,
+            steps,
+            sizes=problem.sizes,
+        )
+        timer.time(
+            "greedy_end_to_end_reference",
+            reference.schedule_greedy_reference,
+            problem,
+        )
+    return timer
+
+
+def run_bench(
+    proc_counts: Optional[Sequence[int]] = None,
+    *,
+    repeats: int = 3,
+    smoke: bool = False,
+    include_reference: bool = True,
+    matching_max_p: int = 100,
+    seed: int = 0,
+    output: Optional[PathLike] = None,
+) -> Dict[str, Any]:
+    """Run the kernel benchmarks and return (and optionally write) results.
+
+    ``smoke`` swaps in tiny sizes and a single repeat so CI can exercise
+    the whole path in seconds.  With ``output``, the result is written as
+    JSON (``BENCH_core.json`` at the repo root by convention).
+    """
+    if smoke:
+        proc_counts = SMOKE_PROC_COUNTS if proc_counts is None else proc_counts
+        repeats = 1
+    elif proc_counts is None:
+        proc_counts = DEFAULT_PROC_COUNTS
+
+    kernels: Dict[str, Dict[str, Any]] = {}
+    speedups: Dict[str, Dict[str, float]] = {}
+    for num_procs in proc_counts:
+        timer = _bench_one_size(
+            int(num_procs),
+            repeats=repeats,
+            include_reference=include_reference,
+            matching_max_p=matching_max_p,
+            seed=seed,
+        )
+        kernels[str(num_procs)] = timer.summary()
+        per_p = {}
+        for name, ref_name in REFERENCE_OF.items():
+            if name in timer.timings and ref_name in timer.timings:
+                per_p[name] = timer.speedup(ref_name, name)
+        if per_p:
+            speedups[str(num_procs)] = per_p
+
+    result: Dict[str, Any] = {
+        "meta": {
+            "generated_by": "repro.perf.bench",
+            "timestamp": time.time(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "proc_counts": [int(p) for p in proc_counts],
+            "repeats": repeats,
+            "smoke": smoke,
+            "seed": seed,
+            "workload": "mixed (1 kB / 1 MB)",
+        },
+        "kernels": kernels,
+        "speedups_vs_reference": speedups,
+    }
+    if output is not None:
+        write_bench_json(result, output)
+    return result
+
+
+def write_bench_json(result: Dict[str, Any], path: PathLike) -> pathlib.Path:
+    """Write a bench result as pretty-printed JSON."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def update_bench_json(
+    section: str, payload: Dict[str, Any], path: PathLike
+) -> pathlib.Path:
+    """Merge ``payload`` under ``extra[section]`` of an existing bench file.
+
+    Lets external measurements (e.g. the P=256 benchmark scale point)
+    land in the same ``BENCH_core.json`` the bench runner maintains.  A
+    missing or unreadable file starts fresh rather than failing.
+    """
+    path = pathlib.Path(path)
+    data: Dict[str, Any] = {}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+            if isinstance(loaded, dict):
+                data = loaded
+        except (OSError, json.JSONDecodeError):
+            data = {}
+    data.setdefault("extra", {})[section] = payload
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def render_bench(result: Dict[str, Any]) -> str:
+    """Human-readable table of a :func:`run_bench` result."""
+    from repro.util.tables import format_table
+
+    rows = []
+    for p_label, timings in result["kernels"].items():
+        per_p_speedups = result.get("speedups_vs_reference", {}).get(
+            p_label, {}
+        )
+        for name, timing in timings.items():
+            speedup = per_p_speedups.get(name)
+            rows.append([
+                int(p_label),
+                name,
+                timing["best_s"],
+                timing["mean_s"],
+                f"{speedup:.1f}x" if speedup is not None else "-",
+            ])
+    return format_table(
+        ["P", "kernel", "best (s)", "mean (s)", "speedup vs seed"],
+        rows,
+        precision=4,
+        title="repro.perf kernel benchmarks",
+    )

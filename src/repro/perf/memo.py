@@ -1,0 +1,178 @@
+"""Schedule and lower-bound memoization keyed by cost-matrix digest.
+
+Experiment drivers repeatedly rebuild the *same* instances: every
+``(workload, P, trial)`` cell of a sweep is seeded deterministically, so
+re-running a figure, pooling quality stats after a sweep, or measuring
+scheduling overhead recomputes schedules for cost matrices that were
+already solved in this process.  The caches here key on a SHA-256 digest
+of the cost (and size) matrix bytes, so *any* two problems with
+bit-identical matrices share an entry — regardless of how they were
+constructed.
+
+Caches are bounded LRU; hit/miss counters are kept so experiments can
+report how much recomputation they avoided.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.problem import TotalExchangeProblem
+from repro.timing.events import Schedule
+
+
+def cost_digest(cost: np.ndarray, sizes: Optional[np.ndarray] = None) -> str:
+    """Hex digest of a cost matrix (and optional size matrix).
+
+    Shape is folded in so a flattened matrix cannot collide with a
+    differently shaped one with the same bytes.
+    """
+    cost = np.ascontiguousarray(np.asarray(cost, dtype=float))
+    hasher = hashlib.sha256()
+    hasher.update(repr(cost.shape).encode("ascii"))
+    hasher.update(cost.tobytes())
+    if sizes is not None:
+        sizes = np.ascontiguousarray(np.asarray(sizes, dtype=float))
+        hasher.update(b"|sizes|")
+        hasher.update(sizes.tobytes())
+    return hasher.hexdigest()
+
+
+def problem_digest(problem: TotalExchangeProblem) -> str:
+    """Digest of a problem's cost and size matrices."""
+    return cost_digest(problem.cost, problem.sizes)
+
+
+def _scheduler_label(scheduler: Callable, name: Optional[str]) -> str:
+    if name is not None:
+        return name
+    module = getattr(scheduler, "__module__", "?")
+    qualname = getattr(scheduler, "__qualname__", repr(scheduler))
+    return f"{module}.{qualname}"
+
+
+class ScheduleCache:
+    """Bounded LRU cache of ``(problem digest, scheduler) -> Schedule``.
+
+    The scheduler component of the key is its qualified name (or an
+    explicit ``name=``), so two registry schedulers never collide; two
+    *distinct* anonymous callables sharing a qualified name would, so
+    pass ``name=`` when caching ad-hoc lambdas.
+    """
+
+    def __init__(self, maxsize: int = 512):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Tuple[str, str], Schedule]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get_or_compute(
+        self,
+        problem: TotalExchangeProblem,
+        scheduler: Callable[[TotalExchangeProblem], Schedule],
+        *,
+        name: Optional[str] = None,
+    ) -> Schedule:
+        """Return the cached schedule, computing and storing it on a miss."""
+        key = (problem_digest(problem), _scheduler_label(scheduler, name))
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return cached
+        self.misses += 1
+        schedule = scheduler(problem)
+        self._entries[key] = schedule
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return schedule
+
+    def put(
+        self,
+        problem: TotalExchangeProblem,
+        scheduler: Callable[[TotalExchangeProblem], Schedule],
+        schedule: Schedule,
+        *,
+        name: Optional[str] = None,
+    ) -> None:
+        """Seed the cache with an already-computed schedule.
+
+        Lets callers that had to run a scheduler anyway (e.g. while
+        timing it) donate the result, so a later cached call is a hit
+        instead of a recomputation.
+        """
+        key = (problem_digest(problem), _scheduler_label(scheduler, name))
+        self._entries[key] = schedule
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def wrap(
+        self,
+        scheduler: Callable[[TotalExchangeProblem], Schedule],
+        *,
+        name: Optional[str] = None,
+    ) -> Callable[[TotalExchangeProblem], Schedule]:
+        """A drop-in scheduler that answers from this cache."""
+
+        def cached_scheduler(problem: TotalExchangeProblem) -> Schedule:
+            return self.get_or_compute(problem, scheduler, name=name)
+
+        cached_scheduler.__name__ = getattr(
+            scheduler, "__name__", "scheduler"
+        ) + "_cached"
+        return cached_scheduler
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+        }
+
+
+#: Process-wide default cache used by the experiment drivers.
+_DEFAULT_CACHE = ScheduleCache()
+
+#: Digest -> lower bound, bounded like the schedule cache.
+_LB_CACHE: "OrderedDict[str, float]" = OrderedDict()
+_LB_MAXSIZE = 4096
+
+
+def default_schedule_cache() -> ScheduleCache:
+    """The process-wide schedule cache shared by experiment drivers."""
+    return _DEFAULT_CACHE
+
+
+def lower_bound_cached(problem: TotalExchangeProblem) -> float:
+    """``problem.lower_bound()`` memoized by cost-matrix digest."""
+    key = cost_digest(problem.cost)
+    cached = _LB_CACHE.get(key)
+    if cached is not None:
+        _LB_CACHE.move_to_end(key)
+        return cached
+    value = problem.lower_bound()
+    _LB_CACHE[key] = value
+    if len(_LB_CACHE) > _LB_MAXSIZE:
+        _LB_CACHE.popitem(last=False)
+    return value

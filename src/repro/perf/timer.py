@@ -1,0 +1,107 @@
+"""Wall-clock timing of scheduling kernels.
+
+:class:`KernelTimer` is deliberately tiny: best-of-N ``perf_counter``
+timing with named results, enough for the bench runner and for
+experiments that need to report scheduling cost next to simulated
+communication time.  It has no dependencies beyond the standard library
+so it can wrap any callable in the code base.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, Tuple
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Timing record for one named kernel.
+
+    ``best`` is the minimum over repeats (the conventional micro-benchmark
+    statistic: least interference from the rest of the machine); ``mean``
+    is the average, kept because schedulers invoked once per adaptation
+    step experience the mean, not the best.
+    """
+
+    name: str
+    repeats: int
+    best: float
+    mean: float
+    times: Tuple[float, ...]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "best_s": self.best,
+            "mean_s": self.mean,
+            "repeats": self.repeats,
+        }
+
+
+class KernelTimer:
+    """Best-of-N wall-clock timer with named, accumulated results.
+
+    >>> timer = KernelTimer(repeats=3)
+    >>> result = timer.time("square", lambda x: x * x, 21)
+    >>> result
+    441
+    >>> timer.timings["square"].repeats
+    3
+    """
+
+    def __init__(self, repeats: int = 3):
+        if repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {repeats}")
+        self.repeats = repeats
+        #: name -> :class:`KernelTiming`, in insertion order.
+        self.timings: Dict[str, KernelTiming] = {}
+
+    def time(
+        self,
+        name: str,
+        func: Callable[..., Any],
+        *args: Any,
+        repeats: int | None = None,
+        **kwargs: Any,
+    ) -> Any:
+        """Time ``func(*args, **kwargs)`` and return its (last) result."""
+        reps = self.repeats if repeats is None else repeats
+        if reps < 1:
+            raise ValueError(f"repeats must be >= 1, got {reps}")
+        times = []
+        result = None
+        for _ in range(reps):
+            start = time.perf_counter()
+            result = func(*args, **kwargs)
+            times.append(time.perf_counter() - start)
+        self.timings[name] = KernelTiming(
+            name=name,
+            repeats=reps,
+            best=min(times),
+            mean=sum(times) / len(times),
+            times=tuple(times),
+        )
+        return result
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block once under ``name``."""
+        start = time.perf_counter()
+        yield
+        elapsed = time.perf_counter() - start
+        self.timings[name] = KernelTiming(
+            name=name, repeats=1, best=elapsed, mean=elapsed, times=(elapsed,)
+        )
+
+    def speedup(self, reference: str, optimized: str) -> float:
+        """Best-time ratio ``reference / optimized`` (>1 means faster)."""
+        ref = self.timings[reference]
+        opt = self.timings[optimized]
+        if opt.best <= 0:
+            return float("inf")
+        return ref.best / opt.best
+
+    def summary(self) -> Dict[str, Dict[str, Any]]:
+        """JSON-friendly ``{name: {best_s, mean_s, repeats}}`` mapping."""
+        return {name: t.as_dict() for name, t in self.timings.items()}

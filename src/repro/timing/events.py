@@ -75,6 +75,16 @@ class Schedule:
 
     Instances are immutable; the event tuple is stored sorted so equal
     schedules compare equal regardless of construction order.
+
+    Schedules built by the trusted constructors
+    (:func:`schedule_from_sorted_fields`, :func:`schedule_from_columns`)
+    hold their event data in raw form and materialise the
+    :class:`CommEvent` tuple only when ``events`` is first read.  All
+    behaviour is unchanged — equality, iteration, hashing and every
+    accessor see the same tuple — but makespan-style consumers
+    (:attr:`completion_time`, ``len``) read the raw form directly, so a
+    sweep that only scores schedules never pays the per-event object
+    cost.
     """
 
     num_procs: int
@@ -92,6 +102,21 @@ class Schedule:
                 )
         object.__setattr__(self, "events", events)
 
+    def __getattr__(self, name: str):
+        # Only ever reached for attributes missing from the instance
+        # dict — i.e. ``events`` on a lazily-constructed schedule.
+        if name == "events":
+            pending = self.__dict__.get("_pending")
+            if pending is not None:
+                events = _materialize_events(pending)
+                d = self.__dict__
+                d["events"] = events
+                d.pop("_pending", None)
+                return events
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
     @classmethod
     def from_events(
         cls, num_procs: int, events: Iterable[CommEvent]
@@ -103,11 +128,28 @@ class Schedule:
         return iter(self.events)
 
     def __len__(self) -> int:
+        pending = self.__dict__.get("_pending")
+        if pending is not None:
+            return len(pending[1][0]) if pending[0] == "columns" else len(
+                pending[1]
+            )
         return len(self.events)
 
     @property
     def completion_time(self) -> float:
         """Makespan: finish time of the last event (0 for an empty schedule)."""
+        pending = self.__dict__.get("_pending")
+        if pending is not None:
+            kind, data = pending
+            if kind == "columns":
+                starts, _, _, durations, _ = data
+                if len(starts) == 0:
+                    return 0.0
+                return float(np.max(starts + durations))
+            return max(
+                (start + duration for start, _, _, duration, _ in data),
+                default=0.0,
+            )
         return max((event.finish for event in self.events), default=0.0)
 
     def sender_events(self, src: int) -> List[CommEvent]:
@@ -190,6 +232,89 @@ class Schedule:
         return Schedule.from_events(
             self.num_procs, (e for e in self.events if e.duration > 0)
         )
+
+
+def _materialize_events(pending) -> Tuple[CommEvent, ...]:
+    """Build the event tuple of a lazily-constructed schedule.
+
+    ``pending`` is ``("fields", [(start, src, dst, duration, size), ...])``
+    (presorted tuples) or ``("columns", (starts, srcs, dsts, durations,
+    sizes))`` (presorted parallel numpy arrays).  Events are built by
+    populating the instance dict directly: the frozen-dataclass
+    ``__setattr__`` and per-field validation are bypassed by the trusted
+    constructors' contract.
+    """
+    kind, data = pending
+    if kind == "columns":
+        starts, srcs, dsts, durations, sizes = data
+        rows = zip(
+            starts.tolist(), srcs.tolist(), dsts.tolist(),
+            durations.tolist(), sizes.tolist(),
+        )
+    else:
+        rows = data
+    new = object.__new__
+    events = []
+    append = events.append
+    for start, src, dst, duration, size in rows:
+        event = new(CommEvent)
+        d = event.__dict__
+        d["start"] = start
+        d["src"] = src
+        d["dst"] = dst
+        d["duration"] = duration
+        d["size"] = size
+        append(event)
+    return tuple(events)
+
+
+def schedule_from_sorted_fields(
+    num_procs: int, fields: Sequence[Tuple]
+) -> Schedule:
+    """Trusted lazy construction from presorted event field tuples.
+
+    ``fields`` holds ``(start, src, dst, duration, size)`` tuples — the
+    exact field order of :class:`CommEvent`, so tuple lexicographic order
+    equals event order.  The executors in :mod:`repro.sim.engine` emit
+    tens of thousands of events per schedule at ``P >= 256``; going
+    through the dataclass constructor and re-sorting inside
+    :class:`Schedule` dominates their runtime, so this path defers event
+    construction until ``events`` is first read.
+
+    Caller contract (checked only by the golden-equivalence tests, not
+    here): tuples are sorted ascending, indices lie in
+    ``[0, num_procs)``, and starts/durations are non-negative.  Anything
+    else produces a schedule that violates the class invariants.
+    """
+    schedule = object.__new__(Schedule)
+    d = schedule.__dict__
+    d["num_procs"] = num_procs
+    d["_pending"] = ("fields", fields)
+    return schedule
+
+
+def schedule_from_columns(
+    num_procs: int,
+    starts: np.ndarray,
+    srcs: np.ndarray,
+    dsts: np.ndarray,
+    durations: np.ndarray,
+    sizes: np.ndarray,
+) -> Schedule:
+    """Trusted lazy construction from presorted parallel event columns.
+
+    Same contract as :func:`schedule_from_sorted_fields`, but the event
+    data arrives as numpy arrays already ordered by ``(start, src,
+    dst)``.  The step executors build these columns without any
+    per-event Python work; makespan queries then run vectorized on the
+    columns, and :class:`CommEvent` objects exist only if somebody
+    inspects the schedule event by event.
+    """
+    schedule = object.__new__(Schedule)
+    d = schedule.__dict__
+    d["num_procs"] = num_procs
+    d["_pending"] = ("columns", (starts, srcs, dsts, durations, sizes))
+    return schedule
 
 
 def merge_schedules(

@@ -15,6 +15,8 @@ EXAMPLES = sorted(
 def test_example_runs(path, capsys, monkeypatch):
     # examples import siblings via their own directory
     monkeypatch.syspath_prepend(str(path.parent))
+    # examples parse sys.argv (e.g. an output dir); don't leak pytest's
+    monkeypatch.setattr(sys, "argv", [str(path)])
     runpy.run_path(str(path), run_name="__main__")
     out = capsys.readouterr().out
     assert len(out) > 100  # produced a real report

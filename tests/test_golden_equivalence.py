@@ -1,0 +1,172 @@
+"""Golden-equivalence tests: optimized kernels == frozen seed kernels.
+
+The perf rewrite of the greedy composition, the executors, and the
+matching backend must be *invisible* except for speed.  These tests pin
+every optimized kernel to the seed implementations preserved verbatim in
+:mod:`repro.perf.reference`, comparing whole :class:`Schedule` objects
+(CommEvent-by-CommEvent equality) across processor counts, seeds, and
+zero-cost densities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.greedy import greedy_orders, greedy_steps, schedule_greedy
+from repro.core.matching import matching_rounds, schedule_matching
+from repro.core.problem import TotalExchangeProblem, tight_baseline_instance
+from repro.experiments.harness import run_sweep
+from repro.model.messages import UniformSizes
+from repro.perf import reference
+from repro.sim.engine import (
+    execute_orders_on_cost,
+    execute_steps_barrier,
+    execute_steps_strict,
+)
+from tests.conftest import random_problem
+
+PROC_COUNTS = (2, 3, 8, 17, 50)
+SEEDS = (0, 1, 2)
+
+
+def _sized_problem(num_procs: int, seed: int, zero_fraction: float = 0.0):
+    problem = random_problem(
+        num_procs, seed=seed, zero_fraction=zero_fraction
+    )
+    rng = np.random.default_rng(seed + 1)
+    sizes = rng.uniform(1e3, 1e6, size=problem.cost.shape)
+    sizes[problem.cost == 0] = 0.0
+    return TotalExchangeProblem(cost=problem.cost, sizes=sizes)
+
+
+@pytest.mark.parametrize("num_procs", PROC_COUNTS)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_greedy_chain_matches_seed(num_procs, seed):
+    problem = _sized_problem(num_procs, seed)
+    assert greedy_steps(problem.cost) == reference.greedy_steps_reference(
+        problem.cost
+    )
+    assert greedy_orders(problem) == reference.greedy_orders_reference(
+        problem
+    )
+    assert schedule_greedy(problem) == reference.schedule_greedy_reference(
+        problem
+    )
+
+
+@pytest.mark.parametrize("num_procs", (3, 8, 17))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_greedy_chain_matches_seed_with_free_messages(num_procs, seed):
+    problem = _sized_problem(num_procs, seed, zero_fraction=0.3)
+    assert greedy_steps(problem.cost) == reference.greedy_steps_reference(
+        problem.cost
+    )
+    assert greedy_orders(problem) == reference.greedy_orders_reference(
+        problem
+    )
+    assert schedule_greedy(problem) == reference.schedule_greedy_reference(
+        problem
+    )
+
+
+@pytest.mark.parametrize("num_procs", PROC_COUNTS)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_order_executor_matches_seed(num_procs, seed):
+    problem = _sized_problem(num_procs, seed, zero_fraction=0.2)
+    orders = greedy_orders(problem)
+    fast = execute_orders_on_cost(
+        problem.cost, orders, sizes=problem.sizes
+    )
+    slow = reference.execute_orders_on_cost_reference(
+        problem.cost, orders, sizes=problem.sizes
+    )
+    assert fast == slow
+
+
+@pytest.mark.parametrize("num_procs", PROC_COUNTS)
+@pytest.mark.parametrize("seed", (0, 1))
+def test_step_executors_match_seed(num_procs, seed):
+    problem = _sized_problem(num_procs, seed, zero_fraction=0.2)
+    steps = greedy_steps(problem.cost)
+    assert execute_steps_strict(
+        problem.cost, steps, sizes=problem.sizes
+    ) == reference.execute_steps_strict_reference(
+        problem.cost, steps, sizes=problem.sizes
+    )
+    assert execute_steps_barrier(
+        problem.cost, steps, sizes=problem.sizes
+    ) == reference.execute_steps_barrier_reference(
+        problem.cost, steps, sizes=problem.sizes
+    )
+
+
+@pytest.mark.parametrize("num_procs", (2, 3, 8, 17))
+@pytest.mark.parametrize("backend", ("scipy", "networkx"))
+def test_matching_rounds_match_seed(num_procs, backend):
+    problem = _sized_problem(num_procs, seed=0)
+    ours = matching_rounds(problem.cost, backend=backend)
+    seed_rounds = reference.matching_rounds_reference(
+        problem.cost, backend=backend
+    )
+    assert len(ours) == len(seed_rounds)
+    for a, b in zip(ours, seed_rounds):
+        assert (a == b).all()
+
+
+def test_matching_schedule_matches_seed_executor():
+    problem = _sized_problem(8, seed=2)
+    rounds = matching_rounds(problem.cost)
+    steps = [
+        [(src, int(dst)) for src, dst in enumerate(perm)] for perm in rounds
+    ]
+    assert schedule_matching(problem) == (
+        reference.execute_steps_strict_reference(
+            problem.cost, steps, sizes=problem.sizes
+        )
+    )
+
+
+def test_adversarial_self_message_instance_matches_seed():
+    problem = tight_baseline_instance()
+    assert schedule_greedy(problem) == reference.schedule_greedy_reference(
+        problem
+    )
+    steps = greedy_steps(problem.cost)
+    assert execute_steps_barrier(
+        problem.cost, steps, sizes=problem.sizes
+    ) == reference.execute_steps_barrier_reference(
+        problem.cost, steps, sizes=problem.sizes
+    )
+
+
+def test_lazy_schedule_behaves_like_eager():
+    problem = _sized_problem(17, seed=0)
+    lazy = schedule_greedy(problem)
+    eager = reference.schedule_greedy_reference(problem)
+    # Makespan and len read the raw columns before materialization...
+    assert lazy.completion_time == eager.completion_time
+    assert len(lazy) == len(eager)
+    # ...and full event access materializes identical objects.
+    assert lazy.events == eager.events
+    assert lazy == eager
+    assert hash(lazy) == hash(eager)
+    assert lazy.send_orders() == eager.send_orders()
+
+
+def test_parallel_sweep_is_bit_identical_to_serial():
+    kwargs = dict(proc_counts=(4, 6), trials=2, seed=5)
+    serial = run_sweep("determinism", UniformSizes(1e4), **kwargs)
+    parallel = run_sweep(
+        "determinism", UniformSizes(1e4), workers=2, **kwargs
+    )
+    assert parallel == serial
+
+
+def test_memoized_sweep_is_bit_identical_to_plain():
+    kwargs = dict(proc_counts=(4, 5), trials=2, seed=9)
+    plain = run_sweep("memo", UniformSizes(1e4), **kwargs)
+    first = run_sweep("memo", UniformSizes(1e4), memoize=True, **kwargs)
+    again = run_sweep("memo", UniformSizes(1e4), memoize=True, **kwargs)
+    assert first == plain
+    assert again == plain
