@@ -2,9 +2,10 @@
 
 Asserts the figures' defining *slopes* (the baseline degrades with P,
 the adaptive algorithms stay flat) and stress-runs the whole pipeline
-at P = 100 — twice the paper's largest system — and at P = 256 (greedy
-and open shop only: the matching scheduler's ``O(P^4)`` round
-extraction is not a P=256 kernel) to show the library's headroom.
+at P = 100 — twice the paper's largest system — then climbs the scale
+ladder at P = 256 and P = 1024 (greedy and open shop only: the matching
+scheduler's ``O(P^4)`` round extraction is not a kernel for those
+sizes) to show the library's headroom.
 """
 
 import pathlib
@@ -136,3 +137,55 @@ def test_scale_p256(report, benchmark):
     # The fast kernels make P=256 interactive: greedy composes and
     # prices its schedule in single-digit seconds even on slow machines.
     assert results["greedy"][1] < 10.0
+
+
+def test_scale_p1024(report, benchmark):
+    """The top of the scale ladder: P=1024, over a million messages.
+
+    The seed open shop kernel needed minutes per schedule here; the
+    vectorised kernel keeps the whole quality/latency table inside the
+    bench budget.  Same scheduler set as P=256 — greedy and open shop
+    are the algorithms a run-time system would reach for at this scale,
+    with the baseline kept for the quality comparison.
+    """
+    from repro.perf.bench import bench_instance, update_bench_json
+
+    def run():
+        problem = bench_instance(1024)
+        lb = problem.lower_bound()
+        out = {}
+        for name in ("baseline", "greedy", "openshop"):
+            start = time.perf_counter()
+            schedule = repro.get_scheduler(name)(problem)
+            ratio = schedule.completion_time / lb
+            seconds = time.perf_counter() - start
+            repro.check_schedule(schedule, problem.cost)
+            out[name] = (ratio, seconds)
+        return out
+
+    results = run_once(benchmark, run)
+    report(
+        "scale_p1024",
+        format_table(
+            ["algorithm", "ratio to LB at P=1024", "schedule+makespan (s)"],
+            [[name, ratio, seconds]
+             for name, (ratio, seconds) in results.items()],
+            precision=3,
+            title="S5e: 1024-processor mixed-workload exchange "
+                  "(1,047,552 messages)",
+        ),
+    )
+    update_bench_json(
+        "scale_p1024",
+        {
+            name: {"ratio_to_lb": ratio, "seconds": seconds}
+            for name, (ratio, seconds) in results.items()
+        },
+        REPO_ROOT / "BENCH_core.json",
+    )
+    # Quality holds at 20x the paper's system size...
+    assert results["openshop"][0] <= 2.0
+    assert results["greedy"][0] < results["baseline"][0]
+    # ...and the vectorised kernel keeps open shop inside a minute where
+    # the seed scan needed minutes (see docs/performance.md).
+    assert results["openshop"][1] < 60.0

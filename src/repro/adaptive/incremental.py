@@ -96,6 +96,13 @@ def refine_orders(
     initial_time = evaluate(current)
     best_time = initial_time
 
+    # Every candidate differs from `current` in exactly one sender row, so
+    # both passes mutate `current` in place and undo rejected moves instead
+    # of deep-copying all P rows per evaluation (the seed behaviour, an
+    # O(P^2) copy per candidate that dominated refinement at scale).  The
+    # accept/reject decisions, and therefore the result, are unchanged —
+    # tests/test_golden_equivalence.py pins this against the seed logic.
+
     # Pass 1: re-sort affected senders longest-first under the new costs.
     if old_problem is not None:
         affected = {src for src, _ in changed_pairs(old_problem, new_problem)}
@@ -103,30 +110,27 @@ def refine_orders(
         affected = set(range(new_problem.num_procs))
     cost = new_problem.cost
     for src in sorted(affected):
-        candidate = [list(sender) for sender in current]
-        candidate[src] = sorted(
-            current[src], key=lambda dst: (-cost[src, dst], dst)
-        )
-        time = evaluate(candidate)
+        old_row = current[src]
+        current[src] = sorted(old_row, key=lambda dst: (-cost[src, dst], dst))
+        time = evaluate(current)
         if time < best_time:
             best_time = time
-            current = candidate
+        else:
+            current[src] = old_row
 
     # Pass 2+: first-improvement adjacent swaps.
     for _ in range(max_passes):
         improved = False
         for src in range(new_problem.num_procs):
-            for k in range(len(current[src]) - 1):
-                candidate = [list(sender) for sender in current]
-                candidate[src][k], candidate[src][k + 1] = (
-                    candidate[src][k + 1],
-                    candidate[src][k],
-                )
-                time = evaluate(candidate)
+            row = current[src]
+            for k in range(len(row) - 1):
+                row[k], row[k + 1] = row[k + 1], row[k]
+                time = evaluate(current)
                 if time < best_time - 1e-12:
                     best_time = time
-                    current = candidate
                     improved = True
+                else:
+                    row[k], row[k + 1] = row[k + 1], row[k]
         if not improved:
             break
 

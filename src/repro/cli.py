@@ -319,13 +319,28 @@ def _cmd_claims(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.perf.bench import render_bench, run_bench
+    from repro.perf.bench import (
+        DEFAULT_MATCHING_MAX_P,
+        DEFAULT_REFERENCE_MAX_P,
+        render_bench,
+        run_bench,
+    )
 
+    matching_max_p = (
+        DEFAULT_MATCHING_MAX_P if args.matching_max_p is None
+        else args.matching_max_p
+    )
+    reference_max_p = (
+        DEFAULT_REFERENCE_MAX_P if args.reference_max_p is None
+        else args.reference_max_p
+    )
     result = run_bench(
         args.sizes,
         repeats=args.repeats,
         smoke=args.smoke,
         include_reference=not args.no_reference,
+        matching_max_p=matching_max_p,
+        reference_max_p=reference_max_p,
         seed=args.seed,
         output=args.output or None,
     )
@@ -402,10 +417,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument(
         "--sizes", type=int, nargs="+", default=None, metavar="P",
-        help="processor counts to bench (default: 50 100 256)",
+        help="processor counts to bench (default: 50 100 256 512 1024)",
     )
     p_bench.add_argument("--repeats", type=int, default=3)
     p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument(
+        "--matching-max-p", type=int, default=None, metavar="P",
+        help="largest size at which the matching backends are timed",
+    )
+    p_bench.add_argument(
+        "--reference-max-p", type=int, default=None, metavar="P",
+        help="largest size at which the frozen seed kernels are timed",
+    )
     p_bench.add_argument(
         "--smoke", action="store_true",
         help="tiny sizes, one repeat — exercises the whole path in seconds",

@@ -7,8 +7,12 @@ mixed-workload instances, and writes the machine-readable
 
 Invoke as ``python -m repro.cli bench`` (``--smoke`` for a seconds-long
 CI variant).  Matching is excluded above ``matching_max_p`` — its
-``O(P^4)`` round extraction is not a P=256 kernel, which is exactly why
-the scale study leans on greedy + open shop there.
+``O(P^4)`` round extraction is not a P=1024 kernel, which is exactly why
+the scale study leans on greedy + open shop there.  The frozen seed
+kernels stop at ``reference_max_p``: the seed open shop scan alone needs
+tens of seconds per repeat at ``P = 512``, so above the cap only the
+optimized kernels are timed and the speedup column goes blank rather
+than the bench budget exploding.
 """
 
 from __future__ import annotations
@@ -33,9 +37,9 @@ from repro.perf.timer import KernelTimer
 from repro.sim.engine import execute_orders_on_cost, execute_steps_strict
 from repro.util.rng import stable_seed, to_rng
 
-#: The ISSUE's scale ladder: the paper's P=50, the seed repo's P=100
-#: headroom point, and the new P=256 target.
-DEFAULT_PROC_COUNTS: Tuple[int, ...] = (50, 100, 256)
+#: The scale ladder: the paper's P=50, the seed repo's P=100 headroom
+#: point, the PR-1 P=256 target, and the new P=512 / P=1024 tiers.
+DEFAULT_PROC_COUNTS: Tuple[int, ...] = (50, 100, 256, 512, 1024)
 
 #: Small sizes for the CI smoke run.
 SMOKE_PROC_COUNTS: Tuple[int, ...] = (16, 32)
@@ -46,7 +50,16 @@ REFERENCE_OF: Dict[str, str] = {
     "greedy_end_to_end": "greedy_end_to_end_reference",
     "execute_orders": "execute_orders_reference",
     "execute_steps_strict": "execute_steps_strict_reference",
+    "openshop": "openshop_reference",
 }
+
+#: Largest size at which the frozen seed kernels are timed.
+DEFAULT_REFERENCE_MAX_P = 256
+
+#: Largest size at which the matching backends are timed.  The scipy
+#: round extraction alone is ~16 s at P=512; past that the ladder relies
+#: on greedy + open shop.
+DEFAULT_MATCHING_MAX_P = 512
 
 PathLike = Union[str, pathlib.Path]
 
@@ -65,6 +78,7 @@ def _bench_one_size(
     repeats: int,
     include_reference: bool,
     matching_max_p: int,
+    reference_max_p: int,
     seed: int,
 ) -> KernelTimer:
     problem = bench_instance(num_procs, seed=seed)
@@ -84,9 +98,19 @@ def _bench_one_size(
     timer.time("greedy_end_to_end", schedule_greedy, problem)
     timer.time("openshop", schedule_openshop, problem)
     if num_procs <= matching_max_p:
-        timer.time("matching_rounds_scipy", matching_rounds, cost)
+        # One extraction takes tens of seconds per backend at P=512;
+        # a single repeat keeps the tier inside the bench budget.
+        matching_repeats = repeats if num_procs <= 256 else 1
+        timer.time(
+            "matching_rounds_scipy", matching_rounds, cost,
+            repeats=matching_repeats,
+        )
+        timer.time(
+            "matching_rounds_auction", matching_rounds, cost,
+            backend="auction", repeats=matching_repeats,
+        )
 
-    if include_reference:
+    if include_reference and num_procs <= reference_max_p:
         timer.time(
             "greedy_steps_reference", reference.greedy_steps_reference, cost
         )
@@ -109,6 +133,10 @@ def _bench_one_size(
             reference.schedule_greedy_reference,
             problem,
         )
+        timer.time(
+            "openshop_reference", reference.schedule_openshop_reference,
+            problem,
+        )
     return timer
 
 
@@ -118,7 +146,8 @@ def run_bench(
     repeats: int = 3,
     smoke: bool = False,
     include_reference: bool = True,
-    matching_max_p: int = 100,
+    matching_max_p: int = DEFAULT_MATCHING_MAX_P,
+    reference_max_p: int = DEFAULT_REFERENCE_MAX_P,
     seed: int = 0,
     output: Optional[PathLike] = None,
 ) -> Dict[str, Any]:
@@ -142,6 +171,7 @@ def run_bench(
             repeats=repeats,
             include_reference=include_reference,
             matching_max_p=matching_max_p,
+            reference_max_p=reference_max_p,
             seed=seed,
         )
         kernels[str(num_procs)] = timer.summary()
@@ -161,6 +191,8 @@ def run_bench(
             "platform": platform.platform(),
             "proc_counts": [int(p) for p in proc_counts],
             "repeats": repeats,
+            "matching_max_p": matching_max_p,
+            "reference_max_p": reference_max_p,
             "smoke": smoke,
             "seed": seed,
             "workload": "mixed (1 kB / 1 MB)",

@@ -19,7 +19,7 @@ the seed behavior.  Semantics are documented on the live counterparts in
 from __future__ import annotations
 
 import heapq
-from typing import List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 import numpy as np
@@ -241,6 +241,77 @@ def execute_steps_barrier_reference(
                 )
             )
         clock += longest
+    return Schedule.from_events(n, events)
+
+
+# -- core/openshop.py seed kernels ------------------------------------------
+
+
+def openshop_events_reference(
+    cost: np.ndarray,
+    pairs: Iterable[Tuple[int, int]],
+    sendavail: List[float],
+    recvavail: List[float],
+    *,
+    sizes: Optional[np.ndarray] = None,
+) -> List[CommEvent]:
+    """Seed ``openshop_events``: per-event ``min`` scan over a Python set."""
+    n = len(sendavail)
+    recv_sets: List[Set[int]] = [set() for _ in range(n)]
+    for src, dst in pairs:
+        recv_sets[src].add(dst)
+    events: List[CommEvent] = []
+
+    heap = [(sendavail[src], src) for src in range(n) if recv_sets[src]]
+    heapq.heapify(heap)
+
+    while heap:
+        avail, src = heapq.heappop(heap)
+        if avail < sendavail[src] or not recv_sets[src]:
+            continue  # stale entry
+        receivers = recv_sets[src]
+        dst = min(receivers, key=lambda j: (recvavail[j], j))
+        start = max(sendavail[src], recvavail[dst])
+        duration = float(cost[src, dst])
+        finish = start + duration
+        events.append(
+            CommEvent(
+                start=start,
+                src=src,
+                dst=dst,
+                duration=duration,
+                size=float(sizes[src, dst]) if sizes is not None else 0.0,
+            )
+        )
+        sendavail[src] = finish
+        recvavail[dst] = finish
+        receivers.discard(dst)
+        if receivers:
+            heapq.heappush(heap, (finish, src))
+    return events
+
+
+def schedule_openshop_reference(problem: TotalExchangeProblem) -> Schedule:
+    """Seed ``schedule_openshop``: scalar marker loop + eager event build."""
+    cost = problem.cost
+    n = problem.num_procs
+    events: List[CommEvent] = []
+
+    for src in range(n):
+        for dst in range(n):
+            if src != dst and cost[src, dst] == 0:
+                events.append(
+                    CommEvent(start=0.0, src=src, dst=dst, duration=0.0,
+                              size=problem.size_of(src, dst))
+                )
+
+    events += openshop_events_reference(
+        cost,
+        problem.positive_events(),
+        [0.0] * n,
+        [0.0] * n,
+        sizes=problem.sizes,
+    )
     return Schedule.from_events(n, events)
 
 

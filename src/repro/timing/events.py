@@ -238,11 +238,12 @@ def _materialize_events(pending) -> Tuple[CommEvent, ...]:
     """Build the event tuple of a lazily-constructed schedule.
 
     ``pending`` is ``("fields", [(start, src, dst, duration, size), ...])``
-    (presorted tuples) or ``("columns", (starts, srcs, dsts, durations,
-    sizes))`` (presorted parallel numpy arrays).  Events are built by
-    populating the instance dict directly: the frozen-dataclass
-    ``__setattr__`` and per-field validation are bypassed by the trusted
-    constructors' contract.
+    (presorted tuples), ``("unsorted_fields", [...])`` (same tuples in
+    arbitrary order, sorted here on first access), or ``("columns",
+    (starts, srcs, dsts, durations, sizes))`` (presorted parallel numpy
+    arrays).  Events are built by populating the instance dict directly:
+    the frozen-dataclass ``__setattr__`` and per-field validation are
+    bypassed by the trusted constructors' contract.
     """
     kind, data = pending
     if kind == "columns":
@@ -252,6 +253,10 @@ def _materialize_events(pending) -> Tuple[CommEvent, ...]:
             durations.tolist(), sizes.tolist(),
         )
     else:
+        if kind == "unsorted_fields":
+            # Field tuples share CommEvent's field order, so one tuple
+            # sort yields the canonical event order.
+            data.sort()
         rows = data
     new = object.__new__
     events = []
@@ -290,6 +295,23 @@ def schedule_from_sorted_fields(
     d = schedule.__dict__
     d["num_procs"] = num_procs
     d["_pending"] = ("fields", fields)
+    return schedule
+
+
+def schedule_from_fields(num_procs: int, fields: List[Tuple]) -> Schedule:
+    """Trusted lazy construction from *unsorted* event field tuples.
+
+    Same contract as :func:`schedule_from_sorted_fields` except the
+    tuples may arrive in any order: the list is sorted in place when
+    ``events`` is first materialised.  Schedulers that emit events in
+    pick order (open shop) use this so callers that only score the
+    schedule — ``completion_time`` needs one max, not an ordering —
+    never pay for the sort.
+    """
+    schedule = object.__new__(Schedule)
+    d = schedule.__dict__
+    d["num_procs"] = num_procs
+    d["_pending"] = ("unsorted_fields", fields)
     return schedule
 
 

@@ -13,13 +13,16 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.adaptive.incremental import RefineResult, refine_orders
 from repro.core.greedy import greedy_orders, greedy_steps, schedule_greedy
 from repro.core.matching import matching_rounds, schedule_matching
+from repro.core.openshop import openshop_events, schedule_openshop
 from repro.core.problem import TotalExchangeProblem, tight_baseline_instance
 from repro.experiments.harness import run_sweep
 from repro.model.messages import UniformSizes
 from repro.perf import reference
 from repro.sim.engine import (
+    execute_orders,
     execute_orders_on_cost,
     execute_steps_barrier,
     execute_steps_strict,
@@ -28,6 +31,9 @@ from tests.conftest import random_problem
 
 PROC_COUNTS = (2, 3, 8, 17, 50)
 SEEDS = (0, 1, 2)
+
+#: The ISSUE's open shop pin sizes: odd/paper/seed-headroom points.
+OPENSHOP_PROC_COUNTS = (13, 50, 100)
 
 
 def _sized_problem(num_procs: int, seed: int, zero_fraction: float = 0.0):
@@ -152,6 +158,173 @@ def test_lazy_schedule_behaves_like_eager():
     assert lazy == eager
     assert hash(lazy) == hash(eager)
     assert lazy.send_orders() == eager.send_orders()
+
+
+@pytest.mark.parametrize("num_procs", OPENSHOP_PROC_COUNTS)
+@pytest.mark.parametrize("seed", (0, 1))
+def test_openshop_events_match_seed(num_procs, seed):
+    problem = _sized_problem(num_procs, seed)
+    pairs = list(problem.positive_events())
+    fast_send = [0.0] * num_procs
+    fast_recv = [0.0] * num_procs
+    slow_send = [0.0] * num_procs
+    slow_recv = [0.0] * num_procs
+    fast = openshop_events(
+        problem.cost, pairs, fast_send, fast_recv, sizes=problem.sizes
+    )
+    slow = reference.openshop_events_reference(
+        problem.cost, pairs, slow_send, slow_recv, sizes=problem.sizes
+    )
+    # Event-by-event identity in pick order, and the in-place availability
+    # mutation (the warm-start contract) must land on the same state.
+    assert fast == slow
+    assert fast_send == slow_send
+    assert fast_recv == slow_recv
+
+
+@pytest.mark.parametrize("num_procs", OPENSHOP_PROC_COUNTS)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_openshop_events_match_seed_from_warm_state(num_procs, seed):
+    # Warm-start entry: ports already busy at staggered times and only a
+    # subset of pairs left, as checkpoint rescheduling hands the kernel.
+    problem = _sized_problem(num_procs, seed)
+    rng = np.random.default_rng(seed + 17)
+    all_pairs = list(problem.positive_events())
+    keep = rng.random(len(all_pairs)) < 0.4
+    pairs = [pair for pair, kept in zip(all_pairs, keep) if kept]
+    sendavail = rng.uniform(0.0, 5e-3, size=num_procs).tolist()
+    recvavail = rng.uniform(0.0, 5e-3, size=num_procs).tolist()
+    fast_send, fast_recv = list(sendavail), list(recvavail)
+    slow_send, slow_recv = list(sendavail), list(recvavail)
+    fast = openshop_events(
+        problem.cost, pairs, fast_send, fast_recv, sizes=problem.sizes
+    )
+    slow = reference.openshop_events_reference(
+        problem.cost, pairs, slow_send, slow_recv, sizes=problem.sizes
+    )
+    assert fast == slow
+    assert fast_send == slow_send
+    assert fast_recv == slow_recv
+
+
+@pytest.mark.parametrize("num_procs", OPENSHOP_PROC_COUNTS)
+@pytest.mark.parametrize("zero_fraction", (0.0, 0.3))
+def test_openshop_schedule_matches_seed(num_procs, zero_fraction):
+    # zero_fraction > 0 exercises the vectorised zero-duration marker
+    # path against the seed's scalar double loop.
+    problem = _sized_problem(num_procs, seed=0, zero_fraction=zero_fraction)
+    assert schedule_openshop(problem) == (
+        reference.schedule_openshop_reference(problem)
+    )
+
+
+@pytest.mark.parametrize("num_procs", (1, 2, 7, 33))
+@pytest.mark.parametrize("objective", ("max", "min"))
+def test_auction_rounds_are_optimal_and_partition(num_procs, objective):
+    from scipy.optimize import linear_sum_assignment
+
+    problem = _sized_problem(num_procs, seed=1)
+    cost = problem.cost
+    rounds = matching_rounds(cost, objective=objective, backend="auction")
+    assert len(rounds) == num_procs
+
+    # Partition invariant: the rounds cover all P^2 pairs exactly once.
+    rows = np.arange(num_procs)
+    seen = np.zeros((num_procs, num_procs), dtype=int)
+    for permutation in rounds:
+        seen[rows, permutation] += 1
+    assert (seen == 1).all()
+
+    # Weight equality: per round, the auction permutation must match a
+    # scipy re-solve of the identical masked matrix on matching weight
+    # (the permutations themselves may differ between optimal solutions).
+    weights = cost.copy()
+    penalty = float(cost.max()) * num_procs + 1.0
+    used_value = -penalty if objective == "max" else penalty
+    for permutation in rounds:
+        srow, scol = linear_sum_assignment(
+            weights, maximize=(objective == "max")
+        )
+        optimal_weight = float(weights[srow, scol].sum())
+        auction_weight = float(weights[rows, permutation].sum())
+        assert auction_weight == pytest.approx(optimal_weight, rel=1e-9)
+        weights[rows, permutation] = used_value
+
+
+def _refine_orders_seed(orders, new_problem, *, old_problem=None, max_passes=2):
+    """The seed ``refine_orders``, verbatim: deep-copied candidate per move."""
+    from repro.adaptive.incremental import changed_pairs
+
+    current = [list(sender) for sender in orders]
+    evaluations = 0
+
+    def evaluate(candidate):
+        nonlocal evaluations
+        evaluations += 1
+        return execute_orders(
+            new_problem, candidate, validate=False
+        ).completion_time
+
+    initial_time = evaluate(current)
+    best_time = initial_time
+
+    if old_problem is not None:
+        affected = {src for src, _ in changed_pairs(old_problem, new_problem)}
+    else:
+        affected = set(range(new_problem.num_procs))
+    cost = new_problem.cost
+    for src in sorted(affected):
+        candidate = [list(sender) for sender in current]
+        candidate[src] = sorted(
+            current[src], key=lambda dst: (-cost[src, dst], dst)
+        )
+        time = evaluate(candidate)
+        if time < best_time:
+            best_time = time
+            current = candidate
+
+    for _ in range(max_passes):
+        improved = False
+        for src in range(new_problem.num_procs):
+            for k in range(len(current[src]) - 1):
+                candidate = [list(sender) for sender in current]
+                candidate[src][k], candidate[src][k + 1] = (
+                    candidate[src][k + 1],
+                    candidate[src][k],
+                )
+                time = evaluate(candidate)
+                if time < best_time - 1e-12:
+                    best_time = time
+                    current = candidate
+                    improved = True
+        if not improved:
+            break
+
+    return RefineResult(
+        orders=current,
+        schedule=execute_orders(new_problem, current, validate=False),
+        initial_time=initial_time,
+        evaluations=evaluations,
+    )
+
+
+@pytest.mark.parametrize("seed", (0, 3))
+def test_refine_orders_matches_seed_behaviour(seed):
+    # The in-place swap/undo rewrite must make the same accept/reject
+    # decisions as the seed's copy-per-candidate local search.
+    old_problem = _sized_problem(8, seed)
+    rng = np.random.default_rng(seed + 101)
+    drift = rng.uniform(0.5, 1.5, size=old_problem.cost.shape)
+    new_problem = TotalExchangeProblem(
+        cost=old_problem.cost * drift, sizes=old_problem.sizes
+    )
+    orders = greedy_orders(old_problem)
+    fast = refine_orders(orders, new_problem, old_problem=old_problem)
+    slow = _refine_orders_seed(orders, new_problem, old_problem=old_problem)
+    assert fast.orders == slow.orders
+    assert fast.initial_time == slow.initial_time
+    assert fast.evaluations == slow.evaluations
+    assert fast.schedule == slow.schedule
 
 
 def test_parallel_sweep_is_bit_identical_to_serial():
