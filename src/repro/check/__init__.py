@@ -1,0 +1,60 @@
+"""Correctness harness: differential fuzzing and invariant oracles.
+
+``repro.check`` is the standing validation subsystem every kernel
+rewrite runs against:
+
+* :mod:`repro.check.instances` — seeded adversarial instance families
+  (heterogeneous spreads, near-ties, degenerate shapes);
+* :mod:`repro.check.oracle` — the universal schedule invariant checker
+  (timing-diagram rules, full ``P^2`` coverage, lower bound,
+  per-scheduler guarantees);
+* :mod:`repro.check.differential` — every registered scheduler fuzzed
+  against the frozen seed kernels and the exact solver, with greedy
+  shrinking of failures to minimal reproductions.
+
+Run it via ``python -m repro.cli check``.
+"""
+
+from repro.check.differential import (
+    CheckFailure,
+    CheckReport,
+    DEFAULT_OUT_DIR,
+    bit_equivalence_violations,
+    default_schedulers,
+    render_check,
+    run_check,
+    shrink_failing_instance,
+)
+from repro.check.instances import (
+    FAMILIES,
+    CheckInstance,
+    build_instance,
+    draw_num_procs,
+    generate_instances,
+)
+from repro.check.oracle import (
+    GUARANTEED_BOUNDS,
+    OracleError,
+    check_invariants,
+    oracle_violations,
+)
+
+__all__ = [
+    "CheckFailure",
+    "CheckInstance",
+    "CheckReport",
+    "DEFAULT_OUT_DIR",
+    "FAMILIES",
+    "GUARANTEED_BOUNDS",
+    "OracleError",
+    "bit_equivalence_violations",
+    "build_instance",
+    "check_invariants",
+    "default_schedulers",
+    "draw_num_procs",
+    "generate_instances",
+    "oracle_violations",
+    "render_check",
+    "run_check",
+    "shrink_failing_instance",
+]

@@ -1,0 +1,587 @@
+"""Differential fuzzing of every registered scheduler.
+
+Csmith-style testing for communication schedules: randomized adversarial
+instances (:mod:`repro.check.instances`) flow through every scheduler in
+:mod:`repro.core.registry`, and each result is judged three ways —
+
+1. **invariant oracle** — :mod:`repro.check.oracle` checks the paper's
+   timing-diagram rules on every schedule;
+2. **frozen-reference differential** — the optimized open shop and
+   greedy kernels must stay *bit-equivalent* (event for event,
+   warm-start entry points included) to the seed implementations
+   preserved in :mod:`repro.perf.reference`, and every matching backend
+   must extract the same per-round matching weights;
+3. **exact differential** — for instances the branch-and-bound solver
+   (:mod:`repro.core.exact`) can certify, no heuristic may beat the
+   proven optimum and the optimum may not beat the lower bound.
+
+Any failure is shrunk by greedy event removal — drop processors, zero
+cost entries, simplify values, re-checking the failing probe each step —
+and dumped as a self-contained JSON artifact under
+``benchmarks/results/check_failures/`` so a kernel bug found at ``P =
+12`` lands in the bug report as a hand-readable 3x3 matrix.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.check.instances import CheckInstance, generate_instances
+from repro.check.oracle import oracle_violations
+from repro.core.exact import (
+    MAX_EXACT_PROCS,
+    SearchBudgetExceeded,
+    branch_and_bound,
+)
+from repro.core.matching import _assignment_scipy, matching_rounds
+from repro.core.openshop import openshop_events
+from repro.core.problem import TotalExchangeProblem
+from repro.core.registry import ALL_SCHEDULERS, EXTRA_SCHEDULERS, Scheduler
+from repro.perf.reference import (
+    matching_rounds_reference,
+    openshop_events_reference,
+    schedule_greedy_reference,
+    schedule_openshop_reference,
+)
+from repro.timing.events import Schedule
+from repro.util.rng import stable_seed
+
+#: Where minimized failing instances are dumped.
+DEFAULT_OUT_DIR = "benchmarks/results/check_failures"
+
+#: A probe re-checks one failure mode on a (possibly shrunk) instance.
+Probe = Callable[[TotalExchangeProblem], List[str]]
+
+_EXCLUDED_FROM_FUZZ = ("optimal",)  # the exact solver is the judge, not a subject
+
+
+def default_schedulers() -> Dict[str, Scheduler]:
+    """Every registry scheduler the fuzzer runs (exact solver excluded)."""
+    schedulers: Dict[str, Scheduler] = dict(ALL_SCHEDULERS)
+    for name, scheduler in EXTRA_SCHEDULERS.items():
+        if name not in _EXCLUDED_FROM_FUZZ:
+            schedulers[name] = scheduler
+    return schedulers
+
+
+def _tol(scale: float, atol: float = 1e-9, rtol: float = 1e-9) -> float:
+    return atol + rtol * abs(scale)
+
+
+def _event_fields(events) -> List[Tuple[float, int, int, float, float]]:
+    return sorted(
+        (e.start, e.src, e.dst, e.duration, e.size) for e in events
+    )
+
+
+def bit_equivalence_violations(
+    label: str, live: Schedule, reference: Schedule
+) -> List[str]:
+    """Event-for-event comparison of two schedules (exact floats)."""
+    a = _event_fields(live.events)
+    b = _event_fields(reference.events)
+    if a == b:
+        return []
+    out = [f"{label}: {len(a)} live vs {len(b)} reference events"]
+    for k, (x, y) in enumerate(zip(a, b)):
+        if x != y:
+            out.append(
+                f"{label}: first divergence at event {k}: live="
+                f"{tuple(round(v, 12) if isinstance(v, float) else v for v in x)}"
+                f" reference="
+                f"{tuple(round(v, 12) if isinstance(v, float) else v for v in y)}"
+            )
+            break
+    return out
+
+
+def _oracle_probe(name: str, scheduler: Scheduler) -> Probe:
+    def probe(problem: TotalExchangeProblem) -> List[str]:
+        return oracle_violations(problem, scheduler(problem), scheduler=name)
+
+    return probe
+
+
+def _bit_probe(
+    label: str, live: Scheduler, reference: Scheduler
+) -> Probe:
+    def probe(problem: TotalExchangeProblem) -> List[str]:
+        return bit_equivalence_violations(
+            label, live(problem), reference(problem)
+        )
+
+    return probe
+
+
+def _warm_openshop_probe(seed: int) -> Probe:
+    """Warm-start differential: random port availabilities, both kernels.
+
+    The availabilities are derived from ``(seed, P)`` so the probe stays
+    deterministic while the shrinker changes the processor count.
+    """
+
+    def probe(problem: TotalExchangeProblem) -> List[str]:
+        n = problem.num_procs
+        rng = np.random.default_rng(stable_seed("repro.check.warm", seed, n))
+        send0 = rng.uniform(0.0, 5.0, size=n).tolist()
+        recv0 = rng.uniform(0.0, 5.0, size=n).tolist()
+        pairs = problem.positive_events()
+        live_send, live_recv = list(send0), list(recv0)
+        ref_send, ref_recv = list(send0), list(recv0)
+        live = openshop_events(
+            problem.cost, pairs, live_send, live_recv, sizes=problem.sizes
+        )
+        reference = openshop_events_reference(
+            problem.cost, pairs, ref_send, ref_recv, sizes=problem.sizes
+        )
+        violations = []
+        if _event_fields(live) != _event_fields(reference):
+            violations += bit_equivalence_violations(
+                "openshop warm-start",
+                Schedule.from_events(n, live),
+                Schedule.from_events(n, reference),
+            )
+        if live_send != ref_send or live_recv != ref_recv:
+            violations.append(
+                "openshop warm-start: post-schedule availabilities diverge"
+            )
+        return violations
+
+    return probe
+
+
+def matching_differential_violations(
+    cost: np.ndarray,
+    objective: str,
+    *,
+    backends: Tuple[str, ...] = ("scipy", "auction"),
+) -> List[str]:
+    """Cross-validate the matching backends on one cost matrix.
+
+    Per-round *weights* can legitimately diverge between backends: when a
+    round's optimal matching is not unique, two exact solvers may remove
+    different (equal-weight) edge sets, and the optimal weights of later
+    rounds over the differing residuals then drift apart.  The sound
+    invariants checked here are:
+
+    * each backend's rounds are permutations partitioning all ``P^2``
+      pairs (Hall's-theorem guarantee);
+    * every round of every backend has *optimal weight for that
+      backend's own residual matrix*, judged by re-solving the residual
+      with SciPy's reference solver;
+    * the live scipy path reproduces the frozen seed kernel
+      (:func:`repro.perf.reference.matching_rounds_reference`)
+      round-for-round.
+    """
+    cost = np.asarray(cost, dtype=float)
+    n = cost.shape[0]
+    rows = np.arange(n)
+    maximize = objective == "max"
+    penalty = float(cost.max()) * n + 1.0
+    used_value = -penalty if maximize else penalty
+    violations: List[str] = []
+
+    reference = matching_rounds_reference(
+        cost, objective=objective, backend="scipy"
+    )
+    for backend in backends:
+        rounds = matching_rounds(cost, objective=objective, backend=backend)
+        label = f"matching[{objective}/{backend}]"
+        if len(rounds) != n:
+            violations.append(f"{label}: {len(rounds)} rounds for P={n}")
+            continue
+        if backend == "scipy":
+            for k, (perm, ref_perm) in enumerate(zip(rounds, reference)):
+                if perm.tolist() != ref_perm.tolist():
+                    violations.append(
+                        f"{label}: round {k} diverges from the frozen "
+                        f"seed kernel: {perm.tolist()} != {ref_perm.tolist()}"
+                    )
+                    break
+        seen = set()
+        residual = cost.copy()
+        for k, perm in enumerate(rounds):
+            if sorted(perm.tolist()) != list(range(n)):
+                violations.append(f"{label}: round {k} is not a permutation")
+                break
+            seen.update((src, int(dst)) for src, dst in enumerate(perm))
+            weight = float(residual[rows, perm].sum())
+            judge = _assignment_scipy(residual, objective)
+            optimal = float(residual[rows, judge].sum())
+            if abs(weight - optimal) > _tol(optimal):
+                violations.append(
+                    f"{label}: round {k} weight {weight:.9g} is not "
+                    f"optimal for its residual (reference solver: "
+                    f"{optimal:.9g})"
+                )
+            residual[rows, perm] = used_value
+        if len(seen) != n * n:
+            violations.append(
+                f"{label}: rounds cover {len(seen)} of {n * n} pairs"
+            )
+    return violations
+
+
+def _matching_probe(objective: str) -> Probe:
+    """Backend cross-validation probe (networkx only at small P: slow)."""
+
+    def probe(problem: TotalExchangeProblem) -> List[str]:
+        backends: Tuple[str, ...] = ("scipy", "auction")
+        if problem.num_procs <= 8:
+            backends += ("networkx",)
+        return matching_differential_violations(
+            problem.cost, objective, backends=backends
+        )
+
+    return probe
+
+
+def _exact_probe(
+    schedulers: Dict[str, Scheduler],
+    node_budget: int,
+    counters: Dict[str, int],
+) -> Probe:
+    def probe(problem: TotalExchangeProblem) -> List[str]:
+        if problem.num_procs > MAX_EXACT_PROCS:
+            return []
+        try:
+            result = branch_and_bound(problem, node_budget=node_budget)
+        except SearchBudgetExceeded:
+            counters["exact_skipped"] += 1
+            return []
+        counters["exact_checked"] += 1
+        optimum = result.completion_time
+        lb = problem.lower_bound()
+        violations: List[str] = []
+        if optimum < lb - _tol(lb):
+            violations.append(
+                f"exact: proven optimum {optimum:.9g} beats the lower "
+                f"bound {lb:.9g}"
+            )
+        violations += [
+            f"exact: {v}"
+            for v in oracle_violations(problem, result.schedule)
+        ]
+        for name, scheduler in sorted(schedulers.items()):
+            completion = scheduler(problem).completion_time
+            if completion < optimum - _tol(optimum):
+                violations.append(
+                    f"exact: {name} completion {completion:.9g} beats the "
+                    f"proven optimum {optimum:.9g}"
+                )
+        return violations
+
+    return probe
+
+
+def _safe(probe: Probe, problem: TotalExchangeProblem) -> List[str]:
+    try:
+        return probe(problem)
+    except Exception as exc:  # the fuzzer must survive any kernel crash
+        return [f"exception: {type(exc).__name__}: {exc}"]
+
+
+def _round_to_one_digit(value: float) -> float:
+    return float(np.format_float_scientific(value, precision=0))
+
+
+def shrink_failing_instance(
+    problem: TotalExchangeProblem,
+    failing: Callable[[TotalExchangeProblem], bool],
+    *,
+    max_evals: int = 400,
+) -> TotalExchangeProblem:
+    """Greedy event-removal minimization of a failing instance.
+
+    Repeatedly tries, in order: dropping a processor (row and column),
+    zeroing a positive entry (largest first — removing the event
+    outright), and rounding an entry to one significant digit.  A step
+    is kept only when ``failing`` still holds, so the result provokes
+    the *same* probe failure with as few processors and events as the
+    budget allows.
+    """
+    current = problem
+    evals = 0
+
+    def attempt(cost: np.ndarray) -> bool:
+        nonlocal current, evals
+        evals += 1
+        candidate = TotalExchangeProblem(cost=cost)
+        if failing(candidate):
+            current = candidate
+            return True
+        return False
+
+    progress = True
+    while progress and evals < max_evals:
+        progress = False
+        n = current.num_procs
+        if n > 1:
+            for drop in range(n):
+                cost = np.delete(
+                    np.delete(current.cost, drop, axis=0), drop, axis=1
+                )
+                if attempt(cost):
+                    progress = True
+                    break
+            if progress:
+                continue
+        positive = sorted(
+            map(tuple, np.argwhere(current.cost > 0).tolist()),
+            key=lambda ij: (-current.cost[ij], ij),
+        )
+        for src, dst in positive:
+            cost = current.cost.copy()
+            cost[src, dst] = 0.0
+            if attempt(cost):
+                progress = True
+                break
+        if progress:
+            continue
+        for src, dst in positive:
+            rounded = _round_to_one_digit(float(current.cost[src, dst]))
+            if rounded == current.cost[src, dst] or rounded <= 0:
+                continue
+            cost = current.cost.copy()
+            cost[src, dst] = rounded
+            if attempt(cost):
+                progress = True
+                break
+    return current
+
+
+@dataclass(frozen=True)
+class CheckFailure:
+    """One probe failure, with its minimized reproduction."""
+
+    seed: int
+    family: str
+    kind: str
+    num_procs: int
+    violations: Tuple[str, ...]
+    shrunk_num_procs: int
+    shrunk_cost: Tuple[Tuple[float, ...], ...]
+    shrunk_violations: Tuple[str, ...]
+    artifact: Optional[str]
+
+
+@dataclass(frozen=True)
+class CheckReport:
+    """Outcome of :func:`run_check`."""
+
+    instances: int
+    p_max: int
+    schedulers: Tuple[str, ...]
+    probes_run: int
+    exact_checked: int
+    exact_skipped: int
+    failures: Tuple[CheckFailure, ...]
+    elapsed: float
+    truncated: bool
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _write_artifact(
+    out_dir: str, instance: CheckInstance, failure: CheckFailure
+) -> str:
+    directory = Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    slug = failure.kind.replace(":", "_").replace("/", "_")
+    path = directory / f"seed{failure.seed % 10**9:09d}_{slug}.json"
+    payload = {
+        "seed": failure.seed,
+        "family": failure.family,
+        "kind": failure.kind,
+        "num_procs": failure.num_procs,
+        "violations": list(failure.violations[:20]),
+        "cost": instance.problem.cost.tolist(),
+        "shrunk": {
+            "num_procs": failure.shrunk_num_procs,
+            "cost": [list(row) for row in failure.shrunk_cost],
+            "violations": list(failure.shrunk_violations[:20]),
+        },
+        "repro": (
+            "original: repro.check.instances.build_instance("
+            f"{failure.family!r}, {failure.num_procs}, {failure.seed}); "
+            "shrunk: TotalExchangeProblem(cost=np.array(shrunk['cost']))"
+        ),
+    }
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+    return str(path)
+
+
+def _instance_probes(
+    instance: CheckInstance,
+    schedulers: Dict[str, Scheduler],
+    *,
+    include_exact: bool,
+    exact_node_budget: int,
+    counters: Dict[str, int],
+) -> List[Tuple[str, Probe]]:
+    probes: List[Tuple[str, Probe]] = []
+    for name, scheduler in schedulers.items():
+        probes.append((f"oracle:{name}", _oracle_probe(name, scheduler)))
+    if "openshop" in schedulers:
+        probes.append((
+            "differential:openshop",
+            _bit_probe(
+                "openshop", schedulers["openshop"], schedule_openshop_reference
+            ),
+        ))
+        probes.append((
+            "differential:openshop_warm", _warm_openshop_probe(instance.seed)
+        ))
+    if "greedy" in schedulers:
+        probes.append((
+            "differential:greedy",
+            _bit_probe(
+                "greedy", schedulers["greedy"], schedule_greedy_reference
+            ),
+        ))
+    if "max_matching" in schedulers:
+        probes.append(("differential:matching_max", _matching_probe("max")))
+    if "min_matching" in schedulers:
+        probes.append(("differential:matching_min", _matching_probe("min")))
+    if include_exact and instance.num_procs <= MAX_EXACT_PROCS:
+        probes.append((
+            "differential:exact",
+            _exact_probe(schedulers, exact_node_budget, counters),
+        ))
+    return probes
+
+
+def run_check(
+    *,
+    seeds: int = 100,
+    p_max: int = 12,
+    time_budget: Optional[float] = None,
+    base_seed: int = 0,
+    schedulers: Optional[Dict[str, Scheduler]] = None,
+    include_exact: bool = True,
+    exact_node_budget: int = 200_000,
+    out_dir: Optional[str] = DEFAULT_OUT_DIR,
+    shrink: bool = True,
+    shrink_max_evals: int = 400,
+    max_failures: int = 20,
+) -> CheckReport:
+    """Fuzz ``seeds`` adversarial instances through every scheduler.
+
+    Parameters
+    ----------
+    time_budget:
+        Optional wall-clock cap in seconds; generation stops (and the
+        report is marked ``truncated``) once it is exceeded.
+    schedulers:
+        Override the registry set — used by the tests to inject
+        deliberately broken kernels and assert they are caught.
+    out_dir:
+        Artifact directory for minimized failures (``None`` disables
+        writing).
+    """
+    start = time.perf_counter()
+    active = (
+        dict(schedulers) if schedulers is not None else default_schedulers()
+    )
+    counters = {"exact_checked": 0, "exact_skipped": 0}
+    failures: List[CheckFailure] = []
+    probes_run = 0
+    instances_done = 0
+    truncated = False
+
+    for instance in generate_instances(seeds, p_max=p_max, base_seed=base_seed):
+        if (
+            time_budget is not None
+            and time.perf_counter() - start > time_budget
+        ):
+            truncated = True
+            break
+        if len(failures) >= max_failures:
+            truncated = True
+            break
+        probes = _instance_probes(
+            instance,
+            active,
+            include_exact=include_exact,
+            exact_node_budget=exact_node_budget,
+            counters=counters,
+        )
+        for kind, probe in probes:
+            probes_run += 1
+            violations = _safe(probe, instance.problem)
+            if not violations:
+                continue
+            if shrink:
+                shrunk = shrink_failing_instance(
+                    instance.problem,
+                    lambda candidate: bool(_safe(probe, candidate)),
+                    max_evals=shrink_max_evals,
+                )
+            else:
+                shrunk = instance.problem
+            failure = CheckFailure(
+                seed=instance.seed,
+                family=instance.family,
+                kind=kind,
+                num_procs=instance.num_procs,
+                violations=tuple(violations),
+                shrunk_num_procs=shrunk.num_procs,
+                shrunk_cost=tuple(
+                    tuple(row) for row in shrunk.cost.tolist()
+                ),
+                shrunk_violations=tuple(_safe(probe, shrunk)),
+                artifact=None,
+            )
+            if out_dir is not None:
+                artifact = _write_artifact(out_dir, instance, failure)
+                failure = replace(failure, artifact=artifact)
+            failures.append(failure)
+        instances_done += 1
+
+    return CheckReport(
+        instances=instances_done,
+        p_max=p_max,
+        schedulers=tuple(active),
+        probes_run=probes_run,
+        exact_checked=counters["exact_checked"],
+        exact_skipped=counters["exact_skipped"],
+        failures=tuple(failures),
+        elapsed=time.perf_counter() - start,
+        truncated=truncated,
+    )
+
+
+def render_check(report: CheckReport) -> str:
+    """Human-readable check summary for the CLI."""
+    lines = [
+        f"repro.check: {report.instances} instances (P <= {report.p_max}), "
+        f"{len(report.schedulers)} schedulers, {report.probes_run} probes "
+        f"in {report.elapsed:.1f}s"
+        + (" [truncated]" if report.truncated else ""),
+        f"schedulers: {', '.join(report.schedulers)}",
+        f"exact differential: {report.exact_checked} certified, "
+        f"{report.exact_skipped} skipped (node budget)",
+    ]
+    if report.failures:
+        lines.append(f"FAILURES: {len(report.failures)}")
+        for failure in report.failures:
+            lines.append(
+                f"  - {failure.kind} on family={failure.family} "
+                f"seed={failure.seed} P={failure.num_procs} "
+                f"-> shrunk to P={failure.shrunk_num_procs}"
+                + (f" ({failure.artifact})" if failure.artifact else "")
+            )
+            for violation in failure.violations[:3]:
+                lines.append(f"      {violation}")
+    else:
+        lines.append("all invariants and differentials hold: PASS")
+    return "\n".join(lines)

@@ -1,0 +1,182 @@
+"""Seeded adversarial instance generation for the correctness harness.
+
+The hand-picked golden instances in the test suite pin the kernels at a
+few processor counts; this module supplies the *other* end of the
+spectrum — randomized :class:`~repro.core.problem.TotalExchangeProblem`s
+drawn from families chosen to stress exactly the places where the
+optimized kernels diverge from the seed implementations:
+
+* tie-breaking (``near_tie``, ``all_equal``, ``integer`` — many exactly
+  equal costs, so the ``(time, index)`` tie-break order is load-bearing);
+* penalty arithmetic (``sparse``, ``zero`` — masked entries and
+  zero-duration markers);
+* heterogeneity (``hetero``, ``asymmetric``, ``hotspot`` — the wide
+  latency/bandwidth spreads of the paper's metacomputing setting);
+* degenerate shapes (``P in {1, 2}`` drawn regularly, and
+  ``self_messages`` — positive diagonals as in Theorem 2's tight
+  instance, which occupy both ports of a node at once).
+
+Every instance is reproducible from ``(family, num_procs, seed)`` via
+:func:`build_instance`, which is what the failure artifacts record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Tuple
+
+import numpy as np
+
+from repro.core.problem import TotalExchangeProblem
+from repro.util.rng import stable_seed
+
+#: A family builder returns a ``[src, dst]`` cost matrix for ``p`` procs.
+FamilyBuilder = Callable[[np.random.Generator, int], np.ndarray]
+
+
+def _zero_diagonal(cost: np.ndarray) -> np.ndarray:
+    np.fill_diagonal(cost, 0.0)
+    return cost
+
+
+def _uniform(rng: np.random.Generator, p: int) -> np.ndarray:
+    return _zero_diagonal(rng.uniform(0.5, 10.0, size=(p, p)))
+
+
+def _hetero(rng: np.random.Generator, p: int) -> np.ndarray:
+    # Lognormal spread over ~3 orders of magnitude: fast LAN links next
+    # to slow WAN links, the paper's metacomputing regime.
+    return _zero_diagonal(rng.lognormal(mean=0.0, sigma=1.5, size=(p, p)))
+
+
+def _sparse(rng: np.random.Generator, p: int) -> np.ndarray:
+    cost = rng.uniform(0.5, 10.0, size=(p, p))
+    cost[rng.random((p, p)) < 0.6] = 0.0
+    return _zero_diagonal(cost)
+
+
+def _near_tie(rng: np.random.Generator, p: int) -> np.ndarray:
+    # A handful of base values plus jitter far above the comparison
+    # tolerances but far below the value scale: picks hinge on the
+    # tie-break order without degenerating into exact ties.
+    base = rng.choice([1.0, 2.0, 5.0], size=(p, p))
+    return _zero_diagonal(base + rng.uniform(0.0, 1e-6, size=(p, p)))
+
+
+def _all_equal(rng: np.random.Generator, p: int) -> np.ndarray:
+    return _zero_diagonal(np.full((p, p), float(rng.integers(1, 5))))
+
+
+def _integer(rng: np.random.Generator, p: int) -> np.ndarray:
+    # Small integer costs: many exact ties and many zeros at once.
+    return _zero_diagonal(rng.integers(0, 5, size=(p, p)).astype(float))
+
+
+def _zero(rng: np.random.Generator, p: int) -> np.ndarray:
+    return np.zeros((p, p))
+
+
+def _asymmetric(rng: np.random.Generator, p: int) -> np.ndarray:
+    # cost[i, j] and cost[j, i] differ by orders of magnitude: fast
+    # uplinks over slow downlinks, stressing the send/receive port split.
+    cost = rng.uniform(0.5, 2.0, size=(p, p))
+    cost[np.tril_indices(p, -1)] *= 50.0
+    return _zero_diagonal(cost)
+
+
+def _hotspot(rng: np.random.Generator, p: int) -> np.ndarray:
+    # One dominant sender row and one dominant receiver column: the
+    # lower bound is concentrated on a single port.
+    cost = rng.uniform(0.1, 1.0, size=(p, p))
+    cost[rng.integers(0, p)] *= 30.0
+    cost[:, rng.integers(0, p)] *= 30.0
+    return _zero_diagonal(cost)
+
+
+def _self_messages(rng: np.random.Generator, p: int) -> np.ndarray:
+    # Positive diagonal entries (allowed by the schedule semantics —
+    # Theorem 2's tight instance uses them) on a sparse background.
+    cost = rng.uniform(0.5, 10.0, size=(p, p))
+    cost[rng.random((p, p)) < 0.3] = 0.0
+    diagonal = rng.uniform(0.5, 5.0, size=p)
+    diagonal[rng.random(p) < 0.5] = 0.0
+    np.fill_diagonal(cost, diagonal)
+    return cost
+
+
+#: Registered families, in deterministic iteration order.
+FAMILIES: Dict[str, FamilyBuilder] = {
+    "uniform": _uniform,
+    "hetero": _hetero,
+    "sparse": _sparse,
+    "near_tie": _near_tie,
+    "all_equal": _all_equal,
+    "integer": _integer,
+    "zero": _zero,
+    "asymmetric": _asymmetric,
+    "hotspot": _hotspot,
+    "self_messages": _self_messages,
+}
+
+
+@dataclass(frozen=True)
+class CheckInstance:
+    """One generated instance plus its reproduction coordinates."""
+
+    seed: int
+    family: str
+    problem: TotalExchangeProblem
+
+    @property
+    def num_procs(self) -> int:
+        return self.problem.num_procs
+
+
+def draw_num_procs(rng: np.random.Generator, p_max: int) -> int:
+    """Draw a processor count biased toward the interesting small sizes.
+
+    Degenerate ``P in {1, 2}`` appear regularly, the exactly-solvable
+    range ``P <= 6`` dominates (so the exact-solver differential gets
+    coverage), and the tail stretches up to ``p_max``.
+    """
+    if p_max < 1:
+        raise ValueError(f"p_max must be >= 1, got {p_max}")
+    roll = rng.random()
+    if roll < 0.15:
+        return int(rng.integers(1, min(2, p_max) + 1))
+    if roll < 0.60 and p_max >= 3:
+        return int(rng.integers(3, min(6, p_max) + 1))
+    return int(rng.integers(1, p_max + 1))
+
+
+def build_instance(family: str, num_procs: int, seed: int) -> CheckInstance:
+    """Rebuild the instance recorded by a failure artifact."""
+    if family not in FAMILIES:
+        known = ", ".join(FAMILIES)
+        raise KeyError(f"unknown instance family {family!r}; known: {known}")
+    rng = np.random.default_rng(seed)
+    cost = FAMILIES[family](rng, num_procs)
+    return CheckInstance(
+        seed=seed, family=family, problem=TotalExchangeProblem(cost=cost)
+    )
+
+
+def generate_instances(
+    count: int, *, p_max: int = 12, base_seed: int = 0
+) -> Iterator[CheckInstance]:
+    """Yield ``count`` reproducible adversarial instances.
+
+    Families rotate round-robin so every family is exercised even at
+    small counts; the processor count and matrix entries are drawn from
+    a per-instance stream keyed by ``(base_seed, index)``, so instance
+    ``k`` is identical regardless of how many instances are generated.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    names: Tuple[str, ...] = tuple(FAMILIES)
+    for k in range(count):
+        family = names[k % len(names)]
+        seed = stable_seed("repro.check", base_seed, family, k)
+        shape_rng = np.random.default_rng(stable_seed("repro.check.p", seed))
+        num_procs = draw_num_procs(shape_rng, p_max)
+        yield build_instance(family, num_procs, seed)

@@ -31,6 +31,12 @@ Subcommands
     Time the scheduling kernels against the frozen seed implementations
     and write ``BENCH_core.json`` (``--smoke`` for a seconds-long CI
     variant).
+``check``
+    Differential fuzzing and invariant oracle: randomized adversarial
+    instances through every registered scheduler, cross-checked against
+    the frozen seed kernels and the exact solver; failing instances are
+    minimized and dumped to ``benchmarks/results/check_failures/``
+    (``--smoke`` for a quick CI variant).
 """
 
 from __future__ import annotations
@@ -350,6 +356,26 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.check import render_check, run_check
+
+    # --smoke presets a seconds-long run; explicit flags still win.
+    seeds = args.seeds if args.seeds is not None else (25 if args.smoke else 100)
+    p_max = args.p_max if args.p_max is not None else (8 if args.smoke else 12)
+    time_budget = args.time_budget
+    if time_budget is None and args.smoke:
+        time_budget = 60.0
+    report = run_check(
+        seeds=seeds,
+        p_max=p_max,
+        time_budget=time_budget,
+        base_seed=args.base_seed,
+        out_dir=args.out_dir or None,
+    )
+    print(render_check(report))
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-hetcomm",
@@ -442,6 +468,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON output path (default: BENCH_core.json; '' to skip)",
     )
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_check = sub.add_parser(
+        "check", help="differential fuzzing & invariant oracle"
+    )
+    p_check.add_argument(
+        "--seeds", type=int, default=None, metavar="N",
+        help="number of fuzzed instances (default: 100; 25 with --smoke)",
+    )
+    p_check.add_argument(
+        "--p-max", type=int, default=None, metavar="P",
+        help="largest processor count drawn (default: 12; 8 with --smoke)",
+    )
+    p_check.add_argument(
+        "--time-budget", type=float, default=None, metavar="S",
+        help="wall-clock cap in seconds (default: none; 60 with --smoke)",
+    )
+    p_check.add_argument("--base-seed", type=int, default=0)
+    p_check.add_argument(
+        "--smoke", action="store_true",
+        help="quick CI preset: 25 seeds, P <= 8, 60s budget",
+    )
+    p_check.add_argument(
+        "--out-dir", default="benchmarks/results/check_failures",
+        help="minimized-failure artifact directory ('' to disable)",
+    )
+    p_check.set_defaults(func=_cmd_check)
 
     return parser
 

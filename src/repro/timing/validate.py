@@ -65,6 +65,14 @@ def check_schedule(
 ) -> None:
     """Raise :class:`ScheduleError` if ``schedule`` is invalid.
 
+    A schedule violating several conditions at once raises a *single*
+    :class:`ScheduleError` carrying every violation: the ``violations``
+    list groups the kinds in a fixed order — sender conflicts, receiver
+    conflicts, duplicate pairs, wrong durations, missing pairs — with
+    each group internally sorted, so the batch is deterministic
+    regardless of event construction order.  The message leads with the
+    per-kind counts and previews the first few violations.
+
     Parameters
     ----------
     cost:
@@ -73,10 +81,14 @@ def check_schedule(
         ``require_coverage``) every off-diagonal pair with positive cost
         must appear exactly once.
     """
-    violations: List[str] = []
+    sender: List[str] = []
+    receiver: List[str] = []
+    duplicates: List[str] = []
+    durations: List[str] = []
+    missing: List[str] = []
     for proc in range(schedule.num_procs):
-        violations += _overlap_violations(schedule.sender_events(proc), "sender")
-        violations += _overlap_violations(schedule.receiver_events(proc), "receiver")
+        sender += _overlap_violations(schedule.sender_events(proc), "sender")
+        receiver += _overlap_violations(schedule.receiver_events(proc), "receiver")
 
     if cost is not None:
         cost = np.asarray(cost, dtype=float)
@@ -89,11 +101,11 @@ def check_schedule(
         for event in schedule:
             key = (event.src, event.dst)
             if key in seen:
-                violations.append(f"duplicate event for pair {key}")
+                duplicates.append(f"duplicate event for pair {key}")
             seen.add(key)
             expected = cost[event.src, event.dst]
             if abs(event.duration - expected) > atol:
-                violations.append(
+                durations.append(
                     f"event {event.src}->{event.dst} has duration "
                     f"{event.duration:.6g}, expected {expected:.6g}"
                 )
@@ -103,13 +115,29 @@ def check_schedule(
                     if src == dst or cost[src, dst] == 0:
                         continue
                     if (src, dst) not in seen:
-                        violations.append(f"missing event for pair ({src}, {dst})")
+                        missing.append(f"missing event for pair ({src}, {dst})")
 
+    groups = [
+        ("sender conflict", sender),
+        ("receiver conflict", receiver),
+        ("duplicate pair", duplicates),
+        ("wrong duration", durations),
+        ("missing pair", missing),
+    ]
+    violations: List[str] = []
+    for _, group in groups:
+        violations += sorted(group)
     if violations:
+        counts = ", ".join(
+            f"{len(group)} {label}{'s' if len(group) != 1 else ''}"
+            for label, group in groups
+            if group
+        )
         preview = "; ".join(violations[:5])
         more = f" (+{len(violations) - 5} more)" if len(violations) > 5 else ""
         raise ScheduleError(
-            f"invalid schedule: {preview}{more}", violations=violations
+            f"invalid schedule ({counts}): {preview}{more}",
+            violations=violations,
         )
 
 

@@ -1,0 +1,276 @@
+"""Tests for the repro.check correctness subsystem.
+
+Covers the adversarial instance generator, the invariant oracle, the
+differential runner (including a deliberately broken open shop kernel
+that must be caught and minimized), the shrinker, and the CLI entry.
+"""
+
+import heapq
+import json
+
+import numpy as np
+import pytest
+
+from repro.check import (
+    FAMILIES,
+    OracleError,
+    bit_equivalence_violations,
+    build_instance,
+    check_invariants,
+    generate_instances,
+    oracle_violations,
+    run_check,
+    shrink_failing_instance,
+)
+from repro.check.differential import matching_differential_violations
+from repro.cli import main
+from repro.core.openshop import schedule_openshop
+from repro.core.problem import TotalExchangeProblem
+from repro.perf.reference import schedule_openshop_reference
+from repro.timing.events import CommEvent, Schedule
+from tests.conftest import random_problem
+
+
+def ev(start, src, dst, duration):
+    return CommEvent(start=start, src=src, dst=dst, duration=duration)
+
+
+class TestInstances:
+    def test_deterministic(self):
+        a = [inst.problem.cost for inst in generate_instances(12, p_max=8)]
+        b = [inst.problem.cost for inst in generate_instances(12, p_max=8)]
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_prefix_stable_under_longer_runs(self):
+        first = list(generate_instances(5, p_max=8))
+        longer = list(generate_instances(10, p_max=8))
+        for x, y in zip(first, longer):
+            assert x.seed == y.seed
+            assert np.array_equal(x.problem.cost, y.problem.cost)
+
+    def test_family_rotation_covers_all(self):
+        families = {
+            inst.family for inst in generate_instances(len(FAMILIES), p_max=6)
+        }
+        assert families == set(FAMILIES)
+
+    def test_p_stays_in_range(self):
+        for inst in generate_instances(40, p_max=5):
+            assert 1 <= inst.num_procs <= 5
+
+    def test_degenerate_p_drawn_regularly(self):
+        counts = [inst.num_procs for inst in generate_instances(60, p_max=8)]
+        assert any(p <= 2 for p in counts)
+
+    def test_matrices_valid(self):
+        for inst in generate_instances(20, p_max=6):
+            cost = inst.problem.cost
+            assert cost.shape == (inst.num_procs, inst.num_procs)
+            assert np.all(cost >= 0)
+
+    def test_build_instance_replays_generator(self):
+        inst = next(iter(generate_instances(1, p_max=6)))
+        replay = build_instance(inst.family, inst.num_procs, inst.seed)
+        assert np.array_equal(replay.problem.cost, inst.problem.cost)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(KeyError, match="unknown instance family"):
+            build_instance("nope", 3, 0)
+
+
+class TestOracle:
+    def test_openshop_schedule_clean(self):
+        problem = random_problem(6, seed=3)
+        schedule = schedule_openshop(problem)
+        assert oracle_violations(problem, schedule, scheduler="openshop") == []
+
+    def test_missing_zero_marker_detected(self):
+        cost = np.array([[0.0, 0.0], [1.0, 0.0]])
+        schedule = Schedule.from_events(2, [ev(0.0, 1, 0, 1.0)])
+        violations = oracle_violations(
+            TotalExchangeProblem(cost=cost), schedule
+        )
+        assert any("no marker" in v for v in violations)
+
+    def test_missing_self_message_detected(self):
+        problem = TotalExchangeProblem(cost=np.array([[2.0]]))
+        violations = oracle_violations(problem, Schedule(num_procs=1))
+        assert any("self-message" in v for v in violations)
+
+    def test_lower_bound_violation_detected(self):
+        # Both long sends of row 0 start together: the overlap is flagged
+        # AND the resulting makespan impossibly beats the lower bound.
+        cost = np.array(
+            [[0.0, 2.0, 2.0], [0.0, 0.0, 0.0], [0.0, 0.0, 0.0]]
+        )
+        schedule = Schedule.from_events(
+            3,
+            [ev(0.0, 0, 1, 2.0), ev(0.0, 0, 2, 2.0), ev(0.0, 1, 0, 0.0),
+             ev(0.0, 1, 2, 0.0), ev(0.0, 2, 0, 0.0), ev(0.0, 2, 1, 0.0)],
+        )
+        violations = oracle_violations(
+            TotalExchangeProblem(cost=cost), schedule
+        )
+        assert any("lower bound" in v for v in violations)
+
+    def test_guarantee_bound_violation_detected(self):
+        # A needlessly delayed but otherwise valid schedule busting
+        # Theorem 3's 2x cap is flagged only under the openshop name.
+        cost = np.array([[0.0, 1.0], [1.0, 0.0]])
+        problem = TotalExchangeProblem(cost=cost)
+        schedule = Schedule.from_events(
+            2, [ev(10.0, 0, 1, 1.0), ev(10.0, 1, 0, 1.0)]
+        )
+        slow = oracle_violations(problem, schedule, scheduler="openshop")
+        assert any("guarantee" in v for v in slow)
+        assert oracle_violations(problem, schedule) == []
+
+    def test_check_invariants_raises_oracle_error(self):
+        problem = TotalExchangeProblem(cost=np.array([[0.0, 1.0], [1.0, 0.0]]))
+        with pytest.raises(OracleError, match="invariant"):
+            check_invariants(problem, Schedule(num_procs=2))
+
+    def test_proc_count_mismatch(self):
+        problem = random_problem(3, seed=0)
+        violations = oracle_violations(problem, Schedule(num_procs=2))
+        assert violations == [
+            "schedule covers 2 processors, problem has 3"
+        ]
+
+
+class TestMatchingDifferential:
+    def test_all_backends_clean_on_random(self):
+        problem = random_problem(5, seed=9)
+        for objective in ("max", "min"):
+            assert matching_differential_violations(
+                problem.cost, objective,
+                backends=("scipy", "auction", "networkx"),
+            ) == []
+
+    def test_clean_on_tie_heavy_instance(self):
+        # Non-unique optima per round: weights may diverge between
+        # backends round-by-round, but each round must still be optimal
+        # for its own residual — the probe must NOT flag this.
+        cost = np.full((5, 5), 4.0)
+        np.fill_diagonal(cost, 0.0)
+        for objective in ("max", "min"):
+            assert matching_differential_violations(cost, objective) == []
+
+
+class TestRunCheckClean:
+    def test_small_run_passes_without_artifacts(self, tmp_path):
+        report = run_check(seeds=10, p_max=5, out_dir=str(tmp_path))
+        assert report.ok
+        assert report.instances == 10
+        assert report.probes_run > 10 * 9
+        assert list(tmp_path.iterdir()) == []
+
+    def test_time_budget_truncates(self):
+        report = run_check(seeds=50, p_max=5, time_budget=0.0, out_dir=None)
+        assert report.truncated
+        assert report.instances == 0
+
+
+def _broken_openshop(problem):
+    """Scratch copy of the seed open shop kernel with an off-by-one bug:
+    it picks the *second*-earliest available receiver."""
+    cost = problem.cost
+    n = problem.num_procs
+    recv_sets = [set() for _ in range(n)]
+    for src, dst in problem.positive_events():
+        recv_sets[src].add(dst)
+    sendavail = [0.0] * n
+    recvavail = [0.0] * n
+    events = []
+    for src in range(n):
+        for dst in range(n):
+            if src != dst and cost[src, dst] == 0:
+                events.append(ev(0.0, src, dst, 0.0))
+    heap = [(sendavail[src], src) for src in range(n) if recv_sets[src]]
+    heapq.heapify(heap)
+    while heap:
+        avail, src = heapq.heappop(heap)
+        if avail < sendavail[src] or not recv_sets[src]:
+            continue
+        ranked = sorted(recv_sets[src], key=lambda j: (recvavail[j], j))
+        dst = ranked[1] if len(ranked) > 1 else ranked[0]  # off-by-one
+        start = max(sendavail[src], recvavail[dst])
+        duration = float(cost[src, dst])
+        finish = start + duration
+        events.append(ev(start, src, dst, duration))
+        sendavail[src] = finish
+        recvavail[dst] = finish
+        recv_sets[src].discard(dst)
+        if recv_sets[src]:
+            heapq.heappush(heap, (finish, src))
+    return Schedule.from_events(n, events)
+
+
+class TestInjectedBug:
+    def test_off_by_one_caught_and_minimized(self, tmp_path):
+        report = run_check(
+            seeds=20,
+            p_max=8,
+            out_dir=str(tmp_path),
+            schedulers={"openshop": _broken_openshop},
+            include_exact=False,
+            max_failures=4,
+        )
+        assert not report.ok
+        diffs = [
+            f for f in report.failures if f.kind == "differential:openshop"
+        ]
+        assert diffs, "bit-equivalence differential did not fire"
+        failure = diffs[0]
+        assert failure.shrunk_num_procs <= 4
+        assert failure.shrunk_violations
+
+        # The artifact is a self-contained reproduction.
+        with open(failure.artifact, encoding="utf-8") as handle:
+            data = json.load(handle)
+        assert data["kind"] == "differential:openshop"
+        shrunk = TotalExchangeProblem(
+            cost=np.array(data["shrunk"]["cost"])
+        )
+        assert shrunk.num_procs == failure.shrunk_num_procs
+        assert bit_equivalence_violations(
+            "openshop",
+            _broken_openshop(shrunk),
+            schedule_openshop_reference(shrunk),
+        )
+
+
+class TestShrinker:
+    def test_reduces_to_minimal_support(self):
+        rng = np.random.default_rng(1)
+        cost = rng.uniform(0.5, 2.0, (6, 6))
+        np.fill_diagonal(cost, 0.0)
+        cost[2, 4] = 9.0
+        problem = TotalExchangeProblem(cost=cost)
+        shrunk = shrink_failing_instance(
+            problem, lambda p: bool(np.any(p.cost > 5.0))
+        )
+        assert shrunk.num_procs == 2
+        assert int((shrunk.cost > 0).sum()) == 1
+        assert float(shrunk.cost.max()) == 9.0
+
+    def test_never_fails_predicate(self):
+        problem = random_problem(4, seed=5)
+        target = float(problem.cost.max())
+        shrunk = shrink_failing_instance(
+            problem, lambda p: float(p.cost.max()) == target
+        )
+        assert float(shrunk.cost.max()) == target
+
+
+class TestCli:
+    def test_check_subcommand(self, tmp_path, capsys):
+        rc = main([
+            "check", "--seeds", "4", "--p-max", "4",
+            "--out-dir", str(tmp_path),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "repro.check" in out
+        assert "PASS" in out

@@ -3,7 +3,15 @@
 import numpy as np
 import pytest
 
-from repro.timing.events import CommEvent, Schedule, merge_schedules
+from repro.timing.events import (
+    CommEvent,
+    Schedule,
+    merge_schedules,
+    schedule_from_columns,
+    schedule_from_fields,
+    schedule_from_sorted_fields,
+)
+from repro.timing.validate import check_schedule
 
 
 def ev(start, src, dst, duration, size=0.0):
@@ -129,3 +137,62 @@ class TestMergeSchedules:
         a = Schedule.from_events(2, [ev(0, 0, 1, 1)])
         with pytest.raises(ValueError):
             merge_schedules(3, [a])
+
+
+class TestLazyScheduleEdgeCases:
+    """Degenerate inputs to the trusted lazy constructors."""
+
+    def test_empty_fields(self):
+        for factory in (schedule_from_fields, schedule_from_sorted_fields):
+            s = factory(3, [])
+            assert len(s) == 0
+            assert s.completion_time == 0.0
+            assert s.events == ()
+            # Still consistent after materialization.
+            assert len(s) == 0
+            assert s.completion_time == 0.0
+
+    def test_empty_columns(self):
+        empty = np.array([])
+        s = schedule_from_columns(
+            2,
+            empty,
+            empty.astype(np.intp),
+            empty.astype(np.intp),
+            empty,
+            empty,
+        )
+        assert len(s) == 0
+        assert s.completion_time == 0.0
+        assert s.events == ()
+
+    def test_zero_duration_markers_only(self):
+        fields = [(0.0, 0, 1, 0.0, 0.0), (0.0, 1, 0, 0.0, 0.0)]
+        s = schedule_from_sorted_fields(2, fields)
+        assert s.completion_time == 0.0
+        assert len(s) == 2
+        assert all(e.duration == 0.0 for e in s)
+        check_schedule(s)  # markers never conflict
+
+    def test_materialization_is_idempotent_and_cached(self):
+        fields = [(1.0, 0, 1, 2.0, 0.0), (0.0, 1, 0, 0.5, 0.0)]
+        s = schedule_from_fields(2, list(fields))
+        assert len(s) == 2  # pre-materialization, straight off the fields
+        first = s.events
+        assert s.events is first  # cached tuple, not rebuilt
+        assert [e.start for e in first] == [0.0, 1.0]  # sorted on access
+        assert len(s) == 2
+        assert s.completion_time == pytest.approx(3.0)
+
+    def test_lazy_equals_eager(self):
+        fields = [(3.0, 0, 1, 1.0, 0.0), (0.0, 1, 0, 2.0, 0.0)]
+        lazy = schedule_from_fields(2, list(fields))
+        eager = Schedule.from_events(
+            2,
+            [
+                ev(start, src, dst, duration, size)
+                for start, src, dst, duration, size in fields
+            ],
+        )
+        assert lazy == eager
+        assert lazy.completion_time == eager.completion_time

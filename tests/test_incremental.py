@@ -82,3 +82,23 @@ class TestRefineOrders:
         assert result.evaluations >= 1
         with pytest.raises(ValueError):
             refine_orders(stale_orders(old), old, max_passes=-1)
+
+
+class TestUndoOnReject:
+    def test_fully_rejected_refinement_restores_orders_bit_identically(self):
+        # Uniform costs: pass 1's re-sort and every adjacent swap tie (or
+        # worsen), so every move is rejected — and the in-place
+        # mutate/undo must hand back exactly the input orders.
+        for p in (4, 5, 6):
+            cost = np.full((p, p), 2.0)
+            np.fill_diagonal(cost, 0.0)
+            problem = TotalExchangeProblem(cost=cost)
+            orders = stale_orders(problem)
+            snapshot = [list(row) for row in orders]
+            result = refine_orders(orders, problem)
+            assert result.orders == snapshot
+            assert result.completion_time == result.initial_time
+            # Moves were genuinely attempted, not skipped.
+            assert result.evaluations > p
+            # The caller's lists were never mutated either.
+            assert orders == snapshot

@@ -104,3 +104,59 @@ def test_uniform_instance_within_theorem_bound():
     problem = TotalExchangeProblem(cost=cost)
     t = schedule_openshop(problem).completion_time
     assert problem.lower_bound() <= t <= 2.0 * problem.lower_bound()
+
+
+class TestWarmStartDegenerate:
+    """openshop_events warm-start entry point at P in {1, 2}."""
+
+    def test_p1_no_pairs_leaves_availabilities_untouched(self):
+        from repro.core.openshop import openshop_events
+
+        send, recv = [2.5], [1.0]
+        events = openshop_events(np.zeros((1, 1)), [], send, recv)
+        assert events == []
+        assert send == [2.5]
+        assert recv == [1.0]
+
+    def test_p1_self_message_waits_for_both_ports(self):
+        from repro.core.openshop import openshop_events
+
+        send, recv = [1.0], [3.0]
+        events = openshop_events(np.array([[2.0]]), [(0, 0)], send, recv)
+        assert len(events) == 1
+        event = events[0]
+        assert (event.src, event.dst) == (0, 0)
+        assert event.start == pytest.approx(3.0)
+        assert event.finish == pytest.approx(5.0)
+        assert send == [5.0]
+        assert recv == [5.0]
+
+    def test_p2_warm_start_matches_reference(self):
+        from repro.core.openshop import openshop_events
+        from repro.perf.reference import openshop_events_reference
+
+        cost = np.array([[0.0, 3.0], [2.0, 0.0]])
+        pairs = [(0, 1), (1, 0)]
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            send0 = rng.uniform(0.0, 4.0, size=2).tolist()
+            recv0 = rng.uniform(0.0, 4.0, size=2).tolist()
+            live_send, live_recv = list(send0), list(recv0)
+            ref_send, ref_recv = list(send0), list(recv0)
+            live = openshop_events(cost, pairs, live_send, live_recv)
+            ref = openshop_events_reference(cost, pairs, ref_send, ref_recv)
+            key = lambda e: (e.start, e.src, e.dst, e.duration)
+            assert [key(e) for e in live] == [key(e) for e in ref]
+            # The mutated availability lists are part of the contract.
+            assert live_send == ref_send
+            assert live_recv == ref_recv
+
+    def test_p2_cold_schedule_hits_lower_bound(self):
+        problem = TotalExchangeProblem(
+            cost=np.array([[0.0, 3.0], [2.0, 0.0]])
+        )
+        schedule = schedule_openshop(problem)
+        check_schedule(schedule, problem.cost)
+        assert schedule.completion_time == pytest.approx(
+            problem.lower_bound()
+        )

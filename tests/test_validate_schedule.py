@@ -85,6 +85,71 @@ class TestCoverage:
             check_schedule(s, self.cost)
 
 
+class TestMixedKindBatch:
+    """A schedule violating several conditions raises ONE ScheduleError
+    carrying every violation in a deterministic kind-grouped order."""
+
+    def setup_method(self):
+        self.cost = np.array(
+            [[0.0, 1.0, 2.0], [1.0, 0.0, 1.0], [1.0, 1.0, 0.0]]
+        )
+        # src 0 overlaps itself (sender conflict), 1->0 has the wrong
+        # duration, and the three pairs of senders 1/2 never appear.
+        self.schedule = Schedule.from_events(
+            3, [ev(0, 0, 1, 1), ev(0.5, 0, 2, 2), ev(0, 1, 0, 5)]
+        )
+
+    def _error(self):
+        with pytest.raises(ScheduleError) as excinfo:
+            check_schedule(self.schedule, self.cost)
+        return excinfo.value
+
+    def test_all_kinds_collected_in_one_error(self):
+        exc = self._error()
+        assert len(exc.violations) == 5
+        assert sum("sender conflict" in v for v in exc.violations) == 1
+        assert sum("has duration" in v for v in exc.violations) == 1
+        assert sum("missing event" in v for v in exc.violations) == 3
+
+    def test_deterministic_kind_order(self):
+        exc = self._error()
+        assert "sender conflict" in exc.violations[0]
+        assert "has duration 5" in exc.violations[1]
+        assert exc.violations[2:] == [
+            "missing event for pair (1, 2)",
+            "missing event for pair (2, 0)",
+            "missing event for pair (2, 1)",
+        ]
+
+    def test_message_leads_with_per_kind_counts(self):
+        exc = self._error()
+        message = str(exc)
+        assert message.startswith(
+            "invalid schedule "
+            "(1 sender conflict, 1 wrong duration, 3 missing pairs): "
+        )
+
+    def test_message_previews_and_truncates(self):
+        exc = self._error()
+        message = str(exc)
+        # 5 violations: all previewed, no "+N more" suffix.
+        assert "more)" not in message
+        # Add receiver-side noise to push past the preview window.
+        crowded = Schedule.from_events(
+            3,
+            [ev(0, 0, 1, 1), ev(0.5, 0, 2, 2), ev(0, 1, 0, 5),
+             ev(0.2, 2, 0, 1), ev(0.4, 2, 1, 1)],
+        )
+        with pytest.raises(ScheduleError) as excinfo:
+            check_schedule(crowded, self.cost)
+        longer = excinfo.value
+        assert len(longer.violations) > 5
+        assert f"(+{len(longer.violations) - 5} more)" in str(longer)
+
+    def test_batch_identical_across_runs(self):
+        assert self._error().violations == self._error().violations
+
+
 def test_is_valid_schedule_bool():
     good = Schedule.from_events(2, [ev(0, 0, 1, 1)])
     bad = Schedule.from_events(2, [ev(0, 0, 1, 2), ev(1, 0, 1, 2)])
