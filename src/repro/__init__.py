@@ -22,12 +22,16 @@ paper-vs-measured record.
 
 from repro.core import (
     ALL_SCHEDULERS,
+    SchedulerSpec,
     TotalExchangeProblem,
     baseline_orders,
     branch_and_bound,
     example_problem,
     get_scheduler,
+    get_spec,
     greedy_orders,
+    iter_specs,
+    make_scheduler,
     matching_orders,
     schedule_baseline,
     schedule_greedy,
@@ -62,6 +66,7 @@ from repro.network import (
     random_metacomputer,
     random_pairwise_parameters,
 )
+from repro.runtime import AdaptiveSession, PolicyConfig, RuntimeMetrics
 from repro.sim import (
     execute_orders,
     execute_orders_buffered,
@@ -84,6 +89,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ALL_SCHEDULERS",
+    "AdaptiveSession",
     "CommEvent",
     "CommunicationModel",
     "DirectoryService",
@@ -96,6 +102,9 @@ __all__ = [
     "MixedSizes",
     "Schedule",
     "ScheduleError",
+    "PolicyConfig",
+    "RuntimeMetrics",
+    "SchedulerSpec",
     "ServerClientSizes",
     "SizeSpec",
     "StaticDirectory",
@@ -112,10 +121,13 @@ __all__ = [
     "execute_orders_interleaved",
     "fluid_execute_orders",
     "get_scheduler",
+    "get_spec",
     "greedy_orders",
     "gusto_directory",
     "gusto_parameters",
     "is_valid_schedule",
+    "iter_specs",
+    "make_scheduler",
     "matching_orders",
     "perturb_snapshot",
     "planned_vs_actual",

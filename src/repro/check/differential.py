@@ -42,7 +42,7 @@ from repro.core.exact import (
 from repro.core.matching import _assignment_scipy, matching_rounds
 from repro.core.openshop import openshop_events
 from repro.core.problem import TotalExchangeProblem
-from repro.core.registry import ALL_SCHEDULERS, EXTRA_SCHEDULERS, Scheduler
+from repro.core.registry import Scheduler, iter_specs, make_scheduler
 from repro.perf.reference import (
     matching_rounds_reference,
     openshop_events_reference,
@@ -62,12 +62,19 @@ _EXCLUDED_FROM_FUZZ = ("optimal",)  # the exact solver is the judge, not a subje
 
 
 def default_schedulers() -> Dict[str, Scheduler]:
-    """Every registry scheduler the fuzzer runs (exact solver excluded)."""
-    schedulers: Dict[str, Scheduler] = dict(ALL_SCHEDULERS)
-    for name, scheduler in EXTRA_SCHEDULERS.items():
-        if name not in _EXCLUDED_FROM_FUZZ:
-            schedulers[name] = scheduler
-    return schedulers
+    """Every registry scheduler the fuzzer runs (exact solver excluded).
+
+    Only the ``paper`` and ``extra`` tiers are fuzzed: the ``variant``
+    tier's schedules are intentionally not one-event-per-message
+    (relayed legs, chunked transfers, preemptive pieces), so the
+    universal coverage oracle does not apply to them.
+    """
+    return {
+        spec.name: make_scheduler(spec.name)
+        for tier in ("paper", "extra")
+        for spec in iter_specs(tier=tier)
+        if spec.name not in _EXCLUDED_FROM_FUZZ
+    }
 
 
 def _tol(scale: float, atol: float = 1e-9, rtol: float = 1e-9) -> float:

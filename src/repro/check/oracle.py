@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from repro.core.problem import TotalExchangeProblem
+from repro.core.registry import iter_specs
 from repro.timing.events import Schedule
 from repro.timing.validate import ScheduleError, check_schedule
 
@@ -33,14 +34,15 @@ class OracleError(ScheduleError):
 
 
 #: Proven worst-case completion-time factors over the lower bound, keyed
-#: by registry scheduler name.  ``P -> factor``; ``max(1, ...)`` keeps the
-#: bounds sound at P = 1, where any schedule meets the lower bound.
+#: by registry scheduler name (``P -> factor``).  Sourced from the
+#: registry specs so the oracle and the public metadata cannot drift
+#: apart: Theorem 3's 2x for the open shop heuristic, Theorem 2's tight
+#: P/2 for the unsynchronised caterpillar, and the preemptive optimum's
+#: exact lower bound.
 GUARANTEED_BOUNDS: Dict[str, Callable[[int], float]] = {
-    # Theorem 3: open shop list scheduling is within twice the bound.
-    "openshop": lambda p: 2.0,
-    # Theorem 2 is tight: the unsynchronised caterpillar can reach, but
-    # never exceed, P/2 times the lower bound.
-    "baseline_nosync": lambda p: max(1.0, p / 2.0),
+    spec.name: spec.guarantee
+    for spec in iter_specs()
+    if spec.guarantee is not None
 }
 
 

@@ -14,15 +14,16 @@ Subcommands
     Pool all four figures and print the Section 5 ratio-to-lower-bound
     quality summary.
 ``zoo``
-    Compare every registered scheduler (including the non-paper
-    comparators and the preemptive optimum) on one random instance.
+    Compare registered schedulers (``--scheduler`` to pick; default:
+    the paper set, the non-paper comparators, and the preemptive
+    optimum) on one random instance.
 ``adaptive``
     Run the Section 6.3 drift sweep: adaptivity gain vs drift magnitude.
 ``broadcast``
     Compare binomial-tree and fastest-node-first broadcast on a random
     heterogeneous network.
 ``export``
-    Schedule the running example with a chosen algorithm and write the
+    Schedule the running example with a chosen scheduler and write the
     schedule as JSON, SVG, and a Chrome trace.
 ``claims``
     Check the paper's headline claims mechanically (quick versions) and
@@ -30,25 +31,35 @@ Subcommands
 ``bench``
     Time the scheduling kernels against the frozen seed implementations
     and write ``BENCH_core.json`` (``--smoke`` for a seconds-long CI
-    variant).
+    variant; ``--scheduler`` for extra end-to-end timings).
 ``check``
     Differential fuzzing and invariant oracle: randomized adversarial
-    instances through every registered scheduler, cross-checked against
-    the frozen seed kernels and the exact solver; failing instances are
-    minimized and dumped to ``benchmarks/results/check_failures/``
-    (``--smoke`` for a quick CI variant).
+    instances through every registered scheduler (or just ``--scheduler``
+    picks), cross-checked against the frozen seed kernels and the exact
+    solver; failing instances are minimized and dumped to
+    ``benchmarks/results/check_failures/`` (``--smoke`` for CI).
+``serve``
+    Drive the online adaptive runtime (:mod:`repro.runtime`) over a
+    synthetic drift trace: per-tick reuse/refine/reschedule decisions,
+    deadline fallback, and a metrics JSON dump (``--smoke`` for the
+    deterministic CI preset, which also injects a scheduler timeout).
+
+Scheduler selection is uniform: every subcommand that takes one uses the
+same repeatable ``--scheduler NAME`` flag, resolved through
+:func:`repro.core.registry.make_scheduler` (parameterized variants like
+``matching_min:auction`` included).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.core.problem import TotalExchangeProblem, example_problem
-from repro.core.registry import ALL_SCHEDULERS
+from repro.core.registry import Scheduler, iter_specs, make_scheduler
 from repro.directory.static import gusto_directory
 from repro.experiments.figures import FIGURE_DRIVERS
 from repro.experiments.quality import quality_stats
@@ -58,14 +69,35 @@ from repro.experiments.report import (
     render_sweep,
 )
 from repro.model.messages import UniformSizes
+from repro.network.generators import random_pairwise_parameters
 from repro.network.gusto import (
     GUSTO_BANDWIDTH_KBIT_S,
     GUSTO_LATENCY_MS,
     GUSTO_SITES,
 )
-from repro.timing.diagram import describe_schedule, render_timing_diagram
+from repro.timing.diagram import render_timing_diagram
 from repro.util.tables import format_table
 from repro.util.units import MEGABYTE
+
+
+def _resolve_schedulers(
+    names: List[str], parser_hint: str = "--scheduler"
+) -> Dict[str, Scheduler]:
+    """Resolve registry names to callables, exiting with a friendly
+    message (and the full name list) on an unknown name."""
+    resolved: Dict[str, Scheduler] = {}
+    for name in names:
+        try:
+            resolved[name] = make_scheduler(name)
+        except KeyError:
+            known = ", ".join(spec.name for spec in iter_specs())
+            print(
+                f"error: unknown scheduler {name!r} for {parser_hint}; "
+                f"known: {known}",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+    return resolved
 
 
 def _cmd_example(args: argparse.Namespace) -> int:
@@ -73,12 +105,12 @@ def _cmd_example(args: argparse.Namespace) -> int:
     print("Running example (5 processors); lower bound =", problem.lower_bound())
     print()
     rows = []
-    for name, scheduler in ALL_SCHEDULERS.items():
-        schedule = scheduler(problem)
-        rows.append([name, schedule.completion_time,
+    for spec in iter_specs(tier="paper"):
+        schedule = spec.fn(problem)
+        rows.append([spec.name, schedule.completion_time,
                      schedule.completion_time / problem.lower_bound()])
         if args.diagrams:
-            print(f"--- {name} ---")
+            print(f"--- {spec.name} ---")
             print(render_timing_diagram(schedule, rows=20))
             print()
     print(format_table(["algorithm", "completion", "ratio to LB"], rows))
@@ -107,8 +139,8 @@ def _cmd_gusto(args: argparse.Namespace) -> int:
     print(f"1 MB total exchange over GUSTO; lower bound = "
           f"{problem.lower_bound():.1f}s")
     rows = [
-        [name, scheduler(problem).completion_time]
-        for name, scheduler in ALL_SCHEDULERS.items()
+        [spec.name, spec.fn(problem).completion_time]
+        for spec in iter_specs(tier="paper")
     ]
     print(format_table(["algorithm", "completion (s)"], rows, precision=1))
     return 0
@@ -135,31 +167,28 @@ def _cmd_quality(args: argparse.Namespace) -> int:
 
 
 def _cmd_zoo(args: argparse.Namespace) -> int:
-    from repro.core.preemptive import schedule_preemptive
-    from repro.core.registry import EXTRA_SCHEDULERS
     from repro.directory.service import DirectorySnapshot
     from repro.model.messages import MixedSizes
 
     rng = np.random.default_rng(args.seed)
-    latency, bandwidth = __import__("repro").random_pairwise_parameters(
-        args.procs, rng=rng
-    )
+    latency, bandwidth = random_pairwise_parameters(args.procs, rng=rng)
     snapshot = DirectorySnapshot(latency=latency, bandwidth=bandwidth)
     problem = TotalExchangeProblem.from_snapshot(
         snapshot, MixedSizes(), rng=rng
     )
     lb = problem.lower_bound()
     print(f"P={args.procs} mixed-workload instance; lower bound {lb:.2f}s")
+    if args.scheduler:
+        names = list(args.scheduler)
+    else:
+        names = [spec.name for spec in iter_specs(tier="paper")]
+        names += ["baseline_nosync", "lpt", "local_search", "preemptive"]
+    schedulers = _resolve_schedulers(names)
     rows = []
-    names = [*ALL_SCHEDULERS, "baseline_nosync", "lpt", "local_search"]
-    for name in names:
-        scheduler = ALL_SCHEDULERS.get(name) or EXTRA_SCHEDULERS[name]
+    for name, scheduler in schedulers.items():
+        label = "preemptive optimum" if name == "preemptive" else name
         t = scheduler(problem).completion_time
-        rows.append([name, t, t / lb])
-    rows.append(
-        ["preemptive optimum", schedule_preemptive(problem).completion_time,
-         1.0]
-    )
+        rows.append([label, t, t / lb])
     rows.sort(key=lambda row: row[1])
     print(format_table(["scheduler", "completion (s)", "ratio"], rows))
     return 0
@@ -196,9 +225,7 @@ def _cmd_broadcast(args: argparse.Namespace) -> int:
     from repro.model.cost import cost_matrix
 
     rng = np.random.default_rng(args.seed)
-    latency, bandwidth = __import__("repro").random_pairwise_parameters(
-        args.procs, rng=rng
-    )
+    latency, bandwidth = random_pairwise_parameters(args.procs, rng=rng)
     snapshot = DirectorySnapshot(latency=latency, bandwidth=bandwidth)
     sizes = np.full((args.procs, args.procs), float(MEGABYTE))
     np.fill_diagonal(sizes, 0.0)
@@ -218,20 +245,28 @@ def _cmd_broadcast(args: argparse.Namespace) -> int:
 def _cmd_export(args: argparse.Namespace) -> int:
     import pathlib
 
-    from repro.core.registry import EXTRA_SCHEDULERS
     from repro.io import save_json, save_svg, save_trace, schedule_to_dict
 
+    if args.algorithm is not None and not args.scheduler:
+        print(
+            "note: --algorithm is a deprecated alias; use --scheduler",
+            file=sys.stderr,
+        )
+        name = args.algorithm
+    elif args.scheduler:
+        name = args.scheduler[-1]
+    else:
+        name = "openshop"
+    scheduler = _resolve_schedulers([name])[name]
     problem = example_problem()
-    scheduler = ALL_SCHEDULERS.get(args.algorithm) or EXTRA_SCHEDULERS[
-        args.algorithm
-    ]
     schedule = scheduler(problem)
     out = pathlib.Path(args.output_dir)
     out.mkdir(parents=True, exist_ok=True)
-    base = out / f"example_{args.algorithm}"
+    # Parameterized names like "matching_min:auction" are path-safe-ified.
+    base = out / f"example_{name.replace(':', '-')}"
     save_json(base.with_suffix(".json"), schedule_to_dict(schedule))
     save_svg(schedule, base.with_suffix(".svg"),
-             title=f"{args.algorithm} on the running example")
+             title=f"{name} on the running example")
     save_trace(schedule, base.with_suffix(".trace.json"))
     print(f"wrote {base}.json, {base}.svg, {base}.trace.json "
           f"(completion {schedule.completion_time:g}s)")
@@ -325,11 +360,14 @@ def _cmd_claims(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    import time as _time
+
     from repro.perf.bench import (
         DEFAULT_MATCHING_MAX_P,
         DEFAULT_REFERENCE_MAX_P,
         render_bench,
         run_bench,
+        update_bench_json,
     )
 
     matching_max_p = (
@@ -351,9 +389,47 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         output=args.output or None,
     )
     print(render_bench(result))
+    if args.scheduler:
+        # Extra end-to-end timings of registry entry points (factory
+        # options included) on the same mixed workload, best-of-repeats.
+        from repro.directory.service import DirectorySnapshot
+        from repro.model.messages import MixedSizes
+
+        schedulers = _resolve_schedulers(args.scheduler)
+        repeats = max(1, 1 if args.smoke else args.repeats)
+        rows = []
+        payload: Dict[str, Dict[str, float]] = {}
+        for p in result["meta"]["proc_counts"]:
+            rng = np.random.default_rng(args.seed)
+            latency, bandwidth = random_pairwise_parameters(int(p), rng=rng)
+            problem = TotalExchangeProblem.from_snapshot(
+                DirectorySnapshot(latency=latency, bandwidth=bandwidth),
+                MixedSizes(),
+                rng=rng,
+            )
+            for name, scheduler in schedulers.items():
+                best = min(
+                    _timed(_time.perf_counter, scheduler, problem)
+                    for _ in range(repeats)
+                )
+                rows.append([int(p), name, best])
+                payload.setdefault(str(p), {})[name] = best
+        print()
+        print(format_table(
+            ["P", "scheduler", "best (s)"], rows, precision=4,
+            title="end-to-end scheduler timings (--scheduler)",
+        ))
+        if args.output:
+            update_bench_json("cli_scheduler_timings", payload, args.output)
     if args.output:
         print(f"\nwrote {args.output}")
     return 0
+
+
+def _timed(clock, scheduler, problem) -> float:
+    started = clock()
+    scheduler(problem)
+    return clock() - started
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -365,15 +441,141 @@ def _cmd_check(args: argparse.Namespace) -> int:
     time_budget = args.time_budget
     if time_budget is None and args.smoke:
         time_budget = 60.0
+    schedulers = (
+        _resolve_schedulers(args.scheduler) if args.scheduler else None
+    )
     report = run_check(
         seeds=seeds,
         p_max=p_max,
         time_budget=time_budget,
         base_seed=args.base_seed,
+        schedulers=schedulers,
         out_dir=args.out_dir or None,
     )
     print(render_check(report))
     return 0 if report.ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.directory.service import DirectorySnapshot
+    from repro.model.messages import MixedSizes
+    from repro.runtime import AdaptiveSession, PolicyConfig
+    from repro.sim.replay import TraceDirectory, synthetic_drift_trace
+
+    # --smoke is the deterministic CI preset: small instance, a burst
+    # cadence that exercises reuse AND refine AND reschedule, plus one
+    # injected scheduler timeout so the baseline fallback path runs.
+    # Explicit flags still win over the preset.
+    def pick(value, smoke_default, default):
+        if value is not None:
+            return value
+        return smoke_default if args.smoke else default
+
+    procs = pick(args.procs, 8, 12)
+    ticks = pick(args.ticks, 12, 32)
+    sigma = pick(args.sigma, 0.01, 0.02)
+    burst_sigma = pick(args.burst_sigma, 0.6, 0.5)
+    burst_every = pick(args.burst_every, 4, 8)
+    max_reuse = pick(args.max_reuse_ticks, 2, 8)
+    inject = list(args.inject_timeout or ([6] if args.smoke else []))
+
+    name = args.scheduler[-1] if args.scheduler else "openshop"
+    _resolve_schedulers([name])  # fail fast with the friendly message
+
+    rng = np.random.default_rng(args.seed)
+    latency, bandwidth = random_pairwise_parameters(procs, rng=rng)
+    base = DirectorySnapshot(latency=latency, bandwidth=bandwidth)
+    trace = synthetic_drift_trace(
+        base,
+        ticks=ticks,
+        dt=args.dt,
+        base_sigma=sigma,
+        burst_sigma=burst_sigma,
+        burst_every=burst_every,
+        seed=args.seed,
+    )
+    directory = TraceDirectory(trace)
+    session = AdaptiveSession(
+        directory,
+        MixedSizes(),
+        scheduler=name,
+        policy=PolicyConfig(
+            reuse_threshold=args.reuse_threshold,
+            refine_threshold=args.refine_threshold,
+            max_reuse_ticks=max_reuse,
+            scheduler_deadline_s=args.deadline,
+        ),
+        force_timeout_ticks=inject,
+        rng=np.random.default_rng(args.seed),
+    )
+
+    print(
+        f"serving {ticks} total exchanges over a P={procs} drift trace "
+        f"(scheduler={name}, sigma={sigma:g}, bursts every "
+        f"{burst_every or 'never'} ticks)"
+    )
+    rows = []
+    results = [session.tick(dt=0.0)]
+    results += [session.tick(dt=args.dt) for _ in range(ticks - 1)]
+    for result in results:
+        e = result.event
+        flags = "".join(
+            mark for mark, on in (
+                ("C", e.cache_hit), ("F", e.fallback),
+            ) if on
+        )
+        rows.append([
+            e.tick, e.time, e.decision, max(e.drift, 0.0),
+            e.predicted_makespan, e.executed_makespan, e.regret,
+            flags or "-",
+        ])
+    print(format_table(
+        ["tick", "t", "decision", "drift", "predicted (s)",
+         "executed (s)", "regret (s)", "flags"],
+        rows, precision=3,
+        title="per-tick serving log (C = cache hit, F = fallback)",
+    ))
+    summary = session.summary()
+    print()
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["ticks", summary["ticks"]],
+            *[[f"decision.{k}", v] for k, v in summary["decisions"].items()],
+            ["reschedule_rate", round(summary["reschedule_rate"], 4)],
+            ["cache_hit_rate", round(summary["cache_hit_rate"], 4)],
+            ["fallback_activations", summary["fallback_activations"]],
+            ["refine_evaluations", summary["refine_evaluations"]],
+            ["mean_regret_s", round(summary["mean_regret_s"], 4)],
+            [
+                "mean_executed_makespan_s",
+                round(summary["mean_executed_makespan_s"], 4),
+            ],
+        ],
+        title="serving summary",
+    ))
+    if args.metrics_out:
+        session.metrics.save_json(args.metrics_out)
+        print(f"\nwrote metrics JSON to {args.metrics_out}")
+    if args.trace_out:
+        session.metrics.save_chrome_trace(args.trace_out)
+        print(f"wrote Chrome trace to {args.trace_out}")
+    return 0
+
+
+def _scheduler_parent() -> argparse.ArgumentParser:
+    """The shared ``--scheduler`` flag every scheduler-taking subcommand
+    inherits (repeatable; resolved via ``make_scheduler``)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--scheduler", action="append", default=None, metavar="NAME",
+        help=(
+            "registry scheduler name (repeat to select several where a "
+            "set is compared; parameterized variants like "
+            "'matching_min:auction' included)"
+        ),
+    )
+    return parent
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -385,6 +587,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    scheduler_parent = _scheduler_parent()
 
     p_example = sub.add_parser("example", help="run the 5-processor example")
     p_example.add_argument(
@@ -406,7 +609,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_quality.add_argument("--seed", type=int, default=0)
     p_quality.set_defaults(func=_cmd_quality)
 
-    p_zoo = sub.add_parser("zoo", help="compare every scheduler")
+    p_zoo = sub.add_parser(
+        "zoo", parents=[scheduler_parent], help="compare schedulers"
+    )
     p_zoo.add_argument("--procs", type=int, default=12)
     p_zoo.add_argument("--seed", type=int, default=0)
     p_zoo.set_defaults(func=_cmd_zoo)
@@ -425,9 +630,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_broadcast.set_defaults(func=_cmd_broadcast)
 
     p_export = sub.add_parser(
-        "export", help="export an example schedule (JSON/SVG/trace)"
+        "export", parents=[scheduler_parent],
+        help="export an example schedule (JSON/SVG/trace)",
     )
-    p_export.add_argument("--algorithm", default="openshop")
+    p_export.add_argument(
+        "--algorithm", default=None,
+        help="deprecated alias for --scheduler",
+    )
     p_export.add_argument("--output-dir", default="exported")
     p_export.set_defaults(func=_cmd_export)
 
@@ -439,7 +648,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_claims.set_defaults(func=_cmd_claims)
 
     p_bench = sub.add_parser(
-        "bench", help="time the scheduling kernels vs the seed versions"
+        "bench", parents=[scheduler_parent],
+        help="time the scheduling kernels vs the seed versions",
     )
     p_bench.add_argument(
         "--sizes", type=int, nargs="+", default=None, metavar="P",
@@ -470,7 +680,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.set_defaults(func=_cmd_bench)
 
     p_check = sub.add_parser(
-        "check", help="differential fuzzing & invariant oracle"
+        "check", parents=[scheduler_parent],
+        help="differential fuzzing & invariant oracle",
     )
     p_check.add_argument(
         "--seeds", type=int, default=None, metavar="N",
@@ -494,6 +705,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="minimized-failure artifact directory ('' to disable)",
     )
     p_check.set_defaults(func=_cmd_check)
+
+    p_serve = sub.add_parser(
+        "serve", parents=[scheduler_parent],
+        help="drive the online adaptive runtime over a drift trace",
+    )
+    p_serve.add_argument(
+        "--procs", type=int, default=None,
+        help="processors in the drift trace (default: 12; 8 with --smoke)",
+    )
+    p_serve.add_argument(
+        "--ticks", type=int, default=None,
+        help="total exchanges to serve (default: 32; 12 with --smoke)",
+    )
+    p_serve.add_argument("--dt", type=float, default=1.0,
+                         help="directory seconds between ticks")
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument(
+        "--sigma", type=float, default=None,
+        help="per-tick drift magnitude (default: 0.02; 0.01 with --smoke)",
+    )
+    p_serve.add_argument(
+        "--burst-sigma", type=float, default=None,
+        help="burst drift magnitude (default: 0.5; 0.6 with --smoke)",
+    )
+    p_serve.add_argument(
+        "--burst-every", type=int, default=None,
+        help="burst cadence in ticks, 0 = never "
+             "(default: 8; 4 with --smoke)",
+    )
+    p_serve.add_argument(
+        "--reuse-threshold", type=float, default=0.05,
+        help="drift below this reuses the plan untouched",
+    )
+    p_serve.add_argument(
+        "--refine-threshold", type=float, default=0.25,
+        help="drift at or above this forces a full reschedule",
+    )
+    p_serve.add_argument(
+        "--max-reuse-ticks", type=int, default=None,
+        help="staleness cap on consecutive reuses "
+             "(default: 8; 3 with --smoke)",
+    )
+    p_serve.add_argument(
+        "--deadline", type=float, default=5.0,
+        help="scheduler wall-clock deadline in seconds before the "
+             "baseline fallback takes over",
+    )
+    p_serve.add_argument(
+        "--inject-timeout", type=int, action="append", default=None,
+        metavar="TICK",
+        help="chaos hook: treat the scheduler as timed out at this tick "
+             "(repeatable; --smoke injects tick 6)",
+    )
+    p_serve.add_argument(
+        "--smoke", action="store_true",
+        help="deterministic CI preset exercising reuse, refine, "
+             "reschedule, and the injected-timeout fallback",
+    )
+    p_serve.add_argument(
+        "--metrics-out", default="serve_metrics.json",
+        help="metrics JSON output path ('' to skip)",
+    )
+    p_serve.add_argument(
+        "--trace-out", default="",
+        help="Chrome trace output path ('' to skip)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     return parser
 

@@ -28,10 +28,19 @@ from repro.core.problem import (
     example_problem,
     tight_baseline_instance,
 )
-from repro.core.registry import ALL_SCHEDULERS, get_scheduler, scheduler_names
+from repro.core.registry import (
+    ALL_SCHEDULERS,
+    SchedulerSpec,
+    get_scheduler,
+    get_spec,
+    iter_specs,
+    make_scheduler,
+    scheduler_names,
+)
 
 __all__ = [
     "ALL_SCHEDULERS",
+    "SchedulerSpec",
     "TotalExchangeProblem",
     "baseline_orders",
     "baseline_steps",
@@ -39,7 +48,10 @@ __all__ = [
     "schedule_baseline_nosync",
     "example_problem",
     "get_scheduler",
+    "get_spec",
     "greedy_orders",
+    "iter_specs",
+    "make_scheduler",
     "matching_orders",
     "schedule_baseline",
     "schedule_greedy",

@@ -6,7 +6,9 @@
   (Figures 9-12);
 * :mod:`repro.experiments.quality` — the Section 5 ratio-to-lower-bound
   quality claims;
-* :mod:`repro.experiments.report` — plain-text rendering of results.
+* :mod:`repro.experiments.report` — plain-text rendering of results;
+* :mod:`repro.experiments.runtime_sweep` — adaptivity gain of the
+  online serving runtime vs never/always replanning.
 """
 
 from repro.experiments.figures import (
@@ -19,10 +21,17 @@ from repro.experiments.figures import (
 from repro.experiments.harness import SweepResult, run_sweep
 from repro.experiments.quality import QualityStats, quality_stats
 from repro.experiments.report import render_quality, render_sweep
+from repro.experiments.runtime_sweep import (
+    RuntimeSweepResult,
+    SERVE_POLICIES,
+    run_runtime_sweep,
+)
 
 __all__ = [
     "FIGURE_DRIVERS",
     "QualityStats",
+    "RuntimeSweepResult",
+    "SERVE_POLICIES",
     "SweepResult",
     "figure09_small_messages",
     "figure10_large_messages",
@@ -31,5 +40,6 @@ __all__ = [
     "quality_stats",
     "render_quality",
     "render_sweep",
+    "run_runtime_sweep",
     "run_sweep",
 ]

@@ -25,7 +25,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.problem import TotalExchangeProblem
-from repro.core.registry import ALL_SCHEDULERS, Scheduler
+from repro.core.registry import Scheduler, iter_specs
 from repro.directory.service import DirectorySnapshot
 from repro.model.messages import SizeSpec
 from repro.network.generators import random_pairwise_parameters
@@ -164,7 +164,11 @@ def run_sweep(
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
-    algorithms = dict(algorithms) if algorithms is not None else dict(ALL_SCHEDULERS)
+    algorithms = (
+        dict(algorithms)
+        if algorithms is not None
+        else {spec.name: spec.fn for spec in iter_specs(tier="paper")}
+    )
 
     gen_kwargs = {}
     if latency_range is not None:

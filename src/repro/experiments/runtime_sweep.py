@@ -1,0 +1,146 @@
+"""Adaptivity-gain sweep through the serving runtime (Section 6 online).
+
+The checkpoint sweep (:mod:`repro.experiments.adaptive_sweep`) measures
+one collective interrupted mid-flight.  This sweep measures the
+*serving* story instead: a long-lived :class:`repro.runtime.AdaptiveSession`
+facing a compounding drift trace, compared against the two degenerate
+policies that bracket it —
+
+* ``never`` — plan once, reuse forever (the stale-plan strawman);
+* ``adaptive`` — the default reuse/refine/reschedule thresholds;
+* ``always`` — recompute from scratch every tick (the quality ceiling,
+  at maximum scheduling cost).
+
+For each drift magnitude we report the mean executed makespan, the mean
+predicted-vs-executed regret, and the scheduling effort (ticks that ran
+the scheduler or the refiner) — the quality/effort trade-off the
+adaptive policy is supposed to win.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.directory.service import DirectorySnapshot
+from repro.model.messages import MixedSizes
+from repro.network.generators import random_pairwise_parameters
+from repro.runtime import AdaptiveSession, PolicyConfig
+from repro.sim.replay import TraceDirectory, synthetic_drift_trace
+from repro.util.rng import stable_seed, to_rng
+
+#: The serving policies bracketing the adaptive one.
+SERVE_POLICIES: Dict[str, PolicyConfig] = {
+    "never": PolicyConfig(
+        reuse_threshold=float("inf"),
+        refine_threshold=float("inf"),
+        max_reuse_ticks=10**9,
+        max_plan_age_ticks=10**9,
+    ),
+    "adaptive": PolicyConfig(),
+    "always": PolicyConfig(reuse_threshold=0.0, refine_threshold=0.0),
+}
+
+
+@dataclass(frozen=True)
+class RuntimeSweepResult:
+    """Per-(sigma, policy) serving outcomes, averaged over trials."""
+
+    sigmas: Tuple[float, ...]
+    num_procs: int
+    ticks: int
+    trials: int
+    executed: Dict[str, Tuple[float, ...]]  # policy -> mean makespan
+    regret: Dict[str, Tuple[float, ...]]  # policy -> mean |regret|
+    effort: Dict[str, Tuple[float, ...]]  # policy -> mean scheduling ticks
+
+    def gain(self, policy: str = "adaptive") -> Tuple[float, ...]:
+        """Executed-makespan reduction of ``policy`` vs never replanning."""
+        stale = self.executed["never"]
+        ours = self.executed[policy]
+        return tuple(
+            (s - o) / s if s > 0 else 0.0 for s, o in zip(stale, ours)
+        )
+
+
+def run_runtime_sweep(
+    *,
+    sigmas: Sequence[float] = (0.0, 0.1, 0.3),
+    num_procs: int = 8,
+    ticks: int = 12,
+    trials: int = 3,
+    burst_every: int = 0,
+    scheduler: str = "openshop",
+    seed: int = 0,
+) -> RuntimeSweepResult:
+    """Serve the same drift traces under each policy and compare.
+
+    Every policy sees byte-identical traces and message sizes (seeded
+    per ``(sigma, trial)``), so differences are purely the policy's.
+    ``sigmas`` are the per-tick drift magnitudes of the compounding
+    random walk (:func:`repro.sim.replay.synthetic_drift_trace`).
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    if ticks < 1:
+        raise ValueError(f"ticks must be >= 1, got {ticks}")
+    executed: Dict[str, list] = {name: [] for name in SERVE_POLICIES}
+    regret: Dict[str, list] = {name: [] for name in SERVE_POLICIES}
+    effort: Dict[str, list] = {name: [] for name in SERVE_POLICIES}
+    for sigma in sigmas:
+        per = {
+            name: {"executed": [], "regret": [], "effort": []}
+            for name in SERVE_POLICIES
+        }
+        for trial in range(trials):
+            rng = to_rng(stable_seed("runtime-sweep", seed, sigma, trial))
+            latency, bandwidth = random_pairwise_parameters(
+                num_procs, rng=rng
+            )
+            base = DirectorySnapshot(latency=latency, bandwidth=bandwidth)
+            sizes = MixedSizes().sizes(num_procs, rng=rng)
+            trace = synthetic_drift_trace(
+                base,
+                ticks=ticks,
+                base_sigma=float(sigma),
+                burst_every=burst_every,
+                seed=stable_seed("runtime-sweep-trace", seed, sigma, trial),
+            )
+            for name, policy in SERVE_POLICIES.items():
+                session = AdaptiveSession(
+                    TraceDirectory(trace),
+                    sizes,
+                    scheduler=scheduler,
+                    policy=policy,
+                )
+                results = [session.tick(dt=0.0)]
+                results += [session.tick(dt=1.0) for _ in range(ticks - 1)]
+                events = [r.event for r in results]
+                per[name]["executed"].append(
+                    float(np.mean([e.executed_makespan for e in events]))
+                )
+                per[name]["regret"].append(
+                    float(np.mean([abs(e.regret) for e in events]))
+                )
+                summary = session.summary()
+                per[name]["effort"].append(
+                    float(
+                        summary["decisions"]["reschedule"]
+                        + summary["decisions"]["refine"]
+                    )
+                )
+        for name in SERVE_POLICIES:
+            executed[name].append(float(np.mean(per[name]["executed"])))
+            regret[name].append(float(np.mean(per[name]["regret"])))
+            effort[name].append(float(np.mean(per[name]["effort"])))
+    return RuntimeSweepResult(
+        sigmas=tuple(float(s) for s in sigmas),
+        num_procs=num_procs,
+        ticks=ticks,
+        trials=trials,
+        executed={k: tuple(v) for k, v in executed.items()},
+        regret={k: tuple(v) for k, v in regret.items()},
+        effort={k: tuple(v) for k, v in effort.items()},
+    )

@@ -96,6 +96,29 @@ class ScheduleCache:
             self._entries.popitem(last=False)
         return schedule
 
+    def lookup(
+        self,
+        problem: TotalExchangeProblem,
+        scheduler: Callable[[TotalExchangeProblem], Schedule],
+        *,
+        name: Optional[str] = None,
+    ) -> Optional[Schedule]:
+        """The cached schedule, or None; counts a hit or a miss.
+
+        Unlike :meth:`get_or_compute`, a miss does *not* invoke the
+        scheduler — callers that must guard the computation (deadlines,
+        fallbacks) use ``lookup`` + :meth:`put` so failed or substituted
+        results never poison the cache.
+        """
+        key = (problem_digest(problem), _scheduler_label(scheduler, name))
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return cached
+        self.misses += 1
+        return None
+
     def put(
         self,
         problem: TotalExchangeProblem,

@@ -1,0 +1,303 @@
+"""Lightweight observability for the adaptive runtime.
+
+The serving loop (:class:`repro.runtime.session.AdaptiveSession`) emits
+one structured :class:`TickEvent` per total exchange plus named counters
+and histograms into a :class:`RuntimeMetrics` registry.  Everything is
+plain data: exportable as JSON (machine-readable summaries for CI and
+experiments) and as Chrome trace-event spans (one track per decision
+kind) through the same Trace Event Format conventions as
+:mod:`repro.io.trace`, so a session's policy behaviour can be inspected
+in ``chrome://tracing`` / Perfetto next to the schedules it produced.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Union
+
+#: Trace timestamps are microseconds (matches :mod:`repro.io.trace`).
+_US = 1e6
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Histogram:
+    """Streaming summary of a numeric series.
+
+    Keeps O(1) state (count / sum / min / max) plus a small reservoir of
+    the most recent samples for percentile estimates — a serving loop
+    runs for unboundedly many ticks, so the full series is not retained.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_recent", "_keep")
+
+    def __init__(self, name: str, keep: int = 256):
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._recent: List[float] = []
+        self._keep = keep
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        self._recent.append(value)
+        if len(self._recent) > self._keep:
+            del self._recent[: len(self._recent) - self._keep]
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate percentile over the retained recent samples."""
+        if not (0.0 <= q <= 100.0):
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        if not self._recent:
+            return 0.0
+        ordered = sorted(self._recent)
+        index = min(
+            len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1)))
+        )
+        return ordered[index]
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+        }
+
+
+@dataclass(frozen=True)
+class TickEvent:
+    """One serving tick's structured record.
+
+    Attributes
+    ----------
+    tick:
+        0-based tick index.
+    time:
+        Directory clock at the tick, in simulated seconds.
+    decision:
+        ``"reuse"``, ``"refine"`` or ``"reschedule"``.
+    reason:
+        Why the policy picked the decision (threshold comparison,
+        staleness cap, budget, forced fallback...).
+    drift:
+        Mean relative cost change against the active plan's basis.
+    predicted_makespan:
+        The active plan's completion time under the costs it was
+        planned for.
+    executed_makespan:
+        The plan's completion time re-executed under the tick's actual
+        costs.
+    regret:
+        ``executed - predicted`` seconds (positive: reality was worse
+        than the plan promised).
+    scheduler_elapsed:
+        Wall-clock seconds spent inside scheduler/refinement calls this
+        tick (0 for pure reuse).
+    refine_evaluations:
+        Candidate evaluations spent by incremental refinement (0 unless
+        the decision was ``refine``).
+    cache_hit:
+        Whether a full reschedule was answered from the digest-keyed
+        schedule cache.
+    fallback:
+        Whether the baseline fallback replaced the scheduler's answer
+        (timeout or exception).
+    """
+
+    tick: int
+    time: float
+    decision: str
+    reason: str
+    drift: float
+    predicted_makespan: float
+    executed_makespan: float
+    regret: float
+    scheduler_elapsed: float = 0.0
+    refine_evaluations: int = 0
+    cache_hit: bool = False
+    fallback: bool = False
+
+
+#: Decision names in stable display order.
+DECISIONS = ("reuse", "refine", "reschedule")
+
+
+class RuntimeMetrics:
+    """Registry of counters, histograms, and per-tick events."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self.events: List[TickEvent] = []
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def histogram(self, name: str) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name)
+        return histogram
+
+    def record_tick(self, event: TickEvent) -> None:
+        """Fold one tick into the counters/histograms and keep the event."""
+        if event.decision not in DECISIONS:
+            raise ValueError(
+                f"unknown decision {event.decision!r}; "
+                f"expected one of {DECISIONS}"
+            )
+        self.events.append(event)
+        self.counter("ticks").inc()
+        self.counter(f"decision.{event.decision}").inc()
+        if event.cache_hit:
+            self.counter("cache.hits").inc()
+        elif event.decision == "reschedule":
+            self.counter("cache.misses").inc()
+        if event.fallback:
+            self.counter("fallback.activations").inc()
+        if event.refine_evaluations:
+            self.counter("refine.evaluations").inc(event.refine_evaluations)
+        self.histogram("regret_s").record(event.regret)
+        self.histogram("executed_makespan_s").record(event.executed_makespan)
+        self.histogram("scheduler_elapsed_s").record(event.scheduler_elapsed)
+        self.histogram("drift").record(event.drift)
+
+    # -- derived rates ------------------------------------------------------
+
+    def _count(self, name: str) -> int:
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else 0
+
+    @property
+    def ticks(self) -> int:
+        return self._count("ticks")
+
+    @property
+    def reschedule_rate(self) -> float:
+        """Fraction of ticks that fully rescheduled."""
+        ticks = self.ticks
+        return self._count("decision.reschedule") / ticks if ticks else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Cache hits over reschedule decisions."""
+        lookups = self._count("cache.hits") + self._count("cache.misses")
+        return self._count("cache.hits") / lookups if lookups else 0.0
+
+    # -- export -------------------------------------------------------------
+
+    def summary(self) -> Dict[str, Any]:
+        """The headline serving numbers as one flat dict."""
+        ticks = self.ticks
+        return {
+            "ticks": ticks,
+            "decisions": {
+                name: self._count(f"decision.{name}") for name in DECISIONS
+            },
+            "reschedule_rate": self.reschedule_rate,
+            "cache_hit_rate": self.cache_hit_rate,
+            "fallback_activations": self._count("fallback.activations"),
+            "refine_evaluations": self._count("refine.evaluations"),
+            "mean_regret_s": self.histogram("regret_s").mean,
+            "mean_executed_makespan_s": (
+                self.histogram("executed_makespan_s").mean
+            ),
+        }
+
+    def to_json(self) -> Dict[str, Any]:
+        """Full JSON-serialisable dump: summary, counters, histograms,
+        and the per-tick structured events."""
+        return {
+            "summary": self.summary(),
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            },
+            "histograms": {
+                name: histogram.summary()
+                for name, histogram in sorted(self._histograms.items())
+            },
+            "events": [asdict(event) for event in self.events],
+        }
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """Per-tick spans in the Trace Event Format.
+
+        One track per decision kind; each tick is a complete ("X") span
+        from its directory time over the executed makespan, annotated
+        with the tick's structured record — loadable in
+        ``chrome://tracing`` / Perfetto alongside
+        :func:`repro.io.trace.schedule_to_trace` output.
+        """
+        trace_events: List[Dict[str, Any]] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": 0,
+                "args": {"name": "adaptive-session"},
+            }
+        ]
+        for tid, decision in enumerate(DECISIONS):
+            trace_events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": tid,
+                    "args": {"name": decision},
+                }
+            )
+        for event in self.events:
+            trace_events.append(
+                {
+                    "name": f"tick {event.tick}: {event.decision}",
+                    "cat": "tick",
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": DECISIONS.index(event.decision),
+                    "ts": event.time * _US,
+                    "dur": max(event.executed_makespan, 1e-9) * _US,
+                    "args": asdict(event),
+                }
+            )
+        return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+    def save_json(self, path: Union[str, pathlib.Path]) -> None:
+        pathlib.Path(path).write_text(json.dumps(self.to_json(), indent=2))
+
+    def save_chrome_trace(self, path: Union[str, pathlib.Path]) -> None:
+        pathlib.Path(path).write_text(json.dumps(self.to_chrome_trace()))

@@ -1,0 +1,188 @@
+"""The reuse / refine / reschedule policy (paper Sections 4 and 6).
+
+Every serving tick the session measures how far the directory's current
+costs have drifted from the basis the active plan was computed for, and
+picks the cheapest response that keeps schedule quality:
+
+* **reuse** — drift below ``reuse_threshold``: the previous dispatch
+  orders are simply re-executed (zero scheduling cost);
+* **refine** — drift below ``refine_threshold``: incremental repair via
+  :func:`repro.adaptive.incremental.refine_orders` (targeted re-sort +
+  budgeted swap passes, ``O(passes * P^3 log P)``);
+* **reschedule** — drift at or above ``refine_threshold``: a full
+  scheduler run against the fresh snapshot (``O(P^2 log P)`` for the
+  open shop default, up to ``O(P^4)`` for matching).
+
+Two robustness overlays guard the thresholds.  Staleness caps bound how
+long measurement noise can pin the session to a stale plan: a long
+reuse streak forces at least a refine, and a plan older than
+``max_plan_age_ticks`` forces a full reschedule regardless of measured
+drift (Estefanel & Mounié: directory readings are noisy inputs, small
+per-tick drift can compound).  A compute budget bounds how often the
+expensive response may fire: full reschedules are rationed to one per
+``min_ticks_between_reschedules`` ticks, demoting excess demand to
+refinement (Beaumont & Marchal's reuse-vs-recompute trade-off).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+#: Decision constants (string-valued so metrics and JSON stay readable).
+REUSE = "reuse"
+REFINE = "refine"
+RESCHEDULE = "reschedule"
+
+
+@dataclass(frozen=True)
+class PolicyConfig:
+    """Tunables of the per-tick policy.
+
+    Attributes
+    ----------
+    reuse_threshold:
+        Mean relative cost drift below which the plan is reused as-is.
+    refine_threshold:
+        Drift below which incremental refinement suffices; at or above
+        it the plan is recomputed from scratch.
+    refine_passes:
+        Swap-pass budget handed to ``refine_orders``.
+    max_reuse_ticks:
+        Staleness cap: after this many consecutive reuse ticks the
+        session refines even if measured drift stays under the reuse
+        threshold.
+    max_plan_age_ticks:
+        Staleness cap: ticks since the last full reschedule after which
+        recomputation is forced regardless of drift.
+    min_ticks_between_reschedules:
+        Compute budget: a drift-demanded full reschedule within this
+        many ticks of the previous one is demoted to refinement
+        (staleness-forced recomputations are exempt — robustness beats
+        the budget).
+    scheduler_deadline_s:
+        Wall-clock deadline on one scheduler invocation; an invocation
+        exceeding it (or raising) is discarded in favour of the O(P^2)
+        baseline caterpillar.  ``None`` disables the deadline.
+    """
+
+    reuse_threshold: float = 0.05
+    refine_threshold: float = 0.25
+    refine_passes: int = 1
+    max_reuse_ticks: int = 8
+    max_plan_age_ticks: int = 24
+    min_ticks_between_reschedules: int = 0
+    scheduler_deadline_s: Optional[float] = 5.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.reuse_threshold <= self.refine_threshold):
+            raise ValueError(
+                "need 0 <= reuse_threshold <= refine_threshold, got "
+                f"{self.reuse_threshold} / {self.refine_threshold}"
+            )
+        if self.refine_passes < 0:
+            raise ValueError(
+                f"refine_passes must be >= 0, got {self.refine_passes}"
+            )
+        if self.max_reuse_ticks < 1:
+            raise ValueError(
+                f"max_reuse_ticks must be >= 1, got {self.max_reuse_ticks}"
+            )
+        if self.max_plan_age_ticks < 1:
+            raise ValueError(
+                f"max_plan_age_ticks must be >= 1, "
+                f"got {self.max_plan_age_ticks}"
+            )
+        if self.min_ticks_between_reschedules < 0:
+            raise ValueError(
+                "min_ticks_between_reschedules must be >= 0, got "
+                f"{self.min_ticks_between_reschedules}"
+            )
+        if (
+            self.scheduler_deadline_s is not None
+            and self.scheduler_deadline_s <= 0
+        ):
+            raise ValueError(
+                "scheduler_deadline_s must be positive or None, got "
+                f"{self.scheduler_deadline_s}"
+            )
+
+
+def drift_magnitude(basis: np.ndarray, current: np.ndarray) -> float:
+    """Mean relative cost change over the pairs positive in the basis.
+
+    The same measure the checkpoint rescheduler thresholds on: for each
+    message with positive planned cost, ``|new - old| / old``, averaged.
+    Pairs appearing from nowhere (zero basis, positive now) count as a
+    full unit of drift each.
+    """
+    basis = np.asarray(basis, dtype=float)
+    current = np.asarray(current, dtype=float)
+    if basis.shape != current.shape:
+        raise ValueError(
+            f"basis shape {basis.shape} != current shape {current.shape}"
+        )
+    positive = basis > 0
+    terms = []
+    if np.any(positive):
+        terms.append(
+            np.abs(current[positive] - basis[positive]) / basis[positive]
+        )
+    appeared = (~positive) & (current > 0)
+    if np.any(appeared):
+        terms.append(np.ones(int(appeared.sum())))
+    if not terms:
+        return 0.0
+    return float(np.mean(np.concatenate(terms)))
+
+
+def decide(
+    drift: float,
+    *,
+    config: PolicyConfig,
+    reuse_streak: int,
+    ticks_since_reschedule: int,
+) -> Tuple[str, str]:
+    """``(decision, reason)`` for one tick.
+
+    Parameters
+    ----------
+    drift:
+        Measured drift against the active plan's basis.
+    reuse_streak:
+        Consecutive reuse ticks ending at the previous tick.
+    ticks_since_reschedule:
+        Ticks since the session last recomputed a plan from scratch.
+    """
+    if ticks_since_reschedule >= config.max_plan_age_ticks:
+        return RESCHEDULE, (
+            f"staleness: {ticks_since_reschedule} ticks since the last "
+            f"full reschedule >= cap {config.max_plan_age_ticks}"
+        )
+    if drift >= config.refine_threshold:
+        if ticks_since_reschedule < config.min_ticks_between_reschedules:
+            return REFINE, (
+                f"budget: drift {drift:.3f} demands rescheduling but only "
+                f"{ticks_since_reschedule} ticks since the last one "
+                f"(minimum {config.min_ticks_between_reschedules})"
+            )
+        return RESCHEDULE, (
+            f"drift {drift:.3f} >= refine threshold "
+            f"{config.refine_threshold:g}"
+        )
+    if drift >= config.reuse_threshold:
+        return REFINE, (
+            f"drift {drift:.3f} in [{config.reuse_threshold:g}, "
+            f"{config.refine_threshold:g})"
+        )
+    if reuse_streak >= config.max_reuse_ticks:
+        return REFINE, (
+            f"staleness: {reuse_streak} consecutive reuses >= cap "
+            f"{config.max_reuse_ticks}"
+        )
+    return REUSE, (
+        f"drift {drift:.3f} < reuse threshold {config.reuse_threshold:g}"
+    )

@@ -1,0 +1,328 @@
+"""The online adaptive scheduling runtime.
+
+:class:`AdaptiveSession` is the long-lived component the paper's run-time
+story implies but a one-shot scheduler cannot provide: it owns a
+directory subscription (any :class:`~repro.directory.service.DirectoryService`
+— static, noisy, trace-driven), keeps the active plan in order-based
+form, and on every serving tick (one total exchange) measures directory
+drift and picks the cheapest adequate response — reuse the plan, repair
+it incrementally, or recompute it — under the policy in
+:mod:`repro.runtime.policy`.
+
+Robustness guarantees:
+
+* full reschedules answer from a digest-keyed
+  :class:`~repro.perf.memo.ScheduleCache` when the cost matrix was seen
+  before (sensor-style workloads revisit conditions);
+* every scheduler invocation runs under a wall-clock deadline; on
+  timeout or exception the session falls back to the ``O(P^2)`` baseline
+  caterpillar and keeps serving (fallback results are never cached);
+* staleness caps bound how long noisy, low-drift readings can pin the
+  session to an old plan.
+
+Every tick emits a structured :class:`~repro.runtime.metrics.TickEvent`
+into a :class:`~repro.runtime.metrics.RuntimeMetrics` registry,
+including the predicted-vs-executed makespan regret (the plan's promise
+under its planning basis versus its re-execution under the costs that
+actually materialised — the adaptivity gap of :mod:`repro.sim.replay`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Union
+
+import numpy as np
+
+from repro.adaptive.incremental import refine_orders
+from repro.core.baseline import schedule_baseline
+from repro.core.problem import TotalExchangeProblem
+from repro.core.registry import Scheduler, make_scheduler
+from repro.directory.service import DirectoryService
+from repro.model.messages import SizeSpec
+from repro.perf.memo import ScheduleCache
+from repro.runtime.metrics import RuntimeMetrics, TickEvent
+from repro.runtime.policy import (
+    PolicyConfig,
+    RESCHEDULE,
+    REFINE,
+    REUSE,
+    decide,
+    drift_magnitude,
+)
+from repro.sim.engine import SendOrders, execute_orders
+from repro.timing.events import Schedule
+from repro.util.rng import RngLike
+
+
+@dataclass
+class _Plan:
+    """The active plan in order-based form."""
+
+    orders: SendOrders
+    basis_cost: np.ndarray  # the costs the orders were computed/refined for
+    predicted_makespan: float  # completion under the basis costs
+
+
+@dataclass(frozen=True)
+class TickResult:
+    """One serving tick's outcome: the structured event plus the
+    executed schedule (under the tick's actual costs)."""
+
+    event: TickEvent
+    schedule: Schedule
+
+    @property
+    def decision(self) -> str:
+        return self.event.decision
+
+
+class AdaptiveSession:
+    """Serve repeated total exchanges against a drifting directory.
+
+    Parameters
+    ----------
+    directory:
+        The drift feed.  A :class:`~repro.directory.noisy.NoisyDirectory`
+        is planned against its noisy snapshots but *executed* against its
+        wrapped truth, so measurement error shows up as regret.
+    sizes:
+        Message sizes: a matrix, or a
+        :class:`~repro.model.messages.SizeSpec` materialised once at
+        construction (``rng`` seeds it).
+    scheduler:
+        Registry name (resolved via
+        :func:`~repro.core.registry.make_scheduler`) or a bare
+        ``problem -> Schedule`` callable.
+    policy:
+        Tunables; defaults to :class:`~repro.runtime.policy.PolicyConfig`.
+    cache:
+        Digest-keyed schedule cache; a private one is created when not
+        shared explicitly.
+    metrics:
+        Observability registry; a private one is created by default.
+    clock:
+        Monotonic-seconds callable used for the scheduler deadline
+        (injectable for deterministic tests).
+    force_timeout_ticks:
+        Chaos hook: tick indices at which the scheduler invocation is
+        treated as having blown its deadline, exercising the baseline
+        fallback path deterministically (used by ``serve --smoke`` and
+        the tests; harmless in production use).
+    """
+
+    def __init__(
+        self,
+        directory: DirectoryService,
+        sizes: Union[np.ndarray, SizeSpec],
+        *,
+        scheduler: Union[str, Scheduler] = "openshop",
+        policy: Optional[PolicyConfig] = None,
+        cache: Optional[ScheduleCache] = None,
+        metrics: Optional[RuntimeMetrics] = None,
+        clock: Callable[[], float] = time.perf_counter,
+        force_timeout_ticks: Iterable[int] = (),
+        rng: RngLike = None,
+    ):
+        self._directory = directory
+        if isinstance(sizes, SizeSpec):
+            sizes = sizes.sizes(directory.num_procs, rng=rng)
+        self._sizes = np.asarray(sizes, dtype=float)
+        if isinstance(scheduler, str):
+            self._scheduler_name = scheduler
+            self._scheduler = make_scheduler(scheduler)
+        else:
+            self._scheduler_name = getattr(
+                scheduler, "__qualname__", repr(scheduler)
+            )
+            self._scheduler = scheduler
+        self.policy = policy if policy is not None else PolicyConfig()
+        self.cache = cache if cache is not None else ScheduleCache()
+        self.metrics = metrics if metrics is not None else RuntimeMetrics()
+        self._clock = clock
+        self._force_timeout_ticks = frozenset(
+            int(t) for t in force_timeout_ticks
+        )
+
+        self._plan: Optional[_Plan] = None
+        self._tick_index = 0
+        self._reuse_streak = 0
+        self._ticks_since_reschedule = 0
+        self.last_schedule: Optional[Schedule] = None
+
+    # -- directory views ----------------------------------------------------
+
+    @property
+    def scheduler_name(self) -> str:
+        return self._scheduler_name
+
+    @property
+    def tick_index(self) -> int:
+        """Index the *next* tick will carry."""
+        return self._tick_index
+
+    def _planning_problem(self) -> TotalExchangeProblem:
+        return TotalExchangeProblem.from_snapshot(
+            self._directory.snapshot(), self._sizes
+        )
+
+    def _true_problem(
+        self, planning: TotalExchangeProblem
+    ) -> TotalExchangeProblem:
+        """The execution-time instance: the directory's noise-free view
+        when it exposes one (``true_snapshot``), else the planning view."""
+        true_snapshot = getattr(self._directory, "true_snapshot", None)
+        if true_snapshot is None:
+            return planning
+        return TotalExchangeProblem.from_snapshot(
+            true_snapshot(), self._sizes
+        )
+
+    # -- scheduling with deadline + fallback --------------------------------
+
+    def _invoke_scheduler(self, problem: TotalExchangeProblem):
+        """``(schedule, elapsed_s, fallback, detail)`` for one guarded
+        scheduler invocation (never raises; falls back to baseline)."""
+        deadline = self.policy.scheduler_deadline_s
+        injected = self._tick_index in self._force_timeout_ticks
+        elapsed = 0.0
+        schedule: Optional[Schedule] = None
+        detail = ""
+        if not injected:
+            started = self._clock()
+            try:
+                schedule = self._scheduler(problem)
+            except Exception as exc:  # noqa: BLE001 — serving must not die
+                detail = f"scheduler raised {type(exc).__name__}: {exc}"
+                schedule = None
+            elapsed = self._clock() - started
+            if schedule is not None and deadline is not None:
+                if elapsed > deadline:
+                    detail = (
+                        f"deadline: {elapsed:.3f}s > {deadline:g}s budget"
+                    )
+                    schedule = None
+        else:
+            detail = "injected timeout (chaos hook)"
+        if schedule is not None:
+            return schedule, elapsed, False, ""
+        started = self._clock()
+        fallback_schedule = schedule_baseline(problem)
+        elapsed += self._clock() - started
+        return fallback_schedule, elapsed, True, detail
+
+    # -- the serving loop ---------------------------------------------------
+
+    def tick(self, dt: float = 0.0) -> TickResult:
+        """Serve one total exchange; advance the directory by ``dt`` first."""
+        if dt:
+            self._directory.advance(dt)
+        planning = self._planning_problem()
+        now = self._directory.time
+
+        cache_hit = False
+        fallback = False
+        elapsed = 0.0
+        evaluations = 0
+
+        if self._plan is None:
+            decision, reason = RESCHEDULE, "cold start: no active plan"
+            drift = float("inf")
+        else:
+            drift = drift_magnitude(self._plan.basis_cost, planning.cost)
+            decision, reason = decide(
+                drift,
+                config=self.policy,
+                reuse_streak=self._reuse_streak,
+                ticks_since_reschedule=self._ticks_since_reschedule,
+            )
+        if self._tick_index in self._force_timeout_ticks:
+            decision = RESCHEDULE
+            reason = "chaos hook: forced reschedule with injected timeout"
+
+        if decision == RESCHEDULE:
+            schedule = None
+            if self._tick_index not in self._force_timeout_ticks:
+                schedule = self.cache.lookup(
+                    planning, self._scheduler, name=self._scheduler_name
+                )
+            if schedule is not None:
+                cache_hit = True
+            else:
+                schedule, elapsed, fallback, detail = self._invoke_scheduler(
+                    planning
+                )
+                if fallback:
+                    reason += f"; fallback to baseline ({detail})"
+                else:
+                    self.cache.put(
+                        planning,
+                        self._scheduler,
+                        schedule,
+                        name=self._scheduler_name,
+                    )
+            self._plan = _Plan(
+                orders=schedule.send_orders(),
+                basis_cost=planning.cost,
+                predicted_makespan=schedule.completion_time,
+            )
+            self._ticks_since_reschedule = 0
+            self._reuse_streak = 0
+        elif decision == REFINE:
+            started = self._clock()
+            result = refine_orders(
+                self._plan.orders,
+                planning,
+                old_problem=TotalExchangeProblem(
+                    cost=self._plan.basis_cost
+                ),
+                max_passes=self.policy.refine_passes,
+            )
+            elapsed = self._clock() - started
+            evaluations = result.evaluations
+            self._plan = _Plan(
+                orders=result.orders,
+                basis_cost=planning.cost,
+                predicted_makespan=result.completion_time,
+            )
+            self._ticks_since_reschedule += 1
+            self._reuse_streak = 0
+        else:  # REUSE
+            self._ticks_since_reschedule += 1
+            self._reuse_streak += 1
+
+        # Execute the active plan under the costs that actually
+        # materialised (the directory's truth when it exposes one).
+        actual = self._true_problem(planning)
+        executed = execute_orders(actual, self._plan.orders, validate=False)
+        predicted = self._plan.predicted_makespan
+
+        event = TickEvent(
+            tick=self._tick_index,
+            time=float(now),
+            decision=decision,
+            reason=reason,
+            drift=drift if np.isfinite(drift) else -1.0,
+            predicted_makespan=predicted,
+            executed_makespan=executed.completion_time,
+            regret=executed.completion_time - predicted,
+            scheduler_elapsed=elapsed,
+            refine_evaluations=evaluations,
+            cache_hit=cache_hit,
+            fallback=fallback,
+        )
+        self.metrics.record_tick(event)
+        self.last_schedule = executed
+        self._tick_index += 1
+        return TickResult(event=event, schedule=executed)
+
+    def run(self, ticks: int, *, dt: float = 1.0) -> List[TickResult]:
+        """Serve ``ticks`` exchanges, advancing the directory ``dt`` each."""
+        if ticks < 1:
+            raise ValueError(f"ticks must be >= 1, got {ticks}")
+        return [self.tick(dt=dt) for _ in range(ticks)]
+
+    def summary(self) -> dict:
+        """The metrics registry's headline numbers."""
+        return self.metrics.summary()

@@ -28,9 +28,12 @@ from repro.sim.engine import (
 )
 from repro.sim.fluid import fluid_execute_orders
 from repro.sim.replay import (
+    DriftTrace,
+    TraceDirectory,
     evaluate_orders_under,
     planned_vs_actual,
     replay_schedule,
+    synthetic_drift_trace,
 )
 from repro.sim.variants import (
     execute_orders_buffered,
@@ -38,8 +41,10 @@ from repro.sim.variants import (
 )
 
 __all__ = [
+    "DriftTrace",
     "SendOrders",
     "Step",
+    "TraceDirectory",
     "check_orders",
     "evaluate_orders_under",
     "execute_orders",
@@ -51,4 +56,5 @@ __all__ = [
     "fluid_execute_orders",
     "planned_vs_actual",
     "replay_schedule",
+    "synthetic_drift_trace",
 ]

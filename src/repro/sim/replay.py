@@ -7,16 +7,25 @@ both each sender's dispatch order and each receiver's service order —
 under the costs that actually materialised, using the same strict
 order-preserving semantics the schedulers plan for
 (:func:`repro.sim.engine.execute_steps_strict`).
+
+The module also provides recorded *drift traces* — timestamped snapshot
+sequences (:class:`DriftTrace`) playable through a
+:class:`TraceDirectory` — which is how the adaptive runtime
+(:mod:`repro.runtime`) and ``python -m repro.cli serve`` are driven:
+plan against the directory, watch it drift, measure the gap.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Iterator, List, Sequence, Tuple
 
 from repro.core.problem import TotalExchangeProblem
+from repro.directory.perturb import perturb_snapshot
+from repro.directory.service import DirectoryService, DirectorySnapshot
 from repro.sim.engine import execute_steps_strict
 from repro.timing.events import Schedule
+from repro.util.rng import stable_seed, to_rng
 
 
 def replay_schedule(
@@ -78,3 +87,139 @@ def planned_vs_actual(
         planned=planned_schedule,
         actual=replay_schedule(planned_schedule, actual),
     )
+
+
+# ---------------------------------------------------------------------------
+# Drift traces: recorded directory histories for replay-driven serving.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DriftTrace:
+    """A timestamped sequence of directory snapshots.
+
+    ``snapshots[k]`` is in force over ``[times[k], times[k+1])``; the
+    last snapshot extends forever.  Traces can be recorded from a live
+    directory or synthesised (:func:`synthetic_drift_trace`); either way
+    they make drift experiments exactly reproducible.
+    """
+
+    times: Tuple[float, ...]
+    snapshots: Tuple[DirectorySnapshot, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.times) != len(self.snapshots) or not self.times:
+            raise ValueError(
+                "need equally many times and snapshots, at least one"
+            )
+        if any(b <= a for a, b in zip(self.times, self.times[1:])):
+            raise ValueError("trace times must be strictly increasing")
+        n = self.snapshots[0].num_procs
+        if any(s.num_procs != n for s in self.snapshots):
+            raise ValueError("all trace snapshots must share a size")
+
+    @property
+    def num_procs(self) -> int:
+        return self.snapshots[0].num_procs
+
+    @property
+    def duration(self) -> float:
+        return self.times[-1] - self.times[0]
+
+    def __len__(self) -> int:
+        return len(self.snapshots)
+
+    def __iter__(self) -> Iterator[DirectorySnapshot]:
+        return iter(self.snapshots)
+
+    def at(self, time: float) -> DirectorySnapshot:
+        """The snapshot in force at ``time`` (clamped at the ends)."""
+        index = 0
+        for k, t in enumerate(self.times):
+            if t <= time:
+                index = k
+            else:
+                break
+        return self.snapshots[index]
+
+
+def synthetic_drift_trace(
+    base: DirectorySnapshot,
+    *,
+    ticks: int,
+    dt: float = 1.0,
+    base_sigma: float = 0.02,
+    burst_sigma: float = 0.5,
+    burst_every: int = 0,
+    seed: int = 0,
+) -> DriftTrace:
+    """A deterministic multiplicative-random-walk drift trace.
+
+    Each step perturbs the *previous* snapshot's bandwidths with
+    log-normal noise of magnitude ``base_sigma`` — drift compounds, as
+    live networks do.  When ``burst_every`` is positive, every that-many
+    ticks the step uses ``burst_sigma`` instead, modelling sudden load
+    shifts (a backbone link congesting) on top of slow wander.  The walk
+    is seeded per step from ``(seed, step)`` so a trace prefix never
+    depends on its length.
+    """
+    if ticks < 1:
+        raise ValueError(f"ticks must be >= 1, got {ticks}")
+    if dt <= 0:
+        raise ValueError(f"dt must be positive, got {dt}")
+    if burst_every < 0:
+        raise ValueError(f"burst_every must be >= 0, got {burst_every}")
+    times = [0.0]
+    snapshots = [base]
+    for step in range(1, ticks):
+        burst = burst_every > 0 and step % burst_every == 0
+        sigma = burst_sigma if burst else base_sigma
+        rng = to_rng(stable_seed("drift-trace", seed, step))
+        snapshots.append(
+            perturb_snapshot(
+                snapshots[-1],
+                bandwidth_sigma=sigma,
+                time_delta=dt,
+                rng=rng,
+            )
+        )
+        times.append(step * dt)
+    return DriftTrace(times=tuple(times), snapshots=tuple(snapshots))
+
+
+class TraceDirectory(DirectoryService):
+    """A directory that answers from a recorded :class:`DriftTrace`.
+
+    The serving runtime subscribes to directories; wrapping a trace in
+    this class replays a recorded (or synthesised) network history
+    against it deterministically.
+    """
+
+    def __init__(self, trace: DriftTrace, *, start_time: float = 0.0):
+        self._trace = trace
+        self._time = float(start_time)
+
+    @property
+    def trace(self) -> DriftTrace:
+        return self._trace
+
+    @property
+    def num_procs(self) -> int:
+        return self._trace.num_procs
+
+    @property
+    def time(self) -> float:
+        return self._time
+
+    def snapshot(self) -> DirectorySnapshot:
+        current = self._trace.at(self._time)
+        return DirectorySnapshot(
+            latency=current.latency,
+            bandwidth=current.bandwidth,
+            time=self._time,
+        )
+
+    def advance(self, dt: float) -> None:
+        if dt < 0:
+            raise ValueError(f"dt must be >= 0, got {dt}")
+        self._time += dt

@@ -96,3 +96,94 @@ def test_requires_subcommand():
 
 def test_parser_prog_name():
     assert build_parser().prog == "repro-hetcomm"
+
+
+def test_export_scheduler_flag(tmp_path):
+    out_dir = tmp_path / "exported"
+    assert main(
+        ["export", "--scheduler", "matching_min:auction",
+         "--output-dir", str(out_dir)]
+    ) == 0
+    assert (out_dir / "example_matching_min-auction.svg").exists()
+
+
+def test_zoo_scheduler_subset(capsys):
+    assert main(
+        ["zoo", "--procs", "5", "--scheduler", "openshop",
+         "--scheduler", "greedy"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "openshop" in out and "greedy" in out
+    assert "baseline_nosync" not in out
+
+
+def test_unknown_scheduler_exits_with_known_list(capsys):
+    with pytest.raises(SystemExit):
+        main(["zoo", "--scheduler", "quantum"])
+    err = capsys.readouterr().err
+    assert "unknown scheduler" in err and "openshop" in err
+
+
+def test_check_scheduler_subset(capsys):
+    assert main(
+        ["check", "--smoke", "--seeds", "2", "--p-max", "5",
+         "--scheduler", "openshop", "--out-dir", ""]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "schedulers: openshop" in out
+
+
+def test_bench_scheduler_timings(capsys):
+    assert main(
+        ["bench", "--smoke", "--no-reference", "--output", "",
+         "--scheduler", "greedy"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "end-to-end scheduler timings" in out
+    assert "greedy" in out
+
+
+def test_serve_smoke_covers_all_decisions(capsys, tmp_path):
+    import json
+
+    metrics_path = tmp_path / "metrics.json"
+    trace_path = tmp_path / "trace.json"
+    assert main(
+        ["serve", "--smoke", "--metrics-out", str(metrics_path),
+         "--trace-out", str(trace_path)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "per-tick serving log" in out
+    dump = json.loads(metrics_path.read_text())
+    summary = dump["summary"]
+    # the CI acceptance bar: every decision kind exercised, the injected
+    # timeout hit the fallback, and the headline rates are reported
+    assert summary["decisions"]["reuse"] >= 1
+    assert summary["decisions"]["refine"] >= 1
+    assert summary["decisions"]["reschedule"] >= 1
+    assert summary["fallback_activations"] >= 1
+    assert 0.0 < summary["reschedule_rate"] < 1.0
+    assert "cache_hit_rate" in summary
+    assert "mean_regret_s" in summary
+    assert dump["events"], "per-tick events must be present"
+    assert json.loads(trace_path.read_text())["traceEvents"]
+
+
+def test_serve_deterministic(capsys, tmp_path):
+    import json
+
+    dumps = []
+    for k in range(2):
+        path = tmp_path / f"m{k}.json"
+        assert main(
+            ["serve", "--smoke", "--metrics-out", str(path),
+             "--trace-out", ""]
+        ) == 0
+        payload = json.loads(path.read_text())
+        # wall-clock scheduler timings differ run to run; drop them
+        for event in payload["events"]:
+            event.pop("scheduler_elapsed")
+        payload["histograms"].pop("scheduler_elapsed_s")
+        dumps.append(payload["events"])
+    capsys.readouterr()
+    assert dumps[0] == dumps[1]

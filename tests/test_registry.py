@@ -1,15 +1,24 @@
-"""Scheduler registry tests."""
+"""Scheduler registry tests: specs, factory, and legacy shims."""
+
+import warnings
 
 import pytest
 
+from repro.core.problem import example_problem
 from repro.core.registry import (
     ALL_SCHEDULERS,
     EXTRA_SCHEDULERS,
+    SchedulerSpec,
     get_scheduler,
+    get_spec,
+    iter_specs,
+    make_scheduler,
     scheduler_names,
 )
-from repro.core.problem import example_problem
 from repro.timing.events import Schedule
+
+
+# -- legacy surface (unchanged behaviour) -----------------------------------
 
 
 def test_paper_schedulers_present():
@@ -23,8 +32,10 @@ def test_paper_schedulers_present():
 
 
 def test_extras_present():
-    assert "optimal" in EXTRA_SCHEDULERS
-    assert "baseline_nosync" in EXTRA_SCHEDULERS
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        assert "optimal" in EXTRA_SCHEDULERS
+        assert "baseline_nosync" in EXTRA_SCHEDULERS
 
 
 def test_lookup_returns_working_scheduler():
@@ -35,9 +46,140 @@ def test_lookup_returns_working_scheduler():
 
 
 def test_extra_lookup():
-    assert get_scheduler("baseline_nosync") is EXTRA_SCHEDULERS["baseline_nosync"]
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        assert (
+            get_scheduler("baseline_nosync")
+            is EXTRA_SCHEDULERS["baseline_nosync"]
+        )
 
 
 def test_unknown_name_raises_with_known_list():
     with pytest.raises(KeyError, match="openshop"):
         get_scheduler("quantum")
+
+
+# -- spec metadata -----------------------------------------------------------
+
+
+def test_specs_enumerate_unique_names_by_tier():
+    names = [spec.name for spec in iter_specs()]
+    assert len(names) == len(set(names))
+    tiers = {spec.tier for spec in iter_specs()}
+    assert tiers == {"paper", "extra", "variant"}
+    paper = [spec.name for spec in iter_specs(tier="paper")]
+    assert paper == list(scheduler_names())
+    # the tiers partition the full listing
+    split = [
+        spec.name
+        for tier in ("paper", "extra", "variant")
+        for spec in iter_specs(tier=tier)
+    ]
+    assert sorted(split) == sorted(names)
+
+
+def test_iter_specs_rejects_unknown_tier():
+    with pytest.raises(ValueError, match="tier"):
+        list(iter_specs(tier="bogus"))
+
+
+def test_spec_metadata_populated():
+    for spec in iter_specs():
+        assert isinstance(spec, SchedulerSpec)
+        assert spec.complexity
+        assert spec.paper_section
+        assert spec.summary
+
+
+def test_guarantees_match_oracle_caps():
+    """The invariant oracle's bound table is exactly the specs' claims."""
+    from repro.check.oracle import GUARANTEED_BOUNDS
+
+    claimed = {
+        spec.name: spec.guarantee
+        for spec in iter_specs()
+        if spec.guarantee is not None
+    }
+    assert claimed.keys() == GUARANTEED_BOUNDS.keys()
+    for name, bound in GUARANTEED_BOUNDS.items():
+        assert claimed[name] is bound
+
+
+def test_guarantees_hold_on_example():
+    problem = example_problem()
+    lb = problem.lower_bound()
+    for spec in iter_specs():
+        if spec.guarantee is None:
+            continue
+        ratio = spec.fn(problem).completion_time / lb
+        assert ratio <= spec.guarantee(problem.num_procs) + 1e-9
+
+
+# -- make_scheduler ----------------------------------------------------------
+
+
+def test_make_scheduler_builds_every_registered_name():
+    problem = example_problem()
+    for spec in iter_specs():
+        schedule = make_scheduler(spec.name)(problem)
+        assert isinstance(schedule, Schedule)
+        assert schedule.num_procs == problem.num_procs
+
+
+def test_make_scheduler_options_roundtrip():
+    problem = example_problem()
+    configured = make_scheduler("min_matching", backend="auction")
+    variant = make_scheduler("matching_min:auction")
+    assert (
+        configured(problem).completion_time
+        == variant(problem).completion_time
+    )
+    chunked = make_scheduler("openshop_partitioned", chunks=3)
+    assert isinstance(chunked(problem), Schedule)
+
+
+def test_make_scheduler_unknown_name_lists_known():
+    with pytest.raises(KeyError, match="known:"):
+        make_scheduler("quantum")
+
+
+def test_make_scheduler_rejects_unknown_option():
+    with pytest.raises(TypeError, match="unknown option"):
+        make_scheduler("min_matching", flavour="spicy")
+
+
+def test_make_scheduler_rejects_options_on_plain_scheduler():
+    with pytest.raises(TypeError, match="takes no options"):
+        make_scheduler("baseline", backend="auction")
+
+
+def test_get_spec_exposes_default_callable():
+    spec = get_spec("openshop")
+    assert get_scheduler("openshop") is spec.fn
+    assert make_scheduler("openshop") is spec.fn
+
+
+# -- deprecation shims -------------------------------------------------------
+
+
+def test_legacy_dict_getitem_warns():
+    with pytest.warns(DeprecationWarning, match="ALL_SCHEDULERS"):
+        fn = ALL_SCHEDULERS["openshop"]
+    assert fn is get_scheduler("openshop")
+
+
+def test_legacy_dict_iteration_and_contains_warn():
+    with pytest.warns(DeprecationWarning):
+        names = list(ALL_SCHEDULERS)
+    assert names == list(scheduler_names())
+    with pytest.warns(DeprecationWarning):
+        assert "optimal" in EXTRA_SCHEDULERS
+
+
+def test_legacy_dicts_cover_their_tiers():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        assert set(ALL_SCHEDULERS.keys()) == set(scheduler_names())
+        assert set(EXTRA_SCHEDULERS.keys()) == {
+            spec.name for spec in iter_specs(tier="extra")
+        }
