@@ -10,9 +10,14 @@ rewrite runs against:
   per-scheduler guarantees);
 * :mod:`repro.check.differential` — every registered scheduler fuzzed
   against the frozen seed kernels and the exact solver, with greedy
-  shrinking of failures to minimal reproductions.
+  shrinking of failures to minimal reproductions;
+* :mod:`repro.check.faults` — deterministic fault-recovery scenarios:
+  repaired schedules must pass the oracle, deliver all surviving-pair
+  demand (relaying around dead links), and beat a naive full
+  reschedule on salvage.
 
-Run it via ``python -m repro.cli check``.
+Run it via ``python -m repro.cli check`` (``--faults`` adds the fault
+family).
 """
 
 from repro.check.differential import (
@@ -24,6 +29,16 @@ from repro.check.differential import (
     render_check,
     run_check,
     shrink_failing_instance,
+)
+from repro.check.faults import (
+    FaultCheckReport,
+    FaultScenario,
+    check_fault_recovery,
+    fault_scenarios,
+    golden_zero_fault_violations,
+    render_fault_check,
+    repair_vs_full_reschedule,
+    run_fault_check,
 )
 from repro.check.instances import (
     FAMILIES,
@@ -45,16 +60,24 @@ __all__ = [
     "CheckReport",
     "DEFAULT_OUT_DIR",
     "FAMILIES",
+    "FaultCheckReport",
+    "FaultScenario",
     "GUARANTEED_BOUNDS",
     "OracleError",
     "bit_equivalence_violations",
     "build_instance",
+    "check_fault_recovery",
     "check_invariants",
     "default_schedulers",
     "draw_num_procs",
+    "fault_scenarios",
     "generate_instances",
+    "golden_zero_fault_violations",
     "oracle_violations",
     "render_check",
+    "render_fault_check",
+    "repair_vs_full_reschedule",
     "run_check",
+    "run_fault_check",
     "shrink_failing_instance",
 ]

@@ -43,11 +43,22 @@ Subcommands
     synthetic drift trace: per-tick reuse/refine/reschedule decisions,
     deadline fallback, and a metrics JSON dump (``--smoke`` for the
     deterministic CI preset, which also injects a scheduler timeout).
+    ``--fault-profile`` injects failures (named preset ``smoke`` or a
+    ``kind:key=val,...;...`` spec) and turns on the degraded-mode
+    machinery: transient retries with backoff, salvage + repair, and
+    relay routing around dead links.
+``collective``
+    Run registered collective operations (broadcast, scatter/gather,
+    reduce, allreduce, barrier, exchange patterns) on one snapshot and
+    compare completion times (``--collective`` to pick).
 
-Scheduler selection is uniform: every subcommand that takes one uses the
-same repeatable ``--scheduler NAME`` flag, resolved through
-:func:`repro.core.registry.make_scheduler` (parameterized variants like
-``matching_min:auction`` included).
+Selection flags are uniform: every subcommand that takes a scheduler
+uses the same repeatable ``--scheduler NAME`` flag (resolved through
+:func:`repro.core.registry.make_scheduler`, parameterized variants like
+``matching_min:auction`` included); collectives use ``--collective``
+(:func:`repro.collectives.make_collective`); network sources use
+``--directory SPEC`` (:func:`repro.directory.make_directory`, e.g.
+``noisy:sigma=0.1`` or ``dynamics:process=diurnal``).
 """
 
 from __future__ import annotations
@@ -392,6 +403,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.scheduler:
         # Extra end-to-end timings of registry entry points (factory
         # options included) on the same mixed workload, best-of-repeats.
+        from repro.directory.factory import make_directory
         from repro.directory.service import DirectorySnapshot
         from repro.model.messages import MixedSizes
 
@@ -401,11 +413,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         payload: Dict[str, Dict[str, float]] = {}
         for p in result["meta"]["proc_counts"]:
             rng = np.random.default_rng(args.seed)
-            latency, bandwidth = random_pairwise_parameters(int(p), rng=rng)
+            if args.directory:
+                snapshot = make_directory(
+                    args.directory, num_procs=int(p), rng=args.seed
+                ).snapshot()
+            else:
+                latency, bandwidth = random_pairwise_parameters(
+                    int(p), rng=rng
+                )
+                snapshot = DirectorySnapshot(
+                    latency=latency, bandwidth=bandwidth
+                )
             problem = TotalExchangeProblem.from_snapshot(
-                DirectorySnapshot(latency=latency, bandwidth=bandwidth),
-                MixedSizes(),
-                rng=rng,
+                snapshot, MixedSizes(), rng=rng,
             )
             for name, scheduler in schedulers.items():
                 best = min(
@@ -453,11 +473,22 @@ def _cmd_check(args: argparse.Namespace) -> int:
         out_dir=args.out_dir or None,
     )
     print(render_check(report))
-    return 0 if report.ok else 1
+    ok = report.ok
+    if args.faults:
+        from repro.check import render_fault_check, run_fault_check
+
+        name = args.scheduler[-1] if args.scheduler else "openshop"
+        fault_report = run_fault_check(scheduler=name)
+        print()
+        print(render_fault_check(fault_report))
+        ok = ok and fault_report.ok
+    return 0 if ok else 1
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.directory.factory import make_directory
     from repro.directory.service import DirectorySnapshot
+    from repro.faults import FaultyDirectory, parse_fault_profile
     from repro.model.messages import MixedSizes
     from repro.runtime import AdaptiveSession, PolicyConfig
     from repro.sim.replay import TraceDirectory, synthetic_drift_trace
@@ -482,19 +513,45 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     name = args.scheduler[-1] if args.scheduler else "openshop"
     _resolve_schedulers([name])  # fail fast with the friendly message
 
-    rng = np.random.default_rng(args.seed)
-    latency, bandwidth = random_pairwise_parameters(procs, rng=rng)
-    base = DirectorySnapshot(latency=latency, bandwidth=bandwidth)
-    trace = synthetic_drift_trace(
-        base,
-        ticks=ticks,
-        dt=args.dt,
-        base_sigma=sigma,
-        burst_sigma=burst_sigma,
-        burst_every=burst_every,
-        seed=args.seed,
-    )
-    directory = TraceDirectory(trace)
+    if args.directory:
+        try:
+            directory = make_directory(
+                args.directory, num_procs=procs, rng=args.seed
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            print(f"error: bad --directory spec: {exc}", file=sys.stderr)
+            raise SystemExit(2)
+        procs = directory.num_procs
+    else:
+        rng = np.random.default_rng(args.seed)
+        latency, bandwidth = random_pairwise_parameters(procs, rng=rng)
+        base = DirectorySnapshot(latency=latency, bandwidth=bandwidth)
+        trace = synthetic_drift_trace(
+            base,
+            ticks=ticks,
+            dt=args.dt,
+            base_sigma=sigma,
+            burst_sigma=burst_sigma,
+            burst_every=burst_every,
+            seed=args.seed,
+        )
+        directory = TraceDirectory(trace)
+
+    try:
+        profile = parse_fault_profile(args.fault_profile)
+    except ValueError as exc:
+        print(f"error: bad --fault-profile spec: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    if profile:
+        if profile.max_index() >= procs:
+            print(
+                f"error: --fault-profile references processor "
+                f"{profile.max_index()} but the directory has {procs}",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        directory = FaultyDirectory(directory, profile)
+
     session = AdaptiveSession(
         directory,
         MixedSizes(),
@@ -509,10 +566,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         rng=np.random.default_rng(args.seed),
     )
 
+    source = args.directory or "drift trace"
     print(
-        f"serving {ticks} total exchanges over a P={procs} drift trace "
+        f"serving {ticks} total exchanges over a P={procs} {source} "
         f"(scheduler={name}, sigma={sigma:g}, bursts every "
-        f"{burst_every or 'never'} ticks)"
+        f"{burst_every or 'never'} ticks"
+        + (f", faults={len(profile)}" if profile else "")
+        + ")"
     )
     rows = []
     results = [session.tick(dt=0.0)]
@@ -521,21 +581,42 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         e = result.event
         flags = "".join(
             mark for mark, on in (
-                ("C", e.cache_hit), ("F", e.fallback),
+                ("C", e.cache_hit), ("F", e.fallback), ("D", e.degraded),
             ) if on
         )
-        rows.append([
+        row = [
             e.tick, e.time, e.decision, max(e.drift, 0.0),
             e.predicted_makespan, e.executed_makespan, e.regret,
             flags or "-",
-        ])
+        ]
+        if profile:
+            fault = e.repair or "-"
+            if e.retries:
+                fault += f" x{e.retries}"
+            if e.salvaged_events:
+                fault += f" ({e.salvaged_events} salvaged)"
+            row.append(fault)
+        rows.append(row)
+    headers = ["tick", "t", "decision", "drift", "predicted (s)",
+               "executed (s)", "regret (s)", "flags"]
+    if profile:
+        headers.append("fault")
     print(format_table(
-        ["tick", "t", "decision", "drift", "predicted (s)",
-         "executed (s)", "regret (s)", "flags"],
-        rows, precision=3,
-        title="per-tick serving log (C = cache hit, F = fallback)",
+        headers, rows, precision=3,
+        title="per-tick serving log "
+              "(C = cache hit, F = fallback, D = degraded)",
     ))
     summary = session.summary()
+    fault_rows = []
+    if profile:
+        fault_rows = [
+            ["degraded_tick_ratio", round(summary["degraded_tick_ratio"], 4)],
+            ["faults_seen", summary["faults_seen"]],
+            ["retry_successes", summary["retry_successes"]],
+            ["repair_episodes", summary["repair_episodes"]],
+            ["messages_salvaged", summary["messages_salvaged"]],
+            ["messages_resent", summary["messages_resent"]],
+        ]
     print()
     print(format_table(
         ["metric", "value"],
@@ -551,6 +632,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 "mean_executed_makespan_s",
                 round(summary["mean_executed_makespan_s"], 4),
             ],
+            *fault_rows,
         ],
         title="serving summary",
     ))
@@ -560,6 +642,60 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.trace_out:
         session.metrics.save_chrome_trace(args.trace_out)
         print(f"wrote Chrome trace to {args.trace_out}")
+    return 0
+
+
+def _cmd_collective(args: argparse.Namespace) -> int:
+    from repro.collectives import (
+        get_collective_spec,
+        iter_collective_specs,
+        make_collective,
+    )
+    from repro.directory.factory import make_directory
+
+    try:
+        directory = make_directory(
+            args.directory or "static", num_procs=args.procs, rng=args.seed
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        print(f"error: bad --directory spec: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    snapshot = directory.snapshot()
+    if args.collective:
+        names = list(args.collective)
+    else:
+        names = [
+            spec.name for spec in iter_collective_specs(family=args.family)
+        ]
+    print(
+        f"{args.size / 1024:g} KiB collectives over P={snapshot.num_procs} "
+        f"({args.directory or 'static'})"
+    )
+    rows = []
+    for name in names:
+        try:
+            fn = make_collective(name)
+        except KeyError:
+            known = ", ".join(
+                spec.name for spec in iter_collective_specs()
+            )
+            print(
+                f"error: unknown collective {name!r} for --collective; "
+                f"known: {known}",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        result = fn(snapshot, float(args.size))
+        events = sum(1 for e in result.schedule if e.duration > 0)
+        rows.append([
+            name, get_collective_spec(name).family, events,
+            result.completion_time,
+        ])
+    rows.sort(key=lambda row: (row[1], row[3]))
+    print(format_table(
+        ["collective", "family", "events", "completion (s)"],
+        rows, precision=4,
+    ))
     return 0
 
 
@@ -578,6 +714,22 @@ def _scheduler_parent() -> argparse.ArgumentParser:
     return parent
 
 
+def _directory_parent() -> argparse.ArgumentParser:
+    """The shared ``--directory SPEC`` flag for subcommands that take a
+    network source (resolved via ``make_directory``)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--directory", default=None, metavar="SPEC",
+        help=(
+            "directory spec 'name[:key=val,...]' (static, gusto, "
+            "noisy:sigma=0.1, perturb, dynamics:process=diurnal, "
+            "forecast:mode=linear, drift); default depends on the "
+            "subcommand"
+        ),
+    )
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-hetcomm",
@@ -588,6 +740,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     scheduler_parent = _scheduler_parent()
+    directory_parent = _directory_parent()
 
     p_example = sub.add_parser("example", help="run the 5-processor example")
     p_example.add_argument(
@@ -648,7 +801,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_claims.set_defaults(func=_cmd_claims)
 
     p_bench = sub.add_parser(
-        "bench", parents=[scheduler_parent],
+        "bench", parents=[scheduler_parent, directory_parent],
         help="time the scheduling kernels vs the seed versions",
     )
     p_bench.add_argument(
@@ -704,10 +857,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--out-dir", default="benchmarks/results/check_failures",
         help="minimized-failure artifact directory ('' to disable)",
     )
+    p_check.add_argument(
+        "--faults", action="store_true",
+        help="also run the fault-recovery family: repaired schedules "
+             "must pass the oracle and deliver all surviving demand",
+    )
     p_check.set_defaults(func=_cmd_check)
 
     p_serve = sub.add_parser(
-        "serve", parents=[scheduler_parent],
+        "serve", parents=[scheduler_parent, directory_parent],
         help="drive the online adaptive runtime over a drift trace",
     )
     p_serve.add_argument(
@@ -764,6 +922,13 @@ def build_parser() -> argparse.ArgumentParser:
              "reschedule, and the injected-timeout fallback",
     )
     p_serve.add_argument(
+        "--fault-profile", default="", metavar="SPEC",
+        help="inject failures: a named preset ('smoke', 'none') or "
+             "';'-separated 'kind:key=val,...' entries with kind in "
+             "link_dead, blackout, bw_collapse, node_drop (e.g. "
+             "'link_dead:src=0,dst=1,at=3,at_event=5')",
+    )
+    p_serve.add_argument(
         "--metrics-out", default="serve_metrics.json",
         help="metrics JSON output path ('' to skip)",
     )
@@ -772,6 +937,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="Chrome trace output path ('' to skip)",
     )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_collective = sub.add_parser(
+        "collective", parents=[directory_parent],
+        help="compare registered collective operations on one snapshot",
+    )
+    p_collective.add_argument(
+        "--collective", action="append", default=None, metavar="NAME",
+        help="registry collective name (repeatable; default: all, or "
+             "one --family)",
+    )
+    p_collective.add_argument(
+        "--family", default=None,
+        choices=("rooted", "allreduce", "barrier", "exchange"),
+        help="restrict the default selection to one family",
+    )
+    p_collective.add_argument("--procs", type=int, default=8)
+    p_collective.add_argument("--seed", type=int, default=0)
+    p_collective.add_argument(
+        "--size", type=float, default=float(MEGABYTE),
+        help="payload bytes per block/message (default: 1 MB)",
+    )
+    p_collective.set_defaults(func=_cmd_collective)
 
     return parser
 

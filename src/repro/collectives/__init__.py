@@ -14,7 +14,12 @@ single-root collectives:
   port is the bottleneck);
 * :mod:`repro.collectives.patterns` — adapters expressing all-gather and
   uniform all-to-all as :class:`~repro.core.problem.TotalExchangeProblem`
-  instances so the paper's schedulers apply unchanged.
+  instances so the paper's schedulers apply unchanged;
+* :mod:`repro.collectives.registry` — the uniform
+  :class:`~repro.collectives.registry.CollectiveSpec` registry
+  (``make_collective(name, **options)``), mirroring the scheduler
+  registry so CLI consumers share one ``--scheduler``/``--collective``
+  convention.
 """
 
 from repro.collectives.barrier import (
@@ -36,9 +41,29 @@ from repro.collectives.reduce import (
     reduce_direct,
     reduce_via_tree,
 )
+from repro.collectives.registry import (
+    ALL_COLLECTIVES,
+    Collective,
+    CollectiveResult,
+    CollectiveSpec,
+    collective_names,
+    get_collective,
+    get_collective_spec,
+    iter_collective_specs,
+    make_collective,
+)
 from repro.collectives.scatter import scatter_direct, scatter_via_tree
 
 __all__ = [
+    "ALL_COLLECTIVES",
+    "Collective",
+    "CollectiveResult",
+    "CollectiveSpec",
+    "collective_names",
+    "get_collective",
+    "get_collective_spec",
+    "iter_collective_specs",
+    "make_collective",
     "allgather_problem",
     "allreduce_ring",
     "allreduce_tree",

@@ -20,12 +20,19 @@ over time as background load varies.
 
 from repro.directory.dynamics import (
     DiurnalLoad,
+    LoadDirectory,
     LoadProcess,
     RandomWalkLoad,
     SpikeLoad,
     StaticLoad,
 )
+from repro.directory.factory import (
+    DIRECTORY_FLAVOURS,
+    make_directory,
+    parse_directory_spec,
+)
 from repro.directory.forecast import (
+    ForecastDirectory,
     SnapshotHistory,
     ewma_forecast,
     forecast_error,
@@ -38,11 +45,16 @@ from repro.directory.service import DirectoryService, DirectorySnapshot
 from repro.directory.static import StaticDirectory, gusto_directory
 
 __all__ = [
+    "DIRECTORY_FLAVOURS",
     "DirectoryService",
     "DirectorySnapshot",
     "DiurnalLoad",
+    "ForecastDirectory",
+    "LoadDirectory",
     "LoadProcess",
     "NoisyDirectory",
+    "make_directory",
+    "parse_directory_spec",
     "RandomWalkLoad",
     "SnapshotHistory",
     "SpikeLoad",

@@ -18,6 +18,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.directory.service import DirectoryService, DirectorySnapshot
 from repro.util.rng import RngLike, to_rng
 from repro.util.validation import check_positive
 
@@ -160,4 +161,49 @@ class DiurnalLoad(LoadProcess):
     def load_at(self, time: float) -> float:
         return self._mean + self._amplitude * math.sin(
             2 * math.pi * time / self._period + self._phase
+        )
+
+
+class LoadDirectory(DirectoryService):
+    """A directory whose answers are an inner directory under load.
+
+    Applies one :class:`LoadProcess` uniformly to every off-diagonal
+    pair: bandwidth shrinks to ``B / (1 + f(t))`` and latency inflates
+    to ``T * (1 + f(t))`` — the same model
+    :class:`~repro.directory.network_directory.TopologyDirectory`
+    applies per link, here at the end-to-end pair level so any directory
+    (static tables, GUSTO, traces) gains time variation without a
+    topology.  The load is *real* competing traffic, not measurement
+    error, so there is no separate ``true_snapshot``.
+    """
+
+    def __init__(self, inner: DirectoryService, process: LoadProcess):
+        self._inner = inner
+        self._process = process
+
+    @property
+    def inner(self) -> DirectoryService:
+        return self._inner
+
+    @property
+    def num_procs(self) -> int:
+        return self._inner.num_procs
+
+    @property
+    def time(self) -> float:
+        return self._inner.time
+
+    def advance(self, dt: float) -> None:
+        self._inner.advance(dt)
+
+    def snapshot(self) -> DirectorySnapshot:
+        base = self._inner.snapshot()
+        factor = 1.0 + check_positive(
+            "load", self._process.load_at(self.time), allow_zero=True
+        )
+        off = ~np.eye(base.num_procs, dtype=bool)
+        latency = np.where(off, base.latency * factor, base.latency)
+        bandwidth = np.where(off, base.bandwidth / factor, base.bandwidth)
+        return DirectorySnapshot(
+            latency=latency, bandwidth=bandwidth, time=base.time
         )

@@ -24,7 +24,7 @@ from typing import Deque, Iterable, Optional
 
 import numpy as np
 
-from repro.directory.service import DirectorySnapshot
+from repro.directory.service import DirectoryService, DirectorySnapshot
 from repro.util.validation import check_positive, check_probability
 
 
@@ -140,6 +140,80 @@ def linear_forecast(
     return DirectorySnapshot(
         latency=latency, bandwidth=bandwidth, time=t_pred
     )
+
+
+class ForecastDirectory(DirectoryService):
+    """A directory whose snapshots are *forecasts* of an inner directory.
+
+    Implements the :class:`~repro.directory.service.DirectoryService`
+    protocol: every :meth:`snapshot` first records the inner directory's
+    current observation into a bounded :class:`SnapshotHistory`, then
+    answers with a forecast over the window — EWMA level
+    (``mode="ewma"``) or per-pair linear trend extrapolated ``horizon``
+    seconds ahead (``mode="linear"``).  :meth:`true_snapshot` exposes
+    the inner observation itself, so the adaptive runtime plans on the
+    forecast and executes on the truth — forecast error shows up as
+    regret, exactly like measurement noise does for
+    :class:`~repro.directory.noisy.NoisyDirectory`.
+    """
+
+    def __init__(
+        self,
+        inner,
+        *,
+        mode: str = "ewma",
+        alpha: float = 0.5,
+        horizon: float = 1.0,
+        window: int = 16,
+    ):
+        if mode not in ("ewma", "linear"):
+            raise ValueError(
+                f"mode must be 'ewma' or 'linear', got {mode!r}"
+            )
+        check_probability("alpha", alpha)
+        check_positive("horizon", horizon, allow_zero=True)
+        self._inner = inner
+        self._mode = mode
+        self._alpha = alpha
+        self._horizon = horizon
+        self._history = SnapshotHistory(maxlen=window)
+
+    @property
+    def inner(self):
+        return self._inner
+
+    @property
+    def history(self) -> SnapshotHistory:
+        return self._history
+
+    @property
+    def num_procs(self) -> int:
+        return self._inner.num_procs
+
+    @property
+    def time(self) -> float:
+        return self._inner.time
+
+    def advance(self, dt: float) -> None:
+        self._inner.advance(dt)
+
+    def true_snapshot(self) -> DirectorySnapshot:
+        """The inner directory's unforecast observation."""
+        inner_true = getattr(self._inner, "true_snapshot", None)
+        if inner_true is not None:
+            return inner_true()
+        return self._inner.snapshot()
+
+    def snapshot(self) -> DirectorySnapshot:
+        observed = self._inner.snapshot()
+        if (
+            len(self._history) == 0
+            or observed.time > self._history.latest.time
+        ):
+            self._history.push(observed)
+        if self._mode == "ewma":
+            return ewma_forecast(self._history, alpha=self._alpha)
+        return linear_forecast(self._history, self._horizon)
 
 
 def forecast_error(

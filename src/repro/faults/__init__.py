@@ -1,0 +1,65 @@
+"""Failure injection and online schedule repair.
+
+The fault-tolerance subsystem: fault models and profiles
+(:mod:`repro.faults.models`), a directory wrapper that injects them
+(:mod:`repro.faults.directory`), mid-schedule interruption semantics
+(:mod:`repro.faults.executor`) and residual-demand repair with 2-hop
+relaying (:mod:`repro.faults.repair`).  The adaptive serving runtime
+(:mod:`repro.runtime`) composes these into its degraded mode; the
+``repro.check`` fault family (:mod:`repro.check.faults`) asserts every
+repaired schedule still delivers the surviving demand and passes the
+invariant oracle.
+"""
+
+from repro.faults.directory import FaultView, FaultyDirectory
+from repro.faults.executor import (
+    PartialExecution,
+    cut_execution,
+    merge_with_salvaged,
+)
+from repro.faults.models import (
+    BLACKOUT,
+    BW_COLLAPSE,
+    FAULT_KINDS,
+    Fault,
+    FaultProfile,
+    LINK_DEAD,
+    NODE_DROP,
+    NAMED_PROFILES,
+    apply_fault_to_snapshot,
+    apply_fault_to_state,
+    parse_fault_entry,
+    parse_fault_profile,
+    smoke_fault_profile,
+)
+from repro.faults.repair import (
+    RepairResult,
+    RouteSet,
+    repair_schedule,
+    split_routes,
+)
+
+__all__ = [
+    "BLACKOUT",
+    "BW_COLLAPSE",
+    "FAULT_KINDS",
+    "Fault",
+    "FaultProfile",
+    "FaultView",
+    "FaultyDirectory",
+    "LINK_DEAD",
+    "NAMED_PROFILES",
+    "NODE_DROP",
+    "PartialExecution",
+    "RepairResult",
+    "RouteSet",
+    "apply_fault_to_snapshot",
+    "apply_fault_to_state",
+    "cut_execution",
+    "merge_with_salvaged",
+    "parse_fault_entry",
+    "parse_fault_profile",
+    "repair_schedule",
+    "smoke_fault_profile",
+    "split_routes",
+]

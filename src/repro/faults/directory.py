@@ -1,0 +1,125 @@
+"""A directory wrapper that injects a :class:`FaultProfile`.
+
+:class:`FaultyDirectory` wraps any
+:class:`~repro.directory.service.DirectoryService` and degrades its
+answers according to the profile's state at the directory clock:
+bandwidth collapses show up in the snapshot numbers; link deaths,
+blackouts and node drops are *availability* facts that bandwidth
+matrices cannot express (snapshots require strictly positive
+bandwidths), so they are reported out-of-band through
+:meth:`fault_view` as boolean masks.  The adaptive session detects the
+masks by duck-typing and enters degraded mode
+(:mod:`repro.runtime.session`).
+
+Like :class:`~repro.directory.noisy.NoisyDirectory`, the wrapper
+forwards ``true_snapshot`` so planning noise and failure injection
+compose: faults degrade both the observed and the true network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.directory.service import DirectoryService, DirectorySnapshot
+from repro.faults.models import Fault, FaultProfile
+
+
+@dataclass(frozen=True)
+class FaultView:
+    """Availability at one instant, as the runtime consumes it.
+
+    ``link_ok`` composes link state with endpoint liveness: a link into
+    a dead node is unusable.  ``transient`` marks down links expected
+    back (active blackouts) — worth retrying before rerouting.
+    """
+
+    alive: np.ndarray  # bool (P,)
+    link_ok: np.ndarray  # bool (P, P); diagonal True for live nodes
+    transient: np.ndarray  # bool (P, P)
+
+    @property
+    def clean(self) -> bool:
+        """No active fault at all."""
+        return bool(self.alive.all() and self.link_ok.all())
+
+    def degraded_for(self, sizes: np.ndarray) -> bool:
+        """Whether any *demanded* pair is dead-ended or cut."""
+        demand = np.asarray(sizes) > 0
+        np.fill_diagonal(demand, False)
+        return bool(np.any(demand & ~self.link_ok))
+
+
+class FaultyDirectory(DirectoryService):
+    """Inject ``profile`` into ``inner``'s answers."""
+
+    def __init__(self, inner: DirectoryService, profile: FaultProfile):
+        largest = profile.max_index()
+        if largest >= inner.num_procs:
+            raise ValueError(
+                f"fault profile references processor {largest} but the "
+                f"directory only has {inner.num_procs}"
+            )
+        self._inner = inner
+        self._profile = profile
+
+    @property
+    def inner(self) -> DirectoryService:
+        return self._inner
+
+    @property
+    def profile(self) -> FaultProfile:
+        return self._profile
+
+    @property
+    def num_procs(self) -> int:
+        return self._inner.num_procs
+
+    @property
+    def time(self) -> float:
+        return self._inner.time
+
+    def advance(self, dt: float) -> None:
+        self._inner.advance(dt)
+
+    # -- degraded snapshots -------------------------------------------------
+
+    def _degrade(self, snapshot: DirectorySnapshot) -> DirectorySnapshot:
+        divisor = self._profile.bandwidth_divisor(self.time, self.num_procs)
+        if np.all(divisor == 1.0):
+            return snapshot
+        return DirectorySnapshot(
+            latency=snapshot.latency,
+            bandwidth=snapshot.bandwidth / divisor,
+            time=snapshot.time,
+        )
+
+    def snapshot(self) -> DirectorySnapshot:
+        return self._degrade(self._inner.snapshot())
+
+    def true_snapshot(self) -> DirectorySnapshot:
+        """The wrapped truth, degraded — collapses are real, not noise."""
+        inner_truth = getattr(self._inner, "true_snapshot", None)
+        base = inner_truth() if inner_truth is not None else (
+            self._inner.snapshot()
+        )
+        return self._degrade(base)
+
+    # -- availability -------------------------------------------------------
+
+    def fault_view(self) -> FaultView:
+        """Availability masks at the current directory time."""
+        now = self.time
+        n = self.num_procs
+        alive = self._profile.node_alive(now, n)
+        link_ok = self._profile.link_ok(now, n)
+        link_ok &= alive[:, None]
+        link_ok &= alive[None, :]
+        transient = self._profile.transient_down(now, n)
+        return FaultView(alive=alive, link_ok=link_ok, transient=transient)
+
+    def striking_between(self, t0: float, t1: float) -> Tuple[Fault, ...]:
+        """Mid-schedule faults firing in ``(t0, t1]`` (earliest first)."""
+        return self._profile.striking_between(t0, t1)

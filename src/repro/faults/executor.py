@@ -1,0 +1,139 @@
+"""Cutting an executed schedule at a mid-schedule fault strike.
+
+A mid-schedule fault (:class:`repro.faults.models.Fault` with
+``at_event`` set) interrupts one serving tick's exchange after its
+``at_event``-th positive-duration event completes.  This module computes
+what survives the interruption: the salvaged prefix (events already
+finished — their bytes arrived, they never need re-sending), the
+delivered-pair mask, and the residual dispatch orders for everything
+that was in flight or still queued.
+
+Salvage is strict: an event in flight when the fault strikes is treated
+as lost even if its link survives — the paper's model has no partial
+transfers, so a message either fully arrived or must be re-sent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.timing.events import CommEvent, Schedule
+
+#: Tolerance when comparing event finish times to the strike instant.
+_TIE_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class PartialExecution:
+    """What survives a mid-schedule interruption.
+
+    Attributes
+    ----------
+    salvaged:
+        Events that completed at or before the strike (start-sorted),
+        including zero-duration markers that had already fired.
+    residual_orders:
+        Per-sender dispatch lists for every cancelled event, preserving
+        the interrupted schedule's send order.
+    strike_time:
+        Seconds into the tick's exchange at which the fault struck.
+    delivered:
+        Boolean ``(P, P)`` mask of pairs whose message fully arrived.
+    interrupted:
+        False when the fault landed after the exchange had already
+        finished (nothing to repair this tick).
+    salvaged_events / cancelled_events:
+        Positive-duration event counts on each side of the cut.
+    """
+
+    salvaged: Tuple[CommEvent, ...]
+    residual_orders: List[List[int]]
+    strike_time: float
+    delivered: np.ndarray
+    interrupted: bool
+    salvaged_events: int
+    cancelled_events: int
+
+
+def cut_execution(schedule: Schedule, at_event: int) -> PartialExecution:
+    """Cut ``schedule`` after its ``at_event``-th positive completion.
+
+    ``at_event=0`` strikes before anything completes (only time-zero
+    markers survive); ``at_event >= #positive events`` means the fault
+    landed after the exchange finished and nothing is interrupted.
+    """
+    if at_event < 0:
+        raise ValueError(f"at_event must be >= 0, got {at_event}")
+    n = schedule.num_procs
+    events = schedule.events  # start-sorted
+    positive_finishes = sorted(
+        event.finish for event in events if event.duration > 0
+    )
+    delivered = np.zeros((n, n), dtype=bool)
+
+    if at_event >= len(positive_finishes):
+        for event in events:
+            delivered[event.src, event.dst] = True
+        return PartialExecution(
+            salvaged=events,
+            residual_orders=[[] for _ in range(n)],
+            strike_time=schedule.completion_time,
+            delivered=delivered,
+            interrupted=False,
+            salvaged_events=len(positive_finishes),
+            cancelled_events=0,
+        )
+
+    if at_event == 0:
+        strike = 0.0
+    else:
+        strike = positive_finishes[at_event - 1]
+    cutoff = strike + _TIE_EPS
+
+    salvaged: List[CommEvent] = []
+    residual_orders: List[List[int]] = [[] for _ in range(n)]
+    salvaged_events = 0
+    cancelled_events = 0
+    for event in events:  # start order => residual orders keep dispatch order
+        if event.finish <= cutoff:
+            salvaged.append(event)
+            delivered[event.src, event.dst] = True
+            if event.duration > 0:
+                salvaged_events += 1
+        else:
+            residual_orders[event.src].append(event.dst)
+            if event.duration > 0:
+                cancelled_events += 1
+    return PartialExecution(
+        salvaged=tuple(salvaged),
+        residual_orders=residual_orders,
+        strike_time=float(strike),
+        delivered=delivered,
+        interrupted=True,
+        salvaged_events=salvaged_events,
+        cancelled_events=cancelled_events,
+    )
+
+
+def shift_events(
+    events: Tuple[CommEvent, ...], delta: float
+) -> List[CommEvent]:
+    """All events translated by ``delta`` seconds (markers included)."""
+    if delta == 0.0:
+        return list(events)
+    return [event.shifted(delta) for event in events]
+
+
+def merge_with_salvaged(
+    salvaged: Tuple[CommEvent, ...],
+    continuation: Schedule,
+    *,
+    offset: float,
+) -> Schedule:
+    """The tick's final timeline: salvage prefix + shifted continuation."""
+    events = list(salvaged)
+    events.extend(shift_events(continuation.events, offset))
+    return Schedule.from_events(continuation.num_procs, events)

@@ -1,0 +1,374 @@
+"""Fault taxonomy for the serving runtime (wide-area failure modes).
+
+The paper's directory service exists because network state goes stale
+(HPDC'98 Section 2); this module models the sharper version of the same
+volatility — state that does not merely drift but *fails*:
+
+* ``link_dead`` — a directed (or symmetric) link goes down permanently;
+* ``blackout`` — a link goes down and recovers after ``duration``
+  seconds (transient: worth retrying with backoff before rerouting);
+* ``bw_collapse`` — a link's bandwidth divides by ``factor``
+  permanently (delivery still possible, plans must be repriced);
+* ``node_drop`` — a node leaves; all demand to/from it is lost.
+
+A fault fires at directory time ``at``.  When ``at_event`` is set the
+fault additionally *strikes mid-schedule*: the serving tick at time
+``at`` executes normally until its ``at_event``-th positive-duration
+event completes, then the fault interrupts the exchange and the runtime
+must salvage + repair (:mod:`repro.faults.executor`,
+:mod:`repro.faults.repair`).  Mid-schedule faults stay invisible to the
+directory until strictly after ``at`` — the plan that gets interrupted
+was made in good faith.
+
+:class:`FaultProfile` aggregates faults and answers the availability
+queries the runtime needs; :func:`parse_fault_profile` turns CLI specs
+like ``"link_dead:src=0,dst=1,at=3;blackout:src=1,dst=2,at=2,recover=4"``
+(or the named deterministic preset ``"smoke"``) into profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.directory.service import DirectorySnapshot
+
+#: Fault kind names (stable spelling used by specs, metrics and docs).
+LINK_DEAD = "link_dead"
+BLACKOUT = "blackout"
+BW_COLLAPSE = "bw_collapse"
+NODE_DROP = "node_drop"
+
+FAULT_KINDS = (LINK_DEAD, BLACKOUT, BW_COLLAPSE, NODE_DROP)
+
+#: Kinds that target a directed link (need ``src``/``dst``).
+_LINK_KINDS = (LINK_DEAD, BLACKOUT, BW_COLLAPSE)
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected failure.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    at:
+        Directory time (seconds) at which the fault fires.
+    src, dst:
+        Endpoints for link-targeted kinds.
+    node:
+        The departing node for ``node_drop``.
+    duration:
+        Blackout recovery time in seconds (required for ``blackout``,
+        measured from the moment the fault strikes).
+    factor:
+        Bandwidth divisor for ``bw_collapse`` (> 1 slows the link).
+    at_event:
+        When set, the fault strikes *mid-schedule* on the serving tick
+        at time ``at``, after this many positive-duration events of that
+        tick's exchange have completed.
+    symmetric:
+        Link faults hit both directions (the paper's links are
+        physical routes; one fibre cut kills both).
+    """
+
+    kind: str
+    at: float
+    src: Optional[int] = None
+    dst: Optional[int] = None
+    node: Optional[int] = None
+    duration: Optional[float] = None
+    factor: float = 1.0
+    at_event: Optional[int] = None
+    symmetric: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{FAULT_KINDS}"
+            )
+        if self.at < 0:
+            raise ValueError(f"fault time must be >= 0, got {self.at}")
+        if self.kind in _LINK_KINDS:
+            if self.src is None or self.dst is None:
+                raise ValueError(f"{self.kind} needs src= and dst=: {self}")
+            if self.src == self.dst:
+                raise ValueError(f"{self.kind} src and dst must differ")
+        if self.kind == NODE_DROP and self.node is None:
+            raise ValueError(f"node_drop needs node=: {self}")
+        if self.kind == BLACKOUT:
+            if self.duration is None or self.duration <= 0:
+                raise ValueError(
+                    f"blackout needs a positive duration= (recover=): {self}"
+                )
+        if self.kind == BW_COLLAPSE and self.factor <= 1.0:
+            raise ValueError(
+                f"bw_collapse needs factor > 1, got {self.factor}"
+            )
+        if self.at_event is not None and self.at_event < 0:
+            raise ValueError(f"at_event must be >= 0, got {self.at_event}")
+
+    @property
+    def transient(self) -> bool:
+        """Whether the fault heals on its own (worth retrying)."""
+        return self.kind == BLACKOUT
+
+    @property
+    def mid_schedule(self) -> bool:
+        return self.at_event is not None
+
+    def visible_at(self, time: float) -> bool:
+        """Whether the directory reports this fault at ``time``.
+
+        Mid-schedule faults stay invisible until strictly after ``at``:
+        the tick they interrupt planned without knowing about them.
+        """
+        if self.mid_schedule:
+            return self.at < time
+        return self.at <= time
+
+    def active_at(self, time: float) -> bool:
+        """Whether the fault's effect is in force at ``time``.
+
+        A blackout recovers ``duration`` seconds after firing; every
+        other kind is permanent.
+        """
+        if not self.visible_at(time):
+            return False
+        if self.kind == BLACKOUT:
+            return time < self.at + self.duration
+        return True
+
+    def describe(self) -> str:
+        """Compact one-line rendering for reasons/logs."""
+        if self.kind == NODE_DROP:
+            target = f"node {self.node}"
+        else:
+            arrow = "<->" if self.symmetric else "->"
+            target = f"link {self.src}{arrow}{self.dst}"
+        extra = ""
+        if self.kind == BLACKOUT:
+            extra = f" for {self.duration:g}s"
+        elif self.kind == BW_COLLAPSE:
+            extra = f" /{self.factor:g}"
+        where = f"@t={self.at:g}"
+        if self.mid_schedule:
+            where += f"+event{self.at_event}"
+        return f"{self.kind}({target}{extra}) {where}"
+
+
+def _link_pairs(fault: Fault) -> Tuple[Tuple[int, int], ...]:
+    pairs = ((fault.src, fault.dst),)
+    if fault.symmetric:
+        pairs += ((fault.dst, fault.src),)
+    return pairs
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """An injectable set of faults, queryable by directory time."""
+
+    faults: Tuple[Fault, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def max_index(self) -> int:
+        """Largest processor index any fault references (-1 if none)."""
+        indices = [-1]
+        for fault in self.faults:
+            for value in (fault.src, fault.dst, fault.node):
+                if value is not None:
+                    indices.append(value)
+        return max(indices)
+
+    def node_alive(self, time: float, num_procs: int) -> np.ndarray:
+        """Boolean ``(P,)`` mask of nodes still up at ``time``."""
+        alive = np.ones(num_procs, dtype=bool)
+        for fault in self.faults:
+            if fault.kind == NODE_DROP and fault.active_at(time):
+                alive[fault.node] = False
+        return alive
+
+    def link_ok(self, time: float, num_procs: int) -> np.ndarray:
+        """Boolean ``(P, P)`` mask of links usable at ``time``.
+
+        Link-level only — node deaths are composed in by
+        :meth:`repro.faults.directory.FaultyDirectory.fault_view`.
+        """
+        ok = np.ones((num_procs, num_procs), dtype=bool)
+        for fault in self.faults:
+            if fault.kind in (LINK_DEAD, BLACKOUT) and fault.active_at(time):
+                for src, dst in _link_pairs(fault):
+                    ok[src, dst] = False
+        return ok
+
+    def transient_down(self, time: float, num_procs: int) -> np.ndarray:
+        """Boolean ``(P, P)`` mask of links down but expected back."""
+        down = np.zeros((num_procs, num_procs), dtype=bool)
+        for fault in self.faults:
+            if fault.kind == BLACKOUT and fault.active_at(time):
+                for src, dst in _link_pairs(fault):
+                    down[src, dst] = True
+        return down
+
+    def bandwidth_divisor(self, time: float, num_procs: int) -> np.ndarray:
+        """Float ``(P, P)`` divisor applied to snapshot bandwidths."""
+        divisor = np.ones((num_procs, num_procs))
+        for fault in self.faults:
+            if fault.kind == BW_COLLAPSE and fault.active_at(time):
+                for src, dst in _link_pairs(fault):
+                    divisor[src, dst] *= fault.factor
+        return divisor
+
+    def striking_between(self, t0: float, t1: float) -> Tuple[Fault, ...]:
+        """Mid-schedule faults whose fire time lies in ``(t0, t1]``.
+
+        Sorted by ``(at, at_event)`` so the earliest strike is first.
+        """
+        hits = [
+            fault
+            for fault in self.faults
+            if fault.mid_schedule and t0 < fault.at <= t1
+        ]
+        hits.sort(key=lambda f: (f.at, f.at_event))
+        return tuple(hits)
+
+    def visible_faults(self, time: float) -> Tuple[Fault, ...]:
+        """Faults the directory reports at ``time`` (fired, maybe healed)."""
+        return tuple(f for f in self.faults if f.visible_at(time))
+
+
+def apply_fault_to_state(
+    alive: np.ndarray, link_ok: np.ndarray, fault: Fault
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Availability masks *after* ``fault`` lands (copies; inputs kept)."""
+    alive = alive.copy()
+    link_ok = link_ok.copy()
+    if fault.kind == NODE_DROP:
+        alive[fault.node] = False
+        link_ok[fault.node, :] = False
+        link_ok[:, fault.node] = False
+    elif fault.kind in (LINK_DEAD, BLACKOUT):
+        for src, dst in _link_pairs(fault):
+            link_ok[src, dst] = False
+    return alive, link_ok
+
+
+def apply_fault_to_snapshot(
+    snapshot: DirectorySnapshot, fault: Fault
+) -> DirectorySnapshot:
+    """Snapshot with ``fault``'s bandwidth effect applied (if any)."""
+    if fault.kind != BW_COLLAPSE:
+        return snapshot
+    bandwidth = snapshot.bandwidth.copy()
+    for src, dst in _link_pairs(fault):
+        bandwidth[src, dst] /= fault.factor
+    return DirectorySnapshot(
+        latency=snapshot.latency, bandwidth=bandwidth, time=snapshot.time
+    )
+
+
+# ---------------------------------------------------------------------------
+# Spec parsing.
+# ---------------------------------------------------------------------------
+
+#: Spec keys accepted per fault entry (``recover`` aliases ``duration``).
+_SPEC_KEYS = {
+    "at", "src", "dst", "node", "duration", "recover", "factor",
+    "at_event", "symmetric",
+}
+
+_INT_KEYS = {"src", "dst", "node", "at_event"}
+
+
+def _parse_value(key: str, raw: str):
+    raw = raw.strip()
+    try:
+        if key in _INT_KEYS:
+            return int(raw)
+        if key == "symmetric":
+            return bool(int(raw))
+        return float(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"bad value {raw!r} for fault option {key!r}"
+        ) from exc
+
+
+def parse_fault_entry(entry: str) -> Fault:
+    """One ``kind:key=val,key=val`` spec entry -> :class:`Fault`."""
+    entry = entry.strip()
+    kind, _, rest = entry.partition(":")
+    kind = kind.strip()
+    options = {}
+    if rest.strip():
+        for item in rest.split(","):
+            key, sep, raw = item.partition("=")
+            key = key.strip()
+            if not sep or key not in _SPEC_KEYS:
+                raise ValueError(
+                    f"bad fault option {item!r} in {entry!r}; expected "
+                    f"key=value with key in {sorted(_SPEC_KEYS)}"
+                )
+            options[key] = _parse_value(key, raw)
+    if "recover" in options:
+        options.setdefault("duration", options.pop("recover"))
+    options.setdefault("at", 0.0)
+    return Fault(kind=kind, **options)
+
+
+def smoke_fault_profile() -> FaultProfile:
+    """The deterministic CI preset (sized for ``serve --smoke``: P=8).
+
+    Exercises every kind and both recovery paths: a bandwidth collapse
+    (repricing drift), a mid-schedule blackout short enough for capped
+    exponential backoff to outwait (>= 1 successful transient retry), a
+    mid-schedule permanent link death (>= 1 repair episode, rerouting
+    around the dead link), and a node dropout (demand shrinks to the
+    survivors).
+    """
+    return FaultProfile(faults=(
+        Fault(kind=BW_COLLAPSE, at=2.0, src=1, dst=2, factor=8.0),
+        Fault(kind=BLACKOUT, at=4.0, src=0, dst=1, duration=3.0, at_event=6),
+        Fault(kind=LINK_DEAD, at=7.0, src=2, dst=3, at_event=10),
+        Fault(kind=NODE_DROP, at=9.0, node=6),
+    ))
+
+
+#: Named profiles accepted anywhere a spec string is.
+NAMED_PROFILES = {
+    "smoke": smoke_fault_profile,
+    "none": FaultProfile,
+}
+
+
+def parse_fault_profile(spec: Optional[str]) -> FaultProfile:
+    """Parse a ``;``-separated fault spec or a named preset.
+
+    ``None``, ``""`` and ``"none"`` give the empty profile; ``"smoke"``
+    gives :func:`smoke_fault_profile`; anything else is parsed as
+    ``kind:key=val,...;kind:key=val,...`` entries.
+    """
+    if spec is None or not spec.strip():
+        return FaultProfile()
+    spec = spec.strip()
+    named = NAMED_PROFILES.get(spec)
+    if named is not None:
+        return named()
+    faults = [
+        parse_fault_entry(entry)
+        for entry in spec.split(";")
+        if entry.strip()
+    ]
+    return FaultProfile(faults=tuple(faults))

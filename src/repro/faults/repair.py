@@ -1,0 +1,261 @@
+"""Online schedule repair over surviving nodes and links.
+
+Given the availability masks of a failure (who is alive, which links
+still work) and the delivered-pair mask of a salvaged partial execution,
+:func:`repair_schedule` rebuilds a schedule for the *residual* demand:
+
+1. residual pairs are the undelivered demanded pairs whose endpoints
+   both survive; pairs with a dead endpoint are ``lost`` (nobody can
+   deliver them);
+2. each residual pair is routed — directly when its link is up, else
+   via the cheapest surviving 2-hop relay (the restrained indirect
+   routing of :mod:`repro.core.indirect`); pairs with no surviving
+   route are ``unreachable``;
+3. relay-free residuals are compacted onto the surviving nodes and
+   handed to the session's own scheduler (so repairing a fault-free
+   world is *bit-identical* to never failing); residuals needing relays
+   are scheduled with the relay-aware open-shop list scheduler over the
+   physical legs.
+
+The result's events live in the original processor index space, shifted
+to begin at ``start_time`` (the strike instant plus any backoff waits),
+so salvage prefix + repair continuation form one coherent timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.indirect import RelayPlan, schedule_openshop_indirect
+from repro.core.openshop import schedule_openshop
+from repro.core.problem import TotalExchangeProblem
+from repro.directory.service import DirectorySnapshot
+from repro.timing.events import CommEvent, Schedule
+
+Scheduler = Callable[[TotalExchangeProblem], Schedule]
+
+Pair = Tuple[int, int]
+Triple = Tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class RouteSet:
+    """How each residual pair travels (or fails to)."""
+
+    direct: Tuple[Pair, ...]
+    relayed: Tuple[Triple, ...]
+    unreachable: Tuple[Pair, ...]
+    lost: Tuple[Pair, ...]
+
+    @property
+    def needs_relays(self) -> bool:
+        return bool(self.relayed)
+
+    @property
+    def resent(self) -> int:
+        """Messages the repair re-sends (a relayed one counts once)."""
+        return len(self.direct) + len(self.relayed)
+
+
+@dataclass(frozen=True)
+class RepairResult:
+    """A repaired continuation schedule plus its routing decisions."""
+
+    schedule: Schedule
+    routes: RouteSet
+    start_time: float
+
+    @property
+    def resent(self) -> int:
+        return self.routes.resent
+
+    @property
+    def undeliverable(self) -> int:
+        return len(self.routes.unreachable) + len(self.routes.lost)
+
+    @property
+    def completion_time(self) -> float:
+        return self.schedule.completion_time
+
+
+def split_routes(
+    snapshot: DirectorySnapshot,
+    sizes: np.ndarray,
+    *,
+    delivered: Optional[np.ndarray] = None,
+    alive: Optional[np.ndarray] = None,
+    link_ok: Optional[np.ndarray] = None,
+) -> RouteSet:
+    """Route the residual demand over what survives.
+
+    For a cut pair the relay minimising the serial two-leg time of the
+    pair's own payload is chosen among surviving nodes with both legs
+    up; a cut pair with no such relay is unreachable.
+    """
+    sizes = np.asarray(sizes, dtype=float)
+    n = snapshot.num_procs
+    if alive is None:
+        alive = np.ones(n, dtype=bool)
+    if link_ok is None:
+        link_ok = np.ones((n, n), dtype=bool)
+    direct: List[Pair] = []
+    relayed: List[Triple] = []
+    unreachable: List[Pair] = []
+    lost: List[Pair] = []
+    for src, dst in zip(*np.nonzero(sizes)):
+        src, dst = int(src), int(dst)
+        if src == dst:
+            continue
+        if delivered is not None and delivered[src, dst]:
+            continue
+        if not (alive[src] and alive[dst]):
+            lost.append((src, dst))
+            continue
+        if link_ok[src, dst]:
+            direct.append((src, dst))
+            continue
+        payload = float(sizes[src, dst])
+        best_relay = None
+        best_time = np.inf
+        for k in range(n):
+            if k == src or k == dst or not alive[k]:
+                continue
+            if not (link_ok[src, k] and link_ok[k, dst]):
+                continue
+            two_leg = snapshot.transfer_time(
+                src, k, payload
+            ) + snapshot.transfer_time(k, dst, payload)
+            if two_leg < best_time:
+                best_relay = k
+                best_time = two_leg
+        if best_relay is None:
+            unreachable.append((src, dst))
+        else:
+            relayed.append((src, best_relay, dst))
+    return RouteSet(
+        direct=tuple(direct),
+        relayed=tuple(relayed),
+        unreachable=tuple(unreachable),
+        lost=tuple(lost),
+    )
+
+
+def _compact(
+    snapshot: DirectorySnapshot,
+    residual_sizes: np.ndarray,
+    alive_index: np.ndarray,
+) -> Tuple[DirectorySnapshot, np.ndarray]:
+    """Slice the world down to the surviving nodes."""
+    grid = np.ix_(alive_index, alive_index)
+    sub_snapshot = DirectorySnapshot(
+        latency=snapshot.latency[grid],
+        bandwidth=snapshot.bandwidth[grid],
+        time=snapshot.time,
+    )
+    return sub_snapshot, residual_sizes[grid]
+
+
+def _expand(
+    schedule: Schedule,
+    num_procs: int,
+    alive_index: np.ndarray,
+    start_time: float,
+) -> Schedule:
+    """Map a compacted schedule back to original indices, shifted."""
+    identity = len(alive_index) == num_procs
+    if identity and start_time == 0.0:
+        return schedule
+    back = alive_index.tolist()
+    events = [
+        CommEvent(
+            start=event.start + start_time,
+            src=event.src if identity else back[event.src],
+            dst=event.dst if identity else back[event.dst],
+            duration=event.duration,
+            size=event.size,
+        )
+        for event in schedule.events
+    ]
+    return Schedule.from_events(num_procs, events)
+
+
+def repair_schedule(
+    snapshot: DirectorySnapshot,
+    sizes: np.ndarray,
+    *,
+    delivered: Optional[np.ndarray] = None,
+    alive: Optional[np.ndarray] = None,
+    link_ok: Optional[np.ndarray] = None,
+    scheduler: Optional[Scheduler] = None,
+    routes: Optional[RouteSet] = None,
+    start_time: float = 0.0,
+) -> RepairResult:
+    """Reschedule the residual demand over the surviving network.
+
+    Pass ``routes`` to reuse routing decisions made against another
+    snapshot (the session plans routes against the directory view, then
+    re-executes the same routes under the true costs).  With no faults,
+    nothing delivered and ``start_time == 0`` the result is exactly
+    ``scheduler(problem)`` — repair of a healthy world is a no-op.
+    """
+    sizes = np.asarray(sizes, dtype=float)
+    n = snapshot.num_procs
+    if scheduler is None:
+        scheduler = schedule_openshop
+    if alive is None:
+        alive = np.ones(n, dtype=bool)
+    alive = np.asarray(alive, dtype=bool)
+    if routes is None:
+        routes = split_routes(
+            snapshot, sizes,
+            delivered=delivered, alive=alive, link_ok=link_ok,
+        )
+
+    clean = (
+        not routes.needs_relays
+        and not routes.unreachable
+        and not routes.lost
+        and delivered is None
+        and bool(alive.all())
+        and start_time == 0.0
+    )
+    if clean:
+        problem = TotalExchangeProblem.from_snapshot(snapshot, sizes)
+        return RepairResult(
+            schedule=scheduler(problem), routes=routes, start_time=0.0,
+        )
+
+    residual = np.zeros_like(sizes)
+    for src, dst in routes.direct:
+        residual[src, dst] = sizes[src, dst]
+    for src, _relay, dst in routes.relayed:
+        residual[src, dst] = sizes[src, dst]
+
+    alive_index = np.flatnonzero(alive)
+    sub_snapshot, sub_sizes = _compact(snapshot, residual, alive_index)
+    position = {int(node): k for k, node in enumerate(alive_index)}
+
+    if routes.needs_relays:
+        plan = RelayPlan(
+            direct=tuple(
+                (position[s], position[d]) for s, d in routes.direct
+            ),
+            relayed=tuple(
+                (position[s], position[r], position[d])
+                for s, r, d in routes.relayed
+            ),
+        )
+        sub_schedule = schedule_openshop_indirect(
+            sub_snapshot, sub_sizes, plan=plan
+        )
+    else:
+        problem = TotalExchangeProblem.from_snapshot(sub_snapshot, sub_sizes)
+        sub_schedule = scheduler(problem)
+
+    schedule = _expand(sub_schedule, n, alive_index, start_time)
+    return RepairResult(
+        schedule=schedule, routes=routes, start_time=start_time,
+    )

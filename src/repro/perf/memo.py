@@ -25,11 +25,20 @@ from repro.core.problem import TotalExchangeProblem
 from repro.timing.events import Schedule
 
 
-def cost_digest(cost: np.ndarray, sizes: Optional[np.ndarray] = None) -> str:
+def cost_digest(
+    cost: np.ndarray,
+    sizes: Optional[np.ndarray] = None,
+    *,
+    mask: Optional[np.ndarray] = None,
+) -> str:
     """Hex digest of a cost matrix (and optional size matrix).
 
     Shape is folded in so a flattened matrix cannot collide with a
-    differently shaped one with the same bytes.
+    differently shaped one with the same bytes.  ``mask`` folds in an
+    availability mask (surviving nodes/links): a blackout changes which
+    links may be used without changing a single cost number, so two
+    identical matrices under different availability must not share an
+    entry.  ``mask=None`` keeps the historical digest.
     """
     cost = np.ascontiguousarray(np.asarray(cost, dtype=float))
     hasher = hashlib.sha256()
@@ -39,12 +48,19 @@ def cost_digest(cost: np.ndarray, sizes: Optional[np.ndarray] = None) -> str:
         sizes = np.ascontiguousarray(np.asarray(sizes, dtype=float))
         hasher.update(b"|sizes|")
         hasher.update(sizes.tobytes())
+    if mask is not None:
+        mask = np.ascontiguousarray(np.asarray(mask, dtype=bool))
+        hasher.update(b"|mask|")
+        hasher.update(repr(mask.shape).encode("ascii"))
+        hasher.update(np.packbits(mask).tobytes())
     return hasher.hexdigest()
 
 
-def problem_digest(problem: TotalExchangeProblem) -> str:
-    """Digest of a problem's cost and size matrices."""
-    return cost_digest(problem.cost, problem.sizes)
+def problem_digest(
+    problem: TotalExchangeProblem, *, mask: Optional[np.ndarray] = None
+) -> str:
+    """Digest of a problem's cost and size matrices (and availability)."""
+    return cost_digest(problem.cost, problem.sizes, mask=mask)
 
 
 def _scheduler_label(scheduler: Callable, name: Optional[str]) -> str:
@@ -81,9 +97,13 @@ class ScheduleCache:
         scheduler: Callable[[TotalExchangeProblem], Schedule],
         *,
         name: Optional[str] = None,
+        mask: Optional[np.ndarray] = None,
     ) -> Schedule:
         """Return the cached schedule, computing and storing it on a miss."""
-        key = (problem_digest(problem), _scheduler_label(scheduler, name))
+        key = (
+            problem_digest(problem, mask=mask),
+            _scheduler_label(scheduler, name),
+        )
         cached = self._entries.get(key)
         if cached is not None:
             self.hits += 1
@@ -102,15 +122,21 @@ class ScheduleCache:
         scheduler: Callable[[TotalExchangeProblem], Schedule],
         *,
         name: Optional[str] = None,
+        mask: Optional[np.ndarray] = None,
     ) -> Optional[Schedule]:
         """The cached schedule, or None; counts a hit or a miss.
 
         Unlike :meth:`get_or_compute`, a miss does *not* invoke the
         scheduler — callers that must guard the computation (deadlines,
         fallbacks) use ``lookup`` + :meth:`put` so failed or substituted
-        results never poison the cache.
+        results never poison the cache.  ``mask`` keys the entry to an
+        availability mask (see :func:`cost_digest`) so repaired-world
+        lookups cannot answer with a pre-failure plan.
         """
-        key = (problem_digest(problem), _scheduler_label(scheduler, name))
+        key = (
+            problem_digest(problem, mask=mask),
+            _scheduler_label(scheduler, name),
+        )
         cached = self._entries.get(key)
         if cached is not None:
             self.hits += 1
@@ -126,6 +152,7 @@ class ScheduleCache:
         schedule: Schedule,
         *,
         name: Optional[str] = None,
+        mask: Optional[np.ndarray] = None,
     ) -> None:
         """Seed the cache with an already-computed schedule.
 
@@ -133,7 +160,10 @@ class ScheduleCache:
         timing it) donate the result, so a later cached call is a hit
         instead of a recomputation.
         """
-        key = (problem_digest(problem), _scheduler_label(scheduler, name))
+        key = (
+            problem_digest(problem, mask=mask),
+            _scheduler_label(scheduler, name),
+        )
         self._entries[key] = schedule
         self._entries.move_to_end(key)
         if len(self._entries) > self.maxsize:

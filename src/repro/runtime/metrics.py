@@ -132,6 +132,28 @@ class TickEvent:
     fallback:
         Whether the baseline fallback replaced the scheduler's answer
         (timeout or exception).
+    degraded:
+        Whether any active fault constrained this tick (dead/blacked-out
+        links or dropped nodes among the demanded pairs).
+    faults_seen:
+        Faults newly observed this tick (each injected fault counts
+        once, on the tick the session first sees it).
+    repair:
+        Recovery action taken after a mid-schedule fault: ``""`` (none),
+        ``"retry"`` (transient outwaited by backoff), ``"repair"``
+        (salvage + residual reschedule) or ``"full"`` (reschedule over
+        survivors from scratch).
+    retries / backoff_wait_s:
+        Backoff attempts against a transient fault this tick and the
+        simulated seconds they waited (paid even when the link is then
+        declared dead).
+    salvaged_events / resent_events:
+        Completed events kept and messages re-sent by a repair episode.
+    repair_latency_s:
+        Wall-clock seconds spent computing the repair schedule.
+    undeliverable:
+        Demanded messages no surviving route can carry (partitioned
+        pair or dead endpoint) at this tick.
     """
 
     tick: int
@@ -146,10 +168,22 @@ class TickEvent:
     refine_evaluations: int = 0
     cache_hit: bool = False
     fallback: bool = False
+    degraded: bool = False
+    faults_seen: int = 0
+    repair: str = ""
+    retries: int = 0
+    backoff_wait_s: float = 0.0
+    salvaged_events: int = 0
+    resent_events: int = 0
+    repair_latency_s: float = 0.0
+    undeliverable: int = 0
 
 
 #: Decision names in stable display order.
 DECISIONS = ("reuse", "refine", "reschedule")
+
+#: Valid ``TickEvent.repair`` values ("" = no recovery this tick).
+REPAIR_ACTIONS = ("", "retry", "repair", "full")
 
 
 class RuntimeMetrics:
@@ -194,6 +228,35 @@ class RuntimeMetrics:
         self.histogram("executed_makespan_s").record(event.executed_makespan)
         self.histogram("scheduler_elapsed_s").record(event.scheduler_elapsed)
         self.histogram("drift").record(event.drift)
+        self._record_fault_facets(event)
+
+    def _record_fault_facets(self, event: TickEvent) -> None:
+        if event.repair not in REPAIR_ACTIONS:
+            raise ValueError(
+                f"unknown repair action {event.repair!r}; "
+                f"expected one of {REPAIR_ACTIONS}"
+            )
+        if event.degraded:
+            self.counter("ticks.degraded").inc()
+        if event.faults_seen:
+            self.counter("faults.seen").inc(event.faults_seen)
+        if event.retries:
+            self.counter("retry.attempts").inc(event.retries)
+            self.histogram("backoff_wait_s").record(event.backoff_wait_s)
+        if event.repair == "retry":
+            self.counter("retry.successes").inc()
+        elif event.repair in ("repair", "full"):
+            self.counter("repair.episodes").inc()
+            self.counter(f"repair.{event.repair}").inc()
+            self.counter("repair.salvaged_events").inc(event.salvaged_events)
+            self.counter("repair.resent_events").inc(event.resent_events)
+            self.histogram("salvaged_events").record(event.salvaged_events)
+            self.histogram("resent_events").record(event.resent_events)
+            self.histogram("repair_latency_s").record(event.repair_latency_s)
+            if event.undeliverable:
+                self.counter("messages.undeliverable").inc(
+                    event.undeliverable
+                )
 
     # -- derived rates ------------------------------------------------------
 
@@ -217,6 +280,12 @@ class RuntimeMetrics:
         lookups = self._count("cache.hits") + self._count("cache.misses")
         return self._count("cache.hits") / lookups if lookups else 0.0
 
+    @property
+    def degraded_tick_ratio(self) -> float:
+        """Fraction of ticks served under an active fault."""
+        ticks = self.ticks
+        return self._count("ticks.degraded") / ticks if ticks else 0.0
+
     # -- export -------------------------------------------------------------
 
     def summary(self) -> Dict[str, Any]:
@@ -235,6 +304,12 @@ class RuntimeMetrics:
             "mean_executed_makespan_s": (
                 self.histogram("executed_makespan_s").mean
             ),
+            "degraded_tick_ratio": self.degraded_tick_ratio,
+            "faults_seen": self._count("faults.seen"),
+            "retry_successes": self._count("retry.successes"),
+            "repair_episodes": self._count("repair.episodes"),
+            "messages_salvaged": self._count("repair.salvaged_events"),
+            "messages_resent": self._count("repair.resent_events"),
         }
 
     def to_json(self) -> Dict[str, Any]:
@@ -281,6 +356,19 @@ class RuntimeMetrics:
                     "args": {"name": decision},
                 }
             )
+        # The repair track exists only when something was repaired, so
+        # fault-free traces look exactly as they always did.
+        repair_tid = len(DECISIONS)
+        if any(event.repair for event in self.events):
+            trace_events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": repair_tid,
+                    "args": {"name": "repair"},
+                }
+            )
         for event in self.events:
             trace_events.append(
                 {
@@ -294,6 +382,23 @@ class RuntimeMetrics:
                     "args": asdict(event),
                 }
             )
+            if event.repair:
+                trace_events.append(
+                    {
+                        "name": (
+                            f"tick {event.tick}: {event.repair} "
+                            f"(salvaged {event.salvaged_events}, "
+                            f"resent {event.resent_events})"
+                        ),
+                        "cat": "repair",
+                        "ph": "X",
+                        "pid": 1,
+                        "tid": repair_tid,
+                        "ts": event.time * _US,
+                        "dur": max(event.executed_makespan, 1e-9) * _US,
+                        "args": asdict(event),
+                    }
+                )
         return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
 
     def save_json(self, path: Union[str, pathlib.Path]) -> None:

@@ -37,6 +37,11 @@ REUSE = "reuse"
 REFINE = "refine"
 RESCHEDULE = "reschedule"
 
+#: Recovery actions after a mid-schedule fault (``TickEvent.repair``).
+RETRY = "retry"
+REPAIR = "repair"
+FULL_RESCHEDULE = "full"
+
 
 @dataclass(frozen=True)
 class PolicyConfig:
@@ -67,6 +72,17 @@ class PolicyConfig:
         Wall-clock deadline on one scheduler invocation; an invocation
         exceeding it (or raising) is discarded in favour of the O(P^2)
         baseline caterpillar.  ``None`` disables the deadline.
+    retry_base_s / retry_factor / retry_cap_s / retry_max_attempts:
+        Capped exponential backoff against *transient* faults: attempt
+        ``k`` waits ``min(retry_base_s * retry_factor**k, retry_cap_s)``
+        simulated seconds; after ``retry_max_attempts`` unsuccessful
+        waits the link is declared dead and the permanent repair path
+        takes over.
+    repair_salvage_threshold:
+        Minimum fraction of the tick's events already completed for a
+        permanent fault to be handled by incremental repair (salvage +
+        residual reschedule); below it almost nothing is saved, so a
+        full reschedule over the survivors is used instead.
     """
 
     reuse_threshold: float = 0.05
@@ -76,6 +92,11 @@ class PolicyConfig:
     max_plan_age_ticks: int = 24
     min_ticks_between_reschedules: int = 0
     scheduler_deadline_s: Optional[float] = 5.0
+    retry_base_s: float = 1.0
+    retry_factor: float = 2.0
+    retry_cap_s: float = 8.0
+    retry_max_attempts: int = 4
+    repair_salvage_threshold: float = 0.05
 
     def __post_init__(self) -> None:
         if not (0.0 <= self.reuse_threshold <= self.refine_threshold):
@@ -108,6 +129,29 @@ class PolicyConfig:
             raise ValueError(
                 "scheduler_deadline_s must be positive or None, got "
                 f"{self.scheduler_deadline_s}"
+            )
+        if self.retry_base_s <= 0:
+            raise ValueError(
+                f"retry_base_s must be positive, got {self.retry_base_s}"
+            )
+        if self.retry_factor < 1.0:
+            raise ValueError(
+                f"retry_factor must be >= 1, got {self.retry_factor}"
+            )
+        if self.retry_cap_s < self.retry_base_s:
+            raise ValueError(
+                f"retry_cap_s ({self.retry_cap_s}) must be >= retry_base_s "
+                f"({self.retry_base_s})"
+            )
+        if self.retry_max_attempts < 0:
+            raise ValueError(
+                f"retry_max_attempts must be >= 0, "
+                f"got {self.retry_max_attempts}"
+            )
+        if not (0.0 <= self.repair_salvage_threshold <= 1.0):
+            raise ValueError(
+                "repair_salvage_threshold must be in [0, 1], got "
+                f"{self.repair_salvage_threshold}"
             )
 
 
@@ -185,4 +229,56 @@ def decide(
         )
     return REUSE, (
         f"drift {drift:.3f} < reuse threshold {config.reuse_threshold:g}"
+    )
+
+
+def backoff_waits(config: PolicyConfig) -> Tuple[float, ...]:
+    """The capped exponential wait (seconds) of each retry attempt."""
+    return tuple(
+        min(config.retry_base_s * config.retry_factor**k, config.retry_cap_s)
+        for k in range(config.retry_max_attempts)
+    )
+
+
+def retry_outcome(
+    outage_s: float, *, config: PolicyConfig
+) -> Tuple[bool, int, float]:
+    """``(recovered, attempts, waited_s)`` of backing off a transient fault.
+
+    The runtime waits attempt by attempt until the cumulative wait
+    covers the outage (the link is back: the retry succeeds) or the
+    attempt budget runs out (the link is declared dead and the
+    permanent repair path takes over, having already paid the waits).
+    """
+    if outage_s < 0:
+        raise ValueError(f"outage_s must be >= 0, got {outage_s}")
+    waited = 0.0
+    for attempts, wait in enumerate(backoff_waits(config), start=1):
+        waited += wait
+        if waited >= outage_s:
+            return True, attempts, waited
+    return False, config.retry_max_attempts, waited
+
+
+def decide_repair(
+    salvaged: int, total: int, *, config: PolicyConfig
+) -> Tuple[str, str]:
+    """``(action, reason)`` after a permanent mid-schedule fault.
+
+    Incremental repair (keep the salvage, reschedule only the residual)
+    when enough of the exchange already completed; a full reschedule
+    over the survivors when the fault struck too early for salvage to
+    be worth anything.
+    """
+    fraction = salvaged / total if total else 0.0
+    if salvaged and fraction >= config.repair_salvage_threshold:
+        return REPAIR, (
+            f"salvaged {salvaged}/{total} events "
+            f"({fraction:.0%} >= {config.repair_salvage_threshold:.0%}): "
+            "repairing the residual"
+        )
+    return FULL_RESCHEDULE, (
+        f"salvaged {salvaged}/{total} events "
+        f"({fraction:.0%} < {config.repair_salvage_threshold:.0%}): "
+        "full reschedule over survivors"
     )

@@ -39,19 +39,30 @@ from repro.adaptive.incremental import refine_orders
 from repro.core.baseline import schedule_baseline
 from repro.core.problem import TotalExchangeProblem
 from repro.core.registry import Scheduler, make_scheduler
-from repro.directory.service import DirectoryService
+from repro.directory.service import DirectoryService, DirectorySnapshot
+from repro.faults.executor import cut_execution, merge_with_salvaged
+from repro.faults.models import (
+    Fault,
+    apply_fault_to_snapshot,
+    apply_fault_to_state,
+)
+from repro.faults.repair import repair_schedule, split_routes
 from repro.model.messages import SizeSpec
 from repro.perf.memo import ScheduleCache
 from repro.runtime.metrics import RuntimeMetrics, TickEvent
 from repro.runtime.policy import (
     PolicyConfig,
+    REPAIR,
     RESCHEDULE,
+    RETRY,
     REFINE,
     REUSE,
     decide,
+    decide_repair,
     drift_magnitude,
+    retry_outcome,
 )
-from repro.sim.engine import SendOrders, execute_orders
+from repro.sim.engine import SendOrders, execute_orders, execute_orders_on_cost
 from repro.timing.events import Schedule
 from repro.util.rng import RngLike
 
@@ -63,6 +74,39 @@ class _Plan:
     orders: SendOrders
     basis_cost: np.ndarray  # the costs the orders were computed/refined for
     predicted_makespan: float  # completion under the basis costs
+
+
+@dataclass
+class _ServeState:
+    """What one serving path produced, before strike recovery."""
+
+    decision: str
+    reason: str
+    drift: float
+    predicted: float
+    executed: Schedule
+    actual: TotalExchangeProblem
+    elapsed: float = 0.0
+    evaluations: int = 0
+    cache_hit: bool = False
+    fallback: bool = False
+    undeliverable: int = 0
+    relay_tick: bool = False
+
+
+@dataclass(frozen=True)
+class _StrikeOutcome:
+    """Recovery from one mid-schedule strike."""
+
+    executed: Schedule
+    action: str
+    retries: int
+    waited: float
+    salvaged: int
+    resent: int
+    latency: float
+    undeliverable: int
+    detail: str
 
 
 @dataclass(frozen=True)
@@ -151,6 +195,20 @@ class AdaptiveSession:
         self._ticks_since_reschedule = 0
         self.last_schedule: Optional[Schedule] = None
 
+        # Degraded mode: directories that inject faults expose
+        # availability masks (fault_view) and mid-schedule strikes
+        # (striking_between) — detected by duck-typing so any
+        # DirectoryService composes.
+        self._fault_view_fn = getattr(directory, "fault_view", None)
+        self._striking_fn = getattr(directory, "striking_between", None)
+        n = directory.num_procs
+        # Links the session gave up on after exhausting transient
+        # retries; overrides profile recovery (a declared-dead link
+        # stays routed-around even if it silently comes back).
+        self._declared_dead = np.zeros((n, n), dtype=bool)
+        self._last_fault_scan = float("-inf")
+        self._seen_faults: set = set()
+
     # -- directory views ----------------------------------------------------
 
     @property
@@ -162,22 +220,32 @@ class AdaptiveSession:
         """Index the *next* tick will carry."""
         return self._tick_index
 
-    def _planning_problem(self) -> TotalExchangeProblem:
-        return TotalExchangeProblem.from_snapshot(
-            self._directory.snapshot(), self._sizes
-        )
+    def _planning_problem(
+        self, snapshot: DirectorySnapshot, sizes: np.ndarray
+    ) -> TotalExchangeProblem:
+        return TotalExchangeProblem.from_snapshot(snapshot, sizes)
+
+    def _true_snapshot(
+        self, planning_snapshot: DirectorySnapshot
+    ) -> DirectorySnapshot:
+        """The directory's noise-free view when it exposes one
+        (``true_snapshot``), else the planning view."""
+        true_snapshot = getattr(self._directory, "true_snapshot", None)
+        if true_snapshot is None:
+            return planning_snapshot
+        return true_snapshot()
 
     def _true_problem(
-        self, planning: TotalExchangeProblem
+        self,
+        planning: TotalExchangeProblem,
+        planning_snapshot: DirectorySnapshot,
+        sizes: np.ndarray,
     ) -> TotalExchangeProblem:
-        """The execution-time instance: the directory's noise-free view
-        when it exposes one (``true_snapshot``), else the planning view."""
+        """The execution-time instance under the true costs."""
         true_snapshot = getattr(self._directory, "true_snapshot", None)
         if true_snapshot is None:
             return planning
-        return TotalExchangeProblem.from_snapshot(
-            true_snapshot(), self._sizes
-        )
+        return TotalExchangeProblem.from_snapshot(true_snapshot(), sizes)
 
     # -- scheduling with deadline + fallback --------------------------------
 
@@ -214,13 +282,19 @@ class AdaptiveSession:
 
     # -- the serving loop ---------------------------------------------------
 
-    def tick(self, dt: float = 0.0) -> TickResult:
-        """Serve one total exchange; advance the directory by ``dt`` first."""
-        if dt:
-            self._directory.advance(dt)
-        planning = self._planning_problem()
-        now = self._directory.time
+    def _serve_planned(
+        self,
+        snapshot: DirectorySnapshot,
+        sizes: np.ndarray,
+        mask: Optional[np.ndarray],
+    ) -> "_ServeState":
+        """The reuse/refine/reschedule path (all demanded links usable).
 
+        ``mask`` is the availability matrix under degradation (dead
+        nodes): it keys the schedule cache so a repaired-world lookup
+        can never answer with a pre-failure plan.
+        """
+        planning = self._planning_problem(snapshot, sizes)
         cache_hit = False
         fallback = False
         elapsed = 0.0
@@ -245,7 +319,10 @@ class AdaptiveSession:
             schedule = None
             if self._tick_index not in self._force_timeout_ticks:
                 schedule = self.cache.lookup(
-                    planning, self._scheduler, name=self._scheduler_name
+                    planning,
+                    self._scheduler,
+                    name=self._scheduler_name,
+                    mask=mask,
                 )
             if schedule is not None:
                 cache_hit = True
@@ -261,6 +338,7 @@ class AdaptiveSession:
                         self._scheduler,
                         schedule,
                         name=self._scheduler_name,
+                        mask=mask,
                     )
             self._plan = _Plan(
                 orders=schedule.send_orders(),
@@ -294,23 +372,336 @@ class AdaptiveSession:
 
         # Execute the active plan under the costs that actually
         # materialised (the directory's truth when it exposes one).
-        actual = self._true_problem(planning)
+        actual = self._true_problem(planning, snapshot, sizes)
         executed = execute_orders(actual, self._plan.orders, validate=False)
-        predicted = self._plan.predicted_makespan
+        return _ServeState(
+            decision=decision,
+            reason=reason,
+            drift=drift,
+            predicted=self._plan.predicted_makespan,
+            executed=executed,
+            actual=actual,
+            elapsed=elapsed,
+            evaluations=evaluations,
+            cache_hit=cache_hit,
+            fallback=fallback,
+        )
+
+    def _serve_degraded_relay(
+        self,
+        snapshot: DirectorySnapshot,
+        sizes: np.ndarray,
+        alive: np.ndarray,
+        link_ok: np.ndarray,
+    ) -> "_ServeState":
+        """Serve a tick on which demanded links are down.
+
+        The plan comes from the repair layer: direct pairs over
+        surviving links, 2-hop relays for cut pairs, the session's own
+        scheduler for the relay-free residual.  Relay plans are not
+        order-reusable (a relay leg's cost depends on its payload, not
+        the pair's demand), so relay ticks always reschedule — answered
+        from the mask-keyed cache when conditions repeat.
+        """
+        routes = split_routes(snapshot, sizes, alive=alive, link_ok=link_ok)
+        planning = self._planning_problem(snapshot, sizes)
+        decision = RESCHEDULE
+        reason = (
+            f"degraded: {len(routes.relayed)} pair(s) relayed, "
+            f"{len(routes.unreachable)} unreachable, "
+            f"{len(routes.lost)} lost to dead nodes"
+        )
+        drift = (
+            drift_magnitude(self._plan.basis_cost, planning.cost)
+            if self._plan is not None
+            else float("inf")
+        )
+        cache_hit = False
+        fallback = False
+        elapsed = 0.0
+        planned_schedule = self.cache.lookup(
+            planning, self._scheduler, name=self._scheduler_name, mask=link_ok
+        )
+        if planned_schedule is not None:
+            cache_hit = True
+        else:
+            started = self._clock()
+            try:
+                planned_schedule = repair_schedule(
+                    snapshot, sizes,
+                    alive=alive, link_ok=link_ok,
+                    scheduler=self._scheduler, routes=routes,
+                ).schedule
+            except Exception as exc:  # noqa: BLE001 — serving must not die
+                fallback = True
+                reason += (
+                    f"; scheduler raised {type(exc).__name__}: "
+                    "baseline routing"
+                )
+                planned_schedule = repair_schedule(
+                    snapshot, sizes,
+                    alive=alive, link_ok=link_ok,
+                    scheduler=schedule_baseline, routes=routes,
+                ).schedule
+            elapsed = self._clock() - started
+            if not fallback:
+                self.cache.put(
+                    planning,
+                    self._scheduler,
+                    planned_schedule,
+                    name=self._scheduler_name,
+                    mask=link_ok,
+                )
+
+        # Re-execute the same routes under the true costs.  The relay
+        # engine re-derives dispatch order deterministically, so with a
+        # noise-free directory executed == planned exactly.
+        true_snap = self._true_snapshot(snapshot)
+        executed = repair_schedule(
+            true_snap, sizes,
+            alive=alive, link_ok=link_ok,
+            scheduler=schedule_baseline if fallback else self._scheduler,
+            routes=routes,
+        ).schedule
+        actual = self._true_problem(planning, snapshot, sizes)
+
+        if routes.needs_relays:
+            self._plan = None
+        else:
+            self._plan = _Plan(
+                orders=planned_schedule.send_orders(),
+                basis_cost=planning.cost,
+                predicted_makespan=planned_schedule.completion_time,
+            )
+        self._ticks_since_reschedule = 0
+        self._reuse_streak = 0
+        return _ServeState(
+            decision=decision,
+            reason=reason,
+            drift=drift,
+            predicted=planned_schedule.completion_time,
+            executed=executed,
+            actual=actual,
+            elapsed=elapsed,
+            cache_hit=cache_hit,
+            fallback=fallback,
+            undeliverable=len(routes.unreachable) + len(routes.lost),
+            relay_tick=routes.needs_relays,
+        )
+
+    def _recover_from_strike(
+        self,
+        strike: Fault,
+        state: "_ServeState",
+        snapshot: DirectorySnapshot,
+        sizes: np.ndarray,
+        alive: np.ndarray,
+        link_ok: np.ndarray,
+    ) -> Optional["_StrikeOutcome"]:
+        """Salvage + retry/repair after a mid-schedule fault.
+
+        Returns ``None`` when the fault landed after the exchange had
+        already completed (it becomes standing directory state next
+        tick, nothing to recover now).
+        """
+        partial = cut_execution(state.executed, strike.at_event)
+        if not partial.interrupted:
+            return None
+        total = partial.salvaged_events + partial.cancelled_events
+        alive_after, link_after = apply_fault_to_state(
+            alive, link_ok, strike
+        )
+        retries = 0
+        waited = 0.0
+        declared_dead = False
+        if strike.transient and not state.relay_tick:
+            recovered, retries, waited = retry_outcome(
+                strike.duration, config=self.policy
+            )
+            if recovered:
+                # The outage was outwaited: resume the interrupted
+                # dispatch orders under the same actual costs.
+                resumed = execute_orders_on_cost(
+                    state.actual.cost,
+                    partial.residual_orders,
+                    sizes=state.actual.sizes,
+                    validate=False,
+                )
+                executed = merge_with_salvaged(
+                    partial.salvaged, resumed,
+                    offset=partial.strike_time + waited,
+                )
+                return _StrikeOutcome(
+                    executed=executed,
+                    action=RETRY,
+                    retries=retries,
+                    waited=waited,
+                    salvaged=partial.salvaged_events,
+                    resent=partial.cancelled_events,
+                    latency=0.0,
+                    undeliverable=0,
+                    detail=(
+                        f"{strike.describe()} struck mid-schedule; retry "
+                        f"{retries} succeeded after {waited:g}s backoff"
+                    ),
+                )
+            declared_dead = True
+            self._declared_dead[strike.src, strike.dst] = True
+            if strike.symmetric:
+                self._declared_dead[strike.dst, strike.src] = True
+
+        action, why = decide_repair(
+            partial.salvaged_events, total, config=self.policy
+        )
+        delivered = partial.delivered if action == REPAIR else None
+        true_after = apply_fault_to_snapshot(
+            self._true_snapshot(snapshot), strike
+        )
+        started = self._clock()
+        try:
+            result = repair_schedule(
+                true_after, sizes,
+                delivered=delivered, alive=alive_after, link_ok=link_after,
+                scheduler=self._scheduler,
+            )
+        except Exception:  # noqa: BLE001 — serving must not die
+            result = repair_schedule(
+                true_after, sizes,
+                delivered=delivered, alive=alive_after, link_ok=link_after,
+                scheduler=schedule_baseline,
+            )
+        latency = self._clock() - started
+        executed = merge_with_salvaged(
+            partial.salvaged, result.schedule,
+            offset=partial.strike_time + waited,
+        )
+        prefix = f"{strike.describe()} struck mid-schedule"
+        if declared_dead:
+            prefix += (
+                f"; {retries} retries ({waited:g}s) exhausted, "
+                "link declared dead"
+            )
+        return _StrikeOutcome(
+            executed=executed,
+            action=action,
+            retries=retries,
+            waited=waited,
+            salvaged=partial.salvaged_events if action == REPAIR else 0,
+            resent=result.resent,
+            latency=latency,
+            undeliverable=result.undeliverable,
+            detail=f"{prefix}; {why}",
+        )
+
+    def _count_new_faults(self, now: float, strikes) -> int:
+        """Faults first observed this tick (each counts exactly once)."""
+        profile = getattr(self._directory, "profile", None)
+        if profile is None:
+            return 0
+        new = 0
+        striking = set(strikes)
+        for fault in getattr(profile, "faults", ()):
+            if fault in self._seen_faults:
+                continue
+            if fault.visible_at(now) or fault in striking:
+                self._seen_faults.add(fault)
+                new += 1
+        return new
+
+    def tick(self, dt: float = 0.0) -> TickResult:
+        """Serve one total exchange; advance the directory by ``dt`` first."""
+        if dt:
+            self._directory.advance(dt)
+        now = self._directory.time
+        snapshot = self._directory.snapshot()
+
+        view = (
+            self._fault_view_fn() if self._fault_view_fn is not None else None
+        )
+        strikes = ()
+        if self._striking_fn is not None:
+            strikes = self._striking_fn(self._last_fault_scan, now)
+        self._last_fault_scan = now
+        faults_seen = self._count_new_faults(now, strikes)
+
+        n = self._sizes.shape[0]
+        if view is not None:
+            alive = view.alive
+            link_ok = view.link_ok & ~self._declared_dead
+        else:
+            alive = np.ones(n, dtype=bool)
+            link_ok = np.ones((n, n), dtype=bool)
+
+        demand = self._sizes > 0
+        np.fill_diagonal(demand, False)
+        blocked = demand & ~link_ok
+        surviving_blocked = blocked & np.outer(alive, alive)
+        degraded = bool(blocked.any() or not alive.all())
+
+        sizes = self._sizes
+        mask = None
+        if degraded:
+            mask = link_ok
+            if not alive.all():
+                # Dead endpoints leave the demand matrix entirely.
+                sizes = np.where(np.outer(alive, alive), self._sizes, 0.0)
+
+        if surviving_blocked.any():
+            state = self._serve_degraded_relay(snapshot, sizes, alive, link_ok)
+        else:
+            state = self._serve_planned(snapshot, sizes, mask)
+
+        repair_action = ""
+        retries = 0
+        waited = 0.0
+        salvaged = 0
+        resent = 0
+        repair_latency = 0.0
+        undeliverable = state.undeliverable
+        executed = state.executed
+        reason = state.reason
+        if strikes:
+            outcome = self._recover_from_strike(
+                strikes[0], state, snapshot, sizes, alive, link_ok
+            )
+            if outcome is not None:
+                degraded = True
+                executed = outcome.executed
+                repair_action = outcome.action
+                retries = outcome.retries
+                waited = outcome.waited
+                salvaged = outcome.salvaged
+                resent = outcome.resent
+                repair_latency = outcome.latency
+                undeliverable = max(undeliverable, outcome.undeliverable)
+                reason += f"; {outcome.detail}"
+                # The world changed mid-exchange: whatever plan was
+                # active no longer matches it.
+                self._plan = None
+                self._reuse_streak = 0
 
         event = TickEvent(
             tick=self._tick_index,
             time=float(now),
-            decision=decision,
+            decision=state.decision,
             reason=reason,
-            drift=drift if np.isfinite(drift) else -1.0,
-            predicted_makespan=predicted,
+            drift=state.drift if np.isfinite(state.drift) else -1.0,
+            predicted_makespan=state.predicted,
             executed_makespan=executed.completion_time,
-            regret=executed.completion_time - predicted,
-            scheduler_elapsed=elapsed,
-            refine_evaluations=evaluations,
-            cache_hit=cache_hit,
-            fallback=fallback,
+            regret=executed.completion_time - state.predicted,
+            scheduler_elapsed=state.elapsed,
+            refine_evaluations=state.evaluations,
+            cache_hit=state.cache_hit,
+            fallback=state.fallback,
+            degraded=degraded,
+            faults_seen=faults_seen,
+            repair=repair_action,
+            retries=retries,
+            backoff_wait_s=waited,
+            salvaged_events=salvaged,
+            resent_events=resent,
+            repair_latency_s=repair_latency,
+            undeliverable=undeliverable,
         )
         self.metrics.record_tick(event)
         self.last_schedule = executed

@@ -187,3 +187,69 @@ def test_serve_deterministic(capsys, tmp_path):
         dumps.append(payload["events"])
     capsys.readouterr()
     assert dumps[0] == dumps[1]
+
+def test_serve_fault_profile_smoke(capsys, tmp_path):
+    import json
+
+    metrics_path = tmp_path / "fault_metrics.json"
+    assert main(
+        ["serve", "--smoke", "--fault-profile", "smoke",
+         "--metrics-out", str(metrics_path), "--trace-out", ""]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "fault" in out and "faults=4" in out
+    summary = json.loads(metrics_path.read_text())["summary"]
+    # the CI faults-smoke acceptance bar: the blackout retried to
+    # success, the dead link triggered a salvaging repair
+    assert summary["faults_seen"] == 4
+    assert summary["retry_successes"] >= 1
+    assert summary["repair_episodes"] >= 1
+    assert summary["messages_salvaged"] > 0
+    assert summary["degraded_tick_ratio"] > 0
+
+
+def test_serve_rejects_bad_fault_profile(capsys):
+    with pytest.raises(SystemExit):
+        main(["serve", "--ticks", "2", "--fault-profile",
+              "meteor:src=0,dst=1"])
+    assert "bad --fault-profile" in capsys.readouterr().err
+
+
+def test_serve_directory_spec(capsys):
+    assert main(
+        ["serve", "--directory", "noisy:sigma=0.1", "--procs", "5",
+         "--ticks", "3", "--metrics-out", ""]
+    ) == 0
+    assert "noisy:sigma=0.1" in capsys.readouterr().out
+
+
+def test_check_faults_flag(capsys):
+    assert main(
+        ["check", "--seeds", "1", "--p-max", "4", "--faults",
+         "--scheduler", "openshop", "--out-dir", ""]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "fault family" in out
+    assert "all scenarios PASS" in out
+
+
+def test_collective_command(capsys):
+    assert main(["collective", "--procs", "5", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "alltoall" in out and "barrier_dissemination" in out
+
+
+def test_collective_subset_and_options(capsys):
+    assert main(
+        ["collective", "--collective", "broadcast_fnf",
+         "--collective", "allreduce_ring", "--directory", "gusto"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "broadcast_fnf" in out and "allreduce_ring" in out
+    assert "scatter_direct" not in out
+
+
+def test_collective_unknown_name(capsys):
+    with pytest.raises(SystemExit):
+        main(["collective", "--collective", "telepathy"])
+    assert "known:" in capsys.readouterr().err

@@ -1,0 +1,124 @@
+"""Collective registry tests: specs, the factory, and the legacy shim."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro.collectives import (
+    ALL_COLLECTIVES,
+    collective_names,
+    get_collective,
+    get_collective_spec,
+    iter_collective_specs,
+    make_collective,
+)
+from repro.directory.service import DirectorySnapshot
+from repro.timing.validate import check_schedule
+
+
+def make_snapshot(n=6, seed=0):
+    rng = np.random.default_rng(seed)
+    latency, bandwidth = repro.random_pairwise_parameters(n, rng=rng)
+    return DirectorySnapshot(latency=latency, bandwidth=bandwidth)
+
+
+class TestRegistry:
+    def test_families_partition_the_registry(self):
+        names = collective_names()
+        assert len(names) == len(set(names))
+        by_family = [
+            spec.name
+            for family in ("rooted", "allreduce", "barrier", "exchange")
+            for spec in iter_collective_specs(family=family)
+        ]
+        assert sorted(by_family) == sorted(names)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown family"):
+            list(iter_collective_specs(family="gossip"))
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="known:"):
+            get_collective_spec("broadcast_psychic")
+
+    def test_every_spec_runs_and_validates(self):
+        snapshot = make_snapshot()
+        for spec in iter_collective_specs():
+            result = spec.fn(snapshot, 1e5)
+            # the dissemination barrier intentionally lets zero-byte
+            # signals overlap at a receiver (flags, not transfers)
+            if spec.name != "barrier_dissemination":
+                check_schedule(result.schedule)
+            assert result.completion_time > 0
+            # completion can exceed the schedule makespan (reduction
+            # combine time) but never precede it
+            assert result.completion_time >= (
+                result.schedule.completion_time - 1e-9
+            )
+
+    def test_uniform_signature(self):
+        snapshot = make_snapshot()
+        fn = get_collective("barrier_dissemination")
+        result = fn(snapshot, 0.0)
+        assert result.schedule.num_procs == snapshot.num_procs
+
+
+class TestFactory:
+    def test_root_option(self):
+        snapshot = make_snapshot()
+        for name in ("broadcast_binomial", "broadcast_fnf", "scatter_direct",
+                     "gather_direct", "reduce_direct"):
+            fn = make_collective(name, root=3)
+            result = fn(snapshot, 1e5)
+            sources = {e.src for e in result.schedule if e.duration > 0}
+            sinks = {e.dst for e in result.schedule if e.duration > 0}
+            assert 3 in sources | sinks
+
+    def test_exchange_scheduler_option(self):
+        snapshot = make_snapshot()
+        default = make_collective("alltoall")(snapshot, 1e5)
+        greedy = make_collective("alltoall", scheduler="greedy")(
+            snapshot, 1e5
+        )
+        check_schedule(greedy.schedule)
+        assert default.schedule.num_procs == greedy.schedule.num_procs
+
+    def test_options_change_results(self):
+        snapshot = make_snapshot()
+        a = make_collective("broadcast_fnf", root=0)(snapshot, 1e6)
+        b = make_collective("broadcast_fnf", root=4)(snapshot, 1e6)
+        assert a.completion_time != pytest.approx(b.completion_time)
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(TypeError, match="option"):
+            make_collective("broadcast_fnf", fanout=3)
+
+    def test_no_factory_specs_reject_options(self):
+        for spec in iter_collective_specs():
+            if spec.factory is None:
+                with pytest.raises(TypeError):
+                    spec.build(root=1)
+
+    def test_built_name_is_descriptive(self):
+        fn = make_collective("broadcast_fnf", root=2)
+        assert "broadcast_fnf" in fn.__name__ and "root=2" in fn.__name__
+
+
+class TestDeprecatedShim:
+    def test_all_collectives_warns_and_works(self):
+        snapshot = make_snapshot()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            fn = ALL_COLLECTIVES["broadcast_binomial"]
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+        result = fn(snapshot, 1e5)
+        assert result.completion_time > 0
+
+    def test_shim_matches_registry(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            assert set(ALL_COLLECTIVES) == set(collective_names())

@@ -1,0 +1,135 @@
+"""Directory factory tests: spec parsing and every flavour."""
+
+import numpy as np
+import pytest
+
+from repro.directory import (
+    DIRECTORY_FLAVOURS,
+    ForecastDirectory,
+    LoadDirectory,
+    NoisyDirectory,
+    StaticDirectory,
+    make_directory,
+    parse_directory_spec,
+)
+
+
+class TestSpecParsing:
+    def test_bare_name(self):
+        assert parse_directory_spec("static") == ("static", {})
+
+    def test_options_are_typed(self):
+        name, options = parse_directory_spec(
+            "noisy:sigma=0.1,symmetric=false,inner=gusto"
+        )
+        assert name == "noisy"
+        assert options == {
+            "sigma": 0.1, "symmetric": False, "inner": "gusto",
+        }
+
+    def test_unknown_flavour(self):
+        with pytest.raises(KeyError, match="unknown directory flavour"):
+            parse_directory_spec("quantum")
+
+    def test_malformed_option(self):
+        with pytest.raises(ValueError, match="key=value"):
+            parse_directory_spec("noisy:sigma")
+
+    def test_empty_spec(self):
+        with pytest.raises(ValueError, match="empty"):
+            parse_directory_spec("  ")
+
+
+class TestFlavours:
+    def test_every_flavour_builds(self):
+        for name in DIRECTORY_FLAVOURS:
+            directory = make_directory(name, num_procs=5, rng=0)
+            snapshot = directory.snapshot()
+            assert snapshot.num_procs in (5,)
+            directory.advance(1.0)
+
+    def test_gusto_ignores_num_procs(self):
+        directory = make_directory("gusto", num_procs=12)
+        assert directory.num_procs == 5
+
+    def test_static_is_deterministic_per_seed(self):
+        a = make_directory("static", num_procs=6, rng=3).snapshot()
+        b = make_directory("static", num_procs=6, rng=3).snapshot()
+        c = make_directory("static", num_procs=6, rng=4).snapshot()
+        assert np.array_equal(a.bandwidth, b.bandwidth)
+        assert not np.array_equal(a.bandwidth, c.bandwidth)
+
+    def test_noisy_exposes_truth(self):
+        directory = make_directory("noisy:sigma=0.3", num_procs=5, rng=1)
+        assert isinstance(directory, NoisyDirectory)
+        observed = directory.snapshot()
+        truth = directory.true_snapshot()
+        assert not np.allclose(observed.bandwidth, truth.bandwidth)
+
+    def test_noisy_inner_gusto(self):
+        directory = make_directory("noisy:inner=gusto", num_procs=12)
+        assert directory.num_procs == 5
+
+    def test_perturb_is_one_shot_static(self):
+        directory = make_directory(
+            "perturb:sigma=0.4,degrade_factor=4", num_procs=5, rng=2
+        )
+        assert isinstance(directory, StaticDirectory)
+        base = make_directory("static", num_procs=5, rng=2).snapshot()
+        assert not np.allclose(
+            directory.snapshot().bandwidth, base.bandwidth
+        )
+
+    def test_dynamics_varies_over_time(self):
+        directory = make_directory(
+            "dynamics:process=diurnal,period=40,amplitude=0.5",
+            num_procs=5, rng=0,
+        )
+        assert isinstance(directory, LoadDirectory)
+        before = directory.snapshot().bandwidth.copy()
+        directory.advance(10.0)
+        after = directory.snapshot().bandwidth
+        off = ~np.eye(5, dtype=bool)
+        assert not np.allclose(before[off], after[off])
+
+    def test_dynamics_unknown_process(self):
+        with pytest.raises(KeyError, match="unknown load process"):
+            make_directory("dynamics:process=tides", num_procs=4)
+
+    def test_dynamics_bad_process_option(self):
+        with pytest.raises(TypeError, match="bad option"):
+            make_directory("dynamics:process=diurnal,sigma=1", num_procs=4)
+
+    def test_forecast_wraps_and_delegates_truth(self):
+        directory = make_directory(
+            "forecast:mode=linear,horizon=2", num_procs=5, rng=0
+        )
+        assert isinstance(directory, ForecastDirectory)
+        directory.snapshot()
+        truth = directory.true_snapshot()
+        assert truth.num_procs == 5
+
+    def test_drift_trace(self):
+        directory = make_directory(
+            "drift:ticks=6,burst_every=3", num_procs=4, rng=0
+        )
+        first = directory.snapshot().bandwidth.copy()
+        directory.advance(1.0)
+        assert not np.allclose(first, directory.snapshot().bandwidth)
+
+    def test_keyword_overrides_beat_spec_options(self):
+        quiet = make_directory("noisy:sigma=0.5", num_procs=5, rng=1,
+                               sigma=0.0)
+        observed = quiet.snapshot()
+        truth = quiet.true_snapshot()
+        assert np.allclose(observed.bandwidth, truth.bandwidth)
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(TypeError, match="unknown option"):
+            make_directory("static:sigma=1", num_procs=4)
+        with pytest.raises(TypeError, match="unknown option"):
+            make_directory("gusto:sigma=1")
+
+    def test_bad_inner_rejected(self):
+        with pytest.raises(ValueError, match="inner"):
+            make_directory("noisy:inner=topology", num_procs=4)

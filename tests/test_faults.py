@@ -1,0 +1,501 @@
+"""Fault injection, salvage, repair, and degraded serving tests."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.openshop import schedule_openshop
+from repro.core.problem import TotalExchangeProblem
+from repro.core.registry import make_scheduler
+from repro.directory.service import DirectorySnapshot
+from repro.directory.static import StaticDirectory
+from repro.faults import (
+    BLACKOUT,
+    BW_COLLAPSE,
+    Fault,
+    FaultProfile,
+    FaultyDirectory,
+    LINK_DEAD,
+    NODE_DROP,
+    apply_fault_to_snapshot,
+    apply_fault_to_state,
+    cut_execution,
+    merge_with_salvaged,
+    parse_fault_entry,
+    parse_fault_profile,
+    repair_schedule,
+    smoke_fault_profile,
+    split_routes,
+)
+from repro.model.messages import UniformSizes
+from repro.runtime import AdaptiveSession, PolicyConfig
+from repro.runtime.policy import decide_repair, retry_outcome
+from repro.timing.validate import check_schedule
+
+
+def _snapshot(n=8, seed=0):
+    rng = np.random.default_rng(seed)
+    latency, bandwidth = repro.random_pairwise_parameters(n, rng=rng)
+    return DirectorySnapshot(latency=latency, bandwidth=bandwidth)
+
+
+def _sizes(n, value=64.0):
+    sizes = np.full((n, n), float(value))
+    np.fill_diagonal(sizes, 0.0)
+    return sizes
+
+
+# ---------------------------------------------------------------------------
+# Fault models and profiles.
+# ---------------------------------------------------------------------------
+
+
+class TestFaultModels:
+    def test_kind_validation(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            Fault(kind="meteor", at=0.0)
+        with pytest.raises(ValueError, match="needs src="):
+            Fault(kind=LINK_DEAD, at=0.0, src=1)
+        with pytest.raises(ValueError, match="needs node="):
+            Fault(kind=NODE_DROP, at=0.0)
+        with pytest.raises(ValueError, match="positive duration"):
+            Fault(kind=BLACKOUT, at=0.0, src=0, dst=1)
+        with pytest.raises(ValueError, match="factor > 1"):
+            Fault(kind=BW_COLLAPSE, at=0.0, src=0, dst=1, factor=1.0)
+
+    def test_mid_schedule_visibility(self):
+        fault = Fault(kind=LINK_DEAD, at=3.0, src=0, dst=1, at_event=5)
+        # invisible at its own fire time: the interrupted tick planned
+        # in good faith
+        assert not fault.visible_at(3.0)
+        assert fault.visible_at(3.5)
+        immediate = Fault(kind=LINK_DEAD, at=3.0, src=0, dst=1)
+        assert immediate.visible_at(3.0)
+
+    def test_blackout_recovers(self):
+        fault = Fault(kind=BLACKOUT, at=2.0, src=0, dst=1, duration=3.0)
+        assert fault.transient
+        assert fault.active_at(2.0)
+        assert fault.active_at(4.9)
+        assert not fault.active_at(5.0)
+
+    def test_profile_masks_compose(self):
+        profile = FaultProfile(faults=(
+            Fault(kind=LINK_DEAD, at=1.0, src=0, dst=1),
+            Fault(kind=NODE_DROP, at=2.0, node=3),
+        ))
+        assert profile.link_ok(0.5, 5).all()
+        ok = profile.link_ok(1.5, 5)
+        assert not ok[0, 1] and not ok[1, 0]  # symmetric by default
+        alive = profile.node_alive(2.5, 5)
+        assert not alive[3] and alive.sum() == 4
+
+    def test_striking_between_is_half_open(self):
+        fault = Fault(kind=LINK_DEAD, at=4.0, src=0, dst=1, at_event=2)
+        profile = FaultProfile(faults=(fault,))
+        assert profile.striking_between(3.0, 4.0) == (fault,)
+        assert profile.striking_between(4.0, 5.0) == ()
+
+    def test_bandwidth_divisor(self):
+        profile = FaultProfile(faults=(
+            Fault(kind=BW_COLLAPSE, at=0.0, src=1, dst=2, factor=4.0),
+        ))
+        divisor = profile.bandwidth_divisor(1.0, 4)
+        assert divisor[1, 2] == 4.0 and divisor[2, 1] == 4.0
+        assert divisor[0, 1] == 1.0
+
+    def test_parse_entry_and_profile(self):
+        fault = parse_fault_entry(
+            "blackout:src=0,dst=1,at=2,recover=4,at_event=3"
+        )
+        assert fault.kind == BLACKOUT and fault.duration == 4.0
+        assert fault.at_event == 3
+        profile = parse_fault_profile(
+            "link_dead:src=0,dst=1,at=3;node_drop:node=2,at=5"
+        )
+        assert len(profile) == 2
+        assert parse_fault_profile(None) == FaultProfile()
+        assert parse_fault_profile("none") == FaultProfile()
+        assert len(parse_fault_profile("smoke")) == 4
+
+    def test_parse_rejects_bad_specs(self):
+        with pytest.raises(ValueError):
+            parse_fault_entry("link_dead:src=0,dst=1,flavour=bad")
+        with pytest.raises(ValueError):
+            parse_fault_entry("link_dead:src=zero,dst=1")
+
+
+class TestFaultyDirectory:
+    def test_degrades_bandwidth_only_for_collapse(self):
+        inner = StaticDirectory(*repro.random_pairwise_parameters(4, rng=0))
+        profile = FaultProfile(faults=(
+            Fault(kind=BW_COLLAPSE, at=1.0, src=0, dst=1, factor=2.0),
+            Fault(kind=LINK_DEAD, at=1.0, src=2, dst=3),
+        ))
+        directory = FaultyDirectory(inner, profile)
+        before = directory.snapshot()
+        assert np.allclose(before.bandwidth, inner.snapshot().bandwidth)
+        directory.advance(1.0)
+        after = directory.snapshot()
+        assert after.bandwidth[0, 1] == inner.snapshot().bandwidth[0, 1] / 2
+        # dead links keep their numeric bandwidth: availability is
+        # carried out of band by the fault view, never as zeros
+        assert after.bandwidth[2, 3] == inner.snapshot().bandwidth[2, 3]
+        view = directory.fault_view()
+        assert not view.link_ok[2, 3]
+        assert view.alive.all()
+
+    def test_transient_mask_clears_after_recovery(self):
+        inner = StaticDirectory(*repro.random_pairwise_parameters(4, rng=0))
+        profile = FaultProfile(faults=(
+            Fault(kind=BLACKOUT, at=1.0, src=0, dst=1, duration=2.0),
+        ))
+        directory = FaultyDirectory(inner, profile)
+        directory.advance(1.0)
+        view = directory.fault_view()
+        assert not view.link_ok[0, 1] and view.transient[0, 1]
+        directory.advance(2.5)
+        view = directory.fault_view()
+        assert view.link_ok[0, 1] and not view.transient.any()
+
+
+# ---------------------------------------------------------------------------
+# Cutting an execution at a strike.
+# ---------------------------------------------------------------------------
+
+
+class TestCutExecution:
+    def test_strict_salvage(self):
+        snapshot = _snapshot(5)
+        sizes = _sizes(5)
+        schedule = schedule_openshop(
+            TotalExchangeProblem.from_snapshot(snapshot, sizes)
+        )
+        partial = cut_execution(schedule, 7)
+        assert partial.interrupted
+        # ties at the cut instant salvage too, so >= the event index
+        assert partial.salvaged_events >= 7
+        positive = sum(1 for e in schedule if e.duration > 0)
+        assert partial.salvaged_events + partial.cancelled_events == positive
+        # every salvaged event finished at or before the strike
+        cutoff = partial.strike_time + 1e-9
+        assert all(e.finish <= cutoff for e in partial.salvaged)
+        assert partial.delivered.sum() == len(partial.salvaged)
+
+    def test_zero_event_strike_salvages_nothing_positive(self):
+        snapshot = _snapshot(4)
+        schedule = schedule_openshop(
+            TotalExchangeProblem.from_snapshot(snapshot, _sizes(4))
+        )
+        partial = cut_execution(schedule, 0)
+        assert partial.salvaged_events == 0
+        assert partial.strike_time == 0.0
+
+    def test_late_strike_is_not_an_interruption(self):
+        snapshot = _snapshot(4)
+        schedule = schedule_openshop(
+            TotalExchangeProblem.from_snapshot(snapshot, _sizes(4))
+        )
+        partial = cut_execution(schedule, 10_000)
+        assert not partial.interrupted
+        assert partial.cancelled_events == 0
+
+    def test_residual_orders_preserve_dispatch_order(self):
+        snapshot = _snapshot(6, seed=3)
+        schedule = schedule_openshop(
+            TotalExchangeProblem.from_snapshot(snapshot, _sizes(6))
+        )
+        partial = cut_execution(schedule, 4)
+        starts = {
+            (e.src, e.dst): e.start for e in schedule if e.duration > 0
+        }
+        for src, dsts in enumerate(partial.residual_orders):
+            times = [starts[(src, dst)] for dst in dsts]
+            assert times == sorted(times)
+
+    def test_merge_shifts_continuation(self):
+        snapshot = _snapshot(4)
+        sizes = _sizes(4)
+        schedule = schedule_openshop(
+            TotalExchangeProblem.from_snapshot(snapshot, sizes)
+        )
+        partial = cut_execution(schedule, 3)
+        continuation = schedule_openshop(
+            TotalExchangeProblem.from_snapshot(snapshot, sizes)
+        )
+        merged = merge_with_salvaged(
+            partial.salvaged, continuation, offset=partial.strike_time
+        )
+        post = [e for e in merged if e.start >= partial.strike_time - 1e-12]
+        assert len(post) >= len(continuation.events)
+
+
+# ---------------------------------------------------------------------------
+# Routing and repair.
+# ---------------------------------------------------------------------------
+
+
+class TestRepair:
+    def test_golden_zero_fault_bit_identity(self):
+        # ISSUE acceptance: repair-after-fault on a zero-fault trace is
+        # bit-identical to the unrepaired schedule.
+        for n, seed, scheduler in ((2, 0, "openshop"), (3, 1, "greedy"),
+                                   (8, 2, "openshop")):
+            snapshot = _snapshot(n, seed)
+            sizes = _sizes(n)
+            solve = make_scheduler(scheduler)
+            baseline = solve(
+                TotalExchangeProblem.from_snapshot(snapshot, sizes)
+            )
+            repaired = repair_schedule(snapshot, sizes, scheduler=solve)
+            assert repaired.schedule.events == baseline.events
+            assert repaired.undeliverable == 0
+
+    def test_p2_partition_is_unreachable(self):
+        snapshot = _snapshot(2)
+        sizes = _sizes(2)
+        link_ok = np.ones((2, 2), dtype=bool)
+        link_ok[0, 1] = link_ok[1, 0] = False
+        routes = split_routes(snapshot, sizes, link_ok=link_ok)
+        assert set(routes.unreachable) == {(0, 1), (1, 0)}
+        assert not routes.needs_relays
+        result = repair_schedule(
+            snapshot, sizes, link_ok=link_ok, scheduler=schedule_openshop
+        )
+        assert result.undeliverable == 2
+        assert not [e for e in result.schedule if e.duration > 0]
+
+    def test_p3_relay_triangle(self):
+        snapshot = _snapshot(3, seed=1)
+        sizes = _sizes(3)
+        link_ok = np.ones((3, 3), dtype=bool)
+        link_ok[0, 1] = link_ok[1, 0] = False
+        result = repair_schedule(
+            snapshot, sizes, link_ok=link_ok, scheduler=schedule_openshop
+        )
+        assert set(result.routes.relayed) == {(0, 2, 1), (1, 2, 0)}
+        assert result.undeliverable == 0
+        check_schedule(result.schedule)
+        # both legs of each relayed message exist and are ordered
+        events = {
+            (e.src, e.dst): e for e in result.schedule if e.duration > 0
+        }
+        for src, relay, dst in result.routes.relayed:
+            assert events[(relay, dst)].start >= (
+                events[(src, relay)].finish - 1e-9
+            )
+
+    def test_node_drop_loses_its_pairs(self):
+        snapshot = _snapshot(5)
+        sizes = _sizes(5)
+        alive = np.ones(5, dtype=bool)
+        alive[2] = False
+        link_ok = np.ones((5, 5), dtype=bool)
+        link_ok[2, :] = link_ok[:, 2] = False
+        result = repair_schedule(
+            snapshot, sizes, alive=alive, link_ok=link_ok,
+            scheduler=schedule_openshop,
+        )
+        assert len(result.routes.lost) == 8  # 2*(P-1) pairs touch node 2
+        for event in result.schedule:
+            assert event.src != 2 and event.dst != 2
+
+    def test_repair_beats_naive_full_reschedule(self):
+        # ISSUE acceptance: repair salvages more and stays within 1.5x
+        # the naive restart's makespan.
+        snapshot = _snapshot(8, seed=2)
+        sizes = _sizes(8)
+        schedule = schedule_openshop(
+            TotalExchangeProblem.from_snapshot(snapshot, sizes)
+        )
+        partial = cut_execution(schedule, 30)
+        fault = Fault(kind=LINK_DEAD, at=0.0, src=2, dst=5, at_event=30)
+        alive, link_ok = apply_fault_to_state(
+            np.ones(8, dtype=bool), np.ones((8, 8), dtype=bool), fault
+        )
+        after = apply_fault_to_snapshot(snapshot, fault)
+        repaired = repair_schedule(
+            after, sizes, delivered=partial.delivered,
+            alive=alive, link_ok=link_ok, scheduler=schedule_openshop,
+        )
+        naive = repair_schedule(
+            after, sizes, alive=alive, link_ok=link_ok,
+            scheduler=schedule_openshop,
+        )
+        assert partial.salvaged_events > 0
+        assert repaired.resent < naive.resent
+        assert repaired.schedule.completion_time <= (
+            1.5 * naive.schedule.completion_time
+        )
+
+    def test_start_time_shifts_events(self):
+        snapshot = _snapshot(4)
+        sizes = _sizes(4)
+        link_ok = np.ones((4, 4), dtype=bool)
+        link_ok[0, 1] = link_ok[1, 0] = False
+        result = repair_schedule(
+            snapshot, sizes, link_ok=link_ok,
+            scheduler=schedule_openshop, start_time=7.5,
+        )
+        positive = [e for e in result.schedule if e.duration > 0]
+        assert positive and min(e.start for e in positive) >= 7.5
+
+
+# ---------------------------------------------------------------------------
+# Retry/repair policy.
+# ---------------------------------------------------------------------------
+
+
+class TestFaultPolicy:
+    def test_backoff_outwaits_short_outage(self):
+        recovered, attempts, waited = retry_outcome(3.0, config=PolicyConfig())
+        assert recovered
+        assert attempts == 2  # waits 1 + 2 = 3 >= 3
+        assert waited == pytest.approx(3.0)
+
+    def test_backoff_gives_up_on_long_outage(self):
+        recovered, attempts, waited = retry_outcome(1e9, config=PolicyConfig())
+        assert not recovered
+        assert attempts == 4  # the configured cap
+        assert waited == pytest.approx(1.0 + 2.0 + 4.0 + 8.0)
+
+    def test_decide_repair_threshold(self):
+        action, _ = decide_repair(10, 56, config=PolicyConfig())
+        assert action == "repair"
+        action, _ = decide_repair(0, 56, config=PolicyConfig())
+        assert action == "full"
+        action, _ = decide_repair(1, 56, config=PolicyConfig(
+            repair_salvage_threshold=0.5,
+        ))
+        assert action == "full"
+
+
+# ---------------------------------------------------------------------------
+# Degraded serving: the session end to end.
+# ---------------------------------------------------------------------------
+
+
+def _smoke_session(**kwargs):
+    inner = StaticDirectory(*repro.random_pairwise_parameters(8, rng=7))
+    directory = FaultyDirectory(inner, smoke_fault_profile())
+    return AdaptiveSession(
+        directory,
+        UniformSizes(64.0),
+        scheduler="openshop",
+        clock=lambda: 0.0,
+        **kwargs,
+    )
+
+
+class TestDegradedServing:
+    def test_smoke_profile_end_to_end(self):
+        session = _smoke_session()
+        results = session.run(12, dt=1.0)
+        events = [r.event for r in results]
+        # the blackout strike is outwaited by backoff (a retry success)
+        retried = [e for e in events if e.repair == "retry"]
+        assert len(retried) == 1
+        assert retried[0].retries >= 1
+        assert retried[0].backoff_wait_s > 0
+        # the permanent link death triggers a repair that salvages
+        repaired = [e for e in events if e.repair == "repair"]
+        assert len(repaired) == 1
+        assert repaired[0].salvaged_events > 0
+        assert repaired[0].resent_events > 0
+        summary = session.summary()
+        assert summary["faults_seen"] == 4
+        assert summary["retry_successes"] >= 1
+        assert summary["repair_episodes"] >= 1
+        assert summary["messages_salvaged"] > 0
+        assert 0.0 < summary["degraded_tick_ratio"] <= 1.0
+
+    def test_smoke_profile_is_deterministic(self):
+        dumps = []
+        for _ in range(2):
+            session = _smoke_session()
+            session.run(12, dt=1.0)
+            events = [
+                {
+                    k: v for k, v in vars(e).items()
+                    if k not in ("scheduler_elapsed", "repair_latency_s")
+                }
+                for e in session.metrics.events
+            ]
+            dumps.append(events)
+        assert dumps[0] == dumps[1]
+
+    def test_node_drop_shrinks_demand(self):
+        session = _smoke_session()
+        results = session.run(12, dt=1.0)
+        # node 6 drops at t=9: later exchanges never touch it
+        for result in results[9:]:
+            for event in result.schedule:
+                assert event.src != 6 and event.dst != 6
+
+    def test_every_degraded_schedule_is_port_valid(self):
+        session = _smoke_session()
+        for result in session.run(12, dt=1.0):
+            check_schedule(result.schedule)
+
+    def test_clean_profile_matches_faultless_run(self):
+        inner = StaticDirectory(*repro.random_pairwise_parameters(6, rng=3))
+        plain = AdaptiveSession(
+            inner, UniformSizes(64.0), scheduler="openshop",
+            clock=lambda: 0.0,
+        )
+        wrapped = AdaptiveSession(
+            FaultyDirectory(
+                StaticDirectory(*repro.random_pairwise_parameters(6, rng=3)),
+                FaultProfile(),
+            ),
+            UniformSizes(64.0), scheduler="openshop", clock=lambda: 0.0,
+        )
+        a = [r.event for r in plain.run(5, dt=1.0)]
+        b = [r.event for r in wrapped.run(5, dt=1.0)]
+        for x, y in zip(a, b):
+            assert x.decision == y.decision
+            assert x.executed_makespan == pytest.approx(y.executed_makespan)
+            assert not y.degraded
+
+    def test_permanent_blackout_declares_link_dead(self):
+        inner = StaticDirectory(*repro.random_pairwise_parameters(4, rng=1))
+        # a blackout far longer than the backoff budget: retries fail,
+        # the link is declared dead and stays avoided even after the
+        # profile says it recovered
+        profile = FaultProfile(faults=(
+            Fault(kind=BLACKOUT, at=2.0, src=0, dst=1, duration=50.0,
+                  at_event=2),
+        ))
+        session = AdaptiveSession(
+            FaultyDirectory(inner, profile), UniformSizes(64.0),
+            scheduler="openshop", clock=lambda: 0.0,
+        )
+        results = session.run(4, dt=1.0)
+        strike = results[1].event
+        assert strike.repair in ("repair", "full")
+        assert "declared dead" in strike.reason
+        assert session.summary()["retry_successes"] == 0
+
+
+# ---------------------------------------------------------------------------
+# The check-family entry points.
+# ---------------------------------------------------------------------------
+
+
+class TestFaultCheckFamily:
+    def test_family_passes(self):
+        from repro.check import render_fault_check, run_fault_check
+
+        report = run_fault_check()
+        assert report.ok, render_fault_check(report)
+        assert report.scenarios == 7
+        rendered = render_fault_check(report)
+        assert "PASS" in rendered
+
+    def test_scenarios_cover_partition_and_relay(self):
+        from repro.check.faults import fault_scenarios
+
+        names = [s.name for s in fault_scenarios()]
+        assert "p2-partitioned" in names
+        assert "p3-relay-triangle" in names
+        assert {s.num_procs for s in fault_scenarios()} == {2, 3, 8}
