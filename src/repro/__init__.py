@@ -35,6 +35,7 @@ from repro.core import (
     matching_orders,
     schedule_baseline,
     schedule_greedy,
+    schedule_hierarchical,
     schedule_matching_max,
     schedule_matching_min,
     schedule_openshop,
@@ -137,6 +138,7 @@ __all__ = [
     "replay_schedule",
     "schedule_baseline",
     "schedule_greedy",
+    "schedule_hierarchical",
     "schedule_matching_max",
     "schedule_matching_min",
     "schedule_openshop",

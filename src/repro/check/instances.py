@@ -14,7 +14,10 @@ optimized kernels diverge from the seed implementations:
   latency/bandwidth spreads of the paper's metacomputing setting);
 * degenerate shapes (``P in {1, 2}`` drawn regularly, and
   ``self_messages`` — positive diagonals as in Theorem 2's tight
-  instance, which occupy both ports of a node at once).
+  instance, which occupy both ports of a node at once);
+* two-level structure (``clustered`` — logical homogeneous clusters
+  with skewed sizes, singletons, and a near-partitioned cluster,
+  exercising the hierarchical scheduler's detection and splice).
 
 Every instance is reproducible from ``(family, num_procs, seed)`` via
 :func:`build_instance`, which is what the failure artifacts record.
@@ -104,6 +107,28 @@ def _self_messages(rng: np.random.Generator, p: int) -> np.ndarray:
     return cost
 
 
+def _clustered(rng: np.random.Generator, p: int) -> np.ndarray:
+    # Two-level bandwidth structure à la Estefanel/Mounié: nodes fall
+    # into clusters of skewed sizes (singletons included), intra-cluster
+    # links are cheap, inter-cluster links are one to two orders of
+    # magnitude dearer with a per-cluster-pair level, and one cluster is
+    # near-partitioned from the rest (~50x worse again).  Stresses the
+    # hierarchical scheduler's detection, splice, and degenerate paths.
+    k = int(rng.integers(1, p + 1))
+    labels = rng.integers(0, k, size=p)  # skewed sizes, possibly empty ids
+    intra = rng.uniform(0.5, 1.5, size=(p, p))
+    scale = rng.uniform(np.log(8.0), np.log(64.0), size=(k, k))
+    inter_level = np.exp(scale)
+    remote = int(rng.integers(0, k))
+    inter_level[remote, :] *= 50.0
+    inter_level[:, remote] *= 50.0
+    cost = intra * inter_level[np.ix_(labels, labels)]
+    same = labels[:, None] == labels[None, :]
+    cost[same] = intra[same]
+    cost *= rng.uniform(0.95, 1.05, size=(p, p))
+    return _zero_diagonal(cost)
+
+
 #: Registered families, in deterministic iteration order.
 FAMILIES: Dict[str, FamilyBuilder] = {
     "uniform": _uniform,
@@ -116,6 +141,7 @@ FAMILIES: Dict[str, FamilyBuilder] = {
     "asymmetric": _asymmetric,
     "hotspot": _hotspot,
     "self_messages": _self_messages,
+    "clustered": _clustered,
 }
 
 

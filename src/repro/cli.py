@@ -378,8 +378,33 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         DEFAULT_REFERENCE_MAX_P,
         render_bench,
         run_bench,
+        run_hier_scale,
         update_bench_json,
     )
+
+    if args.hier_sizes:
+        results = run_hier_scale(
+            args.hier_sizes,
+            cluster_size=args.cluster_size,
+            seed=args.seed,
+            output=args.output or None,
+        )
+        rows = []
+        for p_label, tier in results.items():
+            for name, stats in tier.items():
+                if name == "meta":
+                    continue
+                rows.append([
+                    int(p_label), name, stats["seconds"],
+                    stats["ratio_to_lb"],
+                ])
+        print(format_table(
+            ["P", "scheduler", "seconds", "ratio to LB"], rows,
+            precision=4, title="hierarchical scale ladder",
+        ))
+        if args.output:
+            print(f"\nwrote {args.output}")
+        return 0
 
     matching_max_p = (
         DEFAULT_MATCHING_MAX_P if args.matching_max_p is None
@@ -825,6 +850,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--no-reference", action="store_true",
         help="skip the (slow) seed reference kernels",
+    )
+    p_bench.add_argument(
+        "--hier-sizes", type=int, nargs="+", default=None, metavar="P",
+        help=(
+            "run the hierarchical scale ladder at these processor counts "
+            "instead of the kernel bench (e.g. 2048 4096 8192)"
+        ),
+    )
+    p_bench.add_argument(
+        "--cluster-size", type=int, default=64, metavar="N",
+        help="cluster size of the hierarchical ladder's instances",
     )
     p_bench.add_argument(
         "--output", default="BENCH_core.json",

@@ -15,8 +15,13 @@ from repro.core.baseline import (
     schedule_baseline,
     schedule_baseline_nosync,
 )
+from repro.core.clustering import ClusterAssignment, detect_clusters
 from repro.core.exact import branch_and_bound, schedule_optimal
 from repro.core.greedy import greedy_orders, schedule_greedy
+from repro.core.hierarchical import (
+    HierarchicalScheduler,
+    schedule_hierarchical,
+)
 from repro.core.matching import (
     matching_orders,
     schedule_matching_max,
@@ -40,11 +45,14 @@ from repro.core.registry import (
 
 __all__ = [
     "ALL_SCHEDULERS",
+    "ClusterAssignment",
+    "HierarchicalScheduler",
     "SchedulerSpec",
     "TotalExchangeProblem",
     "baseline_orders",
     "baseline_steps",
     "branch_and_bound",
+    "detect_clusters",
     "schedule_baseline_nosync",
     "example_problem",
     "get_scheduler",
@@ -55,6 +63,7 @@ __all__ = [
     "matching_orders",
     "schedule_baseline",
     "schedule_greedy",
+    "schedule_hierarchical",
     "schedule_matching_max",
     "schedule_matching_min",
     "schedule_openshop",

@@ -1,0 +1,219 @@
+"""Logical homogeneous cluster detection from pairwise costs.
+
+Wide-area platforms are not flat: Estefanel & Mounié ("Identifying
+Logical Homogeneous Clusters for Efficient Wide-area Communications")
+observe that real heterogeneous systems decompose into *logical
+clusters* — groups of nodes whose mutual links are an order of magnitude
+faster than the links between groups.  This module recovers that
+structure from nothing but the cost matrix the schedulers already use:
+
+1. **pairwise link weight** — ``w[i, j] = max(cost[i, j], cost[j, i])``,
+   the symmetrized per-message time; ``max`` so a pair only counts as
+   close when *both* directions are cheap (asymmetric fast-up/slow-down
+   links must not merge clusters);
+2. **threshold detection** — positive weights are log-transformed and
+   the largest gap in their sorted values is found (on a deterministic
+   subsample above :data:`SAMPLE_LIMIT` entries, so detection stays
+   ``O(P^2)`` at worst).  The threshold is the geometric mean across the
+   gap.  A gap is only believed when the jump is at least
+   ``gap_factor``x — below that the platform has no two-level structure
+   and the whole system is one cluster;
+3. **single-linkage components** — nodes whose weight is at or below
+   the threshold are linked; connected components (via
+   ``scipy.sparse.csgraph``) are the clusters, relabelled to contiguous
+   ids in first-node order so the assignment is deterministic.
+
+Degenerate cases resolve conservatively: an empty/all-zero matrix, a
+single distinct cost level, or no convincing gap all yield **one**
+cluster (the hierarchical scheduler then degenerates to the flat open
+shop — never worse than not clustering).  An explicit ``threshold``
+below every weight yields ``P`` singletons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+#: Above this many off-diagonal entries the gap detector subsamples.
+SAMPLE_LIMIT = 100_000
+
+#: Minimum multiplicative jump between the "intra" and "inter" cost
+#: levels for the gap detector to believe the platform is two-level.
+DEFAULT_GAP_FACTOR = 4.0
+
+
+@dataclass(frozen=True)
+class ClusterAssignment:
+    """A partition of ``num_procs`` nodes into logical clusters.
+
+    Attributes
+    ----------
+    labels:
+        Cluster id per node, contiguous ids ``0..num_clusters-1``
+        ordered by first appearance (node 0's cluster is cluster 0).
+    threshold:
+        The link-weight threshold that produced the partition
+        (``inf`` when everything merged into one cluster without one).
+    """
+
+    labels: np.ndarray
+    threshold: float
+
+    def __post_init__(self) -> None:
+        labels = np.asarray(self.labels, dtype=np.intp)
+        labels.flags.writeable = False
+        object.__setattr__(self, "labels", labels)
+
+    @property
+    def num_procs(self) -> int:
+        return int(self.labels.shape[0])
+
+    @property
+    def num_clusters(self) -> int:
+        return int(self.labels.max()) + 1 if self.labels.size else 0
+
+    def members(self) -> List[np.ndarray]:
+        """Per-cluster node index arrays, ascending within each cluster."""
+        order = np.argsort(self.labels, kind="stable")
+        sizes = np.bincount(self.labels, minlength=self.num_clusters)
+        out: List[np.ndarray] = []
+        offset = 0
+        for size in sizes.tolist():
+            out.append(order[offset:offset + size])
+            offset += size
+        return out
+
+    def sizes(self) -> np.ndarray:
+        """Cluster sizes, indexed by cluster id."""
+        return np.bincount(self.labels, minlength=self.num_clusters)
+
+
+def link_weights(cost: np.ndarray) -> np.ndarray:
+    """Symmetrized pairwise link weight: ``max`` of the two directions.
+
+    The diagonal is zeroed — self-messages say nothing about locality.
+    """
+    cost = np.asarray(cost, dtype=float)
+    weights = np.maximum(cost, cost.T)
+    np.fill_diagonal(weights, 0.0)
+    return weights
+
+
+def _sample_positive(weights: np.ndarray, limit: int) -> np.ndarray:
+    """A deterministic sample of the positive off-diagonal weights."""
+    n = weights.shape[0]
+    if n * n <= limit:
+        flat = weights[np.triu_indices(n, k=1)]
+    else:
+        # Strided subsample of the upper triangle: deterministic, spread
+        # across all rows, and O(limit) regardless of P.
+        stride = max(1, (n * n) // limit)
+        flat = weights.reshape(-1)[::stride]
+    return flat[flat > 0]
+
+
+def detect_threshold(
+    cost: np.ndarray,
+    *,
+    gap_factor: float = DEFAULT_GAP_FACTOR,
+    sample_limit: int = SAMPLE_LIMIT,
+) -> Optional[float]:
+    """The intra/inter cost threshold, or None without a convincing gap.
+
+    Finds the largest gap in the sorted logs of the (sampled) positive
+    link weights and returns the geometric midpoint when the jump is at
+    least ``gap_factor``x.
+    """
+    if gap_factor <= 1.0:
+        raise ValueError(f"gap_factor must be > 1, got {gap_factor}")
+    values = _sample_positive(link_weights(cost), sample_limit)
+    if values.size < 2:
+        return None
+    logs = np.sort(np.log(values))
+    gaps = np.diff(logs)
+    if gaps.size == 0:
+        return None
+    best = int(np.argmax(gaps))
+    if gaps[best] < np.log(gap_factor):
+        return None
+    return float(np.exp(0.5 * (logs[best] + logs[best + 1])))
+
+
+def detect_clusters(
+    cost: np.ndarray,
+    *,
+    threshold: Optional[float] = None,
+    gap_factor: float = DEFAULT_GAP_FACTOR,
+    sample_limit: int = SAMPLE_LIMIT,
+) -> ClusterAssignment:
+    """Partition the nodes of ``cost`` into logical homogeneous clusters.
+
+    Parameters
+    ----------
+    threshold:
+        Explicit link-weight threshold: nodes with symmetrized cost at
+        or below it share a cluster.  ``None`` auto-detects via the
+        largest-gap heuristic; when no convincing gap exists the whole
+        system is one cluster.
+    """
+    cost = np.asarray(cost, dtype=float)
+    n = cost.shape[0]
+    if cost.ndim != 2 or cost.shape != (n, n):
+        raise ValueError(f"cost must be a square matrix, got {cost.shape}")
+    if n == 0:
+        return ClusterAssignment(
+            labels=np.empty(0, dtype=np.intp), threshold=float("inf")
+        )
+    if threshold is None:
+        threshold = detect_threshold(
+            cost, gap_factor=gap_factor, sample_limit=sample_limit
+        )
+        if threshold is None:
+            # No two-level structure: one cluster, so the hierarchical
+            # scheduler falls back to the flat open shop wholesale.
+            return ClusterAssignment(
+                labels=np.zeros(n, dtype=np.intp), threshold=float("inf")
+            )
+    threshold = float(threshold)
+
+    weights = link_weights(cost)
+    # A zero weight means *no demand* in either direction — that is no
+    # evidence of locality, so only positive weights at or below the
+    # threshold link two nodes.
+    adjacency = (weights > 0) & (weights <= threshold)
+    labels = _connected_components(adjacency)
+    return ClusterAssignment(labels=labels, threshold=threshold)
+
+
+def _connected_components(adjacency: np.ndarray) -> np.ndarray:
+    """Component labels of a boolean adjacency matrix, relabelled to
+    contiguous ids in first-node order."""
+    from scipy.sparse import csr_matrix
+    from scipy.sparse.csgraph import connected_components
+
+    n = adjacency.shape[0]
+    _, raw = connected_components(csr_matrix(adjacency), directed=False)
+    # Relabel deterministically: cluster ids in order of first node.
+    _, first_index, labels = np.unique(
+        raw, return_index=True, return_inverse=True
+    )
+    order = np.argsort(np.argsort(first_index))
+    return order[labels].astype(np.intp)
+
+
+def cluster_permutation(
+    assignment: ClusterAssignment,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(perm, offsets)`` grouping nodes by cluster.
+
+    ``perm`` lists original node indices cluster by cluster (ascending
+    within each cluster); ``offsets[c]:offsets[c+1]`` slices cluster
+    ``c``'s span of the permuted index space.
+    """
+    perm = np.argsort(assignment.labels, kind="stable")
+    sizes = assignment.sizes()
+    offsets = np.concatenate(([0], np.cumsum(sizes)))
+    return perm, offsets

@@ -225,6 +225,23 @@ def _local_search_factory(*, max_passes: int = 3) -> Scheduler:
     return scheduler
 
 
+def _hierarchical_factory(
+    *,
+    threshold: Optional[float] = None,
+    gap_factor: float = 4.0,
+    intra: str = "rounds",
+    drift_tolerance: float = 0.25,
+) -> Scheduler:
+    from repro.core.hierarchical import HierarchicalScheduler
+
+    return HierarchicalScheduler(
+        threshold=threshold,
+        gap_factor=gap_factor,
+        intra=intra,
+        drift_tolerance=drift_tolerance,
+    )
+
+
 def _random_order_factory(*, seed: int = 0) -> Scheduler:
     def scheduler(problem: TotalExchangeProblem) -> Schedule:
         return schedule_random_order(
@@ -332,6 +349,24 @@ _SPEC_LIST = [
         options={"max_passes": 3},
         factory=_local_search_factory,
         summary="hill-climb over dispatch orders, openshop-seeded",
+    ),
+    SchedulerSpec(
+        name="hierarchical",
+        fn=_hierarchical_factory(),
+        tier="extra",
+        complexity="O(P^2 + K^2 log K)",
+        paper_section="6.3",
+        options={
+            "threshold": None,
+            "gap_factor": 4.0,
+            "intra": "rounds",
+            "drift_tolerance": 0.25,
+        },
+        factory=_hierarchical_factory,
+        summary=(
+            "two-level scheduler: cluster-level open shop over "
+            "caterpillar block rounds (scales past P=1024)"
+        ),
     ),
     # -- tier "variant": parameterized entry points ------------------------
     SchedulerSpec(

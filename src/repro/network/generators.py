@@ -72,6 +72,71 @@ def random_pairwise_parameters(
     return latency, bandwidth
 
 
+def clustered_pairwise_parameters(
+    num_procs: int,
+    *,
+    cluster_size: int = 64,
+    intra_latency: float = seconds_from_ms(0.5),
+    intra_bandwidth: float = GBIT_PER_S,
+    inter_latency_range: Tuple[float, float] = (
+        seconds_from_ms(10.0),
+        seconds_from_ms(50.0),
+    ),
+    inter_bandwidth_range: Tuple[float, float] = (
+        2 * MBIT_PER_S,
+        45 * MBIT_PER_S,  # T3-class upper end, as in random_metacomputer
+    ),
+    jitter: float = 0.05,
+    rng: RngLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample pairwise parameters for a cluster-structured metacomputer.
+
+    The Estefanel/Mounié regime recovered by
+    :mod:`repro.core.clustering`: nodes form contiguous clusters of
+    ``cluster_size`` (the last one possibly smaller) with uniform fast
+    local links; each *pair* of clusters shares one backbone-level
+    latency/bandwidth drawn from the wide-area ranges, so inter-cluster
+    links are 1–2 orders of magnitude slower than intra-cluster ones.
+    A symmetric per-link ``jitter`` fraction keeps individual links
+    distinct without blurring the two levels.
+    """
+    if num_procs <= 0:
+        raise ValueError(f"num_procs must be positive, got {num_procs}")
+    if cluster_size <= 0:
+        raise ValueError(f"cluster_size must be positive, got {cluster_size}")
+    if not 0 <= jitter < 1:
+        raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+    rng = to_rng(rng)
+
+    labels = np.arange(num_procs) // cluster_size
+    k = int(labels[-1]) + 1
+    lat_level = rng.uniform(*inter_latency_range, size=(k, k))
+    bw_level = np.exp(
+        rng.uniform(
+            np.log(inter_bandwidth_range[0]),
+            np.log(inter_bandwidth_range[1]),
+            size=(k, k),
+        )
+    )
+    upper = np.triu_indices(k, k=1)
+    lat_level.T[upper] = lat_level[upper]
+    bw_level.T[upper] = bw_level[upper]
+    np.fill_diagonal(lat_level, intra_latency)
+    np.fill_diagonal(bw_level, intra_bandwidth)
+
+    latency = lat_level[np.ix_(labels, labels)]
+    bandwidth = bw_level[np.ix_(labels, labels)]
+    if jitter:
+        factor = rng.uniform(1.0 - jitter, 1.0 + jitter, size=(num_procs,) * 2)
+        node_upper = np.triu_indices(num_procs, k=1)
+        factor.T[node_upper] = factor[node_upper]
+        latency = latency * factor
+        bandwidth = bandwidth / factor
+    np.fill_diagonal(latency, 0.0)
+    np.fill_diagonal(bandwidth, np.inf)
+    return latency, bandwidth
+
+
 def random_metacomputer(
     *,
     num_sites: int = 3,

@@ -72,6 +72,93 @@ def bench_instance(num_procs: int, *, seed: int = 0) -> TotalExchangeProblem:
     return TotalExchangeProblem.from_snapshot(snapshot, MixedSizes(), rng=rng)
 
 
+def clustered_instance(
+    num_procs: int, *, cluster_size: int = 64, seed: int = 0
+) -> TotalExchangeProblem:
+    """The deterministic cluster-structured instance for the scale ladder.
+
+    A :func:`~repro.network.generators.clustered_pairwise_parameters`
+    platform carrying uniform 1 MB messages — the workload the
+    hierarchical scheduler targets at ``P > 1024``.
+    """
+    from repro.model.messages import UniformSizes
+    from repro.network.generators import clustered_pairwise_parameters
+
+    rng = to_rng(stable_seed("bench.hier", seed, num_procs, cluster_size))
+    latency, bandwidth = clustered_pairwise_parameters(
+        num_procs, cluster_size=cluster_size, rng=rng
+    )
+    snapshot = DirectorySnapshot(latency=latency, bandwidth=bandwidth)
+    return TotalExchangeProblem.from_snapshot(
+        snapshot, UniformSizes(1e6), rng=rng
+    )
+
+
+def run_hier_scale(
+    proc_counts: Sequence[int] = (1024, 2048, 4096, 8192),
+    *,
+    cluster_size: int = 64,
+    seed: int = 0,
+    flat_max_p: int = 1024,
+    validate: bool = False,
+    output: Optional[PathLike] = None,
+) -> Dict[str, Dict[str, Any]]:
+    """Bench the hierarchical scheduler on the extended scale ladder.
+
+    For each ``P`` the deterministic :func:`clustered_instance` is
+    scheduled by the hierarchical scheduler — and, up to ``flat_max_p``,
+    by the flat open shop for comparison — recording wall-clock seconds
+    and the makespan ratio to the lower bound.  With ``output``, each
+    tier lands in that bench JSON under ``extra["scale_p{P}"]``
+    (``extra["scale_hier_p{P}"]`` for the tiers the flat benchmarks
+    already own).  ``validate`` additionally runs the vectorized
+    schedule checker on every result (off by default: checking is
+    slower than scheduling at these sizes).
+    """
+    from repro.core.hierarchical import schedule_hierarchical
+    from repro.timing.validate import check_schedule_fast
+
+    results: Dict[str, Dict[str, Any]] = {}
+    for num_procs in proc_counts:
+        num_procs = int(num_procs)
+        problem = clustered_instance(
+            num_procs, cluster_size=cluster_size, seed=seed
+        )
+        lower_bound = problem.lower_bound()
+        tier: Dict[str, Any] = {
+            "meta": {
+                "cluster_size": cluster_size,
+                "seed": seed,
+                "workload": "uniform 1 MB, clustered platform",
+                "lower_bound_s": lower_bound,
+            }
+        }
+        contenders = [("hierarchical", schedule_hierarchical)]
+        if num_procs <= flat_max_p:
+            contenders.append(("openshop", schedule_openshop))
+        for name, scheduler in contenders:
+            t0 = time.perf_counter()
+            schedule = scheduler(problem)
+            makespan = schedule.completion_time
+            elapsed = time.perf_counter() - t0
+            if validate:
+                check_schedule_fast(schedule, problem.cost)
+            tier[name] = {
+                "seconds": elapsed,
+                "ratio_to_lb": makespan / lower_bound if lower_bound else 1.0,
+                "events": len(schedule),
+            }
+        results[str(num_procs)] = tier
+        if output is not None:
+            section = (
+                f"scale_p{num_procs}"
+                if num_procs > 1024
+                else f"scale_hier_p{num_procs}"
+            )
+            update_bench_json(section, tier, output)
+    return results
+
+
 def _bench_one_size(
     num_procs: int,
     *,

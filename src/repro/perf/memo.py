@@ -169,6 +169,31 @@ class ScheduleCache:
         if len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
 
+    def aux_lookup(self, kind: str, digest: str):
+        """A non-schedule artifact stored under ``(kind, digest)``, or None.
+
+        The aux store shares this cache's LRU budget and counters.  The
+        hierarchical scheduler keeps detected cluster assignments here
+        (``kind="clusters"``) keyed by the cost digest, so serving ticks
+        that revisit a previously seen world skip re-clustering.
+        """
+        key = (f"aux:{kind}", digest)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return cached
+        self.misses += 1
+        return None
+
+    def aux_put(self, kind: str, digest: str, value) -> None:
+        """Store a non-schedule artifact under ``(kind, digest)``."""
+        key = (f"aux:{kind}", digest)
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
     def wrap(
         self,
         scheduler: Callable[[TotalExchangeProblem], Schedule],

@@ -209,6 +209,14 @@ class AdaptiveSession:
         self._last_fault_scan = float("-inf")
         self._seen_faults: set = set()
 
+        # Schedulers that maintain auxiliary state (the hierarchical
+        # scheduler's cluster assignments) share it through this
+        # session's cache — detected by duck-typing, like the fault
+        # hooks above.
+        bind = getattr(self._scheduler, "bind_cluster_cache", None)
+        if bind is not None:
+            bind(self.cache)
+
     # -- directory views ----------------------------------------------------
 
     @property

@@ -130,8 +130,10 @@ class Schedule:
     def __len__(self) -> int:
         pending = self.__dict__.get("_pending")
         if pending is not None:
-            return len(pending[1][0]) if pending[0] == "columns" else len(
-                pending[1]
+            return (
+                len(pending[1][0])
+                if pending[0].endswith("columns")
+                else len(pending[1])
             )
         return len(self.events)
 
@@ -141,7 +143,7 @@ class Schedule:
         pending = self.__dict__.get("_pending")
         if pending is not None:
             kind, data = pending
-            if kind == "columns":
+            if kind.endswith("columns"):
                 starts, _, _, durations, _ = data
                 if len(starts) == 0:
                     return 0.0
@@ -239,15 +241,24 @@ def _materialize_events(pending) -> Tuple[CommEvent, ...]:
 
     ``pending`` is ``("fields", [(start, src, dst, duration, size), ...])``
     (presorted tuples), ``("unsorted_fields", [...])`` (same tuples in
-    arbitrary order, sorted here on first access), or ``("columns",
+    arbitrary order, sorted here on first access), ``("columns",
     (starts, srcs, dsts, durations, sizes))`` (presorted parallel numpy
-    arrays).  Events are built by populating the instance dict directly:
-    the frozen-dataclass ``__setattr__`` and per-field validation are
-    bypassed by the trusted constructors' contract.
+    arrays), or ``("unsorted_columns", ...)`` (same arrays in arbitrary
+    order, lexsorted here on first access).  Events are built by
+    populating the instance dict directly: the frozen-dataclass
+    ``__setattr__`` and per-field validation are bypassed by the trusted
+    constructors' contract.
     """
     kind, data = pending
-    if kind == "columns":
+    if kind.endswith("columns"):
         starts, srcs, dsts, durations, sizes = data
+        if kind == "unsorted_columns":
+            order = np.lexsort((dsts, srcs, starts))
+            starts = starts[order]
+            srcs = srcs[order]
+            dsts = dsts[order]
+            durations = durations[order]
+            sizes = sizes[order]
         rows = zip(
             starts.tolist(), srcs.tolist(), dsts.tolist(),
             durations.tolist(), sizes.tolist(),
@@ -336,6 +347,31 @@ def schedule_from_columns(
     d = schedule.__dict__
     d["num_procs"] = num_procs
     d["_pending"] = ("columns", (starts, srcs, dsts, durations, sizes))
+    return schedule
+
+
+def schedule_from_unsorted_columns(
+    num_procs: int,
+    starts: np.ndarray,
+    srcs: np.ndarray,
+    dsts: np.ndarray,
+    durations: np.ndarray,
+    sizes: np.ndarray,
+) -> Schedule:
+    """Trusted lazy construction from *unsorted* parallel event columns.
+
+    Same contract as :func:`schedule_from_columns` except the arrays may
+    arrive in any order: they are lexsorted by ``(start, src, dst)``
+    when ``events`` is first materialised.  The hierarchical scheduler
+    emits its spliced events in matrix order; callers that only score
+    the schedule never pay for the sort.
+    """
+    schedule = object.__new__(Schedule)
+    d = schedule.__dict__
+    d["num_procs"] = num_procs
+    d["_pending"] = (
+        "unsorted_columns", (starts, srcs, dsts, durations, sizes)
+    )
     return schedule
 
 

@@ -141,6 +141,152 @@ def check_schedule(
         )
 
 
+def _event_columns(schedule: Schedule):
+    """``(starts, srcs, dsts, durations)`` as parallel numpy arrays.
+
+    Reads the lazy column form directly when the schedule has one, so
+    checking a column-built schedule never materialises per-event
+    objects.
+    """
+    pending = schedule.__dict__.get("_pending")
+    if pending is not None and pending[0].endswith("columns"):
+        starts, srcs, dsts, durations, _ = pending[1]
+        return (
+            np.asarray(starts, dtype=float),
+            np.asarray(srcs, dtype=np.intp),
+            np.asarray(dsts, dtype=np.intp),
+            np.asarray(durations, dtype=float),
+        )
+    events = schedule.events
+    starts = np.fromiter(
+        (e.start for e in events), dtype=float, count=len(events)
+    )
+    srcs = np.fromiter(
+        (e.src for e in events), dtype=np.intp, count=len(events)
+    )
+    dsts = np.fromiter(
+        (e.dst for e in events), dtype=np.intp, count=len(events)
+    )
+    durations = np.fromiter(
+        (e.duration for e in events), dtype=float, count=len(events)
+    )
+    return starts, srcs, dsts, durations
+
+
+def _port_overlaps(
+    starts: np.ndarray,
+    procs: np.ndarray,
+    durations: np.ndarray,
+    role: str,
+    limit: int,
+) -> List[str]:
+    """Overlap violations among events grouped by ``procs``, vectorized.
+
+    Events are sorted by (proc, start); within a group it suffices to
+    compare each event against its predecessor — if every adjacent pair
+    is disjoint then finishes are monotone and the whole group is.
+    """
+    positive = durations > 0
+    starts = starts[positive]
+    procs = procs[positive]
+    durations = durations[positive]
+    order = np.lexsort((starts, procs))
+    starts = starts[order]
+    procs = procs[order]
+    finishes = starts + durations[order]
+    same = procs[1:] == procs[:-1]
+    clash = same & (starts[1:] < finishes[:-1] - 1e-12)
+    violations: List[str] = []
+    for index in np.nonzero(clash)[0][:limit].tolist():
+        violations.append(
+            f"{role} conflict on proc {int(procs[index])}: event starting "
+            f"{starts[index + 1]:.6g} overlaps one finishing "
+            f"{finishes[index]:.6g}"
+        )
+    extra = int(clash.sum()) - len(violations)
+    if extra > 0:
+        violations.append(f"{role} conflict: +{extra} more")
+    return violations
+
+
+def check_schedule_fast(
+    schedule: Schedule,
+    cost: Optional[np.ndarray] = None,
+    *,
+    require_coverage: bool = True,
+    atol: float = 1e-9,
+) -> None:
+    """Vectorized :func:`check_schedule` for large schedules.
+
+    Same validity conditions — sender/receiver serialisation, duplicate
+    pairs, durations against ``cost``, coverage of positive off-diagonal
+    pairs — but implemented with sorts and bincounts over event columns
+    instead of per-event Python, so a P = 4096 schedule (~16.7M events)
+    checks in seconds.  Violation messages are summarised (counts plus a
+    few examples) rather than exhaustively enumerated.
+    """
+    starts, srcs, dsts, durations = _event_columns(schedule)
+    n = schedule.num_procs
+    if starts.size and (
+        srcs.min() < 0 or dsts.min() < 0
+        or srcs.max() >= n or dsts.max() >= n
+    ):
+        raise ScheduleError(
+            f"event references a processor outside [0, {n})"
+        )
+    limit = 5
+    violations: List[str] = []
+    violations += _port_overlaps(starts, srcs, durations, "sender", limit)
+    violations += _port_overlaps(starts, dsts, durations, "receiver", limit)
+
+    if cost is not None:
+        cost = np.asarray(cost, dtype=float)
+        if cost.shape != (n, n):
+            raise ScheduleError(
+                f"cost matrix shape {cost.shape} does not match "
+                f"{n} processors"
+            )
+        pair_ids = srcs * n + dsts
+        counts = np.bincount(pair_ids, minlength=n * n)
+        duplicated = np.nonzero(counts > 1)[0]
+        for pair in duplicated[:limit].tolist():
+            violations.append(
+                f"duplicate event for pair ({pair // n}, {pair % n})"
+            )
+        if duplicated.size > limit:
+            violations.append(f"duplicate pair: +{duplicated.size - limit} more")
+        wrong = np.abs(durations - cost[srcs, dsts]) > atol
+        for index in np.nonzero(wrong)[0][:limit].tolist():
+            violations.append(
+                f"event {int(srcs[index])}->{int(dsts[index])} has duration "
+                f"{durations[index]:.6g}, expected "
+                f"{cost[srcs[index], dsts[index]]:.6g}"
+            )
+        extra = int(wrong.sum()) - min(int(wrong.sum()), limit)
+        if extra > 0:
+            violations.append(f"wrong duration: +{extra} more")
+        if require_coverage:
+            required = cost > 0
+            np.fill_diagonal(required, False)
+            missing = required.reshape(-1) & (counts == 0)
+            for pair in np.nonzero(missing)[0][:limit].tolist():
+                violations.append(
+                    f"missing event for pair ({pair // n}, {pair % n})"
+                )
+            extra = int(missing.sum()) - min(int(missing.sum()), limit)
+            if extra > 0:
+                violations.append(f"missing pair: +{extra} more")
+
+    if violations:
+        preview = "; ".join(violations[:5])
+        more = f" (+{len(violations) - 5} more)" if len(violations) > 5 else ""
+        raise ScheduleError(
+            f"invalid schedule ({len(violations)} violation groups): "
+            f"{preview}{more}",
+            violations=violations,
+        )
+
+
 def is_valid_schedule(
     schedule: Schedule,
     cost: Optional[np.ndarray] = None,
