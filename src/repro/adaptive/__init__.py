@@ -8,7 +8,10 @@ directory snapshot.  Two sketched extensions are implemented here:
   (after each step's worth of events, or after half the remaining events)
   and the unstarted remainder is rescheduled against current conditions;
 * :mod:`repro.adaptive.incremental` — refining an existing schedule after
-  a small set of bandwidth changes, cheaper than scheduling from scratch.
+  a small set of bandwidth changes, cheaper than scheduling from scratch;
+* :mod:`repro.adaptive.delta` — delta-rescheduling: repairing an
+  existing schedule in place when links are *repriced*, keeping clean
+  events frozen and re-inserting only the dirty remainder.
 """
 
 from repro.adaptive.checkpoint import (
@@ -21,17 +24,34 @@ from repro.adaptive.checkpoint import (
     piecewise_cost_provider,
     run_adaptive,
 )
-from repro.adaptive.incremental import RefineResult, refine_orders
+from repro.adaptive.delta import (
+    DeltaRepairResult,
+    repair_plan,
+    repair_schedule_delta,
+)
+from repro.adaptive.incremental import (
+    RefineResult,
+    changed_mask,
+    changed_pairs,
+    dirty_fraction,
+    refine_orders,
+)
 
 __all__ = [
     "AdaptiveResult",
     "CheckpointPolicy",
+    "DeltaRepairResult",
     "EveryKEvents",
     "HalvingCheckpoints",
     "NoCheckpoints",
     "PiecewiseCosts",
     "RefineResult",
+    "changed_mask",
+    "changed_pairs",
+    "dirty_fraction",
     "piecewise_cost_provider",
     "refine_orders",
+    "repair_plan",
+    "repair_schedule_delta",
     "run_adaptive",
 ]

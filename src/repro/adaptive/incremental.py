@@ -18,6 +18,19 @@ Each candidate is evaluated with one executor run (``O(P^2 log P)``), so
 a full refinement costs ``O(passes * P^3 log P)`` — asymptotically and
 practically cheaper than matching from scratch, and the evaluation count
 is reported so experiments can chart the cost/quality trade-off.
+
+``evaluation="delta"`` replaces most of those executor runs with an
+incremental screen: a candidate changes exactly one sender's order, so
+its completion time is first *estimated* by simulating only that
+sender's chain against the frozen receiver-busy profiles of the
+incumbent execution (everything other senders do is held fixed).
+Candidates whose estimate cannot beat the incumbent are rejected
+without a full run; only promising ones pay for the executor, and every
+*accepted* move is still verified by a full run — so the refined result
+is never worse than the stale plan, exactly as in exact mode.  The
+default stays exact full re-execution (pinned against the seed by
+tests/test_golden_equivalence.py); the serving runtime opts into delta
+evaluation.
 """
 
 from __future__ import annotations
@@ -40,6 +53,9 @@ class RefineResult:
     schedule: Schedule
     initial_time: float
     evaluations: int
+    #: Candidates rejected by the delta screen without a full executor
+    #: run (always 0 in the default exact mode).
+    screened: int = 0
 
     @property
     def completion_time(self) -> float:
@@ -53,6 +69,51 @@ class RefineResult:
         return 1.0 - self.completion_time / self.initial_time
 
 
+def changed_mask(
+    old_cost: np.ndarray,
+    new_cost: np.ndarray,
+    *,
+    rtol: float = 1e-6,
+) -> np.ndarray:
+    """Boolean ``[src, dst]`` bitmap of pairs that moved beyond ``rtol``.
+
+    Fully vectorized — one subtract/divide/compare over the matrices,
+    no per-pair Python.  Pairs appearing from zero count as moved (the
+    relative change against a near-zero basis is effectively infinite);
+    pairs at zero in both matrices do not.
+    """
+    old_cost = np.asarray(old_cost, dtype=float)
+    new_cost = np.asarray(new_cost, dtype=float)
+    if old_cost.shape != new_cost.shape:
+        raise ValueError(
+            f"cost shapes differ: {old_cost.shape} vs {new_cost.shape}"
+        )
+    scale = np.maximum(old_cost, 1e-300)
+    return np.abs(new_cost - old_cost) / scale > rtol
+
+
+def dirty_fraction(
+    basis: np.ndarray,
+    current: np.ndarray,
+    *,
+    rtol: float = 0.05,
+) -> float:
+    """Fraction of relevant pairs whose cost moved beyond ``rtol``.
+
+    Relevant pairs are those positive in either matrix.  This is the
+    *localisation* signal the repair policy tier gates on: mean drift
+    (:func:`repro.runtime.policy.drift_magnitude`) cannot distinguish
+    uniform repricing (where delta repair degenerates to a tail append
+    of everything) from a few links moving a lot (where it shines).
+    """
+    moved = changed_mask(basis, current, rtol=rtol)
+    relevant = (np.asarray(basis) > 0) | (np.asarray(current) > 0)
+    total = int(np.count_nonzero(relevant))
+    if not total:
+        return 0.0
+    return float(np.count_nonzero(moved & relevant)) / total
+
+
 def changed_pairs(
     old: TotalExchangeProblem,
     new: TotalExchangeProblem,
@@ -62,10 +123,70 @@ def changed_pairs(
     """Pairs whose cost moved by more than ``rtol`` relatively."""
     if old.num_procs != new.num_procs:
         raise ValueError("instances differ in processor count")
-    scale = np.maximum(old.cost, 1e-300)
-    moved = np.abs(new.cost - old.cost) / scale > rtol
+    moved = changed_mask(old.cost, new.cost, rtol=rtol)
     srcs, dsts = np.nonzero(moved)
     return set(zip(srcs.tolist(), dsts.tolist()))
+
+
+def _receiver_profiles(
+    schedule: Schedule, src: int, n: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+    """Frozen receiver-busy profiles of ``schedule`` excluding ``src``.
+
+    Returns ``(busy_starts, busy_finishes, bounds, other_max)`` where
+    receiver ``d``'s intervals (sorted by start) live at
+    ``[bounds[d]:bounds[d + 1])`` and ``other_max`` is the latest finish
+    among all events not sent by ``src``.
+    """
+    from repro.timing.validate import _event_columns
+
+    starts, srcs, dsts, durations = _event_columns(schedule)
+    sel = (srcs != src) & (durations > 0)
+    starts = starts[sel]
+    dsts = dsts[sel]
+    finishes = starts + durations[sel]
+    other_max = float(finishes.max()) if finishes.size else 0.0
+    order = np.lexsort((starts, dsts))
+    dsts = dsts[order]
+    bounds = np.searchsorted(dsts, np.arange(n + 1))
+    return starts[order], finishes[order], bounds, other_max
+
+
+def _screen_estimate(
+    profiles: Tuple[np.ndarray, np.ndarray, np.ndarray, float],
+    src: int,
+    row: Sequence[int],
+    cost: np.ndarray,
+) -> float:
+    """Estimated completion of a candidate differing only in ``src``'s row.
+
+    Simulates ``src``'s serialized chain first-fit into the frozen
+    receiver gaps; everything else is held at its incumbent timing.  A
+    heuristic screen, not a bound — accepted moves are always verified
+    by a full executor run.
+    """
+    busy_starts, busy_finishes, bounds, other_max = profiles
+    t = 0.0
+    for dst in row:
+        duration = cost[src, dst]
+        if duration <= 0:
+            continue
+        lo = bounds[dst]
+        hi = bounds[dst + 1]
+        if lo == hi:
+            t += duration
+            continue
+        # gap 0: [t, first busy start); gap i >= 1: from busy interval
+        # i - 1's finish (clamped to t); the gap after the last busy
+        # interval always fits.
+        gap_starts = np.concatenate(
+            ([t], np.maximum(busy_finishes[lo:hi], t))
+        )
+        gap_ends = np.concatenate((busy_starts[lo:hi], [np.inf]))
+        ok = gap_starts + duration <= gap_ends + 1e-12
+        start = float(gap_starts[int(np.argmax(ok))])
+        t = start + duration
+    return max(other_max, t)
 
 
 def refine_orders(
@@ -74,27 +195,45 @@ def refine_orders(
     *,
     old_problem: Optional[TotalExchangeProblem] = None,
     max_passes: int = 2,
+    evaluation: str = "execute",
 ) -> RefineResult:
     """Refine ``orders`` for ``new_problem``'s costs.
 
     ``old_problem`` (the instance the orders were built for) focuses the
     targeted pass on senders whose costs actually changed; without it,
     every sender is treated as changed.
+
+    ``evaluation`` selects how candidates are costed: ``"execute"`` (the
+    default) runs the full executor per candidate, exactly the seed
+    behaviour; ``"delta"`` screens each candidate first with an
+    incremental single-sender estimate against the incumbent's frozen
+    receiver profiles and only executes promising ones.  Accepted moves
+    are always verified by a full run in both modes.
     """
     if max_passes < 0:
         raise ValueError(f"max_passes must be >= 0, got {max_passes}")
+    if evaluation not in ("execute", "delta"):
+        raise ValueError(
+            f"evaluation must be 'execute' or 'delta', got {evaluation!r}"
+        )
+    delta = evaluation == "delta"
     current: List[List[int]] = [list(sender) for sender in orders]
+    n = new_problem.num_procs
+    cost = new_problem.cost
     evaluations = 0
+    screened = 0
 
-    def evaluate(candidate: SendOrders) -> float:
+    def run(candidate: SendOrders) -> Schedule:
         nonlocal evaluations
         evaluations += 1
-        return execute_orders(
-            new_problem, candidate, validate=False
-        ).completion_time
+        return execute_orders(new_problem, candidate, validate=False)
 
-    initial_time = evaluate(current)
+    incumbent = run(current)
+    initial_time = incumbent.completion_time
     best_time = initial_time
+    # src -> frozen receiver profiles of the incumbent execution;
+    # invalidated wholesale whenever a move is accepted.
+    profiles: dict = {}
 
     # Every candidate differs from `current` in exactly one sender row, so
     # both passes mutate `current` in place and undo rejected moves instead
@@ -103,31 +242,44 @@ def refine_orders(
     # accept/reject decisions, and therefore the result, are unchanged —
     # tests/test_golden_equivalence.py pins this against the seed logic.
 
+    def try_move(src: int, margin: float) -> bool:
+        """Cost the mutated ``current``; accept iff it beats the best."""
+        nonlocal best_time, incumbent, screened
+        if delta:
+            prof = profiles.get(src)
+            if prof is None:
+                prof = profiles[src] = _receiver_profiles(incumbent, src, n)
+            estimate = _screen_estimate(prof, src, current[src], cost)
+            if not estimate < best_time - margin:
+                screened += 1
+                return False
+        schedule = run(current)
+        if schedule.completion_time < best_time - margin:
+            best_time = schedule.completion_time
+            incumbent = schedule
+            profiles.clear()
+            return True
+        return False
+
     # Pass 1: re-sort affected senders longest-first under the new costs.
     if old_problem is not None:
         affected = {src for src, _ in changed_pairs(old_problem, new_problem)}
     else:
-        affected = set(range(new_problem.num_procs))
-    cost = new_problem.cost
+        affected = set(range(n))
     for src in sorted(affected):
         old_row = current[src]
         current[src] = sorted(old_row, key=lambda dst: (-cost[src, dst], dst))
-        time = evaluate(current)
-        if time < best_time:
-            best_time = time
-        else:
+        if not try_move(src, 0.0):
             current[src] = old_row
 
     # Pass 2+: first-improvement adjacent swaps.
     for _ in range(max_passes):
         improved = False
-        for src in range(new_problem.num_procs):
+        for src in range(n):
             row = current[src]
             for k in range(len(row) - 1):
                 row[k], row[k + 1] = row[k + 1], row[k]
-                time = evaluate(current)
-                if time < best_time - 1e-12:
-                    best_time = time
+                if try_move(src, 1e-12):
                     improved = True
                 else:
                     row[k], row[k + 1] = row[k + 1], row[k]
@@ -139,4 +291,5 @@ def refine_orders(
         schedule=execute_orders(new_problem, current, validate=False),
         initial_time=initial_time,
         evaluations=evaluations,
+        screened=screened,
     )

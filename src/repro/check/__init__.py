@@ -14,10 +14,14 @@ rewrite runs against:
 * :mod:`repro.check.faults` — deterministic fault-recovery scenarios:
   repaired schedules must pass the oracle, deliver all surviving-pair
   demand (relaying around dead links), and beat a naive full
-  reschedule on salvage.
+  reschedule on salvage;
+* :mod:`repro.check.drift` — deterministic drift scenarios: the serving
+  runtime must walk the reuse → refine → repair → reschedule ladder,
+  every delta-repaired tick must pass the oracle, and zero-drift repair
+  must be bit-identical to reuse.
 
 Run it via ``python -m repro.cli check`` (``--faults`` adds the fault
-family).
+family, ``--drift`` the drift family).
 """
 
 from repro.check.differential import (
@@ -29,6 +33,16 @@ from repro.check.differential import (
     render_check,
     run_check,
     shrink_failing_instance,
+)
+from repro.check.drift import (
+    DriftCheckReport,
+    DriftScenario,
+    check_decision_ladder,
+    check_drift_storm,
+    drift_scenarios,
+    golden_zero_drift_violations,
+    render_drift_check,
+    run_drift_check,
 )
 from repro.check.faults import (
     FaultCheckReport,
@@ -59,6 +73,8 @@ __all__ = [
     "CheckInstance",
     "CheckReport",
     "DEFAULT_OUT_DIR",
+    "DriftCheckReport",
+    "DriftScenario",
     "FAMILIES",
     "FaultCheckReport",
     "FaultScenario",
@@ -66,18 +82,24 @@ __all__ = [
     "OracleError",
     "bit_equivalence_violations",
     "build_instance",
+    "check_decision_ladder",
+    "check_drift_storm",
     "check_fault_recovery",
     "check_invariants",
     "default_schedulers",
     "draw_num_procs",
+    "drift_scenarios",
     "fault_scenarios",
     "generate_instances",
+    "golden_zero_drift_violations",
     "golden_zero_fault_violations",
     "oracle_violations",
     "render_check",
+    "render_drift_check",
     "render_fault_check",
     "repair_vs_full_reschedule",
     "run_check",
+    "run_drift_check",
     "run_fault_check",
     "shrink_failing_instance",
 ]

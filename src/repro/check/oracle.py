@@ -23,10 +23,17 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+import numpy as np
+
 from repro.core.problem import TotalExchangeProblem
 from repro.core.registry import iter_specs
 from repro.timing.events import Schedule
-from repro.timing.validate import ScheduleError, check_schedule
+from repro.timing.validate import (
+    ScheduleError,
+    _event_columns,
+    check_schedule,
+    check_schedule_fast,
+)
 
 
 class OracleError(ScheduleError):
@@ -70,31 +77,45 @@ def oracle_violations(
             f"schedule covers {schedule.num_procs} processors, "
             f"problem has {problem.num_procs}"
         ]
+    # The vectorized fast checker covers the same invariants as the
+    # event-by-event check_schedule; it prefilters, and only a failure
+    # falls back to the slow path for its detailed per-event violation
+    # batch (so failure reports stay as rich as before while clean
+    # schedules — the overwhelmingly common case — pay only the
+    # vectorized cost).
     try:
-        check_schedule(schedule, problem.cost, atol=atol)
-    except ScheduleError as exc:
-        violations += exc.violations or [str(exc)]
+        check_schedule_fast(schedule, problem.cost, atol=atol)
+    except ScheduleError:
+        try:
+            check_schedule(schedule, problem.cost, atol=atol)
+        except ScheduleError as exc:
+            violations += exc.violations or [str(exc)]
 
     # Full P^2 placement: check_schedule only demands the positive
     # off-diagonal pairs, but every registered scheduler also emits
     # zero-duration markers for free pairs and real events for positive
     # diagonal self-messages — schedules missing them break consumers
     # like send_orders() re-execution and checkpoint restriction.
+    # Vectorized: the Python loop runs only over violations (normally
+    # none), in the same row-major order as the original scan.
     n = problem.num_procs
     cost = problem.cost
-    seen = {(event.src, event.dst) for event in schedule}
-    for src in range(n):
-        for dst in range(n):
-            if (src, dst) in seen:
-                continue
-            if src != dst and cost[src, dst] == 0:
-                violations.append(
-                    f"coverage: zero-cost pair ({src}, {dst}) has no marker"
-                )
-            elif src == dst and cost[src, dst] > 0:
-                violations.append(
-                    f"coverage: self-message ({src}, {dst}) missing"
-                )
+    _, srcs, dsts, _ = _event_columns(schedule)
+    has_event = np.zeros((n, n), dtype=bool)
+    has_event[srcs, dsts] = True
+    eye = np.eye(n, dtype=bool)
+    missing = ~has_event & (
+        (~eye & (cost == 0)) | (eye & (cost > 0))
+    )
+    for src, dst in zip(*np.nonzero(missing)):
+        if src != dst:
+            violations.append(
+                f"coverage: zero-cost pair ({src}, {dst}) has no marker"
+            )
+        else:
+            violations.append(
+                f"coverage: self-message ({src}, {dst}) missing"
+            )
 
     lb = problem.lower_bound()
     makespan = schedule.completion_time

@@ -378,9 +378,34 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         DEFAULT_REFERENCE_MAX_P,
         render_bench,
         run_bench,
+        run_drift_response,
         run_hier_scale,
         update_bench_json,
     )
+
+    if args.drift_sizes:
+        results = run_drift_response(
+            args.drift_sizes,
+            ticks=args.ticks,
+            cluster_size=args.cluster_size,
+            seed=args.seed,
+            output=args.output or None,
+        )
+        rows = []
+        for p_label, tier in results.items():
+            rows.append([
+                int(p_label), tier["meta"]["scheduler"],
+                tier["repair"]["p50_s"], tier["full"]["p50_s"],
+                tier["speedup_p50"], tier["makespan_ratio_max"],
+            ])
+        print(format_table(
+            ["P", "scheduler", "repair p50 s", "full p50 s",
+             "speedup", "worst ratio"], rows,
+            precision=4, title="drift-tick response",
+        ))
+        if args.output:
+            print(f"\nwrote {args.output}")
+        return 0
 
     if args.hier_sizes:
         results = run_hier_scale(
@@ -507,6 +532,14 @@ def _cmd_check(args: argparse.Namespace) -> int:
         print()
         print(render_fault_check(fault_report))
         ok = ok and fault_report.ok
+    if args.drift:
+        from repro.check import render_drift_check, run_drift_check
+
+        name = args.scheduler[-1] if args.scheduler else "openshop"
+        drift_report = run_drift_check(scheduler=name)
+        print()
+        print(render_drift_check(drift_report))
+        ok = ok and drift_report.ok
     return 0 if ok else 1
 
 
@@ -859,6 +892,18 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p_bench.add_argument(
+        "--drift-sizes", type=int, nargs="+", default=None, metavar="P",
+        help=(
+            "run the drift-response bench (delta repair vs. full "
+            "reschedule per drift tick) at these processor counts "
+            "instead of the kernel bench (e.g. 256 1024 4096)"
+        ),
+    )
+    p_bench.add_argument(
+        "--ticks", type=int, default=8, metavar="T",
+        help="drift ticks per size in the drift-response bench",
+    )
+    p_bench.add_argument(
         "--cluster-size", type=int, default=64, metavar="N",
         help="cluster size of the hierarchical ladder's instances",
     )
@@ -897,6 +942,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults", action="store_true",
         help="also run the fault-recovery family: repaired schedules "
              "must pass the oracle and deliver all surviving demand",
+    )
+    p_check.add_argument(
+        "--drift", action="store_true",
+        help="also run the drift family: storm-driven sessions must "
+             "walk the reuse/refine/repair/reschedule ladder and every "
+             "delta-repaired tick must pass the oracle",
     )
     p_check.set_defaults(func=_cmd_check)
 

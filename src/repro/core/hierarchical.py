@@ -55,7 +55,8 @@ cluster level packs with the same near-optimal list scheduling.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -152,13 +153,58 @@ def _greedy_block(sub: np.ndarray, slack: float) -> Tuple[float, np.ndarray]:
     return offset, local
 
 
+@dataclass
+class _HierPlanState:
+    """Everything needed to delta-repair the last two-level plan.
+
+    ``local`` is the *pristine* per-pair round-offset grid (before block
+    windows were added), so a repair can re-splice unchanged blocks
+    bit-identically; ``windows`` is the ``K x K`` block window starts
+    the cluster-level open shop produced.
+    """
+
+    assignment: ClusterAssignment
+    perm: np.ndarray
+    spans: List[Tuple[int, int]]
+    cost_p: np.ndarray  # permuted basis costs
+    block_duration: np.ndarray
+    local: np.ndarray  # pristine local starts (no windows)
+    windows: np.ndarray
+    slack: float
+    grid_cache: Dict[int, Tuple[np.ndarray, np.ndarray]]
+    intra: str
+    schedule: Schedule
+
+
+def _block_internal(
+    sub: np.ndarray,
+    a: int,
+    b: int,
+    intra: str,
+    grid_cache: Dict[int, Tuple[np.ndarray, np.ndarray]],
+    slack: float,
+) -> Tuple[float, np.ndarray]:
+    """``(duration, local_starts)`` of one block under the intra kernel."""
+    if not sub.any():
+        # All-free block: zero-duration markers only, any start valid.
+        return 0.0, np.zeros(sub.shape)
+    if a == b and intra == "greedy":
+        return _greedy_block(sub, slack)
+    return _caterpillar_block(sub, grid_cache, slack)
+
+
 def _two_level_schedule(
     problem: TotalExchangeProblem,
     assignment: ClusterAssignment,
     *,
     intra: str = "rounds",
-) -> Schedule:
-    """Blocks -> cluster-level open shop -> spliced event columns."""
+    capture: bool = False,
+):
+    """Blocks -> cluster-level open shop -> spliced event columns.
+
+    With ``capture`` returns ``(schedule, _HierPlanState)`` instead of
+    the bare schedule; the emitted schedule is bit-identical either way.
+    """
     cost = problem.cost
     n = problem.num_procs
     k = assignment.num_clusters
@@ -182,12 +228,13 @@ def _two_level_schedule(
             sub = cost_p[a0:a1, b0:b1]
             if not sub.any():
                 continue  # all-free block: zero-duration markers only
-            if a == b and intra == "greedy":
-                duration, local = _greedy_block(sub, slack)
-            else:
-                duration, local = _caterpillar_block(sub, grid_cache, slack)
+            duration, local = _block_internal(
+                sub, a, b, intra, grid_cache, slack
+            )
             block_duration[a, b] = duration
             local_starts[a0:a1, b0:b1] = local
+
+    pristine = local_starts.copy() if capture else None
 
     # Level 3: the K x K block-duration matrix is itself a total
     # exchange — cluster send/receive ports, diagonal blocks as cluster
@@ -202,8 +249,10 @@ def _two_level_schedule(
     # Splice: every event starts at its block window plus its local
     # round offset (blocks the kernel never scheduled are all-marker
     # blocks whose events carry zero duration — any start is valid).
+    windows = np.zeros((k, k))
     for start, a, b, _, _ in fields:
         if start:
+            windows[a, b] = start
             a0, a1 = spans[a]
             b0, b1 = spans[b]
             local_starts[a0:a1, b0:b1] += start
@@ -222,9 +271,25 @@ def _two_level_schedule(
         sizes = problem.sizes[np.ix_(perm, perm)].reshape(-1)
     else:
         sizes = np.broadcast_to(np.float64(0.0), (n * n,))
-    return schedule_from_unsorted_columns(
+    schedule = schedule_from_unsorted_columns(
         n, starts, srcs, dsts, durations, sizes
     )
+    if not capture:
+        return schedule
+    state = _HierPlanState(
+        assignment=assignment,
+        perm=perm,
+        spans=spans,
+        cost_p=cost_p,
+        block_duration=block_duration,
+        local=pristine,
+        windows=windows,
+        slack=slack,
+        grid_cache=grid_cache,
+        intra=intra,
+        schedule=schedule,
+    )
+    return schedule, state
 
 
 def schedule_hierarchical(
@@ -336,9 +401,11 @@ class HierarchicalScheduler:
         self._cluster_cache = None
         self._basis_cost: Optional[np.ndarray] = None
         self._basis_assignment: Optional[ClusterAssignment] = None
+        self._plan_state: Optional[_HierPlanState] = None
         self.clusterings = 0
         self.cluster_reuses = 0
         self.cluster_cache_hits = 0
+        self.delta_repairs = 0
         self.__name__ = "hierarchical"
         self.__qualname__ = "hierarchical"
 
@@ -384,8 +451,122 @@ class HierarchicalScheduler:
         return assignment
 
     def __call__(self, problem: TotalExchangeProblem) -> Schedule:
-        return schedule_hierarchical(
-            problem,
-            intra=self.intra,
-            assignment=self.assignment_for(problem),
+        assignment = self.assignment_for(problem)
+        k = assignment.num_clusters
+        if k <= 1 or k == problem.num_procs:
+            # Degenerate shapes delegate to the flat schedulers; their
+            # plans carry no block state, so flat event-level repair
+            # (repro.adaptive.delta) takes over via the session.
+            self._plan_state = None
+            return schedule_hierarchical(
+                problem, intra=self.intra, assignment=assignment
+            )
+        schedule, state = _two_level_schedule(
+            problem, assignment, intra=self.intra, capture=True
+        )
+        self._plan_state = state
+        return schedule
+
+    def delta_repair(self, problem: TotalExchangeProblem, *, validate=True):
+        """Block-level delta repair of the last two-level plan.
+
+        Recomputes only blocks containing a repriced pair, re-packs the
+        cheap ``K x K`` cluster-level open shop only when some block
+        duration moved, and re-splices — clean blocks keep their local
+        layout bit-identically.  Returns a
+        :class:`repro.adaptive.delta.DeltaRepairResult`, or ``None``
+        when no plan state exists or the drift exceeds
+        ``drift_tolerance`` (the clustering itself is then suspect and
+        the caller should fully reschedule, re-detecting clusters).
+        """
+        from repro.adaptive.delta import DeltaRepairResult
+
+        state = self._plan_state
+        if state is None or problem.num_procs != state.perm.shape[0]:
+            return None
+        perm = state.perm
+        cost_p_new = problem.cost[np.ix_(perm, perm)]
+        if _relative_drift(state.cost_p, cost_p_new) > self.drift_tolerance:
+            return None
+        if np.array_equal(state.cost_p, cost_p_new):
+            return DeltaRepairResult(
+                schedule=state.schedule,
+                dirty_pairs=0,
+                reinserted=0,
+                frozen=len(state.schedule),
+                identical=True,
+            )
+
+        changed = cost_p_new != state.cost_p
+        spans = state.spans
+        block_duration = state.block_duration.copy()
+        local = state.local.copy()
+        reinserted = 0
+        for a, (a0, a1) in enumerate(spans):
+            for b, (b0, b1) in enumerate(spans):
+                if not changed[a0:a1, b0:b1].any():
+                    continue
+                duration, block_local = _block_internal(
+                    cost_p_new[a0:a1, b0:b1],
+                    a,
+                    b,
+                    state.intra,
+                    state.grid_cache,
+                    state.slack,
+                )
+                block_duration[a, b] = duration
+                local[a0:a1, b0:b1] = block_local
+                reinserted += (a1 - a0) * (b1 - b0)
+
+        k = len(spans)
+        if np.array_equal(block_duration, state.block_duration):
+            windows = state.windows
+        else:
+            fields = _openshop_fields(
+                block_duration.tolist(),
+                block_duration > 0,
+                [0.0] * k,
+                [0.0] * k,
+                [[0.0] * k] * k,
+            )
+            windows = np.zeros((k, k))
+            for start, a, b, _, _ in fields:
+                if start:
+                    windows[a, b] = start
+
+        pristine = local.copy()
+        n = problem.num_procs
+        for a, (a0, a1) in enumerate(spans):
+            for b, (b0, b1) in enumerate(spans):
+                w = windows[a, b]
+                if w:
+                    local[a0:a1, b0:b1] += w
+        starts = local.reshape(-1)
+        durations = cost_p_new.reshape(-1)
+        srcs = np.repeat(perm, n)
+        dsts = np.tile(perm, n)
+        if problem.sizes is not None:
+            sizes = problem.sizes[np.ix_(perm, perm)].reshape(-1)
+        else:
+            sizes = np.broadcast_to(np.float64(0.0), (n * n,))
+        repaired = schedule_from_unsorted_columns(
+            n, starts, srcs, dsts, durations, sizes
+        )
+        if validate:
+            from repro.timing.validate import check_schedule_fast
+
+            check_schedule_fast(repaired, problem.cost)
+
+        state.cost_p = cost_p_new
+        state.block_duration = block_duration
+        state.local = pristine
+        state.windows = windows
+        state.schedule = repaired
+        self.delta_repairs += 1
+        return DeltaRepairResult(
+            schedule=repaired,
+            dirty_pairs=int(np.count_nonzero(changed)),
+            reinserted=reinserted,
+            frozen=n * n - reinserted,
+            identical=False,
         )

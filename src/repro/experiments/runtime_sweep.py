@@ -36,11 +36,16 @@ SERVE_POLICIES: Dict[str, PolicyConfig] = {
     "never": PolicyConfig(
         reuse_threshold=float("inf"),
         refine_threshold=float("inf"),
+        repair_threshold=float("inf"),
         max_reuse_ticks=10**9,
         max_plan_age_ticks=10**9,
     ),
     "adaptive": PolicyConfig(),
-    "always": PolicyConfig(reuse_threshold=0.0, refine_threshold=0.0),
+    # repair_threshold=0 keeps "always" a pure full-reschedule ceiling:
+    # localised drift must not be diverted to the cheaper repair tier.
+    "always": PolicyConfig(
+        reuse_threshold=0.0, refine_threshold=0.0, repair_threshold=0.0
+    ),
 }
 
 

@@ -159,6 +159,172 @@ def run_hier_scale(
     return results
 
 
+def run_drift_response(
+    proc_counts: Sequence[int] = (256, 1024, 4096),
+    *,
+    ticks: int = 8,
+    dirty_node_fraction: float = 0.05,
+    cluster_size: int = 64,
+    hier_min_p: int = 2048,
+    seed: int = 0,
+    output: Optional[PathLike] = None,
+) -> Dict[str, Dict[str, Any]]:
+    """Drift-tick latency: delta repair vs. a full reschedule.
+
+    For each ``P`` the deterministic :func:`clustered_instance` is
+    planned once; each subsequent tick congests a different contiguous
+    ~5% window of nodes (every outgoing link of an affected node
+    repriced by its own factor in [0.9, 1.15] — a moving congestion
+    spot relative to the plan's basis, the moderate-drift regime the
+    policy routes to the repair tier) and the plan is updated both
+    ways under a wall clock:
+
+    * **repair** — :mod:`repro.adaptive.delta` event-level repair below
+      ``hier_min_p`` (the flat open shop tiers), block-level
+      :meth:`HierarchicalScheduler.delta_repair` at and above it; both
+      validated inline with the fast checker, exactly like the serving
+      hot path;
+    * **full** — the matching from-scratch scheduler on the same costs.
+
+    Every repair splices the *anchored* plan — exactly what the session
+    does on its repair tier — so the first tick pays the splice's
+    one-time level pass and later ticks show the warm steady state the
+    p50 reports.  Results land under ``extra["drift_response_p{P}"]``
+    with p50/p99 latencies for both paths, the p50 speedup, and the
+    worst repaired/from-scratch makespan ratio across the ticks.
+    """
+    from repro.adaptive.delta import repair_schedule_delta
+    from repro.core.hierarchical import HierarchicalScheduler
+    from repro.timing.validate import check_schedule_fast
+
+    if ticks < 2:
+        raise ValueError(f"ticks must be >= 2, got {ticks}")
+
+    results: Dict[str, Dict[str, Any]] = {}
+    for num_procs in proc_counts:
+        num_procs = int(num_procs)
+        hierarchical = num_procs >= hier_min_p
+        problem = clustered_instance(
+            num_procs, cluster_size=cluster_size, seed=seed
+        )
+        dirty_nodes = max(1, round(dirty_node_fraction * num_procs))
+        rng = to_rng(stable_seed("bench.drift", seed, num_procs))
+
+        if hierarchical:
+            scheduler = HierarchicalScheduler()
+            incumbent = scheduler(problem)
+        else:
+            incumbent = schedule_openshop(problem)
+        basis = problem.cost
+
+        repair_s, full_s, ratios = [], [], []
+        dirty_fracs, repaired_events = [], []
+        for _ in range(ticks - 1):
+            start = int(rng.integers(0, num_procs - dirty_nodes + 1))
+            factors = rng.uniform(0.9, 1.15, size=(dirty_nodes, num_procs))
+            cost = basis.copy()
+            cost[start:start + dirty_nodes, :] *= factors
+            np.fill_diagonal(cost, basis.diagonal())
+            current = TotalExchangeProblem(cost=cost, sizes=problem.sizes)
+
+            t0 = time.perf_counter()
+            if hierarchical:
+                result = scheduler.delta_repair(current, validate=True)
+            else:
+                result = repair_schedule_delta(
+                    incumbent, basis, current, validate=True
+                )
+            repair_s.append(time.perf_counter() - t0)
+            assert result is not None, "repair refused a moderate storm"
+
+            t0 = time.perf_counter()
+            if hierarchical:
+                scratch = HierarchicalScheduler()(current)
+            else:
+                scratch = schedule_openshop(current)
+            full_s.append(time.perf_counter() - t0)
+            check_schedule_fast(scratch, current.cost)
+
+            ratios.append(
+                result.completion_time / scratch.completion_time
+            )
+            relevant = (basis > 0) | (cost > 0)
+            dirty_fracs.append(
+                float(((basis != cost) & relevant).sum() / relevant.sum())
+            )
+            repaired_events.append(result.reinserted)
+
+        def _stats(samples) -> Dict[str, float]:
+            values = np.asarray(samples, dtype=float)
+            return {
+                "p50_s": float(np.quantile(values, 0.50)),
+                "p99_s": float(np.quantile(values, 0.99)),
+                "mean_s": float(values.mean()),
+            }
+
+        repair_stats = _stats(repair_s)
+        full_stats = _stats(full_s)
+        tier: Dict[str, Any] = {
+            "meta": {
+                "ticks": ticks,
+                "dirty_nodes": dirty_nodes,
+                "cluster_size": cluster_size,
+                "seed": seed,
+                "scheduler": (
+                    "hierarchical" if hierarchical else "openshop"
+                ),
+                "workload": "uniform 1 MB, clustered platform",
+            },
+            "repair": repair_stats,
+            "full": full_stats,
+            "speedup_p50": full_stats["p50_s"] / repair_stats["p50_s"],
+            "makespan_ratio_max": float(max(ratios)),
+            "dirty_fraction_mean": float(np.mean(dirty_fracs)),
+            "repaired_events_mean": float(np.mean(repaired_events)),
+        }
+        results[str(num_procs)] = tier
+        if output is not None:
+            update_bench_json(
+                f"drift_response_p{num_procs}", tier, output
+            )
+    return results
+
+
+def run_drift_metrics_bench(
+    num_procs: int = 1024,
+    *,
+    repeats: int = 5,
+    seed: int = 0,
+    output: Optional[PathLike] = None,
+) -> Dict[str, Any]:
+    """Micro-bench the per-tick drift metrics at serving scale.
+
+    ``drift_magnitude``, ``changed_mask`` and ``dirty_fraction`` run on
+    *every* serving tick before any decision is made, so their cost is a
+    floor on tick latency; this pins them (vectorized, milliseconds at
+    P=1024) into the bench record.
+    """
+    from repro.adaptive.incremental import changed_mask, dirty_fraction
+    from repro.runtime.policy import drift_magnitude
+
+    rng = to_rng(stable_seed("bench.drift-metrics", seed, num_procs))
+    basis = rng.uniform(0.5, 5.0, (num_procs, num_procs))
+    current = basis * rng.uniform(0.9, 1.1, basis.shape)
+    timer = KernelTimer(repeats=repeats)
+    timer.time("drift_magnitude", drift_magnitude, basis, current)
+    timer.time("changed_mask", changed_mask, basis, current)
+    timer.time("dirty_fraction", dirty_fraction, basis, current)
+    payload = {
+        "meta": {"num_procs": num_procs, "repeats": repeats, "seed": seed},
+        **timer.summary(),
+    }
+    if output is not None:
+        update_bench_json(
+            f"drift_metrics_p{num_procs}", payload, output
+        )
+    return payload
+
+
 def _bench_one_size(
     num_procs: int,
     *,

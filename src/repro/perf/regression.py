@@ -1,0 +1,167 @@
+"""Bench regression guard: fresh measurements vs. the committed record.
+
+``BENCH_core.json`` is committed so the repo carries its own
+performance claims — schedule quality (``ratio_to_lb``,
+``makespan_ratio_max``) and wall-clock latency per tier.  CI
+re-measures a subset of those tiers on every push; this module turns
+"did it regress?" into an explicit, tunable comparison instead of
+ad-hoc asserts scattered through workflow YAML.
+
+Two kinds of numbers get two kinds of tolerance:
+
+* **quality** — deterministic given the seed, so it is compared
+  tightly (``quality_rtol``, default 5%).  A quality regression means
+  an algorithm change, never machine noise.
+* **latency** — CI machines are slower and noisier than the machine
+  that wrote the committed record, so seconds are compared loosely
+  (``seconds_factor``, default 5x) and latency *ratios* (the drift
+  bench's repair-vs-full speedup, machine speed mostly cancelled) get
+  an intermediate ``speedup_factor``.
+
+The entry point is :func:`bench_regressions`: give it the committed
+and fresh ``extra`` payloads and it returns human-readable violation
+strings for every tier name they share — an empty list is a pass.
+Load the committed record *before* re-running any bench that writes to
+the same path, or the guard compares the fresh file with itself.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "bench_regressions",
+    "drift_regressions",
+    "load_bench",
+    "scale_regressions",
+]
+
+
+def load_bench(path) -> Dict[str, Any]:
+    """Load a bench JSON record (the committed baseline, typically)."""
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def scale_regressions(
+    name: str,
+    committed: Dict[str, Any],
+    fresh: Dict[str, Any],
+    *,
+    quality_rtol: float = 0.05,
+    seconds_factor: float = 5.0,
+) -> List[str]:
+    """Compare one ``scale_*`` tier: per-scheduler quality and latency."""
+    problems: List[str] = []
+    for scheduler, stats in committed.items():
+        if scheduler == "meta" or not isinstance(stats, dict):
+            continue
+        current = fresh.get(scheduler)
+        if current is None:
+            problems.append(f"{name}: scheduler {scheduler!r} disappeared")
+            continue
+        old_ratio = stats.get("ratio_to_lb")
+        new_ratio = current.get("ratio_to_lb")
+        if old_ratio is not None and new_ratio is not None:
+            if new_ratio > old_ratio * (1.0 + quality_rtol):
+                problems.append(
+                    f"{name}/{scheduler}: ratio_to_lb regressed "
+                    f"{old_ratio:.4f} -> {new_ratio:.4f} "
+                    f"(allowed rtol {quality_rtol:.0%})"
+                )
+        old_s = stats.get("seconds")
+        new_s = current.get("seconds")
+        if old_s is not None and new_s is not None:
+            if new_s > old_s * seconds_factor:
+                problems.append(
+                    f"{name}/{scheduler}: seconds regressed "
+                    f"{old_s:.3f}s -> {new_s:.3f}s "
+                    f"(allowed {seconds_factor:.0f}x)"
+                )
+    return problems
+
+
+def drift_regressions(
+    name: str,
+    committed: Dict[str, Any],
+    fresh: Dict[str, Any],
+    *,
+    quality_rtol: float = 0.05,
+    speedup_factor: float = 3.0,
+    seconds_factor: float = 5.0,
+) -> List[str]:
+    """Compare one ``drift_response_*`` tier.
+
+    The repaired-vs-scratch makespan ratio is quality (tight); the
+    repair latency is seconds (loose); the p50 speedup is a ratio of
+    two latencies on the *same* machine, so most of the machine-speed
+    variance cancels and it gets the intermediate ``speedup_factor``.
+    """
+    problems: List[str] = []
+    old_ratio = committed.get("makespan_ratio_max")
+    new_ratio = fresh.get("makespan_ratio_max")
+    if old_ratio is not None and new_ratio is not None:
+        if new_ratio > old_ratio * (1.0 + quality_rtol):
+            problems.append(
+                f"{name}: makespan_ratio_max regressed "
+                f"{old_ratio:.4f} -> {new_ratio:.4f} "
+                f"(allowed rtol {quality_rtol:.0%})"
+            )
+    old_speedup = committed.get("speedup_p50")
+    new_speedup = fresh.get("speedup_p50")
+    if old_speedup is not None and new_speedup is not None:
+        if new_speedup < old_speedup / speedup_factor:
+            problems.append(
+                f"{name}: speedup_p50 regressed "
+                f"{old_speedup:.2f}x -> {new_speedup:.2f}x "
+                f"(allowed {speedup_factor:.0f}x slack)"
+            )
+    old_p50 = committed.get("repair", {}).get("p50_s")
+    new_p50 = fresh.get("repair", {}).get("p50_s")
+    if old_p50 is not None and new_p50 is not None:
+        if new_p50 > old_p50 * seconds_factor:
+            problems.append(
+                f"{name}: repair p50 regressed "
+                f"{old_p50:.3f}s -> {new_p50:.3f}s "
+                f"(allowed {seconds_factor:.0f}x)"
+            )
+    return problems
+
+
+def bench_regressions(
+    committed_extra: Optional[Dict[str, Any]],
+    fresh_extra: Optional[Dict[str, Any]],
+    *,
+    quality_rtol: float = 0.05,
+    seconds_factor: float = 5.0,
+    speedup_factor: float = 3.0,
+) -> List[str]:
+    """Violations across every tier present in *both* records.
+
+    Tiers only one side has are skipped: the committed record holds
+    more tiers than any single CI job re-measures, and a brand-new
+    tier has no baseline yet.
+    """
+    problems: List[str] = []
+    if not committed_extra or not fresh_extra:
+        return problems
+    for name in sorted(set(committed_extra) & set(fresh_extra)):
+        committed = committed_extra[name]
+        fresh = fresh_extra[name]
+        if not isinstance(committed, dict) or not isinstance(fresh, dict):
+            continue
+        if name.startswith("drift_response"):
+            problems += drift_regressions(
+                name, committed, fresh,
+                quality_rtol=quality_rtol,
+                speedup_factor=speedup_factor,
+                seconds_factor=seconds_factor,
+            )
+        elif name.startswith("scale"):
+            problems += scale_regressions(
+                name, committed, fresh,
+                quality_rtol=quality_rtol,
+                seconds_factor=seconds_factor,
+            )
+    return problems

@@ -9,8 +9,9 @@ component:
 * :mod:`repro.runtime.session` — :class:`AdaptiveSession`, the serving
   loop with digest-keyed schedule caching, scheduler deadlines with
   baseline fallback, and staleness caps;
-* :mod:`repro.runtime.policy` — the reuse/refine/reschedule decision
-  and its :class:`PolicyConfig` tunables;
+* :mod:`repro.runtime.policy` — the reuse/refine/repair/reschedule
+  decision and its :class:`PolicyConfig` tunables (the repair tier
+  delta-patches the active schedule via :mod:`repro.adaptive.delta`);
 * :mod:`repro.runtime.metrics` — counters, histograms, structured
   per-tick events; JSON and Chrome-trace export.
 
@@ -28,6 +29,7 @@ from repro.runtime.metrics import (
 from repro.runtime.policy import (
     PolicyConfig,
     REFINE,
+    REPAIR,
     RESCHEDULE,
     REUSE,
     decide,
@@ -42,6 +44,7 @@ __all__ = [
     "Histogram",
     "PolicyConfig",
     "REFINE",
+    "REPAIR",
     "RESCHEDULE",
     "REUSE",
     "RuntimeMetrics",

@@ -105,7 +105,8 @@ class TickEvent:
     time:
         Directory clock at the tick, in simulated seconds.
     decision:
-        ``"reuse"``, ``"refine"`` or ``"reschedule"``.
+        ``"reuse"``, ``"refine"``, ``"repair"`` (delta-repair of the
+        active plan) or ``"reschedule"``.
     reason:
         Why the policy picked the decision (threshold comparison,
         staleness cap, budget, forced fallback...).
@@ -154,6 +155,12 @@ class TickEvent:
     undeliverable:
         Demanded messages no surviving route can carry (partitioned
         pair or dead endpoint) at this tick.
+    dirty_fraction:
+        Fraction of relevant cost pairs repriced against the plan's
+        basis (the localisation signal the repair tier gates on).
+    repaired_events:
+        Events re-inserted by a delta repair this tick (0 unless the
+        decision was ``repair``).
     """
 
     tick: int
@@ -177,10 +184,12 @@ class TickEvent:
     resent_events: int = 0
     repair_latency_s: float = 0.0
     undeliverable: int = 0
+    dirty_fraction: float = 0.0
+    repaired_events: int = 0
 
 
 #: Decision names in stable display order.
-DECISIONS = ("reuse", "refine", "reschedule")
+DECISIONS = ("reuse", "refine", "repair", "reschedule")
 
 #: Valid ``TickEvent.repair`` values ("" = no recovery this tick).
 REPAIR_ACTIONS = ("", "retry", "repair", "full")
@@ -224,6 +233,14 @@ class RuntimeMetrics:
             self.counter("fallback.activations").inc()
         if event.refine_evaluations:
             self.counter("refine.evaluations").inc(event.refine_evaluations)
+        if event.decision == "repair":
+            self.counter("delta_repair.events").inc(event.repaired_events)
+            self.histogram("delta_repair_dirty_fraction").record(
+                event.dirty_fraction
+            )
+            self.histogram("delta_repair_latency_s").record(
+                event.scheduler_elapsed
+            )
         self.histogram("regret_s").record(event.regret)
         self.histogram("executed_makespan_s").record(event.executed_makespan)
         self.histogram("scheduler_elapsed_s").record(event.scheduler_elapsed)
@@ -346,7 +363,13 @@ class RuntimeMetrics:
                 "args": {"name": "adaptive-session"},
             }
         ]
+        # The repair decision track (like the fault-repair track below)
+        # exists only when the session actually repaired something, so
+        # repair-free traces look exactly as they always did.
+        repaired = any(event.decision == "repair" for event in self.events)
         for tid, decision in enumerate(DECISIONS):
+            if decision == "repair" and not repaired:
+                continue
             trace_events.append(
                 {
                     "name": "thread_name",
@@ -356,8 +379,6 @@ class RuntimeMetrics:
                     "args": {"name": decision},
                 }
             )
-        # The repair track exists only when something was repaired, so
-        # fault-free traces look exactly as they always did.
         repair_tid = len(DECISIONS)
         if any(event.repair for event in self.events):
             trace_events.append(
@@ -366,7 +387,7 @@ class RuntimeMetrics:
                     "ph": "M",
                     "pid": 1,
                     "tid": repair_tid,
-                    "args": {"name": "repair"},
+                    "args": {"name": "fault-repair"},
                 }
             )
         for event in self.events:

@@ -1,4 +1,4 @@
-"""The reuse / refine / reschedule policy (paper Sections 4 and 6).
+"""The reuse / refine / repair / reschedule policy (paper Sections 4, 6).
 
 Every serving tick the session measures how far the directory's current
 costs have drifted from the basis the active plan was computed for, and
@@ -9,9 +9,21 @@ picks the cheapest response that keeps schedule quality:
 * **refine** — drift below ``refine_threshold``: incremental repair via
   :func:`repro.adaptive.incremental.refine_orders` (targeted re-sort +
   budgeted swap passes, ``O(passes * P^3 log P)``);
-* **reschedule** — drift at or above ``refine_threshold``: a full
-  scheduler run against the fresh snapshot (``O(P^2 log P)`` for the
-  open shop default, up to ``O(P^4)`` for matching).
+* **repair** — drift up to ``repair_threshold`` *and* localised (the
+  fraction of repriced pairs at most ``repair_max_dirty_fraction``):
+  delta-repair the existing schedule via :mod:`repro.adaptive.delta`,
+  touching only dirty events — ``O(f * P^2)`` for dirty fraction ``f``;
+* **reschedule** — drift at or above ``repair_threshold``, or
+  non-localised drift above ``refine_threshold``: a full scheduler run
+  against the fresh snapshot (``O(P^2 log P)`` for the open shop
+  default, up to ``O(P^4)`` for matching).
+
+The repair tier is gated on *localisation*, not magnitude: mean drift
+cannot distinguish uniform repricing (where delta repair degenerates to
+re-inserting everything) from a few links moving a lot (where it is
+~10× cheaper than a reschedule with near-identical makespan).  Callers
+that cannot compute a dirty fraction pass ``None`` and get the classic
+three-tier ladder unchanged.
 
 Two robustness overlays guard the thresholds.  Staleness caps bound how
 long measurement noise can pin the session to a stale plan: a long
@@ -33,6 +45,9 @@ import numpy as np
 
 
 #: Decision constants (string-valued so metrics and JSON stay readable).
+#: ``REPAIR`` doubles as a per-tick decision (delta-repair the plan) and
+#: a fault-recovery action (``TickEvent.repair``) — both mean "fix the
+#: existing schedule in place instead of rebuilding it".
 REUSE = "reuse"
 REFINE = "refine"
 RESCHEDULE = "reschedule"
@@ -53,7 +68,22 @@ class PolicyConfig:
         Mean relative cost drift below which the plan is reused as-is.
     refine_threshold:
         Drift below which incremental refinement suffices; at or above
-        it the plan is recomputed from scratch.
+        it the plan is delta-repaired (localised drift) or recomputed
+        from scratch.
+    repair_threshold:
+        Drift at or above which even localised repricing forces a full
+        reschedule — with costs that far from the basis the incumbent
+        event ordering the splice preserves is no longer near-optimal,
+        so repair's makespan premium stops being worth the latency
+        savings.
+    repair_max_dirty_fraction:
+        Maximum fraction of repriced (relevant) pairs for drift to
+        count as localised and qualify for the repair tier; above it
+        delta repair would re-insert too much of the plan to beat a
+        reschedule on either axis.
+    pair_change_rtol:
+        Relative tolerance used when classifying an individual pair as
+        repriced for the dirty-fraction localisation signal.
     refine_passes:
         Swap-pass budget handed to ``refine_orders``.
     max_reuse_ticks:
@@ -87,6 +117,9 @@ class PolicyConfig:
 
     reuse_threshold: float = 0.05
     refine_threshold: float = 0.25
+    repair_threshold: float = 0.75
+    repair_max_dirty_fraction: float = 0.25
+    pair_change_rtol: float = 0.05
     refine_passes: int = 1
     max_reuse_ticks: int = 8
     max_plan_age_ticks: int = 24
@@ -103,6 +136,20 @@ class PolicyConfig:
             raise ValueError(
                 "need 0 <= reuse_threshold <= refine_threshold, got "
                 f"{self.reuse_threshold} / {self.refine_threshold}"
+            )
+        if self.repair_threshold < self.refine_threshold:
+            raise ValueError(
+                f"repair_threshold ({self.repair_threshold}) must be >= "
+                f"refine_threshold ({self.refine_threshold})"
+            )
+        if not (0.0 <= self.repair_max_dirty_fraction <= 1.0):
+            raise ValueError(
+                "repair_max_dirty_fraction must be in [0, 1], got "
+                f"{self.repair_max_dirty_fraction}"
+            )
+        if self.pair_change_rtol < 0:
+            raise ValueError(
+                f"pair_change_rtol must be >= 0, got {self.pair_change_rtol}"
             )
         if self.refine_passes < 0:
             raise ValueError(
@@ -170,17 +217,17 @@ def drift_magnitude(basis: np.ndarray, current: np.ndarray) -> float:
             f"basis shape {basis.shape} != current shape {current.shape}"
         )
     positive = basis > 0
-    terms = []
-    if np.any(positive):
-        terms.append(
-            np.abs(current[positive] - basis[positive]) / basis[positive]
-        )
     appeared = (~positive) & (current > 0)
-    if np.any(appeared):
-        terms.append(np.ones(int(appeared.sum())))
-    if not terms:
+    count = int(np.count_nonzero(positive)) + int(np.count_nonzero(appeared))
+    if not count:
         return 0.0
-    return float(np.mean(np.concatenate(terms)))
+    # One pass, no concatenation: the appeared pairs each contribute a
+    # unit term, so the mean is (sum of relative terms + #appeared)/count.
+    safe = np.where(positive, basis, 1.0)
+    rel_sum = float(
+        np.sum(np.abs(current - basis) / safe, where=positive, initial=0.0)
+    )
+    return (rel_sum + float(np.count_nonzero(appeared))) / count
 
 
 def decide(
@@ -189,6 +236,7 @@ def decide(
     config: PolicyConfig,
     reuse_streak: int,
     ticks_since_reschedule: int,
+    dirty_fraction: Optional[float] = None,
 ) -> Tuple[str, str]:
     """``(decision, reason)`` for one tick.
 
@@ -200,13 +248,40 @@ def decide(
         Consecutive reuse ticks ending at the previous tick.
     ticks_since_reschedule:
         Ticks since the session last recomputed a plan from scratch.
+    dirty_fraction:
+        Fraction of relevant pairs that were repriced (the localisation
+        signal; see :func:`repro.adaptive.incremental.dirty_fraction`).
+        ``None`` disables the repair tier entirely, reproducing the
+        classic three-tier ladder.
     """
+    localized = (
+        dirty_fraction is not None
+        and dirty_fraction <= config.repair_max_dirty_fraction
+    )
     if ticks_since_reschedule >= config.max_plan_age_ticks:
         return RESCHEDULE, (
             f"staleness: {ticks_since_reschedule} ticks since the last "
             f"full reschedule >= cap {config.max_plan_age_ticks}"
         )
+    if drift >= config.repair_threshold:
+        if ticks_since_reschedule < config.min_ticks_between_reschedules:
+            return REFINE, (
+                f"budget: drift {drift:.3f} demands rescheduling but only "
+                f"{ticks_since_reschedule} ticks since the last one "
+                f"(minimum {config.min_ticks_between_reschedules})"
+            )
+        return RESCHEDULE, (
+            f"drift {drift:.3f} >= repair threshold "
+            f"{config.repair_threshold:g}"
+        )
     if drift >= config.refine_threshold:
+        if localized:
+            return REPAIR, (
+                f"drift {drift:.3f} in [{config.refine_threshold:g}, "
+                f"{config.repair_threshold:g}) and localised: dirty "
+                f"fraction {dirty_fraction:.3f} <= "
+                f"{config.repair_max_dirty_fraction:g}"
+            )
         if ticks_since_reschedule < config.min_ticks_between_reschedules:
             return REFINE, (
                 f"budget: drift {drift:.3f} demands rescheduling but only "
@@ -218,6 +293,13 @@ def decide(
             f"{config.refine_threshold:g}"
         )
     if drift >= config.reuse_threshold:
+        if localized:
+            return REPAIR, (
+                f"drift {drift:.3f} in [{config.reuse_threshold:g}, "
+                f"{config.refine_threshold:g}) and localised: dirty "
+                f"fraction {dirty_fraction:.3f} <= "
+                f"{config.repair_max_dirty_fraction:g}"
+            )
         return REFINE, (
             f"drift {drift:.3f} in [{config.reuse_threshold:g}, "
             f"{config.refine_threshold:g})"

@@ -35,7 +35,8 @@ from typing import Callable, Iterable, List, Optional, Union
 
 import numpy as np
 
-from repro.adaptive.incremental import refine_orders
+from repro.adaptive.delta import repair_plan
+from repro.adaptive.incremental import dirty_fraction, refine_orders
 from repro.core.baseline import schedule_baseline
 from repro.core.problem import TotalExchangeProblem
 from repro.core.registry import Scheduler, make_scheduler
@@ -74,6 +75,9 @@ class _Plan:
     orders: SendOrders
     basis_cost: np.ndarray  # the costs the orders were computed/refined for
     predicted_makespan: float  # completion under the basis costs
+    #: The plan as an event schedule under the basis costs — the repair
+    #: tier patches this in place; ``None`` disables delta repair.
+    schedule: Optional[Schedule] = None
 
 
 @dataclass
@@ -92,6 +96,8 @@ class _ServeState:
     fallback: bool = False
     undeliverable: int = 0
     relay_tick: bool = False
+    dirty: float = 0.0
+    repaired_events: int = 0
 
 
 @dataclass(frozen=True)
@@ -307,21 +313,65 @@ class AdaptiveSession:
         fallback = False
         elapsed = 0.0
         evaluations = 0
+        dirty = 0.0
+        repaired_events = 0
 
         if self._plan is None:
             decision, reason = RESCHEDULE, "cold start: no active plan"
             drift = float("inf")
         else:
             drift = drift_magnitude(self._plan.basis_cost, planning.cost)
+            dirty = dirty_fraction(
+                self._plan.basis_cost,
+                planning.cost,
+                rtol=self.policy.pair_change_rtol,
+            )
             decision, reason = decide(
                 drift,
                 config=self.policy,
                 reuse_streak=self._reuse_streak,
                 ticks_since_reschedule=self._ticks_since_reschedule,
+                # The repair tier needs an event schedule to patch;
+                # plans without one fall back to the three-tier ladder.
+                dirty_fraction=(
+                    dirty if self._plan.schedule is not None else None
+                ),
             )
         if self._tick_index in self._force_timeout_ticks:
             decision = RESCHEDULE
             reason = "chaos hook: forced reschedule with injected timeout"
+
+        if decision == REPAIR:
+            started = self._clock()
+            result = repair_plan(
+                self._plan.schedule,
+                self._plan.basis_cost,
+                planning,
+                scheduler=self._scheduler,
+            )
+            elapsed = self._clock() - started
+            if result is None:
+                decision = RESCHEDULE
+                reason += "; delta repair failed: full reschedule"
+            else:
+                repaired_events = result.reinserted
+                # The splice preserves the plan's per-port orders, so
+                # the plan stays anchored at its last reschedule or
+                # refine: same orders, same basis, same repairable
+                # schedule.  Drift therefore keeps accumulating against
+                # the true planning basis and the ladder escalates to
+                # refine/reschedule once repairs alone would go stale —
+                # rebasing here instead would let every repair restart
+                # the drift clock and compound its own quality loss
+                # tick over tick.  Only the serving prediction moves.
+                self._plan = _Plan(
+                    orders=self._plan.orders,
+                    basis_cost=self._plan.basis_cost,
+                    predicted_makespan=result.completion_time,
+                    schedule=self._plan.schedule,
+                )
+                self._ticks_since_reschedule += 1
+                self._reuse_streak = 0
 
         if decision == RESCHEDULE:
             schedule = None
@@ -352,6 +402,7 @@ class AdaptiveSession:
                 orders=schedule.send_orders(),
                 basis_cost=planning.cost,
                 predicted_makespan=schedule.completion_time,
+                schedule=schedule,
             )
             self._ticks_since_reschedule = 0
             self._reuse_streak = 0
@@ -364,6 +415,7 @@ class AdaptiveSession:
                     cost=self._plan.basis_cost
                 ),
                 max_passes=self.policy.refine_passes,
+                evaluation="delta",
             )
             elapsed = self._clock() - started
             evaluations = result.evaluations
@@ -371,10 +423,11 @@ class AdaptiveSession:
                 orders=result.orders,
                 basis_cost=planning.cost,
                 predicted_makespan=result.completion_time,
+                schedule=result.schedule,
             )
             self._ticks_since_reschedule += 1
             self._reuse_streak = 0
-        else:  # REUSE
+        elif decision == REUSE:
             self._ticks_since_reschedule += 1
             self._reuse_streak += 1
 
@@ -393,6 +446,8 @@ class AdaptiveSession:
             evaluations=evaluations,
             cache_hit=cache_hit,
             fallback=fallback,
+            dirty=dirty,
+            repaired_events=repaired_events,
         )
 
     def _serve_degraded_relay(
@@ -480,6 +535,7 @@ class AdaptiveSession:
                 orders=planned_schedule.send_orders(),
                 basis_cost=planning.cost,
                 predicted_makespan=planned_schedule.completion_time,
+                schedule=planned_schedule,
             )
         self._ticks_since_reschedule = 0
         self._reuse_streak = 0
@@ -710,6 +766,8 @@ class AdaptiveSession:
             resent_events=resent,
             repair_latency_s=repair_latency,
             undeliverable=undeliverable,
+            dirty_fraction=state.dirty,
+            repaired_events=state.repaired_events,
         )
         self.metrics.record_tick(event)
         self.last_schedule = executed

@@ -30,6 +30,7 @@ from repro.sim.fluid import fluid_execute_orders
 from repro.sim.replay import (
     DriftTrace,
     TraceDirectory,
+    drift_storm_trace,
     evaluate_orders_under,
     planned_vs_actual,
     replay_schedule,
@@ -46,6 +47,7 @@ __all__ = [
     "Step",
     "TraceDirectory",
     "check_orders",
+    "drift_storm_trace",
     "evaluate_orders_under",
     "execute_orders",
     "execute_orders_buffered",

@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.problem import TotalExchangeProblem
 from repro.directory.perturb import perturb_snapshot
 from repro.directory.service import DirectoryService, DirectorySnapshot
@@ -183,6 +185,83 @@ def synthetic_drift_trace(
                 rng=rng,
             )
         )
+        times.append(step * dt)
+    return DriftTrace(times=tuple(times), snapshots=tuple(snapshots))
+
+
+def drift_storm_trace(
+    base: DirectorySnapshot,
+    *,
+    ticks: int,
+    dt: float = 1.0,
+    calm_sigma: float = 0.005,
+    storm_every: int = 4,
+    storm_nodes: int = 2,
+    storm_sigma: float = 0.8,
+    seed: int = 0,
+) -> DriftTrace:
+    """A bursty, node-correlated drift trace: calm wander + row storms.
+
+    Unlike :func:`synthetic_drift_trace`'s independent per-pair noise,
+    storms here are *cluster-correlated*: every ``storm_every`` ticks a
+    contiguous window of ``storm_nodes`` nodes congests, and each
+    affected node's entire outgoing row is repriced by one log-normal
+    factor (latency multiplied, bandwidth divided — so per-pair costs
+    scale exactly by the factor).  That is the localisation structure
+    delta-repair exploits: a storm dirties roughly ``storm_nodes / P``
+    of the pairs while the drift magnitude can be large, landing in the
+    policy's repair band rather than the reuse or reschedule ends.
+
+    Calm ticks perturb the previous snapshot with independent log-normal
+    bandwidth noise of magnitude ``calm_sigma``; both kinds compound, as
+    live networks do.  Each step is seeded from ``(seed, step)`` so a
+    trace prefix never depends on the trace length.
+    """
+    if ticks < 1:
+        raise ValueError(f"ticks must be >= 1, got {ticks}")
+    if dt <= 0:
+        raise ValueError(f"dt must be positive, got {dt}")
+    if storm_every < 0:
+        raise ValueError(f"storm_every must be >= 0, got {storm_every}")
+    if storm_nodes < 1:
+        raise ValueError(f"storm_nodes must be >= 1, got {storm_nodes}")
+    if calm_sigma < 0 or storm_sigma < 0:
+        raise ValueError("sigmas must be >= 0")
+    n = base.num_procs
+    span = min(storm_nodes, n)
+    times = [0.0]
+    snapshots = [base]
+    for step in range(1, ticks):
+        rng = to_rng(stable_seed("drift-storm", seed, step))
+        previous = snapshots[-1]
+        storm = storm_every > 0 and step % storm_every == 0
+        if storm:
+            start = int(rng.integers(0, n - span + 1))
+            factors = np.exp(
+                np.abs(rng.normal(0.0, storm_sigma, size=span))
+            )
+            latency = previous.latency.copy()
+            bandwidth = previous.bandwidth.copy()
+            rows = slice(start, start + span)
+            latency[rows, :] *= factors[:, None]
+            bandwidth[rows, :] /= factors[:, None]
+            np.fill_diagonal(latency, 0.0)
+            snapshots.append(
+                DirectorySnapshot(
+                    latency=latency,
+                    bandwidth=bandwidth,
+                    time=previous.time + dt,
+                )
+            )
+        else:
+            snapshots.append(
+                perturb_snapshot(
+                    previous,
+                    bandwidth_sigma=calm_sigma,
+                    time_delta=dt,
+                    rng=rng,
+                )
+            )
         times.append(step * dt)
     return DriftTrace(times=tuple(times), snapshots=tuple(snapshots))
 

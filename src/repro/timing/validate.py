@@ -146,8 +146,14 @@ def _event_columns(schedule: Schedule):
 
     Reads the lazy column form directly when the schedule has one, so
     checking a column-built schedule never materialises per-event
-    objects.
+    objects.  The extracted columns are memoised on the (frozen, hence
+    immutable) schedule: a plan that is delta-repaired on every serving
+    tick is re-read here each time, and rebuilding a million-event
+    column set from Python objects costs more than the repair itself.
     """
+    cached = schedule.__dict__.get("_column_cache")
+    if cached is not None:
+        return cached
     pending = schedule.__dict__.get("_pending")
     if pending is not None and pending[0].endswith("columns"):
         starts, srcs, dsts, durations, _ = pending[1]
@@ -170,7 +176,9 @@ def _event_columns(schedule: Schedule):
     durations = np.fromiter(
         (e.duration for e in events), dtype=float, count=len(events)
     )
-    return starts, srcs, dsts, durations
+    columns = (starts, srcs, dsts, durations)
+    schedule.__dict__["_column_cache"] = columns
+    return columns
 
 
 def _port_overlaps(
@@ -179,22 +187,40 @@ def _port_overlaps(
     durations: np.ndarray,
     role: str,
     limit: int,
-) -> List[str]:
+    *,
+    presorted: bool = False,
+) -> Optional[List[str]]:
     """Overlap violations among events grouped by ``procs``, vectorized.
 
     Events are sorted by (proc, start); within a group it suffices to
     compare each event against its predecessor — if every adjacent pair
     is disjoint then finishes are monotone and the whole group is.
+
+    The grouping is a stable integer sort on ``procs`` (numpy radix),
+    which keeps each group in the caller's order.  For the schedules on
+    the serving hot path — materialised plans (globally start-sorted)
+    and flat delta repairs (per-port time-monotone by construction) —
+    that order is already nondecreasing in time, which the sweep
+    *verifies* rather than assumes.  When some group is genuinely out
+    of order the function returns ``None`` instead: the caller sorts
+    everything by start once (shared between the sender and receiver
+    passes, and cheaper than a per-role float lexsort) and retries with
+    ``presorted=True``.
     """
     positive = durations > 0
-    starts = starts[positive]
-    procs = procs[positive]
-    durations = durations[positive]
-    order = np.lexsort((starts, procs))
-    starts = starts[order]
-    procs = procs[order]
+    if not positive.all():
+        starts = starts[positive]
+        procs = procs[positive]
+        durations = durations[positive]
+    order = np.argsort(procs, kind="stable")
+    sorted_starts = starts[order]
+    sorted_procs = procs[order]
+    same = sorted_procs[1:] == sorted_procs[:-1]
+    if not presorted and np.any(same & (sorted_starts[1:] < sorted_starts[:-1])):
+        return None
+    starts = sorted_starts
+    procs = sorted_procs
     finishes = starts + durations[order]
-    same = procs[1:] == procs[:-1]
     clash = same & (starts[1:] < finishes[:-1] - 1e-12)
     violations: List[str] = []
     for index in np.nonzero(clash)[0][:limit].tolist():
@@ -236,8 +262,30 @@ def check_schedule_fast(
         )
     limit = 5
     violations: List[str] = []
-    violations += _port_overlaps(starts, srcs, durations, "sender", limit)
-    violations += _port_overlaps(starts, dsts, durations, "receiver", limit)
+    sender = _port_overlaps(starts, srcs, durations, "sender", limit)
+    receiver = (
+        _port_overlaps(starts, dsts, durations, "receiver", limit)
+        if sender is not None
+        else None
+    )
+    if sender is None or receiver is None:
+        # some port's events are out of construction order: establish
+        # global start order once and share it between the two roles
+        by_start = np.argsort(starts)
+        s_starts = starts[by_start]
+        s_durations = durations[by_start]
+        if sender is None:
+            sender = _port_overlaps(
+                s_starts, srcs[by_start], s_durations, "sender", limit,
+                presorted=True,
+            )
+        if receiver is None:
+            receiver = _port_overlaps(
+                s_starts, dsts[by_start], s_durations, "receiver", limit,
+                presorted=True,
+            )
+    violations += sender
+    violations += receiver
 
     if cost is not None:
         cost = np.asarray(cost, dtype=float)

@@ -1,0 +1,105 @@
+"""Drift-storm traces and the drift scenario battery."""
+
+import numpy as np
+import pytest
+
+from repro.check.drift import (
+    check_decision_ladder,
+    drift_scenarios,
+    golden_zero_drift_violations,
+    render_drift_check,
+    run_drift_check,
+)
+from repro.directory.service import DirectorySnapshot
+from repro.network.generators import random_pairwise_parameters
+from repro.sim.replay import drift_storm_trace
+
+
+def _base(n=16, seed=0):
+    latency, bandwidth = random_pairwise_parameters(n, rng=seed)
+    return DirectorySnapshot(latency=latency, bandwidth=bandwidth)
+
+
+class TestDriftStormTrace:
+    def test_deterministic_and_prefix_stable(self):
+        base = _base()
+        full = drift_storm_trace(base, ticks=12, seed=5)
+        again = drift_storm_trace(base, ticks=12, seed=5)
+        prefix = drift_storm_trace(base, ticks=8, seed=5)
+        for a, b in zip(full.snapshots, again.snapshots):
+            assert np.array_equal(a.latency, b.latency)
+            assert np.array_equal(a.bandwidth, b.bandwidth)
+        for a, b in zip(full.snapshots[:8], prefix.snapshots):
+            assert np.array_equal(a.latency, b.latency)
+
+    def test_storms_are_row_correlated(self):
+        base = _base()
+        trace = drift_storm_trace(
+            base, ticks=9, storm_every=4, storm_nodes=2, calm_sigma=0.0,
+            seed=1,
+        )
+        for step in range(1, 9):
+            prev, cur = trace.snapshots[step - 1], trace.snapshots[step]
+            changed = np.any(
+                ~np.isclose(cur.latency, prev.latency), axis=1
+            )
+            if step % 4 == 0:
+                # a storm reprices exactly the chosen contiguous rows
+                assert changed.sum() == 2
+                rows = np.flatnonzero(changed)
+                assert rows[1] == rows[0] + 1
+            else:
+                # calm_sigma=0 leaves calm ticks bit-identical
+                assert not changed.any()
+
+    def test_storm_scales_cost_rows_uniformly(self):
+        # latency x f and bandwidth / f: per-pair costs scale exactly
+        # by the node's factor, the dirty-row semantics repair exploits
+        base = _base(8, seed=2)
+        trace = drift_storm_trace(
+            base, ticks=5, storm_every=4, storm_nodes=1, calm_sigma=0.0,
+            seed=2,
+        )
+        prev, cur = trace.snapshots[3], trace.snapshots[4]
+        row = int(np.flatnonzero(
+            np.any(~np.isclose(cur.latency, prev.latency), axis=1)
+        )[0])
+        ratio = cur.latency[row, :] / np.where(
+            prev.latency[row, :] > 0, prev.latency[row, :], 1.0
+        )
+        factors = ratio[np.arange(8) != row]
+        assert np.allclose(factors, factors[0])
+        assert factors[0] > 1.0  # storms only congest
+        off = np.arange(8) != row  # diagonal bandwidth stays inf
+        assert np.allclose(
+            prev.bandwidth[row, off] / cur.bandwidth[row, off], factors[0]
+        )
+
+    def test_validation(self):
+        base = _base(4)
+        with pytest.raises(ValueError):
+            drift_storm_trace(base, ticks=0)
+        with pytest.raises(ValueError):
+            drift_storm_trace(base, ticks=4, dt=0.0)
+        with pytest.raises(ValueError):
+            drift_storm_trace(base, ticks=4, storm_nodes=0)
+        with pytest.raises(ValueError):
+            drift_storm_trace(base, ticks=4, storm_every=-1)
+
+
+class TestDriftBattery:
+    def test_golden_zero_drift(self):
+        assert golden_zero_drift_violations() == []
+
+    def test_decision_ladder_hits_all_four_tiers(self):
+        assert check_decision_ladder() == []
+
+    def test_full_battery_passes_and_renders(self):
+        report = run_drift_check()
+        assert report.ok, report.failures
+        assert report.scenarios == 2 + len(drift_scenarios())
+        text = render_drift_check(report)
+        assert "PASS" in text
+        # the localised storms repaired; the whole-fabric one never did
+        assert report.decisions["p16-row-storms"].get("repair", 0) >= 1
+        assert report.decisions["p16-whole-fabric"].get("repair", 0) == 0

@@ -1,0 +1,121 @@
+"""The bench regression guard CI runs against the committed record."""
+
+import json
+
+from repro.perf.regression import (
+    bench_regressions,
+    drift_regressions,
+    load_bench,
+    scale_regressions,
+)
+
+SCALE = {
+    "meta": {"workload": "clustered"},
+    "hierarchical": {"ratio_to_lb": 1.10, "seconds": 10.0},
+    "openshop": {"ratio_to_lb": 1.001, "seconds": 6.0},
+}
+
+DRIFT = {
+    "meta": {"ticks": 8},
+    "repair": {"p50_s": 0.4, "p99_s": 4.0, "mean_s": 1.0},
+    "full": {"p50_s": 5.0, "p99_s": 6.0, "mean_s": 5.0},
+    "speedup_p50": 12.0,
+    "makespan_ratio_max": 1.05,
+}
+
+
+def _with(record, **overrides):
+    out = json.loads(json.dumps(record))
+    for dotted, value in overrides.items():
+        node = out
+        *path, leaf = dotted.split("__")
+        for key in path:
+            node = node[key]
+        node[leaf] = value
+    return out
+
+
+class TestScaleRegressions:
+    def test_identical_passes(self):
+        assert scale_regressions("scale_p1024", SCALE, SCALE) == []
+
+    def test_quality_within_rtol_passes(self):
+        fresh = _with(SCALE, hierarchical__ratio_to_lb=1.10 * 1.04)
+        assert scale_regressions("scale_p1024", SCALE, fresh) == []
+
+    def test_quality_regression_fails(self):
+        fresh = _with(SCALE, hierarchical__ratio_to_lb=1.10 * 1.06)
+        problems = scale_regressions("scale_p1024", SCALE, fresh)
+        assert len(problems) == 1
+        assert "ratio_to_lb" in problems[0]
+
+    def test_seconds_need_gross_regression(self):
+        # 4x slower is machine noise; 6x is a real slowdown
+        assert scale_regressions(
+            "s", SCALE, _with(SCALE, openshop__seconds=24.0)
+        ) == []
+        problems = scale_regressions(
+            "s", SCALE, _with(SCALE, openshop__seconds=36.0)
+        )
+        assert len(problems) == 1 and "seconds" in problems[0]
+
+    def test_missing_scheduler_reported(self):
+        fresh = json.loads(json.dumps(SCALE))
+        del fresh["openshop"]
+        problems = scale_regressions("s", SCALE, fresh)
+        assert any("disappeared" in p for p in problems)
+
+    def test_quality_improvement_passes(self):
+        fresh = _with(SCALE, hierarchical__ratio_to_lb=1.02)
+        assert scale_regressions("s", SCALE, fresh) == []
+
+
+class TestDriftRegressions:
+    def test_identical_passes(self):
+        assert drift_regressions("drift_response_p1024", DRIFT, DRIFT) == []
+
+    def test_makespan_ratio_is_tight(self):
+        fresh = _with(DRIFT, makespan_ratio_max=1.05 * 1.06)
+        problems = drift_regressions("d", DRIFT, fresh)
+        assert len(problems) == 1 and "makespan_ratio_max" in problems[0]
+
+    def test_speedup_gets_intermediate_slack(self):
+        # 12x -> 5x survives (CI variance); 12x -> 3x fails
+        assert drift_regressions("d", DRIFT, _with(DRIFT, speedup_p50=5.0)) == []
+        problems = drift_regressions("d", DRIFT, _with(DRIFT, speedup_p50=3.0))
+        assert len(problems) == 1 and "speedup_p50" in problems[0]
+
+    def test_repair_latency_is_loose(self):
+        assert drift_regressions(
+            "d", DRIFT, _with(DRIFT, repair__p50_s=1.9)
+        ) == []
+        problems = drift_regressions(
+            "d", DRIFT, _with(DRIFT, repair__p50_s=2.5)
+        )
+        assert len(problems) == 1 and "repair p50" in problems[0]
+
+
+class TestBenchRegressions:
+    def test_only_shared_tiers_compared(self):
+        committed = {"scale_p1024": SCALE, "drift_response_p256": DRIFT}
+        fresh = {
+            "scale_p1024": _with(SCALE, hierarchical__ratio_to_lb=9.9),
+            "scale_hier_p2048": SCALE,  # no committed baseline: skipped
+        }
+        problems = bench_regressions(committed, fresh)
+        assert len(problems) == 1
+        assert problems[0].startswith("scale_p1024")
+
+    def test_empty_or_missing_extra_passes(self):
+        assert bench_regressions(None, {"scale_p1024": SCALE}) == []
+        assert bench_regressions({"scale_p1024": SCALE}, {}) == []
+
+    def test_clean_pass_across_kinds(self):
+        extra = {"scale_p1024": SCALE, "drift_response_p1024": DRIFT}
+        assert bench_regressions(extra, json.loads(json.dumps(extra))) == []
+
+    def test_load_bench_roundtrip(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({"extra": {"scale_p1024": SCALE}}))
+        record = load_bench(path)
+        assert record["extra"]["scale_p1024"]["openshop"]["seconds"] == 6.0

@@ -9,6 +9,7 @@ from repro.runtime import (
     AdaptiveSession,
     PolicyConfig,
     REFINE,
+    REPAIR,
     RESCHEDULE,
     REUSE,
     RuntimeMetrics,
@@ -84,6 +85,28 @@ def test_decide_budget_demotes_reschedule():
     assert decision == RESCHEDULE
 
 
+def test_decide_repair_tier():
+    config = PolicyConfig(
+        reuse_threshold=0.05,
+        refine_threshold=0.25,
+        repair_threshold=0.75,
+        repair_max_dirty_fraction=0.25,
+    )
+    common = dict(config=config, reuse_streak=0, ticks_since_reschedule=1)
+    # localised drift repairs in both middle bands...
+    assert decide(0.10, dirty_fraction=0.02, **common)[0] == REPAIR
+    assert decide(0.40, dirty_fraction=0.25, **common)[0] == REPAIR
+    # ...but widespread repricing keeps the classic ladder...
+    assert decide(0.10, dirty_fraction=0.9, **common)[0] == REFINE
+    assert decide(0.40, dirty_fraction=0.9, **common)[0] == RESCHEDULE
+    # ...extreme drift always rebuilds, and no signal means no repair.
+    assert decide(0.80, dirty_fraction=0.02, **common)[0] == RESCHEDULE
+    assert decide(0.40, dirty_fraction=None, **common)[0] == RESCHEDULE
+    assert decide(0.40, **common)[0] == RESCHEDULE
+    # below the reuse threshold the plan is fine as-is: no repair.
+    assert decide(0.01, dirty_fraction=0.02, **common)[0] == REUSE
+
+
 def test_policy_config_validation():
     with pytest.raises(ValueError):
         PolicyConfig(reuse_threshold=0.5, refine_threshold=0.1)
@@ -91,6 +114,10 @@ def test_policy_config_validation():
         PolicyConfig(max_reuse_ticks=0)
     with pytest.raises(ValueError):
         PolicyConfig(scheduler_deadline_s=0.0)
+    with pytest.raises(ValueError):
+        PolicyConfig(refine_threshold=0.5, repair_threshold=0.25)
+    with pytest.raises(ValueError):
+        PolicyConfig(repair_max_dirty_fraction=1.5)
 
 
 def test_drift_magnitude():
@@ -137,7 +164,9 @@ def test_session_summary_counts_match_events():
         session.tick(dt=1.0)
     summary = session.summary()
     assert summary["ticks"] == 4
-    assert summary["decisions"] == {"reuse": 1, "refine": 1, "reschedule": 2}
+    assert summary["decisions"] == {
+        "reuse": 1, "refine": 1, "repair": 0, "reschedule": 2,
+    }
     assert summary["reschedule_rate"] == pytest.approx(0.5)
     assert summary["refine_evaluations"] > 0
 
@@ -218,7 +247,11 @@ def test_cache_hit_on_revisited_conditions():
         _sizes(4),
         scheduler="openshop",
         # zero thresholds: every tick demands a full reschedule
-        policy=PolicyConfig(reuse_threshold=0.0, refine_threshold=0.0),
+        policy=PolicyConfig(
+            reuse_threshold=0.0,
+            refine_threshold=0.0,
+            repair_threshold=0.0,
+        ),
         cache=cache,
     )
     session.tick(dt=0.0)
@@ -239,7 +272,11 @@ def test_fallback_results_never_cached():
         TraceDirectory(trace),
         _sizes(4),
         scheduler="openshop",
-        policy=PolicyConfig(reuse_threshold=0.0, refine_threshold=0.0),
+        policy=PolicyConfig(
+            reuse_threshold=0.0,
+            refine_threshold=0.0,
+            repair_threshold=0.0,
+        ),
         cache=cache,
         force_timeout_ticks=[0],
     )

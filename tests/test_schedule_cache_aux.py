@@ -1,0 +1,168 @@
+"""ScheduleCache aux-store edges: the cluster-assignment reuse path.
+
+The hierarchical scheduler keeps its detected ``ClusterAssignment``
+in two places: a local basis reused while drift stays within
+``drift_tolerance``, and the bound :class:`ScheduleCache`'s aux store
+keyed by exact cost digest.  These tests pin the edges: the tolerance
+boundary is inclusive, digests cannot collide across availability
+masks or with schedule entries, and LRU eviction of a stale assignment
+degrades to re-detection (never a wrong answer).
+"""
+
+import numpy as np
+
+from repro.core.hierarchical import HierarchicalScheduler, _relative_drift
+from repro.core.problem import TotalExchangeProblem
+from repro.perf.memo import ScheduleCache, cost_digest
+from tests.test_hierarchical import planted_problem
+
+
+def _shifted(problem, src, dst, factor):
+    cost = problem.cost.copy()
+    cost[src, dst] *= factor
+    return TotalExchangeProblem(cost=cost, sizes=problem.sizes)
+
+
+class TestDriftToleranceBoundary:
+    def test_exact_boundary_hit_reuses(self):
+        # one entry shrunk to 0.75x: max relative change is exactly
+        # 0.25 (scale is the larger old value; 0.75 and 0.25 are exact
+        # in binary), which must reuse under the inclusive <= contract
+        scheduler = HierarchicalScheduler(drift_tolerance=0.25)
+        problem = planted_problem(24, 6, seed=0)
+        first = scheduler.assignment_for(problem)
+        assert scheduler.clusterings == 1
+
+        boundary = _shifted(problem, 1, 9, 0.75)
+        assert _relative_drift(problem.cost, boundary.cost) == 0.25
+        assert scheduler.assignment_for(boundary) is first
+        assert scheduler.cluster_reuses == 1
+        assert scheduler.clusterings == 1
+
+    def test_just_past_boundary_redetects(self):
+        scheduler = HierarchicalScheduler(drift_tolerance=0.25)
+        problem = planted_problem(24, 6, seed=0)
+        scheduler.assignment_for(problem)
+        past = _shifted(problem, 1, 9, 0.74)
+        assert _relative_drift(problem.cost, past.cost) > 0.25
+        scheduler.assignment_for(past)
+        assert scheduler.cluster_reuses == 0
+        assert scheduler.clusterings == 2
+
+    def test_reuse_does_not_rebase_the_basis(self):
+        # drift is measured against the *detection* basis, not the last
+        # query: two half-tolerance steps in the same direction must
+        # re-detect on the second step, or drift could creep forever
+        scheduler = HierarchicalScheduler(drift_tolerance=0.25)
+        problem = planted_problem(24, 6, seed=1)
+        scheduler.assignment_for(problem)
+        step1 = _shifted(problem, 2, 10, 0.80)
+        scheduler.assignment_for(step1)
+        assert scheduler.cluster_reuses == 1
+        step2 = _shifted(problem, 2, 10, 0.64)
+        scheduler.assignment_for(step2)
+        assert scheduler.clusterings == 2
+
+
+class TestDigestMaskSeparation:
+    def test_mask_changes_digest(self):
+        problem = planted_problem(12, 3, seed=2)
+        mask = np.ones((12, 12), dtype=bool)
+        masked = mask.copy()
+        masked[3, 7] = False
+        plain = cost_digest(problem.cost)
+        assert cost_digest(problem.cost, mask=mask) != plain
+        assert cost_digest(problem.cost, mask=masked) != cost_digest(
+            problem.cost, mask=mask
+        )
+        assert cost_digest(problem.cost, mask=masked) == cost_digest(
+            problem.cost, mask=masked.copy()
+        )
+
+    def test_aux_entries_keyed_per_mask_digest(self):
+        # a blackout flips availability without moving one cost number;
+        # assignments published under the two worlds must not collide
+        cache = ScheduleCache()
+        problem = planted_problem(12, 3, seed=2)
+        mask = np.ones((12, 12), dtype=bool)
+        mask[3, 7] = False
+        healthy = cost_digest(problem.cost)
+        degraded = cost_digest(problem.cost, mask=mask)
+        cache.aux_put("clusters", healthy, "healthy-assignment")
+        cache.aux_put("clusters", degraded, "degraded-assignment")
+        assert cache.aux_lookup("clusters", healthy) == "healthy-assignment"
+        assert cache.aux_lookup("clusters", degraded) == "degraded-assignment"
+
+    def test_aux_namespace_never_collides_with_schedules(self):
+        # schedule keys are (digest, label); aux keys are
+        # ("aux:kind", digest) — even an adversarial label equal to
+        # "aux:clusters" lands in a different slot
+        cache = ScheduleCache()
+        problem = planted_problem(12, 3, seed=3)
+        digest = cost_digest(problem.cost, problem.sizes)
+        cache.aux_put("clusters", digest, "assignment")
+
+        def fake_scheduler(p):
+            raise AssertionError("must not be called on a hit")
+
+        assert (
+            cache.lookup(problem, fake_scheduler, name="aux:clusters")
+            is None
+        )
+        assert cache.aux_lookup("clusters", digest) == "assignment"
+
+
+class TestAuxEviction:
+    def test_lru_evicts_stale_assignments(self):
+        cache = ScheduleCache(maxsize=2)
+        cache.aux_put("clusters", "d0", "a0")
+        cache.aux_put("clusters", "d1", "a1")
+        cache.aux_put("clusters", "d2", "a2")
+        assert cache.aux_lookup("clusters", "d0") is None  # evicted
+        assert cache.aux_lookup("clusters", "d1") == "a1"
+        assert cache.aux_lookup("clusters", "d2") == "a2"
+
+    def test_lookup_refreshes_recency(self):
+        cache = ScheduleCache(maxsize=2)
+        cache.aux_put("clusters", "d0", "a0")
+        cache.aux_put("clusters", "d1", "a1")
+        assert cache.aux_lookup("clusters", "d0") == "a0"  # refresh d0
+        cache.aux_put("clusters", "d2", "a2")
+        assert cache.aux_lookup("clusters", "d0") == "a0"
+        assert cache.aux_lookup("clusters", "d1") is None  # d1 was LRU
+
+    def test_eviction_degrades_to_redetection(self):
+        # publisher fills the cache, an unrelated flood evicts the
+        # assignment, and a fresh scheduler must silently re-detect
+        cache = ScheduleCache(maxsize=1)
+        problem = planted_problem(24, 6, seed=4)
+        publisher = HierarchicalScheduler()
+        publisher.bind_cluster_cache(cache)
+        published = publisher.assignment_for(problem)
+        assert cache.aux_lookup("clusters", cost_digest(problem.cost)) is (
+            published
+        )
+        cache.aux_put("clusters", "unrelated", "flood")
+
+        fresh = HierarchicalScheduler()
+        fresh.bind_cluster_cache(cache)
+        again = fresh.assignment_for(problem)
+        assert fresh.cluster_cache_hits == 0
+        assert fresh.clusterings == 1
+        assert again.labels.tolist() == published.labels.tolist()
+
+    def test_cache_hit_skips_detection_across_schedulers(self):
+        cache = ScheduleCache()
+        problem = planted_problem(24, 6, seed=5)
+        publisher = HierarchicalScheduler()
+        publisher.bind_cluster_cache(cache)
+        published = publisher.assignment_for(problem)
+
+        fresh = HierarchicalScheduler()
+        fresh.bind_cluster_cache(cache)
+        exact = TotalExchangeProblem(
+            cost=problem.cost.copy(), sizes=problem.sizes
+        )
+        assert fresh.assignment_for(exact) is published
+        assert fresh.cluster_cache_hits == 1
+        assert fresh.clusterings == 0
