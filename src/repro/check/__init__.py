@@ -18,12 +18,27 @@ rewrite runs against:
 * :mod:`repro.check.drift` — deterministic drift scenarios: the serving
   runtime must walk the reuse → refine → repair → reschedule ladder,
   every delta-repaired tick must pass the oracle, and zero-drift repair
-  must be bit-identical to reuse.
+  must be bit-identical to reuse;
+* :mod:`repro.check.collectives` — every registered collective audited
+  for delivery (fan-out/fan-in/gossip/exchange oracles), the log-round
+  and ring families held to their round/volume guarantee caps and
+  operand-flow replay, and the vectorized planners matched bit-exactly
+  against scalar reference executors.
 
 Run it via ``python -m repro.cli check`` (``--faults`` adds the fault
-family, ``--drift`` the drift family).
+family, ``--drift`` the drift family, ``--collectives`` the collectives
+family).
 """
 
+from repro.check.collectives import (
+    CollectivesCheckReport,
+    audit_collective,
+    fanin_violations,
+    fanout_violations,
+    gossip_violations,
+    render_collectives_check,
+    run_collectives_check,
+)
 from repro.check.differential import (
     CheckFailure,
     CheckReport,
@@ -72,6 +87,7 @@ __all__ = [
     "CheckFailure",
     "CheckInstance",
     "CheckReport",
+    "CollectivesCheckReport",
     "DEFAULT_OUT_DIR",
     "DriftCheckReport",
     "DriftScenario",
@@ -80,6 +96,7 @@ __all__ = [
     "FaultScenario",
     "GUARANTEED_BOUNDS",
     "OracleError",
+    "audit_collective",
     "bit_equivalence_violations",
     "build_instance",
     "check_decision_ladder",
@@ -89,16 +106,21 @@ __all__ = [
     "default_schedulers",
     "draw_num_procs",
     "drift_scenarios",
+    "fanin_violations",
+    "fanout_violations",
     "fault_scenarios",
     "generate_instances",
+    "gossip_violations",
     "golden_zero_drift_violations",
     "golden_zero_fault_violations",
     "oracle_violations",
     "render_check",
+    "render_collectives_check",
     "render_drift_check",
     "render_fault_check",
     "repair_vs_full_reschedule",
     "run_check",
+    "run_collectives_check",
     "run_drift_check",
     "run_fault_check",
     "shrink_failing_instance",

@@ -407,6 +407,60 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"\nwrote {args.output}")
         return 0
 
+    if args.collectives_sizes or args.straggler_p:
+        from repro.perf.bench import (
+            run_allreduce_straggler_serve,
+            run_collectives_bench,
+        )
+
+        if args.collectives_sizes:
+            results = run_collectives_bench(
+                args.collectives_sizes,
+                seed=args.seed,
+                output=args.output or None,
+            )
+            rows = []
+            for p_label, tier in results.items():
+                for name, stats in tier.items():
+                    if not isinstance(stats, dict) or name == "meta":
+                        continue
+                    rows.append([
+                        int(p_label), name, stats["seconds"],
+                        stats["completion_s"], stats["events"],
+                    ])
+            print(format_table(
+                ["P", "collective", "plan s", "completion s", "events"],
+                rows, precision=4, title="collective planners",
+            ))
+        if args.straggler_p:
+            serve = run_allreduce_straggler_serve(
+                args.straggler_p,
+                ticks=max(args.ticks, 6),
+                seed=args.seed,
+                output=args.output or None,
+            )
+            print()
+            print(format_table(
+                ["metric", "value"],
+                [
+                    ["tick p50 (s)", serve["tick_latency"]["p50_s"]],
+                    ["tick p99 (s)", serve["tick_latency"]["p99_s"]],
+                    ["degradation max",
+                     serve["makespan"]["degradation_max"]],
+                    ["decisions",
+                     " ".join(f"{k}={v}"
+                              for k, v in serve["decisions"].items())],
+                ],
+                precision=4,
+                title=(
+                    f"all-reduce straggler serve "
+                    f"(P={serve['meta']['num_procs']})"
+                ),
+            ))
+        if args.output:
+            print(f"\nwrote {args.output}")
+        return 0
+
     if args.hier_sizes:
         results = run_hier_scale(
             args.hier_sizes,
@@ -540,6 +594,16 @@ def _cmd_check(args: argparse.Namespace) -> int:
         print()
         print(render_drift_check(drift_report))
         ok = ok and drift_report.ok
+    if args.collectives:
+        from repro.check import (
+            render_collectives_check,
+            run_collectives_check,
+        )
+
+        collectives_report = run_collectives_check()
+        print()
+        print(render_collectives_check(collectives_report))
+        ok = ok and collectives_report.ok
     return 0 if ok else 1
 
 
@@ -904,6 +968,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="drift ticks per size in the drift-response bench",
     )
     p_bench.add_argument(
+        "--collectives-sizes", type=int, nargs="+", default=None,
+        metavar="P",
+        help=(
+            "bench the collective planners (log-round broadcast vs "
+            "binomial, pipelined vs lockstep ring all-reduce, "
+            "direct-connect all-to-all) at these processor counts "
+            "instead of the kernel bench (e.g. 64 256)"
+        ),
+    )
+    p_bench.add_argument(
+        "--straggler-p", type=int, default=None, metavar="P",
+        help=(
+            "also serve ring all-reduce traffic through a straggler "
+            "episode at this processor count via the adaptive session "
+            "(e.g. 512)"
+        ),
+    )
+    p_bench.add_argument(
         "--cluster-size", type=int, default=64, metavar="N",
         help="cluster size of the hierarchical ladder's instances",
     )
@@ -948,6 +1030,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the drift family: storm-driven sessions must "
              "walk the reuse/refine/repair/reschedule ladder and every "
              "delta-repaired tick must pass the oracle",
+    )
+    p_check.add_argument(
+        "--collectives", action="store_true",
+        help="also run the collectives family: every registered "
+             "collective audited for delivery, round/volume guarantee "
+             "caps and bit-exact agreement with scalar references",
     )
     p_check.set_defaults(func=_cmd_check)
 

@@ -22,9 +22,30 @@ single-root collectives:
   convention.
 """
 
+from repro.collectives.allreduce import (
+    AllreducePlan,
+    allreduce_log_tree,
+    allreduce_rs_ag,
+    straggler_aware_ring,
+)
 from repro.collectives.barrier import (
     dissemination_barrier,
     tournament_barrier,
+)
+from repro.collectives.direct import (
+    DIRECT_TOPOLOGIES,
+    DirectExchangePlan,
+    alltoall_direct_plan,
+    fabric_dims,
+    fabric_edges,
+)
+from repro.collectives.logrounds import (
+    RoundEntry,
+    RoundPlan,
+    allbroadcast_plan,
+    broadcast_log_plan,
+    log2_rounds,
+    reduction_log_plan,
 )
 from repro.collectives.broadcast import (
     binomial_tree,
@@ -47,23 +68,42 @@ from repro.collectives.registry import (
     CollectiveResult,
     CollectiveSpec,
     collective_names,
+    format_collective_spec,
     get_collective,
     get_collective_spec,
     iter_collective_specs,
     make_collective,
+    parse_collective_spec,
 )
 from repro.collectives.scatter import scatter_direct, scatter_via_tree
 
 __all__ = [
     "ALL_COLLECTIVES",
+    "AllreducePlan",
     "Collective",
     "CollectiveResult",
     "CollectiveSpec",
+    "DIRECT_TOPOLOGIES",
+    "DirectExchangePlan",
+    "RoundEntry",
+    "RoundPlan",
     "collective_names",
+    "format_collective_spec",
     "get_collective",
     "get_collective_spec",
     "iter_collective_specs",
     "make_collective",
+    "parse_collective_spec",
+    "allbroadcast_plan",
+    "allreduce_log_tree",
+    "allreduce_rs_ag",
+    "alltoall_direct_plan",
+    "broadcast_log_plan",
+    "fabric_dims",
+    "fabric_edges",
+    "log2_rounds",
+    "reduction_log_plan",
+    "straggler_aware_ring",
     "allgather_problem",
     "allreduce_ring",
     "allreduce_tree",

@@ -1,0 +1,289 @@
+"""Log-round collectives: Träff's round structure under heterogeneous costs.
+
+Träff 2024 ("Optimal Broadcast Schedules in Logarithmic Time",
+arXiv:2407.18004) constructs optimal ceil(log2 P)-round schedules for
+broadcast, all-broadcast and reduction on fully connected one-ported
+networks.  The homogeneous constructions fix *which* pairs talk in each
+round by index arithmetic; under the paper's heterogeneous cost model
+(``T_ij + m/B_ij`` from the directory) we keep the round *structure* —
+the informed/active set doubles or halves every round, so the round
+count stays at the ceil(log2 P) optimum — but choose the pairing within
+each round greedily against the measured per-link costs, and let each
+node advance as soon as its own ports are free instead of waiting for a
+global round barrier.
+
+Every planner returns a :class:`RoundPlan`: the validated lazy columnar
+:class:`~repro.timing.events.Schedule` plus the per-event round index
+and payload annotation the ``check --collectives`` oracle verifies
+operand flow against (the sorted Schedule view loses emission order, so
+the plan keeps its own entry list).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.directory.service import DirectorySnapshot
+from repro.timing.events import Schedule, schedule_from_unsorted_columns
+from repro.util.validation import check_index, check_positive
+
+
+@dataclass(frozen=True)
+class RoundEntry:
+    """One planned message with its round index and payload annotation.
+
+    ``payload`` names what the message carries: the originating ranks of
+    the data blocks (all-broadcast), the contributions folded into a
+    partial reduction result, the single root rank for a broadcast, or
+    ``(origin, dest)`` block ids for a direct-connect all-to-all.
+    """
+
+    round: int
+    start: float
+    src: int
+    dst: int
+    duration: float
+    payload: Tuple[object, ...]
+    size: float = 0.0
+
+    @property
+    def finish(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class RoundPlan:
+    """A round-structured collective schedule plus its oracle metadata."""
+
+    num_procs: int
+    schedule: Schedule
+    rounds: int
+    entries: Tuple[RoundEntry, ...]
+    completion_time: float
+
+
+def log2_rounds(num_procs: int) -> int:
+    """The optimal round count ``ceil(log2 P)`` (0 for P <= 1)."""
+    if num_procs <= 1:
+        return 0
+    return int(math.ceil(math.log2(num_procs)))
+
+
+def plan_from_entries(
+    num_procs: int,
+    entries: Sequence[RoundEntry],
+    rounds: int,
+    completion: float,
+) -> RoundPlan:
+    """Package entries into a plan with a lazy columnar schedule."""
+    count = len(entries)
+    starts = np.fromiter((e.start for e in entries), dtype=float, count=count)
+    srcs = np.fromiter((e.src for e in entries), dtype=np.intp, count=count)
+    dsts = np.fromiter((e.dst for e in entries), dtype=np.intp, count=count)
+    durations = np.fromiter(
+        (e.duration for e in entries), dtype=float, count=count
+    )
+    sizes = np.fromiter((e.size for e in entries), dtype=float, count=count)
+    schedule = schedule_from_unsorted_columns(
+        num_procs, starts, srcs, dsts, durations, sizes
+    )
+    return RoundPlan(
+        num_procs=num_procs,
+        schedule=schedule,
+        rounds=rounds,
+        entries=tuple(entries),
+        completion_time=float(completion),
+    )
+
+
+def _duration_matrix(
+    snapshot: DirectorySnapshot, size_bytes: float
+) -> np.ndarray:
+    """``transfer_time`` for every ordered pair at one message size."""
+    dur = snapshot.latency + float(size_bytes) / snapshot.bandwidth
+    np.fill_diagonal(dur, 0.0)
+    return dur
+
+
+def _greedy_pairs(
+    finish: np.ndarray, mask: np.ndarray, count: int
+) -> List[Tuple[int, int, float]]:
+    """Pick ``count`` disjoint (row, col) pairs by repeated min-finish.
+
+    ``np.argmin`` scans row-major, so ties resolve to the smallest row
+    then column — the same order a scalar double loop with a strict
+    ``<`` comparison produces, which the differential reference executor
+    relies on.
+    """
+    picks: List[Tuple[int, int, float]] = []
+    for _ in range(count):
+        masked = np.where(mask, finish, np.inf)
+        flat = int(np.argmin(masked))
+        row, col = divmod(flat, finish.shape[1])
+        picks.append((row, col, float(masked[row, col])))
+        mask[row, :] = False
+        mask[:, col] = False
+    return picks
+
+
+def broadcast_log_plan(
+    snapshot: DirectorySnapshot, size_bytes: float, *, root: int = 0
+) -> RoundPlan:
+    """Root-to-all broadcast in exactly ``ceil(log2 P)`` rounds.
+
+    Every informed node sends to one uninformed node per round, so the
+    informed set doubles until it covers everyone (Träff's optimal round
+    structure).  Within a round the (sender, receiver) matching is
+    chosen greedily by earliest finish under the heterogeneous costs,
+    and each sender starts as soon as its own previous send finished —
+    rounds overlap in time.
+    """
+    n = snapshot.num_procs
+    check_index("root", root, n)
+    check_positive("size_bytes", size_bytes, allow_zero=True)
+    if n == 1:
+        return plan_from_entries(n, [], 0, 0.0)
+    dur = _duration_matrix(snapshot, size_bytes)
+    ready = np.zeros(n)
+    informed: List[int] = [root]
+    uninformed: List[int] = [i for i in range(n) if i != root]
+    entries: List[RoundEntry] = []
+    rounds = 0
+    while uninformed:
+        senders = np.asarray(informed, dtype=np.intp)
+        receivers = np.asarray(uninformed, dtype=np.intp)
+        finish = ready[senders][:, None] + dur[np.ix_(senders, receivers)]
+        count = min(len(informed), len(uninformed))
+        mask = np.ones(finish.shape, dtype=bool)
+        newly: List[int] = []
+        for row, col, done in _greedy_pairs(finish, mask, count):
+            src = int(senders[row])
+            dst = int(receivers[col])
+            start = float(ready[src])
+            entries.append(RoundEntry(
+                rounds, start, src, dst, done - start, (root,),
+                float(size_bytes),
+            ))
+            ready[src] = done
+            ready[dst] = done
+            newly.append(dst)
+        informed.extend(newly)
+        gone = set(newly)
+        uninformed = [u for u in uninformed if u not in gone]
+        rounds += 1
+    return plan_from_entries(n, entries, rounds, float(ready.max()))
+
+
+def allbroadcast_plan(
+    snapshot: DirectorySnapshot, block_bytes: float
+) -> RoundPlan:
+    """All-broadcast (allgather) in ``ceil(log2 P)`` Bruck-style rounds.
+
+    In round ``k`` node ``i`` receives from ``(i + 2^k) mod P`` a bundle
+    of ``min(2^k, P - 2^k)`` blocks, doubling everyone's holdings; the
+    index pattern is Träff's all-broadcast round structure (valid for
+    any P, not just powers of two), while event timing follows the
+    heterogeneous per-link costs with per-node readiness instead of a
+    lockstep round clock.
+    """
+    n = snapshot.num_procs
+    check_positive("block_bytes", block_bytes, allow_zero=True)
+    if n == 1:
+        return plan_from_entries(n, [], 0, 0.0)
+    block = float(block_bytes)
+    ready = np.zeros(n)
+    entries: List[RoundEntry] = []
+    rounds = 0
+    shift = 1
+    while shift < n:
+        count = min(shift, n - shift)
+        size = count * block
+        prev = ready.copy()
+        send_finish = np.zeros(n)
+        recv_finish = np.zeros(n)
+        for dst in range(n):
+            src = (dst + shift) % n
+            start = max(float(prev[src]), float(prev[dst]))
+            d = float(snapshot.transfer_time(src, dst, size))
+            payload = tuple(sorted((src + t) % n for t in range(count)))
+            entries.append(RoundEntry(
+                rounds, start, src, dst, d, payload, size
+            ))
+            send_finish[src] = start + d
+            recv_finish[dst] = start + d
+        ready = np.maximum(send_finish, recv_finish)
+        shift <<= 1
+        rounds += 1
+    return plan_from_entries(n, entries, rounds, float(ready.max()))
+
+
+def reduction_log_plan(
+    snapshot: DirectorySnapshot,
+    block_bytes: float,
+    *,
+    root: int = 0,
+    combine_rate: float = 1e9,
+) -> RoundPlan:
+    """All-to-root reduction in exactly ``ceil(log2 P)`` rounds.
+
+    The active set halves every round: ``floor(|active| / 2)`` disjoint
+    (sender, receiver) pairs are picked greedily by earliest finish, the
+    sender ships its accumulated partial and drops out, the receiver
+    folds it in at ``block_bytes / combine_rate`` seconds per combine.
+    The root never sends, so the last survivor is the root.
+    """
+    n = snapshot.num_procs
+    check_index("root", root, n)
+    check_positive("block_bytes", block_bytes, allow_zero=True)
+    check_positive("combine_rate", combine_rate)
+    if n == 1:
+        return plan_from_entries(n, [], 0, 0.0)
+    dur = _duration_matrix(snapshot, block_bytes)
+    combine = float(block_bytes) / float(combine_rate)
+    ready = np.zeros(n)
+    contrib = {i: {i} for i in range(n)}
+    active: List[int] = list(range(n))
+    entries: List[RoundEntry] = []
+    rounds = 0
+    while len(active) > 1:
+        senders = np.asarray(
+            [node for node in active if node != root], dtype=np.intp
+        )
+        receivers = np.asarray(active, dtype=np.intp)
+        finish = (
+            np.maximum(ready[senders][:, None], ready[receivers][None, :])
+            + dur[np.ix_(senders, receivers)]
+        )
+        mask = senders[:, None] != receivers[None, :]
+        count = len(active) // 2
+        picks: List[Tuple[int, int, float]] = []
+        for _ in range(count):
+            masked = np.where(mask, finish, np.inf)
+            flat = int(np.argmin(masked))
+            row, col = divmod(flat, finish.shape[1])
+            picks.append((row, col, float(masked[row, col])))
+            mask[row, :] = False
+            mask[:, col] = False
+            # the receiver may not also send this round, nor the sender
+            # also receive
+            mask[senders == receivers[col], :] = False
+            mask[:, receivers == senders[row]] = False
+        removed = set()
+        for row, col, done in picks:
+            src = int(senders[row])
+            dst = int(receivers[col])
+            start = max(float(ready[src]), float(ready[dst]))
+            entries.append(RoundEntry(
+                rounds, start, src, dst, done - start,
+                tuple(sorted(contrib[src])), float(block_bytes),
+            ))
+            ready[dst] = done + combine
+            contrib[dst] |= contrib[src]
+            removed.add(src)
+        active = [node for node in active if node not in removed]
+        rounds += 1
+    return plan_from_entries(n, entries, rounds, float(ready[root]))

@@ -33,6 +33,10 @@ from typing import (
 
 import numpy as np
 
+from repro.collectives.allreduce import (
+    allreduce_log_tree,
+    allreduce_rs_ag,
+)
 from repro.collectives.barrier import (
     dissemination_barrier,
     tournament_barrier,
@@ -41,6 +45,15 @@ from repro.collectives.broadcast import (
     binomial_tree,
     schedule_broadcast_binomial,
     schedule_broadcast_fnf,
+)
+from repro.collectives.direct import (
+    DIRECT_TOPOLOGIES,
+    alltoall_direct_plan,
+)
+from repro.collectives.logrounds import (
+    allbroadcast_plan,
+    broadcast_log_plan,
+    reduction_log_plan,
 )
 from repro.collectives.gather import gather_direct, gather_via_tree
 from repro.collectives.patterns import allgather_problem, alltoall_problem
@@ -55,6 +68,7 @@ from repro.core.registry import make_scheduler
 from repro.directory.service import DirectorySnapshot
 from repro.model.cost import cost_matrix
 from repro.timing.events import Schedule
+from repro.util.spec import format_spec, parse_spec
 from repro.util.validation import check_positive
 
 
@@ -278,6 +292,82 @@ def _barrier_tournament_factory(*, champion: int = 0) -> Collective:
     return collective
 
 
+def _broadcast_log_factory(*, root: int = 0) -> Collective:
+    def collective(
+        snapshot: DirectorySnapshot, size_bytes: float
+    ) -> CollectiveResult:
+        plan = broadcast_log_plan(snapshot, size_bytes, root=root)
+        return _result(plan.schedule, plan.completion_time)
+
+    return collective
+
+
+def _allbroadcast(
+    snapshot: DirectorySnapshot, size_bytes: float
+) -> CollectiveResult:
+    plan = allbroadcast_plan(snapshot, size_bytes)
+    return _result(plan.schedule, plan.completion_time)
+
+
+def _reduction_factory(
+    *, root: int = 0, combine_rate: float = 1e9
+) -> Collective:
+    def collective(
+        snapshot: DirectorySnapshot, size_bytes: float
+    ) -> CollectiveResult:
+        plan = reduction_log_plan(
+            snapshot, size_bytes, root=root, combine_rate=combine_rate
+        )
+        return _result(plan.schedule, plan.completion_time)
+
+    return collective
+
+
+def _allreduce_factory(
+    *, variant: str = "ring", root: int = 0, combine_rate: float = 1e9
+) -> Collective:
+    if variant not in ("ring", "tree"):
+        raise ValueError(
+            f"unknown allreduce variant {variant!r}; known: ring, tree"
+        )
+
+    def collective(
+        snapshot: DirectorySnapshot, size_bytes: float
+    ) -> CollectiveResult:
+        if variant == "tree":
+            plan = allreduce_log_tree(
+                snapshot, size_bytes, root=root, combine_rate=combine_rate
+            )
+        else:
+            plan = allreduce_rs_ag(
+                snapshot, size_bytes, combine_rate=combine_rate
+            )
+        return _result(plan.schedule, plan.completion_time)
+
+    return collective
+
+
+def _alltoall_direct_factory(
+    *, topology: str = "ring", dims: str = "auto"
+) -> Collective:
+    if topology not in DIRECT_TOPOLOGIES:
+        raise KeyError(
+            f"unknown topology {topology!r}; "
+            f"known: {', '.join(DIRECT_TOPOLOGIES)}"
+        )
+    resolved_dims = None if dims in ("", "auto") else dims
+
+    def collective(
+        snapshot: DirectorySnapshot, size_bytes: float
+    ) -> CollectiveResult:
+        plan = alltoall_direct_plan(
+            snapshot, size_bytes, topology=topology, dims=resolved_dims
+        )
+        return _result(plan.schedule, plan.completion_time)
+
+    return collective
+
+
 def _exchange_factory(pattern: str) -> Callable[..., Collective]:
     builder = {
         "allgather": allgather_problem,
@@ -321,6 +411,17 @@ _SPEC_LIST = [
         options={"root": 0},
         factory=_broadcast_factory("fnf"),
         summary="earliest-completion-first heterogeneous broadcast",
+    ),
+    CollectiveSpec(
+        name="broadcast_log",
+        fn=_broadcast_log_factory(),
+        family="rooted",
+        complexity="O(P^2 log P)",
+        paper_section="Traff 2024 (optimal log-round broadcast)",
+        options={"root": 0},
+        factory=_broadcast_log_factory,
+        summary="ceil(log2 P)-round broadcast, greedy heterogeneous "
+        "pairing per round",
     ),
     CollectiveSpec(
         name="scatter_direct",
@@ -381,6 +482,17 @@ _SPEC_LIST = [
         summary="binomial-tree reduction",
     ),
     CollectiveSpec(
+        name="reduction",
+        fn=_reduction_factory(),
+        family="rooted",
+        complexity="O(P^2 log P)",
+        paper_section="Traff 2024 (optimal log-round reduction)",
+        options={"root": 0, "combine_rate": 1e9},
+        factory=_reduction_factory,
+        summary="ceil(log2 P)-round reduction: active set halves with "
+        "greedy heterogeneous pairing",
+    ),
+    CollectiveSpec(
         name="allreduce_ring",
         fn=_allreduce_ring_factory(),
         family="allreduce",
@@ -397,6 +509,17 @@ _SPEC_LIST = [
         options={"root": 0, "combine_rate": 1e9},
         factory=_allreduce_tree_factory,
         summary="reduce-to-root + tree broadcast of the result",
+    ),
+    CollectiveSpec(
+        name="allreduce",
+        fn=_allreduce_factory(),
+        family="allreduce",
+        complexity="O(P^2)",
+        paper_section="Traff 2024 / bandwidth-optimal ring",
+        options={"variant": "ring", "root": 0, "combine_rate": 1e9},
+        factory=_allreduce_factory,
+        summary="straggler-aware pipelined reduce-scatter + all-gather "
+        "ring (variant=tree: log-round reduce + broadcast)",
     ),
     CollectiveSpec(
         name="barrier_dissemination",
@@ -435,6 +558,26 @@ _SPEC_LIST = [
         factory=_exchange_factory("alltoall"),
         summary="uniform all-to-all as total exchange, solved by a "
         "registry scheduler",
+    ),
+    CollectiveSpec(
+        name="allbroadcast",
+        fn=_allbroadcast,
+        family="exchange",
+        complexity="O(P log P)",
+        paper_section="Traff 2024 (optimal log-round all-broadcast)",
+        summary="Bruck-style all-broadcast: ceil(log2 P) doubling "
+        "rounds of bundled blocks",
+    ),
+    CollectiveSpec(
+        name="alltoall_direct",
+        fn=_alltoall_direct_factory(),
+        family="exchange",
+        complexity="O(P^2 D)",
+        paper_section="Basu 2023 (direct-connect all-to-all)",
+        options={"topology": "ring", "dims": "auto"},
+        factory=_alltoall_direct_factory,
+        summary="fabric-constrained all-to-all: dimension-ordered shift "
+        "rounds on ring/torus/hypercube links",
     ),
 ]
 
@@ -479,15 +622,42 @@ def get_collective(name: str) -> Collective:
     return get_collective_spec(name).fn
 
 
+def parse_collective_spec(spec: str) -> Tuple[str, Dict[str, Any]]:
+    """``"allreduce:variant=tree" -> ("allreduce", {"variant": "tree"})``.
+
+    The same ``name[:key=value,...]`` grammar as directory specs, with
+    one deterministic error per failure mode: ``ValueError`` naming a
+    malformed or duplicated ``key=value`` token, ``KeyError`` for an
+    unknown collective (listing the known names).
+    """
+    return parse_spec(spec, tuple(_SPECS), kind="collective")
+
+
+def format_collective_spec(
+    name: str, options: Optional[Mapping[str, Any]] = None
+) -> str:
+    """Canonical inverse of :func:`parse_collective_spec`."""
+    get_collective_spec(name)  # KeyError with the known list
+    return format_spec(name, options)
+
+
 def make_collective(name: str, **options: Any) -> Collective:
     """Build a collective from its stable name and keyword-only options.
 
     Mirrors :func:`repro.core.registry.make_scheduler`:
     ``make_collective("broadcast_fnf", root=3)``,
     ``make_collective("alltoall", scheduler="min_matching")``, ...
-    Raises ``KeyError`` for unknown names (listing the known ones) and
-    ``TypeError`` for options the collective does not accept.
+    The name may also be a full spec string in the directory grammar —
+    ``make_collective("allreduce:variant=tree")`` — with explicit
+    keyword options overriding the spec string's.  Raises ``KeyError``
+    for unknown names (listing the known ones), ``ValueError`` for a
+    malformed spec string (naming the bad token) and ``TypeError`` for
+    options the collective does not accept.
     """
+    if ":" in name:
+        name, parsed = parse_collective_spec(name)
+        parsed.update(options)
+        options = parsed
     return get_collective_spec(name).build(**options)
 
 

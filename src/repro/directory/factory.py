@@ -17,7 +17,7 @@ options.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -34,6 +34,7 @@ from repro.directory.perturb import perturb_snapshot
 from repro.directory.service import DirectoryService
 from repro.directory.static import StaticDirectory, gusto_directory
 from repro.util.rng import RngLike, to_rng
+from repro.util.spec import format_spec, parse_spec, parse_value
 
 #: Spec names accepted by :func:`make_directory`.
 DIRECTORY_FLAVOURS = (
@@ -54,44 +55,33 @@ _LOAD_PROCESSES = {
 }
 
 
-def _parse_value(text: str) -> Any:
-    lowered = text.strip().lower()
-    if lowered in ("true", "yes", "on"):
-        return True
-    if lowered in ("false", "no", "off"):
-        return False
-    for cast in (int, float):
-        try:
-            return cast(text)
-        except ValueError:
-            continue
-    return text.strip()
+# Kept as an alias: tests and older call sites import the underscore name.
+_parse_value = parse_value
 
 
 def parse_directory_spec(spec: str) -> Tuple[str, Dict[str, Any]]:
     """``"noisy:sigma=0.1" -> ("noisy", {"sigma": 0.1})``."""
-    spec = spec.strip()
-    if not spec:
-        raise ValueError("empty directory spec")
-    name, _, tail = spec.partition(":")
-    name = name.strip()
+    return parse_spec(
+        spec, DIRECTORY_FLAVOURS,
+        kind="directory", name_kind="directory flavour",
+    )
+
+
+def format_directory_spec(
+    name: str, options: Optional[Dict[str, Any]] = None
+) -> str:
+    """Canonical inverse of :func:`parse_directory_spec`.
+
+    ``parse_directory_spec(format_directory_spec(name, options))``
+    recovers ``(name, options)`` exactly; unknown flavours are rejected
+    with the same error the parser raises.
+    """
     if name not in DIRECTORY_FLAVOURS:
         raise KeyError(
             f"unknown directory flavour {name!r}; "
             f"known: {', '.join(DIRECTORY_FLAVOURS)}"
         )
-    options: Dict[str, Any] = {}
-    if tail.strip():
-        for item in tail.split(","):
-            key, eq, value = item.partition("=")
-            key = key.strip()
-            if not key or not eq:
-                raise ValueError(
-                    f"malformed option {item!r} in directory spec "
-                    f"{spec!r}; expected key=value"
-                )
-            options[key] = _parse_value(value)
-    return name, options
+    return format_spec(name, options)
 
 
 def _pop(options: Dict[str, Any], key: str, default: Any) -> Any:

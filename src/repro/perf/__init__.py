@@ -23,6 +23,7 @@ from repro.perf.memo import (
     default_schedule_cache,
     lower_bound_cached,
     problem_digest,
+    schedule_digest,
 )
 from repro.perf.timer import KernelTimer, KernelTiming
 
@@ -35,5 +36,6 @@ __all__ = [
     "lower_bound_cached",
     "problem_digest",
     "run_bench",
+    "schedule_digest",
     "update_bench_json",
 ]

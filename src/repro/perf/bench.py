@@ -325,6 +325,236 @@ def run_drift_metrics_bench(
     return payload
 
 
+def collectives_instance(num_procs: int, *, seed: int = 0) -> DirectorySnapshot:
+    """The deterministic clustered snapshot the collectives are benched on."""
+    from repro.network.generators import clustered_pairwise_parameters
+
+    rng = to_rng(stable_seed("bench.collectives", seed, num_procs))
+    cluster_size = min(64, max(2, num_procs // 4))
+    latency, bandwidth = clustered_pairwise_parameters(
+        num_procs, cluster_size=cluster_size, rng=rng
+    )
+    return DirectorySnapshot(latency=latency, bandwidth=bandwidth)
+
+
+def run_collectives_bench(
+    proc_counts: Sequence[int] = (64, 256),
+    *,
+    size_bytes: float = float(1 << 20),
+    seed: int = 0,
+    output: Optional[PathLike] = None,
+) -> Dict[str, Dict[str, Any]]:
+    """Bench the collective planners on clustered heterogeneous platforms.
+
+    For each ``P`` every planner schedules a ``size_bytes`` payload on
+    the deterministic :func:`collectives_instance`, recording planning
+    wall-clock, modelled completion time and event count.  The tier also
+    pins the headline quality ratios — the log-round broadcast vs the
+    binomial tree and the pipelined straggler-aware ring vs the lockstep
+    rank-order ring — which the regression guard holds tight.  Tiers
+    land under ``extra["collectives_p{P}"]``.
+    """
+    from repro.collectives import (
+        allreduce_log_tree,
+        allreduce_rs_ag,
+        alltoall_direct_plan,
+        broadcast_log_plan,
+        make_collective,
+    )
+
+    binomial_fn = make_collective("broadcast_binomial")
+    lockstep_fn = make_collective("allreduce_ring")
+
+    results: Dict[str, Dict[str, Any]] = {}
+    for num_procs in proc_counts:
+        num_procs = int(num_procs)
+        snapshot = collectives_instance(num_procs, seed=seed)
+        tier: Dict[str, Any] = {
+            "meta": {
+                "size_bytes": size_bytes,
+                "seed": seed,
+                "platform": "clustered",
+            }
+        }
+
+        def timed(name: str, fn, *args, **kwargs):
+            t0 = time.perf_counter()
+            plan = fn(*args, **kwargs)
+            elapsed = time.perf_counter() - t0
+            tier[name] = {
+                "seconds": elapsed,
+                "completion_s": float(plan.completion_time),
+                "events": len(plan.schedule),
+            }
+            return plan.completion_time
+
+        binomial = timed(
+            "broadcast_binomial", binomial_fn, snapshot, size_bytes
+        )
+        log_bcast = timed(
+            "broadcast_log", broadcast_log_plan, snapshot, size_bytes
+        )
+        lockstep = timed(
+            "allreduce_lockstep", lockstep_fn, snapshot, size_bytes
+        )
+        ring_auto = timed(
+            "allreduce_ring_auto", allreduce_rs_ag, snapshot, size_bytes
+        )
+        timed(
+            "allreduce_ring_rank_order", allreduce_rs_ag,
+            snapshot, size_bytes, ring=range(num_procs),
+        )
+        timed(
+            "allreduce_tree", allreduce_log_tree, snapshot, size_bytes
+        )
+        timed(
+            "alltoall_direct_ring", alltoall_direct_plan,
+            snapshot, size_bytes, topology="ring",
+        )
+        timed(
+            "alltoall_direct_torus", alltoall_direct_plan,
+            snapshot, size_bytes, topology="torus",
+        )
+        if num_procs & (num_procs - 1) == 0:
+            timed(
+                "alltoall_direct_hypercube", alltoall_direct_plan,
+                snapshot, size_bytes, topology="hypercube",
+            )
+        tier["broadcast_log_vs_binomial"] = float(binomial) / float(log_bcast)
+        tier["allreduce_pipelined_vs_lockstep"] = (
+            float(lockstep) / float(ring_auto)
+        )
+        results[str(num_procs)] = tier
+        if output is not None:
+            update_bench_json(f"collectives_p{num_procs}", tier, output)
+    return results
+
+
+def run_allreduce_straggler_serve(
+    num_procs: int = 512,
+    *,
+    ticks: int = 8,
+    block_bytes: float = float(1 << 26),
+    straggler_factor: float = 8.0,
+    straggler_tick: int = 3,
+    straggler_ticks: int = 2,
+    scheduler: str = "greedy",
+    seed: int = 0,
+    output: Optional[PathLike] = None,
+) -> Dict[str, Any]:
+    """Serve ring all-reduce traffic through a straggler episode.
+
+    The gradient-synchronisation demand matrix
+    (:func:`repro.workloads.mltraining.allreduce_ring_sizes`) is served
+    by an :class:`~repro.runtime.AdaptiveSession` over a hand-built
+    drift trace: calm ticks, then ``straggler_ticks`` ticks during which
+    one node's links collapse by ``straggler_factor``, then recovery.
+    Records per-tick planning latency, the session's decision mix (the
+    straggler must push the policy off the pure-reuse path) and the
+    worst executed-makespan degradation.  Lands under
+    ``extra["collectives_allreduce_straggler_p{P}"]``.
+    """
+    from repro.runtime import AdaptiveSession, PolicyConfig
+    from repro.sim.replay import DriftTrace, TraceDirectory
+    from repro.workloads.mltraining import allreduce_ring_sizes
+
+    if ticks < straggler_tick + straggler_ticks + 1:
+        raise ValueError(
+            f"need ticks > {straggler_tick + straggler_ticks}, got {ticks}"
+        )
+    base = collectives_instance(num_procs, seed=seed)
+    # The straggler is the node on the critical ring edge: the ring
+    # makespan is the slowest edge's time, so slowing anyone else by
+    # straggler_factor can vanish below it and the episode would be
+    # invisible at large P.
+    per_edge = 2.0 * (num_procs - 1) / num_procs * block_bytes
+    ring_edge_times = np.array([
+        base.latency[i, (i + 1) % num_procs]
+        + per_edge / base.bandwidth[i, (i + 1) % num_procs]
+        for i in range(num_procs)
+    ])
+    straggler = int(ring_edge_times.argmax())
+    slow_bandwidth = base.bandwidth.copy()
+    slow_bandwidth[straggler, :] /= straggler_factor
+    slow_bandwidth[:, straggler] /= straggler_factor
+    np.fill_diagonal(slow_bandwidth, base.bandwidth.diagonal())
+    snapshots = []
+    for tick in range(ticks):
+        if straggler_tick <= tick < straggler_tick + straggler_ticks:
+            snapshots.append(DirectorySnapshot(
+                latency=base.latency, bandwidth=slow_bandwidth,
+                time=float(tick),
+            ))
+        else:
+            snapshots.append(DirectorySnapshot(
+                latency=base.latency, bandwidth=base.bandwidth,
+                time=float(tick),
+            ))
+    trace = DriftTrace(
+        times=tuple(float(t) for t in range(ticks)),
+        snapshots=tuple(snapshots),
+    )
+    sizes = allreduce_ring_sizes(num_procs, block_bytes)
+    # The policy's drift measure is a *mean* over demand pairs, so a
+    # single straggler (2 of P ring edges) dilutes below the default
+    # reuse threshold once P is large.  Ring gradient sync is governed
+    # by its slowest edge, so scale the thresholds with P: one edge
+    # drifting by ~straggler_factor must register.
+    policy = PolicyConfig(
+        reuse_threshold=min(0.05, 2.0 / num_procs),
+        refine_threshold=min(0.25, 8.0 / num_procs),
+    )
+    session = AdaptiveSession(
+        TraceDirectory(trace), sizes, scheduler=scheduler, policy=policy
+    )
+    tick_s, makespans, decisions_seq = [], [], []
+    for tick in range(ticks):
+        t0 = time.perf_counter()
+        result = session.tick(dt=1.0 if tick else 0.0)
+        tick_s.append(time.perf_counter() - t0)
+        makespans.append(result.event.executed_makespan)
+        decisions_seq.append(result.event.decision)
+    latencies = np.asarray(tick_s)
+    baseline = makespans[0]
+    payload: Dict[str, Any] = {
+        "meta": {
+            "num_procs": num_procs,
+            "ticks": ticks,
+            "block_bytes": block_bytes,
+            "straggler_node": straggler,
+            "straggler_factor": straggler_factor,
+            "straggler_window": [
+                straggler_tick, straggler_tick + straggler_ticks
+            ],
+            "scheduler": scheduler,
+            "seed": seed,
+            "workload": "ring all-reduce gradient sync",
+        },
+        "tick_latency": {
+            "p50_s": float(np.quantile(latencies, 0.50)),
+            "p99_s": float(np.quantile(latencies, 0.99)),
+            "max_s": float(latencies.max()),
+        },
+        "decisions": {
+            name: decisions_seq.count(name)
+            for name in ("reuse", "refine", "repair", "reschedule")
+        },
+        "decision_sequence": decisions_seq,
+        "makespan": {
+            "baseline_s": float(baseline),
+            "straggler_worst_s": float(max(makespans)),
+            "degradation_max": (
+                float(max(makespans) / baseline) if baseline else 1.0
+            ),
+        },
+    }
+    if output is not None:
+        update_bench_json(
+            f"collectives_allreduce_straggler_p{num_procs}", payload, output
+        )
+    return payload
+
+
 def _bench_one_size(
     num_procs: int,
     *,

@@ -63,6 +63,31 @@ def problem_digest(
     return cost_digest(problem.cost, problem.sizes, mask=mask)
 
 
+def schedule_digest(schedule: Schedule) -> str:
+    """Hex digest of a schedule's sorted event stream.
+
+    Hashes the canonical ``(start, src, dst)``-sorted view, so two
+    schedules digest equal exactly when their timing diagrams are
+    bit-identical — regardless of which constructor (event list, lazy
+    columns) built them or in which order events were emitted.  Golden
+    tests pin these digests to hold planners byte-stable across
+    refactors.
+    """
+    events = schedule.events
+    count = len(events)
+    columns = np.empty((count, 5))
+    for index, event in enumerate(events):
+        columns[index, 0] = event.start
+        columns[index, 1] = event.src
+        columns[index, 2] = event.dst
+        columns[index, 3] = event.duration
+        columns[index, 4] = event.size
+    hasher = hashlib.sha256()
+    hasher.update(repr((schedule.num_procs, count)).encode("ascii"))
+    hasher.update(np.ascontiguousarray(columns).tobytes())
+    return hasher.hexdigest()
+
+
 def _scheduler_label(scheduler: Callable, name: Optional[str]) -> str:
     if name is not None:
         return name

@@ -32,6 +32,7 @@ from typing import Any, Dict, List, Optional
 
 __all__ = [
     "bench_regressions",
+    "collectives_regressions",
     "drift_regressions",
     "load_bench",
     "scale_regressions",
@@ -129,6 +130,82 @@ def drift_regressions(
     return problems
 
 
+def collectives_regressions(
+    name: str,
+    committed: Dict[str, Any],
+    fresh: Dict[str, Any],
+    *,
+    quality_rtol: float = 0.05,
+    seconds_factor: float = 5.0,
+) -> List[str]:
+    """Compare one ``collectives_*`` tier.
+
+    Modelled completion times, makespan degradation and the headline
+    algorithm-vs-baseline ratios are deterministic given the seed, so
+    they are quality (tight); planning wall-clock and tick latency are
+    seconds (loose).
+    """
+    problems: List[str] = []
+    for key, stats in committed.items():
+        if key == "meta" or not isinstance(stats, dict):
+            continue
+        current = fresh.get(key)
+        if current is None:
+            problems.append(f"{name}: entry {key!r} disappeared")
+            continue
+        old_completion = stats.get("completion_s")
+        new_completion = current.get("completion_s")
+        if old_completion is not None and new_completion is not None:
+            if new_completion > old_completion * (1.0 + quality_rtol):
+                problems.append(
+                    f"{name}/{key}: completion_s regressed "
+                    f"{old_completion:.4g} -> {new_completion:.4g} "
+                    f"(allowed rtol {quality_rtol:.0%})"
+                )
+        old_s = stats.get("seconds")
+        new_s = current.get("seconds")
+        if old_s is not None and new_s is not None:
+            if new_s > old_s * seconds_factor:
+                problems.append(
+                    f"{name}/{key}: seconds regressed "
+                    f"{old_s:.3f}s -> {new_s:.3f}s "
+                    f"(allowed {seconds_factor:.0f}x)"
+                )
+    for ratio_key in (
+        "broadcast_log_vs_binomial", "allreduce_pipelined_vs_lockstep"
+    ):
+        old_ratio = committed.get(ratio_key)
+        new_ratio = fresh.get(ratio_key)
+        if old_ratio is not None and new_ratio is not None:
+            if new_ratio < old_ratio * (1.0 - quality_rtol):
+                problems.append(
+                    f"{name}: {ratio_key} regressed "
+                    f"{old_ratio:.3f}x -> {new_ratio:.3f}x "
+                    f"(allowed rtol {quality_rtol:.0%})"
+                )
+    old_makespan = committed.get("makespan", {})
+    new_makespan = fresh.get("makespan", {})
+    old_deg = old_makespan.get("degradation_max")
+    new_deg = new_makespan.get("degradation_max")
+    if old_deg is not None and new_deg is not None:
+        if new_deg > old_deg * (1.0 + quality_rtol):
+            problems.append(
+                f"{name}: makespan degradation_max regressed "
+                f"{old_deg:.3f} -> {new_deg:.3f} "
+                f"(allowed rtol {quality_rtol:.0%})"
+            )
+    old_p50 = committed.get("tick_latency", {}).get("p50_s")
+    new_p50 = fresh.get("tick_latency", {}).get("p50_s")
+    if old_p50 is not None and new_p50 is not None:
+        if new_p50 > old_p50 * seconds_factor:
+            problems.append(
+                f"{name}: tick latency p50 regressed "
+                f"{old_p50:.4f}s -> {new_p50:.4f}s "
+                f"(allowed {seconds_factor:.0f}x)"
+            )
+    return problems
+
+
 def bench_regressions(
     committed_extra: Optional[Dict[str, Any]],
     fresh_extra: Optional[Dict[str, Any]],
@@ -160,6 +237,12 @@ def bench_regressions(
             )
         elif name.startswith("scale"):
             problems += scale_regressions(
+                name, committed, fresh,
+                quality_rtol=quality_rtol,
+                seconds_factor=seconds_factor,
+            )
+        elif name.startswith("collectives"):
+            problems += collectives_regressions(
                 name, committed, fresh,
                 quality_rtol=quality_rtol,
                 seconds_factor=seconds_factor,

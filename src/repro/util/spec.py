@@ -1,0 +1,112 @@
+"""Shared ``name[:key=value,...]`` spec-string grammar.
+
+Directory flavours (``"noisy:sigma=0.1"``) and collectives
+(``"allreduce:variant=tree"``) describe parameterized variants with the
+same compact grammar.  This module is the single parser/formatter both
+registries use, so malformed specs fail with one deterministic error
+naming the bad token no matter which consumer saw them, and
+``parse -> format -> parse`` round-trips for every registered family.
+
+Values parse as bool (``true``/``yes``/``on`` and friends), int or float
+when they look like one, else stay strings.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
+
+
+def parse_value(text: str) -> Any:
+    """Best-effort typed parse of one option value."""
+    lowered = text.strip().lower()
+    if lowered in ("true", "yes", "on"):
+        return True
+    if lowered in ("false", "no", "off"):
+        return False
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text.strip()
+
+
+def format_value(value: Any) -> str:
+    """Inverse of :func:`parse_value`; raises if the value cannot survive
+    a round-trip (e.g. a string containing the grammar's own separators).
+    """
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    text = str(value)
+    if not text or text != text.strip() or any(c in text for c in ":,="):
+        raise ValueError(
+            f"cannot format option value {value!r} into a spec string"
+        )
+    if parse_value(text) != value:
+        raise ValueError(
+            f"option value {value!r} does not round-trip through a "
+            f"spec string"
+        )
+    return text
+
+
+def parse_spec(
+    spec: str,
+    known: Optional[Iterable[str]] = None,
+    *,
+    kind: str = "spec",
+    name_kind: Optional[str] = None,
+) -> Tuple[str, Dict[str, Any]]:
+    """``"name:sigma=0.1" -> ("name", {"sigma": 0.1})``.
+
+    Exactly one error per failure mode, each naming the offending token:
+    ``ValueError`` for an empty spec, a malformed ``key=value`` item or a
+    duplicated key; ``KeyError`` for a name outside ``known`` (listing
+    the known names).  ``kind`` labels the spec in messages ("directory",
+    "collective"); ``name_kind`` labels the name itself when it differs
+    ("directory flavour").
+    """
+    name_kind = name_kind or kind
+    spec = spec.strip()
+    if not spec:
+        raise ValueError(f"empty {kind} spec")
+    name, _, tail = spec.partition(":")
+    name = name.strip()
+    if known is not None:
+        known = tuple(known)
+        if name not in known:
+            raise KeyError(
+                f"unknown {name_kind} {name!r}; known: {', '.join(known)}"
+            )
+    options: Dict[str, Any] = {}
+    if tail.strip():
+        for item in tail.split(","):
+            key, eq, value = item.partition("=")
+            key = key.strip()
+            # a second "=" or a stray ":" inside the value could never
+            # be formatted back, so reject it here for exact
+            # parse -> format -> parse round-trips
+            if not key or not eq or "=" in value or ":" in value:
+                raise ValueError(
+                    f"malformed option {item!r} in {kind} spec "
+                    f"{spec!r}; expected key=value"
+                )
+            if key in options:
+                raise ValueError(
+                    f"duplicate option {key!r} in {kind} spec {spec!r}"
+                )
+            options[key] = parse_value(value)
+    return name, options
+
+
+def format_spec(name: str, options: Optional[Mapping[str, Any]] = None) -> str:
+    """Canonical spec string: options sorted by key, values formatted so
+    :func:`parse_spec` recovers them exactly."""
+    if not options:
+        return name
+    tail = ",".join(
+        f"{key}={format_value(options[key])}" for key in sorted(options)
+    )
+    return f"{name}:{tail}"

@@ -10,7 +10,10 @@ size matrices from those applications:
 * :mod:`repro.workloads.blockcyclic` — block-cyclic array redistribution
   (the paper's reference [19] is the authors' own block-cyclic work);
 * :mod:`repro.workloads.servers` — the Figure 12 multimedia client/server
-  pattern (re-exported from :mod:`repro.model.messages`).
+  pattern (re-exported from :mod:`repro.model.messages`);
+* :mod:`repro.workloads.mltraining` — data-parallel gradient
+  synchronisation demand (ring all-reduce edges, parameter-server
+  incast) for straggler-response serving experiments.
 """
 
 from repro.model.messages import ServerClientSizes
@@ -21,16 +24,22 @@ from repro.workloads.adversarial import (
 )
 from repro.workloads.blockcyclic import block_cyclic_sizes
 from repro.workloads.fft import butterfly_sizes, butterfly_stages, butterfly_time
+from repro.workloads.mltraining import (
+    allreduce_ring_sizes,
+    parameter_server_sizes,
+)
 from repro.workloads.stencil import stencil_sizes
 from repro.workloads.transpose import transpose_sizes
 
 __all__ = [
     "ServerClientSizes",
+    "allreduce_ring_sizes",
     "block_cyclic_sizes",
     "butterfly_sizes",
     "butterfly_stages",
     "butterfly_time",
     "caterpillar_killer",
+    "parameter_server_sizes",
     "stencil_sizes",
     "theorem2_chain",
     "transpose_sizes",

@@ -1,0 +1,82 @@
+"""Data-parallel ML training workloads: gradient synchronisation traffic.
+
+Synchronous data-parallel training all-reduces one gradient block per
+step, so its steady-state traffic is exactly the communication pattern
+of the chosen all-reduce algorithm.  These helpers materialise that
+traffic as per-pair size matrices so the serving runtime — which plans
+arbitrary demand matrices — can drive gradient synchronisation through
+:class:`~repro.runtime.AdaptiveSession` and react to stragglers with the
+usual reuse/refine/repair/reschedule ladder.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def allreduce_ring_sizes(
+    num_procs: int,
+    block_bytes: float,
+    *,
+    ring: Optional[Sequence[int]] = None,
+) -> np.ndarray:
+    """Per-pair traffic of one ring all-reduce step.
+
+    The reduce-scatter + all-gather ring moves ``2 (P-1)`` chunks of
+    ``block_bytes / P`` over every directed ring edge, i.e.
+    ``2 (P-1) / P * block_bytes`` per edge and nothing anywhere else —
+    the bandwidth-optimal gradient synchronisation demand.  ``ring``
+    reorders the edge set (default: rank order).
+    """
+    if num_procs < 1:
+        raise ValueError(f"num_procs must be >= 1, got {num_procs}")
+    if block_bytes < 0:
+        raise ValueError(f"block_bytes must be >= 0, got {block_bytes}")
+    n = num_procs
+    sizes = np.zeros((n, n))
+    if n == 1:
+        return sizes
+    if ring is None:
+        ring = tuple(range(n))
+    else:
+        ring = tuple(int(node) for node in ring)
+        if sorted(ring) != list(range(n)):
+            raise ValueError(
+                f"ring must be a permutation of range({n}), got {ring!r}"
+            )
+    per_edge = 2.0 * (n - 1) / n * float(block_bytes)
+    for position in range(n):
+        sizes[ring[position], ring[(position + 1) % n]] = per_edge
+    return sizes
+
+
+def parameter_server_sizes(
+    num_procs: int,
+    block_bytes: float,
+    *,
+    servers: int = 1,
+) -> np.ndarray:
+    """Per-pair traffic of one parameter-server synchronisation step.
+
+    The first ``servers`` ranks shard the model; every worker pushes its
+    full gradient (``block_bytes / servers`` per shard) to each server
+    and pulls the updated shard back — the incast-heavy baseline the
+    ring all-reduce exists to avoid.
+    """
+    if num_procs < 1:
+        raise ValueError(f"num_procs must be >= 1, got {num_procs}")
+    if block_bytes < 0:
+        raise ValueError(f"block_bytes must be >= 0, got {block_bytes}")
+    if not (1 <= servers <= num_procs):
+        raise ValueError(
+            f"servers must be in [1, {num_procs}], got {servers}"
+        )
+    sizes = np.zeros((num_procs, num_procs))
+    shard = float(block_bytes) / servers
+    for server in range(servers):
+        for worker in range(servers, num_procs):
+            sizes[worker, server] += shard
+            sizes[server, worker] += shard
+    return sizes

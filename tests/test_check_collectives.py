@@ -1,0 +1,124 @@
+"""The ``check --collectives`` battery itself: green runs, tamper trips."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.check.collectives import (
+    audit_collective,
+    fanout_violations,
+    port_violations,
+    render_collectives_check,
+    round_structure_violations,
+    run_collectives_check,
+)
+from repro.collectives import broadcast_log_plan, reduction_log_plan
+from repro.check.collectives import reduction_flow_violations
+from repro.directory.factory import make_directory
+from repro.timing.events import CommEvent, Schedule
+
+
+def snapshot_for(n, seed=0):
+    return make_directory("static", num_procs=n, rng=seed).snapshot()
+
+
+class TestRunCollectivesCheck:
+    def test_small_sweep_is_green(self):
+        report = run_collectives_check(
+            size_bytes=4096.0, p_values=(1, 2, 5), seeds=(0,),
+            directories=("static",),
+        )
+        assert report.ok
+        assert report.failures == []
+        assert report.cases > len(report.covered)
+        assert "broadcast_log" in report.covered
+        assert "alltoall_direct" in report.covered
+
+    def test_render_mentions_pass_and_coverage(self):
+        report = run_collectives_check(
+            size_bytes=4096.0, p_values=(1, 2), seeds=(0,),
+            directories=("static",),
+        )
+        text = render_collectives_check(report)
+        assert "PASS" in text
+        assert f"{len(report.covered)} registered collectives" in text
+        assert "broadcast_log" in text  # headline stats table
+
+    def test_render_lists_failures(self):
+        report = run_collectives_check(
+            size_bytes=4096.0, p_values=(1, 2), seeds=(0,),
+            directories=("static",),
+        )
+        broken = dataclasses.replace(
+            report,
+            failures=[("broadcast_log[P=2]", ["lost rank 1"])],
+        )
+        text = render_collectives_check(broken)
+        assert "FAIL: 1 case(s) violated" in text
+        assert "broadcast_log[P=2]" in text
+        assert "lost rank 1" in text
+
+
+class TestTamperedSchedulesAreCaught:
+    def test_dropped_event_breaks_delivery(self):
+        snapshot = snapshot_for(8)
+        plan = broadcast_log_plan(snapshot, 4096.0)
+        tampered = Schedule(
+            num_procs=8, events=plan.schedule.events[:-1]
+        )
+        violations = audit_collective(
+            "broadcast_log", tampered, snapshot, 4096.0
+        )
+        assert violations
+        assert any("never" in v or "rank" in v for v in violations)
+
+    def test_uninformed_sender_is_flagged(self):
+        # rank 3 relays the message before anyone told it anything
+        events = (
+            CommEvent(start=0.0, src=3, dst=1, duration=1.0),
+            CommEvent(start=2.0, src=0, dst=2, duration=1.0),
+            CommEvent(start=2.0, src=1, dst=3, duration=1.0),
+        )
+        violations = fanout_violations(
+            Schedule(num_procs=4, events=events), root=0
+        )
+        assert any("without ever being reached" in v for v in violations)
+
+    def test_port_conflict_is_flagged(self):
+        events = (
+            CommEvent(start=0.0, src=0, dst=1, duration=2.0),
+            CommEvent(start=1.0, src=0, dst=2, duration=2.0),
+        )
+        violations = port_violations(Schedule(num_procs=3, events=events))
+        assert violations
+
+    def test_round_overload_is_flagged(self):
+        entries = [
+            type("E", (), {"round": 0, "src": 0, "dst": 1})(),
+            type("E", (), {"round": 0, "src": 0, "dst": 2})(),
+        ]
+        violations = round_structure_violations(entries, 3)
+        assert any("sends" in v for v in violations)
+
+    def test_tampered_reduction_plan_is_flagged(self):
+        plan = reduction_log_plan(snapshot_for(8), 4096.0)
+        # redirect the last entry away from its true destination: the
+        # operand flow replay must notice the root misses a partial
+        entry = plan.entries[-1]
+        bad_dst = (entry.dst + 1) % 8 or (entry.dst + 2) % 8
+        tampered = dataclasses.replace(
+            plan,
+            entries=plan.entries[:-1]
+            + (dataclasses.replace(entry, dst=bad_dst),),
+        )
+        assert reduction_flow_violations(tampered, root=0)
+
+
+class TestAuditDispatch:
+    def test_unknown_name_raises_keyerror(self):
+        snapshot = snapshot_for(2)
+        with pytest.raises(KeyError, match="no registered audit family"):
+            audit_collective(
+                "gossip", Schedule(num_procs=2, events=()), snapshot, 1.0
+            )

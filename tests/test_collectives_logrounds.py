@@ -1,0 +1,240 @@
+"""Log-round collective planners: round counts, delivery, adaptivity."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.collectives import (
+    allbroadcast_plan,
+    allreduce_log_tree,
+    allreduce_rs_ag,
+    alltoall_direct_plan,
+    broadcast_log_plan,
+    fabric_dims,
+    fabric_edges,
+    log2_rounds,
+    make_collective,
+    reduction_log_plan,
+    straggler_aware_ring,
+)
+from repro.check.collectives import (
+    block_flow_violations,
+    fanout_violations,
+    gossip_violations,
+    reduction_flow_violations,
+)
+from repro.directory.service import DirectorySnapshot
+from repro.timing.validate import check_schedule_fast
+
+
+def make_snapshot(n, seed=0):
+    rng = np.random.default_rng(seed)
+    latency, bandwidth = repro.random_pairwise_parameters(n, rng=rng)
+    return DirectorySnapshot(latency=latency, bandwidth=bandwidth)
+
+
+class TestLog2Rounds:
+    def test_values(self):
+        assert [log2_rounds(n) for n in (1, 2, 3, 4, 5, 8, 9, 64, 65)] == [
+            0, 1, 2, 2, 3, 3, 4, 6, 7
+        ]
+
+
+class TestBroadcastLog:
+    @pytest.mark.parametrize("n", [1, 2, 3, 8, 17, 64])
+    def test_round_count_is_optimal(self, n):
+        plan = broadcast_log_plan(make_snapshot(n), 4096.0)
+        assert plan.rounds == log2_rounds(n)
+        assert len(plan.entries) == max(0, n - 1)
+
+    @pytest.mark.parametrize("n", [2, 3, 8, 17])
+    def test_delivery_and_ports(self, n):
+        plan = broadcast_log_plan(make_snapshot(n), 4096.0)
+        check_schedule_fast(plan.schedule)
+        assert fanout_violations(plan.schedule, root=0) == []
+
+    def test_nonzero_root(self):
+        plan = broadcast_log_plan(make_snapshot(8), 4096.0, root=5)
+        assert fanout_violations(plan.schedule, root=5) == []
+        assert all(e.payload == (5,) for e in plan.entries)
+
+    def test_adapts_to_heterogeneous_links(self):
+        # One fast hub, everyone else slow: the greedy log-round tree
+        # must beat the rank-ordered binomial tree, which wastes early
+        # rounds on slow ranks.
+        n = 16
+        latency = np.full((n, n), 1.0)
+        latency[0, :] = 0.01
+        latency[:, 1] = 0.01  # rank 1 is cheap to reach, then fans out
+        np.fill_diagonal(latency, 0.0)
+        bandwidth = np.full((n, n), np.inf)
+        snapshot = DirectorySnapshot(latency=latency, bandwidth=bandwidth)
+        log_plan = broadcast_log_plan(snapshot, 4096.0)
+        binomial = make_collective("broadcast_binomial")(snapshot, 4096.0)
+        assert log_plan.completion_time <= binomial.completion_time
+        assert fanout_violations(log_plan.schedule) == []
+
+    def test_degenerate_single_rank(self):
+        plan = broadcast_log_plan(make_snapshot(1), 4096.0)
+        assert plan.rounds == 0
+        assert plan.entries == ()
+        assert plan.completion_time == 0.0
+
+
+class TestAllbroadcast:
+    @pytest.mark.parametrize("n", [1, 2, 3, 8, 13, 64])
+    def test_rounds_and_delivery(self, n):
+        plan = allbroadcast_plan(make_snapshot(n), 1024.0)
+        assert plan.rounds == log2_rounds(n)
+        check_schedule_fast(plan.schedule)
+        assert gossip_violations(plan.schedule) == []
+
+    @pytest.mark.parametrize("n", [2, 3, 8, 13])
+    def test_block_flow_exact(self, n):
+        plan = allbroadcast_plan(make_snapshot(n), 1024.0)
+        everyone = set(range(n))
+        assert block_flow_violations(
+            plan.entries,
+            initial={r: {r} for r in range(n)},
+            required={r: everyone for r in range(n)},
+        ) == []
+
+    def test_bundle_sizes_follow_bruck(self):
+        n, block = 11, 1000.0
+        plan = allbroadcast_plan(make_snapshot(n), block)
+        by_round = {}
+        for entry in plan.entries:
+            by_round.setdefault(entry.round, set()).add(entry.size)
+        for k, sizes in by_round.items():
+            expected = min(1 << k, n - (1 << k)) * block
+            assert sizes == {expected}
+
+
+class TestReduction:
+    @pytest.mark.parametrize("n", [1, 2, 3, 8, 17, 64])
+    def test_round_count_is_optimal(self, n):
+        plan = reduction_log_plan(make_snapshot(n), 4096.0)
+        assert plan.rounds == log2_rounds(n)
+
+    @pytest.mark.parametrize("n", [2, 3, 8, 17])
+    @pytest.mark.parametrize("root", [0, 2])
+    def test_operand_flow(self, n, root):
+        if root >= n:
+            pytest.skip("root outside range")
+        plan = reduction_log_plan(make_snapshot(n), 4096.0, root=root)
+        check_schedule_fast(plan.schedule)
+        assert reduction_flow_violations(plan, root=root) == []
+
+    def test_combine_rate_delays_forwarding(self):
+        fast = reduction_log_plan(
+            make_snapshot(8), 1e6, combine_rate=1e12
+        )
+        slow = reduction_log_plan(
+            make_snapshot(8), 1e6, combine_rate=1e6
+        )
+        assert slow.completion_time > fast.completion_time
+
+
+class TestAllreduceRing:
+    @pytest.mark.parametrize("n", [1, 2, 3, 8, 64])
+    def test_step_count_and_ports(self, n):
+        plan = allreduce_rs_ag(make_snapshot(n), 1 << 16)
+        assert plan.steps == (0 if n == 1 else 2 * (n - 1))
+        check_schedule_fast(plan.schedule)
+        assert gossip_violations(plan.schedule) == []
+
+    def test_volume_is_bandwidth_optimal(self):
+        n, block = 8, float(1 << 20)
+        plan = allreduce_rs_ag(make_snapshot(n), block)
+        sent = np.bincount(
+            plan.srcs, weights=np.full(plan.srcs.size, plan.chunk_bytes),
+            minlength=n,
+        )
+        assert np.allclose(sent, 2 * (n - 1) / n * block)
+
+    def test_straggler_aware_ring_is_permutation(self):
+        ring = straggler_aware_ring(make_snapshot(17), 1024.0)
+        assert sorted(ring) == list(range(17))
+
+    def test_straggler_aware_ring_beats_rank_order_on_average(self):
+        # Across seeds the cost-aware ring should not lose to the
+        # arbitrary rank ordering.
+        wins = 0
+        for seed in range(8):
+            snapshot = make_snapshot(16, seed=seed)
+            auto = allreduce_rs_ag(snapshot, 1 << 20)
+            rank = allreduce_rs_ag(snapshot, 1 << 20, ring=range(16))
+            wins += auto.completion_time <= rank.completion_time * 1.001
+        assert wins >= 5
+
+    def test_explicit_ring_must_be_permutation(self):
+        with pytest.raises(ValueError, match="permutation"):
+            allreduce_rs_ag(make_snapshot(4), 1024.0, ring=[0, 1, 2, 2])
+
+    def test_tree_variant_rounds(self):
+        plan = allreduce_log_tree(make_snapshot(8), 1024.0)
+        assert plan.rounds == 2 * log2_rounds(8)
+        assert gossip_violations(plan.schedule) == []
+
+
+class TestAlltoallDirect:
+    @pytest.mark.parametrize("topology,n", [
+        ("ring", 5), ("ring", 8), ("torus", 12), ("torus", 16),
+        ("hypercube", 8), ("hypercube", 16),
+    ])
+    def test_fabric_containment(self, topology, n):
+        plan = alltoall_direct_plan(
+            make_snapshot(n), 512.0, topology=topology
+        )
+        edges = fabric_edges(topology, n)
+        assert all((e.src, e.dst) in edges for e in plan.entries)
+        assert plan.rounds == sum(d - 1 for d in plan.dims)
+        check_schedule_fast(plan.schedule)
+
+    def test_all_blocks_delivered(self):
+        n = 9
+        plan = alltoall_direct_plan(
+            make_snapshot(n), 512.0, topology="torus"
+        )
+        blocks = {
+            (i, j) for i in range(n) for j in range(n) if i != j
+        }
+        assert block_flow_violations(
+            plan.entries,
+            initial={r: {b for b in blocks if b[0] == r}
+                     for r in range(n)},
+            required={r: {b for b in blocks if b[1] == r}
+                      for r in range(n)},
+        ) == []
+
+    def test_hypercube_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError, match="power-of-two"):
+            alltoall_direct_plan(
+                make_snapshot(6), 512.0, topology="hypercube"
+            )
+
+    def test_unknown_topology(self):
+        with pytest.raises(KeyError, match="unknown topology"):
+            alltoall_direct_plan(make_snapshot(4), 512.0, topology="mesh")
+
+    def test_explicit_dims_must_factor(self):
+        with pytest.raises(ValueError, match="multiply to"):
+            alltoall_direct_plan(
+                make_snapshot(8), 512.0, topology="torus", dims="3x3"
+            )
+
+    def test_dims_resolution(self):
+        assert fabric_dims("torus", 12) == (3, 4)
+        assert fabric_dims("torus", 12, "2x6") == (2, 6)
+        assert fabric_dims("hypercube", 8) == (2, 2, 2)
+        assert fabric_dims("ring", 7) == (7,)
+
+    def test_degenerate_sizes(self):
+        for topology in ("ring", "torus", "hypercube"):
+            plan = alltoall_direct_plan(
+                make_snapshot(1), 512.0, topology=topology
+            )
+            assert plan.entries == ()
+            assert plan.completion_time == 0.0
+        two = alltoall_direct_plan(make_snapshot(2), 512.0)
+        assert len(two.entries) == 2

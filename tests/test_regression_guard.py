@@ -4,6 +4,7 @@ import json
 
 from repro.perf.regression import (
     bench_regressions,
+    collectives_regressions,
     drift_regressions,
     load_bench,
     scale_regressions,
@@ -21,6 +22,27 @@ DRIFT = {
     "full": {"p50_s": 5.0, "p99_s": 6.0, "mean_s": 5.0},
     "speedup_p50": 12.0,
     "makespan_ratio_max": 1.05,
+}
+
+COLLECTIVES = {
+    "meta": {"size_bytes": 1048576.0},
+    "broadcast_log": {
+        "seconds": 0.01, "completion_s": 1.2, "events": 63,
+    },
+    "allreduce_rs_ag": {
+        "seconds": 0.02, "completion_s": 11.8, "events": 8064,
+    },
+    "broadcast_log_vs_binomial": 1.8,
+    "allreduce_pipelined_vs_lockstep": 1.7,
+}
+
+STRAGGLER = {
+    "meta": {"ticks": 8},
+    "tick_latency": {"p50_s": 0.003, "p99_s": 0.08, "max_s": 0.1},
+    "makespan": {
+        "baseline_s": 1.0, "straggler_worst_s": 8.0,
+        "degradation_max": 8.0,
+    },
 }
 
 
@@ -93,6 +115,78 @@ class TestDriftRegressions:
             "d", DRIFT, _with(DRIFT, repair__p50_s=2.5)
         )
         assert len(problems) == 1 and "repair p50" in problems[0]
+
+
+class TestCollectivesRegressions:
+    def test_identical_passes(self):
+        assert collectives_regressions(
+            "collectives_p64", COLLECTIVES, COLLECTIVES
+        ) == []
+        assert collectives_regressions(
+            "collectives_allreduce_straggler_p512", STRAGGLER, STRAGGLER
+        ) == []
+
+    def test_completion_is_tight(self):
+        fresh = _with(COLLECTIVES, broadcast_log__completion_s=1.2 * 1.06)
+        problems = collectives_regressions("c", COLLECTIVES, fresh)
+        assert len(problems) == 1 and "completion_s" in problems[0]
+
+    def test_planning_seconds_are_loose(self):
+        assert collectives_regressions(
+            "c", COLLECTIVES, _with(COLLECTIVES, broadcast_log__seconds=0.04)
+        ) == []
+        problems = collectives_regressions(
+            "c", COLLECTIVES, _with(COLLECTIVES, broadcast_log__seconds=0.06)
+        )
+        assert len(problems) == 1 and "seconds" in problems[0]
+
+    def test_headline_ratio_must_not_drop(self):
+        fresh = _with(COLLECTIVES, broadcast_log_vs_binomial=1.8 * 0.9)
+        problems = collectives_regressions("c", COLLECTIVES, fresh)
+        assert len(problems) == 1
+        assert "broadcast_log_vs_binomial" in problems[0]
+        # improving is fine
+        assert collectives_regressions(
+            "c", COLLECTIVES, _with(COLLECTIVES, broadcast_log_vs_binomial=2.5)
+        ) == []
+
+    def test_disappeared_entry_reported(self):
+        fresh = json.loads(json.dumps(COLLECTIVES))
+        del fresh["allreduce_rs_ag"]
+        problems = collectives_regressions("c", COLLECTIVES, fresh)
+        assert any("disappeared" in p for p in problems)
+
+    def test_straggler_degradation_is_tight(self):
+        fresh = _with(STRAGGLER, makespan__degradation_max=8.0 * 1.06)
+        problems = collectives_regressions("s", STRAGGLER, fresh)
+        assert len(problems) == 1 and "degradation_max" in problems[0]
+
+    def test_tick_latency_is_loose(self):
+        assert collectives_regressions(
+            "s", STRAGGLER, _with(STRAGGLER, tick_latency__p50_s=0.01)
+        ) == []
+        problems = collectives_regressions(
+            "s", STRAGGLER, _with(STRAGGLER, tick_latency__p50_s=0.02)
+        )
+        assert len(problems) == 1 and "tick latency" in problems[0]
+
+    def test_dispatched_by_tier_prefix(self):
+        committed = {
+            "collectives_p64": COLLECTIVES,
+            "collectives_allreduce_straggler_p512": STRAGGLER,
+        }
+        fresh = {
+            "collectives_p64": _with(
+                COLLECTIVES, broadcast_log__completion_s=9.9
+            ),
+            "collectives_allreduce_straggler_p512": _with(
+                STRAGGLER, makespan__degradation_max=9.9
+            ),
+        }
+        problems = bench_regressions(committed, fresh)
+        assert len(problems) == 2
+        assert any("completion_s" in p for p in problems)
+        assert any("degradation_max" in p for p in problems)
 
 
 class TestBenchRegressions:

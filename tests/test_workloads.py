@@ -4,6 +4,10 @@ import numpy as np
 import pytest
 
 from repro.workloads.blockcyclic import block_cyclic_sizes
+from repro.workloads.mltraining import (
+    allreduce_ring_sizes,
+    parameter_server_sizes,
+)
 from repro.workloads.transpose import block_lengths, transpose_sizes
 
 
@@ -83,3 +87,59 @@ class TestBlockCyclicSizes:
             block_cyclic_sizes(10, 2, old_block=0, new_block=2)
         with pytest.raises(ValueError):
             block_cyclic_sizes(-1, 2, old_block=1, new_block=2)
+
+
+class TestAllreduceRingSizes:
+    def test_ring_edges_only(self):
+        n, block = 8, float(1 << 20)
+        sizes = allreduce_ring_sizes(n, block)
+        per_edge = 2 * (n - 1) / n * block
+        for i in range(n):
+            assert sizes[i, (i + 1) % n] == per_edge
+        assert np.count_nonzero(sizes) == n
+        assert sizes.sum() == pytest.approx(2 * (n - 1) * block)
+
+    def test_custom_ring_permutes_edges(self):
+        ring = [2, 0, 3, 1]
+        sizes = allreduce_ring_sizes(4, 1000.0, ring=ring)
+        for a, b in zip(ring, ring[1:] + ring[:1]):
+            assert sizes[a, b] > 0.0
+        assert np.count_nonzero(sizes) == 4
+
+    def test_single_rank_is_silent(self):
+        assert allreduce_ring_sizes(1, 1e6).sum() == 0.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError, match="num_procs"):
+            allreduce_ring_sizes(0, 1.0)
+        with pytest.raises(ValueError, match="block_bytes"):
+            allreduce_ring_sizes(4, -1.0)
+        with pytest.raises(ValueError, match="permutation"):
+            allreduce_ring_sizes(4, 1.0, ring=[0, 1, 2, 2])
+
+
+class TestParameterServerSizes:
+    def test_single_server_incast(self):
+        n, block = 6, 900.0
+        sizes = parameter_server_sizes(n, block)
+        # every worker pushes the full block to rank 0 and pulls it back
+        assert np.all(sizes[1:, 0] == block)
+        assert np.all(sizes[0, 1:] == block)
+        assert sizes.sum() == pytest.approx(2 * (n - 1) * block)
+
+    def test_sharded_servers_split_volume(self):
+        sizes = parameter_server_sizes(8, 1000.0, servers=2)
+        # workers 2..7 send 500 to each of ranks 0 and 1
+        assert np.all(sizes[2:, :2] == 500.0)
+        assert np.all(sizes[:2, 2:] == 500.0)
+        assert np.all(sizes[:2, :2] == 0.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError, match="num_procs"):
+            parameter_server_sizes(0, 1.0)
+        with pytest.raises(ValueError, match="block_bytes"):
+            parameter_server_sizes(4, -1.0)
+        with pytest.raises(ValueError, match="servers"):
+            parameter_server_sizes(4, 1.0, servers=5)
+        with pytest.raises(ValueError, match="servers"):
+            parameter_server_sizes(4, 1.0, servers=0)
