@@ -21,7 +21,6 @@ paper-vs-measured record.
 """
 
 from repro.core import (
-    ALL_SCHEDULERS,
     SchedulerSpec,
     TotalExchangeProblem,
     baseline_orders,
@@ -89,7 +88,6 @@ from repro.util.units import KILOBYTE, MEGABYTE
 __version__ = "1.0.0"
 
 __all__ = [
-    "ALL_SCHEDULERS",
     "AdaptiveSession",
     "CommEvent",
     "CommunicationModel",

@@ -1,0 +1,87 @@
+"""The one import for building repro objects from spec strings.
+
+Every parameterized family in the codebase is addressed by the same
+compact grammar — ``name[:key=value,...]`` — parsed and formatted by
+exactly one implementation (:mod:`repro.util.spec`).  This facade
+gathers the four factories plus the grammar itself, so callers (and
+the daemon's wire protocol, which carries nothing but these strings)
+never touch per-subsystem parsing quirks:
+
+=============  ==========================================  =======================
+family         example spec                                factory
+=============  ==========================================  =======================
+scheduler      ``"openshop_partitioned:chunks=4"``         :func:`make_scheduler`
+directory      ``"noisy:sigma=0.1"``                       :func:`make_directory`
+collective     ``"allreduce:variant=tree"``                :func:`make_collective`
+fault profile  ``"blackout:src=0,dst=1,at=2,recover=3"``   :func:`make_fault_profile`
+=============  ==========================================  =======================
+
+Identical behaviour everywhere, by construction: values parse the same
+(``true``/``false`` booleans, int/float narrowing, strings otherwise),
+malformed options raise the same ``ValueError`` naming the bad token,
+and ``parse -> format -> parse`` round-trips for every family — the
+fuzz suite in ``tests/test_api_facade.py`` pins this.
+
+One registry-specific wrinkle is preserved: scheduler names such as
+``"matching_min:auction"`` *are* registered names containing ``:``, so
+:func:`parse_scheduler_spec` checks the registry before applying the
+grammar.
+
+Fault profiles are the one list-valued family: a profile is
+``;``-joined fault entries (each entry in the shared grammar) or a
+named preset (``"smoke"``, ``"none"``).
+"""
+
+from __future__ import annotations
+
+from repro.collectives.registry import (
+    format_collective_spec,
+    make_collective,
+    parse_collective_spec,
+)
+from repro.core.registry import (
+    format_scheduler_spec,
+    make_scheduler,
+    parse_scheduler_spec,
+)
+from repro.directory.factory import (
+    format_directory_spec,
+    make_directory,
+    parse_directory_spec,
+)
+from repro.faults.models import (
+    format_fault_entry,
+    format_fault_profile,
+    parse_fault_entry,
+    parse_fault_profile,
+)
+from repro.util.spec import (
+    format_spec,
+    format_value,
+    parse_spec,
+    parse_value,
+)
+
+#: Canonical alias: the fault factory, named like its three siblings.
+make_fault_profile = parse_fault_profile
+
+__all__ = [
+    "format_collective_spec",
+    "format_directory_spec",
+    "format_fault_entry",
+    "format_fault_profile",
+    "format_scheduler_spec",
+    "format_spec",
+    "format_value",
+    "make_collective",
+    "make_directory",
+    "make_fault_profile",
+    "make_scheduler",
+    "parse_collective_spec",
+    "parse_directory_spec",
+    "parse_fault_entry",
+    "parse_fault_profile",
+    "parse_scheduler_spec",
+    "parse_spec",
+    "parse_value",
+]

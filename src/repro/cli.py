@@ -64,6 +64,7 @@ uses the same repeatable ``--scheduler NAME`` flag (resolved through
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Dict, List, Optional
 
@@ -258,16 +259,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
     from repro.io import save_json, save_svg, save_trace, schedule_to_dict
 
-    if args.algorithm is not None and not args.scheduler:
-        print(
-            "note: --algorithm is a deprecated alias; use --scheduler",
-            file=sys.stderr,
-        )
-        name = args.algorithm
-    elif args.scheduler:
-        name = args.scheduler[-1]
-    else:
-        name = "openshop"
+    name = args.scheduler[-1] if args.scheduler else "openshop"
     scheduler = _resolve_schedulers([name])[name]
     problem = example_problem()
     schedule = scheduler(problem)
@@ -455,6 +447,62 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 title=(
                     f"all-reduce straggler serve "
                     f"(P={serve['meta']['num_procs']})"
+                ),
+            ))
+        if args.output:
+            print(f"\nwrote {args.output}")
+        return 0
+
+    if args.daemon_load or args.daemon_ps_fanin:
+        from repro.perf.bench import run_daemon_load, run_daemon_ps_fanin
+
+        def _daemon_rows(tier):
+            counters = tier["daemon"]["counters"]
+            return [
+                ["req/s", tier["throughput"]["requests_per_s"]],
+                ["accepted", tier["throughput"]["accepted"]],
+                ["retried", tier["throughput"]["retried"]],
+                ["dropped", tier["throughput"]["dropped"]],
+                ["decision p50 (ms)",
+                 tier["decision_latency"]["p50_s"] * 1e3],
+                ["decision p99 (ms)",
+                 tier["decision_latency"]["p99_s"] * 1e3],
+                ["batched", counters["batched"]],
+                ["decisions",
+                 " ".join(f"{k}={v}"
+                          for k, v in tier["decisions"].items())],
+            ]
+
+        if args.daemon_load:
+            tier = run_daemon_load(
+                args.daemon_tenants,
+                cohorts=args.daemon_cohorts,
+                procs=args.daemon_procs,
+                duration_s=args.daemon_duration,
+                output=args.output or None,
+            )
+            print(format_table(
+                ["metric", "value"], _daemon_rows(tier), precision=3,
+                title=(
+                    f"daemon load (t={tier['meta']['tenants']}, "
+                    f"cohorts={tier['meta']['cohorts']})"
+                ),
+            ))
+        if args.daemon_ps_fanin:
+            tier = run_daemon_ps_fanin(
+                args.daemon_tenants,
+                cohorts=args.daemon_cohorts,
+                procs=max(args.daemon_procs, 4),
+                duration_s=args.daemon_duration,
+                seed=args.seed,
+                output=args.output or None,
+            )
+            print()
+            print(format_table(
+                ["metric", "value"], _daemon_rows(tier), precision=3,
+                title=(
+                    f"daemon PS fan-in (t={tier['meta']['tenants']}, "
+                    f"heavy-tail cohorts={tier['meta']['cohorts']})"
                 ),
             ))
         if args.output:
@@ -661,7 +709,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     try:
         profile = parse_fault_profile(args.fault_profile)
-    except ValueError as exc:
+    except (KeyError, ValueError) as exc:
         print(f"error: bad --fault-profile spec: {exc}", file=sys.stderr)
         raise SystemExit(2)
     if profile:
@@ -764,6 +812,232 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.trace_out:
         session.metrics.save_chrome_trace(args.trace_out)
         print(f"wrote Chrome trace to {args.trace_out}")
+    return 0
+
+
+def _cmd_daemon(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.serve import DaemonConfig, SchedulerDaemon
+
+    if args.smoke:
+        return _daemon_smoke(args)
+
+    if not args.socket and not args.tcp:
+        args.socket = os.path.join(
+            tempfile.gettempdir(), "repro-daemon.sock"
+        )
+    config = _daemon_config(args)
+    daemon = SchedulerDaemon(config)
+    address = daemon.bind()
+    restored = daemon.counters["restored"]
+    print(
+        f"scheduler daemon listening on {address}"
+        + (f" ({restored} tenants restored)" if restored else "")
+    )
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        print("interrupted; shutting down")
+    return 0
+
+
+def _daemon_config(args: argparse.Namespace):
+    from repro.serve import DaemonConfig
+
+    host, port = "127.0.0.1", 0
+    if args.tcp:
+        host, _, raw_port = args.tcp.rpartition(":")
+        host = host or "127.0.0.1"
+        port = int(raw_port)
+    return DaemonConfig(
+        socket_path=args.socket,
+        host=host,
+        port=port,
+        max_queue=args.max_queue,
+        batch_max=args.batch_max,
+        state_file=args.state_file,
+        resume_from=args.resume,
+    )
+
+
+def _daemon_smoke(args: argparse.Namespace) -> int:
+    """Self-contained daemon acceptance run.
+
+    Starts a daemon, drives the multi-tenant load generator against it,
+    drains (snapshot) *mid-load*, kills the daemon, restarts it from the
+    snapshot, drives more load, then verifies zero accepted-request loss
+    (daemon counters: accepted == served) and bit-identical resume on
+    sample tenants against uninterrupted control sessions, with the
+    invariant oracle checking every control schedule.
+    """
+    import json as _json
+    import tempfile
+    import threading
+
+    from repro.serve import (
+        DaemonClient,
+        DaemonConfig,
+        LoadGenerator,
+        SchedulerDaemon,
+    )
+    from repro.serve.tenants import TenantProfile, TenantState
+    from repro.timing.validate import check_schedule
+
+    sock = args.socket or os.path.join(
+        tempfile.mkdtemp(prefix="repro-daemon-"), "daemon.sock"
+    )
+    state_file = args.state_file or sock + ".state.json"
+
+    def start(resume_from: str = ""):
+        daemon = SchedulerDaemon(
+            DaemonConfig(
+                socket_path=sock,
+                max_queue=args.max_queue,
+                batch_max=args.batch_max,
+                state_file=state_file,
+                resume_from=resume_from,
+            )
+        )
+        daemon.bind()
+        thread = threading.Thread(target=daemon.serve_forever, daemon=True)
+        thread.start()
+        return daemon, thread
+
+    generator = LoadGenerator(
+        sock,
+        tenants=args.tenants,
+        cohorts=args.cohorts,
+        procs=args.procs,
+        connections=args.connections,
+    )
+    phase_s = max(args.duration / 2.0, 1.0)
+
+    daemon1, thread1 = start()
+    print(
+        f"daemon up on {sock}: {args.tenants} tenants over "
+        f"{args.cohorts} cohorts, P={args.procs}"
+    )
+    report1 = generator.run(phase_s)
+    print(
+        f"phase 1: {report1.accepted} served at "
+        f"{report1.requests_per_s:.0f} req/s "
+        f"(p99 decision {report1.decision_p99_s * 1e3:.2f} ms, "
+        f"batched {report1.batched}, retried {report1.retried}, "
+        f"dropped {report1.dropped})"
+    )
+
+    # Drain mid-load: snapshot every tenant, then kill the daemon.
+    with DaemonClient(sock) as client:
+        drained = client.drain(state_file)
+        stats1 = client.stats()
+        client.shutdown()
+    thread1.join(timeout=10)
+    counters1 = stats1["counters"]
+    if counters1["accepted"] != counters1["served"]:
+        print(
+            f"FAIL: {counters1['accepted'] - counters1['served']} accepted "
+            f"requests lost at drain",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"drained {drained.tenants} tenants to {state_file} "
+        f"(accepted == served == {counters1['served']}); daemon killed"
+    )
+
+    daemon2, thread2 = start(resume_from=state_file)
+    report2 = generator.run(phase_s)
+    print(
+        f"phase 2 (restarted): {report2.accepted} served at "
+        f"{report2.requests_per_s:.0f} req/s "
+        f"(p99 decision {report2.decision_p99_s * 1e3:.2f} ms, "
+        f"dropped {report2.dropped})"
+    )
+
+    # Bit-identical resume: replay an uninterrupted control session for
+    # one tenant per sampled cohort and compare the next decision.
+    mismatches = 0
+    checked = 0
+    with DaemonClient(sock) as client:
+        for cohort in range(min(args.cohorts, 4)):
+            tenant = f"t-{cohort:04d}"  # tenant index == cohort for i < cohorts
+            opened = client.open(
+                tenant, procs=args.procs, seed=cohort
+            )
+            control = TenantState(
+                TenantProfile(
+                    tenant=tenant, procs=args.procs, seed=cohort
+                )
+            )
+            for _ in range(opened.tick):
+                control.session.tick(dt=generator.dt)
+            response = client.schedule(tenant, dt=generator.dt)
+            result = control.session.tick(dt=generator.dt)
+            check_schedule(result.schedule, require_coverage=False)
+            checked += 1
+            if (
+                response.decision != result.event.decision
+                or response.predicted_s != result.event.predicted_makespan
+                or response.executed_s != result.event.executed_makespan
+            ):
+                mismatches += 1
+                print(
+                    f"FAIL: tenant {tenant} diverged after restart: "
+                    f"daemon ({response.decision}, {response.predicted_s}, "
+                    f"{response.executed_s}) vs control "
+                    f"({result.event.decision}, "
+                    f"{result.event.predicted_makespan}, "
+                    f"{result.event.executed_makespan})",
+                    file=sys.stderr,
+                )
+        stats2 = client.stats()
+        client.shutdown()
+    thread2.join(timeout=10)
+
+    total_accepted = report1.accepted + report2.accepted
+    total_rps = (
+        total_accepted / max(report1.duration_s + report2.duration_s, 1e-9)
+    )
+    latency = stats2["decision_latency"]
+    print(
+        f"resume check: {checked} tenants bit-identical "
+        f"({mismatches} mismatches); overall {total_rps:.0f} req/s, "
+        f"daemon p99 decision {latency['p99_s'] * 1e3:.2f} ms"
+    )
+
+    failures = []
+    if mismatches:
+        failures.append(f"{mismatches} tenants diverged after restart")
+    if report1.dropped or report2.dropped:
+        failures.append(
+            f"{report1.dropped + report2.dropped} responses dropped "
+            f"without retry_after"
+        )
+    if not latency["count"]:
+        failures.append("empty decision-latency metrics")
+    if args.min_rps and total_rps < args.min_rps:
+        failures.append(
+            f"throughput {total_rps:.0f} req/s below --min-rps "
+            f"{args.min_rps:.0f}"
+        )
+    if args.metrics_out:
+        payload = {
+            "phase1": report1.to_dict(),
+            "phase2": report2.to_dict(),
+            "drain": {"tenants": drained.tenants, "path": state_file},
+            "resume_checked": checked,
+            "resume_mismatches": mismatches,
+            "daemon_stats": stats2,
+        }
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            _json.dump(payload, handle, indent=2)
+        print(f"wrote metrics JSON to {args.metrics_out}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("daemon smoke OK")
     return 0
 
 
@@ -908,10 +1182,6 @@ def build_parser() -> argparse.ArgumentParser:
         "export", parents=[scheduler_parent],
         help="export an example schedule (JSON/SVG/trace)",
     )
-    p_export.add_argument(
-        "--algorithm", default=None,
-        help="deprecated alias for --scheduler",
-    )
     p_export.add_argument("--output-dir", default="exported")
     p_export.set_defaults(func=_cmd_export)
 
@@ -984,6 +1254,36 @@ def build_parser() -> argparse.ArgumentParser:
             "episode at this processor count via the adaptive session "
             "(e.g. 512)"
         ),
+    )
+    p_bench.add_argument(
+        "--daemon-load", action="store_true",
+        help=(
+            "bench the multi-tenant scheduler daemon (throughput, "
+            "decision latency, batching) instead of the kernel bench"
+        ),
+    )
+    p_bench.add_argument(
+        "--daemon-ps-fanin", action="store_true",
+        help=(
+            "bench parameter-server fan-in through the daemon with a "
+            "heavy-tail Pareto cohort mix"
+        ),
+    )
+    p_bench.add_argument(
+        "--daemon-tenants", type=int, default=100, metavar="N",
+        help="tenant sessions for the daemon bench tiers",
+    )
+    p_bench.add_argument(
+        "--daemon-cohorts", type=int, default=16, metavar="N",
+        help="shared-profile cohorts for the daemon bench tiers",
+    )
+    p_bench.add_argument(
+        "--daemon-procs", type=int, default=6, metavar="P",
+        help="processors per tenant session in the daemon bench tiers",
+    )
+    p_bench.add_argument(
+        "--daemon-duration", type=float, default=6.0, metavar="S",
+        help="seconds of load per daemon bench tier",
     )
     p_bench.add_argument(
         "--cluster-size", type=int, default=64, metavar="N",
@@ -1112,6 +1412,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="Chrome trace output path ('' to skip)",
     )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_daemon = sub.add_parser(
+        "daemon",
+        help="run the multi-tenant scheduler daemon (or its smoke test)",
+    )
+    p_daemon.add_argument(
+        "--socket", default="",
+        help="unix socket path (default: a temp path; ignored with --tcp)",
+    )
+    p_daemon.add_argument(
+        "--tcp", default="", metavar="[HOST:]PORT",
+        help="listen on TCP instead of a unix socket",
+    )
+    p_daemon.add_argument(
+        "--max-queue", type=int, default=256,
+        help="bounded request-queue capacity (admission control beyond)",
+    )
+    p_daemon.add_argument(
+        "--batch-max", type=int, default=64,
+        help="max schedule requests drained per batching round",
+    )
+    p_daemon.add_argument(
+        "--state-file", default="",
+        help="drain/snapshot target (default: <socket>.state.json)",
+    )
+    p_daemon.add_argument(
+        "--resume", default="", metavar="STATE_FILE",
+        help="restore tenants from a state file written by drain",
+    )
+    p_daemon.add_argument(
+        "--smoke", action="store_true",
+        help="self-contained acceptance run: load generator, mid-load "
+             "drain + kill + restart, bit-identical resume verification",
+    )
+    p_daemon.add_argument(
+        "--tenants", type=int, default=100,
+        help="simulated tenants for --smoke (default: 100)",
+    )
+    p_daemon.add_argument(
+        "--cohorts", type=int, default=16,
+        help="distinct tenant profiles for --smoke (default: 16)",
+    )
+    p_daemon.add_argument(
+        "--procs", type=int, default=6,
+        help="processors per tenant for --smoke (default: 6)",
+    )
+    p_daemon.add_argument(
+        "--connections", type=int, default=4,
+        help="load-generator connections for --smoke (default: 4)",
+    )
+    p_daemon.add_argument(
+        "--duration", type=float, default=10.0,
+        help="total --smoke load seconds across both phases (default: 10)",
+    )
+    p_daemon.add_argument(
+        "--min-rps", type=float, default=0.0,
+        help="fail --smoke below this accepted-requests/sec (default: off)",
+    )
+    p_daemon.add_argument(
+        "--metrics-out", default="daemon_metrics.json",
+        help="--smoke metrics JSON output path ('' to skip)",
+    )
+    p_daemon.set_defaults(func=_cmd_daemon)
 
     p_collective = sub.add_parser(
         "collective", parents=[directory_parent],

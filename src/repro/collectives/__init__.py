@@ -63,7 +63,6 @@ from repro.collectives.reduce import (
     reduce_via_tree,
 )
 from repro.collectives.registry import (
-    ALL_COLLECTIVES,
     Collective,
     CollectiveResult,
     CollectiveSpec,
@@ -78,7 +77,6 @@ from repro.collectives.registry import (
 from repro.collectives.scatter import scatter_direct, scatter_via_tree
 
 __all__ = [
-    "ALL_COLLECTIVES",
     "AllreducePlan",
     "Collective",
     "CollectiveResult",

@@ -12,14 +12,13 @@ callable, and :func:`make_collective` builds parameterized variants
 (root choice, combine rates, ring orders, exchange scheduler) from
 stable string names with keyword-only options.
 
-The legacy ``ALL_COLLECTIVES`` dict is importable but warns with
-:class:`DeprecationWarning` on access — use
-``iter_collective_specs(family=...)`` instead.
+The legacy ``ALL_COLLECTIVES`` dict (deprecated since this registry
+landed) has been removed — use ``iter_collective_specs(family=...)``
+instead.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -660,55 +659,3 @@ def make_collective(name: str, **options: Any) -> Collective:
         options = parsed
     return get_collective_spec(name).build(**options)
 
-
-# ---------------------------------------------------------------------------
-# Legacy dict API (deprecated), mirroring registry.ALL_SCHEDULERS.
-# ---------------------------------------------------------------------------
-
-
-class _DeprecatedCollectiveDict(Dict[str, Collective]):
-    """A dict that warns on access; kept so old imports keep working."""
-
-    def _warn(self) -> None:
-        warnings.warn(
-            "repro.collectives.registry.ALL_COLLECTIVES is deprecated; use "
-            "iter_collective_specs(), get_collective() or make_collective() "
-            "instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-
-    def __getitem__(self, key: str) -> Collective:
-        self._warn()
-        return super().__getitem__(key)
-
-    def get(self, key, default=None):
-        self._warn()
-        return super().get(key, default)
-
-    def __contains__(self, key) -> bool:
-        self._warn()
-        return super().__contains__(key)
-
-    def __iter__(self):
-        self._warn()
-        return super().__iter__()
-
-    def keys(self):
-        self._warn()
-        return super().keys()
-
-    def values(self):
-        self._warn()
-        return super().values()
-
-    def items(self):
-        self._warn()
-        return super().items()
-
-
-#: Deprecated: name -> default-configured collective.  Use
-#: ``iter_collective_specs()``.
-ALL_COLLECTIVES: Dict[str, Collective] = _DeprecatedCollectiveDict(
-    {spec.name: spec.fn for spec in iter_collective_specs()}
-)

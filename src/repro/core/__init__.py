@@ -34,17 +34,17 @@ from repro.core.problem import (
     tight_baseline_instance,
 )
 from repro.core.registry import (
-    ALL_SCHEDULERS,
     SchedulerSpec,
+    format_scheduler_spec,
     get_scheduler,
     get_spec,
     iter_specs,
     make_scheduler,
+    parse_scheduler_spec,
     scheduler_names,
 )
 
 __all__ = [
-    "ALL_SCHEDULERS",
     "ClusterAssignment",
     "HierarchicalScheduler",
     "SchedulerSpec",
@@ -55,12 +55,14 @@ __all__ = [
     "detect_clusters",
     "schedule_baseline_nosync",
     "example_problem",
+    "format_scheduler_spec",
     "get_scheduler",
     "get_spec",
     "greedy_orders",
     "iter_specs",
     "make_scheduler",
     "matching_orders",
+    "parse_scheduler_spec",
     "schedule_baseline",
     "schedule_greedy",
     "schedule_hierarchical",

@@ -14,14 +14,13 @@ resolves a name to its default-configured callable, and
 choice, relayed/partitioned open shop, preemptive optimum, local-search
 budgets) from stable string names with keyword-only options.
 
-The legacy ``ALL_SCHEDULERS`` / ``EXTRA_SCHEDULERS`` dicts remain
-importable but warn with :class:`DeprecationWarning` on access — use
+The legacy ``ALL_SCHEDULERS`` / ``EXTRA_SCHEDULERS`` dicts (deprecated
+since the registry landed) have been removed — use
 ``iter_specs(tier=...)`` instead.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -52,6 +51,7 @@ from repro.core.openshop import schedule_openshop
 from repro.core.problem import TotalExchangeProblem
 from repro.directory.service import DirectorySnapshot
 from repro.timing.events import Schedule
+from repro.util.spec import format_spec, parse_spec
 
 Scheduler = Callable[[TotalExchangeProblem], Schedule]
 
@@ -455,6 +455,35 @@ def get_scheduler(name: str) -> Scheduler:
     return get_spec(name).fn
 
 
+def parse_scheduler_spec(spec: str) -> Tuple[str, Dict[str, Any]]:
+    """Split a scheduler spec string into ``(name, options)``.
+
+    The grammar is the shared ``name[:key=value,...]`` spec grammar
+    (:func:`repro.util.spec.parse_spec`) with one registry-specific
+    rule: a string that *is* a registered name is returned verbatim,
+    so the explicit matching variants (``"matching_min:auction"``),
+    whose names contain a ``:``, stay addressable.
+    """
+    if spec in _SPECS:
+        return spec, {}
+    name, options = parse_spec(spec, kind="scheduler spec")
+    if name not in _SPECS:
+        known = ", ".join(_SPECS)
+        raise KeyError(f"unknown scheduler {name!r}; known: {known}")
+    return name, options
+
+
+def format_scheduler_spec(name: str, options: Mapping[str, Any]) -> str:
+    """Inverse of :func:`parse_scheduler_spec` (canonical key order)."""
+    get_spec(name)  # validate the name, with the friendly message
+    if ":" in name and options:
+        raise ValueError(
+            f"scheduler {name!r} already encodes its variant; it takes "
+            f"no spec options"
+        )
+    return format_spec(name, options)
+
+
 def make_scheduler(name: str, **options: Any) -> Scheduler:
     """Build a scheduler from its stable name and keyword-only options.
 
@@ -464,71 +493,14 @@ def make_scheduler(name: str, **options: Any) -> Scheduler:
     ``make_scheduler("matching_min:auction")``,
     ``make_scheduler("openshop_partitioned", chunks=4)``, ...
 
+    ``name`` may also be a full spec string in the shared
+    ``name[:key=value,...]`` grammar —
+    ``make_scheduler("openshop_partitioned:chunks=4")`` — with explicit
+    keyword options layered on top of (and overriding) the spec's.
+
     Raises ``KeyError`` for unknown names (listing the known ones) and
     ``TypeError`` for options the scheduler does not accept.
     """
-    return get_spec(name).build(**options)
-
-
-# ---------------------------------------------------------------------------
-# Legacy dict API (deprecated).
-# ---------------------------------------------------------------------------
-
-
-class _DeprecatedSchedulerDict(Dict[str, Scheduler]):
-    """A dict that warns on access; kept so old imports keep working."""
-
-    def __init__(self, attribute: str, data: Mapping[str, Scheduler]):
-        super().__init__(data)
-        self._attribute = attribute
-
-    def _warn(self) -> None:
-        warnings.warn(
-            f"repro.core.registry.{self._attribute} is deprecated; use "
-            "iter_specs(), get_scheduler() or make_scheduler() instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-
-    def __getitem__(self, key: str) -> Scheduler:
-        self._warn()
-        return super().__getitem__(key)
-
-    def get(self, key, default=None):
-        self._warn()
-        return super().get(key, default)
-
-    def __contains__(self, key) -> bool:
-        self._warn()
-        return super().__contains__(key)
-
-    def __iter__(self):
-        self._warn()
-        return super().__iter__()
-
-    def keys(self):
-        self._warn()
-        return super().keys()
-
-    def values(self):
-        self._warn()
-        return super().values()
-
-    def items(self):
-        self._warn()
-        return super().items()
-
-
-#: Deprecated: the paper's figure algorithms.  Use
-#: ``iter_specs(tier="paper")``.
-ALL_SCHEDULERS: Dict[str, Scheduler] = _DeprecatedSchedulerDict(
-    "ALL_SCHEDULERS",
-    {spec.name: spec.fn for spec in iter_specs(tier="paper")},
-)
-
-#: Deprecated: the non-figure comparators.  Use
-#: ``iter_specs(tier="extra")``.
-EXTRA_SCHEDULERS: Dict[str, Scheduler] = _DeprecatedSchedulerDict(
-    "EXTRA_SCHEDULERS",
-    {spec.name: spec.fn for spec in iter_specs(tier="extra")},
-)
+    name, spec_options = parse_scheduler_spec(name)
+    spec_options.update(options)
+    return get_spec(name).build(**spec_options)

@@ -28,6 +28,8 @@ from repro.faults.models import (
     NAMED_PROFILES,
     apply_fault_to_snapshot,
     apply_fault_to_state,
+    format_fault_entry,
+    format_fault_profile,
     parse_fault_entry,
     parse_fault_profile,
     smoke_fault_profile,
@@ -56,6 +58,8 @@ __all__ = [
     "apply_fault_to_snapshot",
     "apply_fault_to_state",
     "cut_execution",
+    "format_fault_entry",
+    "format_fault_profile",
     "merge_with_salvaged",
     "parse_fault_entry",
     "parse_fault_profile",

@@ -34,6 +34,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.directory.service import DirectorySnapshot
+from repro.util.spec import format_spec, parse_spec
 
 #: Fault kind names (stable spelling used by specs, metrics and docs).
 LINK_DEAD = "link_dead"
@@ -292,40 +293,76 @@ _SPEC_KEYS = {
 _INT_KEYS = {"src", "dst", "node", "at_event"}
 
 
-def _parse_value(key: str, raw: str):
-    raw = raw.strip()
-    try:
-        if key in _INT_KEYS:
-            return int(raw)
-        if key == "symmetric":
-            return bool(int(raw))
-        return float(raw)
-    except ValueError as exc:
+def _coerce_value(entry: str, key: str, value):
+    """Narrow a shared-grammar value to the key's expected type."""
+    if key in _INT_KEYS:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ValueError(
+                f"bad value {value!r} for fault option {key!r} in "
+                f"{entry!r}: expected an integer"
+            )
+        return value
+    if key == "symmetric":
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, int):
+            return bool(value)
         raise ValueError(
-            f"bad value {raw!r} for fault option {key!r}"
-        ) from exc
+            f"bad value {value!r} for fault option {key!r} in {entry!r}: "
+            f"expected a boolean (true/false/1/0)"
+        )
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(
+            f"bad value {value!r} for fault option {key!r} in {entry!r}: "
+            f"expected a number"
+        )
+    return float(value)
 
 
 def parse_fault_entry(entry: str) -> Fault:
-    """One ``kind:key=val,key=val`` spec entry -> :class:`Fault`."""
-    entry = entry.strip()
-    kind, _, rest = entry.partition(":")
-    kind = kind.strip()
+    """One ``kind:key=val,key=val`` spec entry -> :class:`Fault`.
+
+    This is the shared ``name[:key=value,...]`` grammar of
+    :func:`repro.util.spec.parse_spec` — the same strings
+    ``make_directory`` / ``make_scheduler`` / ``make_collective``
+    accept — with fault-specific keys and the ``recover`` alias for
+    ``duration``.
+    """
+    kind, raw_options = parse_spec(
+        entry, known=FAULT_KINDS, kind="fault spec", name_kind="fault kind"
+    )
     options = {}
-    if rest.strip():
-        for item in rest.split(","):
-            key, sep, raw = item.partition("=")
-            key = key.strip()
-            if not sep or key not in _SPEC_KEYS:
-                raise ValueError(
-                    f"bad fault option {item!r} in {entry!r}; expected "
-                    f"key=value with key in {sorted(_SPEC_KEYS)}"
-                )
-            options[key] = _parse_value(key, raw)
+    for key, value in raw_options.items():
+        if key not in _SPEC_KEYS:
+            raise ValueError(
+                f"bad fault option {key!r} in {entry!r}; expected "
+                f"key=value with key in {sorted(_SPEC_KEYS)}"
+            )
+        options[key] = _coerce_value(entry, key, value)
     if "recover" in options:
         options.setdefault("duration", options.pop("recover"))
     options.setdefault("at", 0.0)
     return Fault(kind=kind, **options)
+
+
+def format_fault_entry(fault: Fault) -> str:
+    """The canonical spec string for ``fault``.
+
+    Inverse of :func:`parse_fault_entry`:
+    ``parse_fault_entry(format_fault_entry(f)) == f`` for every valid
+    fault (defaults are omitted, keys are emitted in sorted order by the
+    shared :func:`repro.util.spec.format_spec`).
+    """
+    options: dict = {"at": fault.at}
+    for key in ("src", "dst", "node", "duration", "at_event"):
+        value = getattr(fault, key)
+        if value is not None:
+            options[key] = value
+    if fault.factor != 1.0:
+        options["factor"] = fault.factor
+    if not fault.symmetric:
+        options["symmetric"] = False
+    return format_spec(fault.kind, options)
 
 
 def smoke_fault_profile() -> FaultProfile:
@@ -372,3 +409,11 @@ def parse_fault_profile(spec: Optional[str]) -> FaultProfile:
         if entry.strip()
     ]
     return FaultProfile(faults=tuple(faults))
+
+
+def format_fault_profile(profile: FaultProfile) -> str:
+    """The canonical ``;``-joined spec for ``profile`` (``"none"`` when
+    empty); ``parse_fault_profile`` recovers an equal profile."""
+    if not profile.faults:
+        return "none"
+    return ";".join(format_fault_entry(fault) for fault in profile.faults)

@@ -555,6 +555,217 @@ def run_allreduce_straggler_serve(
     return payload
 
 
+def _drive_daemon(
+    *,
+    tenants: int,
+    cohorts: int,
+    procs: int,
+    connections: int,
+    duration_s: float,
+    scheduler: str,
+    directory: str,
+    workload: str,
+    workloads: Optional[Sequence[str]] = None,
+    max_queue: int = 512,
+    batch_max: int = 64,
+) -> Tuple[Any, Dict[str, Any]]:
+    """Start a daemon on a temp unix socket, drive load, tear down.
+
+    Returns the generator's :class:`~repro.serve.client.LoadReport` and
+    the daemon's final ``stats()`` payload.
+    """
+    import os
+    import tempfile
+    import threading
+
+    from repro.serve import (
+        DaemonClient,
+        DaemonConfig,
+        LoadGenerator,
+        SchedulerDaemon,
+    )
+
+    sock = os.path.join(
+        tempfile.mkdtemp(prefix="repro-bench-daemon-"), "daemon.sock"
+    )
+    daemon = SchedulerDaemon(
+        DaemonConfig(
+            socket_path=sock, max_queue=max_queue, batch_max=batch_max
+        )
+    )
+    daemon.bind()
+    thread = threading.Thread(target=daemon.serve_forever, daemon=True)
+    thread.start()
+    try:
+        generator = LoadGenerator(
+            sock,
+            tenants=tenants,
+            cohorts=cohorts,
+            procs=procs,
+            scheduler=scheduler,
+            directory=directory,
+            workload=workload,
+            workloads=workloads,
+            connections=connections,
+        )
+        report = generator.run(duration_s)
+        with DaemonClient(sock) as client:
+            stats = client.stats()
+            client.shutdown()
+    finally:
+        thread.join(timeout=10)
+    return report, stats
+
+
+def _daemon_payload(
+    report: Any, stats: Dict[str, Any], meta: Dict[str, Any]
+) -> Dict[str, Any]:
+    return {
+        "meta": meta,
+        "throughput": {
+            "requests_per_s": report.requests_per_s,
+            "requests": report.requests,
+            "accepted": report.accepted,
+            "retried": report.retried,
+            "dropped": report.dropped,
+            "errors": report.errors,
+            "backpressured": report.backpressured,
+        },
+        "decision_latency": {
+            "p50_s": report.decision_p50_s,
+            "p99_s": report.decision_p99_s,
+        },
+        "client_latency": {
+            "p50_s": report.latency_p50_s,
+            "p99_s": report.latency_p99_s,
+        },
+        "decisions": dict(report.decisions),
+        "batching": {
+            "batched": report.batched,
+            "cache_hits": report.cache_hits,
+            "daemon_batched": stats["counters"]["batched"],
+        },
+        "daemon": {
+            "counters": dict(stats["counters"]),
+            "cache": dict(stats["cache"]),
+            "decision_latency": dict(stats["decision_latency"]),
+        },
+    }
+
+
+def run_daemon_load(
+    tenants: int = 100,
+    *,
+    cohorts: int = 16,
+    procs: int = 6,
+    connections: int = 4,
+    duration_s: float = 6.0,
+    scheduler: str = "openshop",
+    directory: str = "drift:sigma=0.02",
+    workload: str = "mixed",
+    output: Optional[PathLike] = None,
+) -> Dict[str, Any]:
+    """Multi-tenant daemon load tier: throughput and decision latency.
+
+    Spins up a :class:`~repro.serve.SchedulerDaemon` on a temp unix
+    socket and drives it with the closed-loop pipelined load generator
+    (``tenants`` sessions over ``cohorts`` shared profiles, so
+    same-digest requests exercise cross-tenant batching).  Records
+    end-to-end req/s, daemon-side decision-latency percentiles, the
+    decision mix, and batching/cache effectiveness.  Lands under
+    ``extra["daemon_load_t{tenants}"]``.
+    """
+    report, stats = _drive_daemon(
+        tenants=tenants,
+        cohorts=cohorts,
+        procs=procs,
+        connections=connections,
+        duration_s=duration_s,
+        scheduler=scheduler,
+        directory=directory,
+        workload=workload,
+    )
+    payload = _daemon_payload(report, stats, {
+        "tenants": tenants,
+        "cohorts": cohorts,
+        "num_procs": procs,
+        "connections": connections,
+        "duration_s": duration_s,
+        "scheduler": scheduler,
+        "directory": directory,
+        "workload": workload,
+    })
+    if output is not None:
+        update_bench_json(f"daemon_load_t{tenants}", payload, output)
+    return payload
+
+
+def run_daemon_ps_fanin(
+    tenants: int = 64,
+    *,
+    cohorts: int = 8,
+    procs: int = 8,
+    connections: int = 4,
+    duration_s: float = 6.0,
+    servers: int = 1,
+    block_scale: float = float(1 << 20),
+    pareto_alpha: float = 1.2,
+    scheduler: str = "openshop",
+    directory: str = "drift:sigma=0.02",
+    seed: int = 0,
+    output: Optional[PathLike] = None,
+) -> Dict[str, Any]:
+    """Parameter-server fan-in through the daemon with a heavy-tail mix.
+
+    Each cohort serves the parameter-server demand matrix
+    (:func:`repro.workloads.mltraining.parameter_server_sizes`) with its
+    own gradient size drawn from a Pareto(``pareto_alpha``) distribution
+    scaled by ``block_scale`` — a heavy-tail tenant mix where a few
+    cohorts push order-of-magnitude larger pushes/pulls through the same
+    daemon.  Fan-in concentrates all demand on the server rows, the
+    worst case for the per-tenant planning problems.  Lands under
+    ``extra["daemon_ps_fanin_t{tenants}"]``.
+    """
+    rng = np.random.default_rng(seed)
+    block_sizes = [
+        float(block_scale * (1.0 + draw))
+        for draw in rng.pareto(pareto_alpha, size=cohorts)
+    ]
+    workloads = [
+        f"ps:block_bytes={block:.0f},servers={servers}"
+        for block in block_sizes
+    ]
+    report, stats = _drive_daemon(
+        tenants=tenants,
+        cohorts=cohorts,
+        procs=procs,
+        connections=connections,
+        duration_s=duration_s,
+        scheduler=scheduler,
+        directory=directory,
+        workload=workloads[0],
+        workloads=workloads,
+    )
+    payload = _daemon_payload(report, stats, {
+        "tenants": tenants,
+        "cohorts": cohorts,
+        "num_procs": procs,
+        "connections": connections,
+        "duration_s": duration_s,
+        "scheduler": scheduler,
+        "directory": directory,
+        "servers": servers,
+        "block_scale": block_scale,
+        "pareto_alpha": pareto_alpha,
+        "seed": seed,
+        "workload": "parameter-server fan-in, heavy-tail cohort mix",
+        "cohort_block_bytes": block_sizes,
+    })
+    if output is not None:
+        update_bench_json(f"daemon_ps_fanin_t{tenants}", payload, output)
+    return payload
+
+
 def _bench_one_size(
     num_procs: int,
     *,

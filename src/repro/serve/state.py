@@ -1,0 +1,166 @@
+"""Session snapshot + restore for graceful drain/restart.
+
+:func:`session_state` captures everything an
+:class:`~repro.runtime.session.AdaptiveSession` needs to keep making
+the *same* decisions after a process boundary: the active plan (orders,
+basis cost, predicted makespan, repairable event schedule), the policy
+counters (tick index, reuse streak, plan age), and the fault-tracking
+state (declared-dead link mask, last fault-scan time, faults already
+counted).  :func:`restore_session_state` writes that state back into a
+freshly constructed session.
+
+What is deliberately *not* snapshot:
+
+* **The schedule cache.**  Schedulers are deterministic, so a restarted
+  daemon recomputes exactly what the cache held; only the first tick
+  after restart pays the recompute.  Bit-identity of *decisions* is
+  preserved — ``cache_hit`` flags on the first post-restart ticks are
+  the one legitimate difference, and the drain/restart test compares
+  decisions/makespans/digests, never ``cache_hit``.
+* **The directory.**  The daemon records the directory's clock and the
+  spec it was built from; restore rebuilds the directory and advances
+  it to the recorded time.  This is bit-exact for the time-deterministic
+  flavours (``static``, ``gusto``, ``drift``, ``dynamics``, trace
+  replay) which is why the daemon defaults tenants to ``drift``.
+  ``noisy``/``perturb`` directories draw from an RNG on every query and
+  cannot be resumed bit-identically — the daemon refuses to snapshot
+  such tenants rather than silently diverge.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.io.serialize import schedule_from_dict, schedule_to_dict
+from repro.runtime.session import AdaptiveSession, _Plan
+
+#: Format tag written into every state payload.
+STATE_FORMAT = "repro/session-state"
+STATE_VERSION = 1
+
+
+def _plan_state(plan: Optional[_Plan]) -> Optional[Dict[str, Any]]:
+    if plan is None:
+        return None
+    return {
+        "orders": [list(map(int, order)) for order in plan.orders],
+        "basis_cost": np.asarray(plan.basis_cost, dtype=float).tolist(),
+        "predicted_makespan": float(plan.predicted_makespan),
+        "schedule": (
+            schedule_to_dict(plan.schedule)
+            if plan.schedule is not None
+            else None
+        ),
+    }
+
+
+def _plan_from_state(state: Optional[Dict[str, Any]]) -> Optional[_Plan]:
+    if state is None:
+        return None
+    return _Plan(
+        orders=[list(map(int, order)) for order in state["orders"]],
+        basis_cost=np.asarray(state["basis_cost"], dtype=float),
+        predicted_makespan=float(state["predicted_makespan"]),
+        schedule=(
+            schedule_from_dict(state["schedule"])
+            if state.get("schedule") is not None
+            else None
+        ),
+    )
+
+
+def _fault_state(fault: Any) -> Dict[str, Any]:
+    # Fault is a frozen dataclass of JSON scalars; keep only non-defaults
+    # compact is not worth it — dump all fields for unambiguous restore.
+    return {
+        "kind": fault.kind,
+        "at": fault.at,
+        "src": fault.src,
+        "dst": fault.dst,
+        "node": fault.node,
+        "duration": fault.duration,
+        "factor": fault.factor,
+        "at_event": fault.at_event,
+        "symmetric": fault.symmetric,
+    }
+
+
+def _fault_from_state(state: Dict[str, Any]) -> Any:
+    from repro.faults.models import Fault
+
+    return Fault(**state)
+
+
+def session_state(session: AdaptiveSession) -> Dict[str, Any]:
+    """Serialize the mutable state of ``session`` to a JSON-safe dict."""
+    last_scan = session._last_fault_scan
+    return {
+        "format": STATE_FORMAT,
+        "version": STATE_VERSION,
+        "tick_index": session._tick_index,
+        "reuse_streak": session._reuse_streak,
+        "ticks_since_reschedule": session._ticks_since_reschedule,
+        "plan": _plan_state(session._plan),
+        "declared_dead": np.asarray(
+            session._declared_dead, dtype=bool
+        ).tolist(),
+        # -inf (never scanned) is not valid JSON; encode as None.
+        "last_fault_scan": (
+            None if last_scan == float("-inf") else float(last_scan)
+        ),
+        "seen_faults": sorted(
+            (_fault_state(fault) for fault in session._seen_faults),
+            key=lambda f: (f["kind"], f["at"], str(f)),
+        ),
+        "last_schedule": (
+            schedule_to_dict(session.last_schedule)
+            if session.last_schedule is not None
+            else None
+        ),
+    }
+
+
+def restore_session_state(
+    session: AdaptiveSession, state: Dict[str, Any]
+) -> AdaptiveSession:
+    """Write a :func:`session_state` payload back into ``session``.
+
+    ``session`` must have been constructed with the same problem shape
+    (procs, scheduler, policy) it was snapshot with; the caller — the
+    daemon's tenant layer — guarantees that by rebuilding from the same
+    :class:`~repro.serve.tenants.TenantProfile`.
+    """
+    if state.get("format") != STATE_FORMAT:
+        raise ValueError(
+            f"not a session-state payload: format={state.get('format')!r}"
+        )
+    if state.get("version") != STATE_VERSION:
+        raise ValueError(
+            f"session-state version {state.get('version')!r} unsupported "
+            f"(expected {STATE_VERSION})"
+        )
+    session._tick_index = int(state["tick_index"])
+    session._reuse_streak = int(state["reuse_streak"])
+    session._ticks_since_reschedule = int(state["ticks_since_reschedule"])
+    session._plan = _plan_from_state(state.get("plan"))
+    declared = np.asarray(state["declared_dead"], dtype=bool)
+    if declared.shape != session._declared_dead.shape:
+        raise ValueError(
+            f"declared_dead shape {declared.shape} does not match the "
+            f"session's {session._declared_dead.shape} — wrong procs?"
+        )
+    session._declared_dead = declared
+    last_scan = state.get("last_fault_scan")
+    session._last_fault_scan = (
+        float("-inf") if last_scan is None else float(last_scan)
+    )
+    session._seen_faults = {
+        _fault_from_state(fault) for fault in state.get("seen_faults", [])
+    }
+    last_schedule = state.get("last_schedule")
+    session.last_schedule = (
+        schedule_from_dict(last_schedule) if last_schedule is not None else None
+    )
+    return session

@@ -68,12 +68,26 @@ def test_export_command(capsys, tmp_path):
     assert (out_dir / "example_openshop.trace.json").exists()
 
 
-def test_export_custom_algorithm(tmp_path):
+def test_export_custom_scheduler(tmp_path):
     out_dir = tmp_path / "exported"
     assert main(
-        ["export", "--algorithm", "greedy", "--output-dir", str(out_dir)]
+        ["export", "--scheduler", "greedy", "--output-dir", str(out_dir)]
     ) == 0
     assert (out_dir / "example_greedy.svg").exists()
+
+
+def test_export_algorithm_alias_removed(tmp_path):
+    # --algorithm finished its deprecation cycle; argparse must reject it.
+    with pytest.raises(SystemExit):
+        main(
+            [
+                "export",
+                "--algorithm",
+                "greedy",
+                "--output-dir",
+                str(tmp_path / "exported"),
+            ]
+        )
 
 
 def test_claims_command(capsys):

@@ -1,13 +1,10 @@
-"""Collective registry tests: specs, the factory, and the legacy shim."""
-
-import warnings
+"""Collective registry tests: specs, the factory, and spec strings."""
 
 import numpy as np
 import pytest
 
 import repro
 from repro.collectives import (
-    ALL_COLLECTIVES,
     collective_names,
     get_collective,
     get_collective_spec,
@@ -106,19 +103,16 @@ class TestFactory:
         assert "broadcast_fnf" in fn.__name__ and "root=2" in fn.__name__
 
 
-class TestDeprecatedShim:
-    def test_all_collectives_warns_and_works(self):
-        snapshot = make_snapshot()
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            fn = ALL_COLLECTIVES["broadcast_binomial"]
-        assert any(
-            issubclass(w.category, DeprecationWarning) for w in caught
-        )
-        result = fn(snapshot, 1e5)
-        assert result.completion_time > 0
+class TestShimRemoved:
+    def test_all_collectives_is_gone(self):
+        # The ALL_COLLECTIVES deprecation cycle is over.
+        import repro.collectives
+        import repro.collectives.registry as registry
 
-    def test_shim_matches_registry(self):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            assert set(ALL_COLLECTIVES) == set(collective_names())
+        assert not hasattr(repro.collectives, "ALL_COLLECTIVES")
+        assert not hasattr(registry, "ALL_COLLECTIVES")
+
+    def test_registry_covers_names(self):
+        assert set(collective_names()) == {
+            spec.name for spec in iter_collective_specs()
+        }

@@ -1,0 +1,384 @@
+"""End-to-end daemon tests: admission control, backpressure, batching,
+drain/restart resume, and crash-resistance against hostile frames.
+
+Every test runs a real :class:`SchedulerDaemon` event loop in a thread
+against a unix socket in ``tmp_path`` and speaks the actual wire
+protocol through :class:`DaemonClient`.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.serve import (
+    DaemonClient,
+    DaemonConfig,
+    SchedulerDaemon,
+)
+from repro.serve.protocol import (
+    ErrorResponse,
+    ScheduleRequest,
+    ScheduleResponse,
+)
+from repro.serve.tenants import TenantProfile, TenantState
+from repro.timing.validate import check_schedule
+
+
+def start_daemon(tmp_path, **overrides):
+    sock = str(tmp_path / "daemon.sock")
+    config = DaemonConfig(socket_path=sock, **overrides)
+    daemon = SchedulerDaemon(config)
+    daemon.bind()
+    thread = threading.Thread(target=daemon.serve_forever, daemon=True)
+    thread.start()
+    return daemon, thread, sock
+
+
+def stop_daemon(daemon, thread):
+    daemon.request_stop()
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+
+
+# -- basic flow -------------------------------------------------------------
+
+
+def test_hello_open_schedule(tmp_path):
+    daemon, thread, sock = start_daemon(tmp_path)
+    try:
+        with DaemonClient(sock) as client:
+            hello = client.hello()
+            assert hello.tenants == 0 and not hello.draining
+            opened = client.open("alpha", procs=5, seed=3)
+            assert opened.tenant == "alpha"
+            assert opened.procs == 5
+            assert opened.tick == 0 and not opened.restored
+            first = client.schedule("alpha")
+            assert isinstance(first, ScheduleResponse)
+            assert first.tick == 0
+            assert first.decision in (
+                "reuse", "refine", "repair", "reschedule"
+            )
+            assert first.executed_s > 0
+            second = client.schedule("alpha")
+            assert second.tick == 1
+            assert client.hello().tenants == 1
+    finally:
+        stop_daemon(daemon, thread)
+    assert daemon.counters["served"] == 2
+
+
+def test_open_is_idempotent(tmp_path):
+    daemon, thread, sock = start_daemon(tmp_path)
+    try:
+        with DaemonClient(sock) as client:
+            client.open("alpha", procs=5)
+            client.schedule("alpha")
+            reopened = client.open("alpha", procs=5)
+            assert reopened.tick == 1
+            assert daemon.counters["opened"] == 1
+    finally:
+        stop_daemon(daemon, thread)
+
+
+def test_open_bad_spec_is_clean_error(tmp_path):
+    daemon, thread, sock = start_daemon(tmp_path)
+    try:
+        with DaemonClient(sock) as client:
+            with pytest.raises(RuntimeError, match="malformed"):
+                client.open("alpha", scheduler="frobnicator")
+            with pytest.raises(RuntimeError, match="malformed"):
+                client.open("beta", directory="drift:sigma=huh")
+            # the daemon is still serving and neither tenant leaked in
+            assert client.hello().tenants == 0
+    finally:
+        stop_daemon(daemon, thread)
+
+
+def test_unknown_tenant(tmp_path):
+    daemon, thread, sock = start_daemon(tmp_path)
+    try:
+        with DaemonClient(sock) as client:
+            response = client.schedule("ghost")
+            assert isinstance(response, ErrorResponse)
+            assert response.code == "unknown_tenant"
+            assert response.retry_after_s is None
+    finally:
+        stop_daemon(daemon, thread)
+
+
+# -- admission control and backpressure -------------------------------------
+
+
+def test_saturated_rejection_carries_retry_after(tmp_path):
+    daemon, thread, sock = start_daemon(tmp_path, max_queue=1)
+    burst = 32
+    try:
+        with DaemonClient(sock) as client:
+            client.open("alpha", procs=4)
+            for _ in range(burst):
+                client.send(ScheduleRequest(tenant="alpha"))
+            responses = [client.recv() for _ in range(burst)]
+    finally:
+        stop_daemon(daemon, thread)
+    rejected = [r for r in responses if isinstance(r, ErrorResponse)]
+    served = [r for r in responses if isinstance(r, ScheduleResponse)]
+    assert rejected, "a 1-deep queue must shed most of a 32-burst"
+    assert len(served) + len(rejected) == burst
+    for error in rejected:
+        assert error.code == "saturated"
+        assert error.retry_after_s is not None and error.retry_after_s > 0
+    assert daemon.counters["rejected_saturated"] == len(rejected)
+    assert daemon.counters["accepted"] == daemon.counters["served"]
+
+
+def test_backpressure_flag_past_high_watermark(tmp_path):
+    # batch_max=2 keeps later requests sitting in the queue while the
+    # early ones are answered, so those responses see a real depth
+    daemon, thread, sock = start_daemon(
+        tmp_path, max_queue=64, high_watermark=0.05, batch_max=2
+    )
+    burst = 16
+    try:
+        with DaemonClient(sock) as client:
+            client.open("alpha", procs=4)
+            for _ in range(burst):
+                client.send(ScheduleRequest(tenant="alpha"))
+            responses = [client.recv() for _ in range(burst)]
+    finally:
+        stop_daemon(daemon, thread)
+    assert all(isinstance(r, ScheduleResponse) for r in responses)
+    # the early responses see the rest of the burst still queued
+    assert any(r.queue_depth > 0 for r in responses)
+    assert any(r.backpressure for r in responses)
+    # depth drains monotonically within one pipelined burst
+    assert responses[-1].queue_depth == 0
+
+
+def test_draining_rejects_with_retry_after(tmp_path):
+    state_file = str(tmp_path / "state.json")
+    daemon, thread, sock = start_daemon(tmp_path)
+    try:
+        with DaemonClient(sock) as client:
+            client.open("alpha", procs=4)
+            client.schedule("alpha")
+            drained = client.drain(state_file)
+            assert drained.tenants == 1
+            response = client.schedule("alpha")
+            assert isinstance(response, ErrorResponse)
+            assert response.code == "draining"
+            assert response.retry_after_s is not None
+            assert client.hello().draining
+    finally:
+        stop_daemon(daemon, thread)
+    assert daemon.counters["rejected_draining"] == 1
+    assert daemon.counters["accepted"] == daemon.counters["served"]
+
+
+def test_snapshot_keeps_serving(tmp_path):
+    state_file = str(tmp_path / "snap.json")
+    daemon, thread, sock = start_daemon(tmp_path)
+    try:
+        with DaemonClient(sock) as client:
+            client.open("alpha", procs=4)
+            client.schedule("alpha")
+            snap = client.snapshot(state_file)
+            assert snap.tenants == 1 and snap.path == state_file
+            # unlike drain, snapshot leaves admission open
+            assert isinstance(client.schedule("alpha"), ScheduleResponse)
+            assert not client.hello().draining
+    finally:
+        stop_daemon(daemon, thread)
+    payload = json.loads((tmp_path / "snap.json").read_text())
+    assert payload["format"] == "repro/daemon-state"
+    assert len(payload["tenants"]) == 1
+
+
+# -- cross-tenant batching --------------------------------------------------
+
+
+def test_same_cohort_requests_batch(tmp_path):
+    daemon, thread, sock = start_daemon(tmp_path)
+    cohort = ["a", "b", "c", "d"]
+    try:
+        with DaemonClient(sock) as client:
+            for tenant in cohort:
+                client.open(tenant, procs=6, seed=42)
+            for tenant in cohort:
+                client.send(ScheduleRequest(tenant=tenant))
+            responses = [client.recv() for _ in cohort]
+    finally:
+        stop_daemon(daemon, thread)
+    assert all(isinstance(r, ScheduleResponse) for r in responses)
+    # same specs + same seed + same clock => one planning digest: the
+    # whole burst runs as one group and says so
+    assert all(r.batched for r in responses)
+    assert daemon.counters["batched"] >= len(cohort) - 1
+    # and batching must not change the answer: identical decisions
+    assert len({r.decision for r in responses}) == 1
+    assert len({r.predicted_s for r in responses}) == 1
+    assert len({r.executed_s for r in responses}) == 1
+
+
+def test_batched_equals_unbatched(tmp_path):
+    """The batched cohort's responses are bit-identical to a lone
+    control session ticked the ordinary way."""
+    daemon, thread, sock = start_daemon(tmp_path)
+    try:
+        with DaemonClient(sock) as client:
+            for tenant in ("a", "b", "c"):
+                client.open(tenant, procs=6, seed=7)
+            ticks = 3
+            per_tick = []
+            for _ in range(ticks):
+                for tenant in ("a", "b", "c"):
+                    client.send(ScheduleRequest(tenant=tenant))
+                per_tick.append([client.recv() for _ in range(3)])
+    finally:
+        stop_daemon(daemon, thread)
+    control = TenantState(TenantProfile(tenant="control", procs=6, seed=7))
+    for tick, responses in enumerate(per_tick):
+        result = control.session.tick(dt=1.0)
+        check_schedule(result.schedule, require_coverage=False)
+        for response in responses:
+            assert response.tick == tick
+            assert response.decision == result.event.decision
+            assert response.predicted_s == result.event.predicted_makespan
+            assert response.executed_s == result.event.executed_makespan
+
+
+def test_noisy_tenants_never_batch(tmp_path):
+    daemon, thread, sock = start_daemon(tmp_path)
+    try:
+        with DaemonClient(sock) as client:
+            for tenant in ("a", "b"):
+                client.open(
+                    tenant, procs=4, directory="noisy:sigma=0.1", seed=7
+                )
+            for tenant in ("a", "b"):
+                client.send(ScheduleRequest(tenant=tenant))
+            responses = [client.recv() for _ in range(2)]
+    finally:
+        stop_daemon(daemon, thread)
+    assert all(isinstance(r, ScheduleResponse) for r in responses)
+    assert not any(r.batched for r in responses)
+    assert daemon.counters["batched"] == 0
+
+
+# -- drain / restart --------------------------------------------------------
+
+
+def test_drain_restart_is_bit_identical(tmp_path):
+    state_file = str(tmp_path / "state.json")
+    ticks_before = 4
+    daemon1, thread1, sock = start_daemon(tmp_path)
+    try:
+        with DaemonClient(sock) as client:
+            client.open("alpha", procs=6, seed=11)
+            before = [
+                client.schedule("alpha") for _ in range(ticks_before)
+            ]
+            drained = client.drain(state_file)
+            assert drained.tenants == 1
+    finally:
+        stop_daemon(daemon1, thread1)
+    assert daemon1.counters["accepted"] == daemon1.counters["served"]
+    assert all(isinstance(r, ScheduleResponse) for r in before)
+
+    daemon2, thread2, sock = start_daemon(tmp_path, resume_from=state_file)
+    assert daemon2.counters["restored"] == 1
+    try:
+        with DaemonClient(sock) as client:
+            reopened = client.open("alpha", procs=6, seed=11)
+            assert reopened.restored
+            assert reopened.tick == ticks_before
+            after = [client.schedule("alpha") for _ in range(3)]
+    finally:
+        stop_daemon(daemon2, thread2)
+
+    # Control: one uninterrupted session, same profile, same dt stream.
+    control = TenantState(TenantProfile(tenant="alpha", procs=6, seed=11))
+    for response in before + after:
+        result = control.session.tick(dt=1.0)
+        check_schedule(result.schedule, require_coverage=False)
+        assert response.tick == result.event.tick
+        assert response.decision == result.event.decision
+        assert response.predicted_s == result.event.predicted_makespan
+        assert response.executed_s == result.event.executed_makespan
+
+
+def test_resume_rejects_foreign_state_file(tmp_path):
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text(json.dumps({"format": "something-else"}))
+    with pytest.raises(ValueError, match="not a daemon state file"):
+        SchedulerDaemon(
+            DaemonConfig(
+                socket_path=str(tmp_path / "d.sock"),
+                resume_from=str(bogus),
+            )
+        )
+
+
+def test_non_resumable_flavour_fails_snapshot_cleanly(tmp_path):
+    state_file = str(tmp_path / "state.json")
+    daemon, thread, sock = start_daemon(tmp_path)
+    try:
+        with DaemonClient(sock) as client:
+            client.open("noisy", procs=4, directory="noisy:sigma=0.1")
+            with pytest.raises(RuntimeError, match="internal"):
+                client.snapshot(state_file)
+            # an un-snapshotable tenant must not kill the daemon
+            assert client.hello().tenants == 1
+    finally:
+        stop_daemon(daemon, thread)
+
+
+# -- hostile input ----------------------------------------------------------
+
+
+def test_garbage_frames_get_error_responses(tmp_path):
+    daemon, thread, sock = start_daemon(tmp_path)
+    garbage = [
+        b"not json",
+        b"{",
+        b'{"v":99,"type":"hello"}',
+        b'{"v":1,"type":"frobnicate"}',
+        b'{"v":1,"type":"schedule"}',
+        b'{"v":1,"type":"schedule","tenant":"t","dt":"fast"}',
+        b'{"v":1,"type":"open","tenant":"t","procs":true}',
+        b'[1,2,3]',
+    ]
+    try:
+        with DaemonClient(sock) as client:
+            for line in garbage:
+                response = client.send_raw(line)
+                assert isinstance(response, ErrorResponse), line
+                assert response.code in (
+                    "malformed", "version", "unknown_type"
+                ), line
+            # after all that abuse, normal service continues
+            client.open("alpha", procs=4)
+            assert isinstance(client.schedule("alpha"), ScheduleResponse)
+    finally:
+        stop_daemon(daemon, thread)
+    assert daemon.counters["protocol_errors"] == len(garbage)
+
+
+def test_oversized_frame_does_not_kill_daemon(tmp_path):
+    daemon, thread, sock = start_daemon(tmp_path)
+    from repro.serve.protocol import MAX_FRAME_BYTES
+
+    try:
+        client = DaemonClient(sock)
+        try:
+            client.send_raw(b"x" * (MAX_FRAME_BYTES + 4096))
+        except (ConnectionError, BrokenPipeError, OSError):
+            pass  # the daemon may slam the door mid-send; that is fine
+        finally:
+            client.close()
+        # the invariant: the daemon survives and serves fresh clients
+        with DaemonClient(sock) as fresh:
+            assert fresh.hello().tenants == 0
+    finally:
+        stop_daemon(daemon, thread)

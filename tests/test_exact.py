@@ -11,7 +11,7 @@ from repro.core.exact import (
 )
 from repro.core.openshop import schedule_openshop
 from repro.core.problem import TotalExchangeProblem, example_problem
-from repro.core.registry import ALL_SCHEDULERS
+from repro.core.registry import iter_specs
 from repro.timing.validate import check_schedule
 from tests.conftest import random_problem
 
@@ -27,7 +27,8 @@ def test_optimal_no_worse_than_heuristics():
     for seed in range(5):
         problem = random_problem(4, seed=seed)
         optimal = branch_and_bound(problem).completion_time
-        for scheduler in ALL_SCHEDULERS.values():
+        for spec in iter_specs(tier="paper"):
+            scheduler = spec.fn
             assert optimal <= scheduler(problem).completion_time + 1e-9
 
 

@@ -90,12 +90,12 @@ class TestSchedulePreemptive:
         assert schedule_preemptive(problem).completion_time == 0.0
 
     def test_beats_every_nonpreemptive_heuristic(self):
-        from repro.core.registry import ALL_SCHEDULERS
+        from repro.core.registry import iter_specs
 
         problem = example_problem()
         optimum = schedule_preemptive(problem).completion_time
-        for scheduler in ALL_SCHEDULERS.values():
-            assert optimum <= scheduler(problem).completion_time + 1e-9
+        for spec in iter_specs(tier="paper"):
+            assert optimum <= spec.fn(problem).completion_time + 1e-9
 
 
 class TestPreemptionCost:

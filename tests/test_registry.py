@@ -1,18 +1,16 @@
-"""Scheduler registry tests: specs, factory, and legacy shims."""
-
-import warnings
+"""Scheduler registry tests: specs, factory, and spec strings."""
 
 import pytest
 
 from repro.core.problem import example_problem
 from repro.core.registry import (
-    ALL_SCHEDULERS,
-    EXTRA_SCHEDULERS,
     SchedulerSpec,
+    format_scheduler_spec,
     get_scheduler,
     get_spec,
     iter_specs,
     make_scheduler,
+    parse_scheduler_spec,
     scheduler_names,
 )
 from repro.timing.events import Schedule
@@ -32,10 +30,9 @@ def test_paper_schedulers_present():
 
 
 def test_extras_present():
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        assert "optimal" in EXTRA_SCHEDULERS
-        assert "baseline_nosync" in EXTRA_SCHEDULERS
+    extras = {spec.name for spec in iter_specs(tier="extra")}
+    assert "optimal" in extras
+    assert "baseline_nosync" in extras
 
 
 def test_lookup_returns_working_scheduler():
@@ -46,12 +43,10 @@ def test_lookup_returns_working_scheduler():
 
 
 def test_extra_lookup():
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        assert (
-            get_scheduler("baseline_nosync")
-            is EXTRA_SCHEDULERS["baseline_nosync"]
-        )
+    assert (
+        get_scheduler("baseline_nosync")
+        is get_spec("baseline_nosync").fn
+    )
 
 
 def test_unknown_name_raises_with_known_list():
@@ -159,27 +154,54 @@ def test_get_spec_exposes_default_callable():
     assert make_scheduler("openshop") is spec.fn
 
 
-# -- deprecation shims -------------------------------------------------------
+# -- shims removed + spec strings --------------------------------------------
 
 
-def test_legacy_dict_getitem_warns():
-    with pytest.warns(DeprecationWarning, match="ALL_SCHEDULERS"):
-        fn = ALL_SCHEDULERS["openshop"]
-    assert fn is get_scheduler("openshop")
+def test_legacy_dicts_are_gone():
+    # The ALL_SCHEDULERS / EXTRA_SCHEDULERS deprecation cycle is over.
+    import repro
+    import repro.core
+    import repro.core.registry as registry
+
+    for module in (repro, repro.core, registry):
+        assert not hasattr(module, "ALL_SCHEDULERS")
+        assert not hasattr(module, "EXTRA_SCHEDULERS")
 
 
-def test_legacy_dict_iteration_and_contains_warn():
-    with pytest.warns(DeprecationWarning):
-        names = list(ALL_SCHEDULERS)
-    assert names == list(scheduler_names())
-    with pytest.warns(DeprecationWarning):
-        assert "optimal" in EXTRA_SCHEDULERS
+def test_make_scheduler_accepts_spec_strings():
+    problem = example_problem()
+    built = make_scheduler("openshop_partitioned:chunks=4")
+    reference = make_scheduler("openshop_partitioned", chunks=4)
+    assert (
+        built(problem).completion_time
+        == reference(problem).completion_time
+    )
 
 
-def test_legacy_dicts_cover_their_tiers():
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        assert set(ALL_SCHEDULERS.keys()) == set(scheduler_names())
-        assert set(EXTRA_SCHEDULERS.keys()) == {
-            spec.name for spec in iter_specs(tier="extra")
-        }
+def test_spec_string_kwargs_override():
+    built = make_scheduler("local_search:max_passes=5", max_passes=2)
+    reference = make_scheduler("local_search", max_passes=2)
+    problem = example_problem()
+    assert (
+        built(problem).completion_time
+        == reference(problem).completion_time
+    )
+
+
+def test_parse_scheduler_spec_prefers_registered_names():
+    # "matching_min:auction" is itself a registered name; the parser
+    # must not split it into name + bogus options.
+    name, options = parse_scheduler_spec("matching_min:auction")
+    assert name == "matching_min:auction"
+    assert options == {}
+
+
+def test_scheduler_spec_round_trip():
+    name, options = parse_scheduler_spec("openshop_partitioned:chunks=4")
+    spec = format_scheduler_spec(name, options)
+    assert parse_scheduler_spec(spec) == (name, options)
+
+
+def test_parse_scheduler_spec_unknown_name():
+    with pytest.raises(KeyError, match="openshop"):
+        parse_scheduler_spec("quantum:qubits=3")
