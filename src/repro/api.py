@@ -30,6 +30,13 @@ grammar.
 Fault profiles are the one list-valued family: a profile is
 ``;``-joined fault entries (each entry in the shared grammar) or a
 named preset (``"smoke"``, ``"none"``).
+
+The ops surface rides the same grammar: SLO specs
+(``"p99_decision_latency:threshold=0.5,window=30"``, parsed by
+:func:`parse_slo_spec`) and notifier specs (``"file:path=alerts.jsonl"``,
+:func:`make_notifier`).  This facade also re-exports the
+:class:`MetricsSink` protocol and its implementations — the one way
+metrics leave a session or daemon (see :mod:`repro.ops`).
 """
 
 from __future__ import annotations
@@ -55,6 +62,16 @@ from repro.faults.models import (
     parse_fault_entry,
     parse_fault_profile,
 )
+from repro.ops.backup import BackupManager
+from repro.ops.sink import MetricsSink, MultiSink, NullSink, StoreSink
+from repro.ops.slo import (
+    SloMonitor,
+    SloSpec,
+    format_slo_spec,
+    make_notifier,
+    parse_slo_spec,
+)
+from repro.ops.store import MetricsStore
 from repro.util.spec import (
     format_spec,
     format_value,
@@ -66,22 +83,33 @@ from repro.util.spec import (
 make_fault_profile = parse_fault_profile
 
 __all__ = [
+    "BackupManager",
+    "MetricsSink",
+    "MetricsStore",
+    "MultiSink",
+    "NullSink",
+    "SloMonitor",
+    "SloSpec",
+    "StoreSink",
     "format_collective_spec",
     "format_directory_spec",
     "format_fault_entry",
     "format_fault_profile",
     "format_scheduler_spec",
+    "format_slo_spec",
     "format_spec",
     "format_value",
     "make_collective",
     "make_directory",
     "make_fault_profile",
+    "make_notifier",
     "make_scheduler",
     "parse_collective_spec",
     "parse_directory_spec",
     "parse_fault_entry",
     "parse_fault_profile",
     "parse_scheduler_spec",
+    "parse_slo_spec",
     "parse_spec",
     "parse_value",
 ]

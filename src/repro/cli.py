@@ -375,6 +375,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         update_bench_json,
     )
 
+    # The shared --ops-dir/--metrics-out family overrides the legacy
+    # bench-local --output spelling when either is given.
+    if args.metrics_out is not None or args.ops_dir:
+        args.output = _resolve_output(args, "metrics_out", args.output)
+
     if args.drift_sizes:
         results = run_drift_response(
             args.drift_sizes,
@@ -508,6 +513,34 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         if args.output:
             print(f"\nwrote {args.output}")
         return 0
+
+    if args.soak_smoke:
+        from repro.perf.bench import run_soak_smoke
+
+        tier = run_soak_smoke(seed=args.seed, output=args.output or None)
+        print(format_table(
+            ["metric", "value"],
+            [
+                ["ok", tier["ok"]],
+                ["oracle checks", tier["oracle_checks"]],
+                ["oracle violations", tier["oracle_violations"]],
+                ["alerts fired", tier["alerts_fired"]],
+                ["alerts resolved", tier["alerts_resolved"]],
+                ["daemon zero loss", tier["daemon"]["zero_loss"]],
+                ["daemon dropped", tier["daemon"]["dropped"]],
+                ["backup bit-identical", tier["backup_bit_identical"]],
+                ["sealed segments", tier["store"]["sealed_segments"]],
+                ["wall (s)", tier["wall_s"]],
+            ],
+            precision=3,
+            title=(
+                f"soak smoke (t={tier['meta']['tenants']}, "
+                f"ticks={tier['meta']['ticks']})"
+            ),
+        ))
+        if args.output:
+            print(f"\nwrote {args.output}")
+        return 0 if tier["ok"] else 1
 
     if args.hier_sizes:
         results = run_hier_scale(
@@ -722,6 +755,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             raise SystemExit(2)
         directory = FaultyDirectory(directory, profile)
 
+    ops_store = None
+    sink = None
+    if args.ops_dir:
+        from repro.ops import MetricsStore, StoreSink
+
+        ops_store = MetricsStore(os.path.join(args.ops_dir, "store"))
+        sink = StoreSink(ops_store, source="serve", kind="tick")
+
     session = AdaptiveSession(
         directory,
         MixedSizes(),
@@ -732,6 +773,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_reuse_ticks=max_reuse,
             scheduler_deadline_s=args.deadline,
         ),
+        sink=sink,
         force_timeout_ticks=inject,
         rng=np.random.default_rng(args.seed),
     )
@@ -806,12 +848,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ],
         title="serving summary",
     ))
-    if args.metrics_out:
-        session.metrics.save_json(args.metrics_out)
-        print(f"\nwrote metrics JSON to {args.metrics_out}")
-    if args.trace_out:
-        session.metrics.save_chrome_trace(args.trace_out)
-        print(f"wrote Chrome trace to {args.trace_out}")
+    metrics_out = _resolve_output(args, "metrics_out", "serve_metrics.json")
+    trace_out = _resolve_output(args, "trace_out", "")
+    if metrics_out:
+        session.metrics.save_json(metrics_out)
+        print(f"\nwrote metrics JSON to {metrics_out}")
+    if trace_out:
+        session.metrics.save_chrome_trace(trace_out)
+        print(f"wrote Chrome trace to {trace_out}")
+    if ops_store is not None:
+        sink.flush()
+        print(
+            f"persisted {ops_store.records_written} tick records to "
+            f"{ops_store.root}"
+        )
+        ops_store.close()
     return 0
 
 
@@ -858,6 +909,7 @@ def _daemon_config(args: argparse.Namespace):
         batch_max=args.batch_max,
         state_file=args.state_file,
         resume_from=args.resume,
+        ops_dir=args.ops_dir or "",
     )
 
 
@@ -897,6 +949,7 @@ def _daemon_smoke(args: argparse.Namespace) -> int:
                 batch_max=args.batch_max,
                 state_file=state_file,
                 resume_from=resume_from,
+                ops_dir=args.ops_dir or "",
             )
         )
         daemon.bind()
@@ -1021,7 +1074,8 @@ def _daemon_smoke(args: argparse.Namespace) -> int:
             f"throughput {total_rps:.0f} req/s below --min-rps "
             f"{args.min_rps:.0f}"
         )
-    if args.metrics_out:
+    metrics_out = _resolve_output(args, "metrics_out", "daemon_metrics.json")
+    if metrics_out:
         payload = {
             "phase1": report1.to_dict(),
             "phase2": report2.to_dict(),
@@ -1030,9 +1084,9 @@ def _daemon_smoke(args: argparse.Namespace) -> int:
             "resume_mismatches": mismatches,
             "daemon_stats": stats2,
         }
-        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+        with open(metrics_out, "w", encoding="utf-8") as handle:
             _json.dump(payload, handle, indent=2)
-        print(f"wrote metrics JSON to {args.metrics_out}")
+        print(f"wrote metrics JSON to {metrics_out}")
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
@@ -1095,6 +1149,119 @@ def _cmd_collective(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ops(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json as _json
+    import pathlib
+
+    ops_dir = args.ops_dir or "ops"
+
+    if args.ops_command == "soak":
+        from repro.ops.slo import LogNotifier, make_notifier
+        from repro.ops.soak import SoakConfig, run_soak
+
+        if args.hours:
+            config = SoakConfig.hours(args.hours, seed=args.seed)
+        else:
+            config = SoakConfig.smoke(args.seed)
+        overrides = {}
+        for name in ("tenants", "procs", "ticks"):
+            value = getattr(args, name)
+            if value is not None:
+                overrides[name] = value
+        if args.slo:
+            from repro.ops.slo import parse_slo_spec
+
+            try:
+                overrides["slos"] = tuple(
+                    parse_slo_spec(spec) for spec in args.slo
+                )
+            except (KeyError, ValueError) as exc:
+                print(f"error: bad --slo spec: {exc}", file=sys.stderr)
+                raise SystemExit(2)
+        if args.no_daemon_phase:
+            overrides["daemon_phase"] = False
+        if overrides:
+            config = dataclasses.replace(config, **overrides)
+        notifiers = [LogNotifier(stream=sys.stdout)]
+        for spec in args.notify or []:
+            try:
+                notifiers.append(make_notifier(spec, stream=sys.stdout))
+            except (KeyError, ValueError) as exc:
+                print(f"error: bad --notify spec: {exc}", file=sys.stderr)
+                raise SystemExit(2)
+        print(
+            f"soaking {config.tenants} tenants x {config.ticks} ticks "
+            f"({config.sim_seconds:g} simulated seconds) into {ops_dir}"
+        )
+        report = run_soak(
+            config, ops_dir, notifiers=notifiers, progress=print
+        )
+        print()
+        print(report.render())
+        print(f"report: {pathlib.Path(ops_dir) / 'slo_report.json'}")
+        return 0 if report.ok else 1
+
+    # ops report: summarise what an ops directory holds.
+    from repro.ops import BackupManager, MetricsStore
+
+    root = pathlib.Path(ops_dir)
+    if not root.exists():
+        print(f"error: no ops directory at {root}", file=sys.stderr)
+        return 1
+    store_dir = root / "store"
+    if store_dir.exists():
+        store = MetricsStore(store_dir)
+        stats = store.stats()
+        rows = [
+            ["segments", stats["segments"]],
+            ["sealed segments", stats["sealed_segments"]],
+            ["total bytes", stats["total_bytes"]],
+        ]
+        if args.kind:
+            count = sum(1 for _ in store.iter_records(kind=args.kind))
+            rows.append([f"records kind={args.kind}", count])
+        store.close()
+        print(format_table(["store", "value"], rows))
+    report_path = root / "slo_report.json"
+    if report_path.exists():
+        payload = _json.loads(report_path.read_text())
+        print(
+            f"\nlast soak: ok={payload.get('ok')} "
+            f"({payload.get('oracle_checks', 0)} oracle checks, "
+            f"{payload.get('oracle_violations', 0)} violations; "
+            f"{payload.get('alerts_fired', 0)} alerts fired, "
+            f"{payload.get('alerts_resolved', 0)} resolved)"
+        )
+        slo_rows = [
+            [s["state"], s["slo"], s.get("value"), s["fired"], s["resolved"]]
+            for s in payload.get("slo", {}).get("slos", [])
+        ]
+        if slo_rows:
+            print(format_table(
+                ["state", "slo", "value", "fired", "resolved"],
+                slo_rows, precision=4,
+            ))
+    alerts_path = root / "alerts.jsonl"
+    if alerts_path.exists():
+        lines = alerts_path.read_text().strip().splitlines()
+        print(f"\nalerts ({len(lines)} transitions, newest last):")
+        for line in lines[-10:]:
+            alert = _json.loads(line)
+            print(
+                f"  [{alert['state']:>8}] t={alert['time']:.3f} "
+                f"{alert['slo']} value={alert['value']:.4g}"
+            )
+    backups_dir = root / "backups"
+    if backups_dir.exists():
+        manager = BackupManager(backups_dir)
+        paths = manager.paths()
+        print(f"\nbackups ({len(paths)} retained):")
+        for path in paths:
+            print(f"  {path.name} ({path.stat().st_size} bytes)")
+    return 0
+
+
 def _scheduler_parent() -> argparse.ArgumentParser:
     """The shared ``--scheduler`` flag every scheduler-taking subcommand
     inherits (repeatable; resolved via ``make_scheduler``)."""
@@ -1126,6 +1293,50 @@ def _directory_parent() -> argparse.ArgumentParser:
     return parent
 
 
+def _ops_parent() -> argparse.ArgumentParser:
+    """The shared output-flag family every producing subcommand inherits.
+
+    ``--ops-dir`` names one directory for everything a run persists
+    (metrics store, alerts, backups, reports); ``--metrics-out`` /
+    ``--trace-out`` name individual artifacts, resolved *under*
+    ``--ops-dir`` when both are given (see :func:`_resolve_output`).
+    Declared once here so ``serve``, ``daemon``, ``bench``, and ``ops``
+    stay flag-compatible.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--ops-dir", default=None, metavar="DIR",
+        help="ops directory: rotating metrics store, SLO alerts, "
+             "backups, and reports all live under this one path",
+    )
+    parent.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="metrics JSON output path ('' to skip; bare filenames land "
+             "under --ops-dir when set)",
+    )
+    parent.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="Chrome trace output path ('' to skip; bare filenames land "
+             "under --ops-dir when set)",
+    )
+    return parent
+
+
+def _resolve_output(args: argparse.Namespace, attr: str, default: str) -> str:
+    """Resolve one output path through the shared flag family: an
+    explicit flag wins over ``default``; bare filenames are placed under
+    ``--ops-dir`` when one was given; '' disables the artifact."""
+    value = getattr(args, attr, None)
+    name = value if value is not None else default
+    if not name:
+        return ""
+    ops_dir = getattr(args, "ops_dir", None)
+    if ops_dir and os.sep not in name and not os.path.isabs(name):
+        os.makedirs(ops_dir, exist_ok=True)
+        return os.path.join(ops_dir, name)
+    return name
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-hetcomm",
@@ -1137,6 +1348,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     scheduler_parent = _scheduler_parent()
     directory_parent = _directory_parent()
+    ops_parent = _ops_parent()
 
     p_example = sub.add_parser("example", help="run the 5-processor example")
     p_example.add_argument(
@@ -1193,7 +1405,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_claims.set_defaults(func=_cmd_claims)
 
     p_bench = sub.add_parser(
-        "bench", parents=[scheduler_parent, directory_parent],
+        "bench", parents=[scheduler_parent, directory_parent, ops_parent],
         help="time the scheduling kernels vs the seed versions",
     )
     p_bench.add_argument(
@@ -1286,6 +1498,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds of load per daemon bench tier",
     )
     p_bench.add_argument(
+        "--soak-smoke", action="store_true",
+        help=(
+            "run the seeded chaos-soak smoke tier (faults + drift "
+            "storms + daemon restart) and record it for the "
+            "regression guard"
+        ),
+    )
+    p_bench.add_argument(
         "--cluster-size", type=int, default=64, metavar="N",
         help="cluster size of the hierarchical ladder's instances",
     )
@@ -1340,7 +1560,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.set_defaults(func=_cmd_check)
 
     p_serve = sub.add_parser(
-        "serve", parents=[scheduler_parent, directory_parent],
+        "serve", parents=[scheduler_parent, directory_parent, ops_parent],
         help="drive the online adaptive runtime over a drift trace",
     )
     p_serve.add_argument(
@@ -1403,18 +1623,10 @@ def build_parser() -> argparse.ArgumentParser:
              "link_dead, blackout, bw_collapse, node_drop (e.g. "
              "'link_dead:src=0,dst=1,at=3,at_event=5')",
     )
-    p_serve.add_argument(
-        "--metrics-out", default="serve_metrics.json",
-        help="metrics JSON output path ('' to skip)",
-    )
-    p_serve.add_argument(
-        "--trace-out", default="",
-        help="Chrome trace output path ('' to skip)",
-    )
     p_serve.set_defaults(func=_cmd_serve)
 
     p_daemon = sub.add_parser(
-        "daemon",
+        "daemon", parents=[ops_parent],
         help="run the multi-tenant scheduler daemon (or its smoke test)",
     )
     p_daemon.add_argument(
@@ -1470,11 +1682,67 @@ def build_parser() -> argparse.ArgumentParser:
         "--min-rps", type=float, default=0.0,
         help="fail --smoke below this accepted-requests/sec (default: off)",
     )
-    p_daemon.add_argument(
-        "--metrics-out", default="daemon_metrics.json",
-        help="--smoke metrics JSON output path ('' to skip)",
-    )
     p_daemon.set_defaults(func=_cmd_daemon)
+
+    p_ops = sub.add_parser(
+        "ops",
+        help="production ops: metrics store reports and the chaos soak",
+    )
+    ops_sub = p_ops.add_subparsers(dest="ops_command", required=True)
+    p_soak = ops_sub.add_parser(
+        "soak", parents=[ops_parent],
+        help="chaos soak: faults + drift storms + timeouts, "
+             "oracle-checked, with SLO alerting and verified backups",
+    )
+    p_soak.add_argument(
+        "--smoke", action="store_true",
+        help="the seeded CI-sized soak (seconds of wall clock)",
+    )
+    p_soak.add_argument(
+        "--hours", type=float, default=None, metavar="H",
+        help="simulated hours to soak (5-minute ticks); overrides the "
+             "tick/dt defaults",
+    )
+    p_soak.add_argument(
+        "--tenants", type=int, default=None,
+        help="concurrent adaptive sessions (default: 6)",
+    )
+    p_soak.add_argument(
+        "--procs", type=int, default=None,
+        help="processors per tenant (default: 8)",
+    )
+    p_soak.add_argument(
+        "--ticks", type=int, default=None,
+        help="ticks to serve per tenant (default: 40)",
+    )
+    p_soak.add_argument("--seed", type=int, default=0)
+    p_soak.add_argument(
+        "--slo", action="append", default=None, metavar="SPEC",
+        help="SLO spec 'name:threshold=...[,window=...,min_samples=...]' "
+             "(repeatable; replaces the default soak SLO set)",
+    )
+    p_soak.add_argument(
+        "--notify", action="append", default=None, metavar="SPEC",
+        help="extra notifier spec: 'log', 'file:path=...', 'webhook' "
+             "(repeatable; alerts always also land in "
+             "<ops-dir>/alerts.jsonl)",
+    )
+    p_soak.add_argument(
+        "--no-daemon-phase", action="store_true",
+        help="skip the daemon load/drain/backup/restart phase",
+    )
+    p_soak.set_defaults(func=_cmd_ops)
+    p_report = ops_sub.add_parser(
+        "report", parents=[ops_parent],
+        help="summarise an ops directory: store shape, SLO report, "
+             "alerts, backups",
+    )
+    p_report.add_argument(
+        "--kind", default=None, metavar="KIND",
+        help="also count stored records of this kind (e.g. 'tick', "
+             "'daemon.response')",
+    )
+    p_report.set_defaults(func=_cmd_ops)
 
     p_collective = sub.add_parser(
         "collective", parents=[directory_parent],

@@ -1,0 +1,85 @@
+"""Production ops surface: metrics sink, persistent store, SLOs, backup, soak.
+
+``repro.ops`` is the operational layer above the adaptive runtime and the
+scheduler daemon:
+
+- :mod:`repro.ops.sink` — the :class:`MetricsSink` publishing protocol
+  every metrics producer (session, daemon) writes through, plus fan-out
+  and store-backed implementations.
+- :mod:`repro.ops.store` — a rotating, append-only JSONL metrics store
+  with gzip-sealed segments, crash-safe line-atomic appends, and a
+  time-window query API.
+- :mod:`repro.ops.slo` — declarative SLO definitions evaluated over
+  sliding windows, with firing/resolved alert transitions dispatched
+  through pluggable notifiers.
+- :mod:`repro.ops.backup` — periodic daemon state backups with
+  retention and a restore path verified bit-identical.
+- :mod:`repro.ops.soak` — a chaos soak harness combining fault
+  profiles, drift storms, and injected scheduler timeouts while
+  continuously asserting the invariant oracle.
+"""
+
+from __future__ import annotations
+
+from repro.ops.sink import (
+    Counter,
+    MetricsSink,
+    MultiSink,
+    NullSink,
+    StoreSink,
+)
+from repro.ops.store import MetricsStore, SegmentInfo
+from repro.ops.slo import (
+    Alert,
+    DEFAULT_SLOS,
+    FileNotifier,
+    LogNotifier,
+    SloMonitor,
+    SloSpec,
+    SloTracker,
+    WebhookNotifier,
+    format_slo_spec,
+    make_notifier,
+    parse_slo_spec,
+)
+from repro.ops.backup import BackupManager, verify_backup_payload
+
+__all__ = [
+    "Alert",
+    "BackupManager",
+    "Counter",
+    "DEFAULT_SLOS",
+    "FileNotifier",
+    "LogNotifier",
+    "MetricsSink",
+    "MetricsStore",
+    "MultiSink",
+    "NullSink",
+    "SegmentInfo",
+    "SloMonitor",
+    "SloSpec",
+    "SloTracker",
+    "SoakConfig",
+    "SoakReport",
+    "StoreSink",
+    "WebhookNotifier",
+    "format_slo_spec",
+    "make_notifier",
+    "parse_slo_spec",
+    "run_soak",
+    "verify_backup_payload",
+]
+
+_SOAK_NAMES = {"SoakConfig", "SoakReport", "run_soak"}
+
+
+def __getattr__(name: str):
+    # repro.ops.soak imports the runtime and serve layers, which in turn
+    # publish through repro.ops.sink — importing it eagerly here would
+    # make ``import repro.runtime.session`` circular.  Load it on first
+    # attribute access instead.
+    if name in _SOAK_NAMES:
+        from repro.ops import soak as _soak
+
+        return getattr(_soak, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

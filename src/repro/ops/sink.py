@@ -1,0 +1,179 @@
+"""The one metrics-publishing protocol every producer writes through.
+
+A :class:`MetricsSink` is where structured events, counters, and scalar
+observations go.  The adaptive session and the scheduler daemon both
+publish exclusively through this interface; what happens on the other
+side — in-memory aggregation (:class:`repro.runtime.metrics.RuntimeMetrics`),
+persistence into the rotating JSONL store (:class:`StoreSink`), SLO
+evaluation (:class:`repro.ops.slo.SloMonitor`), or fan-out to several of
+those at once (:class:`MultiSink`) — is the consumer's choice, not the
+producer's.
+
+This module imports only the standard library so every layer (runtime,
+serve, ops) can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+
+
+def event_record(event: Any) -> Dict[str, Any]:
+    """Normalise a published event into one flat JSON-serialisable dict.
+
+    Dataclass events (e.g. :class:`repro.runtime.metrics.TickEvent`) are
+    flattened with :func:`dataclasses.asdict`; mappings are shallow-copied.
+    """
+    if dataclasses.is_dataclass(event) and not isinstance(event, type):
+        return dataclasses.asdict(event)
+    if isinstance(event, Mapping):
+        return dict(event)
+    raise TypeError(
+        f"events must be dataclasses or mappings, got {type(event).__name__}"
+    )
+
+
+class MetricsSink:
+    """Base publishing interface: emit / counter / observe / flush.
+
+    Subclasses override what they consume; the defaults make a sink that
+    ignores everything, so partial consumers (an SLO monitor that only
+    cares about :meth:`emit`, say) stay small.
+    """
+
+    def emit(self, event: Any) -> None:
+        """Publish one structured event (a dataclass or a mapping)."""
+
+    def counter(self, name: str) -> Counter:
+        """A named monotonic counter owned by this sink."""
+        return Counter(name)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one scalar sample of a named series."""
+
+    def flush(self) -> None:
+        """Push any buffered state to the sink's backing surface."""
+
+
+class NullSink(MetricsSink):
+    """Discards everything (the default when no sink is wired)."""
+
+
+class _FanoutCounter(Counter):
+    """A counter whose increments propagate to every member sink."""
+
+    __slots__ = ("_members",)
+
+    def __init__(self, name: str, members: Sequence[Counter]):
+        super().__init__(name)
+        self._members = list(members)
+
+    def inc(self, amount: int = 1) -> None:
+        super().inc(amount)
+        for member in self._members:
+            member.inc(amount)
+
+
+class MultiSink(MetricsSink):
+    """Fan one publish stream out to several sinks."""
+
+    def __init__(self, sinks: Sequence[MetricsSink]):
+        self.sinks: List[MetricsSink] = [s for s in sinks if s is not None]
+        self._counters: Dict[str, _FanoutCounter] = {}
+
+    def emit(self, event: Any) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = _FanoutCounter(
+                name, [sink.counter(name) for sink in self.sinks]
+            )
+            self._counters[name] = counter
+        return counter
+
+    def observe(self, name: str, value: float) -> None:
+        for sink in self.sinks:
+            sink.observe(name, value)
+
+    def flush(self) -> None:
+        for sink in self.sinks:
+            sink.flush()
+
+
+class StoreSink(MetricsSink):
+    """Persist the publish stream into a :class:`repro.ops.store.MetricsStore`.
+
+    Events become one JSONL record each (``kind`` defaulting to
+    ``"event"``, tagged with this sink's ``source``); observations become
+    ``kind="observe"`` records; counters are buffered in memory and
+    snapshotted as one ``kind="counters"`` record per :meth:`flush`, so
+    hot-path increments never touch the disk.
+    """
+
+    def __init__(self, store: Any, *, source: str = "", kind: str = "event"):
+        self.store = store
+        self.source = source
+        self.kind = kind
+        self._counters: Dict[str, Counter] = {}
+
+    def _base(self, kind: str) -> Dict[str, Any]:
+        record: Dict[str, Any] = {"kind": kind}
+        if self.source:
+            record["source"] = self.source
+        return record
+
+    def emit(self, event: Any) -> None:
+        record = event_record(event)
+        record.setdefault("kind", self.kind)
+        if self.source:
+            record.setdefault("source", self.source)
+        self.store.append(record)
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def observe(self, name: str, value: float) -> None:
+        record = self._base("observe")
+        record["name"] = name
+        record["value"] = float(value)
+        self.store.append(record)
+
+    def flush(self) -> None:
+        if self._counters:
+            record = self._base("counters")
+            record["counters"] = {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            }
+            self.store.append(record)
+        self.store.flush()
+
+
+def as_sink(sink: Optional[MetricsSink]) -> MetricsSink:
+    """``sink`` if given, else the shared null sink."""
+    return sink if sink is not None else _NULL
+
+
+_NULL = NullSink()

@@ -1,0 +1,319 @@
+"""Rotating, append-only JSONL metrics store.
+
+Records are JSON objects, one per line, appended to an *active* segment
+``metrics-NNNNNN.jsonl``.  When the active segment exceeds the size or
+age budget it is *sealed*: rotated out, gzip-compressed to
+``metrics-NNNNNN.jsonl.gz``, and a fresh active segment is opened.
+Retention keeps the newest ``max_segments`` sealed segments.
+
+Crash safety is line-granular: every append is a single ``write()`` of a
+complete ``record + "\\n"`` on an ``O_APPEND`` stream followed by a
+flush, so a crash can lose or truncate at most the final line.  On open,
+a torn final line in the active segment is detected and truncated away,
+and :meth:`MetricsStore.iter_records` skips unparsable trailing lines
+rather than failing the whole query.
+
+A single store instance assumes a single writer process; readers may
+iterate concurrently.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import json
+import os
+import pathlib
+import re
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional, Union
+
+_SEGMENT_RE = re.compile(r"^(?P<prefix>.+)-(?P<seq>\d{6})\.jsonl(?P<gz>\.gz)?$")
+
+
+@dataclass(frozen=True)
+class SegmentInfo:
+    """One store segment on disk."""
+
+    path: pathlib.Path
+    seq: int
+    sealed: bool
+    size_bytes: int
+
+
+class MetricsStore:
+    """Append-only JSONL store with rotation, sealing, and window queries.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the segments (created if missing).
+    prefix:
+        Segment filename prefix.
+    max_segment_bytes:
+        Rotate the active segment once it reaches this many bytes.
+    max_segment_age_s:
+        Also rotate once the active segment's first record is this old
+        (``None`` disables age-based rotation).
+    max_segments:
+        Keep at most this many *sealed* segments; older ones are deleted
+        (``None`` keeps everything).
+    compress:
+        Gzip sealed segments (on by default).
+    clock:
+        Timestamp source for ``ts`` fields and age-based rotation —
+        injectable so tests and the soak harness run on simulated time.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, pathlib.Path],
+        *,
+        prefix: str = "metrics",
+        max_segment_bytes: int = 4 << 20,
+        max_segment_age_s: Optional[float] = None,
+        max_segments: Optional[int] = None,
+        compress: bool = True,
+        clock: Callable[[], float] = time.time,
+    ):
+        if max_segment_bytes < 1:
+            raise ValueError(
+                f"max_segment_bytes must be >= 1, got {max_segment_bytes}"
+            )
+        if "-" in prefix:
+            raise ValueError(f"prefix must not contain '-': {prefix!r}")
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.prefix = prefix
+        self.max_segment_bytes = max_segment_bytes
+        self.max_segment_age_s = max_segment_age_s
+        self.max_segments = max_segments
+        self.compress = compress
+        self.clock = clock
+        self.records_written = 0
+        self._active: Optional[io.BufferedWriter] = None
+        self._active_seq = 0
+        self._active_bytes = 0
+        self._active_opened_ts: Optional[float] = None
+        self._recover()
+
+    # -- layout -------------------------------------------------------------
+
+    def _segment_path(self, seq: int, *, sealed: bool) -> pathlib.Path:
+        name = f"{self.prefix}-{seq:06d}.jsonl"
+        if sealed and self.compress:
+            name += ".gz"
+        return self.root / name
+
+    def segments(self) -> List[SegmentInfo]:
+        """All segments on disk, oldest first (active segment last)."""
+        found: List[SegmentInfo] = []
+        for path in self.root.iterdir():
+            match = _SEGMENT_RE.match(path.name)
+            if not match or match.group("prefix") != self.prefix:
+                continue
+            found.append(
+                SegmentInfo(
+                    path=path,
+                    seq=int(match.group("seq")),
+                    sealed=bool(match.group("gz")),
+                    size_bytes=path.stat().st_size,
+                )
+            )
+        return sorted(found, key=lambda info: (info.seq, info.sealed))
+
+    # -- recovery -----------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Adopt an existing store directory: pick the next active
+        segment and truncate any torn final line a crash left behind."""
+        existing = self.segments()
+        plain = [info for info in existing if not info.sealed]
+        if plain:
+            active = plain[-1]
+            self._truncate_torn_tail(active.path)
+            self._active_seq = active.seq
+            self._active_bytes = active.path.stat().st_size
+        else:
+            self._active_seq = existing[-1].seq + 1 if existing else 0
+            self._active_bytes = 0
+        # Older plain segments (a crash between rotate and seal) are
+        # sealed now so the directory converges to one active segment.
+        for stale in plain[:-1]:
+            self._seal(stale.path)
+
+    @staticmethod
+    def _truncate_torn_tail(path: pathlib.Path) -> None:
+        data = path.read_bytes()
+        if not data:
+            return
+        if data.endswith(b"\n"):
+            body, tail = data, b""
+        else:
+            cut = data.rfind(b"\n")
+            body, tail = (
+                (data[: cut + 1], data[cut + 1 :]) if cut >= 0 else (b"", data)
+            )
+        if tail:
+            path.write_bytes(body)
+            return
+        # Also drop a final *complete* line that is not valid JSON —
+        # e.g. a partially flushed buffer that happened to end in "\n".
+        lines = body.splitlines(keepends=True)
+        if lines:
+            try:
+                json.loads(lines[-1])
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                path.write_bytes(b"".join(lines[:-1]))
+
+    # -- writing ------------------------------------------------------------
+
+    def _ensure_open(self) -> io.BufferedWriter:
+        if self._active is None:
+            path = self._segment_path(self._active_seq, sealed=False)
+            self._active = open(path, "ab")
+            if self._active_opened_ts is None:
+                self._active_opened_ts = self.clock()
+        return self._active
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Append one record (adds ``ts`` from the clock if absent)."""
+        if "ts" not in record:
+            record = dict(record)
+            record["ts"] = self.clock()
+        line = (
+            json.dumps(record, separators=(",", ":"), sort_keys=True) + "\n"
+        ).encode("utf-8")
+        self._maybe_rotate(len(line))
+        stream = self._ensure_open()
+        stream.write(line)
+        stream.flush()
+        self._active_bytes += len(line)
+        self.records_written += 1
+
+    def _maybe_rotate(self, incoming_bytes: int) -> None:
+        if self._active_bytes == 0:
+            return
+        if self._active_bytes + incoming_bytes > self.max_segment_bytes:
+            self.rotate()
+            return
+        if (
+            self.max_segment_age_s is not None
+            and self._active_opened_ts is not None
+            and self.clock() - self._active_opened_ts >= self.max_segment_age_s
+        ):
+            self.rotate()
+
+    def rotate(self) -> Optional[pathlib.Path]:
+        """Seal the active segment and open a fresh one.
+
+        Returns the sealed segment's path (``None`` if there was nothing
+        to seal)."""
+        if self._active is not None:
+            self._active.close()
+            self._active = None
+        path = self._segment_path(self._active_seq, sealed=False)
+        sealed: Optional[pathlib.Path] = None
+        if path.exists() and path.stat().st_size > 0:
+            sealed = self._seal(path)
+            self._active_seq += 1
+        self._active_bytes = 0
+        self._active_opened_ts = None
+        self._prune()
+        return sealed
+
+    def _seal(self, path: pathlib.Path) -> pathlib.Path:
+        if not self.compress:
+            return path
+        target = pathlib.Path(str(path) + ".gz")
+        tmp = target.with_suffix(".gz.tmp")
+        with open(path, "rb") as src, gzip.open(tmp, "wb") as dst:
+            while True:
+                chunk = src.read(1 << 16)
+                if not chunk:
+                    break
+                dst.write(chunk)
+        os.replace(tmp, target)
+        path.unlink()
+        return target
+
+    def _prune(self) -> None:
+        if self.max_segments is None:
+            return
+        sealed = [info for info in self.segments() if info.sealed]
+        for info in sealed[: max(0, len(sealed) - self.max_segments)]:
+            info.path.unlink()
+
+    def flush(self) -> None:
+        if self._active is not None:
+            self._active.flush()
+            os.fsync(self._active.fileno())
+
+    def close(self) -> None:
+        if self._active is not None:
+            self._active.close()
+            self._active = None
+
+    def __enter__(self) -> "MetricsStore":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- reading ------------------------------------------------------------
+
+    def iter_records(
+        self,
+        *,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        kind: Optional[str] = None,
+    ) -> Iterator[Dict[str, Any]]:
+        """Records in append order, filtered to ``start <= ts < end`` and
+        ``record["kind"] == kind`` when given.  Unparsable lines (a torn
+        tail from a live writer) are skipped."""
+        self.flush()
+        for info in self.segments():
+            opener = gzip.open if info.path.suffix == ".gz" else open
+            with opener(info.path, "rt", encoding="utf-8") as stream:
+                for line in stream:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue
+                    ts = record.get("ts")
+                    if start is not None and (ts is None or ts < start):
+                        continue
+                    if end is not None and (ts is None or ts >= end):
+                        continue
+                    if kind is not None and record.get("kind") != kind:
+                        continue
+                    yield record
+
+    def query(
+        self,
+        *,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        kind: Optional[str] = None,
+    ) -> List[Dict[str, Any]]:
+        """:meth:`iter_records`, materialised."""
+        return list(self.iter_records(start=start, end=end, kind=kind))
+
+    def stats(self) -> Dict[str, Any]:
+        """Shape of the store on disk plus this writer's record count."""
+        infos = self.segments()
+        return {
+            "root": str(self.root),
+            "segments": len(infos),
+            "sealed_segments": sum(1 for info in infos if info.sealed),
+            "total_bytes": sum(info.size_bytes for info in infos),
+            "records_written": self.records_written,
+            "active_segment": str(
+                self._segment_path(self._active_seq, sealed=False)
+            ),
+        }

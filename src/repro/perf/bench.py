@@ -766,6 +766,76 @@ def run_daemon_ps_fanin(
     return payload
 
 
+def run_soak_smoke(
+    *,
+    seed: int = 0,
+    ops_dir: Optional[PathLike] = None,
+    output: Optional[PathLike] = None,
+) -> Dict[str, Any]:
+    """Chaos-soak smoke tier: the seeded CI soak as a guarded benchmark.
+
+    Runs :func:`repro.ops.soak.run_soak` with the smoke configuration
+    (6 tenants x 40 ticks of drift storms, faults, and forced scheduler
+    timeouts, plus the daemon restart/backup phase) and records the
+    outcome the regression guard cares about: zero oracle violations,
+    zero dropped requests, the deterministic ``fallback_rate`` alert
+    firing *and* resolving, backup/restart bit-identity, and the wall
+    time.  Lands under ``extra["soak_smoke"]``.
+    """
+    import shutil
+    import tempfile
+
+    from repro.ops.soak import SoakConfig, run_soak
+
+    config = SoakConfig.smoke(seed)
+    workdir = pathlib.Path(ops_dir) if ops_dir else pathlib.Path(
+        tempfile.mkdtemp(prefix="repro-soak-")
+    )
+    try:
+        report = run_soak(config, workdir)
+    finally:
+        if ops_dir is None:
+            shutil.rmtree(workdir, ignore_errors=True)
+    payload = {
+        "meta": {
+            "tenants": config.tenants,
+            "num_procs": config.procs,
+            "ticks": config.ticks,
+            "sim_seconds": config.sim_seconds,
+            "seed": seed,
+            "scheduler": config.scheduler,
+        },
+        "ok": report.ok,
+        "oracle_checks": report.oracle_checks,
+        "oracle_violations": report.oracle_violations,
+        "decisions": report.decisions,
+        "fallback_activations": report.fallback_activations,
+        "alerts_fired": report.alerts_fired,
+        "alerts_resolved": report.alerts_resolved,
+        "daemon": {
+            "accepted": report.daemon.get("accepted", 0),
+            "served": report.daemon.get("served", 0),
+            "dropped": report.daemon.get("dropped", 0),
+            "zero_loss": report.daemon.get("zero_loss", False),
+            "restart_bit_identical": report.daemon.get(
+                "restart_bit_identical", False
+            ),
+        },
+        "backup_bit_identical": bool(
+            report.backup.get("bit_identical", False)
+        ),
+        "store": {
+            "segments": report.store.get("segments", 0),
+            "sealed_segments": report.store.get("sealed_segments", 0),
+            "records_written": report.store.get("records_written", 0),
+        },
+        "wall_s": report.wall_s,
+    }
+    if output is not None:
+        update_bench_json("soak_smoke", payload, output)
+    return payload
+
+
 def _bench_one_size(
     num_procs: int,
     *,

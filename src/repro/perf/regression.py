@@ -206,6 +206,57 @@ def collectives_regressions(
     return problems
 
 
+def soak_regressions(
+    name: str,
+    committed: Dict[str, Any],
+    fresh: Dict[str, Any],
+    *,
+    seconds_factor: float = 5.0,
+) -> List[str]:
+    """Compare one ``soak_*`` tier.
+
+    The soak's guarantees are absolute, not relative: a fresh run must
+    hold zero oracle violations, zero dropped requests, zero-loss
+    restart, backup bit-identity, and must both fire *and* resolve the
+    canary alert.  Only wall time is judged against the committed
+    baseline (loose, machine-speed dependent).
+    """
+    problems: List[str] = []
+    if fresh.get("oracle_violations", 0) != 0:
+        problems.append(
+            f"{name}: {fresh['oracle_violations']} oracle violations "
+            f"(must be 0)"
+        )
+    daemon = fresh.get("daemon", {})
+    if daemon.get("dropped", 0) != 0:
+        problems.append(
+            f"{name}: daemon dropped {daemon['dropped']} requests "
+            f"(must be 0)"
+        )
+    if not daemon.get("zero_loss", True):
+        problems.append(f"{name}: daemon accepted != served across restart")
+    if not daemon.get("restart_bit_identical", True):
+        problems.append(f"{name}: daemon state changed across restart")
+    if not fresh.get("backup_bit_identical", True):
+        problems.append(f"{name}: backup payload not bit-identical")
+    if fresh.get("alerts_fired", 0) < 1:
+        problems.append(f"{name}: no SLO alert fired (canary broken)")
+    if fresh.get("alerts_resolved", 0) < 1:
+        problems.append(f"{name}: no SLO alert resolved (canary broken)")
+    if fresh.get("store", {}).get("sealed_segments", 0) < 1:
+        problems.append(f"{name}: metrics store never rotated a segment")
+    old_wall = committed.get("wall_s")
+    new_wall = fresh.get("wall_s")
+    if old_wall is not None and new_wall is not None:
+        if new_wall > old_wall * seconds_factor:
+            problems.append(
+                f"{name}: wall time regressed "
+                f"{old_wall:.2f}s -> {new_wall:.2f}s "
+                f"(allowed {seconds_factor:.0f}x)"
+            )
+    return problems
+
+
 def bench_regressions(
     committed_extra: Optional[Dict[str, Any]],
     fresh_extra: Optional[Dict[str, Any]],
@@ -245,6 +296,11 @@ def bench_regressions(
             problems += collectives_regressions(
                 name, committed, fresh,
                 quality_rtol=quality_rtol,
+                seconds_factor=seconds_factor,
+            )
+        elif name.startswith("soak"):
+            problems += soak_regressions(
+                name, committed, fresh,
                 seconds_factor=seconds_factor,
             )
     return problems

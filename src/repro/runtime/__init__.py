@@ -19,11 +19,13 @@ component:
 :mod:`repro.sim.replay` drift trace and prints the summary table.
 """
 
+from repro.ops.sink import MetricsSink
 from repro.runtime.metrics import (
     Counter,
     DECISIONS,
     Histogram,
     RuntimeMetrics,
+    SessionMetrics,
     TickEvent,
 )
 from repro.runtime.policy import (
@@ -42,12 +44,14 @@ __all__ = [
     "Counter",
     "DECISIONS",
     "Histogram",
+    "MetricsSink",
     "PolicyConfig",
     "REFINE",
     "REPAIR",
     "RESCHEDULE",
     "REUSE",
     "RuntimeMetrics",
+    "SessionMetrics",
     "TickEvent",
     "TickResult",
     "decide",

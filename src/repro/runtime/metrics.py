@@ -14,26 +14,14 @@ from __future__ import annotations
 
 import json
 import pathlib
+import warnings
 from dataclasses import asdict, dataclass
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.ops.sink import Counter, MetricsSink
 
 #: Trace timestamps are microseconds (matches :mod:`repro.io.trace`).
 _US = 1e6
-
-
-class Counter:
-    """A monotonically increasing named count."""
-
-    __slots__ = ("name", "value")
-
-    def __init__(self, name: str):
-        self.name = name
-        self.value = 0
-
-    def inc(self, amount: int = 1) -> None:
-        if amount < 0:
-            raise ValueError(f"counter increments must be >= 0, got {amount}")
-        self.value += amount
 
 
 class Histogram:
@@ -195,8 +183,17 @@ DECISIONS = ("reuse", "refine", "repair", "reschedule")
 REPAIR_ACTIONS = ("", "retry", "repair", "full")
 
 
-class RuntimeMetrics:
-    """Registry of counters, histograms, and per-tick events."""
+class RuntimeMetrics(MetricsSink):
+    """In-memory :class:`repro.ops.sink.MetricsSink`: counters,
+    reservoir histograms, and the per-tick event log.
+
+    ``emit`` accepts the session's :class:`TickEvent` (or a mapping with
+    the same fields) and folds it into the aggregates; ``observe``
+    records into a named histogram.  This is the default sink an
+    :class:`repro.runtime.session.AdaptiveSession` publishes into — wire
+    additional consumers (the ops store, SLO monitors) next to it with a
+    :class:`repro.ops.sink.MultiSink`.
+    """
 
     def __init__(self):
         self._counters: Dict[str, Counter] = {}
@@ -209,11 +206,25 @@ class RuntimeMetrics:
             counter = self._counters[name] = Counter(name)
         return counter
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(self, name: str, keep: Optional[int] = None) -> Histogram:
         histogram = self._histograms.get(name)
         if histogram is None:
-            histogram = self._histograms[name] = Histogram(name)
+            histogram = self._histograms[name] = Histogram(
+                name, keep=keep if keep is not None else 256
+            )
         return histogram
+
+    # -- MetricsSink --------------------------------------------------------
+
+    def emit(self, event: Union[TickEvent, Mapping[str, Any]]) -> None:
+        """Publish one tick event (the sink-protocol spelling of
+        :meth:`record_tick`)."""
+        if isinstance(event, Mapping):
+            event = TickEvent(**event)
+        self.record_tick(event)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).record(value)
 
     def record_tick(self, event: TickEvent) -> None:
         """Fold one tick into the counters/histograms and keep the event."""
@@ -427,3 +438,22 @@ class RuntimeMetrics:
 
     def save_chrome_trace(self, path: Union[str, pathlib.Path]) -> None:
         pathlib.Path(path).write_text(json.dumps(self.to_chrome_trace()))
+
+
+class SessionMetrics(RuntimeMetrics):
+    """Deprecated pre-``MetricsSink`` name for :class:`RuntimeMetrics`.
+
+    One-release shim: constructing it still works (it *is* a
+    ``RuntimeMetrics``) but warns.  Construct :class:`RuntimeMetrics`
+    directly, or pass any :class:`repro.ops.sink.MetricsSink` to
+    ``AdaptiveSession(sink=...)``.
+    """
+
+    def __init__(self):
+        warnings.warn(
+            "SessionMetrics is deprecated; construct RuntimeMetrics or "
+            "pass a repro.ops.sink.MetricsSink to AdaptiveSession(sink=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__()

@@ -50,6 +50,7 @@ from repro.faults.models import (
 from repro.faults.repair import repair_schedule, split_routes
 from repro.model.messages import SizeSpec
 from repro.perf.memo import ScheduleCache
+from repro.ops.sink import MetricsSink, MultiSink
 from repro.runtime.metrics import RuntimeMetrics, TickEvent
 from repro.runtime.policy import (
     PolicyConfig,
@@ -171,6 +172,7 @@ class AdaptiveSession:
         policy: Optional[PolicyConfig] = None,
         cache: Optional[ScheduleCache] = None,
         metrics: Optional[RuntimeMetrics] = None,
+        sink: Optional[MetricsSink] = None,
         clock: Callable[[], float] = time.perf_counter,
         force_timeout_ticks: Iterable[int] = (),
         rng: RngLike = None,
@@ -190,6 +192,13 @@ class AdaptiveSession:
         self.policy = policy if policy is not None else PolicyConfig()
         self.cache = cache if cache is not None else ScheduleCache()
         self.metrics = metrics if metrics is not None else RuntimeMetrics()
+        # Every tick event goes through one MetricsSink publish; extra
+        # consumers (ops store, SLO monitor) fan out next to the
+        # in-memory aggregates.
+        self._sink: MetricsSink = (
+            MultiSink([self.metrics, sink]) if sink is not None
+            else self.metrics
+        )
         self._clock = clock
         self._force_timeout_ticks = frozenset(
             int(t) for t in force_timeout_ticks
@@ -769,7 +778,7 @@ class AdaptiveSession:
             dirty_fraction=state.dirty,
             repaired_events=state.repaired_events,
         )
-        self.metrics.record_tick(event)
+        self._sink.emit(event)
         self.last_schedule = executed
         self._tick_index += 1
         return TickResult(event=event, schedule=executed)

@@ -43,7 +43,10 @@ from dataclasses import dataclass
 from threading import Event
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
-from repro.runtime.metrics import Histogram
+from repro.ops.backup import BackupManager
+from repro.ops.sink import MetricsSink, MultiSink, StoreSink
+from repro.ops.store import MetricsStore
+from repro.runtime.metrics import RuntimeMetrics
 from repro.serve import protocol
 from repro.serve.protocol import (
     DrainRequest,
@@ -98,6 +101,13 @@ class DaemonConfig:
     resume_from: str = ""
     #: Selector poll timeout.
     poll_interval_s: float = 0.05
+    #: Ops directory: when set, the daemon persists its publish stream
+    #: into a rotating JSONL store at ``<ops_dir>/store`` and writes a
+    #: verified state backup to ``<ops_dir>/backups`` on every
+    #: snapshot/drain.
+    ops_dir: str = ""
+    #: How many state backups ``<ops_dir>/backups`` retains.
+    backup_retention: int = 5
 
 
 class _Connection:
@@ -115,7 +125,25 @@ class _Connection:
 class SchedulerDaemon:
     """A long-running multi-tenant scheduling service."""
 
-    def __init__(self, config: Optional[DaemonConfig] = None):
+    #: Counter names the daemon maintains (all present even when zero).
+    COUNTER_NAMES = (
+        "accepted",
+        "served",
+        "rejected_saturated",
+        "rejected_draining",
+        "protocol_errors",
+        "internal_errors",
+        "batched",
+        "opened",
+        "restored",
+    )
+
+    def __init__(
+        self,
+        config: Optional[DaemonConfig] = None,
+        *,
+        sink: Optional[MetricsSink] = None,
+    ):
         self.config = config if config is not None else DaemonConfig()
         self.cache = ShardedScheduleCache(
             self.config.cache_shards,
@@ -130,20 +158,57 @@ class SchedulerDaemon:
         self.ready = Event()
         self.address: Any = None
         self._started_at = time.monotonic()
-        self.decision_latency = Histogram("decision_latency_s", keep=4096)
-        self.counters: Dict[str, int] = {
-            "accepted": 0,
-            "served": 0,
-            "rejected_saturated": 0,
-            "rejected_draining": 0,
-            "protocol_errors": 0,
-            "internal_errors": 0,
-            "batched": 0,
-            "opened": 0,
-            "restored": 0,
-        }
+        # All daemon observability flows through MetricsSink: counters
+        # and the decision-latency histogram aggregate in-memory in
+        # ``self.metrics``; per-response/rejection records additionally
+        # fan out to the caller's sink and — under ``--ops-dir`` — to
+        # the rotating JSONL store.
+        self.metrics = RuntimeMetrics()
+        self.decision_latency = self.metrics.histogram(
+            "decision_latency_s", keep=4096
+        )
+        self.store: Optional[MetricsStore] = None
+        self.backups: Optional[BackupManager] = None
+        external: list = []
+        if sink is not None:
+            external.append(sink)
+        if self.config.ops_dir:
+            ops_root = os.path.join(self.config.ops_dir, "store")
+            self.store = MetricsStore(ops_root)
+            external.append(
+                StoreSink(self.store, source="daemon", kind="daemon.event")
+            )
+            self.backups = BackupManager(
+                os.path.join(self.config.ops_dir, "backups"),
+                retention=self.config.backup_retention,
+            )
+        self._emit_sink: Optional[MetricsSink] = (
+            MultiSink(external) if external else None
+        )
+        self._counter_sink: MetricsSink = MultiSink([self.metrics] + external)
+        for name in self.COUNTER_NAMES:
+            self._counter_sink.counter(name)
         if self.config.resume_from:
             self._resume(self.config.resume_from)
+
+    # -- metrics plumbing ---------------------------------------------------
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Counter values as one plain dict (reads only — increments go
+        through the sink)."""
+        return {
+            name: self.metrics.counter(name).value
+            for name in self.COUNTER_NAMES
+        }
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        self._counter_sink.counter(name).inc(amount)
+
+    def _emit(self, record: Dict[str, Any]) -> None:
+        if self._emit_sink is not None:
+            record.setdefault("ts", time.time())
+            self._emit_sink.emit(record)
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -208,6 +273,10 @@ class SchedulerDaemon:
             self._listener = None
         if self.config.socket_path and os.path.exists(self.config.socket_path):
             os.unlink(self.config.socket_path)
+        if self._emit_sink is not None:
+            self._emit_sink.flush()
+        if self.store is not None:
+            self.store.close()
         self.ready.clear()
 
     # -- socket plumbing ----------------------------------------------------
@@ -298,7 +367,7 @@ class SchedulerDaemon:
         try:
             request = protocol.decode_request(line)
         except ProtocolError as exc:
-            self.counters["protocol_errors"] += 1
+            self._count("protocol_errors")
             self._send(conn, ErrorResponse(exc.code, str(exc)))
             return
         if isinstance(request, ScheduleRequest):
@@ -307,7 +376,7 @@ class SchedulerDaemon:
         try:
             response = self._handle_control(request)
         except Exception as exc:  # noqa: BLE001 — serving must not die
-            self.counters["internal_errors"] += 1
+            self._count("internal_errors")
             response = ErrorResponse(
                 "internal", f"{type(exc).__name__}: {exc}"
             )
@@ -316,28 +385,31 @@ class SchedulerDaemon:
             conn.closing = True
             self._stop = True
 
+    def _reject(self, conn: _Connection, code: str, message: str) -> None:
+        """Admission rejection: counted, emitted, and always carrying a
+        ``retry_after_s`` backoff hint."""
+        self._count(f"rejected_{code}")
+        self._emit({"kind": "daemon.reject", "code": code})
+        self._send(
+            conn,
+            ErrorResponse(
+                code, message, retry_after_s=self.config.retry_after_s
+            ),
+        )
+
     def _admit(self, conn: _Connection, request: ScheduleRequest) -> None:
         if self.draining:
-            self.counters["rejected_draining"] += 1
-            self._send(
+            self._reject(
                 conn,
-                ErrorResponse(
-                    "draining",
-                    "daemon is draining; retry against the restarted "
-                    "instance",
-                    retry_after_s=self.config.retry_after_s,
-                ),
+                "draining",
+                "daemon is draining; retry against the restarted instance",
             )
             return
         if len(self._queue) >= self.config.max_queue:
-            self.counters["rejected_saturated"] += 1
-            self._send(
+            self._reject(
                 conn,
-                ErrorResponse(
-                    "saturated",
-                    f"request queue full ({self.config.max_queue})",
-                    retry_after_s=self.config.retry_after_s,
-                ),
+                "saturated",
+                f"request queue full ({self.config.max_queue})",
             )
             return
         if request.tenant not in self.tenants:
@@ -350,7 +422,7 @@ class SchedulerDaemon:
                 ),
             )
             return
-        self.counters["accepted"] += 1
+        self._count("accepted")
         self._queue.append((conn, request))
 
     def _handle_control(self, request: Any) -> Any:
@@ -380,6 +452,18 @@ class SchedulerDaemon:
         raise TypeError(f"unhandled request {type(request).__name__}")
 
     def _open(self, request: OpenRequest) -> Any:
+        if self.draining:
+            # A tenant opened after the drain snapshot would be silently
+            # lost across the restart; reject it with the same backoff
+            # hint every other admission rejection carries.
+            self._count("rejected_draining")
+            self._emit({"kind": "daemon.reject", "code": "draining"})
+            return ErrorResponse(
+                "draining",
+                "daemon is draining; a tenant opened now would miss the "
+                "state snapshot — open against the restarted instance",
+                retry_after_s=self.config.retry_after_s,
+            )
         existing = self.tenants.get(request.tenant)
         if existing is not None:
             return OpenResponse(
@@ -406,7 +490,7 @@ class SchedulerDaemon:
                 "malformed", f"cannot open tenant: {exc}"
             )
         self.tenants[request.tenant] = state
-        self.counters["opened"] += 1
+        self._count("opened")
         return OpenResponse(
             tenant=request.tenant, procs=state.directory.num_procs
         )
@@ -480,7 +564,7 @@ class SchedulerDaemon:
             state = self.tenants[request.tenant]
             if plan is not None:
                 state.seed_plan(problem, plan)
-                self.counters["batched"] += 1
+                self._count("batched")
             self._respond_tick(conn, request, dt=0.0, batched=True)
 
     def _respond_tick(
@@ -496,7 +580,7 @@ class SchedulerDaemon:
         try:
             result = state.session.tick(dt=dt)
         except Exception as exc:  # noqa: BLE001 — serving must not die
-            self.counters["internal_errors"] += 1
+            self._count("internal_errors")
             self._send(
                 conn,
                 ErrorResponse("internal", f"{type(exc).__name__}: {exc}"),
@@ -504,11 +588,14 @@ class SchedulerDaemon:
             self._flush(conn)
             return
         latency = time.monotonic() - started
-        self.decision_latency.record(latency)
+        self.metrics.observe("decision_latency_s", latency)
         state.requests_served += 1
-        self.counters["served"] += 1
+        self._count("served")
         event = result.event
         depth = len(self._queue)
+        backpressure = (
+            depth >= self.config.high_watermark * self.config.max_queue
+        )
         self._send(
             conn,
             ScheduleResponse(
@@ -523,13 +610,37 @@ class SchedulerDaemon:
                 batched=batched,
                 decision_latency_s=latency,
                 queue_depth=depth,
-                backpressure=depth
-                >= self.config.high_watermark * self.config.max_queue,
+                backpressure=backpressure,
             ),
+        )
+        self._emit(
+            {
+                "kind": "daemon.response",
+                "tenant": request.tenant,
+                "tick": event.tick,
+                "decision": event.decision,
+                "fallback": event.fallback,
+                "cache_hit": event.cache_hit,
+                "batched": batched,
+                "decision_latency_s": latency,
+                "queue_depth": depth,
+                "backpressure": backpressure,
+            }
         )
         self._flush(conn)
 
     # -- state file ---------------------------------------------------------
+
+    def state_payload(self) -> Dict[str, Any]:
+        """The daemon's full resumable state as one JSON document (the
+        same shape ``resume_from`` consumes and backups verify)."""
+        return {
+            "format": DAEMON_STATE_FORMAT,
+            "version": 1,
+            "tenants": [
+                state.snapshot() for state in self.tenants.values()
+            ],
+        }
 
     def _write_state(self, path: str) -> int:
         if not path:
@@ -537,17 +648,13 @@ class SchedulerDaemon:
                 "no snapshot path: pass one in the request or set "
                 "DaemonConfig.state_file"
             )
-        payload = {
-            "format": DAEMON_STATE_FORMAT,
-            "version": 1,
-            "tenants": [
-                state.snapshot() for state in self.tenants.values()
-            ],
-        }
+        payload = self.state_payload()
         tmp = f"{path}.tmp"
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(payload, handle)
         os.replace(tmp, path)
+        if self.backups is not None:
+            self.backups.write(payload)
         return len(self.tenants)
 
     def _resume(self, path: str) -> None:
@@ -563,7 +670,7 @@ class SchedulerDaemon:
             self.tenants[tenant] = TenantState.restore(
                 entry, cache=self.cache.shard_for(tenant)
             )
-            self.counters["restored"] += 1
+            self._count("restored")
 
     # -- introspection ------------------------------------------------------
 
@@ -574,7 +681,7 @@ class SchedulerDaemon:
             "p99_s": self.decision_latency.percentile(99.0),
             "max_s": self.decision_latency.max or 0.0,
         }
-        return {
+        stats = {
             "tenants": len(self.tenants),
             "queue_depth": len(self._queue),
             "max_queue": self.config.max_queue,
@@ -584,3 +691,13 @@ class SchedulerDaemon:
             "cache": self.cache.stats(),
             "decision_latency": latency,
         }
+        if self.store is not None:
+            stats["ops"] = {
+                "store": self.store.stats(),
+                "backups": (
+                    [str(p) for p in self.backups.paths()]
+                    if self.backups is not None
+                    else []
+                ),
+            }
+        return stats

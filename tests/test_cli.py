@@ -267,3 +267,61 @@ def test_collective_unknown_name(capsys):
     with pytest.raises(SystemExit):
         main(["collective", "--collective", "telepathy"])
     assert "known:" in capsys.readouterr().err
+
+
+def test_ops_soak_smoke_and_report(capsys, tmp_path):
+    import json
+
+    ops_dir = str(tmp_path / "ops")
+    assert main(
+        ["ops", "soak", "--smoke", "--ops-dir", ops_dir,
+         "--tenants", "3", "--no-daemon-phase"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "verdict: OK" in out
+    assert "[FIRING]" in out and "[RESOLVED]" in out
+    payload = json.loads((tmp_path / "ops" / "slo_report.json").read_text())
+    assert payload["ok"] is True
+    assert payload["oracle_violations"] == 0
+    assert payload["alerts_fired"] >= 1
+    assert payload["alerts_resolved"] >= 1
+
+    assert main(["ops", "report", "--ops-dir", ops_dir, "--kind", "tick"]) == 0
+    out = capsys.readouterr().out
+    assert "last soak: ok=True" in out
+    assert "records kind=tick" in out
+    assert "alerts" in out
+
+
+def test_ops_report_missing_dir(capsys, tmp_path):
+    assert main(
+        ["ops", "report", "--ops-dir", str(tmp_path / "nothing_here")]
+    ) == 1
+    assert "no ops directory" in capsys.readouterr().err
+
+
+def test_ops_soak_rejects_bad_slo_spec(capsys, tmp_path):
+    with pytest.raises(SystemExit):
+        main(
+            ["ops", "soak", "--smoke", "--ops-dir", str(tmp_path / "ops"),
+             "--slo", "fallback_rate"]  # missing threshold
+        )
+
+
+def test_serve_ops_dir_collects_store_and_places_outputs(capsys, tmp_path):
+    import json
+
+    ops_dir = tmp_path / "ops"
+    assert main(["serve", "--smoke", "--ops-dir", str(ops_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "per-tick serving log" in out
+    # bare default filenames land under the ops dir
+    metrics = json.loads((ops_dir / "serve_metrics.json").read_text())
+    assert metrics["summary"]["decisions"]
+    # every tick event also streamed into the rotating store
+    from repro.ops.store import MetricsStore
+
+    store = MetricsStore(ops_dir / "store")
+    ticks = store.query(kind="tick")
+    assert len(ticks) == len(metrics["events"])
+    store.close()

@@ -382,3 +382,137 @@ def test_oversized_frame_does_not_kill_daemon(tmp_path):
             assert fresh.hello().tenants == 0
     finally:
         stop_daemon(daemon, thread)
+
+
+# -- ops wiring: rejection hints, metrics store, backups ---------------------
+
+
+def test_open_during_drain_rejected_with_retry_after(tmp_path):
+    # A tenant opened after the drain snapshot would be silently lost
+    # across the restart; the daemon must reject it like any other
+    # admission rejection, backoff hint included.
+    from repro.serve.protocol import OpenRequest
+
+    state_file = str(tmp_path / "state.json")
+    daemon, thread, sock = start_daemon(tmp_path)
+    try:
+        with DaemonClient(sock) as client:
+            client.open("alpha", procs=4)
+            client.drain(state_file)
+            client.send(OpenRequest(tenant="latecomer", procs=4))
+            response = client.recv()
+            assert isinstance(response, ErrorResponse)
+            assert response.code == "draining"
+            assert response.retry_after_s is not None
+            assert response.retry_after_s > 0
+            # ...and the tenant did not leak into the drained state
+            assert client.hello().tenants == 1
+    finally:
+        stop_daemon(daemon, thread)
+    assert daemon.counters["rejected_draining"] == 1
+
+
+def test_every_admission_rejection_carries_retry_after(tmp_path):
+    # Saturated and draining rejections both carry the hint; only
+    # unknown_tenant (a caller bug, not a capacity signal) omits it.
+    daemon, thread, sock = start_daemon(tmp_path, max_queue=1)
+    try:
+        with DaemonClient(sock) as client:
+            client.open("alpha", procs=4)
+            for _ in range(16):
+                client.send(ScheduleRequest(tenant="alpha"))
+            responses = [client.recv() for _ in range(16)]
+            rejected = [
+                r for r in responses if isinstance(r, ErrorResponse)
+            ]
+            assert rejected
+            assert all(r.retry_after_s is not None for r in rejected)
+            client.drain(str(tmp_path / "state.json"))
+            drain_reject = client.schedule("alpha")
+            assert isinstance(drain_reject, ErrorResponse)
+            assert drain_reject.retry_after_s is not None
+    finally:
+        stop_daemon(daemon, thread)
+
+
+def test_daemon_counters_property_is_a_snapshot(tmp_path):
+    daemon, thread, sock = start_daemon(tmp_path)
+    try:
+        with DaemonClient(sock) as client:
+            client.open("alpha", procs=4)
+            client.schedule("alpha")
+        counters = daemon.counters
+        assert counters["served"] == 1
+        # mutating the snapshot must not touch the daemon's metrics
+        counters["served"] = 999
+        assert daemon.counters["served"] == 1
+        assert set(SchedulerDaemon.COUNTER_NAMES) <= set(daemon.counters)
+    finally:
+        stop_daemon(daemon, thread)
+
+
+def test_ops_dir_writes_store_and_backup(tmp_path):
+    from repro.ops import BackupManager, MetricsStore
+
+    ops_dir = tmp_path / "ops"
+    state_file = str(tmp_path / "state.json")
+    daemon, thread, sock = start_daemon(tmp_path, ops_dir=str(ops_dir))
+    try:
+        with DaemonClient(sock) as client:
+            client.open("alpha", procs=4)
+            for _ in range(3):
+                client.schedule("alpha")
+            stats = client.stats()
+            assert "ops" in stats
+            assert stats["ops"]["store"]["records_written"] >= 3
+            client.drain(state_file)
+    finally:
+        stop_daemon(daemon, thread)
+    # the drain snapshot also landed as a verified, retained backup
+    backups = BackupManager(ops_dir / "backups")
+    assert backups.latest() is not None
+    verdict = backups.verify()
+    assert verdict["bit_identical"] and verdict["tenants"] == 1
+    # shutdown sealed the store; every response left a persisted record
+    store = MetricsStore(ops_dir / "store")
+    responses = list(store.iter_records(kind="daemon.response"))
+    assert len(responses) == 3
+    assert all("ts" in r and "decision" in r for r in responses)
+    counters = [
+        r for r in store.iter_records(kind="counters")
+    ]
+    assert counters and counters[-1]["counters"]["served"] == 3
+    store.close()
+
+
+def test_external_sink_sees_daemon_rejections(tmp_path):
+    from repro.ops.sink import MetricsSink
+
+    class Capture(MetricsSink):
+        def __init__(self):
+            self.records = []
+
+        def emit(self, event):
+            self.records.append(dict(event))
+
+    capture = Capture()
+    sock = str(tmp_path / "daemon.sock")
+    daemon = SchedulerDaemon(
+        DaemonConfig(socket_path=sock, max_queue=1), sink=capture
+    )
+    daemon.bind()
+    thread = threading.Thread(target=daemon.serve_forever, daemon=True)
+    thread.start()
+    try:
+        with DaemonClient(sock) as client:
+            client.open("alpha", procs=4)
+            for _ in range(8):
+                client.send(ScheduleRequest(tenant="alpha"))
+            for _ in range(8):
+                client.recv()
+    finally:
+        stop_daemon(daemon, thread)
+    kinds = {r["kind"] for r in capture.records}
+    assert "daemon.response" in kinds
+    assert "daemon.reject" in kinds
+    assert all("ts" in r for r in capture.records)

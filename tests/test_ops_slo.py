@@ -1,0 +1,266 @@
+"""SLO machinery: spec grammar, window math, transitions, notifiers.
+
+Every record carries an explicit ``time`` so window eviction and the
+ok/firing state machine are exercised deterministically — the same
+sim-time evaluation the soak harness relies on.
+"""
+
+import json
+
+import pytest
+
+from repro.ops.slo import (
+    DEFAULT_SLOS,
+    FileNotifier,
+    LogNotifier,
+    SLO_KINDS,
+    SloMonitor,
+    SloSpec,
+    SloTracker,
+    WebhookNotifier,
+    format_slo_spec,
+    make_notifier,
+    parse_slo_spec,
+)
+
+
+def fallback_records(values, start=0.0, dt=1.0):
+    return [
+        {"time": start + i * dt, "fallback": bool(v)}
+        for i, v in enumerate(values)
+    ]
+
+
+# -- spec grammar ------------------------------------------------------------
+
+
+def test_parse_spec_full():
+    spec = parse_slo_spec("fallback_rate:threshold=0.2,window=8,min_samples=3")
+    assert spec == SloSpec(
+        "fallback_rate", threshold=0.2, window_s=8.0, min_samples=3
+    )
+
+
+def test_parse_spec_defaults_and_roundtrip():
+    spec = parse_slo_spec("p99_decision_latency:threshold=0.05")
+    assert spec.window_s == 30.0 and spec.min_samples == 5
+    for original in DEFAULT_SLOS:
+        assert parse_slo_spec(format_slo_spec(original)) == original
+
+
+def test_parse_spec_errors():
+    with pytest.raises(ValueError, match="threshold"):
+        parse_slo_spec("fallback_rate")
+    with pytest.raises(ValueError, match="unknown SLO option"):
+        parse_slo_spec("fallback_rate:threshold=0.2,bogus=1")
+    with pytest.raises((KeyError, ValueError)):
+        parse_slo_spec("no_such_slo:threshold=1")
+    with pytest.raises(ValueError, match="window_s"):
+        SloSpec("fallback_rate", threshold=0.1, window_s=0.0)
+    with pytest.raises(ValueError, match="min_samples"):
+        SloSpec("fallback_rate", threshold=0.1, min_samples=0)
+    with pytest.raises(KeyError, match="unknown SLO"):
+        SloSpec("bogus", threshold=0.1)
+
+
+def test_parse_spec_passthrough():
+    spec = SloSpec("repair_rate", threshold=0.5)
+    assert parse_slo_spec(spec) is spec
+
+
+# -- window math and transitions ---------------------------------------------
+
+
+def test_no_evaluation_below_min_samples():
+    tracker = SloTracker(
+        SloSpec("fallback_rate", threshold=0.1, window_s=100, min_samples=5)
+    )
+    for record in fallback_records([1, 1, 1, 1]):
+        assert tracker.observe(record) is None
+    assert tracker.last_value is None and not tracker.firing
+
+
+def test_fires_then_resolves_as_window_drains():
+    tracker = SloTracker(
+        SloSpec("fallback_rate", threshold=0.5, window_s=4.0, min_samples=2)
+    )
+    alerts = [
+        tracker.observe(r)
+        for r in fallback_records([0, 1, 1, 1, 0, 0, 0, 0])
+    ]
+    transitions = [a for a in alerts if a is not None]
+    assert [a.state for a in transitions] == ["firing", "resolved"]
+    fired, resolved = transitions
+    assert fired.value > 0.5 and resolved.value <= 0.5
+    assert fired.time < resolved.time
+    assert not tracker.firing
+
+
+def test_window_eviction_is_strict_horizon():
+    # samples at t and t - window_s are *evicted*; only newer survive
+    tracker = SloTracker(
+        SloSpec("fallback_rate", threshold=0.9, window_s=2.0, min_samples=1)
+    )
+    tracker.observe({"time": 0.0, "fallback": True})
+    tracker.observe({"time": 1.0, "fallback": True})
+    tracker.observe({"time": 3.0, "fallback": False})
+    # horizon is 1.0: the t=0 and t=1 samples are gone
+    assert len(tracker.window) == 1
+    assert tracker.last_value == 0.0
+
+
+def test_sampleless_records_still_advance_the_window():
+    # a quiet stream (no fallback field) must still let a firing SLO
+    # resolve as its samples age out
+    tracker = SloTracker(
+        SloSpec("fallback_rate", threshold=0.5, window_s=3.0, min_samples=1)
+    )
+    tracker.observe({"time": 0.0, "fallback": True})
+    assert tracker.firing
+    alert = tracker.observe({"time": 10.0, "other": 1})
+    # window drained below min_samples: no evaluation, still firing
+    assert alert is None and tracker.firing
+    alert = tracker.observe({"time": 10.5, "fallback": False})
+    assert alert is not None and alert.state == "resolved"
+
+
+def test_untimed_records_are_ignored():
+    tracker = SloTracker(SloSpec("fallback_rate", threshold=0.5))
+    assert tracker.observe({"fallback": True}) is None
+    assert len(tracker.window) == 0
+
+
+def test_p99_latency_aggregate():
+    tracker = SloTracker(
+        SloSpec(
+            "p99_decision_latency", threshold=0.9, window_s=1000,
+            min_samples=10,
+        )
+    )
+    alert = None
+    for i in range(100):
+        record = {"time": float(i), "decision_latency_s": i / 100.0}
+        alert = tracker.observe(record) or alert
+    assert alert is not None and alert.state == "firing"
+    assert tracker.last_value == pytest.approx(0.98, abs=0.02)
+
+
+def test_latency_sample_falls_back_to_scheduler_elapsed():
+    select = SLO_KINDS["p99_decision_latency"].select
+    assert select({"decision_latency_s": 0.5}) == 0.5
+    assert select({"scheduler_elapsed": 0.25}) == 0.25
+    assert select({"other": 1}) is None
+
+
+def test_saturation_sample_reads_daemon_records():
+    select = SLO_KINDS["queue_saturation_rate"].select
+    assert select({"kind": "daemon.reject", "code": "saturated"}) == 1.0
+    assert select({"kind": "daemon.reject", "code": "draining"}) == 0.0
+    assert select({"kind": "daemon.response"}) == 0.0
+    assert select({"kind": "tick"}) is None
+
+
+def test_repair_sample_reads_decision_or_flag():
+    select = SLO_KINDS["repair_rate"].select
+    assert select({"decision": "repair"}) == 1.0
+    assert select({"decision": "reuse"}) == 0.0
+    assert select({"repair": True}) == 1.0
+    assert select({"other": 1}) is None
+
+
+# -- monitor and notifiers ---------------------------------------------------
+
+
+def test_monitor_dispatches_to_notifiers_and_reports():
+    captured = []
+
+    class Probe(LogNotifier):
+        def notify(self, alert):
+            captured.append(alert)
+
+    monitor = SloMonitor(
+        ["fallback_rate:threshold=0.5,window=4,min_samples=2"],
+        notifiers=[Probe()],
+    )
+    for record in fallback_records([0, 1, 1, 1, 0, 0, 0, 0]):
+        monitor.emit(record)
+    assert monitor.fired == 1 and monitor.resolved == 1
+    assert [a.state for a in captured] == ["firing", "resolved"]
+    report = monitor.report()
+    assert report["alerts_fired"] == 1
+    assert report["alerts_resolved"] == 1
+    assert len(report["alerts"]) == 2
+    (status,) = report["slos"]
+    assert status["state"] == "ok"
+    assert status["fired"] == 1 and status["resolved"] == 1
+
+
+def test_monitor_is_a_sink_with_protocol_observe():
+    # MetricsSink.observe keeps its (name, value) signature — a scalar
+    # sample without a record is simply ignored, not a crash
+    monitor = SloMonitor(["fallback_rate:threshold=0.5"])
+    monitor.observe("decision_latency_s", 0.1)
+    monitor.flush()
+    assert monitor.alerts == []
+
+
+def test_file_notifier_appends_jsonl(tmp_path):
+    path = tmp_path / "alerts.jsonl"
+    monitor = SloMonitor(
+        ["fallback_rate:threshold=0.5,window=4,min_samples=2"],
+        notifiers=[FileNotifier(path)],
+    )
+    for record in fallback_records([0, 1, 1, 1, 0, 0, 0, 0]):
+        monitor.emit(record)
+    lines = [json.loads(l) for l in path.read_text().splitlines()]
+    assert [l["state"] for l in lines] == ["firing", "resolved"]
+    assert all("value" in l and "threshold" in l for l in lines)
+
+
+def test_webhook_notifier_spools_payloads():
+    hook = WebhookNotifier(url="https://example.invalid/hook")
+    monitor = SloMonitor(
+        ["fallback_rate:threshold=0.5,window=4,min_samples=2"],
+        notifiers=[hook],
+    )
+    for record in fallback_records([0, 1, 1, 1]):
+        monitor.emit(record)
+    assert len(hook.sent) == 1
+    payload = hook.sent[0]
+    assert payload["url"] == "https://example.invalid/hook"
+    assert payload["alert"]["state"] == "firing"
+
+
+def test_webhook_notifier_custom_transport():
+    delivered = []
+    hook = WebhookNotifier(
+        url="u", transport=lambda url, payload: delivered.append(payload)
+    )
+    monitor = SloMonitor(
+        ["fallback_rate:threshold=0.5,min_samples=1"], notifiers=[hook]
+    )
+    monitor.emit({"time": 0.0, "fallback": True})
+    assert len(delivered) == 1 and not hook.sent
+
+
+def test_log_notifier_stream_mode(capsys):
+    import io
+
+    stream = io.StringIO()
+    monitor = SloMonitor(
+        ["fallback_rate:threshold=0.5,min_samples=1"],
+        notifiers=[LogNotifier(stream=stream)],
+    )
+    monitor.emit({"time": 0.0, "fallback": True})
+    monitor.emit({"time": 0.5, "fallback": False})
+    out = stream.getvalue()
+    assert "[FIRING]" in out and "[RESOLVED]" in out
+
+
+def test_make_notifier_specs(tmp_path):
+    assert isinstance(make_notifier("log"), LogNotifier)
+    file_notifier = make_notifier(f"file:path={tmp_path}/a.jsonl")
+    assert isinstance(file_notifier, FileNotifier)
+    assert isinstance(make_notifier("webhook"), WebhookNotifier)
+    with pytest.raises(KeyError, match="unknown notifier"):
+        make_notifier("carrier_pigeon")

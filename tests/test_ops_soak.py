@@ -1,0 +1,116 @@
+"""The chaos soak, at test scale: deterministic, oracle-clean, alerting.
+
+A reduced seeded soak (session phase only for speed) must complete with
+zero invariant-oracle violations while firing *and* resolving the
+fallback-rate canary; the full ``--smoke`` configuration (with the
+daemon restart/backup phase) runs in the CLI tests and CI.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.ops.soak import SOAK_SLOS, SoakConfig, run_soak
+from repro.ops.store import MetricsStore
+
+
+@pytest.fixture(scope="module")
+def soak_result(tmp_path_factory):
+    ops_dir = tmp_path_factory.mktemp("soak_ops")
+    config = dataclasses.replace(
+        SoakConfig.smoke(seed=0),
+        tenants=3,
+        daemon_phase=False,
+        segment_bytes=8192,
+    )
+    report = run_soak(config, ops_dir)
+    return config, ops_dir, report
+
+
+def test_soak_is_oracle_clean(soak_result):
+    _, _, report = soak_result
+    assert report.oracle_violations == 0
+    assert report.violations == []
+    config, _, _ = soak_result
+    assert report.oracle_checks == config.tenants * config.ticks
+
+
+def test_soak_fires_and_resolves_the_canary(soak_result):
+    _, _, report = soak_result
+    assert report.alerts_fired >= 1
+    assert report.alerts_resolved >= 1
+    fallback_status = next(
+        s for s in report.slo["slos"] if s["slo"].startswith("fallback_rate")
+    )
+    assert fallback_status["fired"] >= 1
+    assert fallback_status["resolved"] >= 1
+    assert fallback_status["state"] == "ok"  # resolved by the end
+    assert report.ok
+
+
+def test_soak_exercises_chaos(soak_result):
+    _, _, report = soak_result
+    assert report.fallback_activations > 0  # forced timeouts hit
+    assert report.faults_seen > 0  # fault profiles injected
+    assert report.decisions.get("reschedule", 0) > 0  # storms forced replans
+
+
+def test_soak_is_deterministic(tmp_path):
+    config = dataclasses.replace(
+        SoakConfig.smoke(seed=0), tenants=2, ticks=24, daemon_phase=False
+    )
+    first = run_soak(config, tmp_path / "a")
+    second = run_soak(config, tmp_path / "b")
+    assert first.decisions == second.decisions
+    assert first.fallback_activations == second.fallback_activations
+    assert first.alerts_fired == second.alerts_fired
+    assert first.slo["alerts"] == second.slo["alerts"]
+
+
+def test_soak_persists_rotated_store_and_report(soak_result):
+    _, ops_dir, report = soak_result
+    store = MetricsStore(ops_dir / "store", max_segment_bytes=8192)
+    stats = store.stats()
+    assert stats["sealed_segments"] >= 1
+    ticks = store.query(kind="tick")
+    assert len(ticks) == report.oracle_checks
+    assert {r["source"] for r in ticks} == {
+        f"tenant-{i}" for i in range(report.tenants)
+    }
+    store.close()
+
+    payload = json.loads((ops_dir / "slo_report.json").read_text())
+    assert payload["ok"] is True
+    assert payload["oracle_violations"] == 0
+    assert payload["alerts_fired"] == report.alerts_fired
+
+    alerts = [
+        json.loads(line)
+        for line in (ops_dir / "alerts.jsonl").read_text().splitlines()
+    ]
+    states = [a["state"] for a in alerts]
+    assert "firing" in states and "resolved" in states
+
+
+def test_soak_report_renders(soak_result):
+    _, _, report = soak_result
+    text = report.render()
+    assert "oracle:" in text and "0 violations" in text
+    assert "verdict: OK" in text
+
+
+def test_hours_config_scales_simulated_time():
+    config = SoakConfig.hours(2.0)
+    assert config.sim_seconds == pytest.approx(2 * 3600.0)
+    assert config.dt == 300.0
+    # the canary burst and window scale with dt so it still fires
+    assert len(config.timeout_ticks) >= 2
+    fallback = next(s for s in config.slos if s.name == "fallback_rate")
+    assert fallback.window_s > SOAK_SLOS[0].window_s
+
+
+def test_smoke_config_is_ci_sized():
+    config = SoakConfig.smoke()
+    assert config.tenants * config.ticks <= 600
+    assert config.daemon_phase

@@ -1,0 +1,219 @@
+"""Rotating metrics store: rotation, sealing, crash recovery, queries.
+
+The store is the persistence layer under every :class:`StoreSink`; these
+tests pin the on-disk contract — segment naming, gzip sealing, retention
+pruning, torn-tail truncation — against an injected clock so rotation by
+age is deterministic.
+"""
+
+import gzip
+import json
+
+import pytest
+
+from repro.ops.store import MetricsStore
+
+
+class FakeClock:
+    def __init__(self, start=1000.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def tick(self, dt=1.0):
+        self.now += dt
+
+
+def write_n(store, n, **extra):
+    for i in range(n):
+        store.append({"kind": "tick", "i": i, **extra})
+
+
+# -- append and query --------------------------------------------------------
+
+
+def test_append_stamps_ts_from_clock(tmp_path):
+    clock = FakeClock(5.0)
+    with MetricsStore(tmp_path, clock=clock) as store:
+        store.append({"kind": "tick"})
+        clock.tick(2.0)
+        store.append({"kind": "tick"})
+        store.append({"kind": "tick", "ts": 99.0})
+        stamps = [r["ts"] for r in store.iter_records()]
+    assert stamps == [5.0, 7.0, 99.0]
+
+
+def test_window_query_half_open(tmp_path):
+    clock = FakeClock(0.0)
+    with MetricsStore(tmp_path, clock=clock) as store:
+        for _ in range(10):
+            store.append({"kind": "tick"})
+            clock.tick()
+        got = store.query(start=3.0, end=7.0)
+        assert [r["ts"] for r in got] == [3.0, 4.0, 5.0, 6.0]
+        assert store.query(kind="nope") == []
+        assert len(store.query(kind="tick")) == 10
+
+
+def test_records_are_compact_sorted_json_lines(tmp_path):
+    with MetricsStore(tmp_path, clock=FakeClock()) as store:
+        store.append({"z": 1, "a": 2, "kind": "tick"})
+        active = tmp_path / "metrics-000000.jsonl"
+        line = active.read_text().strip()
+    assert line == '{"a":2,"kind":"tick","ts":1000.0,"z":1}'
+
+
+# -- rotation, sealing, retention --------------------------------------------
+
+
+def test_rotation_by_size_seals_gzip_segments(tmp_path):
+    store = MetricsStore(tmp_path, max_segment_bytes=256, clock=FakeClock())
+    write_n(store, 50)
+    store.rotate()
+    infos = store.segments()
+    assert all(info.sealed for info in infos)
+    assert len(infos) > 1
+    assert all(info.path.suffix == ".gz" for info in infos)
+    # every record survives rotation, in append order
+    got = [r["i"] for r in store.iter_records()]
+    assert got == list(range(50))
+    store.close()
+
+
+def test_rotation_by_age(tmp_path):
+    clock = FakeClock(0.0)
+    store = MetricsStore(
+        tmp_path, max_segment_age_s=10.0, clock=clock
+    )
+    write_n(store, 3)
+    clock.tick(11.0)
+    store.append({"kind": "tick", "i": 3})
+    stats = store.stats()
+    assert stats["sealed_segments"] == 1
+    assert stats["segments"] == 2
+    store.close()
+
+
+def test_rotate_with_empty_active_segment_is_a_noop(tmp_path):
+    store = MetricsStore(tmp_path, clock=FakeClock())
+    assert store.rotate() is None
+    assert store.rotate() is None
+    store.append({"kind": "tick"})
+    assert store.rotate() is not None
+    store.close()
+
+
+def test_retention_prunes_oldest_sealed(tmp_path):
+    store = MetricsStore(
+        tmp_path, max_segment_bytes=64, max_segments=2, clock=FakeClock()
+    )
+    write_n(store, 40)
+    store.rotate()
+    sealed = [info for info in store.segments() if info.sealed]
+    assert len(sealed) == 2
+    # the survivors are the *newest* two
+    seqs = [info.seq for info in sealed]
+    assert seqs == sorted(seqs)
+    got = [r["i"] for r in store.iter_records()]
+    assert got[-1] == 39 and 0 not in got
+    store.close()
+
+
+def test_uncompressed_mode(tmp_path):
+    store = MetricsStore(
+        tmp_path, max_segment_bytes=64, compress=False, clock=FakeClock()
+    )
+    write_n(store, 10)
+    store.rotate()
+    assert all(
+        info.path.suffix == ".jsonl" for info in store.segments()
+    )
+    assert [r["i"] for r in store.iter_records()] == list(range(10))
+    store.close()
+
+
+def test_bad_constructor_args(tmp_path):
+    with pytest.raises(ValueError, match="max_segment_bytes"):
+        MetricsStore(tmp_path, max_segment_bytes=0)
+    with pytest.raises(ValueError, match="prefix"):
+        MetricsStore(tmp_path, prefix="has-dash")
+
+
+# -- crash recovery ----------------------------------------------------------
+
+
+def test_reopen_adopts_existing_directory(tmp_path):
+    clock = FakeClock()
+    store = MetricsStore(tmp_path, max_segment_bytes=128, clock=clock)
+    write_n(store, 20)
+    store.close()
+
+    reopened = MetricsStore(tmp_path, max_segment_bytes=128, clock=clock)
+    write_n(reopened, 5, run=2)
+    got = [r["i"] for r in reopened.iter_records()]
+    assert got == list(range(20)) + list(range(5))
+    reopened.close()
+
+
+def test_torn_final_line_is_truncated_on_open(tmp_path):
+    store = MetricsStore(tmp_path, clock=FakeClock())
+    write_n(store, 3)
+    store.close()
+    active = tmp_path / "metrics-000000.jsonl"
+    # simulate a crash mid-append: a partial record with no newline
+    with open(active, "ab") as handle:
+        handle.write(b'{"kind":"tick","i":3,"tr')
+
+    recovered = MetricsStore(tmp_path, clock=FakeClock())
+    assert [r["i"] for r in recovered.iter_records()] == [0, 1, 2]
+    # the torn bytes are gone from disk, not just skipped on read
+    assert active.read_bytes().endswith(b"\n")
+    recovered.append({"kind": "tick", "i": 99})
+    assert [r["i"] for r in recovered.iter_records()] == [0, 1, 2, 99]
+    recovered.close()
+
+
+def test_torn_complete_garbage_line_is_truncated(tmp_path):
+    store = MetricsStore(tmp_path, clock=FakeClock())
+    write_n(store, 2)
+    store.close()
+    active = tmp_path / "metrics-000000.jsonl"
+    with open(active, "ab") as handle:
+        handle.write(b"not json at all\n")
+
+    recovered = MetricsStore(tmp_path, clock=FakeClock())
+    assert [r["i"] for r in recovered.iter_records()] == [0, 1]
+    recovered.close()
+
+
+def test_stale_plain_segments_sealed_on_recovery(tmp_path):
+    # a crash between rotate and seal can leave several plain segments;
+    # recovery must converge the directory to one active segment
+    for seq in range(3):
+        path = tmp_path / f"metrics-{seq:06d}.jsonl"
+        path.write_text(json.dumps({"kind": "tick", "i": seq, "ts": 0.0}) + "\n")
+    store = MetricsStore(tmp_path, clock=FakeClock())
+    infos = store.segments()
+    assert sum(1 for info in infos if not info.sealed) == 1
+    assert [r["i"] for r in store.iter_records()] == [0, 1, 2]
+    store.close()
+
+
+def test_live_reader_skips_foreign_files_and_torn_tail(tmp_path):
+    (tmp_path / "unrelated.txt").write_text("hi")
+    (tmp_path / "other-000000.jsonl").write_text('{"kind":"x","ts":0}\n')
+    store = MetricsStore(tmp_path, clock=FakeClock())
+    write_n(store, 2)
+    assert len(list(store.iter_records())) == 2
+    store.close()
+
+
+def test_sealed_segment_content_is_the_plain_lines(tmp_path):
+    store = MetricsStore(tmp_path, clock=FakeClock())
+    write_n(store, 4)
+    sealed = store.rotate()
+    with gzip.open(sealed, "rt") as stream:
+        lines = [json.loads(line) for line in stream]
+    assert [r["i"] for r in lines] == [0, 1, 2, 3]
+    store.close()

@@ -8,6 +8,7 @@ from repro.perf.regression import (
     drift_regressions,
     load_bench,
     scale_regressions,
+    soak_regressions,
 )
 
 SCALE = {
@@ -43,6 +44,23 @@ STRAGGLER = {
         "baseline_s": 1.0, "straggler_worst_s": 8.0,
         "degradation_max": 8.0,
     },
+}
+
+
+SOAK = {
+    "meta": {"tenants": 6, "ticks": 40},
+    "ok": True,
+    "oracle_checks": 240,
+    "oracle_violations": 0,
+    "alerts_fired": 1,
+    "alerts_resolved": 1,
+    "daemon": {
+        "accepted": 160, "served": 160, "dropped": 0,
+        "zero_loss": True, "restart_bit_identical": True,
+    },
+    "backup_bit_identical": True,
+    "store": {"segments": 6, "sealed_segments": 6, "records_written": 400},
+    "wall_s": 3.0,
 }
 
 
@@ -213,3 +231,38 @@ class TestBenchRegressions:
         path.write_text(json.dumps({"extra": {"scale_p1024": SCALE}}))
         record = load_bench(path)
         assert record["extra"]["scale_p1024"]["openshop"]["seconds"] == 6.0
+
+
+class TestSoakRegressions:
+    def test_identical_passes(self):
+        assert soak_regressions("soak_smoke", SOAK, SOAK) == []
+
+    def test_guarantees_are_absolute(self):
+        # each broken guarantee is reported regardless of the baseline
+        for override, needle in [
+            ({"oracle_violations": 1}, "oracle violations"),
+            ({"daemon__dropped": 3}, "dropped"),
+            ({"daemon__zero_loss": False}, "accepted != served"),
+            ({"daemon__restart_bit_identical": False}, "across restart"),
+            ({"backup_bit_identical": False}, "bit-identical"),
+            ({"alerts_fired": 0}, "canary"),
+            ({"alerts_resolved": 0}, "canary"),
+            ({"store__sealed_segments": 0}, "rotated"),
+        ]:
+            fresh = _with(SOAK, **override)
+            problems = soak_regressions("soak_smoke", SOAK, fresh)
+            assert problems, f"override {override} not caught"
+            assert any(needle in p for p in problems), (override, problems)
+
+    def test_wall_time_is_loose(self):
+        ok = _with(SOAK, wall_s=10.0)
+        assert soak_regressions("soak_smoke", SOAK, ok) == []
+        slow = _with(SOAK, wall_s=30.0)
+        problems = soak_regressions("soak_smoke", SOAK, slow)
+        assert len(problems) == 1 and "wall time" in problems[0]
+
+    def test_dispatched_by_prefix(self):
+        fresh = _with(SOAK, oracle_violations=2)
+        problems = bench_regressions({"soak_smoke": SOAK}, {"soak_smoke": fresh})
+        assert len(problems) == 1
+        assert problems[0].startswith("soak_smoke")
